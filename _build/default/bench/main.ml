@@ -1,0 +1,617 @@
+(* Experiment harness: regenerates every figure of the paper's Section 5.
+   Run all experiments with `dune exec bench/main.exe`, or one of
+   fig4.20 fig4.21 fig4.22 fig4.23 ablation micro, optionally with
+   --full for paper-scale query counts. *)
+
+open Gql_graph
+module FP = Gql_matcher.Flat_pattern
+module Feasible = Gql_matcher.Feasible
+module Refine = Gql_matcher.Refine
+module Order = Gql_matcher.Order
+module Search = Gql_matcher.Search
+module Engine = Gql_matcher.Engine
+module Cost = Gql_matcher.Cost
+open Gql_datasets
+open Util
+
+let full_mode = ref false
+let hit_limit = 1000  (* §5.1: queries with more than 1000 hits terminate *)
+
+let scale quick full = if !full_mode then full else quick
+
+(* ---------------------------------------------------------------------- *)
+(* per-query measurements shared by Figures 4.20-4.23                      *)
+
+type obs = {
+  o_answers : int;
+  o_high_hits : bool;
+  (* log10 reduction ratios w.r.t. the attrs-only space *)
+  r_profiles : float;
+  r_subgraphs : float;
+  r_refined : float;
+  (* per-step seconds *)
+  t_profiles : float;
+  t_subgraphs : float;
+  t_refine : float;
+  t_order : float;
+  t_search_opt : float;
+  t_search_noopt : float;
+  t_retrieve_base : float;
+  t_search_baseline : float;
+}
+
+let observe ?(with_subgraphs = true) ~lidx ~pidx pattern g =
+  let base, t_retrieve_base =
+    time (fun () -> Feasible.compute ~retrieval:`Node_attrs ~label_index:lidx pattern g)
+  in
+  let prof, t_profiles =
+    time (fun () ->
+        Feasible.compute ~retrieval:`Profiles ~label_index:lidx ~profile_index:pidx
+          pattern g)
+  in
+  (* subgraph retrieval is only reported by Figures 4.20-4.22; it is
+     expensive on frequent labels over large graphs, so callers that do
+     not plot it skip it *)
+  let subg, t_subgraphs =
+    if with_subgraphs then
+      time (fun () ->
+          Feasible.compute ~retrieval:`Subgraphs ~label_index:lidx
+            ~profile_index:pidx pattern g)
+    else (prof, nan)
+  in
+  let (refined, _), t_refine = time (fun () -> Refine.refine pattern g prof) in
+  let order, t_order =
+    time (fun () -> Order.greedy pattern ~sizes:(Feasible.sizes refined))
+  in
+  let out_opt, t_search_opt =
+    time (fun () -> Search.run ~limit:hit_limit ~order pattern g refined)
+  in
+  let _, t_search_noopt =
+    time (fun () -> Search.run ~limit:hit_limit pattern g refined)
+  in
+  let _, t_search_baseline =
+    time (fun () -> Search.run ~limit:hit_limit pattern g base)
+  in
+  let log_base = Feasible.log10_size base in
+  let ratio space = Feasible.log10_size space -. log_base in
+  let n = out_opt.Search.n_found in
+  if n = 0 then None  (* "queries having no answers are not counted" *)
+  else
+    Some
+      {
+        o_answers = n;
+        o_high_hits = n >= 100;
+        r_profiles = ratio prof;
+        r_subgraphs = ratio subg;
+        r_refined = ratio refined;
+        t_profiles;
+        t_subgraphs;
+        t_refine;
+        t_order;
+        t_search_opt;
+        t_search_noopt;
+        t_retrieve_base;
+        t_search_baseline;
+      }
+
+let split_hits obs =
+  ( List.filter (fun o -> not o.o_high_hits) obs,
+    List.filter (fun o -> o.o_high_hits) obs )
+
+let t_optimized o = o.t_profiles +. o.t_refine +. o.t_order +. o.t_search_opt
+let t_baseline o = o.t_retrieve_base +. o.t_search_baseline
+
+(* ---------------------------------------------------------------------- *)
+(* PPI clique workload (Figures 4.20 and 4.21)                             *)
+
+let ppi_env =
+  lazy
+    (let g = Ppi.generate () in
+     let lidx = Gql_index.Label_index.build g in
+     let pidx = Gql_index.Profile_index.build ~r:1 g in
+     (g, lidx, pidx))
+
+let ppi_observations =
+  lazy
+    (let g, lidx, pidx = Lazy.force ppi_env in
+     let labels = Queries.top_labels lidx 40 in
+     let weights = Queries.label_weights lidx labels in
+     let rng = Rng.create 20080612 in
+     let n_queries = scale 150 1000 in
+     List.map
+       (fun size ->
+         let obs = ref [] in
+         for _ = 1 to n_queries do
+           let q = Queries.clique ~weights rng ~labels ~size in
+           match observe ~lidx ~pidx q g with
+           | Some o -> obs := o :: !obs
+           | None -> ()
+         done;
+         (size, List.rev !obs))
+       [ 2; 3; 4; 5; 6; 7 ])
+
+let fig_4_20 () =
+  let observations = Lazy.force ppi_observations in
+  let print_group sub name pick =
+    header "Figure 4.20%s: search-space reduction ratio, clique queries (%s)" sub name;
+    row "%-6s %10s %12s %12s %12s %10s\n" "size" "queries" "profiles" "subgraphs"
+      "refined" "answers";
+    List.iter
+      (fun (size, obs) ->
+        let group = pick obs in
+        if group <> [] then begin
+          let m f = mean (List.map f group) in
+          row "%-6d %10d %12.2f %12.2f %12.2f %10.0f\n" size (List.length group)
+            (m (fun o -> o.r_profiles))
+            (m (fun o -> o.r_subgraphs))
+            (m (fun o -> o.r_refined))
+            (m (fun o -> float_of_int o.o_answers))
+        end)
+      observations;
+    row
+      "(mean log10 of |space|/|attrs-only space|; more negative = stronger pruning)\n"
+  in
+  print_group "(a)" "low hits" (fun obs -> fst (split_hits obs));
+  print_group "(b)" "high hits" (fun obs -> snd (split_hits obs))
+
+let sql_time_per_query ~db pattern =
+  let _, t =
+    time (fun () ->
+        Gql_sqlsim.Graphplan.count_matches ~limit:hit_limit ~timeout:2.0 db pattern)
+  in
+  t
+
+let fig_4_21 () =
+  let g, lidx, _pidx = Lazy.force ppi_env in
+  let observations = Lazy.force ppi_observations in
+  header "Figure 4.21(a): time of individual steps, clique queries, low hits (ms)";
+  row "%-6s %10s %12s %10s %12s %14s\n" "size" "profiles" "subgraphs" "refine"
+    "search-opt" "search-no-opt";
+  List.iter
+    (fun (size, obs) ->
+      let low, _ = split_hits obs in
+      if low <> [] then begin
+        let m f = ms (mean (List.map f low)) in
+        row "%-6d %10.3f %12.3f %10.3f %12.3f %14.3f\n" size
+          (m (fun o -> o.t_profiles))
+          (m (fun o -> o.t_subgraphs))
+          (m (fun o -> o.t_refine))
+          (m (fun o -> o.t_search_opt))
+          (m (fun o -> o.t_search_noopt))
+      end)
+    observations;
+  header "Figure 4.21(b): total query processing time, low hits (ms)";
+  row "%-6s %12s %12s %12s\n" "size" "Optimized" "Baseline" "SQL-based";
+  let db = Gql_sqlsim.Graphplan.db_of_graph g in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  let rng = Rng.create 31415 in
+  let sql_queries_per_size = scale 10 50 in
+  List.iter
+    (fun (size, obs) ->
+      let low, _ = split_hits obs in
+      if low <> [] then begin
+        let m f = ms (mean (List.map f low)) in
+        let sql_times = ref [] in
+        let tries = ref 0 in
+        while
+          List.length !sql_times < sql_queries_per_size
+          && !tries < 20 * sql_queries_per_size
+        do
+          incr tries;
+          let q = Queries.clique ~weights rng ~labels ~size in
+          if Engine.count_matches ~limit:1 q g > 0 then
+            sql_times := sql_time_per_query ~db q :: !sql_times
+        done;
+        row "%-6d %12.3f %12.3f %12.3f\n" size (m t_optimized) (m t_baseline)
+          (ms (mean !sql_times))
+      end)
+    observations;
+  row
+    "(SQL-based: Figure 4.2 plan on V/E tables with B-tree indexes, limit %d, 2 s timeout)\n"
+    hit_limit
+
+(* ---------------------------------------------------------------------- *)
+(* synthetic-graph experiments (Figures 4.22 and 4.23)                     *)
+
+let synthetic_env n =
+  let rng = Rng.create (97 + n) in
+  let g = Synthetic.erdos_renyi rng ~n ~m:(5 * n) in
+  let lidx = Gql_index.Label_index.build g in
+  let pidx = Gql_index.Profile_index.build ~r:1 g in
+  (g, lidx, pidx)
+
+let synthetic_10k = lazy (synthetic_env 10_000)
+
+let synthetic_observations =
+  lazy
+    (let g, lidx, pidx = Lazy.force synthetic_10k in
+     let rng = Rng.create 271828 in
+     let n_queries = scale 30 100 in
+     List.map
+       (fun size ->
+         let obs = ref [] in
+         for _ = 1 to n_queries do
+           let q = Queries.connected_subgraph rng g ~size in
+           match observe ~lidx ~pidx q g with
+           | Some o -> obs := o :: !obs
+           | None -> ()
+         done;
+         (size, List.rev !obs))
+       [ 4; 8; 12; 16; 20 ])
+
+let fig_4_22 () =
+  let observations = Lazy.force synthetic_observations in
+  header "Figure 4.22(a): search-space reduction, synthetic graph 10K nodes (low hits)";
+  row "%-6s %10s %12s %12s %12s\n" "size" "queries" "profiles" "subgraphs" "refined";
+  List.iter
+    (fun (size, obs) ->
+      let low, _ = split_hits obs in
+      if low <> [] then begin
+        let m f = mean (List.map f low) in
+        row "%-6d %10d %12.2f %12.2f %12.2f\n" size (List.length low)
+          (m (fun o -> o.r_profiles))
+          (m (fun o -> o.r_subgraphs))
+          (m (fun o -> o.r_refined))
+      end)
+    observations;
+  header "Figure 4.22(b): time for individual steps, synthetic graph (ms)";
+  row "%-6s %10s %12s %10s %12s %14s\n" "size" "profiles" "subgraphs" "refine"
+    "search-opt" "search-no-opt";
+  List.iter
+    (fun (size, obs) ->
+      let low, _ = split_hits obs in
+      if low <> [] then begin
+        let m f = ms (mean (List.map f low)) in
+        row "%-6d %10.3f %12.3f %10.3f %12.3f %14.3f\n" size
+          (m (fun o -> o.t_profiles))
+          (m (fun o -> o.t_subgraphs))
+          (m (fun o -> o.t_refine))
+          (m (fun o -> o.t_search_opt))
+          (m (fun o -> o.t_search_noopt))
+      end)
+    observations
+
+let fig_4_23 () =
+  let g, _, _ = Lazy.force synthetic_10k in
+  let observations = Lazy.force synthetic_observations in
+  header "Figure 4.23(a): total time vs query size, 10K nodes (ms)";
+  row "%-6s %12s %12s %12s\n" "size" "Optimized" "Baseline" "SQL-based";
+  let db = Gql_sqlsim.Graphplan.db_of_graph g in
+  let rng = Rng.create 1618 in
+  let sql_queries = scale 5 20 in
+  List.iter
+    (fun (size, obs) ->
+      let low, _ = split_hits obs in
+      if low <> [] then begin
+        let m f = ms (mean (List.map f low)) in
+        let sql_times =
+          List.init sql_queries (fun _ ->
+              sql_time_per_query ~db (Queries.connected_subgraph rng g ~size))
+        in
+        row "%-6d %12.3f %12.3f %12.3f\n" size (m t_optimized) (m t_baseline)
+          (ms (mean sql_times))
+      end)
+    observations;
+  header "Figure 4.23(b): total time vs graph size, query size 4 (ms)";
+  row "%-10s %12s %12s %12s\n" "nodes" "Optimized" "Baseline" "SQL-based";
+  List.iter
+    (fun n ->
+      let g, lidx, pidx = synthetic_env n in
+      let rng = Rng.create (n + 5) in
+      let n_queries = scale 15 50 in
+      let obs = ref [] in
+      let attempts = ref 0 in
+      while List.length !obs < n_queries && !attempts < 5 * n_queries do
+        incr attempts;
+        let q = Queries.connected_subgraph rng g ~size:4 in
+        match observe ~with_subgraphs:false ~lidx ~pidx q g with
+        | Some o -> obs := o :: !obs
+        | None -> ()
+      done;
+      let m f = ms (mean (List.map f !obs)) in
+      let db = Gql_sqlsim.Graphplan.db_of_graph g in
+      let sql_queries = scale 5 20 in
+      let sql_times =
+        List.init sql_queries (fun _ ->
+            sql_time_per_query ~db (Queries.connected_subgraph rng g ~size:4))
+      in
+      row "%-10d %12.3f %12.3f %12.3f\n" n (m t_optimized) (m t_baseline)
+        (ms (mean sql_times)))
+    [ 10_000; 20_000; 40_000; 80_000; 160_000; 320_000 ]
+
+(* ---------------------------------------------------------------------- *)
+(* ablation: contribution of each §4 technique                             *)
+
+let ablation () =
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  let strategies =
+    [
+      ("baseline (attrs, input order)", Engine.baseline);
+      ("attrs + refine", { Engine.baseline with refine = true });
+      ("profiles only", { Engine.baseline with retrieval = `Profiles });
+      ( "profiles + refine",
+        { Engine.baseline with retrieval = `Profiles; refine = true } );
+      ("profiles + refine + order (Optimized)", Engine.optimized);
+      ("optimized w/o refine", { Engine.optimized with refine = false });
+      ("optimized w/o order", { Engine.optimized with optimize_order = false });
+      ("subgraphs + refine + order", { Engine.optimized with retrieval = `Subgraphs });
+      ( "optimized + frequency cost model",
+        {
+          Engine.optimized with
+          cost_model = Some (Cost.Frequencies (Cost.stats_of_graph g));
+        } );
+    ]
+  in
+  header "Ablation: mean total query time on PPI clique queries (ms)";
+  row "%-42s %10s %10s %10s\n" "strategy" "size 4" "size 5" "size 6";
+  let n_queries = scale 40 200 in
+  List.iter
+    (fun (name, s) ->
+      let cell size =
+        let rng = Rng.create (555 + size) in
+        let times = ref [] in
+        for _ = 1 to n_queries do
+          let q = Queries.clique ~weights rng ~labels ~size in
+          let r =
+            Engine.run ~strategy:s ~limit:hit_limit ~label_index:lidx
+              ~profile_index:pidx q g
+          in
+          if r.Engine.outcome.Search.n_found > 0 then
+            times := Engine.total r.Engine.timings :: !times
+        done;
+        ms (mean !times)
+      in
+      row "%-42s %10.3f %10.3f %10.3f\n" name (cell 4) (cell 5) (cell 6))
+    strategies;
+  header "Ablation: Algorithm 4.2 worklist vs naive refinement (clique size 5)";
+  row "%-12s %16s %14s %12s\n" "variant" "matchings" "removed" "time (ms)";
+  let rng = Rng.create 777 in
+  let n = scale 30 150 in
+  let acc_w = ref [] and acc_n = ref [] in
+  for _ = 1 to n do
+    let q = Queries.clique ~weights rng ~labels ~size:5 in
+    let space =
+      Feasible.compute ~retrieval:`Profiles ~label_index:lidx ~profile_index:pidx q g
+    in
+    let (_, st1), t1 = time (fun () -> Refine.refine q g space) in
+    let (_, st2), t2 = time (fun () -> Refine.refine_naive q g space) in
+    acc_w := (st1, t1) :: !acc_w;
+    acc_n := (st2, t2) :: !acc_n
+  done;
+  let report name acc =
+    let checks = mean (List.map (fun (s, _) -> float_of_int s.Refine.pairs_checked) acc) in
+    let removed = mean (List.map (fun (s, _) -> float_of_int s.Refine.removed) acc) in
+    let t = ms (mean (List.map snd acc)) in
+    row "%-12s %16.1f %14.1f %12.3f\n" name checks removed t
+  in
+  report "worklist" !acc_w;
+  report "naive" !acc_n
+
+(* ---------------------------------------------------------------------- *)
+(* extensions: collection filtering, parallel search, disk storage         *)
+
+let collection () =
+  (* §4 category 1: a large collection of small graphs — index-filtered
+     matching vs scanning every graph *)
+  let n_compounds = scale 1500 5000 in
+  let compounds = Array.of_list (Chem.generate ~n_compounds ()) in
+  header "Collection of %d compounds: path-index filtering vs full scan" n_compounds;
+  let idx, t_build = time (fun () -> Gql_index.Path_index.build ~max_len:3 compounds) in
+  row "index: %d features over %d graphs, built in %.2f s\n"
+    (Gql_index.Path_index.n_features idx)
+    (Gql_index.Path_index.n_graphs idx)
+    t_build;
+  let patterns =
+    [
+      ("benzene ring", Chem.benzene_like ());
+      ("C-N edge", Graph.of_labeled ~labels:[| "C"; "N" |] [ (0, 1) ]);
+      ("S-C-S path", Graph.of_labeled ~labels:[| "S"; "C"; "S" |] [ (0, 1); (1, 2) ]);
+      ( "N ring of 5",
+        Graph.of_labeled
+          ~labels:[| "N"; "N"; "N"; "N"; "N" |]
+          [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 0) ] );
+    ]
+  in
+  row "%-14s %10s %12s %12s %12s %10s\n" "pattern" "answers" "candidates"
+    "scan (ms)" "filter (ms)" "speedup";
+  List.iter
+    (fun (name, pg) ->
+      let p = FP.of_graph pg in
+      let contains g = Engine.count_matches ~limit:1 p g > 0 in
+      let scan_count, t_scan =
+        time (fun () ->
+            Array.fold_left (fun n g -> if contains g then n + 1 else n) 0 compounds)
+      in
+      let (cands, filtered_count), t_filtered =
+        time (fun () ->
+            let cands = Gql_index.Path_index.candidates idx pg in
+            ( cands,
+              List.fold_left
+                (fun n id -> if contains compounds.(id) then n + 1 else n)
+                0 cands ))
+      in
+      assert (scan_count = filtered_count);
+      row "%-14s %10d %12d %12.2f %12.2f %9.1fx\n" name scan_count
+        (List.length cands) (ms t_scan) (ms t_filtered)
+        (t_scan /. t_filtered))
+    patterns
+
+let parallel () =
+  header "Parallel search (OCaml 5 domains): PPI clique queries";
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  row "%-8s %12s %12s %12s %12s\n" "size" "1 domain" "2 domains" "4 domains" "8 domains";
+  List.iter
+    (fun size ->
+      let rng = Rng.create (9000 + size) in
+      let n_queries = scale 30 150 in
+      let qs =
+        List.init n_queries (fun _ -> Queries.clique ~weights rng ~labels ~size)
+      in
+      (* search phase only, over the profile-pruned space *)
+      let spaces =
+        List.map
+          (fun q ->
+            ( q,
+              Gql_matcher.Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+                ~profile_index:pidx q g ))
+          qs
+      in
+      let cell domains =
+        let _, t =
+          time (fun () ->
+              List.iter
+                (fun (q, space) ->
+                  ignore (Gql_matcher.Parallel.search ~domains q g space))
+                spaces)
+        in
+        ms t /. float_of_int n_queries
+      in
+      row "%-8d %12.3f %12.3f %12.3f %12.3f\n" size (cell 1) (cell 2) (cell 4)
+        (cell 8))
+    [ 4; 5; 6 ]
+
+let storage () =
+  header "Disk storage: store/scan a compound collection through the buffer pool";
+  let n_compounds = scale 2000 10000 in
+  let compounds = Chem.generate ~n_compounds () in
+  let path = Filename.temp_file "gql_bench_store" ".db" in
+  let st = Gql_storage.Store.create ~pool_capacity:64 path in
+  let (), t_write =
+    time (fun () ->
+        List.iter (fun g -> ignore (Gql_storage.Store.add_graph st g)) compounds)
+  in
+  Gql_storage.Store.flush st;
+  Gql_storage.Store.close st;
+  let size_kb = (Unix.stat path).Unix.st_size / 1024 in
+  let st = Gql_storage.Store.open_existing ~pool_capacity:64 path in
+  let p = FP.path [ "C"; "N" ] in
+  let hits = ref 0 in
+  let (), t_cold =
+    time (fun () ->
+        Gql_storage.Store.iter st ~f:(fun _ g ->
+            if Engine.count_matches ~limit:1 p g > 0 then incr hits))
+  in
+  let cold_stats = Gql_storage.Store.pool_stats st in
+  let (), t_warm =
+    time (fun () ->
+        Gql_storage.Store.iter st ~f:(fun _ g ->
+            ignore (Engine.count_matches ~limit:1 p g)))
+  in
+  let warm_stats = Gql_storage.Store.pool_stats st in
+  row "%d graphs, %d KiB file, write %.2f s\n" n_compounds size_kb t_write;
+  row "cold scan + match: %.2f s (%d C-N hits), pool misses %d\n" t_cold !hits
+    cold_stats.Gql_storage.Buffer_pool.misses;
+  row "warm scan + match: %.2f s, extra misses %d, hits %d\n" t_warm
+    (warm_stats.Gql_storage.Buffer_pool.misses
+    - cold_stats.Gql_storage.Buffer_pool.misses)
+    warm_stats.Gql_storage.Buffer_pool.hits;
+  Gql_storage.Store.close st;
+  Sys.remove path
+
+(* ---------------------------------------------------------------------- *)
+(* bechamel micro-benchmarks of the core primitives                        *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let rng = Rng.create 4242 in
+  let triangle = Queries.clique rng ~labels ~size:3 in
+  let module Itree = Gql_index.Btree.Make (Int) in
+  let keys = Array.init 10_000 (fun i -> i * 2654435761 land 0xFFFFFF) in
+  let tree = Array.fold_left (fun t k -> Itree.add k k t) (Itree.empty ()) keys in
+  let prof_a = Profile.of_labels [ "A"; "B"; "C"; "C"; "D" ] in
+  let prof_b = Profile.of_labels [ "A"; "C"; "D" ] in
+  let bip =
+    {
+      Gql_matcher.Bipartite.nl = 6;
+      nr = 6;
+      adj = Array.init 6 (fun i -> [ i; (i + 1) mod 6; (i + 2) mod 6 ]);
+    }
+  in
+  let tests =
+    Test.make_grouped ~name:"core"
+      [
+        Test.make ~name:"btree-find"
+          (Staged.stage (fun () -> ignore (Itree.find keys.(137) tree)));
+        Test.make ~name:"btree-add"
+          (Staged.stage (fun () -> ignore (Itree.add 424242 0 tree)));
+        Test.make ~name:"profile-contains"
+          (Staged.stage (fun () -> ignore (Profile.contains ~big:prof_a ~small:prof_b)));
+        Test.make ~name:"hopcroft-karp"
+          (Staged.stage (fun () -> ignore (Gql_matcher.Bipartite.hopcroft_karp bip)));
+        Test.make ~name:"triangle-query-optimized"
+          (Staged.stage (fun () ->
+               ignore
+                 (Engine.run ~limit:hit_limit ~label_index:lidx ~profile_index:pidx
+                    triangle g)));
+      ]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  header "Micro-benchmarks (bechamel, monotonic clock, ns/run)";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> row "%-36s %14.1f ns\n" name est
+      | _ -> row "%-36s %14s\n" name "-")
+    results
+
+(* ---------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("fig4.20", fig_4_20);
+    ("fig4.21", fig_4_21);
+    ("fig4.22", fig_4_22);
+    ("fig4.23", fig_4_23);
+    ("ablation", ablation);
+    ("collection", collection);
+    ("parallel", parallel);
+    ("storage", storage);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--full" then begin
+          full_mode := true;
+          false
+        end
+        else true)
+      args
+  in
+  let selected =
+    match args with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> (n, f)
+          | None ->
+            Printf.eprintf "unknown experiment %s; available: %s\n" n
+              (String.concat ", " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  Printf.printf
+    "GraphQL reproduction benchmarks (%s mode; pass --full for paper-scale counts)\n"
+    (if !full_mode then "full" else "quick");
+  List.iter
+    (fun (name, f) ->
+      let (), elapsed = time f in
+      Printf.printf "[%s completed in %.1f s]\n%!" name elapsed)
+    selected

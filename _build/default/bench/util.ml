@@ -1,0 +1,27 @@
+(* shared helpers for the experiment harness *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let ms s = s *. 1000.0
+
+let header fmt =
+  Printf.ksprintf
+    (fun s ->
+      print_string ("\n=== " ^ s ^ " ===\n");
+      flush stdout)
+    fmt
+
+let row fmt =
+  Printf.ksprintf
+    (fun s ->
+      print_string s;
+      flush stdout)
+    fmt
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+

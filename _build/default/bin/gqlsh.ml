@@ -1,0 +1,234 @@
+(* gqlsh — command-line front end for the GraphQL library.
+
+   gqlsh run QUERY.gql --doc DBLP=papers.gql        run a FLWR program
+   gqlsh match --pattern P.gql --graph G.gql        run the selection operator
+   gqlsh explain QUERY.gql                          print the algebra expression
+   gqlsh stats --graph G.gql                        graph statistics
+   gqlsh gen ppi|er|dblp|chem [-o out.gql]          generate datasets
+
+   A .gql graph file is a sequence of named `graph ... { ... };`
+   declarations; all of them form the collection. *)
+
+open Gql_core
+open Gql_graph
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_collection path =
+  let program = Gql.parse_program (read_file path) in
+  let decls =
+    List.filter_map (function Ast.Sgraph g -> Some g | _ -> None) program
+  in
+  let defs name =
+    List.find_opt (fun d -> d.Ast.g_name = Some name) decls
+  in
+  List.map (fun d -> Motif.to_graph ~defs d) decls
+
+let strategy_of_string = function
+  | "optimized" -> Gql_matcher.Engine.optimized
+  | "baseline" -> Gql_matcher.Engine.baseline
+  | "subgraphs" ->
+    { Gql_matcher.Engine.optimized with retrieval = `Subgraphs }
+  | s -> raise (Invalid_argument (Printf.sprintf "unknown strategy %S" s))
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd query_file docs verbose =
+  try
+    let docs =
+      List.map
+        (fun spec ->
+          match String.index_opt spec '=' with
+          | Some i ->
+            let name = String.sub spec 0 i in
+            let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+            (name, load_collection path)
+          | None -> failwith (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec))
+        docs
+    in
+    let result = Gql.run_query ~docs (read_file query_file) in
+    List.iter
+      (fun (name, g) ->
+        Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
+      (List.rev result.Eval.vars);
+    let returned = Eval.returned result in
+    if returned <> [] then begin
+      Format.printf "-- returned %d graph(s) --@." (List.length returned);
+      if verbose then List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
+    end;
+    `Ok ()
+  with
+  | Gql.Error msg | Failure msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* --- match -------------------------------------------------------------- *)
+
+let match_cmd pattern_file graph_file strategy exhaustive limit verbose =
+  try
+    let strategy = strategy_of_string strategy in
+    let graphs = load_collection graph_file in
+    let patterns = Gql.patterns_of_string (read_file pattern_file) in
+    let entries = List.map (fun g -> Algebra.G g) graphs in
+    let t0 = Unix.gettimeofday () in
+    let matches = Algebra.select ~strategy ~exhaustive ?limit ~patterns entries in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Format.printf "%d match(es) in %.2f ms@." (List.length matches)
+      (1000.0 *. elapsed);
+    if verbose then
+      List.iter
+        (function
+          | Algebra.M m -> Format.printf "%a@.@." Graph.pp (Matched.to_graph m)
+          | Algebra.G _ -> ())
+        matches;
+    `Ok ()
+  with
+  | Gql.Error msg | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* --- explain ------------------------------------------------------------ *)
+
+let explain_cmd query_file =
+  try
+    let plan = Plan.compile (Gql.parse_program (read_file query_file)) in
+    Format.printf "%a@." Plan.pp plan;
+    `Ok ()
+  with
+  | Gql.Error msg | Plan.Error msg | Failure msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd graph_file =
+  try
+    List.iter
+      (fun g ->
+        let idx = Gql_index.Label_index.build g in
+        Format.printf "graph %s: %d nodes, %d edges, %d labels@."
+          (Option.value (Graph.name g) ~default:"<anonymous>")
+          (Graph.n_nodes g) (Graph.n_edges g)
+          (Gql_index.Label_index.distinct_labels idx);
+        let degrees = List.init (Graph.n_nodes g) (Graph.degree g) in
+        let dmax = List.fold_left max 0 degrees in
+        let dsum = List.fold_left ( + ) 0 degrees in
+        if Graph.n_nodes g > 0 then
+          Format.printf "  mean degree %.2f, max degree %d@."
+            (float_of_int dsum /. float_of_int (Graph.n_nodes g))
+            dmax;
+        match Gql_index.Label_index.top_frequent idx 5 with
+        | [] -> ()
+        | top ->
+          Format.printf "  top labels:";
+          List.iter
+            (fun l -> Format.printf " %s(%d)" l (Gql_index.Label_index.frequency idx l))
+            top;
+          Format.printf "@.")
+      (load_collection graph_file);
+    `Ok ()
+  with
+  | Gql.Error msg | Failure msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd kind seed out =
+  try
+    let graphs =
+      match kind with
+      | "ppi" -> [ Gql_datasets.Ppi.generate ~seed () ]
+      | "er" ->
+        [ Gql_datasets.Synthetic.erdos_renyi (Gql_datasets.Rng.create seed)
+            ~n:1000 ~m:5000 |> fun g -> Graph.with_name g (Some "er") ]
+      | "dblp" -> Gql_datasets.Dblp.generate ~seed ~n_papers:100 ()
+      | "chem" -> Gql_datasets.Chem.generate ~seed ~n_compounds:50 ()
+      | k -> failwith (Printf.sprintf "unknown dataset %S (ppi|er|dblp|chem)" k)
+    in
+    let print ppf =
+      List.iteri
+        (fun i g ->
+          let g =
+            if Graph.name g = None then
+              Graph.with_name g (Some (Printf.sprintf "g%d" i))
+            else g
+          in
+          Format.fprintf ppf "%a;@.@." Graph.pp g)
+        graphs
+    in
+    (match out with
+    | None -> print Format.std_formatter
+    | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> print (Format.formatter_of_out_channel oc));
+      Printf.printf "wrote %d graph(s) to %s\n" (List.length graphs) path);
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* --- cmdliner wiring ------------------------------------------------------ *)
+
+open Cmdliner
+
+let run_term =
+  let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
+  let docs =
+    Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE"
+           ~doc:"Bind a doc(\"NAME\") collection to a graph file. Repeatable.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
+    Term.(ret (const run_cmd $ query $ docs $ verbose))
+
+let match_term =
+  let pattern =
+    Arg.(required & opt (some file) None & info [ "pattern" ] ~docv:"P.gql"
+           ~doc:"Graph pattern file.")
+  in
+  let graph =
+    Arg.(required & opt (some file) None & info [ "graph" ] ~docv:"G.gql"
+           ~doc:"Graph collection file.")
+  in
+  let strategy =
+    Arg.(value & opt string "optimized" & info [ "strategy" ]
+           ~doc:"Access method: optimized, baseline or subgraphs.")
+  in
+  let exhaustive =
+    Arg.(value & flag & info [ "exhaustive" ] ~doc:"Return all mappings (default: first per graph).")
+  in
+  let limit =
+    Arg.(value & opt (some int) None & info [ "limit" ] ~doc:"Stop after this many matches.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print matched subgraphs.") in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Run the selection operator (graph pattern matching)")
+    Term.(ret (const match_cmd $ pattern $ graph $ strategy $ exhaustive $ limit $ verbose))
+
+let explain_term =
+  let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Print the algebra expression a program compiles to (§3.4)")
+    Term.(ret (const explain_cmd $ query))
+
+let stats_term =
+  let graph = Arg.(required & pos 0 (some file) None & info [] ~docv:"G.gql") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print collection statistics")
+    Term.(ret (const stats_cmd $ graph))
+
+let gen_term =
+  let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET") in
+  let seed = Arg.(value & opt int 2008 & info [ "seed" ] ~doc:"Generator seed.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a dataset (ppi, er, dblp, chem) in GraphQL syntax")
+    Term.(ret (const gen_cmd $ kind $ seed $ out))
+
+let () =
+  let info =
+    Cmd.info "gqlsh" ~version:"1.0.0"
+      ~doc:"GraphQL: graphs-at-a-time queries over graph databases"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_term; match_term; explain_term; stats_term; gen_term ]))

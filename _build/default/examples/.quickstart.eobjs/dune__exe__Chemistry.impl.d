@@ -1,0 +1,1 @@
+examples/chemistry.ml: Format Gql Gql_core Gql_datasets Gql_graph Graph Hashtbl List Motif Option Tuple Value

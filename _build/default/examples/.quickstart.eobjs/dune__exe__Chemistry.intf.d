@@ -1,0 +1,1 @@
+examples/chemistry.mli:

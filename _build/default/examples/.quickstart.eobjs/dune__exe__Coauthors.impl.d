@@ -1,0 +1,1 @@
+examples/coauthors.ml: Eval Format Gql Gql_core Gql_datasets Gql_graph Graph List Printf Tuple Value

@@ -1,0 +1,1 @@
+examples/protein_motif.ml: Format Gql_core Gql_datasets Gql_graph Gql_index Gql_matcher Graph List Ppi Queries

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eval Format Gql Gql_core Gql_graph Graph List Matched Tuple Value

@@ -1,0 +1,1 @@
+examples/rdf_shipping.ml: Eval Format Gql Gql_core Gql_graph Graph Tuple Value

@@ -1,0 +1,1 @@
+examples/social.ml: Algebra Domain Format Gql Gql_core Gql_datasets Gql_graph Gql_matcher Graph Hashtbl List Matched Option Pred Printf Tuple Unix Value

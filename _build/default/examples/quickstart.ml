@@ -1,0 +1,71 @@
+(* Quickstart: the GraphQL API in five minutes.
+
+   Build a graph, match a pattern against it, inspect the bindings, and
+   run a complete FLWR query. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+open Gql_core
+open Gql_graph
+
+let () =
+  (* 1. A data graph, written in GraphQL's textual syntax (Fig 4.3/4.7) *)
+  let g =
+    Gql.graph_of_string
+      {|graph Friends {
+          node alice  <person name="Alice"  age=34>;
+          node bob    <person name="Bob"    age=27>;
+          node carol  <person name="Carol"  age=41>;
+          node dave   <person name="Dave"   age=29>;
+          edge e1 (alice, bob)   <since=2015>;
+          edge e2 (bob, carol)   <since=2019>;
+          edge e3 (carol, alice) <since=2012>;
+          edge e4 (carol, dave)  <since=2021>;
+        }|}
+  in
+  Format.printf "Loaded graph:@.%a@.@." Graph.pp g;
+
+  (* 2. A graph pattern: a triangle of people, one of them over 30 *)
+  let matches =
+    Gql.find_matches
+      ~pattern:
+        {|graph P {
+            node v1; node v2; node v3;
+            edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1);
+          } where v1.age > 30|}
+      g
+  in
+  Format.printf "Triangle matches with v1 older than 30: %d@." (List.length matches);
+  List.iter
+    (fun m ->
+      let name v =
+        match Matched.node_tuple m v with
+        | Some t -> Value.to_string (Tuple.get t "name")
+        | None -> "?"
+      in
+      Format.printf "  v1=%s v2=%s v3=%s@." (name "v1") (name "v2") (name "v3"))
+    matches;
+
+  (* 3. Bulk rewriting with a FLWR query: a "who knows whom" summary
+     graph built by composition, names as labels *)
+  let result =
+    Gql.run_query
+      ~docs:[ ("friends", [ g ]) ]
+      {|for graph P { node a <person>; node b <person>; edge e (a, b); }
+          exhaustive in doc("friends")
+        where P.a.age < P.b.age
+        return graph {
+          node x <label=P.a.name>;
+          node y <label=P.b.name>;
+          edge e (x, y) <gap = P.b.age - P.a.age>;
+        }|}
+  in
+  Format.printf "@.Age-gap edges (younger -> older):@.";
+  List.iter
+    (fun g ->
+      Graph.iter_edges g ~f:(fun _ e ->
+          Format.printf "  %s -> %s (gap %s)@."
+            (Graph.label g e.Graph.src) (Graph.label g e.Graph.dst)
+            (Value.to_string (Tuple.get e.Graph.etuple "gap"))))
+    (Eval.returned result)

@@ -1,0 +1,1 @@
+lib/core/aggregate.ml: Algebra Gql_graph Graph Hashtbl List Matched Option Pred Value

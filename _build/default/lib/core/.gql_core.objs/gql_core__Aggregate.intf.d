@@ -1,0 +1,1 @@
+lib/core/aggregate.mli: Algebra Gql_graph Pred Value

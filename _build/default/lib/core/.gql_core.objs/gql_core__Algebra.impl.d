@@ -1,0 +1,1 @@
+lib/core/algebra.ml: Gql_graph Gql_matcher Graph Iso List Matched Option Pred Template Tuple

@@ -1,0 +1,1 @@
+lib/core/algebra.mli: Ast Gql_graph Gql_matcher Graph Matched Pred Tuple

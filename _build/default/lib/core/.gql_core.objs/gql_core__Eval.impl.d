@@ -1,0 +1,1 @@
+lib/core/eval.ml: Algebra Ast Format Gql_graph Graph List Matched Motif Option Pred Template

@@ -1,0 +1,1 @@
+lib/core/eval.mli: Algebra Ast Gql_graph Gql_matcher Graph

@@ -1,0 +1,1 @@
+lib/core/gql.ml: Algebra Eval Format Lexer List Motif Parser Template

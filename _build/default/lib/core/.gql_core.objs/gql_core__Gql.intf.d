@@ -1,0 +1,1 @@
+lib/core/gql.mli: Ast Eval Gql_graph Gql_matcher Graph Matched

@@ -1,0 +1,1 @@
+lib/core/lexer.ml: Array Buffer List Printf String

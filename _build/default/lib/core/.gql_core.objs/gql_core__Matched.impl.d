@@ -1,0 +1,1 @@
+lib/core/matched.ml: Array Gql_graph Gql_matcher Graph List Option Pred Printf String Tuple Value

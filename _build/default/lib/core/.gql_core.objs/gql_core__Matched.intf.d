@@ -1,0 +1,1 @@
+lib/core/matched.mli: Gql_graph Gql_matcher Graph Pred Tuple

@@ -1,0 +1,1 @@
+lib/core/motif.ml: Array Ast Format Fun Gql_graph Gql_matcher Graph Hashtbl List Option Pred Printf Seq String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/motif.mli: Ast Gql_graph Gql_matcher Graph Pred Seq

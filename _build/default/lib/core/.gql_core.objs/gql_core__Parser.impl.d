@@ -1,0 +1,1 @@
+lib/core/parser.ml: Array Ast Gql_graph Lexer List Pred Printf String Value

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Algebra Array Ast Eval Format Gql_graph Gql_matcher Graph Hashtbl List Matched Motif Option Pred Printf String Template

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Ast Eval Format Gql_graph Gql_matcher Pred

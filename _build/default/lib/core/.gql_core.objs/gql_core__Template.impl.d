@@ -1,0 +1,1 @@
+lib/core/template.ml: Array Ast Format Fun Gql_graph Graph Hashtbl List Matched Option Pred String Tuple Value

@@ -1,0 +1,1 @@
+lib/core/template.mli: Ast Gql_graph Graph Matched Pred

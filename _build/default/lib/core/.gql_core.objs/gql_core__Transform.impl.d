@@ -1,0 +1,1 @@
+lib/core/transform.ml: Algebra Array Gql_graph Graph List Pred Tuple

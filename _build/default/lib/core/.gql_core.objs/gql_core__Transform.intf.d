@@ -1,0 +1,1 @@
+lib/core/transform.mli: Algebra Gql_graph Graph Pred Tuple Value

@@ -1,0 +1,86 @@
+open Gql_graph
+
+let entry_env = function
+  | Algebra.G g -> Pred.env_of_tuple (Graph.tuple g)
+  | Algebra.M m -> Matched.env m
+
+let eval_key entry key =
+  match Pred.eval (entry_env entry) key with
+  | v -> v
+  | exception (Pred.Unresolved _ | Value.Type_error _) -> Value.Null
+
+let group_by ~key c =
+  let order = ref [] in
+  let groups : (Value.t, Algebra.entry list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun entry ->
+      let k = eval_key entry key in
+      (match Hashtbl.find_opt groups k with
+      | None ->
+        order := k :: !order;
+        Hashtbl.add groups k [ entry ]
+      | Some es -> Hashtbl.replace groups k (entry :: es)))
+    c;
+  List.rev_map (fun k -> (k, List.rev (Hashtbl.find groups k))) !order
+
+let count_by ~key c = List.map (fun (k, es) -> (k, List.length es)) (group_by ~key c)
+
+let order_by ?(descending = false) ~key c =
+  let cmp a b =
+    let c = Value.compare (eval_key a key) (eval_key b key) in
+    if descending then -c else c
+  in
+  List.stable_sort cmp c
+
+let top_k ?descending ~key k c =
+  List.filteri (fun i _ -> i < k) (order_by ?descending ~key c)
+
+let fold_numeric ~key c ~init ~f =
+  List.fold_left
+    (fun acc entry ->
+      match eval_key entry key with
+      | Value.Null -> acc
+      | v -> f acc v)
+    init c
+
+let sum ~key c =
+  fold_numeric ~key c ~init:(Value.Int 0) ~f:(fun acc v ->
+      try Value.add acc v with Value.Type_error _ -> acc)
+
+let count c = List.length c
+
+let avg ~key c =
+  let total, n =
+    fold_numeric ~key c ~init:(0.0, 0) ~f:(fun (t, n) v ->
+        match v with
+        | Value.Int i -> (t +. float_of_int i, n + 1)
+        | Value.Float f -> (t +. f, n + 1)
+        | _ -> (t, n))
+  in
+  if n = 0 then Value.Null else Value.Float (total /. float_of_int n)
+
+let extreme ~key better c =
+  fold_numeric ~key c ~init:Value.Null ~f:(fun acc v ->
+      match acc with
+      | Value.Null -> v
+      | _ -> if better (Value.compare v acc) then v else acc)
+
+let min_value ~key c = extreme ~key (fun cmp -> cmp < 0) c
+let max_value ~key c = extreme ~key (fun cmp -> cmp > 0) c
+
+let count_nodes c =
+  List.fold_left (fun n e -> n + Graph.n_nodes (Algebra.underlying e)) 0 c
+
+let count_edges c =
+  List.fold_left (fun n e -> n + Graph.n_edges (Algebra.underlying e)) 0 c
+
+let degree_histogram c =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let g = Algebra.underlying e in
+      Graph.iter_nodes g ~f:(fun v ->
+          let d = Graph.degree g v in
+          Hashtbl.replace h d (1 + Option.value (Hashtbl.find_opt h d) ~default:0)))
+    c;
+  Hashtbl.fold (fun d n acc -> (d, n) :: acc) h [] |> List.sort compare

@@ -1,0 +1,41 @@
+(** Aggregation and ordering over graph collections.
+
+    §7 lists "operators such as ordering (ranking), aggregation (OLAP
+    processing)" as open directions for the algebra; this module
+    provides the collection-level versions. Keys and scores are
+    predicate-language expressions evaluated against each entry — on a
+    matched graph the pattern variables are in scope ([P.v1.name]
+    style paths work through {!Matched.env}), on a plain graph its own
+    tuple is. *)
+
+open Gql_graph
+
+val eval_key : Algebra.entry -> Pred.t -> Value.t
+(** [Value.Null] when the expression does not evaluate. *)
+
+val group_by : key:Pred.t -> Algebra.collection -> (Value.t * Algebra.collection) list
+(** Groups in first-seen key order. *)
+
+val count_by : key:Pred.t -> Algebra.collection -> (Value.t * int) list
+
+val order_by :
+  ?descending:bool -> key:Pred.t -> Algebra.collection -> Algebra.collection
+(** Stable sort by the key expression. *)
+
+val top_k : ?descending:bool -> key:Pred.t -> int -> Algebra.collection -> Algebra.collection
+
+(** {1 Numeric aggregates over a key expression} *)
+
+val sum : key:Pred.t -> Algebra.collection -> Value.t
+val avg : key:Pred.t -> Algebra.collection -> Value.t
+val min_value : key:Pred.t -> Algebra.collection -> Value.t
+val max_value : key:Pred.t -> Algebra.collection -> Value.t
+val count : Algebra.collection -> int
+
+(** {1 Structural aggregates} *)
+
+val count_nodes : Algebra.collection -> int
+val count_edges : Algebra.collection -> int
+
+val degree_histogram : Algebra.collection -> (int * int) list
+(** (degree, frequency), ascending degree, over all entries' graphs. *)

@@ -1,0 +1,147 @@
+open Gql_graph
+module Flat_pattern = Gql_matcher.Flat_pattern
+module Engine = Gql_matcher.Engine
+
+type entry =
+  | G of Graph.t
+  | M of Matched.t
+
+type collection = entry list
+
+let underlying = function
+  | G g -> g
+  | M m -> m.Matched.graph
+
+let graphs c = List.map underlying c
+
+(* --- selection ------------------------------------------------------------ *)
+
+let select_one ?strategy ?(exhaustive = true) ?limit pattern c =
+  List.concat_map
+    (fun entry ->
+      let g = underlying entry in
+      let result = Engine.run ?strategy ~exhaustive ?limit pattern g in
+      List.map
+        (fun phi -> M (Matched.make pattern g phi))
+        result.Engine.outcome.Gql_matcher.Search.mappings)
+    c
+
+let select ?strategy ?exhaustive ?limit ~patterns c =
+  List.concat_map (fun p -> select_one ?strategy ?exhaustive ?limit p c) patterns
+
+(* --- product and join ------------------------------------------------------ *)
+
+let cartesian c d =
+  List.concat_map
+    (fun e1 ->
+      let g1 = underlying e1 in
+      List.map
+        (fun e2 ->
+          let g2 = underlying e2 in
+          let tuple = Tuple.union (Graph.tuple g1) (Graph.tuple g2) in
+          let g, _, _ = Graph.disjoint_union ~tuple g1 g2 in
+          G g)
+        d)
+    c
+
+let join ~on c d =
+  List.concat_map
+    (fun e1 ->
+      let g1 = underlying e1 in
+      List.filter_map
+        (fun e2 ->
+          let g2 = underlying e2 in
+          let name g default = Option.value (Graph.name g) ~default in
+          let env =
+            Pred.env_scope
+              [
+                (name g1 "left", Pred.env_of_tuple (Graph.tuple g1));
+                (name g2 "right", Pred.env_of_tuple (Graph.tuple g2));
+              ]
+          in
+          if Pred.holds env on then begin
+            let tuple = Tuple.union (Graph.tuple g1) (Graph.tuple g2) in
+            let g, _, _ = Graph.disjoint_union ~tuple g1 g2 in
+            Some (G g)
+          end
+          else None)
+        d)
+    c
+
+(* --- composition ------------------------------------------------------------ *)
+
+let param_of_entry = function
+  | G g -> Template.Pgraph g
+  | M m -> Template.Pmatched m
+
+let compose ~template ~param c =
+  List.map
+    (fun entry -> G (Template.instantiate ~env:[ (param, param_of_entry entry) ] template))
+    c
+
+let compose_n ~template ~params collections =
+  if List.length params <> List.length collections then
+    invalid_arg "Algebra.compose_n: params/collections arity mismatch";
+  let rec product = function
+    | [] -> [ [] ]
+    | c :: rest ->
+      let tails = product rest in
+      List.concat_map (fun e -> List.map (fun t -> e :: t) tails) c
+  in
+  List.map
+    (fun combo ->
+      let env = List.map2 (fun p e -> (p, param_of_entry e)) params combo in
+      G (Template.instantiate ~env template))
+    (product collections)
+
+(* --- set operators ------------------------------------------------------------ *)
+
+let entry_equal a b = Iso.isomorphic (underlying a) (underlying b)
+
+let distinct c =
+  List.fold_left
+    (fun acc e -> if List.exists (entry_equal e) acc then acc else e :: acc)
+    [] c
+  |> List.rev
+
+let union c d = distinct (c @ d)
+
+let difference c d =
+  List.filter (fun e -> not (List.exists (entry_equal e) d)) (distinct c)
+
+let intersection c d =
+  List.filter (fun e -> List.exists (entry_equal e) d) (distinct c)
+
+(* --- relational simulation ------------------------------------------------------------ *)
+
+let rel_of_tuples tuples =
+  List.map
+    (fun t ->
+      let b = Graph.Builder.create () in
+      ignore (Graph.Builder.add_node b ~name:"t" t);
+      G (Graph.Builder.build b))
+    tuples
+
+let the_tuple entry =
+  let g = underlying entry in
+  if Graph.n_nodes g <> 1 then
+    invalid_arg "Algebra.tuples_of_rel: entry is not a single-node graph";
+  Graph.node_tuple g 0
+
+let tuples_of_rel c = List.map the_tuple c
+
+let map_rel f c = rel_of_tuples (List.map (fun e -> f (the_tuple e)) c)
+
+let rel_project attrs c = map_rel (fun t -> Tuple.project t attrs) c
+let rel_rename mapping c = map_rel (fun t -> Tuple.rename t mapping) c
+
+let rel_select pred c =
+  List.filter (fun e -> Pred.holds (Pred.env_of_tuple (the_tuple e)) pred) c
+
+let rel_product c d =
+  List.concat_map
+    (fun e1 ->
+      let t1 = the_tuple e1 in
+      List.map (fun e2 -> Tuple.union t1 (the_tuple e2)) d)
+    c
+  |> rel_of_tuples

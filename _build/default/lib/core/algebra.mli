@@ -1,0 +1,101 @@
+(** The bulk graph algebra (Section 3.3).
+
+    Operators manipulate {e collections of graphs}: the selection
+    operator σ generalizes relational selection to graph pattern
+    matching, × and ⋈ combine collections, the composition operator ω
+    rewrites matched graphs through templates, and the set operators
+    complete the five-operator basis (σ, ×, ω, ∪, −) that is
+    relationally complete (Theorem 4.5).
+
+    A collection entry is either a plain graph or a matched graph
+    ⟨φ, P, G⟩; matched graphs participate in every operator as the
+    graph they annotate. *)
+
+open Gql_graph
+
+type entry =
+  | G of Graph.t
+  | M of Matched.t
+
+type collection = entry list
+
+val underlying : entry -> Graph.t
+(** [G g] → [g]; [M m] → the data graph of the binding. *)
+
+val graphs : collection -> Graph.t list
+
+(** {1 Selection} *)
+
+val select :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  patterns:Gql_matcher.Flat_pattern.t list ->
+  collection ->
+  collection
+(** σP(C) = { φP(G) | G ∈ C }: every mapping of every pattern
+    derivation against every graph of the collection (one mapping per
+    graph when [exhaustive] is false, §3.3). The result entries are
+    matched graphs. [patterns] lists the derivations of the (possibly
+    recursive) pattern; a graph's matches accumulate across
+    derivations. *)
+
+val select_one :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  Gql_matcher.Flat_pattern.t ->
+  collection ->
+  collection
+
+(** {1 Product and join} *)
+
+val cartesian : collection -> collection -> collection
+(** C × D: each output graph contains an (unconnected) copy of a graph
+    from C and one from D; its tuple is the union of theirs. *)
+
+val join : on:Pred.t -> collection -> collection -> collection
+(** Valued join (Fig 4.10): σ_on(C × D), where [on] sees each
+    operand's graph tuple under the operand graph's name (falling back
+    to ["left"] / ["right"] for anonymous graphs). *)
+
+(** {1 Composition} *)
+
+val compose :
+  template:Ast.graph_decl -> param:string -> collection -> collection
+(** ω_T(C): instantiate the single-parameter template for every entry,
+    binding the formal parameter [param] to it. *)
+
+val compose_n :
+  template:Ast.graph_decl -> params:string list -> collection list -> collection
+(** The general composition: the Cartesian product of the input
+    collections, each tuple of entries bound to the corresponding
+    formal parameter. *)
+
+(** {1 Set operators}
+
+    Entry equality is attributed-graph isomorphism ({!Iso.isomorphic}),
+    suitable for the small result graphs the algebra manipulates. *)
+
+val union : collection -> collection -> collection
+val difference : collection -> collection -> collection
+val intersection : collection -> collection -> collection
+val distinct : collection -> collection
+
+(** {1 Relational simulation (Theorem 4.5)}
+
+    A relation is encoded as a collection of single-node graphs whose
+    node carries the tuple. *)
+
+val rel_of_tuples : Tuple.t list -> collection
+val tuples_of_rel : collection -> Tuple.t list
+(** Raises [Invalid_argument] if some entry is not a single-node graph. *)
+
+val rel_project : string list -> collection -> collection
+val rel_rename : (string * string) list -> collection -> collection
+val rel_select : Pred.t -> collection -> collection
+(** Predicate over the node's attributes. *)
+
+val rel_product : collection -> collection -> collection
+(** Pairs the node tuples into single-node graphs (attribute union;
+    clashing names must be renamed first, as in RA). *)

@@ -1,0 +1,170 @@
+open Gql_graph
+
+type path = string list
+
+type tuple_lit = {
+  tag : string option;
+  fields : (string * Pred.t) list;
+}
+
+type node_decl = {
+  n_name : string option;
+  n_tuple : tuple_lit option;
+  n_where : Pred.t option;
+  n_copy : path option;
+}
+
+type edge_decl = {
+  e_name : string option;
+  e_src : path;
+  e_dst : path;
+  e_tuple : tuple_lit option;
+  e_where : Pred.t option;
+}
+
+type member =
+  | Nodes of node_decl list
+  | Edges of edge_decl list
+  | Graph_refs of (string * string option) list
+  | Unify of path list * Pred.t option
+  | Exports of (path * string) list
+  | Alt of member list list
+
+type graph_decl = {
+  g_name : string option;
+  g_tuple : tuple_lit option;
+  g_members : member list;
+  g_where : Pred.t option;
+}
+
+type flwr = {
+  f_pattern : [ `Named of string | `Inline of graph_decl ];
+  f_exhaustive : bool;
+  f_source : string;
+  f_where : Pred.t option;
+  f_body : body;
+}
+
+and body =
+  | Return of template
+  | Let of string * template
+
+and template =
+  | Tgraph of graph_decl
+  | Tvar of string
+
+type statement =
+  | Sgraph of graph_decl
+  | Sassign of string * template
+  | Sflwr of flwr
+
+type program = statement list
+
+(* --- pretty printing ---------------------------------------------------- *)
+
+let pp_path ppf p = Format.pp_print_string ppf (String.concat "." p)
+
+let pp_tuple_lit ppf t =
+  Format.pp_print_char ppf '<';
+  (match t.tag with
+  | Some tag ->
+    Format.pp_print_string ppf tag;
+    if t.fields <> [] then Format.pp_print_char ppf ' '
+  | None -> ());
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ' ')
+    (fun ppf (k, e) -> Format.fprintf ppf "%s=%a" k Pred.pp e)
+    ppf t.fields;
+  Format.pp_print_char ppf '>'
+
+let pp_opt_tuple ppf = function
+  | None -> ()
+  | Some t -> Format.fprintf ppf " %a" pp_tuple_lit t
+
+let pp_opt_where ppf = function
+  | None -> ()
+  | Some p -> Format.fprintf ppf " where %a" Pred.pp p
+
+let pp_node ppf (n : node_decl) =
+  match n.n_copy with
+  | Some p -> pp_path ppf p
+  | None ->
+    Format.fprintf ppf "%s%a%a"
+      (Option.value n.n_name ~default:"")
+      pp_opt_tuple n.n_tuple pp_opt_where n.n_where
+
+let pp_edge ppf (e : edge_decl) =
+  Format.fprintf ppf "%s (%a, %a)%a%a"
+    (Option.value e.e_name ~default:"")
+    pp_path e.e_src pp_path e.e_dst pp_opt_tuple e.e_tuple pp_opt_where
+    e.e_where
+
+let comma ppf () = Format.fprintf ppf ",@ "
+
+let rec pp_member ppf = function
+  | Nodes ns ->
+    Format.fprintf ppf "@[<h>node %a;@]"
+      (Format.pp_print_list ~pp_sep:comma pp_node)
+      ns
+  | Edges es ->
+    Format.fprintf ppf "@[<h>edge %a;@]"
+      (Format.pp_print_list ~pp_sep:comma pp_edge)
+      es
+  | Graph_refs rs ->
+    let pp_ref ppf (name, alias) =
+      match alias with
+      | None -> Format.pp_print_string ppf name
+      | Some a -> Format.fprintf ppf "%s as %s" name a
+    in
+    Format.fprintf ppf "@[<h>graph %a;@]"
+      (Format.pp_print_list ~pp_sep:comma pp_ref)
+      rs
+  | Unify (paths, where) ->
+    Format.fprintf ppf "@[<h>unify %a%a;@]"
+      (Format.pp_print_list ~pp_sep:comma pp_path)
+      paths pp_opt_where where
+  | Exports exps ->
+    Format.fprintf ppf "@[<h>export %a;@]"
+      (Format.pp_print_list ~pp_sep:comma (fun ppf (p, name) ->
+           Format.fprintf ppf "%a as %s" pp_path p name))
+      exps
+  | Alt blocks ->
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.fprintf ppf " |@ ")
+      (fun ppf ms ->
+        Format.fprintf ppf "@[<v 2>{@,%a@]@,}"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_member)
+          ms)
+      ppf blocks;
+    Format.pp_print_char ppf ';'
+
+and pp_graph_decl ppf g =
+  Format.fprintf ppf "@[<v 2>graph%s%a {@,%a@]@,}%a"
+    (match g.g_name with Some n -> " " ^ n | None -> "")
+    pp_opt_tuple g.g_tuple
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_member)
+    g.g_members pp_opt_where g.g_where
+
+let pp_template ppf = function
+  | Tgraph g -> pp_graph_decl ppf g
+  | Tvar v -> Format.pp_print_string ppf v
+
+let pp_statement ppf = function
+  | Sgraph g -> Format.fprintf ppf "%a;" pp_graph_decl g
+  | Sassign (v, t) -> Format.fprintf ppf "@[<v>%s := %a;@]" v pp_template t
+  | Sflwr f ->
+    let pp_pattern ppf = function
+      | `Named n -> Format.pp_print_string ppf n
+      | `Inline g -> pp_graph_decl ppf g
+    in
+    Format.fprintf ppf "@[<v>for %a%s in doc(%S)%a@,%a;@]" pp_pattern
+      f.f_pattern
+      (if f.f_exhaustive then " exhaustive" else "")
+      f.f_source pp_opt_where f.f_where
+      (fun ppf -> function
+        | Return t -> Format.fprintf ppf "return %a" pp_template t
+        | Let (v, t) -> Format.fprintf ppf "let %s := %a" v pp_template t)
+      f.f_body
+
+let pp_program ppf p =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_statement ppf p

@@ -1,0 +1,93 @@
+(** Abstract syntax of GraphQL (Appendix 4.A).
+
+    The same [graph { ... }] body syntax serves three roles:
+    - a {e data graph} literal (all attributes constant, no predicates);
+    - a {e graph pattern} (Definition 4.1) — the motif language of
+      Section 2, with nested motif references, disjunction, repetition
+      (recursion by name), unification, exports, and predicates;
+    - a {e graph template} (Definition 4.4) inside FLWR expressions,
+      whose member declarations may reference the formal parameters.
+
+    Beyond the appendix grammar, the parser accepts the constructs used
+    throughout the chapter's figures: [graph G1 as X;] aliases
+    (Fig 4.4), [{ ... } | { ... }] disjunction blocks (Fig 4.5),
+    [export Path.v2 as v2;] (Fig 4.6), and [unify ... where ...]
+    conditional unification in templates (Fig 4.12). *)
+
+open Gql_graph
+
+type path = string list
+(** A dotted name, [P.v1.name] = [["P"; "v1"; "name"]]. *)
+
+type tuple_lit = {
+  tag : string option;
+  fields : (string * Pred.t) list;
+      (** field values are expressions: constant in patterns/data,
+          parameter-dependent in templates *)
+}
+
+type node_decl = {
+  n_name : string option;
+  n_tuple : tuple_lit option;
+  n_where : Pred.t option;
+  n_copy : path option;
+      (** templates only: [node P.v1] copies a matched node and is
+          exclusive with the other fields *)
+}
+
+type edge_decl = {
+  e_name : string option;
+  e_src : path;
+  e_dst : path;
+  e_tuple : tuple_lit option;
+  e_where : Pred.t option;
+}
+
+type member =
+  | Nodes of node_decl list
+  | Edges of edge_decl list
+  | Graph_refs of (string * string option) list
+      (** [graph G1 as X, G2;] — nested motif / parameter / variable
+          references with optional aliases *)
+  | Unify of path list * Pred.t option
+      (** [unify a, b, c [where p];] *)
+  | Exports of (path * string) list  (** [export X.v2 as v2;] *)
+  | Alt of member list list
+      (** disjunction of anonymous blocks; a single block is grouping *)
+
+type graph_decl = {
+  g_name : string option;
+  g_tuple : tuple_lit option;
+  g_members : member list;
+  g_where : Pred.t option;
+}
+
+type flwr = {
+  f_pattern : [ `Named of string | `Inline of graph_decl ];
+  f_exhaustive : bool;
+  f_source : string;  (** the [doc("...")] collection name *)
+  f_where : Pred.t option;
+  f_body : body;
+}
+
+and body =
+  | Return of template
+  | Let of string * template
+
+and template =
+  | Tgraph of graph_decl
+  | Tvar of string  (** a template that is just a variable reference *)
+
+type statement =
+  | Sgraph of graph_decl  (** named pattern / data graph definition *)
+  | Sassign of string * template  (** [C := graph {...};] *)
+  | Sflwr of flwr
+
+type program = statement list
+
+(** {1 Pretty printing} *)
+
+val pp_tuple_lit : Format.formatter -> tuple_lit -> unit
+val pp_graph_decl : Format.formatter -> graph_decl -> unit
+val pp_statement : Format.formatter -> statement -> unit
+val pp_program : Format.formatter -> program -> unit

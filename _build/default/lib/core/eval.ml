@@ -1,0 +1,116 @@
+open Gql_graph
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type docs = (string * Graph.t list) list
+
+type result = {
+  defs : (string * Ast.graph_decl) list;
+  vars : (string * Graph.t) list;
+  last : Algebra.collection option;
+}
+
+type state = {
+  mutable s_defs : (string * Ast.graph_decl) list;
+  mutable s_vars : (string * Graph.t) list;
+  mutable s_last : Algebra.collection option;
+}
+
+let template_env st extra =
+  extra
+  @ List.map (fun (name, g) -> (name, Template.Pgraph g)) st.s_vars
+
+let instantiate_template st extra = function
+  | Ast.Tgraph decl -> Template.instantiate ~env:(template_env st extra) decl
+  | Ast.Tvar v ->
+    (match List.assoc_opt v st.s_vars with
+    | Some g -> g
+    | None -> error "unknown variable %s" v)
+
+let run ?(docs = []) ?strategy ?max_depth (program : Ast.program) =
+  let st = { s_defs = []; s_vars = []; s_last = None } in
+  let defs name = List.assoc_opt name st.s_defs in
+  let statement = function
+    | Ast.Sgraph g ->
+      (match g.Ast.g_name with
+      | Some name -> st.s_defs <- st.s_defs @ [ (name, g) ]
+      | None -> error "top-level graph declarations must be named")
+    | Ast.Sassign (v, t) ->
+      let g = instantiate_template st [] t in
+      st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars
+    | Ast.Sflwr f ->
+      let decl, pname =
+        match f.Ast.f_pattern with
+        | `Named n ->
+          (match defs n with
+          | Some d -> (d, n)
+          | None -> error "unknown pattern %s" n)
+        | `Inline d ->
+          (d, Option.value d.Ast.g_name ~default:"P")
+      in
+      let patterns =
+        List.of_seq (Motif.flat_patterns ~defs ?max_depth decl)
+      in
+      if patterns = [] then error "pattern %s has no derivation" pname;
+      let source =
+        match List.assoc_opt f.Ast.f_source docs with
+        | Some gs -> gs
+        | None ->
+          (match List.assoc_opt f.Ast.f_source st.s_vars with
+          | Some g -> [ g ]
+          | None -> error "unknown collection %S" f.Ast.f_source)
+      in
+      let entries = List.map (fun g -> Algebra.G g) source in
+      let matches =
+        Algebra.select ?strategy ~exhaustive:f.Ast.f_exhaustive ~patterns entries
+      in
+      let matches =
+        match f.Ast.f_where with
+        | None -> matches
+        | Some pred ->
+          List.filter
+            (fun entry ->
+              match entry with
+              | Algebra.M m ->
+                let env =
+                  Pred.env_extend (Matched.env m) [ (pname, Matched.env m) ]
+                in
+                Pred.holds env pred
+              | Algebra.G _ -> true)
+            matches
+      in
+      (match f.Ast.f_body with
+      | Ast.Return t ->
+        let out =
+          List.map
+            (fun entry ->
+              let extra =
+                match entry with
+                | Algebra.M m -> [ (pname, Template.Pmatched m) ]
+                | Algebra.G g -> [ (pname, Template.Pgraph g) ]
+              in
+              Algebra.G (instantiate_template st extra t))
+            matches
+        in
+        st.s_last <- Some out
+      | Ast.Let (v, t) ->
+        List.iter
+          (fun entry ->
+            let extra =
+              match entry with
+              | Algebra.M m -> [ (pname, Template.Pmatched m) ]
+              | Algebra.G g -> [ (pname, Template.Pgraph g) ]
+            in
+            let g = instantiate_template st extra t in
+            st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars)
+          matches)
+  in
+  List.iter statement program;
+  { defs = st.s_defs; vars = st.s_vars; last = st.s_last }
+
+let var r name = List.assoc_opt name r.vars
+
+let returned r =
+  match r.last with None -> [] | Some c -> Algebra.graphs c

@@ -1,0 +1,42 @@
+(** Evaluation of GraphQL programs (FLWR expressions, §3.4).
+
+    A program is a sequence of statements:
+    - [graph P { ... } where ...;] defines a named pattern (and, when
+      ground, a graph usable as data);
+    - [C := graph { ... };] assigns an instantiated template to a
+      variable;
+    - [for P [exhaustive] in doc("D") [where ...] (return T | let C :=
+      T);] iterates the selection σP over collection D; [return]
+      emits one instantiated graph per match, [let] folds the matches
+      through the template sequentially, rebinding the variable at each
+      step — the semantics of the co-authorship example (Fig 4.12/4.13).
+
+    Without [exhaustive], selection takes one mapping per collection
+    graph (§3.3). *)
+
+open Gql_graph
+
+exception Error of string
+
+type docs = (string * Graph.t list) list
+(** The [doc("name")] data sources. *)
+
+type result = {
+  defs : (string * Ast.graph_decl) list;  (** named declarations, in order *)
+  vars : (string * Graph.t) list;  (** variable bindings after the run *)
+  last : Algebra.collection option;  (** the last [return] collection *)
+}
+
+val run :
+  ?docs:docs ->
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?max_depth:int ->
+  Ast.program ->
+  result
+(** [max_depth] bounds recursive motif derivation (default 16). A
+    variable holding a graph can also serve as a [doc] source of one
+    graph; explicit [docs] entries win on name clash. *)
+
+val var : result -> string -> Graph.t option
+val returned : result -> Graph.t list
+(** The graphs of [last] ([[]] when the program ends with no return). *)

@@ -1,0 +1,43 @@
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let wrap src f =
+  try f () with
+  | Lexer.Error (msg, off) ->
+    let line, col = Parser.position src off in
+    err "lexical error at %d:%d: %s" line col msg
+  | Parser.Error (msg, off) ->
+    let line, col = Parser.position src off in
+    err "parse error at %d:%d: %s" line col msg
+  | Motif.Error msg -> err "pattern error: %s" msg
+  | Template.Error msg -> err "template error: %s" msg
+  | Eval.Error msg -> err "evaluation error: %s" msg
+
+let parse_program src = wrap src (fun () -> Parser.program src)
+let parse_graph_decl src = wrap src (fun () -> Parser.graph src)
+
+let graph_of_string ?(defs = []) src =
+  wrap src (fun () -> Motif.to_graph ~defs:(Motif.defs_of_list defs) (Parser.graph src))
+
+let patterns_of_string ?(defs = []) ?max_depth src =
+  wrap src (fun () ->
+      Motif.flat_patterns ~defs:(Motif.defs_of_list defs) ?max_depth
+        (Parser.graph src)
+      |> List.of_seq)
+
+let pattern_of_string ?defs ?max_depth src =
+  match patterns_of_string ?defs ?max_depth src with
+  | p :: _ -> p
+  | [] -> err "pattern has no derivation"
+
+let find_matches ?strategy ?exhaustive ?limit ~pattern g =
+  let patterns = patterns_of_string pattern in
+  Algebra.select ?strategy ?exhaustive ?limit ~patterns [ Algebra.G g ]
+  |> List.filter_map (function Algebra.M m -> Some m | Algebra.G _ -> None)
+
+let count_matches ?strategy ~pattern g =
+  List.length (find_matches ?strategy ~pattern g)
+
+let run_query ?docs ?strategy src =
+  wrap src (fun () -> Eval.run ?docs ?strategy (Parser.program src))

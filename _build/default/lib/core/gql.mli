@@ -1,0 +1,49 @@
+(** GraphQL — the public facade.
+
+    One-stop entry points over the parser ({!Parser}), the motif
+    derivation ({!Motif}), the algebra ({!Algebra}) and the FLWR
+    evaluator ({!Eval}); see those modules for the full APIs, and
+    [Gql_matcher.Engine] for the tunable access methods. *)
+
+open Gql_graph
+
+exception Error of string
+(** All parse/derivation/evaluation errors, with positions rendered
+    into the message. *)
+
+val parse_program : string -> Ast.program
+val parse_graph_decl : string -> Ast.graph_decl
+
+val graph_of_string : ?defs:(string * Ast.graph_decl) list -> string -> Graph.t
+(** Parse a ground [graph { ... }] literal into a data graph. *)
+
+val pattern_of_string :
+  ?defs:(string * Ast.graph_decl) list ->
+  ?max_depth:int ->
+  string ->
+  Gql_matcher.Flat_pattern.t
+(** The first derivation of the pattern (the only one for
+    non-recursive patterns without disjunction). *)
+
+val patterns_of_string :
+  ?defs:(string * Ast.graph_decl) list ->
+  ?max_depth:int ->
+  string ->
+  Gql_matcher.Flat_pattern.t list
+(** All derivations (recursion bounded by [max_depth]). *)
+
+val find_matches :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  pattern:string ->
+  Graph.t ->
+  Matched.t list
+(** Parse the pattern and run the selection operator against one
+    graph. *)
+
+val count_matches :
+  ?strategy:Gql_matcher.Engine.strategy -> pattern:string -> Graph.t -> int
+
+val run_query : ?docs:Eval.docs -> ?strategy:Gql_matcher.Engine.strategy -> string -> Eval.result
+(** Parse and evaluate a whole program. *)

@@ -1,0 +1,178 @@
+type token =
+  | ID of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | GRAPH | NODE | EDGE | UNIFY | EXPORT | AS | WHERE
+  | FOR | EXHAUSTIVE | IN | DOC | RETURN | LET
+  | TRUE | FALSE | NULL
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | LANGLE | RANGLE
+  | COMMA | SEMI | DOT | PIPE | AMP
+  | EQ
+  | EQEQ | NEQ | LE | GE
+  | ASSIGN
+  | PLUS | MINUS | STAR | SLASH | BANG
+  | EOF
+
+exception Error of string * int
+
+let error msg pos = raise (Error (msg, pos))
+
+let keyword = function
+  | "graph" -> Some GRAPH
+  | "node" -> Some NODE
+  | "edge" -> Some EDGE
+  | "unify" -> Some UNIFY
+  | "export" -> Some EXPORT
+  | "as" -> Some AS
+  | "where" -> Some WHERE
+  | "for" -> Some FOR
+  | "exhaustive" -> Some EXHAUSTIVE
+  | "in" -> Some IN
+  | "doc" -> Some DOC
+  | "return" -> Some RETURN
+  | "let" -> Some LET
+  | "true" -> Some TRUE
+  | "false" -> Some FALSE
+  | "null" -> Some NULL
+  | _ -> None
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit tok pos = tokens := (tok, pos) :: !tokens in
+  let rec skip_ws i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> skip_ws (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let rec eol j = if j >= n || src.[j] = '\n' then j else eol (j + 1) in
+        skip_ws (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec close j =
+          if j + 1 >= n then error "unterminated comment" i
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else close (j + 1)
+        in
+        skip_ws (close (i + 2))
+      | _ -> i
+  in
+  let lex_string i =
+    let buf = Buffer.create 16 in
+    let rec go j =
+      if j >= n then error "unterminated string" i
+      else
+        match src.[j] with
+        | '"' -> (STRING (Buffer.contents buf), j + 1)
+        | '\\' ->
+          if j + 1 >= n then error "unterminated escape" j
+          else begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | c -> error (Printf.sprintf "bad escape '\\%c'" c) j);
+            go (j + 2)
+          end
+        | c ->
+          Buffer.add_char buf c;
+          go (j + 1)
+    in
+    go (i + 1)
+  in
+  let lex_number i =
+    let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+    let j = digits i in
+    let j, is_float =
+      if j < n && src.[j] = '.' && j + 1 < n && is_digit src.[j + 1] then
+        (digits (j + 1), true)
+      else (j, false)
+    in
+    let j, is_float =
+      if j < n && (src.[j] = 'e' || src.[j] = 'E') then begin
+        let k = if j + 1 < n && (src.[j + 1] = '+' || src.[j + 1] = '-') then j + 2 else j + 1 in
+        if k < n && is_digit src.[k] then (digits k, true) else (j, is_float)
+      end
+      else (j, is_float)
+    in
+    let text = String.sub src i (j - i) in
+    let tok =
+      if is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+    in
+    (tok, j)
+  in
+  let rec go i =
+    let i = skip_ws i in
+    if i >= n then emit EOF i
+    else begin
+      let two = if i + 1 < n then String.sub src i 2 else "" in
+      match two with
+      | "==" -> emit EQEQ i; go (i + 2)
+      | "!=" -> emit NEQ i; go (i + 2)
+      | "<>" -> emit NEQ i; go (i + 2)
+      | "<=" -> emit LE i; go (i + 2)
+      | ">=" -> emit GE i; go (i + 2)
+      | ":=" -> emit ASSIGN i; go (i + 2)
+      | _ ->
+        (match src.[i] with
+        | '{' -> emit LBRACE i; go (i + 1)
+        | '}' -> emit RBRACE i; go (i + 1)
+        | '(' -> emit LPAREN i; go (i + 1)
+        | ')' -> emit RPAREN i; go (i + 1)
+        | '<' -> emit LANGLE i; go (i + 1)
+        | '>' -> emit RANGLE i; go (i + 1)
+        | ',' -> emit COMMA i; go (i + 1)
+        | ';' -> emit SEMI i; go (i + 1)
+        | '.' -> emit DOT i; go (i + 1)
+        | '|' -> emit PIPE i; go (i + 1)
+        | '&' -> emit AMP i; go (i + 1)
+        | '=' -> emit EQ i; go (i + 1)
+        | '+' -> emit PLUS i; go (i + 1)
+        | '-' -> emit MINUS i; go (i + 1)
+        | '*' -> emit STAR i; go (i + 1)
+        | '/' -> emit SLASH i; go (i + 1)
+        | '!' -> emit BANG i; go (i + 1)
+        | '"' ->
+          let tok, j = lex_string i in
+          emit tok i;
+          go j
+        | c when is_digit c ->
+          let tok, j = lex_number i in
+          emit tok i;
+          go j
+        | c when is_id_start c ->
+          let rec endw j = if j < n && is_id_char src.[j] then endw (j + 1) else j in
+          let j = endw i in
+          let word = String.sub src i (j - i) in
+          let tok = match keyword word with Some k -> k | None -> ID word in
+          emit tok i;
+          go j
+        | c -> error (Printf.sprintf "unexpected character %C" c) i)
+    end
+  in
+  go 0;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | ID s -> Printf.sprintf "identifier %S" s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | GRAPH -> "'graph'" | NODE -> "'node'" | EDGE -> "'edge'"
+  | UNIFY -> "'unify'" | EXPORT -> "'export'" | AS -> "'as'"
+  | WHERE -> "'where'" | FOR -> "'for'" | EXHAUSTIVE -> "'exhaustive'"
+  | IN -> "'in'" | DOC -> "'doc'" | RETURN -> "'return'" | LET -> "'let'"
+  | TRUE -> "'true'" | FALSE -> "'false'" | NULL -> "'null'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
+  | LANGLE -> "'<'" | RANGLE -> "'>'" | COMMA -> "','" | SEMI -> "';'"
+  | DOT -> "'.'" | PIPE -> "'|'" | AMP -> "'&'" | EQ -> "'='"
+  | EQEQ -> "'=='" | NEQ -> "'!='" | LE -> "'<='" | GE -> "'>='"
+  | ASSIGN -> "':='" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
+  | SLASH -> "'/'" | BANG -> "'!'" | EOF -> "end of input"

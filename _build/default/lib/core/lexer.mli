@@ -1,0 +1,34 @@
+(** Tokenizer for the GraphQL surface syntax (Appendix 4.A).
+
+    Supports [//]-to-end-of-line and [/* ... */] comments, double-quoted
+    strings with escapes, integer and float literals. [< >] double as
+    tuple delimiters and comparison operators; the parser disambiguates
+    by context. *)
+
+type token =
+  | ID of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  (* keywords *)
+  | GRAPH | NODE | EDGE | UNIFY | EXPORT | AS | WHERE
+  | FOR | EXHAUSTIVE | IN | DOC | RETURN | LET
+  | TRUE | FALSE | NULL
+  (* punctuation *)
+  | LBRACE | RBRACE | LPAREN | RPAREN
+  | LANGLE | RANGLE  (** [<] and [>] *)
+  | COMMA | SEMI | DOT | PIPE | AMP
+  | EQ  (** [=] *)
+  | EQEQ | NEQ | LE | GE
+  | ASSIGN  (** [:=] *)
+  | PLUS | MINUS | STAR | SLASH | BANG
+  | EOF
+
+exception Error of string * int
+(** message and byte offset. *)
+
+val tokenize : string -> (token * int) array
+(** All tokens with their byte offsets, ending with [EOF]. Raises
+    {!Error} on malformed input. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,432 @@
+open Gql_graph
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type defs = string -> Ast.graph_decl option
+
+let no_defs _ = None
+let defs_of_list l name = List.assoc_opt name l
+
+(* --- scopes -------------------------------------------------------------- *)
+
+type scope = {
+  s_nodes : (string * int) list;
+  s_edges : (string * int) list;
+  s_subs : (string * scope) list;
+}
+
+let empty_scope = { s_nodes = []; s_edges = []; s_subs = [] }
+
+let rec resolve_node scope = function
+  | [] -> None
+  | [ x ] -> List.assoc_opt x scope.s_nodes
+  | x :: rest ->
+    Option.bind (List.assoc_opt x scope.s_subs) (fun sub -> resolve_node sub rest)
+
+let rec resolve_edge scope = function
+  | [] -> None
+  | [ x ] -> List.assoc_opt x scope.s_edges
+  | x :: rest ->
+    Option.bind (List.assoc_opt x scope.s_subs) (fun sub -> resolve_edge sub rest)
+
+let split_at l i =
+  let rec go acc i = function
+    | rest when i = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> go (x :: acc) (i - 1) rest
+  in
+  go [] i l
+
+(* longest prefix of [path] resolving to a node (resp. edge) *)
+let resolve_prefix resolver scope path =
+  let n = List.length path in
+  let rec try_len l =
+    if l = 0 then None
+    else
+      let prefix, rest = split_at path l in
+      match resolver scope prefix with
+      | Some id -> Some (id, rest)
+      | None -> try_len (l - 1)
+  in
+  try_len n
+
+(* --- accumulator ---------------------------------------------------------- *)
+
+type acc = {
+  a_nodes : (Tuple.t * Pred.t) list;  (* reversed; id = position *)
+  a_n : int;
+  a_edges : (int * int * Tuple.t * Pred.t) list;  (* reversed *)
+  a_m : int;
+  a_unions : (int * int) list;
+  a_pending : (scope * string option * Pred.t) list;
+  a_depth : int;  (* max nesting depth of graph references used so far *)
+}
+
+let empty_acc =
+  {
+    a_nodes = [];
+    a_n = 0;
+    a_edges = [];
+    a_m = 0;
+    a_unions = [];
+    a_pending = [];
+    a_depth = 0;
+  }
+
+let const_value expr =
+  match Pred.eval (fun _ -> None) expr with
+  | v -> v
+  | exception Pred.Unresolved p ->
+    error "non-constant attribute value (references %s)" (String.concat "." p)
+  | exception Value.Type_error m -> error "bad attribute value: %s" m
+
+let const_tuple = function
+  | None -> Tuple.empty
+  | Some { Ast.tag; fields } ->
+    Tuple.make ?tag (List.map (fun (k, e) -> (k, const_value e)) fields)
+
+(* --- expansion ------------------------------------------------------------ *)
+
+let add_node_name scope name id =
+  if List.mem_assoc name scope.s_nodes then error "duplicate node name %s" name;
+  { scope with s_nodes = (name, id) :: scope.s_nodes }
+
+let add_edge_name scope name id =
+  if List.mem_assoc name scope.s_edges then error "duplicate edge name %s" name;
+  { scope with s_edges = (name, id) :: scope.s_edges }
+
+let add_sub scope alias sub =
+  if List.mem_assoc alias scope.s_subs then error "duplicate graph alias %s" alias;
+  { scope with s_subs = (alias, sub) :: scope.s_subs }
+
+let rec expand_members defs depth members st : (acc * scope) Seq.t =
+  match members with
+  | [] -> Seq.return st
+  | m :: rest ->
+    Seq.concat_map (expand_members defs depth rest) (expand_member defs depth m st)
+
+and expand_member defs depth member ((acc, scope) as st) : (acc * scope) Seq.t =
+  match member with
+  | Ast.Nodes decls ->
+    let step (acc, scope) (d : Ast.node_decl) =
+      (match d.Ast.n_copy with
+      | Some p -> error "node copy %s is only allowed in templates" (String.concat "." p)
+      | None -> ());
+      let id = acc.a_n in
+      let tuple = const_tuple d.Ast.n_tuple in
+      let pred = Option.value d.Ast.n_where ~default:Pred.True in
+      let scope =
+        match d.Ast.n_name with
+        | Some name -> add_node_name scope name id
+        | None -> scope
+      in
+      ({ acc with a_nodes = (tuple, pred) :: acc.a_nodes; a_n = id + 1 }, scope)
+    in
+    Seq.return (List.fold_left step st decls)
+  | Ast.Edges decls ->
+    let step (acc, scope) (d : Ast.edge_decl) =
+      let endpoint p =
+        match resolve_node scope p with
+        | Some id -> id
+        | None -> error "unknown edge endpoint %s" (String.concat "." p)
+      in
+      let src = endpoint d.Ast.e_src and dst = endpoint d.Ast.e_dst in
+      let id = acc.a_m in
+      let tuple = const_tuple d.Ast.e_tuple in
+      let pred = Option.value d.Ast.e_where ~default:Pred.True in
+      let scope =
+        match d.Ast.e_name with
+        | Some name -> add_edge_name scope name id
+        | None -> scope
+      in
+      ( { acc with a_edges = (src, dst, tuple, pred) :: acc.a_edges; a_m = id + 1 },
+        scope )
+    in
+    Seq.return (List.fold_left step st decls)
+  | Ast.Graph_refs refs ->
+    let rec go refs st =
+      match refs with
+      | [] -> Seq.return st
+      | (name, alias) :: rest ->
+        let decl =
+          match defs name with
+          | Some d -> d
+          | None -> error "unknown graph motif %s" name
+        in
+        if depth <= 0 then Seq.empty
+        else
+          let (acc, scope) = st in
+          let saved_depth = acc.a_depth in
+          Seq.concat_map
+            (fun (acc', sub_scope) ->
+              let scope' = add_sub scope (Option.value alias ~default:name) sub_scope in
+              let acc' =
+                { acc' with a_depth = max saved_depth (acc'.a_depth + 1) }
+              in
+              go rest (acc', scope'))
+            (expand_decl defs (depth - 1) decl { acc with a_depth = 0 })
+    in
+    go refs st
+  | Ast.Unify (paths, where) ->
+    if where <> None then error "conditional unify is only allowed in templates";
+    let ids =
+      List.map
+        (fun p ->
+          match resolve_node scope p with
+          | Some id -> id
+          | None -> error "unify: unknown name %s" (String.concat "." p))
+        paths
+    in
+    let unions =
+      match ids with
+      | first :: rest -> List.map (fun id -> (first, id)) rest
+      | [] -> []
+    in
+    Seq.return ({ acc with a_unions = unions @ acc.a_unions }, scope)
+  | Ast.Exports exports ->
+    let step (acc, scope) (p, name) =
+      match resolve_node scope p with
+      | Some id -> (acc, add_node_name scope name id)
+      | None ->
+        (match resolve_edge scope p with
+        | Some id -> (acc, add_edge_name scope name id)
+        | None -> error "export: unknown name %s" (String.concat "." p))
+    in
+    Seq.return (List.fold_left step st exports)
+  | Ast.Alt branches ->
+    Seq.concat_map
+      (fun branch -> expand_members defs depth branch st)
+      (List.to_seq branches)
+
+and expand_decl defs depth (decl : Ast.graph_decl) acc : (acc * scope) Seq.t =
+  Seq.map
+    (fun (acc, scope) ->
+      let acc =
+        match decl.Ast.g_where with
+        | Some pred ->
+          { acc with a_pending = (scope, decl.Ast.g_name, pred) :: acc.a_pending }
+        | None -> acc
+      in
+      (acc, scope))
+    (expand_members defs depth decl.Ast.g_members (acc, empty_scope))
+
+(* --- union-find ----------------------------------------------------------- *)
+
+let build_uf n unions =
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  List.iter
+    (fun (a, b) ->
+      let ra = find a and rb = find b in
+      (* keep the smaller id as representative so that names of the
+         earliest declaration win ties deterministically *)
+      if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb)
+    unions;
+  find
+
+(* --- building the derived graph ------------------------------------------- *)
+
+type derived = {
+  graph : Graph.t;
+  node_preds : (int * Pred.t) list;
+  edge_preds : (int * Pred.t) list;
+  global_pred : Pred.t;
+}
+
+let rec collect_names prefix scope =
+  let here_nodes = List.map (fun (n, id) -> (prefix ^ n, id)) scope.s_nodes in
+  let here_edges = List.map (fun (n, id) -> (prefix ^ n, id)) scope.s_edges in
+  List.fold_left
+    (fun (ns, es) (alias, sub) ->
+      let sub_ns, sub_es = collect_names (prefix ^ alias ^ ".") sub in
+      (ns @ sub_ns, es @ sub_es))
+    (here_nodes, here_edges)
+    scope.s_subs
+
+let pick_name names =
+  match names with
+  | [] -> None
+  | _ ->
+    Some
+      (List.fold_left
+         (fun best n ->
+           if
+             String.length n < String.length best
+             || (String.length n = String.length best && n < best)
+           then n
+           else best)
+         (List.hd names) (List.tl names))
+
+let build (decl : Ast.graph_decl) (acc, top_scope) =
+  let n = acc.a_n in
+  let nodes = Array.of_list (List.rev acc.a_nodes) in
+  let edges = Array.of_list (List.rev acc.a_edges) in
+  let find = build_uf n acc.a_unions in
+  (* final indices for class representatives, in ascending order *)
+  let class_index = Hashtbl.create 16 in
+  let n_classes = ref 0 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    if not (Hashtbl.mem class_index r) then begin
+      Hashtbl.add class_index r !n_classes;
+      incr n_classes
+    end
+  done;
+  let cls i = Hashtbl.find class_index (find i) in
+  let class_size = Array.make !n_classes 0 in
+  for i = 0 to n - 1 do
+    class_size.(cls i) <- class_size.(cls i) + 1
+  done;
+  (* merged tuples and predicates, in proto-id order *)
+  let tuples = Array.make !n_classes Tuple.empty in
+  let preds = Array.make !n_classes Pred.True in
+  Array.iteri
+    (fun i (t, p) ->
+      let c = cls i in
+      tuples.(c) <- Tuple.union tuples.(c) t;
+      preds.(c) <- Pred.( && ) preds.(c) p)
+    nodes;
+  (* canonical names *)
+  let node_names, edge_names = collect_names "" top_scope in
+  let class_names = Array.make !n_classes [] in
+  List.iter
+    (fun (name, id) -> class_names.(cls id) <- name :: class_names.(cls id))
+    node_names;
+  let canonical = Array.map pick_name class_names in
+  (* edges: canonicalize endpoints, merge duplicates (automatic edge
+     unification), remember proto-edge -> final-edge mapping *)
+  let gtuple = const_tuple decl.Ast.g_tuple in
+  let b = Graph.Builder.create ?name:decl.Ast.g_name ~tuple:gtuple () in
+  Array.iteri (fun c t -> ignore (Graph.Builder.add_node b ?name:canonical.(c) t)) tuples;
+  let edge_map = Array.make (Array.length edges) (-1) in
+  let edge_key = Hashtbl.create 16 in
+  let final_edge_preds = ref [] in
+  let proto_edge_names = Array.make (Array.length edges) None in
+  List.iter
+    (fun (name, id) ->
+      if proto_edge_names.(id) = None then proto_edge_names.(id) <- Some name)
+    edge_names;
+  Array.iteri
+    (fun i (src, dst, tuple, pred) ->
+      let s = cls src and d = cls dst in
+      let ks, kd = if s <= d then (s, d) else (d, s) in
+      let key = (ks, kd, tuple) in
+      (* "two edges are unified automatically if their respective end
+         nodes are unified": only edges touching a merged class are
+         dedup candidates — independently declared parallel edges stay *)
+      let candidate = class_size.(s) > 1 || class_size.(d) > 1 in
+      match (if candidate then Hashtbl.find_opt edge_key key else None) with
+      | Some final_id ->
+        edge_map.(i) <- final_id;
+        final_edge_preds :=
+          List.map
+            (fun (e, p) -> if e = final_id then (e, Pred.( && ) p pred) else (e, p))
+            !final_edge_preds
+      | None ->
+        let final_id =
+          Graph.Builder.add_edge b ?name:proto_edge_names.(i) ~tuple s d
+        in
+        Hashtbl.add edge_key key final_id;
+        edge_map.(i) <- final_id;
+        final_edge_preds := (final_id, pred) :: !final_edge_preds)
+    edges;
+  let graph = Graph.Builder.build b in
+  (* rewrite pending where-clauses to canonical names *)
+  let canon_node_name c =
+    match canonical.(c) with Some s -> s | None -> Printf.sprintf "v%d" c
+  in
+  let canon_edge_name e =
+    match Graph.edge_name graph e with Some s -> s | None -> Printf.sprintf "e%d" e
+  in
+  let rewrite (scope, self, pred) =
+    let rec map_paths = function
+      | (Pred.True | Pred.Lit _) as p -> p
+      | Pred.Attr path ->
+        let path =
+          match self, path with
+          | Some name, x :: rest when x = name && rest <> [] -> rest
+          | _ -> path
+        in
+        (match resolve_prefix resolve_node scope path with
+        | Some (id, rest) -> Pred.Attr (canon_node_name (cls id) :: rest)
+        | None ->
+          (match resolve_prefix resolve_edge scope path with
+          | Some (id, rest) when edge_map.(id) >= 0 ->
+            Pred.Attr (canon_edge_name edge_map.(id) :: rest)
+          | _ -> Pred.Attr path))
+      | Pred.Not p -> Pred.Not (map_paths p)
+      | Pred.Binop (op, a, b) -> Pred.Binop (op, map_paths a, map_paths b)
+    in
+    map_paths pred
+  in
+  let global_pred =
+    Pred.conj (List.rev_map rewrite acc.a_pending)
+  in
+  let node_preds =
+    Array.to_list preds
+    |> List.mapi (fun c p -> (c, p))
+    |> List.filter (fun (_, p) -> not (Pred.equal p Pred.True))
+  in
+  let edge_preds =
+    List.filter (fun (_, p) -> not (Pred.equal p Pred.True)) !final_edge_preds
+  in
+  { graph; node_preds; edge_preds; global_pred }
+
+(* --- public API ------------------------------------------------------------ *)
+
+(* Enumerate by increasing nesting depth (iterative deepening), so the
+   shallowest derivations of a recursive motif come first — "the first
+   resulting graph consists of node v0 alone" (Fig 4.6b). Each
+   derivation has a unique exact depth, so no duplicates arise. *)
+let derive ?(defs = no_defs) ?(max_depth = 16) decl =
+  Seq.concat_map
+    (fun d ->
+      expand_decl defs d decl empty_acc
+      |> Seq.filter (fun (acc, _) -> acc.a_depth = d)
+      |> Seq.map (build decl))
+    (Seq.init (max_depth + 1) Fun.id)
+
+let to_flat d =
+  (* push pushable conjuncts of the global predicate down to nodes/edges *)
+  let base =
+    Gql_matcher.Flat_pattern.of_graph ~node_preds:d.node_preds
+      ~edge_preds:d.edge_preds ~global_pred:Pred.True d.graph
+  in
+  let from_where = Gql_matcher.Flat_pattern.of_where d.graph d.global_pred in
+  {
+    base with
+    Gql_matcher.Flat_pattern.node_preds =
+      Array.mapi
+        (fun i p ->
+          Pred.( && ) p from_where.Gql_matcher.Flat_pattern.node_preds.(i))
+        base.Gql_matcher.Flat_pattern.node_preds;
+    edge_preds =
+      Array.mapi
+        (fun i p ->
+          Pred.( && ) p from_where.Gql_matcher.Flat_pattern.edge_preds.(i))
+        base.Gql_matcher.Flat_pattern.edge_preds;
+    global_pred = from_where.Gql_matcher.Flat_pattern.global_pred;
+  }
+
+let flat_patterns ?defs ?max_depth decl =
+  Seq.map to_flat (derive ?defs ?max_depth decl)
+
+let is_ground d =
+  d.node_preds = [] && d.edge_preds = [] && Pred.equal d.global_pred Pred.True
+
+let to_graph ?defs decl =
+  match List.of_seq (Seq.take 2 (derive ?defs ~max_depth:16 decl)) with
+  | [] -> error "graph %s has no derivation" (Option.value decl.Ast.g_name ~default:"")
+  | [ d ] when is_ground d -> d.graph
+  | [ _ ] -> error "graph literal has predicates; expected a ground data graph"
+  | _ -> error "graph literal is ambiguous (disjunction or recursion)"
+
+let language ?defs ?max_depth decl =
+  Seq.map (fun d -> d.graph) (derive ?defs ?max_depth decl)

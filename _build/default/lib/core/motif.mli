@@ -1,0 +1,62 @@
+(** Graph motifs — a formal language for graph structures (Section 2).
+
+    A motif is either a simple graph or composed from other motifs by
+    {e concatenation} (nested [graph G as X;] references connected by
+    edges — Fig 4.4(a) — or merged by [unify] — Fig 4.4(b)),
+    {e disjunction} ([{...} | {...}] — Fig 4.5), or {e repetition}
+    (a motif referring to itself, with [export] re-exposing inner nodes
+    — Fig 4.6). A graph grammar is a set of named motifs; the language
+    of a grammar is the set of graphs derivable from its motifs.
+
+    {!derive} enumerates the derivations of a motif lazily. Each
+    derivation is a constant graph plus the predicates collected from
+    [where] clauses — exactly what the access methods need, so a
+    derivation converts directly to a {!Gql_matcher.Flat_pattern.t}.
+
+    Node and edge names in a derivation are the dotted paths of the
+    declarations ([X.v1] for node [v1] of the motif aliased [X]);
+    unification classes take the shortest (then lexicographically
+    least) of their members' names. *)
+
+open Gql_graph
+
+exception Error of string
+
+type defs = string -> Ast.graph_decl option
+(** Named-motif lookup (the grammar). *)
+
+val no_defs : defs
+val defs_of_list : (string * Ast.graph_decl) list -> defs
+
+type derived = {
+  graph : Graph.t;
+      (** the concrete structure; node/edge tuples hold the constant
+          attributes of the declarations *)
+  node_preds : (int * Pred.t) list;
+  edge_preds : (int * Pred.t) list;
+  global_pred : Pred.t;
+      (** residual [where] predicates, with paths rewritten to the
+          derivation's canonical names *)
+}
+
+val derive : ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> derived Seq.t
+(** All derivations, lazily; recursive references are expanded at most
+    [max_depth] (default 16) levels deep, so the sequence is always
+    finite. Disjunction branches derive in declaration order. Raises
+    {!Error} on unknown references, unresolved names, duplicate names,
+    template-only constructs ([node P.v1] copies, conditional [unify]),
+    or non-constant tuple attributes. *)
+
+val to_flat : derived -> Gql_matcher.Flat_pattern.t
+
+val flat_patterns :
+  ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> Gql_matcher.Flat_pattern.t Seq.t
+
+val to_graph : ?defs:defs -> Ast.graph_decl -> Graph.t
+(** The unique derivation of a {e data graph} literal. Raises {!Error}
+    when the declaration has predicates or more than one derivation
+    (disjunction / recursion). *)
+
+val language : ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> Graph.t Seq.t
+(** The structures derivable from a motif — the language of the grammar
+    restricted to this start symbol (predicates ignored). *)

@@ -1,0 +1,258 @@
+open Gql_graph
+
+type expr =
+  | Source of string
+  | Var of string
+  | Select of {
+      pname : string;
+      patterns : Gql_matcher.Flat_pattern.t list;
+      exhaustive : bool;
+      post : Pred.t option;
+      input : expr;
+    }
+  | Compose of {
+      template : Ast.template;
+      param : string;
+      input : expr;
+    }
+  | Fold_compose of {
+      template : Ast.template;
+      param : string;
+      var : string;
+      input : expr;
+    }
+
+type statement =
+  | Assign of string * expr
+  | Output of expr
+
+type t = statement list
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let compile ?max_depth (program : Ast.program) =
+  let defs = Hashtbl.create 8 in
+  let lookup name = Hashtbl.find_opt defs name in
+  let compile_flwr (f : Ast.flwr) =
+    let decl, pname =
+      match f.Ast.f_pattern with
+      | `Named n ->
+        (match lookup n with
+        | Some d -> (d, n)
+        | None -> error "unknown pattern %s" n)
+      | `Inline d -> (d, Option.value d.Ast.g_name ~default:"P")
+    in
+    let patterns =
+      List.of_seq (Motif.flat_patterns ~defs:lookup ?max_depth decl)
+    in
+    if patterns = [] then error "pattern %s has no derivation" pname;
+    let selection =
+      Select
+        {
+          pname;
+          patterns;
+          exhaustive = f.Ast.f_exhaustive;
+          post = f.Ast.f_where;
+          input = Source f.Ast.f_source;
+        }
+    in
+    match f.Ast.f_body with
+    | Ast.Return t ->
+      Output (Compose { template = t; param = pname; input = selection })
+    | Ast.Let (v, t) ->
+      Assign (v, Fold_compose { template = t; param = pname; var = v; input = selection })
+  in
+  List.filter_map
+    (fun stmt ->
+      match stmt with
+      | Ast.Sgraph g ->
+        (match g.Ast.g_name with
+        | Some name ->
+          Hashtbl.replace defs name g;
+          None
+        | None -> error "top-level graph declarations must be named")
+      | Ast.Sassign (v, t) -> Some (Assign (v, Compose { template = t; param = "_"; input = Var "_unit" }))
+      | Ast.Sflwr f -> Some (compile_flwr f))
+    program
+
+(* --- printing (EXPLAIN) --- *)
+
+let pp_template ppf = function
+  | Ast.Tvar v -> Format.pp_print_string ppf v
+  | Ast.Tgraph g ->
+    Format.fprintf ppf "T%s"
+      (match g.Ast.g_name with Some n -> "_" ^ n | None -> "")
+
+let rec pp_expr ppf = function
+  | Source s -> Format.fprintf ppf "doc(%S)" s
+  | Var v -> Format.pp_print_string ppf v
+  | Select { pname; patterns; exhaustive; post; input } ->
+    Format.fprintf ppf "σ[%s%s%s%s](%a)" pname
+      (if List.length patterns > 1 then
+         Printf.sprintf ", %d derivations" (List.length patterns)
+       else "")
+      (if exhaustive then ", exhaustive" else "")
+      (match post with
+      | Some p -> Format.asprintf ", where %a" Pred.pp p
+      | None -> "")
+      pp_expr input
+  | Compose { template; param; input } ->
+    Format.fprintf ppf "ω[%a/%s](%a)" pp_template template param pp_expr input
+  | Fold_compose { template; param; var; input } ->
+    Format.fprintf ppf "fold-ω[%a/%s; %s](%a, {%s})" pp_template template param
+      var pp_expr input var
+
+let pp ppf plan =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf -> function
+      | Assign (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
+      | Output e -> Format.fprintf ppf "return %a" pp_expr e)
+    ppf plan
+
+(* --- optimization: predicate pushdown --- *)
+
+module FP = Gql_matcher.Flat_pattern
+
+let push_into_pattern pname (p : FP.t) post =
+  (* the FLWR filter sees both [P.v1.attr] and [v1.attr] paths *)
+  let stripped = Pred.strip_prefix pname post in
+  let k = FP.size p in
+  let pg = p.FP.structure in
+  let node_vars = List.init k (FP.var_name p) in
+  let edge_vars =
+    List.init (Graph.n_edges pg) (fun e ->
+        match Graph.edge_name pg e with
+        | Some n -> n
+        | None -> Printf.sprintf "e%d" e)
+  in
+  let per_var, residual =
+    Pred.split_by_root ~vars:(node_vars @ edge_vars) stripped
+  in
+  if per_var = [] then (p, post)
+  else begin
+    let node_preds = Array.copy p.FP.node_preds in
+    let edge_preds = Array.copy p.FP.edge_preds in
+    List.iter
+      (fun (var, pred) ->
+        match List.find_index (String.equal var) node_vars with
+        | Some u -> node_preds.(u) <- Pred.( && ) node_preds.(u) pred
+        | None ->
+          (match List.find_index (String.equal var) edge_vars with
+          | Some e -> edge_preds.(e) <- Pred.( && ) edge_preds.(e) pred
+          | None -> ()))
+      per_var;
+    ( { p with FP.node_preds; edge_preds },
+      if Pred.equal residual Pred.True then Pred.True else residual )
+  end
+
+let rec optimize_expr = function
+  | (Source _ | Var _) as e -> e
+  (* only exhaustive selections: under take-one-mapping semantics the
+     filter's position is observable *)
+  | Select ({ pname; patterns = [ p ]; post = Some post; input; exhaustive = true } as s) ->
+    let p', residual = push_into_pattern pname p post in
+    Select
+      {
+        s with
+        patterns = [ p' ];
+        post = (if Pred.equal residual Pred.True then None else Some residual);
+        input = optimize_expr input;
+      }
+  | Select s -> Select { s with input = optimize_expr s.input }
+  | Compose c -> Compose { c with input = optimize_expr c.input }
+  | Fold_compose f -> Fold_compose { f with input = optimize_expr f.input }
+
+let optimize plan =
+  List.map
+    (function
+      | Assign (v, e) -> Assign (v, optimize_expr e)
+      | Output e -> Output (optimize_expr e))
+    plan
+
+(* --- execution --- *)
+
+type state = {
+  mutable vars : (string * Graph.t) list;
+  mutable last : Algebra.collection option;
+}
+
+let execute ?(docs = []) ?strategy plan =
+  let st = { vars = []; last = None } in
+  let template_env extra =
+    extra @ List.map (fun (name, g) -> (name, Template.Pgraph g)) st.vars
+  in
+  let instantiate extra = function
+    | Ast.Tgraph decl -> Template.instantiate ~env:(template_env extra) decl
+    | Ast.Tvar v ->
+      (match List.assoc_opt v st.vars with
+      | Some g -> g
+      | None -> error "unknown variable %s" v)
+  in
+  let filter_post pname post entries =
+    match post with
+    | None -> entries
+    | Some pred ->
+      List.filter
+        (function
+          | Algebra.M m ->
+            Pred.holds
+              (Pred.env_extend (Matched.env m) [ (pname, Matched.env m) ])
+              pred
+          | Algebra.G _ -> true)
+        entries
+  in
+  let param_of = function
+    | Algebra.M m -> Template.Pmatched m
+    | Algebra.G g -> Template.Pgraph g
+  in
+  (* evaluates to a collection; [Fold_compose] additionally rebinds its
+     variable as a side effect, like the FLWR let *)
+  let rec eval = function
+    | Source name ->
+      (match List.assoc_opt name docs with
+      | Some gs -> List.map (fun g -> Algebra.G g) gs
+      | None ->
+        (match List.assoc_opt name st.vars with
+        | Some g -> [ Algebra.G g ]
+        | None -> error "unknown collection %S" name))
+    | Var "_unit" -> [ Algebra.G (Graph.of_edges ~n:0 []) ]
+    | Var v ->
+      (match List.assoc_opt v st.vars with
+      | Some g -> [ Algebra.G g ]
+      | None -> error "unknown variable %s" v)
+    | Select { pname; patterns; exhaustive; post; input } ->
+      let entries = eval input in
+      Algebra.select ?strategy ~exhaustive ~patterns entries
+      |> filter_post pname post
+    | Compose { template; param; input } ->
+      List.map
+        (fun entry -> Algebra.G (instantiate [ (param, param_of entry) ] template))
+        (eval input)
+    | Fold_compose { template; param; var; input } ->
+      let matches = eval input in
+      List.iter
+        (fun entry ->
+          let g = instantiate [ (param, param_of entry) ] template in
+          st.vars <- (var, g) :: List.remove_assoc var st.vars)
+        matches;
+      (match List.assoc_opt var st.vars with
+      | Some g -> [ Algebra.G g ]
+      | None -> [])
+  in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Assign (v, (Compose { template; param = "_"; input = Var "_unit" } : expr)) ->
+        (* plain assignment *)
+        let g = instantiate [] template in
+        st.vars <- (v, g) :: List.remove_assoc v st.vars
+      | Assign (v, e) ->
+        (match eval e with
+        | [ Algebra.G g ] -> st.vars <- (v, g) :: List.remove_assoc v st.vars
+        | [] -> ()
+        | _ -> error "assignment of a multi-graph collection to %s" v)
+      | Output e -> st.last <- Some (eval e))
+    plan;
+  { Eval.defs = []; vars = st.vars; last = st.last }

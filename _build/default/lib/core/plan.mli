@@ -1,0 +1,68 @@
+(** Compilation of GraphQL programs into algebra expressions.
+
+    §3.4: "The query can be translated into a recursive algebraic
+    expression C = σ_J(ω_{T_{P,C}}(σ_P("DBLP"), {C}))". {!Eval}
+    interprets statements directly; this module makes the translation
+    a first-class value — a tree of algebra operators that can be
+    inspected ({!pp}, the EXPLAIN view) and executed. The test suite
+    checks {!execute} agrees with {!Eval.run}.
+
+    FLWR forms compile as:
+    - [for P in doc(D) return T]  ⇒  ω_T(σ_P(D))
+    - [for P in doc(D) let C := T] ⇒ the recursive expression above:
+      a left fold of the composition over the selection's matches,
+      rebinding C at each step. *)
+
+open Gql_graph
+
+type expr =
+  | Source of string  (** doc("...") or a variable used as a source *)
+  | Var of string
+  | Select of {
+      pname : string;
+      patterns : Gql_matcher.Flat_pattern.t list;
+      exhaustive : bool;
+      post : Pred.t option;  (** the FLWR [where] filter *)
+      input : expr;
+    }
+  | Compose of {
+      template : Ast.template;
+      param : string;
+      input : expr;
+    }
+  | Fold_compose of {
+      template : Ast.template;
+      param : string;
+      var : string;  (** the accumulated variable, e.g. [C] *)
+      input : expr;
+    }
+
+type statement =
+  | Assign of string * expr
+  | Output of expr
+
+type t = statement list
+
+exception Error of string
+
+val compile : ?max_depth:int -> Ast.program -> t
+(** Named pattern definitions are resolved during compilation (they do
+    not appear in the plan). Raises {!Error} on unknown names. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+(** Algebraic notation: [σ], [ω], [fold-ω]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val execute : ?docs:Eval.docs -> ?strategy:Gql_matcher.Engine.strategy -> t -> Eval.result
+(** Same result type as {!Eval.run}; [defs] is empty in the result
+    (definitions were compiled away). *)
+
+val optimize : t -> t
+(** Algebraic rewriting — "laws of relational algebra carry over"
+    (§3.3): conjuncts of a selection's residual [where] filter that
+    mention a single pattern variable are pushed into the pattern's
+    node/edge predicates, so the access methods prune on them during
+    retrieval instead of filtering complete matches. Only applied to
+    single-derivation selections (disjunctive/recursive patterns keep
+    the filter). Results are unchanged; spaces shrink. *)

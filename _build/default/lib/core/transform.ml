@@ -1,0 +1,62 @@
+open Gql_graph
+
+let node_holds g pred v = Pred.holds (Pred.env_of_tuple (Graph.node_tuple g v)) pred
+let edge_holds pred e = Pred.holds (Pred.env_of_tuple e.Graph.etuple) pred
+
+let rebuild ?(keep_node = fun _ -> true) ?(keep_edge = fun _ _ -> true)
+    ?(map_node = fun _ t -> t) g =
+  let b =
+    Graph.Builder.create ~directed:(Graph.directed g) ?name:(Graph.name g)
+      ~tuple:(Graph.tuple g) ()
+  in
+  let renum = Array.make (Graph.n_nodes g) (-1) in
+  Graph.iter_nodes g ~f:(fun v ->
+      if keep_node v then
+        renum.(v) <-
+          Graph.Builder.add_node b ?name:(Graph.node_name g v)
+            (map_node v (Graph.node_tuple g v)));
+  Graph.iter_edges g ~f:(fun i e ->
+      let s = renum.(e.Graph.src) and d = renum.(e.Graph.dst) in
+      if s >= 0 && d >= 0 && keep_edge i e then
+        ignore
+          (Graph.Builder.add_edge b ?name:(Graph.edge_name g i) ~tuple:e.Graph.etuple
+             s d));
+  Graph.Builder.build b
+
+let filter_nodes ~pred g = rebuild ~keep_node:(node_holds g pred) g
+let delete_nodes ~pred g = rebuild ~keep_node:(fun v -> not (node_holds g pred v)) g
+let filter_edges ~pred g = rebuild ~keep_edge:(fun _ e -> edge_holds pred e) g
+let delete_edges ~pred g = rebuild ~keep_edge:(fun _ e -> not (edge_holds pred e)) g
+
+let update_nodes ?(pred = Pred.True) ~f g =
+  rebuild ~map_node:(fun v t -> if node_holds g pred v then f t else t) g
+
+let set_node_attr ?pred name value g =
+  update_nodes ?pred ~f:(fun t -> Tuple.set t name value) g
+
+(* a name-preserving copy of [g] into a fresh builder *)
+let copy_into g =
+  let b =
+    Graph.Builder.create ~directed:(Graph.directed g) ?name:(Graph.name g)
+      ~tuple:(Graph.tuple g) ()
+  in
+  Graph.iter_nodes g ~f:(fun v ->
+      ignore (Graph.Builder.add_node b ?name:(Graph.node_name g v) (Graph.node_tuple g v)));
+  Graph.iter_edges g ~f:(fun i e ->
+      ignore
+        (Graph.Builder.add_edge b ?name:(Graph.edge_name g i) ~tuple:e.Graph.etuple
+           e.Graph.src e.Graph.dst));
+  b
+
+let add_node ?name tuple g =
+  let b = copy_into g in
+  let id = Graph.Builder.add_node b ?name tuple in
+  (Graph.Builder.build b, id)
+
+let add_edge ?name ?tuple src dst g =
+  let b = copy_into g in
+  ignore (Graph.Builder.add_edge b ?name ?tuple src dst);
+  Graph.Builder.build b
+
+let map_collection ~f c =
+  List.map (fun entry -> Algebra.G (f (Algebra.underlying entry))) c

@@ -1,0 +1,35 @@
+(** Graph update operations.
+
+    §6.1 compares GraphQL with TAX, whose extra operators are
+    "copy-and-paste, value updates, node deletion and insertion —
+    GraphQL can express these operations by the composition operator."
+    These are the direct forms, as a library convenience: each produces
+    a new graph (graphs stay immutable). Node deletion removes incident
+    edges, as in GOOD's node-deletion semantics. *)
+
+open Gql_graph
+
+val filter_nodes : pred:Pred.t -> Graph.t -> Graph.t
+(** Keep the nodes whose tuple satisfies [pred] (and the edges between
+    them). *)
+
+val delete_nodes : pred:Pred.t -> Graph.t -> Graph.t
+(** Drop the nodes satisfying [pred]. *)
+
+val filter_edges : pred:Pred.t -> Graph.t -> Graph.t
+val delete_edges : pred:Pred.t -> Graph.t -> Graph.t
+
+val update_nodes : ?pred:Pred.t -> f:(Tuple.t -> Tuple.t) -> Graph.t -> Graph.t
+(** Value update on every node tuple satisfying [pred] (default all). *)
+
+val set_node_attr : ?pred:Pred.t -> string -> Value.t -> Graph.t -> Graph.t
+
+val add_node : ?name:string -> Tuple.t -> Graph.t -> Graph.t * int
+(** Node insertion; returns the new node's id in the new graph (old ids
+    are preserved). *)
+
+val add_edge : ?name:string -> ?tuple:Tuple.t -> int -> int -> Graph.t -> Graph.t
+
+val map_collection : f:(Graph.t -> Graph.t) -> Algebra.collection -> Algebra.collection
+(** Bulk form over a collection (matched entries lose their binding —
+    the rewritten graph is a new graph). *)

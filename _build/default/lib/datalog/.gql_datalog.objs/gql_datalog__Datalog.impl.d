@@ -1,0 +1,1 @@
+lib/datalog/datalog.ml: Gql_graph Hashtbl List Printf Value

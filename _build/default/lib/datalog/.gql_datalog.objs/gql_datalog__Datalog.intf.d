@@ -1,0 +1,1 @@
+lib/datalog/datalog.mli: Gql_graph Value

@@ -1,0 +1,1 @@
+lib/datalog/translate.ml: Array Datalog Fun Gql_graph Gql_matcher Graph List Pred Printf Tuple Value

@@ -1,0 +1,1 @@
+lib/datalog/translate.mli: Datalog Gql_graph Gql_matcher Graph

@@ -1,0 +1,184 @@
+open Gql_graph
+module Flat_pattern = Gql_matcher.Flat_pattern
+
+let node_id gname v = Printf.sprintf "%s.v%d" gname v
+let edge_id gname e = Printf.sprintf "%s.e%d" gname e
+
+let add_attrs db id tuple =
+  List.iter
+    (fun (k, v) -> Datalog.add_fact db "attribute" [ Value.Str id; Value.Str k; v ])
+    (Tuple.bindings tuple);
+  match Tuple.tag tuple with
+  | Some tag ->
+    Datalog.add_fact db "attribute"
+      [ Value.Str id; Value.Str "tag"; Value.Str tag ]
+  | None -> ()
+
+let load_graph db ~name g =
+  Datalog.add_fact db "graph" [ Value.Str name ];
+  add_attrs db name (Graph.tuple g);
+  Graph.iter_nodes g ~f:(fun v ->
+      let id = node_id name v in
+      Datalog.add_fact db "node" [ Value.Str name; Value.Str id ];
+      add_attrs db id (Graph.node_tuple g v);
+      (* labels double as attributes for pattern predicates *)
+      Datalog.add_fact db "attribute"
+        [ Value.Str id; Value.Str "label"; Value.Str (Graph.label g v) ]);
+  Graph.iter_edges g ~f:(fun i e ->
+      let id = edge_id name i in
+      let s = Value.Str (node_id name e.Graph.src) in
+      let d = Value.Str (node_id name e.Graph.dst) in
+      Datalog.add_fact db "edge" [ Value.Str name; Value.Str id; s; d ];
+      if not (Graph.directed g) then
+        Datalog.add_fact db "edge" [ Value.Str name; Value.Str id; d; s ];
+      add_attrs db id e.Graph.etuple)
+
+let cmp_of_binop = function
+  | Pred.Eq -> Datalog.Ceq
+  | Pred.Ne -> Datalog.Cne
+  | Pred.Lt -> Datalog.Clt
+  | Pred.Le -> Datalog.Cle
+  | Pred.Gt -> Datalog.Cgt
+  | Pred.Ge -> Datalog.Cge
+  | Pred.And | Pred.Or | Pred.Add | Pred.Sub | Pred.Mul | Pred.Div ->
+    invalid_arg "Translate: only comparison predicates are supported"
+
+(* translate the conjuncts of [pred], whose attribute paths are either
+   [attr] (local to [self_var]) or [var.attr]; emits attribute atoms
+   binding temporaries plus comparison literals *)
+let literals_of_pred ~fresh ~var_of_name ~self pred =
+  List.concat_map
+    (fun conjunct ->
+      match conjunct with
+      | Pred.Binop (op, lhs, rhs) ->
+        let side = function
+          | Pred.Lit v -> ([], Datalog.Const v)
+          | Pred.Attr path ->
+            let subject, attr =
+              match path with
+              | [ attr ] ->
+                (match self with
+                | Some v -> (v, attr)
+                | None -> invalid_arg "Translate: bare attribute with no subject")
+              | [ name; attr ] -> (var_of_name name, attr)
+              | _ -> invalid_arg "Translate: deep attribute paths unsupported"
+            in
+            let tmp = fresh () in
+            ( [ Datalog.Pos
+                  (Datalog.atom "attribute"
+                     [ subject; Datalog.Const (Value.Str attr); Datalog.Var tmp ]) ],
+              Datalog.Var tmp )
+          | _ -> invalid_arg "Translate: only comparisons of attributes and literals"
+        in
+        let latoms, lterm = side lhs in
+        let ratoms, rterm = side rhs in
+        latoms @ ratoms @ [ Datalog.Cmp (cmp_of_binop op, lterm, rterm) ]
+      | Pred.True -> []
+      | _ -> invalid_arg "Translate: unsupported predicate form")
+    (Pred.conjuncts pred)
+
+let pattern_rule ?(head_name = "match_p") p =
+  let k = Flat_pattern.size p in
+  let pg = p.Flat_pattern.structure in
+  let gvar = Datalog.Var "G" in
+  let nvar u = Datalog.Var (Printf.sprintf "V%d" u) in
+  let evar i = Datalog.Var (Printf.sprintf "E%d" i) in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "T%d" !counter
+  in
+  let var_of_name name =
+    (* resolve a pattern variable name to its Datalog variable *)
+    let rec find u =
+      if u >= k then
+        match Graph.edge_by_name pg name with
+        | Some e -> evar e
+        | None -> invalid_arg ("Translate: unknown pattern variable " ^ name)
+      else if Flat_pattern.var_name p u = name then nvar u
+      else find (u + 1)
+    in
+    find 0
+  in
+  let node_atoms =
+    List.init k (fun u -> Datalog.Pos (Datalog.atom "node" [ gvar; nvar u ]))
+  in
+  let edge_atoms =
+    List.init (Graph.n_edges pg) (fun i ->
+        let e = Graph.edge pg i in
+        Datalog.Pos
+          (Datalog.atom "edge" [ gvar; evar i; nvar e.Graph.src; nvar e.Graph.dst ]))
+  in
+  let node_preds =
+    List.concat
+      (List.init k (fun u ->
+           literals_of_pred ~fresh ~var_of_name ~self:(Some (nvar u))
+             p.Flat_pattern.node_preds.(u)))
+  in
+  (* constant attributes on pattern tuples are implicit equalities *)
+  let tuple_atoms var tuple =
+    let attr_atom (name, v) =
+      Datalog.Pos
+        (Datalog.atom "attribute" [ var; Datalog.Const (Value.Str name); Datalog.Const v ])
+    in
+    List.map attr_atom (Tuple.bindings tuple)
+    @
+    match Tuple.tag tuple with
+    | Some tag -> [ attr_atom ("tag", Value.Str tag) ]
+    | None -> []
+  in
+  let label_preds =
+    List.concat (List.init k (fun u -> tuple_atoms (nvar u) (Graph.node_tuple pg u)))
+    @ List.concat
+        (List.init (Graph.n_edges pg) (fun i ->
+             tuple_atoms (evar i) (Graph.edge pg i).Graph.etuple))
+  in
+  let edge_preds =
+    List.concat
+      (List.init (Graph.n_edges pg) (fun i ->
+           literals_of_pred ~fresh ~var_of_name ~self:(Some (evar i))
+             p.Flat_pattern.edge_preds.(i)))
+  in
+  let global_preds =
+    literals_of_pred ~fresh ~var_of_name ~self:None p.Flat_pattern.global_pred
+  in
+  let injective =
+    List.concat
+      (List.init k (fun u ->
+           List.filter_map
+             (fun v ->
+               if v > u then Some (Datalog.Cmp (Datalog.Cne, nvar u, nvar v))
+               else None)
+             (List.init k Fun.id)))
+  in
+  {
+    Datalog.head = Datalog.atom head_name (gvar :: List.init k nvar);
+    body =
+      (Datalog.Pos (Datalog.atom "graph" [ gvar ]) :: node_atoms)
+      @ edge_atoms @ label_preds @ node_preds @ edge_preds @ global_preds
+      @ injective;
+  }
+
+let count_matches g p =
+  let db = Datalog.create () in
+  load_graph db ~name:"G" g;
+  Datalog.add_rule db (pattern_rule p);
+  Datalog.solve db;
+  Datalog.n_facts db "match_p"
+
+let reachability_rules ~edge_name ~reach_name =
+  let v x = Datalog.Var x in
+  [
+    {
+      Datalog.head = Datalog.atom reach_name [ v "X"; v "Y" ];
+      body = [ Datalog.Pos (Datalog.atom edge_name [ v "G"; v "E"; v "X"; v "Y" ]) ];
+    };
+    {
+      Datalog.head = Datalog.atom reach_name [ v "X"; v "Z" ];
+      body =
+        [
+          Datalog.Pos (Datalog.atom reach_name [ v "X"; v "Y" ]);
+          Datalog.Pos (Datalog.atom edge_name [ v "G"; v "E"; v "Y"; v "Z" ]);
+        ];
+    };
+  ]

@@ -1,0 +1,30 @@
+(** The GraphQL → Datalog translation (Theorems 4.5/4.6).
+
+    Graphs become facts (Figure 4.14): [graph('G')], [node('G','G.v1')],
+    [edge('G','G.e1','G.v1','G.v2')] — undirected edges written in both
+    orientations — and [attribute(id, name, value)] for graph, node and
+    edge attributes.
+
+    A flat pattern becomes a rule (Figure 4.15): the body is the
+    conjunction of the motif's constituent elements plus comparison
+    built-ins for the predicates, with pairwise inequalities between
+    node variables for the injectivity of Definition 4.2. The pattern
+    matches the graph iff the rule derives a [match_...] fact; the
+    distinct derived tuples are exactly the embeddings. *)
+
+open Gql_graph
+
+val load_graph : Datalog.db -> name:string -> Graph.t -> unit
+
+val pattern_rule : ?head_name:string -> Gql_matcher.Flat_pattern.t -> Datalog.rule
+(** Supports patterns whose predicates are conjunctions of comparisons
+    between a single attribute path and a literal (the Figure 4.15
+    form). Raises [Invalid_argument] otherwise. *)
+
+val count_matches : Graph.t -> Gql_matcher.Flat_pattern.t -> int
+(** Load, translate, solve, count distinct embeddings. *)
+
+val reachability_rules : edge_name:string -> reach_name:string -> Datalog.rule list
+(** The classic recursive program (GraphQL's recursive path motifs land
+    in this fragment): [reach(X,Y) :- edge(G,E,X,Y)] and
+    [reach(X,Z) :- reach(X,Y), edge(G,E,Y,Z)]. *)

@@ -1,0 +1,1 @@
+lib/datasets/chem.ml: Array Gql_graph Graph List Printf Rng Tuple Value

@@ -1,0 +1,1 @@
+lib/datasets/chem.mli: Gql_graph Graph

@@ -1,0 +1,1 @@
+lib/datasets/dblp.mli: Gql_graph Graph

@@ -1,0 +1,1 @@
+lib/datasets/ppi.ml: Array Gql_graph Graph Hashtbl List Printf Rng Tuple Value Zipf

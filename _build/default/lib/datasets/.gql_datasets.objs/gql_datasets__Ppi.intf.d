@@ -1,0 +1,1 @@
+lib/datasets/ppi.mli: Gql_graph Graph

@@ -1,0 +1,1 @@
+lib/datasets/queries.ml: Array Gql_graph Gql_index Gql_matcher Graph Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/datasets/queries.mli: Gql_graph Gql_index Gql_matcher Graph Rng

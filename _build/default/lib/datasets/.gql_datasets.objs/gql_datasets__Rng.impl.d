@@ -1,0 +1,1 @@
+lib/datasets/rng.ml: Array Int64

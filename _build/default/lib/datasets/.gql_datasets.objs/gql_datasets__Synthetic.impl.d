@@ -1,0 +1,1 @@
+lib/datasets/synthetic.ml: Array Gql_graph Graph Hashtbl List Printf Rng Zipf

@@ -1,0 +1,1 @@
+lib/datasets/synthetic.mli: Gql_graph Graph Rng

@@ -1,0 +1,1 @@
+lib/datasets/zipf.ml: Array Rng

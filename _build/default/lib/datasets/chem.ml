@@ -1,0 +1,44 @@
+open Gql_graph
+
+let atom b ?name element =
+  Graph.Builder.add_node b ?name (Tuple.make ~tag:"atom" [ ("label", Value.Str element) ])
+
+let bond b ?(order = 1) u v =
+  ignore
+    (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("bond", Value.Int order) ]) u v)
+
+let benzene_like () =
+  let b = Graph.Builder.create ~name:"benzene" () in
+  let atoms = Array.init 6 (fun i -> atom b ~name:(Printf.sprintf "c%d" i) "C") in
+  for i = 0 to 5 do
+    bond b ~order:(1 + (i mod 2)) atoms.(i) atoms.((i + 1) mod 6)
+  done;
+  Graph.Builder.build b
+
+let elements = [| "C"; "C"; "C"; "C"; "N"; "O"; "S" |]  (* carbon-heavy *)
+
+let generate ?(seed = 7) ~n_compounds () =
+  let rng = Rng.create seed in
+  List.init n_compounds (fun c ->
+      let b = Graph.Builder.create ~name:(Printf.sprintf "compound%d" c) () in
+      (* ring of 5 or 6 atoms; heterocyclic when a ring atom is not C *)
+      let ring_size = 5 + Rng.int rng 2 in
+      let ring =
+        Array.init ring_size (fun _ -> atom b (Rng.choose rng elements))
+      in
+      for i = 0 to ring_size - 1 do
+        bond b ~order:(1 + (i mod 2)) ring.(i) ring.((i + 1) mod ring_size)
+      done;
+      (* side chains *)
+      let n_chains = Rng.int rng 3 in
+      for _ = 1 to n_chains do
+        let attach = ring.(Rng.int rng ring_size) in
+        let len = 1 + Rng.int rng 3 in
+        let prev = ref attach in
+        for _ = 1 to len do
+          let a = atom b (Rng.choose rng elements) in
+          bond b !prev a;
+          prev := a
+        done
+      done;
+      Graph.Builder.build b)

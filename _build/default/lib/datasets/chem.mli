@@ -1,0 +1,15 @@
+(** Chemical-compound-like graphs.
+
+    Small molecules: rings of 5–6 atoms with side chains, atoms labeled
+    by element (C/N/O/S), edges carrying a [bond] attribute (1 = single,
+    2 = double). Supports the heterocyclic-compound example from the
+    paper's introduction ("find all heterocyclic compounds that contain
+    a given aromatic ring and a side chain"). *)
+
+open Gql_graph
+
+val generate : ?seed:int -> n_compounds:int -> unit -> Graph.t list
+
+val benzene_like : unit -> Graph.t
+(** A six-carbon aromatic ring with alternating bond orders — usable as
+    a query pattern structure. *)

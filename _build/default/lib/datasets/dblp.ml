@@ -1,0 +1,40 @@
+open Gql_graph
+
+let author_name i = Printf.sprintf "author%d" i
+
+let generate ?(seed = 42) ?(n_authors = 200)
+    ?(venues = [ "SIGMOD"; "VLDB"; "ICDE" ]) ~n_papers () =
+  let rng = Rng.create seed in
+  let z = Zipf.create n_authors in
+  let venue_arr = Array.of_list venues in
+  List.init n_papers (fun p ->
+      let k = 1 + Rng.int rng 5 in
+      (* draw k distinct authors *)
+      let authors = Hashtbl.create k in
+      while Hashtbl.length authors < k do
+        Hashtbl.replace authors (Zipf.sample z rng) ()
+      done;
+      let venue = Rng.choose rng venue_arr in
+      let year = 2000 + Rng.int rng 9 in
+      let b =
+        Graph.Builder.create
+          ~name:(Printf.sprintf "paper%d" p)
+          ~tuple:
+            (Tuple.make ~tag:"inproceedings"
+               [
+                 ("booktitle", Value.Str venue);
+                 ("year", Value.Int year);
+                 ("title", Value.Str (Printf.sprintf "Title%d" p));
+               ])
+          ()
+      in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun a () ->
+          incr i;
+          ignore
+            (Graph.Builder.add_node b
+               ~name:(Printf.sprintf "v%d" !i)
+               (Tuple.make ~tag:"author" [ ("name", Value.Str (author_name a)) ])))
+        authors;
+      Graph.Builder.build b)

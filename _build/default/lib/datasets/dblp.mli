@@ -1,0 +1,22 @@
+(** DBLP-like paper collections (a collection of small graphs).
+
+    Each paper is a graph in the style of Figure 4.7: a title node and
+    one [<author name="...">] node per author; the graph tuple carries
+    the venue and year, so FLWR queries can filter on
+    [P.booktitle = "SIGMOD"] as in Figure 4.12. *)
+
+open Gql_graph
+
+val generate :
+  ?seed:int ->
+  ?n_authors:int ->
+  ?venues:string list ->
+  n_papers:int ->
+  unit ->
+  Graph.t list
+(** Authors are drawn from a Zipf-skewed pool (prolific authors appear
+    often), 1–5 authors per paper. Default pool 200 authors, venues
+    [["SIGMOD"; "VLDB"; "ICDE"]]. *)
+
+val author_name : int -> string
+(** ["author17"] style pool names. *)

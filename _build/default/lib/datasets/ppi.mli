@@ -1,0 +1,23 @@
+(** Synthetic yeast protein-interaction network (§5.1 substitute).
+
+    The paper's real dataset [Asthana et al. 2004] has 3112 proteins,
+    12519 interactions, and 183 distinct high-level Gene Ontology terms
+    used as labels. We reproduce those population statistics with a
+    preferential-attachment topology (protein networks are heavy-tailed)
+    and a skewed label distribution; the access-method experiments
+    depend only on size, degree distribution, label count and label
+    skew. See DESIGN.md §3 for the substitution rationale. *)
+
+open Gql_graph
+
+val n_nodes : int  (** 3112 *)
+
+val n_edges_target : int  (** 12519 *)
+
+val n_labels : int  (** 183 *)
+
+val generate : ?seed:int -> unit -> Graph.t
+(** The default network used by benchmarks and examples (seed 2008). *)
+
+val go_term : int -> string
+(** Label vocabulary: ["GO0000" .. "GO0182"]. *)

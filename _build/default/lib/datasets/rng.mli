@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every generator in this library threads an explicit [Rng.t] so that
+    datasets and query workloads are reproducible from a seed — the
+    experiments print their seeds, and the test suite pins them. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. Equal seeds give equal streams. *)
+
+val next : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val float : t -> float -> float
+(** Uniform in [0, bound). *)
+
+val bool : t -> bool
+val choose : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+val split : t -> t
+(** An independent generator derived from this one's stream. *)

@@ -1,0 +1,75 @@
+open Gql_graph
+
+let assign_labels rng ~n_labels ~zipf_exponent n =
+  let z = Zipf.create ~exponent:zipf_exponent n_labels in
+  Array.init n (fun _ -> Printf.sprintf "L%d" (Zipf.sample z rng))
+
+let build_labeled labels edges =
+  Graph.of_labeled ~labels (List.rev edges)
+
+let erdos_renyi ?(n_labels = 100) ?(zipf_exponent = 1.0) rng ~n ~m =
+  if n < 2 && m > 0 then invalid_arg "Synthetic.erdos_renyi: too few nodes";
+  let labels = assign_labels rng ~n_labels ~zipf_exponent n in
+  let seen = Hashtbl.create (2 * m) in
+  let edges = ref [] in
+  let count = ref 0 in
+  while !count < m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then begin
+      let key = if u < v then (u, v) else (v, u) in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        edges := key :: !edges;
+        incr count
+      end
+    end
+  done;
+  build_labeled labels !edges
+
+let barabasi_albert ?(n_labels = 100) ?(zipf_exponent = 1.0) rng ~n ~m_per_node =
+  if n < m_per_node + 1 then invalid_arg "Synthetic.barabasi_albert: n too small";
+  let labels = assign_labels rng ~n_labels ~zipf_exponent n in
+  (* endpoint pool: each edge contributes both endpoints, so sampling
+     from the pool is degree-proportional *)
+  let pool = ref [] in
+  let pool_arr = ref [||] in
+  let pool_dirty = ref true in
+  let edges = ref [] in
+  let seen = Hashtbl.create (2 * n * m_per_node) in
+  let add_edge u v =
+    let key = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      edges := key :: !edges;
+      pool := u :: v :: !pool;
+      pool_dirty := true;
+      true
+    end
+    else false
+  in
+  (* seed clique over the first m_per_node + 1 nodes *)
+  for u = 0 to m_per_node do
+    for v = u + 1 to m_per_node do
+      ignore (add_edge u v)
+    done
+  done;
+  for u = m_per_node + 1 to n - 1 do
+    let attached = ref 0 in
+    let attempts = ref 0 in
+    while !attached < m_per_node && !attempts < 50 * m_per_node do
+      incr attempts;
+      if !pool_dirty then begin
+        pool_arr := Array.of_list !pool;
+        pool_dirty := false
+      end;
+      let target = Rng.choose rng !pool_arr in
+      if add_edge u target then incr attached
+    done;
+    (* fall back to uniform targets if preferential attachment stalls *)
+    while !attached < m_per_node do
+      if add_edge u (Rng.int rng u) then incr attached
+    done
+  done;
+  build_labeled labels !edges
+
+let label_array g = Array.init (Graph.n_nodes g) (Graph.label g)

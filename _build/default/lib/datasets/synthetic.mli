@@ -1,0 +1,24 @@
+(** Synthetic graph generators for the experimental study (§5.2).
+
+    "The synthetic graphs are generated using a simple Erdős–Rényi
+    random graph model: generate n nodes, and then generate m edges by
+    randomly choosing two end nodes. Each node is assigned a label (100
+    distinct labels in total). The distribution of the labels follows
+    Zipf's law." *)
+
+open Gql_graph
+
+val erdos_renyi :
+  ?n_labels:int -> ?zipf_exponent:float -> Rng.t -> n:int -> m:int -> Graph.t
+(** [erdos_renyi rng ~n ~m]: [n] nodes, [m] distinct edges with
+    uniformly random endpoints (self-loops and duplicate edges are
+    redrawn). Labels ["L0" .. "L<k-1>"] (default 100) assigned
+    Zipf-distributed, most frequent first. *)
+
+val barabasi_albert :
+  ?n_labels:int -> ?zipf_exponent:float -> Rng.t -> n:int -> m_per_node:int -> Graph.t
+(** Preferential attachment: each new node attaches to [m_per_node]
+    existing nodes chosen proportionally to degree. Power-law degree
+    distribution; used as the protein-network surrogate. *)
+
+val label_array : Graph.t -> string array

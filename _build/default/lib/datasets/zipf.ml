@@ -1,0 +1,31 @@
+type t = {
+  cumulative : float array;  (* cumulative.(i) = P(rank <= i) *)
+}
+
+let create ?(exponent = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create: need a positive support";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. (w /. total);
+      cumulative.(i) <- !acc)
+    weights;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* binary search for the first index with cumulative >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let probability t i =
+  if i = 0 then t.cumulative.(0)
+  else t.cumulative.(i) -. t.cumulative.(i - 1)

@@ -1,0 +1,16 @@
+(** Zipf-distributed sampling.
+
+    §5.2: "The distribution of the labels follows Zipf's law, i.e.,
+    probability of the x-th label p(x) is proportional to x^-1." *)
+
+type t
+
+val create : ?exponent:float -> int -> t
+(** [create n]: a sampler over ranks [1..n] with p(x) ∝ x^(-exponent)
+    (default exponent 1.0). *)
+
+val sample : t -> Rng.t -> int
+(** A rank in [0, n), 0 being the most probable. *)
+
+val probability : t -> int -> float
+(** The probability of rank [i] (0-based). *)

@@ -1,0 +1,1 @@
+lib/graph/neighborhood.ml: Array Format Graph Hashtbl List Queue

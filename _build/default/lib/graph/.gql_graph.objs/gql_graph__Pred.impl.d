@@ -1,0 +1,1 @@
+lib/graph/pred.ml: Format Hashtbl List Option Stdlib String Tuple Value

@@ -1,0 +1,1 @@
+lib/graph/pred.mli: Format Tuple Value

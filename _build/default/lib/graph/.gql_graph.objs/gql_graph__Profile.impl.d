@@ -1,0 +1,1 @@
+lib/graph/profile.ml: Array Format Graph List Neighborhood String

@@ -1,0 +1,1 @@
+lib/graph/profile.mli: Format Graph Neighborhood

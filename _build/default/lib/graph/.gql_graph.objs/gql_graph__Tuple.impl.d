@@ -1,0 +1,1 @@
+lib/graph/tuple.ml: Format Hashtbl List Option String Value

@@ -1,0 +1,1 @@
+lib/graph/tuple.mli: Format Value

@@ -1,0 +1,344 @@
+type edge = {
+  src : int;
+  dst : int;
+  etuple : Tuple.t;
+}
+
+type t = {
+  directed : bool;
+  name : string option;
+  gtuple : Tuple.t;
+  node_tuples : Tuple.t array;
+  node_names : string option array;
+  edges : edge array;
+  edge_names : string option array;
+  (* CSR adjacency: for node v, (neighbor, edge id) pairs are
+     adj.(v). Out-adjacency for directed graphs; full adjacency for
+     undirected ones. *)
+  adj : (int * int) array array;
+  in_adj : (int * int) array array;  (* == adj when undirected *)
+  edge_index : (int * int, int list) Hashtbl.t;  (* normalized endpoints -> edge ids *)
+  by_node_name : (string, int) Hashtbl.t;
+  by_edge_name : (string, int) Hashtbl.t;
+}
+
+let directed g = g.directed
+let name g = g.name
+let tuple g = g.gtuple
+let n_nodes g = Array.length g.node_tuples
+let n_edges g = Array.length g.edges
+let node_tuple g v = g.node_tuples.(v)
+let label g v = Tuple.label g.node_tuples.(v)
+let node_name g v = g.node_names.(v)
+let node_by_name g name = Hashtbl.find_opt g.by_node_name name
+let edge g e = g.edges.(e)
+let edge_name g e = g.edge_names.(e)
+let edge_by_name g name = Hashtbl.find_opt g.by_edge_name name
+
+let degree g v = Array.length g.adj.(v)
+let in_degree g v = Array.length g.in_adj.(v)
+let neighbors g v = g.adj.(v)
+let in_neighbors g v = g.in_adj.(v)
+
+let norm_key g u v = if g.directed || u <= v then (u, v) else (v, u)
+
+let find_all_edges g u v =
+  Option.value (Hashtbl.find_opt g.edge_index (norm_key g u v)) ~default:[]
+
+let find_edge g u v =
+  match find_all_edges g u v with [] -> None | e :: _ -> Some e
+
+let has_edge g u v = Hashtbl.mem g.edge_index (norm_key g u v)
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  for v = 0 to n_nodes g - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let iter_nodes g ~f =
+  for v = 0 to n_nodes g - 1 do
+    f v
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  Array.iteri (fun i e -> acc := f !acc i e) g.edges;
+  !acc
+
+let iter_edges g ~f = Array.iteri f g.edges
+
+let with_tuple g gtuple = { g with gtuple }
+let with_name g name = { g with name }
+
+let map_node_tuples g ~f =
+  { g with node_tuples = Array.mapi f g.node_tuples }
+
+(* --- construction ------------------------------------------------------ *)
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    b_directed : bool;
+    b_name : string option;
+    b_tuple : Tuple.t;
+    mutable b_node_tuples : Tuple.t list;  (* reversed *)
+    mutable b_node_names : string option list;  (* reversed *)
+    mutable b_n : int;
+    mutable b_edges : (string option * edge) list;  (* reversed *)
+    mutable b_m : int;
+    b_by_node_name : (string, int) Hashtbl.t;
+    b_by_edge_name : (string, int) Hashtbl.t;
+    mutable b_built : bool;
+  }
+
+  let create ?(directed = false) ?name ?(tuple = Tuple.empty) () =
+    {
+      b_directed = directed;
+      b_name = name;
+      b_tuple = tuple;
+      b_node_tuples = [];
+      b_node_names = [];
+      b_n = 0;
+      b_edges = [];
+      b_m = 0;
+      b_by_node_name = Hashtbl.create 16;
+      b_by_edge_name = Hashtbl.create 16;
+      b_built = false;
+    }
+
+  let check_live b = if b.b_built then invalid_arg "Graph.Builder: already built"
+
+  let add_node b ?name tuple =
+    check_live b;
+    let id = b.b_n in
+    (match name with
+    | Some n ->
+      if Hashtbl.mem b.b_by_node_name n then
+        invalid_arg (Printf.sprintf "Graph.Builder.add_node: duplicate node name %S" n);
+      Hashtbl.add b.b_by_node_name n id
+    | None -> ());
+    b.b_node_tuples <- tuple :: b.b_node_tuples;
+    b.b_node_names <- name :: b.b_node_names;
+    b.b_n <- id + 1;
+    id
+
+  let add_labeled_node b ?name l =
+    add_node b ?name (Tuple.make [ ("label", Value.Str l) ])
+
+  let add_edge b ?name ?(tuple = Tuple.empty) src dst =
+    check_live b;
+    if src < 0 || src >= b.b_n || dst < 0 || dst >= b.b_n then
+      invalid_arg "Graph.Builder.add_edge: endpoint out of range";
+    let id = b.b_m in
+    (match name with
+    | Some n ->
+      if Hashtbl.mem b.b_by_edge_name n then
+        invalid_arg (Printf.sprintf "Graph.Builder.add_edge: duplicate edge name %S" n);
+      Hashtbl.add b.b_by_edge_name n id
+    | None -> ());
+    b.b_edges <- (name, { src; dst; etuple = tuple }) :: b.b_edges;
+    b.b_m <- id + 1;
+    id
+
+  let n_nodes b = b.b_n
+
+  let add_graph b (g : graph) =
+    check_live b;
+    let renum = Array.make (Array.length g.node_tuples) 0 in
+    Array.iteri (fun v t -> renum.(v) <- add_node b t) g.node_tuples;
+    Array.iter
+      (fun e -> ignore (add_edge b ~tuple:e.etuple renum.(e.src) renum.(e.dst)))
+      g.edges;
+    renum
+
+  let build b =
+    check_live b;
+    b.b_built <- true;
+    let n = b.b_n in
+    let node_tuples = Array.make n Tuple.empty in
+    let node_names = Array.make n None in
+    List.iteri
+      (fun i t -> node_tuples.(n - 1 - i) <- t)
+      b.b_node_tuples;
+    List.iteri (fun i nm -> node_names.(n - 1 - i) <- nm) b.b_node_names;
+    let m = b.b_m in
+    let edges = Array.make m { src = 0; dst = 0; etuple = Tuple.empty } in
+    let edge_names = Array.make m None in
+    List.iteri
+      (fun i (nm, e) ->
+        edges.(m - 1 - i) <- e;
+        edge_names.(m - 1 - i) <- nm)
+      b.b_edges;
+    (* adjacency *)
+    let out_deg = Array.make n 0 and in_deg = Array.make n 0 in
+    Array.iter
+      (fun e ->
+        out_deg.(e.src) <- out_deg.(e.src) + 1;
+        if b.b_directed then in_deg.(e.dst) <- in_deg.(e.dst) + 1
+        else if e.dst <> e.src then out_deg.(e.dst) <- out_deg.(e.dst) + 1)
+      edges;
+    let adj = Array.init n (fun v -> Array.make out_deg.(v) (0, 0)) in
+    let in_adj =
+      if b.b_directed then Array.init n (fun v -> Array.make in_deg.(v) (0, 0))
+      else adj
+    in
+    let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+    Array.iteri
+      (fun i e ->
+        adj.(e.src).(out_fill.(e.src)) <- (e.dst, i);
+        out_fill.(e.src) <- out_fill.(e.src) + 1;
+        if b.b_directed then begin
+          in_adj.(e.dst).(in_fill.(e.dst)) <- (e.src, i);
+          in_fill.(e.dst) <- in_fill.(e.dst) + 1
+        end
+        else if e.dst <> e.src then begin
+          adj.(e.dst).(out_fill.(e.dst)) <- (e.src, i);
+          out_fill.(e.dst) <- out_fill.(e.dst) + 1
+        end)
+      edges;
+    let edge_index = Hashtbl.create (max 16 m) in
+    Array.iteri
+      (fun i e ->
+        let key =
+          if b.b_directed || e.src <= e.dst then (e.src, e.dst) else (e.dst, e.src)
+        in
+        let prev = Option.value (Hashtbl.find_opt edge_index key) ~default:[] in
+        Hashtbl.replace edge_index key (i :: prev))
+      edges;
+    {
+      directed = b.b_directed;
+      name = b.b_name;
+      gtuple = b.b_tuple;
+      node_tuples;
+      node_names;
+      edges;
+      edge_names;
+      adj;
+      in_adj;
+      edge_index;
+      by_node_name = b.b_by_node_name;
+      by_edge_name = b.b_by_edge_name;
+    }
+end
+
+let of_edges ?directed ~n edges =
+  let b = Builder.create ?directed () in
+  for _ = 1 to n do
+    ignore (Builder.add_node b Tuple.empty)
+  done;
+  List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) edges;
+  Builder.build b
+
+let of_labeled ?directed ~labels edges =
+  let b = Builder.create ?directed () in
+  Array.iter (fun l -> ignore (Builder.add_labeled_node b l)) labels;
+  List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) edges;
+  Builder.build b
+
+(* --- derived graphs ----------------------------------------------------- *)
+
+let induced_subgraph g vs =
+  let vs = List.sort_uniq compare vs in
+  let b = Builder.create ~directed:g.directed () in
+  let old_of_new = Array.of_list vs in
+  let new_of_old = Hashtbl.create (List.length vs) in
+  Array.iteri
+    (fun new_id old_id ->
+      ignore (Builder.add_node b ?name:(node_name g old_id) (node_tuple g old_id));
+      Hashtbl.add new_of_old old_id new_id)
+    old_of_new;
+  iter_edges g ~f:(fun _ e ->
+      match Hashtbl.find_opt new_of_old e.src, Hashtbl.find_opt new_of_old e.dst with
+      | Some u, Some v -> ignore (Builder.add_edge b ~tuple:e.etuple u v)
+      | _ -> ());
+  (Builder.build b, old_of_new)
+
+let disjoint_union ?name ?(tuple = Tuple.empty) g1 g2 =
+  if g1.directed <> g2.directed then
+    invalid_arg "Graph.disjoint_union: mixed directedness";
+  let b = Builder.create ~directed:g1.directed ?name ~tuple () in
+  let fresh_name side nm =
+    match nm with
+    | None -> None
+    | Some n ->
+      if Hashtbl.mem b.Builder.b_by_node_name n || Hashtbl.mem b.Builder.b_by_edge_name n
+      then Some (side ^ ":" ^ n)
+      else Some n
+  in
+  let copy side g =
+    let renum = Array.make (n_nodes g) 0 in
+    iter_nodes g ~f:(fun v ->
+        renum.(v) <-
+          Builder.add_node b ?name:(fresh_name side (node_name g v)) (node_tuple g v));
+    iter_edges g ~f:(fun i e ->
+        ignore
+          (Builder.add_edge b
+             ?name:(fresh_name side (edge_name g i))
+             ~tuple:e.etuple renum.(e.src) renum.(e.dst)));
+    renum
+  in
+  let r1 = copy "l" g1 in
+  let r2 = copy "r" g2 in
+  (Builder.build b, r1, r2)
+
+(* --- statistics --------------------------------------------------------- *)
+
+let label_histogram g =
+  let h = Hashtbl.create 64 in
+  iter_nodes g ~f:(fun v ->
+      let l = label g v in
+      Hashtbl.replace h l (1 + Option.value (Hashtbl.find_opt h l) ~default:0));
+  h
+
+let edge_label_histogram g =
+  let h = Hashtbl.create 64 in
+  iter_edges g ~f:(fun _ e ->
+      let a = label g e.src and b = label g e.dst in
+      let key = if g.directed || a <= b then (a, b) else (b, a) in
+      Hashtbl.replace h key (1 + Option.value (Hashtbl.find_opt h key) ~default:0));
+  h
+
+(* --- equality ----------------------------------------------------------- *)
+
+let equal_structure g1 g2 =
+  g1.directed = g2.directed
+  && n_nodes g1 = n_nodes g2
+  && n_edges g1 = n_edges g2
+  && Array.for_all2 Tuple.equal g1.node_tuples g2.node_tuples
+  &&
+  let edge_set g =
+    Array.to_list g.edges
+    |> List.map (fun e ->
+           let u, v =
+             if g.directed || e.src <= e.dst then (e.src, e.dst) else (e.dst, e.src)
+           in
+           (u, v, e.etuple))
+    |> List.sort (fun (a, b, t) (c, d, u) ->
+           match compare (a, b) (c, d) with 0 -> Tuple.compare t u | k -> k)
+  in
+  List.equal
+    (fun (a, b, t) (c, d, u) -> a = c && b = d && Tuple.equal t u)
+    (edge_set g1) (edge_set g2)
+
+(* --- printing ----------------------------------------------------------- *)
+
+let pp ppf g =
+  let node_ref v =
+    match node_name g v with Some n -> n | None -> Printf.sprintf "v%d" v
+  in
+  let edge_ref i =
+    match edge_name g i with Some n -> n | None -> Printf.sprintf "e%d" i
+  in
+  let pp_tuple ppf t = if Tuple.equal t Tuple.empty then () else Format.fprintf ppf " %a" Tuple.pp t in
+  Format.fprintf ppf "@[<v 2>graph%s%a {"
+    (match g.name with Some n -> " " ^ n | None -> "")
+    pp_tuple g.gtuple;
+  iter_nodes g ~f:(fun v ->
+      Format.fprintf ppf "@,node %s%a;" (node_ref v) pp_tuple (node_tuple g v));
+  iter_edges g ~f:(fun i e ->
+      Format.fprintf ppf "@,edge %s (%s, %s)%a;" (edge_ref i) (node_ref e.src)
+        (node_ref e.dst) pp_tuple e.etuple);
+  Format.fprintf ppf "@]@,}"

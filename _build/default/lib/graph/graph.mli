@@ -1,0 +1,142 @@
+(** Attributed graphs — the basic unit of information in GraphQL.
+
+    A graph is a set of nodes and a set of edges, each annotated with an
+    attribute {!Tuple.t}; the graph itself also carries a tuple (Section
+    3.1). Nodes are dense integer ids [0 .. n_nodes-1]; edges are dense
+    integer ids [0 .. n_edges-1]. Nodes and edges may additionally carry
+    the variable names they were declared with ([v1], [e1], …) so that
+    bindings and the text format can refer to them.
+
+    Graphs are immutable once built. Construction goes through
+    {!Builder}, which freezes into a compact representation with
+    CSR-style adjacency so that the access methods of Section 4 can scan
+    neighborhoods without allocation. Undirected graphs store each edge
+    once but list it in both endpoints' adjacency. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  etuple : Tuple.t;
+}
+
+type t
+
+(** {1 Basic accessors} *)
+
+val directed : t -> bool
+val name : t -> string option
+val tuple : t -> Tuple.t
+(** The graph-level attribute tuple. *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val node_tuple : t -> int -> Tuple.t
+val label : t -> int -> string
+(** [label g v] is [Tuple.label (node_tuple g v)] — the canonical label
+    used by the experiments. *)
+
+val node_name : t -> int -> string option
+val node_by_name : t -> string -> int option
+val edge : t -> int -> edge
+val edge_name : t -> int -> string option
+val edge_by_name : t -> string -> int option
+
+(** {1 Adjacency} *)
+
+val degree : t -> int -> int
+(** Number of incident edges (out-degree for directed graphs). *)
+
+val in_degree : t -> int -> int
+(** Equal to [degree] on undirected graphs. *)
+
+val neighbors : t -> int -> (int * int) array
+(** [neighbors g v] are the [(neighbor, edge id)] pairs adjacent to [v]
+    (outgoing for directed graphs). The returned array is owned by the
+    graph: do not mutate. *)
+
+val in_neighbors : t -> int -> (int * int) array
+
+val has_edge : t -> int -> int -> bool
+(** [has_edge g u v] — for undirected graphs, orientation-insensitive. *)
+
+val find_edge : t -> int -> int -> int option
+(** Some edge id connecting [u] to [v] (any one, if parallel edges). *)
+
+val find_all_edges : t -> int -> int -> int list
+
+(** {1 Iteration} *)
+
+val fold_nodes : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val iter_nodes : t -> f:(int -> unit) -> unit
+val fold_edges : t -> init:'a -> f:('a -> int -> edge -> 'a) -> 'a
+val iter_edges : t -> f:(int -> edge -> unit) -> unit
+
+(** {1 Derived graphs} *)
+
+val with_tuple : t -> Tuple.t -> t
+val with_name : t -> string option -> t
+
+val map_node_tuples : t -> f:(int -> Tuple.t -> Tuple.t) -> t
+
+val induced_subgraph : t -> int list -> t * int array
+(** [induced_subgraph g vs] keeps the listed nodes (deduplicated) and all
+    edges between them. Returns the subgraph and the array mapping new
+    node ids to old ones. *)
+
+val disjoint_union : ?name:string -> ?tuple:Tuple.t -> t -> t -> t * int array * int array
+(** Cartesian-product support (Section 3.3): both graphs side by side,
+    unconnected. Also returns the node renumberings of each operand.
+    Variable names are prefixed with ["l:"] / ["r:"] on clash. *)
+
+val label_histogram : t -> (string, int) Hashtbl.t
+(** Frequency of each node label; used by the cost model (§4.4). *)
+
+val edge_label_histogram : t -> (string * string, int) Hashtbl.t
+(** Frequency of each unordered (ordered if directed) endpoint-label pair. *)
+
+(** {1 Equality} *)
+
+val equal_structure : t -> t -> bool
+(** Same directedness, node count, and identical edge set under identity
+    node mapping, with equal tuples — {e not} isomorphism (see {!Iso}). *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in GraphQL textual syntax ([graph G <...> { node ...; edge ...; }]). *)
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?directed:bool -> ?name:string -> ?tuple:Tuple.t -> unit -> t
+
+  val add_node : t -> ?name:string -> Tuple.t -> int
+  (** Returns the new node's id. Raises [Invalid_argument] on duplicate
+      node name. *)
+
+  val add_labeled_node : t -> ?name:string -> string -> int
+  (** Node whose tuple is [<label=l>]. *)
+
+  val add_edge : t -> ?name:string -> ?tuple:Tuple.t -> int -> int -> int
+  (** [add_edge b u v] returns the new edge's id. Endpoints must already
+      exist. *)
+
+  val n_nodes : t -> int
+
+  val add_graph : t -> graph -> int array
+  (** Copies a whole graph into the builder (fresh anonymous names);
+      returns the node renumbering. *)
+
+  val build : t -> graph
+  (** Freezes the builder. The builder must not be used afterwards. *)
+end
+
+val of_edges : ?directed:bool -> n:int -> (int * int) list -> t
+(** Unlabeled-graph helper (every node tuple empty): [n] nodes and the
+    given edges. *)
+
+val of_labeled :
+  ?directed:bool -> labels:string array -> (int * int) list -> t
+(** Nodes [0..Array.length labels - 1] with [<label=...>] tuples. *)

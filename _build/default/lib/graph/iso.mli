@@ -1,0 +1,46 @@
+(** Reference (sub)graph-isomorphism algorithms.
+
+    These are deliberately simple backtracking algorithms used as
+    correctness oracles in the test suite and as the rooted
+    sub-isomorphism check of the neighborhood-subgraph pruning (§4.2).
+    The optimized access methods live in [Gql_matcher]. *)
+
+val find_embeddings :
+  ?compat:(int -> int -> bool) ->
+  ?fixed:(int * int) list ->
+  ?limit:int ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  int array list
+(** All injective mappings [phi] from pattern nodes to target nodes such
+    that every pattern edge [(u, v)] maps to a target edge
+    [(phi u, phi v)] (Definition 4.2, structure only). [compat u v]
+    additionally constrains which target nodes a pattern node may take
+    (default: label equality when the pattern node has a non-empty
+    label, anything otherwise). [fixed] pre-binds pattern nodes.
+    Directed patterns require matching edge orientation. At most
+    [limit] embeddings are returned when given. *)
+
+val count_embeddings :
+  ?compat:(int -> int -> bool) -> pattern:Graph.t -> target:Graph.t -> unit -> int
+
+val exists_embedding :
+  ?compat:(int -> int -> bool) ->
+  ?fixed:(int * int) list ->
+  pattern:Graph.t ->
+  target:Graph.t ->
+  unit ->
+  bool
+
+val rooted_sub_iso :
+  compat:(int -> int -> bool) ->
+  pattern:Graph.t -> pattern_root:int ->
+  target:Graph.t -> target_root:int ->
+  bool
+(** Sub-isomorphism with the roots pre-mapped to each other — the
+    neighborhood-subgraph feasibility test of §4.2. *)
+
+val isomorphic : Graph.t -> Graph.t -> bool
+(** Exact isomorphism on attributed graphs: a bijection preserving edges
+    (both ways) and node tuples; edge tuples must match too. *)

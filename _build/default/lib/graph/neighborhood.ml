@@ -1,0 +1,40 @@
+type t = {
+  center : int;
+  graph : Graph.t;
+  original : int array;
+}
+
+let nodes_within g v ~r =
+  let dist = Hashtbl.create 32 in
+  Hashtbl.add dist v 0;
+  let q = Queue.create () in
+  Queue.add v q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    let d = Hashtbl.find dist u in
+    if d < r then begin
+      let visit (w, _) =
+        if not (Hashtbl.mem dist w) then begin
+          Hashtbl.add dist w (d + 1);
+          Queue.add w q
+        end
+      in
+      Array.iter visit (Graph.neighbors g u);
+      if Graph.directed g then Array.iter visit (Graph.in_neighbors g u)
+    end
+  done;
+  Hashtbl.fold (fun w _ acc -> w :: acc) dist [] |> List.sort compare
+
+let make g v ~r =
+  let members = nodes_within g v ~r in
+  let sub, original = Graph.induced_subgraph g members in
+  let center =
+    let rec find i = if original.(i) = v then i else find (i + 1) in
+    find 0
+  in
+  { center; graph = sub; original }
+
+let all g ~r = Array.init (Graph.n_nodes g) (fun v -> make g v ~r)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>center=%d@,%a@]" t.center Graph.pp t.graph

@@ -1,0 +1,165 @@
+type binop =
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+  | Add | Sub | Mul | Div
+
+type t =
+  | True
+  | Lit of Value.t
+  | Attr of string list
+  | Not of t
+  | Binop of binop * t * t
+
+let attr name = Attr [ name ]
+let path p = Attr p
+let str s = Lit (Value.Str s)
+let int i = Lit (Value.Int i)
+
+let ( = ) a b = Binop (Eq, a, b)
+let ( <> ) a b = Binop (Ne, a, b)
+let ( < ) a b = Binop (Lt, a, b)
+let ( <= ) a b = Binop (Le, a, b)
+let ( > ) a b = Binop (Gt, a, b)
+let ( >= ) a b = Binop (Ge, a, b)
+
+let ( && ) a b =
+  match a, b with
+  | True, p | p, True -> p
+  | _ -> Binop (And, a, b)
+
+let ( || ) a b = Binop (Or, a, b)
+
+let conj ps = List.fold_left ( && ) True ps
+
+type env = string list -> Value.t option
+
+exception Unresolved of string list
+
+let env_of_tuple tuple = function
+  | [ name ] -> Some (Tuple.get tuple name)
+  | _ -> None
+
+let env_scope bindings = function
+  | [] -> None
+  | [ x ] -> if List.mem_assoc x bindings then Some Value.Null else None
+  | x :: rest ->
+    match List.assoc_opt x bindings with
+    | Some env -> env rest
+    | None -> None
+
+let env_extend outer bindings path =
+  match env_scope bindings path with
+  | Some _ as v -> v
+  | None -> outer path
+
+let value_compare_op op a b =
+  (* comparisons against Null never hold, except equality of two Nulls *)
+  match a, b, op with
+  | Value.Null, Value.Null, Eq -> Value.Bool true
+  | Value.Null, Value.Null, Ne -> Value.Bool false
+  | (Value.Null, _, _ | _, Value.Null, _) -> Value.Bool (Stdlib.( = ) op Ne)
+  | _ ->
+    let c = Value.compare a b in
+    let r =
+      match op with
+      | Eq -> Stdlib.( = ) c 0
+      | Ne -> Stdlib.( <> ) c 0
+      | Lt -> Stdlib.( < ) c 0
+      | Le -> Stdlib.( <= ) c 0
+      | Gt -> Stdlib.( > ) c 0
+      | Ge -> Stdlib.( >= ) c 0
+      | And | Or | Add | Sub | Mul | Div -> assert false
+    in
+    Value.Bool r
+
+let rec eval env p =
+  match p with
+  | True -> Value.Bool true
+  | Lit v -> v
+  | Attr path ->
+    (match env path with Some v -> v | None -> raise (Unresolved path))
+  | Not p -> Value.logical_not (eval env p)
+  | Binop (And, a, b) ->
+    (* short-circuit *)
+    if Value.to_bool (eval env a) then eval env b else Value.Bool false
+  | Binop (Or, a, b) ->
+    if Value.to_bool (eval env a) then Value.Bool true else eval env b
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+    value_compare_op op (eval env a) (eval env b)
+  | Binop (Add, a, b) -> Value.add (eval env a) (eval env b)
+  | Binop (Sub, a, b) -> Value.sub (eval env a) (eval env b)
+  | Binop (Mul, a, b) -> Value.mul (eval env a) (eval env b)
+  | Binop (Div, a, b) -> Value.div (eval env a) (eval env b)
+
+let holds env p =
+  match eval env p with
+  | Value.Bool b -> b
+  | _ -> false
+  | exception (Unresolved _ | Value.Type_error _) -> false
+
+let rec conjuncts = function
+  | True -> []
+  | Binop (And, a, b) -> conjuncts a @ conjuncts b
+  | p -> [ p ]
+
+let rec collect_roots acc = function
+  | True | Lit _ -> acc
+  | Attr [] -> acc
+  | Attr [ _ ] -> "" :: acc
+  | Attr (x :: _) -> x :: acc
+  | Not p -> collect_roots acc p
+  | Binop (_, a, b) -> collect_roots (collect_roots acc a) b
+
+let roots p = List.sort_uniq String.compare (collect_roots [] p)
+
+let rec map_paths f = function
+  | (True | Lit _) as p -> p
+  | Attr path -> Attr (f path)
+  | Not p -> Not (map_paths f p)
+  | Binop (op, a, b) -> Binop (op, map_paths f a, map_paths f b)
+
+let strip_prefix v =
+  map_paths (function x :: rest when String.equal x v -> rest | path -> path)
+
+let add_prefix v = map_paths (fun path -> v :: path)
+
+let split_by_root ~vars p =
+  let locals = Hashtbl.create 8 in
+  let residual = ref [] in
+  let push_local v q =
+    let prev = Option.value (Hashtbl.find_opt locals v) ~default:True in
+    Hashtbl.replace locals v (( && ) prev (strip_prefix v q))
+  in
+  List.iter
+    (fun q ->
+      match roots q with
+      | [ v ] when List.mem v vars -> push_local v q
+      | _ -> residual := q :: !residual)
+    (conjuncts p);
+  let per_var =
+    List.filter_map
+      (fun v -> Option.map (fun q -> (v, q)) (Hashtbl.find_opt locals v))
+      vars
+  in
+  (per_var, conj (List.rev !residual))
+
+let rec equal a b =
+  match a, b with
+  | True, True -> true
+  | Lit x, Lit y -> Value.equal x y
+  | Attr p, Attr q -> Stdlib.( = ) p q
+  | Not x, Not y -> equal x y
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    Stdlib.( && ) (Stdlib.( = ) o1 o2) (Stdlib.( && ) (equal a1 a2) (equal b1 b2))
+  | _ -> false
+
+let binop_name = function
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&" | Or -> "|" | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Lit v -> Value.pp ppf v
+  | Attr path -> Format.pp_print_string ppf (String.concat "." path)
+  | Not p -> Format.fprintf ppf "!(%a)" pp p
+  | Binop (op, a, b) -> Format.fprintf ppf "(%a %s %a)" pp a (binop_name op) pp b

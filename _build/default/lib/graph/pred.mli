@@ -1,0 +1,104 @@
+(** Predicate expressions on attributes.
+
+    A graph pattern P = (M, F) pairs a motif M with a predicate F over the
+    attributes of the motif (Definition 4.1). Predicates are boolean or
+    arithmetic comparison expressions over attribute {e paths} such as
+    [v1.name] or [P.booktitle].
+
+    Evaluation is deliberately lenient: comparing against a missing
+    attribute, or applying an operator to operands of the wrong kind,
+    makes the predicate {e not hold} instead of raising — graphs bound to
+    a pattern are heterogeneous and may lack any given attribute. *)
+
+type binop =
+  | Eq | Ne | Lt | Le | Gt | Ge       (** comparisons, producing booleans *)
+  | And | Or                          (** logical connectives *)
+  | Add | Sub | Mul | Div             (** arithmetic *)
+
+type t =
+  | True                              (** the empty predicate *)
+  | Lit of Value.t
+  | Attr of string list               (** attribute path, e.g. [["v1";"name"]] *)
+  | Not of t
+  | Binop of binop * t * t
+
+(** {1 Construction helpers} *)
+
+val attr : string -> t
+(** [attr "name"] is the path [Attr ["name"]] (an attribute of the element
+    in whose scope the predicate is evaluated). *)
+
+val path : string list -> t
+val str : string -> t
+val int : int -> t
+val ( = ) : t -> t -> t
+val ( <> ) : t -> t -> t
+val ( < ) : t -> t -> t
+val ( <= ) : t -> t -> t
+val ( > ) : t -> t -> t
+val ( >= ) : t -> t -> t
+val ( && ) : t -> t -> t
+(** Conjunction; absorbs [True] operands. *)
+
+val ( || ) : t -> t -> t
+
+val conj : t list -> t
+(** Conjunction of a list; [conj [] = True]. *)
+
+(** {1 Environments} *)
+
+type env = string list -> Value.t option
+(** An environment resolves an attribute path to a value. *)
+
+val env_of_tuple : Tuple.t -> env
+(** Single-component paths resolve as attributes of the tuple; longer
+    paths are unresolved. *)
+
+val env_scope : (string * env) list -> env
+(** [env_scope bindings] resolves a path [x :: rest] by looking up [x]
+    among [bindings] and resolving [rest] there. A single-component path
+    [[x]] resolves to [Null] if [x] is a bound name (a bare element
+    reference, which has no scalar value). *)
+
+val env_extend : env -> (string * env) list -> env
+(** Inner bindings shadow the outer environment. *)
+
+(** {1 Evaluation} *)
+
+exception Unresolved of string list
+(** Raised by {!eval} when a path has no binding in the environment. *)
+
+val eval : env -> t -> Value.t
+(** Full evaluation. May raise [Unresolved] or [Value.Type_error]. *)
+
+val holds : env -> t -> bool
+(** [holds env p] is true iff [p] evaluates to [Bool true]; unresolved
+    paths and type errors yield [false]. *)
+
+(** {1 Analysis (for predicate pushdown, Section 4.1)} *)
+
+val conjuncts : t -> t list
+(** Flattens top-level conjunctions; [conjuncts True = []]. *)
+
+val roots : t -> string list
+(** Sorted distinct heads of the attribute paths in the predicate. The
+    empty-string root stands for single-component (self) paths. *)
+
+val split_by_root : vars:string list -> t -> (string * t) list * t
+(** [split_by_root ~vars p] pushes conjuncts down to the single pattern
+    variable they mention: returns per-variable predicates (with the
+    variable prefix stripped, so they evaluate in the element's own
+    scope) and the residual graph-wide predicate. A conjunct mentioning
+    zero or several variables, or any root outside [vars], stays in the
+    residue. *)
+
+val strip_prefix : string -> t -> t
+(** [strip_prefix v p] rewrites paths [v :: rest] to [rest]. *)
+
+val add_prefix : string -> t -> t
+(** [add_prefix v p] rewrites every path [q] to [v :: q]. Inverse of
+    {!strip_prefix} on predicates rooted at [v]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints in GraphQL [where]-clause syntax. *)

@@ -1,0 +1,33 @@
+type t = string array  (* sorted ascending *)
+
+let of_labels ls = Array.of_list (List.sort String.compare ls)
+
+let of_neighborhood (n : Neighborhood.t) =
+  Graph.fold_nodes n.graph ~init:[] ~f:(fun acc v -> Graph.label n.graph v :: acc)
+  |> of_labels
+
+let all g ~r =
+  Array.init (Graph.n_nodes g) (fun v ->
+      Neighborhood.nodes_within g v ~r
+      |> List.map (Graph.label g)
+      |> of_labels)
+
+let contains ~big ~small =
+  let nb = Array.length big and ns = Array.length small in
+  let rec go ib is =
+    if is >= ns then true
+    else if ib >= nb then false
+    else
+      let c = String.compare big.(ib) small.(is) in
+      if c = 0 then go (ib + 1) (is + 1)
+      else if c < 0 then go (ib + 1) is
+      else false
+  in
+  go 0 0
+
+let size = Array.length
+let labels t = Array.to_list t
+let equal a b = a = b
+
+let pp ppf t =
+  Array.iter (Format.pp_print_string ppf) t

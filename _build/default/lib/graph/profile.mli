@@ -1,0 +1,33 @@
+(** Neighborhood profiles (§4.2).
+
+    A profile is a light-weight representation of a neighborhood
+    subgraph: the sequence of its node labels in lexicographic order.
+    The pruning condition is multiset containment ("whether a profile is
+    a subsequence of the other"): pattern node [u] can match data node
+    [v] only if [profile u] is contained in [profile v].
+
+    Pattern nodes whose label is unconstrained contribute nothing to the
+    pattern profile, which keeps the test sound (they can match any data
+    label). *)
+
+type t
+(** A sorted multiset of labels. *)
+
+val of_labels : string list -> t
+
+val of_neighborhood : Neighborhood.t -> t
+(** Labels of every node of the neighborhood subgraph (center included). *)
+
+val all : Graph.t -> r:int -> t array
+(** Per-node profiles of radius [r], computed directly by BFS (no
+    subgraph materialization). *)
+
+val contains : big:t -> small:t -> bool
+(** Multiset containment, O(|big| + |small|). *)
+
+val size : t -> int
+val labels : t -> string list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints as the concatenated label sequence, e.g. [ABC] in the
+    paper's Figure 4.17. *)

@@ -1,0 +1,93 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let kind_rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Stdlib.compare x y
+  | Int x, Float y -> Stdlib.compare (float_of_int x) y
+  | Float x, Int y -> Stdlib.compare x (float_of_int y)
+  | Str x, Str y -> Stdlib.compare x y
+  | _ -> Stdlib.compare (kind_rank a) (kind_rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Bool b -> Hashtbl.hash b
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+
+let as_float = function
+  | Int i -> float_of_int i
+  | Float f -> f
+  | v -> type_error "expected a number, got %s" (match v with
+      | Null -> "null" | Bool _ -> "a boolean" | Str _ -> "a string"
+      | Int _ | Float _ -> assert false)
+
+let arith name int_op float_op a b =
+  match a, b with
+  | Int x, Int y -> Int (int_op x y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (float_op (as_float a) (as_float b))
+  | _ -> type_error "%s: expected numbers" name
+
+let add a b =
+  match a, b with
+  | Str x, Str y -> Str (x ^ y)
+  | _ -> arith "+" ( + ) ( +. ) a b
+
+let sub = arith "-" ( - ) ( -. )
+let mul = arith "*" ( * ) ( *. )
+
+let div a b =
+  match a, b with
+  | Int x, Int y -> if y = 0 then type_error "division by zero" else Int (x / y)
+  | (Int _ | Float _), (Int _ | Float _) -> Float (as_float a /. as_float b)
+  | _ -> type_error "/: expected numbers"
+
+let to_bool = function
+  | Bool b -> b
+  | _ -> type_error "expected a boolean"
+
+let logical_and a b = Bool (to_bool a && to_bool b)
+let logical_or a b = Bool (to_bool a || to_bool b)
+let logical_not a = Bool (not (to_bool a))
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_bool ppf b
+  | Int i -> Format.pp_print_int ppf i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+
+let to_string v = Format.asprintf "%a" pp v
+
+let of_literal s =
+  match int_of_string_opt s with
+  | Some i -> Int i
+  | None ->
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None ->
+      match s with
+      | "true" -> Bool true
+      | "false" -> Bool false
+      | "null" -> Null
+      | _ -> Str s

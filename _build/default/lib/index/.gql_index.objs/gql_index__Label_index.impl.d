@@ -1,0 +1,1 @@
+lib/index/label_index.ml: Btree Gql_graph Graph List Seq String

@@ -1,0 +1,1 @@
+lib/index/label_index.mli: Gql_graph

@@ -1,0 +1,1 @@
+lib/index/path_index.ml: Array Fun Gql_graph Graph Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/index/profile_index.ml: Array Gql_graph Graph Hashtbl Neighborhood Profile

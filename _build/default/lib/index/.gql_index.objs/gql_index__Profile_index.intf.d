@@ -1,0 +1,1 @@
+lib/index/profile_index.mli: Gql_graph

@@ -1,0 +1,1 @@
+lib/index/reachability.ml: Array Bytes Char Fun Gql_graph Graph Hashtbl List

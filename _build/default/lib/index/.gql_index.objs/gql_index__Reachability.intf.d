@@ -1,0 +1,1 @@
+lib/index/reachability.mli: Gql_graph Graph

@@ -1,0 +1,421 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+(* Persistent B-tree in the classic CLRS style. All update operations
+   copy the root-to-leaf path; sibling nodes are shared. *)
+
+module Make (K : ORDERED) = struct
+  type key_bound = Key_unbounded | Key_incl of K.t | Key_excl of K.t
+
+  type 'v node = {
+    keys : K.t array;
+    vals : 'v array;
+    kids : 'v node array;  (* [||] at leaves, length = nkeys + 1 otherwise *)
+  }
+
+  type 'v t = {
+    degree : int;  (* minimum degree t: nodes hold t-1 .. 2t-1 keys *)
+    root : 'v node;
+    size : int;
+  }
+
+  let leaf_node keys vals = { keys; vals; kids = [||] }
+  let empty_node = { keys = [||]; vals = [||]; kids = [||] }
+  let is_leaf n = Array.length n.kids = 0
+  let nkeys n = Array.length n.keys
+
+  let empty ?(degree = 8) () =
+    if degree < 2 then invalid_arg "Btree.empty: degree must be >= 2";
+    { degree; root = empty_node; size = 0 }
+
+  let is_empty t = t.size = 0
+  let cardinal t = t.size
+
+  (* binary search: Ok i if keys.(i) = key, Error i with the child/insert
+     position otherwise *)
+  let search keys key =
+    let rec go lo hi =
+      if lo >= hi then Error lo
+      else
+        let mid = (lo + hi) / 2 in
+        let c = K.compare key keys.(mid) in
+        if c = 0 then Ok mid else if c < 0 then go lo mid else go (mid + 1) hi
+    in
+    go 0 (Array.length keys)
+
+  let rec find_node key n =
+    match search n.keys key with
+    | Ok i -> Some n.vals.(i)
+    | Error i -> if is_leaf n then None else find_node key n.kids.(i)
+
+  let find key t = find_node key t.root
+  let mem key t = Option.is_some (find key t)
+
+  (* --- array surgery (copying) --- *)
+
+  let arr_insert a i x =
+    let n = Array.length a in
+    Array.init (n + 1) (fun j -> if j < i then a.(j) else if j = i then x else a.(j - 1))
+
+  let arr_remove a i =
+    let n = Array.length a in
+    Array.init (n - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+
+  let arr_set a i x =
+    let a' = Array.copy a in
+    a'.(i) <- x;
+    a'
+
+  (* --- insertion --- *)
+
+  (* Split full child [c] (2t-1 keys) of its parent; returns
+     (left, median key, median val, right). *)
+  let split_full degree c =
+    let t = degree in
+    let left =
+      {
+        keys = Array.sub c.keys 0 (t - 1);
+        vals = Array.sub c.vals 0 (t - 1);
+        kids = (if is_leaf c then [||] else Array.sub c.kids 0 t);
+      }
+    and right =
+      {
+        keys = Array.sub c.keys t (t - 1);
+        vals = Array.sub c.vals t (t - 1);
+        kids = (if is_leaf c then [||] else Array.sub c.kids t t);
+      }
+    in
+    (left, c.keys.(t - 1), c.vals.(t - 1), right)
+
+  (* insert into a node known not to be full; returns (node, replaced) *)
+  let rec insert_nonfull degree n key v =
+    match search n.keys key with
+    | Ok i -> ({ n with vals = arr_set n.vals i v }, true)
+    | Error i ->
+      if is_leaf n then
+        (leaf_node (arr_insert n.keys i key) (arr_insert n.vals i v), false)
+      else begin
+        let child = n.kids.(i) in
+        if nkeys child = (2 * degree) - 1 then begin
+          let l, mk, mv, r = split_full degree child in
+          let n =
+            {
+              keys = arr_insert n.keys i mk;
+              vals = arr_insert n.vals i mv;
+              kids = arr_insert (arr_set n.kids i l) (i + 1) r;
+            }
+          in
+          (* re-dispatch around the promoted median *)
+          let c = K.compare key mk in
+          if c = 0 then ({ n with vals = arr_set n.vals i v }, true)
+          else
+            let j = if c < 0 then i else i + 1 in
+            let child', replaced = insert_nonfull degree n.kids.(j) key v in
+            ({ n with kids = arr_set n.kids j child' }, replaced)
+        end
+        else
+          let child', replaced = insert_nonfull degree child key v in
+          ({ n with kids = arr_set n.kids i child' }, replaced)
+      end
+
+  let add key v t =
+    let degree = t.degree in
+    let root =
+      if nkeys t.root = (2 * degree) - 1 then begin
+        let l, mk, mv, r = split_full degree t.root in
+        { keys = [| mk |]; vals = [| mv |]; kids = [| l; r |] }
+      end
+      else t.root
+    in
+    let root', replaced = insert_nonfull degree root key v in
+    { t with root = root'; size = (if replaced then t.size else t.size + 1) }
+
+  (* --- deletion (CLRS 18.3) --- *)
+
+  let rec max_binding_node n =
+    if is_leaf n then (n.keys.(nkeys n - 1), n.vals.(nkeys n - 1))
+    else max_binding_node n.kids.(Array.length n.kids - 1)
+
+  let rec min_binding_node n =
+    if is_leaf n then (n.keys.(0), n.vals.(0))
+    else min_binding_node n.kids.(0)
+
+  (* Ensure kids.(i) of [n] has >= t keys before descending, by borrowing
+     from a sibling or merging. Returns (n', i') where i' addresses the
+     child now covering the same key range. *)
+  let fix_child degree n i =
+    let t = degree in
+    let c = n.kids.(i) in
+    if nkeys c >= t then (n, i)
+    else if i > 0 && nkeys n.kids.(i - 1) >= t then begin
+      (* borrow from left sibling through separator i-1 *)
+      let l = n.kids.(i - 1) in
+      let ln = nkeys l in
+      let c' =
+        {
+          keys = arr_insert c.keys 0 n.keys.(i - 1);
+          vals = arr_insert c.vals 0 n.vals.(i - 1);
+          kids =
+            (if is_leaf c then [||] else arr_insert c.kids 0 l.kids.(ln));
+        }
+      and l' =
+        {
+          keys = Array.sub l.keys 0 (ln - 1);
+          vals = Array.sub l.vals 0 (ln - 1);
+          kids = (if is_leaf l then [||] else Array.sub l.kids 0 ln);
+        }
+      in
+      let n' =
+        {
+          keys = arr_set n.keys (i - 1) l.keys.(ln - 1);
+          vals = arr_set n.vals (i - 1) l.vals.(ln - 1);
+          kids = arr_set (arr_set n.kids (i - 1) l') i c';
+        }
+      in
+      (n', i)
+    end
+    else if i < nkeys n && nkeys n.kids.(i + 1) >= t then begin
+      (* borrow from right sibling through separator i *)
+      let r = n.kids.(i + 1) in
+      let c' =
+        {
+          keys = arr_insert c.keys (nkeys c) n.keys.(i);
+          vals = arr_insert c.vals (nkeys c) n.vals.(i);
+          kids =
+            (if is_leaf c then [||]
+             else arr_insert c.kids (Array.length c.kids) r.kids.(0));
+        }
+      and r' =
+        {
+          keys = arr_remove r.keys 0;
+          vals = arr_remove r.vals 0;
+          kids = (if is_leaf r then [||] else arr_remove r.kids 0);
+        }
+      in
+      let n' =
+        {
+          keys = arr_set n.keys i r.keys.(0);
+          vals = arr_set n.vals i r.vals.(0);
+          kids = arr_set (arr_set n.kids i c') (i + 1) r';
+        }
+      in
+      (n', i)
+    end
+    else begin
+      (* merge with a sibling: child i and i+1 around separator i (or
+         i-1 and i around separator i-1) *)
+      let j = if i > 0 then i - 1 else i in
+      let l = n.kids.(j) and r = n.kids.(j + 1) in
+      let merged =
+        {
+          keys = Array.concat [ l.keys; [| n.keys.(j) |]; r.keys ];
+          vals = Array.concat [ l.vals; [| n.vals.(j) |]; r.vals ];
+          kids = (if is_leaf l then [||] else Array.append l.kids r.kids);
+        }
+      in
+      let n' =
+        {
+          keys = arr_remove n.keys j;
+          vals = arr_remove n.vals j;
+          kids = arr_remove (arr_set n.kids j merged) (j + 1);
+        }
+      in
+      (n', j)
+    end
+
+  (* delete [key] from subtree rooted at [n]; n is guaranteed to have
+     >= t keys (or be the root). Returns the new node. The key is known
+     to be present in the tree. *)
+  let rec delete_node degree n key =
+    match search n.keys key with
+    | Ok i when is_leaf n ->
+      leaf_node (arr_remove n.keys i) (arr_remove n.vals i)
+    | Ok i ->
+      let t = degree in
+      if nkeys n.kids.(i) >= t then begin
+        let pk, pv = max_binding_node n.kids.(i) in
+        let child' = delete_node degree n.kids.(i) pk in
+        {
+          keys = arr_set n.keys i pk;
+          vals = arr_set n.vals i pv;
+          kids = arr_set n.kids i child';
+        }
+      end
+      else if nkeys n.kids.(i + 1) >= t then begin
+        let sk, sv = min_binding_node n.kids.(i + 1) in
+        let child' = delete_node degree n.kids.(i + 1) sk in
+        {
+          keys = arr_set n.keys i sk;
+          vals = arr_set n.vals i sv;
+          kids = arr_set n.kids (i + 1) child';
+        }
+      end
+      else begin
+        (* both children minimal: merge them around the key, recurse *)
+        let l = n.kids.(i) and r = n.kids.(i + 1) in
+        let merged =
+          {
+            keys = Array.concat [ l.keys; [| n.keys.(i) |]; r.keys ];
+            vals = Array.concat [ l.vals; [| n.vals.(i) |]; r.vals ];
+            kids = (if is_leaf l then [||] else Array.append l.kids r.kids);
+          }
+        in
+        let merged' = delete_node degree merged key in
+        {
+          keys = arr_remove n.keys i;
+          vals = arr_remove n.vals i;
+          kids = arr_remove (arr_set n.kids i merged') (i + 1);
+        }
+      end
+    | Error i ->
+      if is_leaf n then n (* absent; caller checked, defensive *)
+      else begin
+        let n, i = fix_child degree n i in
+        (* after fixing, the key may now sit in the separator (merge
+           pulled it up is impossible — separators only move down — but a
+           borrow may have rotated it into n.keys) *)
+        match search n.keys key with
+        | Ok _ -> delete_node degree n key
+        | Error _ ->
+          let child' = delete_node degree n.kids.(i) key in
+          { n with kids = arr_set n.kids i child' }
+      end
+
+  let remove key t =
+    if not (mem key t) then t
+    else begin
+      let root = delete_node t.degree t.root key in
+      let root =
+        if nkeys root = 0 && not (is_leaf root) then root.kids.(0) else root
+      in
+      { t with root; size = t.size - 1 }
+    end
+
+  let update key f t =
+    match f (find key t) with
+    | Some v -> add key v t
+    | None -> remove key t
+
+  let min_binding_opt t = if t.size = 0 then None else Some (min_binding_node t.root)
+  let max_binding_opt t = if t.size = 0 then None else Some (max_binding_node t.root)
+
+  (* --- iteration --- *)
+
+  let rec seq_node n () =
+    if nkeys n = 0 then Seq.Nil
+    else if is_leaf n then
+      Array.to_seq (Array.mapi (fun i k -> (k, n.vals.(i))) n.keys) ()
+    else begin
+      let rec emit i () =
+        if i < nkeys n then
+          Seq.append (seq_node n.kids.(i))
+            (Seq.cons (n.keys.(i), n.vals.(i)) (emit (i + 1)))
+            ()
+        else seq_node n.kids.(i) ()
+      in
+      emit 0 ()
+    end
+
+  let to_seq t = seq_node t.root
+
+  let above lo k =
+    match lo with
+    | Key_unbounded -> true
+    | Key_incl b -> K.compare k b >= 0
+    | Key_excl b -> K.compare k b > 0
+
+  let below hi k =
+    match hi with
+    | Key_unbounded -> true
+    | Key_incl b -> K.compare k b <= 0
+    | Key_excl b -> K.compare k b < 0
+
+  let range ~lo ~hi t =
+    (* A subtree whose keys all lie strictly below some separator [s]
+       can be skipped when [s <= lo]; symmetrically for [hi]. [clo] /
+       [chi] are the subtree's exclusive key bounds inherited from the
+       separators above it ([None] = unbounded). *)
+    let subtree_disjoint clo chi =
+      (match clo, hi with
+      | Some l, Key_incl h -> K.compare l h >= 0
+      | Some l, Key_excl h -> K.compare l h >= 0
+      | _ -> false)
+      ||
+      match chi, lo with
+      | Some h, Key_incl l -> K.compare h l <= 0
+      | Some h, Key_excl l -> K.compare h l <= 0
+      | _ -> false
+    in
+    let rec seq n clo chi () =
+      if nkeys n = 0 || subtree_disjoint clo chi then Seq.Nil
+      else if is_leaf n then
+        (Array.to_seq (Array.mapi (fun i k -> (k, n.vals.(i))) n.keys)
+        |> Seq.filter (fun (k, _) -> above lo k && below hi k))
+          ()
+      else begin
+        let k = nkeys n in
+        let rec emit i () =
+          if i > k then Seq.Nil
+          else begin
+            let child_lo = if i = 0 then clo else Some n.keys.(i - 1) in
+            let child_hi = if i = k then chi else Some n.keys.(i) in
+            let child = seq n.kids.(i) child_lo child_hi in
+            let tail =
+              if i = k then Seq.empty
+              else if above lo n.keys.(i) && below hi n.keys.(i) then
+                Seq.cons (n.keys.(i), n.vals.(i)) (emit (i + 1))
+              else emit (i + 1)
+            in
+            Seq.append child tail ()
+          end
+        in
+        emit 0 ()
+      end
+    in
+    seq t.root None None
+
+  let of_list l = List.fold_left (fun t (k, v) -> add k v t) (empty ()) l
+
+  (* --- invariants --- *)
+
+  let invariants_ok t =
+    let degree = t.degree in
+    let ok = ref true in
+    let check b = if not b then ok := false in
+    (* returns depth of subtree *)
+    let rec go n ~is_root ~lo ~hi =
+      let k = nkeys n in
+      if not is_root then check (k >= degree - 1);
+      check (k <= (2 * degree) - 1);
+      (* keys sorted strictly and within bounds *)
+      for i = 0 to k - 2 do
+        check (K.compare n.keys.(i) n.keys.(i + 1) < 0)
+      done;
+      Array.iter (fun key -> check (above lo key && below hi key)) n.keys;
+      if is_leaf n then 1
+      else begin
+        check (Array.length n.kids = k + 1);
+        let depths =
+          Array.mapi
+            (fun i c ->
+              let lo' = if i = 0 then lo else Key_excl n.keys.(i - 1) in
+              let hi' = if i = k then hi else Key_excl n.keys.(i) in
+              go c ~is_root:false ~lo:lo' ~hi:hi')
+            n.kids
+        in
+        Array.iter (fun d -> check (d = depths.(0))) depths;
+        1 + depths.(0)
+      end
+    in
+    if t.size > 0 || nkeys t.root > 0 then
+      ignore (go t.root ~is_root:true ~lo:Key_unbounded ~hi:Key_unbounded);
+    check (List.length (List.of_seq (to_seq t)) = t.size);
+    !ok
+
+  let height t =
+    let rec go n = if is_leaf n then 1 else 1 + go n.kids.(0) in
+    if t.size = 0 then 0 else go t.root
+end

@@ -1,0 +1,58 @@
+(** In-memory B-trees.
+
+    Section 4.2: "Node attributes can be indexed directly using
+    traditional index structures such as B-trees. This allows for fast
+    retrieval of feasible mates and avoids a full scan of all nodes."
+
+    This is a persistent B-tree in the classic style (minimum degree
+    [t]; every node holds between [t-1] and [2t-1] keys, the root
+    excepted), supporting point lookup, ordered iteration and range
+    scans. The SQL-baseline substrate builds its per-column indexes on
+    it, mirroring the MySQL B-tree indexes of the paper's experimental
+    setup. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) : sig
+  type 'v t
+
+  type key_bound = Key_unbounded | Key_incl of K.t | Key_excl of K.t
+
+  val empty : ?degree:int -> unit -> 'v t
+  (** [degree] is the minimum degree [t >= 2] (default 8, i.e. nodes of
+      7–15 keys). *)
+
+  val is_empty : 'v t -> bool
+  val cardinal : 'v t -> int
+  val find : K.t -> 'v t -> 'v option
+  val mem : K.t -> 'v t -> bool
+
+  val add : K.t -> 'v -> 'v t -> 'v t
+  (** Insert or replace. *)
+
+  val update : K.t -> ('v option -> 'v option) -> 'v t -> 'v t
+
+  val remove : K.t -> 'v t -> 'v t
+  (** Returns the tree unchanged if the key is absent. *)
+
+  val min_binding_opt : 'v t -> (K.t * 'v) option
+  val max_binding_opt : 'v t -> (K.t * 'v) option
+
+  val to_seq : 'v t -> (K.t * 'v) Seq.t
+  (** Ascending key order. *)
+
+  val range : lo:key_bound -> hi:key_bound -> 'v t -> (K.t * 'v) Seq.t
+  (** Ascending bindings within the bounds. *)
+
+  val of_list : (K.t * 'v) list -> 'v t
+
+  val invariants_ok : 'v t -> bool
+  (** Structural check used by the property tests: key bounds per node,
+      occupancy bounds, uniform leaf depth, global ordering. *)
+
+  val height : 'v t -> int
+end

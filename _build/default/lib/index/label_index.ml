@@ -1,0 +1,42 @@
+open Gql_graph
+
+module Smap = Btree.Make (String)
+
+type t = {
+  by_label : int list Smap.t;  (* label -> node ids, descending (reversed on query) *)
+  freqs : (string * int) list;  (* descending frequency *)
+}
+
+let build g =
+  let by_label =
+    Graph.fold_nodes g ~init:(Smap.empty ()) ~f:(fun acc v ->
+        let l = Graph.label g v in
+        Smap.update l
+          (function None -> Some [ v ] | Some vs -> Some (v :: vs))
+          acc)
+  in
+  let freqs =
+    Smap.to_seq by_label
+    |> Seq.map (fun (l, vs) -> (l, List.length vs))
+    |> List.of_seq
+    |> List.sort (fun (l1, f1) (l2, f2) ->
+           match compare f2 f1 with 0 -> String.compare l1 l2 | c -> c)
+  in
+  { by_label; freqs }
+
+let nodes_with_label t l =
+  match Smap.find l t.by_label with None -> [] | Some vs -> List.rev vs
+
+let frequency t l =
+  match Smap.find l t.by_label with None -> 0 | Some vs -> List.length vs
+
+let labels t = Smap.to_seq t.by_label |> Seq.map fst |> List.of_seq
+let distinct_labels t = Smap.cardinal t.by_label
+
+let top_frequent t k =
+  List.filteri (fun i _ -> i < k) t.freqs |> List.map fst
+
+let range t ~lo ~hi =
+  Smap.range ~lo:(Smap.Key_incl lo) ~hi:(Smap.Key_incl hi) t.by_label
+  |> Seq.map (fun (l, vs) -> (l, List.rev vs))
+  |> List.of_seq

@@ -1,0 +1,41 @@
+(** A path-feature index for collections of small graphs.
+
+    The paper's first database category (§4): "a large collection of
+    small graphs, e.g., chemical compounds … A number of graph indexing
+    techniques have been proposed … Graph indexing plays a similar role
+    for graph databases as B-trees for relational databases: only a
+    small number of graphs need to be accessed." This is the classic
+    GraphGrep-style instance [Shasha, Wang & Giugno, PODS 2002]: index
+    every label path of bounded length, filter by feature-count
+    containment, and verify only the surviving candidates with the
+    pattern matcher.
+
+    Soundness: an embedding maps distinct pattern paths to distinct
+    data paths with the same label sequence, so any graph containing
+    the pattern satisfies [count_g f >= count_p f] for every pattern
+    feature [f]. Pattern paths through unlabeled (wildcard) nodes are
+    simply not used for filtering. *)
+
+open Gql_graph
+
+type t
+
+val build : ?max_len:int -> Graph.t array -> t
+(** [max_len] is the maximum number of edges per indexed path
+    (default 3; 0 = node labels only). *)
+
+val max_len : t -> int
+val n_graphs : t -> int
+val n_features : t -> int
+
+val features_of_graph : max_len:int -> Graph.t -> (string * int) list
+(** Canonical label-path features with their multiplicities. Exposed
+    for tests. *)
+
+val candidates : t -> Graph.t -> int list
+(** Ids of the graphs that pass the filter for the given pattern
+    structure (a labeled graph), ascending. A superset of the graphs
+    actually containing the pattern. *)
+
+val filter_ratio : t -> Graph.t -> float
+(** |candidates| / |collection| — the filtering power measure. *)

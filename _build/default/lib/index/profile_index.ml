@@ -1,0 +1,28 @@
+open Gql_graph
+
+type t = {
+  r : int;
+  graph : Graph.t;
+  profiles : Profile.t array;
+  nbh_cache : (int, Neighborhood.t) Hashtbl.t;
+}
+
+let build ?(r = 1) graph =
+  {
+    r;
+    graph;
+    profiles = Profile.all graph ~r;
+    nbh_cache = Hashtbl.create 256;
+  }
+
+let radius t = t.r
+let graph t = t.graph
+let profile t v = t.profiles.(v)
+
+let neighborhood t v =
+  match Hashtbl.find_opt t.nbh_cache v with
+  | Some n -> n
+  | None ->
+    let n = Neighborhood.make t.graph v ~r:t.r in
+    Hashtbl.add t.nbh_cache v n;
+    n

@@ -1,0 +1,16 @@
+(** Per-node neighborhood profiles and subgraphs (§4.2).
+
+    Built once over a data graph for a fixed radius [r]: profiles are
+    precomputed for every node (they are cheap — one BFS ball each);
+    full neighborhood subgraphs are materialized lazily and memoized,
+    since only nodes that survive profile pruning ever need one. *)
+
+type t
+
+val build : ?r:int -> Gql_graph.Graph.t -> t
+(** Default radius 1, as in the experimental study. *)
+
+val radius : t -> int
+val graph : t -> Gql_graph.Graph.t
+val profile : t -> int -> Gql_graph.Profile.t
+val neighborhood : t -> int -> Gql_graph.Neighborhood.t

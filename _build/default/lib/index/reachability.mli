@@ -1,0 +1,30 @@
+(** Reachability index (§6.2).
+
+    "Another line of graph indexing addresses reachability queries in
+    large directed graphs … Reachability queries correspond to recursive
+    graph patterns which are paths. These techniques can be incorporated
+    into access methods for recursive graph pattern queries."
+
+    For undirected graphs the index is a union-find over connected
+    components (O(α) queries). For directed graphs: Tarjan's strongly
+    connected components, then a transitive closure over the condensed
+    DAG kept as per-component bit sets filled in reverse topological
+    order — O(1) queries after an O(V·E/w) build, appropriate for the
+    up-to-10⁵-node graphs this library targets. *)
+
+open Gql_graph
+
+type t
+
+val build : Graph.t -> t
+
+val reachable : t -> int -> int -> bool
+(** [reachable t u v]: is there a path from [u] to [v]? ([true] when
+    [u = v].) *)
+
+val n_components : t -> int
+(** Connected components (undirected) or strongly connected components
+    (directed). *)
+
+val component : t -> int -> int
+(** Component id of a node (dense, [0 .. n_components-1]). *)

@@ -1,0 +1,1 @@
+lib/matcher/bipartite.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/matcher/bitset.ml: Bytes Char List

@@ -1,0 +1,1 @@
+lib/matcher/cost.ml: Array Flat_pattern Gql_graph Graph Hashtbl List Option

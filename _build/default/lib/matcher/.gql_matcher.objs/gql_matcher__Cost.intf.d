@@ -1,0 +1,1 @@
+lib/matcher/cost.mli: Flat_pattern Gql_graph Graph

@@ -1,0 +1,1 @@
+lib/matcher/engine.ml: Cost Feasible Option Order Printf Refine Search Unix

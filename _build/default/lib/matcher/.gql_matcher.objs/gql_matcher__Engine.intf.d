@@ -1,0 +1,1 @@
+lib/matcher/engine.mli: Cost Feasible Flat_pattern Gql_graph Gql_index Graph Refine Search

@@ -1,0 +1,1 @@
+lib/matcher/feasible.ml: Array Flat_pattern Gql_graph Gql_index Graph Iso List Neighborhood Profile

@@ -1,0 +1,1 @@
+lib/matcher/feasible.mli: Flat_pattern Gql_graph Gql_index Graph

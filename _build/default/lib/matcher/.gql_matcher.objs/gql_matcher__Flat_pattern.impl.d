@@ -1,0 +1,1 @@
+lib/matcher/flat_pattern.ml: Array Format Gql_graph Graph List Neighborhood Option Pred Printf Profile Tuple Value

@@ -1,0 +1,1 @@
+lib/matcher/flat_pattern.mli: Format Gql_graph Graph Neighborhood Pred Profile

@@ -1,0 +1,1 @@
+lib/matcher/order.ml: Array Cost Flat_pattern Gql_graph Graph List

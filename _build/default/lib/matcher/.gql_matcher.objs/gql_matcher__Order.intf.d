@@ -1,0 +1,1 @@
+lib/matcher/order.mli: Cost Flat_pattern

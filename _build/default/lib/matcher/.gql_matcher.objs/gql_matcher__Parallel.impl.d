@@ -1,0 +1,1 @@
+lib/matcher/parallel.ml: Array Domain Engine Feasible Flat_pattern List Option Order Refine Search

@@ -1,0 +1,1 @@
+lib/matcher/parallel.mli: Engine Feasible Flat_pattern Gql_graph Graph Search

@@ -1,0 +1,1 @@
+lib/matcher/refine.ml: Array Bipartite Bitset Feasible Flat_pattern Gql_graph Graph Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/matcher/refine.mli: Feasible Flat_pattern Gql_graph Graph

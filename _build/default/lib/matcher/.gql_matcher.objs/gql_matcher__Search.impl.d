@@ -1,0 +1,1 @@
+lib/matcher/search.ml: Array Bitset Feasible Flat_pattern Gql_graph Graph List

@@ -1,0 +1,1 @@
+lib/matcher/search.mli: Feasible Flat_pattern Gql_graph Graph

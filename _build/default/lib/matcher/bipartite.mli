@@ -1,0 +1,31 @@
+(** Bipartite matching.
+
+    The joint-reduction refinement (§4.3) tests, for each pattern node
+    [u] and feasible mate [v], whether the bipartite graph B(u,v)
+    between the neighbors of [u] and the neighbors of [v] has a
+    {e semi-perfect matching} — one saturating every neighbor of [u].
+
+    [hopcroft_karp] is the O(E·sqrt(V)) algorithm referenced by the
+    paper [Hopcroft & Karp 1973]; [kuhn] is the simple augmenting-path
+    algorithm kept as a test oracle. *)
+
+type graph = {
+  nl : int;  (** left vertices [0 .. nl-1] *)
+  nr : int;  (** right vertices [0 .. nr-1] *)
+  adj : int list array;  (** [adj.(l)] = right neighbors of left vertex [l] *)
+}
+
+val hopcroft_karp : graph -> int
+(** Size of a maximum matching. *)
+
+val hopcroft_karp_matching : graph -> int * int array
+(** Maximum matching size and the left-to-right assignment ([-1] for
+    unmatched left vertices). *)
+
+val kuhn : graph -> int
+(** Reference implementation (Hungarian-style augmenting paths). *)
+
+val semi_perfect : graph -> bool
+(** True iff a matching saturates every left vertex, i.e. the maximum
+    matching has size [nl]. Short-circuits on an obvious degree
+    deficiency ([nr < nl] or an isolated left vertex). *)

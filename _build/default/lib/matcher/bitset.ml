@@ -1,0 +1,48 @@
+type t = {
+  bits : Bytes.t;
+  n : int;
+  mutable card : int;
+}
+
+let create n = { bits = Bytes.make ((n + 7) / 8) '\000'; n; card = 0 }
+
+let capacity t = t.n
+
+let mem t i =
+  Char.code (Bytes.unsafe_get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let add t i =
+  if not (mem t i) then begin
+    let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte lor (1 lsl (i land 7))));
+    t.card <- t.card + 1
+  end
+
+let remove t i =
+  if mem t i then begin
+    let byte = Char.code (Bytes.unsafe_get t.bits (i lsr 3)) in
+    Bytes.unsafe_set t.bits (i lsr 3) (Char.chr (byte land lnot (1 lsl (i land 7))));
+    t.card <- t.card - 1
+  end
+
+let cardinal t = t.card
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun i -> acc := f !acc i);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n; card = t.card }
+let is_empty t = t.card = 0

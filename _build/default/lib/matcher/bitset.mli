@@ -1,0 +1,26 @@
+(** Fixed-capacity mutable bit sets.
+
+    Candidate sets Φ(u) over the data graph's nodes: membership tests
+    during refinement must be O(1) over up to hundreds of thousands of
+    nodes. *)
+
+type t
+
+val create : int -> t
+(** [create n]: capacity [n], all bits clear. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+(** O(1) — maintained incrementally. *)
+
+val iter : t -> (int -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+val to_list : t -> int list
+(** Ascending. *)
+
+val of_list : int -> int list -> t
+val copy : t -> t
+val is_empty : t -> bool

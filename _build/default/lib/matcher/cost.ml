@@ -1,0 +1,89 @@
+open Gql_graph
+
+type stats = {
+  n_nodes : int;
+  label_freq : (string, int) Hashtbl.t;
+  edge_freq : (string * string, int) Hashtbl.t;
+  directed : bool;
+}
+
+let stats_of_graph g =
+  {
+    n_nodes = Graph.n_nodes g;
+    label_freq = Graph.label_histogram g;
+    edge_freq = Graph.edge_label_histogram g;
+    directed = Graph.directed g;
+  }
+
+let default_constant = 0.5
+
+let label_frequency stats = function
+  | None -> float_of_int stats.n_nodes  (* unconstrained node: any label *)
+  | Some l ->
+    float_of_int (Option.value (Hashtbl.find_opt stats.label_freq l) ~default:0)
+
+let edge_probability stats la lb =
+  match la, lb with
+  | Some a, Some b ->
+    let key = if stats.directed || a <= b then (a, b) else (b, a) in
+    let fe =
+      float_of_int (Option.value (Hashtbl.find_opt stats.edge_freq key) ~default:0)
+    in
+    let fa = label_frequency stats (Some a) and fb = label_frequency stats (Some b) in
+    if fa = 0.0 || fb = 0.0 then 0.0 else min 1.0 (fe /. (fa *. fb))
+  | _ -> default_constant
+
+type model =
+  | Constant of float
+  | Frequencies of stats
+
+(* γ of joining node [u] into the set [in_set]: product over the pattern
+   edges between u and in_set *)
+let join_gamma model p ~in_set u =
+  let g = p.Flat_pattern.structure in
+  let edges_closed =
+    let nbrs = Array.to_list (Graph.neighbors g u) in
+    let nbrs =
+      if Graph.directed g then
+        nbrs @ Array.to_list (Graph.in_neighbors g u)
+      else nbrs
+    in
+    List.filter (fun (u', _) -> in_set.(u')) nbrs
+  in
+  List.fold_left
+    (fun acc (u', _) ->
+      let f =
+        match model with
+        | Constant c -> c
+        | Frequencies stats ->
+          edge_probability stats
+            (Flat_pattern.required_label p u)
+            (Flat_pattern.required_label p u')
+      in
+      acc *. f)
+    1.0 edges_closed
+
+let fold_order model p ~sizes order ~f ~init =
+  let k = Flat_pattern.size p in
+  let in_set = Array.make k false in
+  let acc = ref init in
+  let size = ref 1.0 in
+  Array.iteri
+    (fun i u ->
+      let su = float_of_int sizes.(u) in
+      if i = 0 then size := su
+      else begin
+        let cost = !size *. su in
+        let gamma = join_gamma model p ~in_set u in
+        acc := f !acc ~cost;
+        size := !size *. su *. gamma
+      end;
+      in_set.(u) <- true)
+    order;
+  (!acc, !size)
+
+let order_cost model p ~sizes order =
+  fst (fold_order model p ~sizes order ~init:0.0 ~f:(fun acc ~cost -> acc +. cost))
+
+let order_size model p ~sizes order =
+  snd (fold_order model p ~sizes order ~init:0.0 ~f:(fun acc ~cost:_ -> acc))

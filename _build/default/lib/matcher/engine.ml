@@ -1,0 +1,99 @@
+
+type strategy = {
+  retrieval : Feasible.retrieval;
+  refine : bool;
+  refine_level : int option;
+  optimize_order : bool;
+  cost_model : Cost.model option;
+}
+
+let optimized =
+  {
+    retrieval = `Profiles;
+    refine = true;
+    refine_level = None;
+    optimize_order = true;
+    cost_model = None;
+  }
+
+let baseline =
+  {
+    retrieval = `Node_attrs;
+    refine = false;
+    refine_level = None;
+    optimize_order = false;
+    cost_model = None;
+  }
+
+let strategy_name s =
+  let retr =
+    match s.retrieval with
+    | `Node_attrs -> "attrs"
+    | `Profiles -> "profiles"
+    | `Subgraphs -> "subgraphs"
+  in
+  Printf.sprintf "%s%s%s" retr
+    (if s.refine then "+refine" else "")
+    (if s.optimize_order then "+order" else "")
+
+type timings = {
+  t_retrieve : float;
+  t_refine : float;
+  t_order : float;
+  t_search : float;
+}
+
+let total t = t.t_retrieve +. t.t_refine +. t.t_order +. t.t_search
+
+type result = {
+  outcome : Search.outcome;
+  space_initial : Feasible.space;
+  space_refined : Feasible.space;
+  refine_stats : Refine.stats option;
+  order : int array;
+  timings : timings;
+}
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+let run ?(strategy = optimized) ?(exhaustive = true) ?limit ?label_index
+    ?profile_index p g =
+  let space_initial, t_retrieve =
+    timed (fun () ->
+        Feasible.compute ~retrieval:strategy.retrieval ?label_index
+          ?profile_index p g)
+  in
+  let (space_refined, refine_stats), t_refine =
+    if strategy.refine then
+      timed (fun () ->
+          let s, st = Refine.refine ?level:strategy.refine_level p g space_initial in
+          (s, Some st))
+    else ((space_initial, None), 0.0)
+  in
+  let order, t_order =
+    if strategy.optimize_order then
+      timed (fun () ->
+          let model =
+            Option.value strategy.cost_model
+              ~default:(Cost.Constant Cost.default_constant)
+          in
+          Order.greedy ~model p ~sizes:(Feasible.sizes space_refined))
+    else (Order.identity p, 0.0)
+  in
+  let outcome, t_search =
+    timed (fun () -> Search.run ~exhaustive ?limit ~order p g space_refined)
+  in
+  {
+    outcome;
+    space_initial;
+    space_refined;
+    refine_stats;
+    order;
+    timings = { t_retrieve; t_refine; t_order; t_search };
+  }
+
+let count_matches ?strategy ?limit p g =
+  (run ?strategy ?limit p g).outcome.Search.n_found

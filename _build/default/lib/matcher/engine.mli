@@ -1,0 +1,60 @@
+(** End-to-end graph pattern matching pipelines.
+
+    Combines the phases of Section 4 — feasible-mate retrieval with
+    local pruning, joint reduction, search-order optimization, and the
+    backtracking search — under a configurable strategy, with per-phase
+    wall-clock timings and search-space statistics for the experimental
+    study.
+
+    The paper's named configurations:
+    - {e Optimized}: retrieval by profiles, refinement, optimized order;
+    - {e Baseline}: retrieval by node attributes, input order, no
+      refinement. *)
+
+open Gql_graph
+
+type strategy = {
+  retrieval : Feasible.retrieval;
+  refine : bool;
+  refine_level : int option;  (** default: pattern size *)
+  optimize_order : bool;
+  cost_model : Cost.model option;  (** default: constant γ = 0.5 *)
+}
+
+val optimized : strategy
+val baseline : strategy
+val strategy_name : strategy -> string
+
+type timings = {
+  t_retrieve : float;  (** seconds *)
+  t_refine : float;
+  t_order : float;
+  t_search : float;
+}
+
+val total : timings -> float
+
+type result = {
+  outcome : Search.outcome;
+  space_initial : Feasible.space;  (** after retrieval/local pruning *)
+  space_refined : Feasible.space;  (** = initial when refinement off *)
+  refine_stats : Refine.stats option;
+  order : int array;
+  timings : timings;
+}
+
+val run :
+  ?strategy:strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?label_index:Gql_index.Label_index.t ->
+  ?profile_index:Gql_index.Profile_index.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  result
+(** Defaults: [optimized] strategy, exhaustive, no limit. Indexes are
+    built on the fly when not supplied (pass prebuilt ones when timing —
+    the paper treats index construction as offline). *)
+
+val count_matches :
+  ?strategy:strategy -> ?limit:int -> Flat_pattern.t -> Graph.t -> int

@@ -1,0 +1,69 @@
+open Gql_graph
+
+type retrieval = [ `Node_attrs | `Profiles | `Subgraphs ]
+
+type space = { candidates : int list array }
+
+let log10_size space =
+  Array.fold_left
+    (fun acc phi ->
+      match phi with
+      | [] -> neg_infinity
+      | _ -> acc +. log10 (float_of_int (List.length phi)))
+    0.0 space.candidates
+
+let sizes space = Array.map List.length space.candidates
+
+let base_candidates ?label_index p g u =
+  match Flat_pattern.required_label p u, label_index with
+  | Some l, Some idx -> Gql_index.Label_index.nodes_with_label idx l
+  | _ ->
+    (* full scan *)
+    Graph.fold_nodes g ~init:[] ~f:(fun acc v -> v :: acc) |> List.rev
+
+let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
+  let pidx =
+    match retrieval with
+    | `Node_attrs -> None
+    | `Profiles | `Subgraphs ->
+      Some
+        (match profile_index with
+        | Some idx -> idx
+        | None -> Gql_index.Profile_index.build ~r:1 g)
+  in
+  let k = Flat_pattern.size p in
+  let candidates =
+    Array.init k (fun u ->
+        let base =
+          base_candidates ?label_index p g u
+          |> List.filter (fun v -> Flat_pattern.node_compat p g u v)
+        in
+        match retrieval, pidx with
+        | `Node_attrs, _ | _, None -> base
+        | `Profiles, Some idx ->
+          let r = Gql_index.Profile_index.radius idx in
+          let pprof = Flat_pattern.profile p ~r u in
+          List.filter
+            (fun v ->
+              Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
+                ~small:pprof)
+            base
+        | `Subgraphs, Some idx ->
+          let r = Gql_index.Profile_index.radius idx in
+          let pnbh = Flat_pattern.neighborhood p ~r u in
+          List.filter
+            (fun v ->
+              (* quick reject by profile first: sound and cheap *)
+              let vnbh = Gql_index.Profile_index.neighborhood idx v in
+              let compat pu' dv' =
+                Flat_pattern.node_compat p g
+                  pnbh.Neighborhood.original.(pu')
+                  vnbh.Neighborhood.original.(dv')
+              in
+              Iso.rooted_sub_iso ~compat ~pattern:pnbh.Neighborhood.graph
+                ~pattern_root:pnbh.Neighborhood.center
+                ~target:vnbh.Neighborhood.graph
+                ~target_root:vnbh.Neighborhood.center)
+            base)
+  in
+  { candidates }

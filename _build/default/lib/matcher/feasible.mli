@@ -1,0 +1,41 @@
+(** Retrieval and local pruning of feasible mates (§4.2).
+
+    The feasible mates Φ(u) of pattern node [u] are the data nodes
+    satisfying the node predicate Fu (Definition 4.8). Retrieval starts
+    from the label index when [u]'s label is statically known (indexed
+    access instead of a full node scan) and is then optionally narrowed
+    by neighborhood information:
+
+    - [`Node_attrs]: attribute/predicate check only (the baseline);
+    - [`Profiles]: additionally require the pattern-side profile of [u]
+      to be contained in the data node's profile — cheap, light-weight;
+    - [`Subgraphs]: additionally require the neighborhood subgraph of
+      [u] to be sub-isomorphic to the data node's neighborhood subgraph
+      with [u] mapped to [v] — strongest, most expensive. *)
+
+open Gql_graph
+
+type retrieval = [ `Node_attrs | `Profiles | `Subgraphs ]
+
+type space = {
+  candidates : int list array;  (** Φ(u) per pattern node, ascending ids *)
+}
+
+val log10_size : space -> float
+(** log10 of |Φ(u1)| × … × |Φ(uk)|; [neg_infinity] when some Φ(u) is
+    empty. Reduction ratios (Definition in §5.1) are differences of
+    these. *)
+
+val sizes : space -> int array
+
+val compute :
+  ?retrieval:retrieval ->
+  ?label_index:Gql_index.Label_index.t ->
+  ?profile_index:Gql_index.Profile_index.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  space
+(** [compute p g]: feasible mates of every pattern node. The profile
+    index is required for [`Profiles] and [`Subgraphs] (built on demand
+    with radius 1 when missing — callers should pass a prebuilt one for
+    honest timing). Default retrieval [`Profiles]. *)

@@ -1,0 +1,179 @@
+open Gql_graph
+
+type t = {
+  structure : Graph.t;
+  node_preds : Pred.t array;
+  edge_preds : Pred.t array;
+  global_pred : Pred.t;
+}
+
+let of_graph ?(node_preds = []) ?(edge_preds = []) ?(global_pred = Pred.True) g =
+  let nps = Array.make (Graph.n_nodes g) Pred.True in
+  List.iter (fun (u, p) -> nps.(u) <- p) node_preds;
+  let eps = Array.make (Graph.n_edges g) Pred.True in
+  List.iter (fun (e, p) -> eps.(e) <- p) edge_preds;
+  { structure = g; node_preds = nps; edge_preds = eps; global_pred }
+
+let size p = Graph.n_nodes p.structure
+
+let var_name p u =
+  match Graph.node_name p.structure u with
+  | Some n -> n
+  | None -> Printf.sprintf "v%d" u
+
+let edge_var_name p e =
+  match Graph.edge_name p.structure e with
+  | Some n -> n
+  | None -> Printf.sprintf "e%d" e
+
+let of_where g pred =
+  let node_vars = List.init (Graph.n_nodes g) (fun u -> u) in
+  let edge_vars = List.init (Graph.n_edges g) (fun e -> e) in
+  let name_of_node u =
+    match Graph.node_name g u with Some n -> n | None -> Printf.sprintf "v%d" u
+  in
+  let name_of_edge e =
+    match Graph.edge_name g e with Some n -> n | None -> Printf.sprintf "e%d" e
+  in
+  let vars =
+    List.map name_of_node node_vars @ List.map name_of_edge edge_vars
+  in
+  let per_var, residual = Pred.split_by_root ~vars pred in
+  let node_preds =
+    List.filter_map
+      (fun u ->
+        Option.map (fun p -> (u, p)) (List.assoc_opt (name_of_node u) per_var))
+      node_vars
+  in
+  let edge_preds =
+    List.filter_map
+      (fun e ->
+        Option.map (fun p -> (e, p)) (List.assoc_opt (name_of_edge e) per_var))
+      edge_vars
+  in
+  of_graph ~node_preds ~edge_preds ~global_pred:residual g
+
+(* label == "A" style conjuncts *)
+let label_of_pred pred =
+  let is_label_attr = function
+    | Pred.Attr [ "label" ] -> true
+    | _ -> false
+  in
+  List.find_map
+    (function
+      | Pred.Binop (Pred.Eq, a, Pred.Lit (Value.Str s)) when is_label_attr a ->
+        Some s
+      | Pred.Binop (Pred.Eq, Pred.Lit (Value.Str s), a) when is_label_attr a ->
+        Some s
+      | _ -> None)
+    (Pred.conjuncts pred)
+
+let required_label p u =
+  match Tuple.find (Graph.node_tuple p.structure u) "label" with
+  | Some (Value.Str s) -> Some s
+  | Some _ | None -> label_of_pred p.node_preds.(u)
+
+(* attributes on the pattern element's own tuple are implicit equalities *)
+let tuple_constraints_ok ptuple dtuple =
+  List.for_all
+    (fun (k, v) -> Value.equal (Tuple.get dtuple k) v)
+    (Tuple.bindings ptuple)
+  &&
+  match Tuple.tag ptuple with
+  | None -> true
+  | Some tag -> Tuple.tag dtuple = Some tag
+
+let node_compat p g u v =
+  let dtuple = Graph.node_tuple g v in
+  tuple_constraints_ok (Graph.node_tuple p.structure u) dtuple
+  && (Pred.equal p.node_preds.(u) Pred.True
+     || Pred.holds (Pred.env_of_tuple dtuple) p.node_preds.(u))
+
+let edge_compat p g pe ge =
+  let dtuple = (Graph.edge g ge).Graph.etuple in
+  tuple_constraints_ok (Graph.edge p.structure pe).Graph.etuple dtuple
+  && (Pred.equal p.edge_preds.(pe) Pred.True
+     || Pred.holds (Pred.env_of_tuple dtuple) p.edge_preds.(pe))
+
+let global_holds p g phi =
+  if Pred.equal p.global_pred Pred.True then true
+  else begin
+    let node_bindings =
+      List.init (size p) (fun u ->
+          (var_name p u, Pred.env_of_tuple (Graph.node_tuple g phi.(u))))
+    in
+    let edge_bindings =
+      List.init (Graph.n_edges p.structure) (fun e ->
+          let pe = Graph.edge p.structure e in
+          let env =
+            match Graph.find_edge g phi.(pe.Graph.src) phi.(pe.Graph.dst) with
+            | Some ge -> Pred.env_of_tuple (Graph.edge g ge).Graph.etuple
+            | None -> fun _ -> None
+          in
+          (edge_var_name p e, env))
+    in
+    let env =
+      Pred.env_extend (Pred.env_of_tuple (Graph.tuple g)) (node_bindings @ edge_bindings)
+    in
+    Pred.holds env p.global_pred
+  end
+
+let profile p ~r u =
+  Neighborhood.nodes_within p.structure u ~r
+  |> List.filter_map (required_label p)
+  |> Profile.of_labels
+
+let neighborhood p ~r u = Neighborhood.make p.structure u ~r
+
+let labeled_graph_of names_labels edges =
+  let b = Graph.Builder.create () in
+  List.iter
+    (fun (name, l) -> ignore (Graph.Builder.add_labeled_node b ~name l))
+    names_labels;
+  List.iter (fun (u, v) -> ignore (Graph.Builder.add_edge b u v)) edges;
+  Graph.Builder.build b
+
+let auto_names labels = List.mapi (fun i l -> (Printf.sprintf "v%d" i, l)) labels
+
+let clique labels =
+  let k = List.length labels in
+  let edges = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  of_graph (labeled_graph_of (auto_names labels) !edges)
+
+let path labels =
+  let k = List.length labels in
+  of_graph (labeled_graph_of (auto_names labels) (List.init (max 0 (k - 1)) (fun i -> (i, i + 1))))
+
+let cycle labels =
+  let k = List.length labels in
+  let edges = List.init (max 0 (k - 1)) (fun i -> (i, i + 1)) in
+  let edges = if k >= 3 then (k - 1, 0) :: edges else edges in
+  of_graph (labeled_graph_of (auto_names labels) edges)
+
+let star ~center leaves =
+  let k = List.length leaves in
+  of_graph
+    (labeled_graph_of
+       (auto_names (center :: leaves))
+       (List.init k (fun i -> (0, i + 1))))
+
+let pp ppf p =
+  Format.fprintf ppf "@[<v>%a" Graph.pp p.structure;
+  Array.iteri
+    (fun u q ->
+      if not (Pred.equal q Pred.True) then
+        Format.fprintf ppf "@,where %s: %a" (var_name p u) Pred.pp q)
+    p.node_preds;
+  Array.iteri
+    (fun e q ->
+      if not (Pred.equal q Pred.True) then
+        Format.fprintf ppf "@,where %s: %a" (edge_var_name p e) Pred.pp q)
+    p.edge_preds;
+  if not (Pred.equal p.global_pred Pred.True) then
+    Format.fprintf ppf "@,where %a" Pred.pp p.global_pred;
+  Format.fprintf ppf "@]"

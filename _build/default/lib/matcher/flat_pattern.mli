@@ -1,0 +1,79 @@
+(** Flat (non-recursive) graph patterns — the matcher's input.
+
+    A graph pattern P = (M, F) (Definition 4.1) whose motif M is a
+    constant graph. The core library derives flat patterns from the
+    richer motif language (disjunction and repetition each derive a
+    stream of flat patterns); the access methods of Section 4 operate on
+    flat patterns only.
+
+    The predicate F is pre-split (Section 4.1): per-node predicates Fu,
+    per-edge predicates Fe, and the residual graph-wide predicate that
+    could not be pushed down. Attributes present on pattern node/edge
+    tuples act as implicit equality constraints (the [<author
+    name="A">] style of Figure 4.8). *)
+
+open Gql_graph
+
+type t = {
+  structure : Graph.t;
+  node_preds : Pred.t array;  (** [node_preds.(u)], in node scope *)
+  edge_preds : Pred.t array;
+  global_pred : Pred.t;  (** in pattern scope: paths rooted at variable names *)
+}
+
+val of_graph :
+  ?node_preds:(int * Pred.t) list ->
+  ?edge_preds:(int * Pred.t) list ->
+  ?global_pred:Pred.t ->
+  Graph.t ->
+  t
+(** Omitted nodes/edges get [Pred.True]. *)
+
+val of_where : Graph.t -> Pred.t -> t
+(** Splits a single pattern-scope predicate by variable root (§4.1
+    predicate pushdown): conjuncts mentioning exactly one node or edge
+    variable become that element's local predicate, the rest stays
+    graph-wide. *)
+
+val size : t -> int
+(** Number of pattern nodes, k. *)
+
+val var_name : t -> int -> string
+(** The name of pattern node [u] ([v<u>] when anonymous). *)
+
+val required_label : t -> int -> string option
+(** The label a matching data node must carry, when statically
+    determinable: from the pattern node tuple's [label] attribute or an
+    [label == "..."] equality conjunct of the node predicate. Drives
+    indexed retrieval and profile construction. *)
+
+val node_compat : t -> Graph.t -> int -> int -> bool
+(** [node_compat p g u v]: data node [v] satisfies pattern node [u]'s
+    tuple constraints and local predicate Fu. *)
+
+val edge_compat : t -> Graph.t -> int -> int -> bool
+(** [edge_compat p g pe ge]: data edge [ge] satisfies pattern edge
+    [pe]'s tuple constraints and Fe. *)
+
+val global_holds : t -> Graph.t -> int array -> bool
+(** Evaluate the residual graph-wide predicate under a complete mapping
+    [phi] (pattern node -> data node). Node and edge variable names
+    resolve to the matched element's tuple; pattern-level attribute
+    paths ([P.attr]) resolve on the data graph's tuple. *)
+
+val profile : t -> r:int -> int -> Profile.t
+(** The pattern-side profile of node [u]: the required labels of the
+    pattern nodes within distance [r] of [u] (unconstrained pattern
+    nodes contribute nothing, keeping containment sound). *)
+
+val neighborhood : t -> r:int -> int -> Neighborhood.t
+
+val clique : string list -> t
+(** The complete graph over nodes labeled by the list — the §5.1
+    clique-query workload. *)
+
+val path : string list -> t
+val cycle : string list -> t
+val star : center:string -> string list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+open Gql_graph
+
+let identity p = Array.init (Flat_pattern.size p) (fun i -> i)
+
+let undirected_neighbors g u =
+  let out = Array.to_list (Graph.neighbors g u) |> List.map fst in
+  if Graph.directed g then
+    List.sort_uniq compare
+      (out @ (Array.to_list (Graph.in_neighbors g u) |> List.map fst))
+  else List.sort_uniq compare out
+
+let greedy ?(model = Cost.Constant Cost.default_constant) p ~sizes =
+  let k = Flat_pattern.size p in
+  if k = 0 then [||]
+  else begin
+    let g = p.Flat_pattern.structure in
+    let chosen = Array.make k false in
+    let order = Array.make k 0 in
+    (* start from the node with the smallest candidate set *)
+    let first = ref 0 in
+    for u = 1 to k - 1 do
+      if sizes.(u) < sizes.(!first) then first := u
+    done;
+    order.(0) <- !first;
+    chosen.(!first) <- true;
+    let size = ref (float_of_int sizes.(!first)) in
+    for i = 1 to k - 1 do
+      (* candidate leaves: connected to the chosen set when possible *)
+      let connected u =
+        List.exists (fun u' -> chosen.(u')) (undirected_neighbors g u)
+      in
+      let best = ref (-1) in
+      let best_cost = ref infinity in
+      let consider u =
+        let cost = !size *. float_of_int sizes.(u) in
+        (* prefer strictly smaller cost; tie-break on the reduction the
+           closed edges bring (more closed edges = smaller result) *)
+        if cost < !best_cost then begin
+          best := u;
+          best_cost := cost
+        end
+      in
+      for u = 0 to k - 1 do
+        if (not chosen.(u)) && connected u then consider u
+      done;
+      if !best < 0 then
+        for u = 0 to k - 1 do
+          if not chosen.(u) then consider u
+        done;
+      let u = !best in
+      let in_set = chosen in
+      let gamma = Cost.join_gamma model p ~in_set u in
+      size := !size *. float_of_int sizes.(u) *. gamma;
+      order.(i) <- u;
+      chosen.(u) <- true
+    done;
+    order
+  end
+
+let exhaustive ?(model = Cost.Constant Cost.default_constant) p ~sizes =
+  let k = Flat_pattern.size p in
+  if k > 20 then invalid_arg "Order.exhaustive: pattern too large";
+  if k = 0 then [||]
+  else begin
+    (* DP over subsets: best (cost, size, last-order) per subset. Cost of
+       extending subset S with u: size(S) * |Φ(u)|; new size includes γ. *)
+    let n_subsets = 1 lsl k in
+    let best_cost = Array.make n_subsets infinity in
+    let best_size = Array.make n_subsets 0.0 in
+    let best_order = Array.make n_subsets [] in
+    for u = 0 to k - 1 do
+      let s = 1 lsl u in
+      best_cost.(s) <- 0.0;
+      best_size.(s) <- float_of_int sizes.(u);
+      best_order.(s) <- [ u ]
+    done;
+    for s = 1 to n_subsets - 1 do
+      if best_cost.(s) < infinity then
+        for u = 0 to k - 1 do
+          if s land (1 lsl u) = 0 then begin
+            let s' = s lor (1 lsl u) in
+            let in_set = Array.init k (fun i -> s land (1 lsl i) <> 0) in
+            let join_cost = best_size.(s) *. float_of_int sizes.(u) in
+            let cost = best_cost.(s) +. join_cost in
+            if cost < best_cost.(s') then begin
+              let gamma = Cost.join_gamma model p ~in_set u in
+              best_cost.(s') <- cost;
+              best_size.(s') <- best_size.(s) *. float_of_int sizes.(u) *. gamma;
+              best_order.(s') <- u :: best_order.(s)
+            end
+          end
+        done
+    done;
+    Array.of_list (List.rev best_order.(n_subsets - 1))
+  end

@@ -1,0 +1,20 @@
+(** Search-order selection (§4.4).
+
+    [greedy] is the paper's implementation choice: start from the
+    smallest candidate set and, at each join, pick the leaf node
+    minimizing the estimated join cost, preferring nodes connected to
+    the partial order so the search stays backtracking-friendly.
+    [exhaustive] enumerates all (connected-first) left-deep orders by
+    dynamic programming over subsets — exponential, usable for small
+    patterns and as a test oracle. *)
+
+val greedy :
+  ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
+
+val exhaustive :
+  ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
+(** Optimal left-deep order under the cost model. Raises
+    [Invalid_argument] for patterns of more than 20 nodes. *)
+
+val identity : Flat_pattern.t -> int array
+(** The input order [0 .. k-1] (the "w/o optimized order" baseline). *)

@@ -1,0 +1,63 @@
+let default_domains () = min 8 (Domain.recommended_domain_count ())
+
+let slices k xs =
+  (* round-robin so dense candidate regions spread across domains *)
+  let buckets = Array.make k [] in
+  List.iteri (fun i x -> buckets.(i mod k) <- x :: buckets.(i mod k)) xs;
+  Array.to_list buckets |> List.filter (fun b -> b <> []) |> List.map List.rev
+
+let search ?domains ?order ?limit_per_domain p g space =
+  let k = Flat_pattern.size p in
+  let n_domains = max 1 (Option.value domains ~default:(default_domains ())) in
+  let order =
+    match order with
+    | Some o when Array.length o > 0 -> o
+    | _ -> Array.init k (fun i -> i)
+  in
+  if k = 0 || n_domains = 1 then Search.run ?limit:limit_per_domain ~order p g space
+  else begin
+    let u0 = order.(0) in
+    let parts = slices n_domains space.Feasible.candidates.(u0) in
+    let workers =
+      List.map
+        (fun part ->
+          let space' =
+            {
+              Feasible.candidates =
+                Array.mapi
+                  (fun u c -> if u = u0 then part else c)
+                  space.Feasible.candidates;
+            }
+          in
+          Domain.spawn (fun () ->
+              Search.run ?limit:limit_per_domain ~order p g space'))
+        parts
+    in
+    let outcomes = List.map Domain.join workers in
+    List.fold_left
+      (fun acc o ->
+        {
+          Search.mappings = acc.Search.mappings @ o.Search.mappings;
+          n_found = acc.Search.n_found + o.Search.n_found;
+          visited = acc.Search.visited + o.Search.visited;
+          complete = acc.Search.complete && o.Search.complete;
+        })
+      { Search.mappings = []; n_found = 0; visited = 0; complete = true }
+      outcomes
+  end
+
+let count_matches ?domains ?(strategy = Engine.optimized) p g =
+  let space =
+    Feasible.compute ~retrieval:strategy.Engine.retrieval p g
+  in
+  let space =
+    if strategy.Engine.refine then
+      fst (Refine.refine ?level:strategy.Engine.refine_level p g space)
+    else space
+  in
+  let order =
+    if strategy.Engine.optimize_order then
+      Order.greedy p ~sizes:(Feasible.sizes space)
+    else Order.identity p
+  in
+  (search ?domains ~order p g space).Search.n_found

@@ -1,0 +1,29 @@
+(** Parallel graph pattern matching (OCaml 5 domains).
+
+    §7's scalability direction: the Algorithm 4.1 search parallelizes
+    naturally by partitioning the candidate set of the first node in
+    the search order — each domain explores a disjoint slice of
+    Φ(u₁) × …, over the same immutable graph and candidate space.
+
+    Retrieval, refinement and ordering stay sequential (they are a
+    small fraction of the time on selective queries); only the search
+    fans out. *)
+
+open Gql_graph
+
+val search :
+  ?domains:int ->
+  ?order:int array ->
+  ?limit_per_domain:int ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Search.outcome
+(** [domains] defaults to [Domain.recommended_domain_count ()], capped
+    at 8. Mapping order differs from the sequential search (slices
+    complete independently); counts are identical. [limit_per_domain]
+    caps each slice separately, so a global limit is approximate. *)
+
+val count_matches :
+  ?domains:int -> ?strategy:Engine.strategy -> Flat_pattern.t -> Graph.t -> int
+(** Full pipeline with the parallel search phase. *)

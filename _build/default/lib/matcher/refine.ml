@@ -1,0 +1,113 @@
+open Gql_graph
+
+type stats = {
+  levels_run : int;
+  pairs_checked : int;
+  removed : int;
+}
+
+let undirected_neighbors g v =
+  let out = Array.to_list (Graph.neighbors g v) |> List.map fst in
+  let all =
+    if Graph.directed g then
+      out @ (Array.to_list (Graph.in_neighbors g v) |> List.map fst)
+    else out
+  in
+  List.sort_uniq compare all
+
+let pattern_neighbors p u = undirected_neighbors p.Flat_pattern.structure u
+let graph_neighbors g v = undirected_neighbors g v
+
+(* B(u,v): left = neighbors of u in the pattern, right = neighbors of v
+   in the graph, edge iff v' ∈ Φ(u'). *)
+let has_semi_perfect p g phi u v =
+  let nu = pattern_neighbors p u in
+  let nv = Array.of_list (graph_neighbors g v) in
+  let adj =
+    List.map
+      (fun u' ->
+        let ns = ref [] in
+        Array.iteri (fun j v' -> if Bitset.mem phi.(u') v' then ns := j :: !ns) nv;
+        !ns)
+      nu
+  in
+  Bipartite.semi_perfect
+    { nl = List.length nu; nr = Array.length nv; adj = Array.of_list adj }
+
+let to_space k phi =
+  { Feasible.candidates = Array.init k (fun u -> Bitset.to_list phi.(u)) }
+
+let refine ?level p g space =
+  let k = Flat_pattern.size p in
+  let n = Graph.n_nodes g in
+  let level = Option.value level ~default:k in
+  let phi =
+    Array.map (fun l -> Bitset.of_list n l) space.Feasible.candidates
+  in
+  let marked : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let mark u v = Hashtbl.replace marked (u, v) () in
+  Array.iteri (fun u s -> Bitset.iter s (fun v -> mark u v)) phi;
+  let pairs_checked = ref 0 in
+  let removed = ref 0 in
+  let levels_run = ref 0 in
+  (try
+     for _ = 1 to level do
+       if Hashtbl.length marked = 0 then raise Exit;
+       incr levels_run;
+       let batch = Hashtbl.fold (fun pair () acc -> pair :: acc) marked [] in
+       List.iter
+         (fun (u, v) ->
+           (* the pair may have been removed by an earlier check in this
+              batch *)
+           if Hashtbl.mem marked (u, v) && Bitset.mem phi.(u) v then begin
+             incr pairs_checked;
+             if has_semi_perfect p g phi u v then Hashtbl.remove marked (u, v)
+             else begin
+               Hashtbl.remove marked (u, v);
+               Bitset.remove phi.(u) v;
+               incr removed;
+               List.iter
+                 (fun u' ->
+                   List.iter
+                     (fun v' -> if Bitset.mem phi.(u') v' then mark u' v')
+                     (graph_neighbors g v))
+                 (pattern_neighbors p u)
+             end
+           end
+           else Hashtbl.remove marked (u, v))
+         batch
+     done
+   with Exit -> ());
+  ( to_space k phi,
+    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed } )
+
+let refine_naive ?level p g space =
+  let k = Flat_pattern.size p in
+  let n = Graph.n_nodes g in
+  let level = Option.value level ~default:k in
+  let phi =
+    Array.map (fun l -> Bitset.of_list n l) space.Feasible.candidates
+  in
+  let pairs_checked = ref 0 in
+  let removed = ref 0 in
+  let levels_run = ref 0 in
+  (try
+     for _ = 1 to level do
+       incr levels_run;
+       let changed = ref false in
+       for u = 0 to k - 1 do
+         List.iter
+           (fun v ->
+             incr pairs_checked;
+             if not (has_semi_perfect p g phi u v) then begin
+               Bitset.remove phi.(u) v;
+               incr removed;
+               changed := true
+             end)
+           (Bitset.to_list phi.(u))
+       done;
+       if not !changed then raise Exit
+     done
+   with Exit -> ());
+  ( to_space k phi,
+    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed } )

@@ -1,0 +1,101 @@
+open Gql_graph
+
+type outcome = {
+  mappings : int array list;
+  n_found : int;
+  visited : int;
+  complete : bool;
+}
+
+(* pattern edges from order.(i) to nodes earlier in the order, as
+   (earlier-position source?, pattern edge id, other endpoint) *)
+let back_edges p order =
+  let g = p.Flat_pattern.structure in
+  let k = Array.length order in
+  let pos = Array.make (Flat_pattern.size p) (-1) in
+  Array.iteri (fun i u -> pos.(u) <- i) order;
+  Array.init k (fun i ->
+      let u = order.(i) in
+      let acc = ref [] in
+      Graph.iter_edges g ~f:(fun e { Graph.src; dst; _ } ->
+          if src = u && pos.(dst) < i then acc := (`Out, e, dst) :: !acc
+          else if dst = u && pos.(src) < i then acc := (`In, e, src) :: !acc);
+      !acc)
+
+let generic_run ?(order = [||]) p g space ~on_match =
+  let k = Flat_pattern.size p in
+  let order = if Array.length order = 0 then Array.init k (fun i -> i) else order in
+  let back = back_edges p order in
+  let phi = Array.make k (-1) in
+  let used = Bitset.create (max 1 (Graph.n_nodes g)) in
+  let visited = ref 0 in
+  let directed = Graph.directed p.Flat_pattern.structure in
+  let check i v =
+    incr visited;
+    List.for_all
+      (fun (dir, pe, u') ->
+        let v' = phi.(u') in
+        let s, d =
+          match dir with
+          | `Out -> (v, v')
+          | `In -> (v', v)
+        in
+        let candidate_edges =
+          if directed then
+            List.filter
+              (fun ge ->
+                let e = Graph.edge g ge in
+                e.Graph.src = s && e.Graph.dst = d)
+              (Graph.find_all_edges g s d)
+          else Graph.find_all_edges g s d
+        in
+        List.exists (fun ge -> Flat_pattern.edge_compat p g pe ge) candidate_edges)
+      back.(i)
+  in
+  let stopped = ref false in
+  let rec go i =
+    if !stopped then ()
+    else if i >= k then begin
+      if Flat_pattern.global_holds p g phi then
+        match on_match phi with `Continue -> () | `Stop -> stopped := true
+    end
+    else begin
+      let u = order.(i) in
+      List.iter
+        (fun v ->
+          if (not !stopped) && (not (Bitset.mem used v)) && check i v then begin
+            phi.(u) <- v;
+            Bitset.add used v;
+            go (i + 1);
+            phi.(u) <- -1;
+            Bitset.remove used v
+          end)
+        space.Feasible.candidates.(u)
+    end
+  in
+  if k = 0 then ()
+  else if Array.exists (fun c -> c = []) space.Feasible.candidates then ()
+  else go 0;
+  (!visited, !stopped)
+
+let run ?(exhaustive = true) ?limit ?order p g space =
+  let results = ref [] in
+  let n = ref 0 in
+  let on_match phi =
+    incr n;
+    results := Array.copy phi :: !results;
+    let hit_limit = match limit with Some l -> !n >= l | None -> false in
+    if hit_limit || not exhaustive then `Stop else `Continue
+  in
+  let visited, _stopped = generic_run ?order p g space ~on_match in
+  let hit_limit = match limit with Some l -> !n >= l | None -> false in
+  { mappings = List.rev !results; n_found = !n; visited; complete = not hit_limit }
+
+let iter ?order ~f p g space =
+  let n = ref 0 in
+  let on_match phi =
+    incr n;
+    f phi
+  in
+  let _visited, _ = generic_run ?order p g space ~on_match in
+  !n

@@ -1,0 +1,42 @@
+(** The backtracking search of Algorithm 4.1 (second phase).
+
+    Depth-first search over Φ(u₁) × … × Φ(u_k) in a given node order.
+    [Check(uᵢ, v)] verifies the pattern edges from [uᵢ] to
+    already-mapped nodes (existence, orientation, and the edge
+    predicate Fe); the graph-wide predicate F is evaluated on complete
+    mappings only. *)
+
+open Gql_graph
+
+type outcome = {
+  mappings : int array list;
+  (** Complete mappings φ (pattern node → data node), in discovery
+      order. Truncated at [limit]. *)
+  n_found : int;
+  visited : int;  (** search-tree nodes expanded (Check calls) *)
+  complete : bool;  (** false iff the search stopped at [limit] *)
+}
+
+val run :
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?order:int array ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  outcome
+(** [run p g space] searches for pattern matchings within the candidate
+    space. [exhaustive] (default true): all mappings, else stop at the
+    first (§3.3's [exhaustive] option). [limit] caps the number of
+    reported mappings regardless (the experiments stop at 1000).
+    [order] defaults to the input order [0..k-1]. *)
+
+val iter :
+  ?order:int array ->
+  f:(int array -> [ `Continue | `Stop ]) ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  int
+(** Streaming variant: [f] receives each mapping (the array is reused —
+    copy it to retain); returns the number of mappings delivered. *)

@@ -1,0 +1,1 @@
+lib/sqlsim/cq.ml: Array Format Gql_graph Hashtbl List Rel Unix Value

@@ -1,0 +1,1 @@
+lib/sqlsim/cq.mli: Format Gql_graph Rel Value

@@ -1,0 +1,1 @@
+lib/sqlsim/graphplan.ml: Array Cq Fun Gql_graph Gql_matcher Graph List Pred Printf Rel Value

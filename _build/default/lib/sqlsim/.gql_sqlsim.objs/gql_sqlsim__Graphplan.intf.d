@@ -1,0 +1,1 @@
+lib/sqlsim/graphplan.mli: Cq Gql_graph Gql_matcher Graph Rel

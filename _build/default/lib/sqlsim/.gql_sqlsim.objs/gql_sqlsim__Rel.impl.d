@@ -1,0 +1,1 @@
+lib/sqlsim/rel.ml: Array Fun Gql_graph Gql_index Hashtbl List Printf Seq Value

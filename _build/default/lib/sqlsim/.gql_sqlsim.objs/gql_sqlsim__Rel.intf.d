@@ -1,0 +1,1 @@
+lib/sqlsim/rel.mli: Gql_graph Seq Value

@@ -1,0 +1,206 @@
+open Gql_graph
+
+type col = string * string
+
+type pred =
+  | Eq_const of col * Value.t
+  | Eq_join of col * col
+  | Neq_join of col * col
+
+type query = {
+  froms : (string * string) list;
+  preds : pred list;
+  select : col list;
+}
+
+type access =
+  | Full_scan
+  | Index_const of string * Value.t
+  | Index_join of string * col
+
+type step = {
+  s_alias : string;
+  s_table : string;
+  s_access : access;
+  s_filters : pred list;
+}
+
+type plan = step list
+
+let pred_aliases = function
+  | Eq_const ((a, _), _) -> [ a ]
+  | Eq_join ((a, _), (b, _)) | Neq_join ((a, _), (b, _)) -> [ a; b ]
+
+(* estimated rows of [alias] after constant predicates *)
+let base_estimate db query alias table =
+  let t = Rel.table db table in
+  let card = float_of_int (max 1 (Rel.cardinality t)) in
+  List.fold_left
+    (fun est p ->
+      match p with
+      | Eq_const ((a, c), _) when a = alias ->
+        est /. float_of_int (max 1 (Rel.index_distinct t ~column:c))
+      | _ -> est)
+    card query.preds
+
+let plan db query =
+  let froms = query.froms in
+  let estimates =
+    List.map (fun (a, tbl) -> (a, base_estimate db query a tbl)) froms
+  in
+  let est a = List.assoc a estimates in
+  let bound = Hashtbl.create 8 in
+  let remaining = ref froms in
+  let steps = ref [] in
+  let pick_access alias table =
+    (* prefer: join index on a bound column, then constant index, then scan *)
+    let t = Rel.table db table in
+    let joinable =
+      List.find_map
+        (fun p ->
+          match p with
+          | Eq_join ((a, c), ((b, _) as other)) when a = alias && Hashtbl.mem bound b ->
+            Some (Index_join (c, other))
+          | Eq_join (((b, _) as other), (a, c)) when a = alias && Hashtbl.mem bound b ->
+            Some (Index_join (c, other))
+          | _ -> None)
+        query.preds
+    in
+    match joinable with
+    | Some acc -> (acc, est alias /. float_of_int (max 1 (Rel.cardinality t)))
+    | None ->
+      let const =
+        List.find_map
+          (fun p ->
+            match p with
+            | Eq_const ((a, c), v) when a = alias -> Some (Index_const (c, v))
+            | _ -> None)
+          query.preds
+      in
+      (match const with
+      | Some acc -> (acc, est alias)
+      | None -> (Full_scan, est alias))
+  in
+  while !remaining <> [] do
+    (* choose the remaining alias with the smallest estimated cost *)
+    let scored =
+      List.map
+        (fun (a, tbl) ->
+          let access, cost = pick_access a tbl in
+          (* an index join is much cheaper than a cross product *)
+          let cost =
+            match access with
+            | Index_join _ -> cost
+            | Index_const _ -> 10.0 *. cost
+            | Full_scan -> 100.0 *. cost
+          in
+          (cost, a, tbl, access))
+        !remaining
+    in
+    let _, a, tbl, access =
+      List.fold_left
+        (fun ((bc, _, _, _) as best) ((c, _, _, _) as cand) ->
+          if c < bc then cand else best)
+        (List.hd scored) (List.tl scored)
+    in
+    Hashtbl.add bound a ();
+    remaining := List.filter (fun (a', _) -> a' <> a) !remaining;
+    let filters =
+      List.filter
+        (fun p ->
+          let aliases = pred_aliases p in
+          List.mem a aliases && List.for_all (Hashtbl.mem bound) aliases)
+        query.preds
+    in
+    steps := { s_alias = a; s_table = tbl; s_access = access; s_filters = filters } :: !steps
+  done;
+  List.rev !steps
+
+let pp_access ppf = function
+  | Full_scan -> Format.pp_print_string ppf "scan"
+  | Index_const (c, v) -> Format.fprintf ppf "index %s = %a" c Value.pp v
+  | Index_join (c, (a, c')) -> Format.fprintf ppf "index %s = %s.%s" c a c'
+
+let pp_plan ppf plan =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut
+    (fun ppf s ->
+      Format.fprintf ppf "%s as %s via %a (%d filters)" s.s_table s.s_alias
+        pp_access s.s_access (List.length s.s_filters))
+    ppf plan
+
+type outcome = {
+  rows : Value.t array list;
+  n_rows : int;
+  complete : bool;
+  elapsed : float;
+}
+
+exception Stop
+
+let execute ?limit ?timeout db query =
+  let t0 = Unix.gettimeofday () in
+  let steps = Array.of_list (plan db query) in
+  let tables = Array.map (fun s -> Rel.table db s.s_table) steps in
+  let binding : (string, Value.t array) Hashtbl.t = Hashtbl.create 8 in
+  let results = ref [] in
+  let n = ref 0 in
+  let complete = ref true in
+  let checks = ref 0 in
+  let get (a, c) =
+    let r = Hashtbl.find binding a in
+    r.(Rel.column_index (Rel.table db (List.assoc a query.froms)) c)
+  in
+  let filter_holds p =
+    match p with
+    | Eq_const (col, v) -> Value.equal (get col) v
+    | Eq_join (c1, c2) -> Value.equal (get c1) (get c2)
+    | Neq_join (c1, c2) -> not (Value.equal (get c1) (get c2))
+  in
+  let tick () =
+    incr checks;
+    if !checks land 0xFFF = 0 then
+      match timeout with
+      | Some limit_s when Unix.gettimeofday () -. t0 > limit_s ->
+        complete := false;
+        raise Stop
+      | _ -> ()
+  in
+  let rec go i =
+    if i >= Array.length steps then begin
+      (match limit with
+      | Some l when !n >= l ->
+        complete := false;
+        raise Stop
+      | _ -> ());
+      incr n;
+      results := Array.of_list (List.map get query.select) :: !results
+    end
+    else begin
+      let s = steps.(i) in
+      let t = tables.(i) in
+      let candidates =
+        match s.s_access with
+        | Full_scan -> List.of_seq (Rel.scan t)
+        | Index_const (c, v) -> Rel.index_lookup t ~column:c v
+        | Index_join (c, outer) -> Rel.index_lookup t ~column:c (get outer)
+      in
+      List.iter
+        (fun rid ->
+          tick ();
+          Hashtbl.replace binding s.s_alias (Rel.row t rid);
+          if List.for_all filter_holds s.s_filters then go (i + 1))
+        candidates;
+      Hashtbl.remove binding s.s_alias
+    end
+  in
+  (try go 0 with Stop -> ());
+  {
+    rows = List.rev !results;
+    n_rows = !n;
+    complete = !complete;
+    elapsed = Unix.gettimeofday () -. t0;
+  }
+
+let count ?limit ?timeout db query =
+  let o = execute ?limit ?timeout db query in
+  (o.n_rows, o.complete)

@@ -1,0 +1,60 @@
+(** Conjunctive queries over {!Rel} — the SQL SELECT/FROM/WHERE subset
+    the Figure 4.2 translation needs, with a System-R style left-deep
+    planner (index-nested-loop joins) and a timeout-guarded executor.
+
+    This is deliberately a {e relational} optimizer: it sees tables,
+    join predicates, and per-column selectivities — never the graph
+    structure. That blindness is the point of the comparison (§1.2). *)
+
+open Gql_graph
+
+type col = string * string  (** alias.column *)
+
+type pred =
+  | Eq_const of col * Value.t
+  | Eq_join of col * col
+  | Neq_join of col * col
+
+type query = {
+  froms : (string * string) list;  (** (alias, table) *)
+  preds : pred list;
+  select : col list;
+}
+
+(** {1 Plans} *)
+
+type access =
+  | Full_scan
+  | Index_const of string * Value.t  (** column, key *)
+  | Index_join of string * col  (** column, bound outer column *)
+
+type step = {
+  s_alias : string;
+  s_table : string;
+  s_access : access;
+  s_filters : pred list;  (** predicates fully bound at this step *)
+}
+
+type plan = step list
+
+val plan : Rel.db -> query -> plan
+(** Greedy left-deep join order: start from the estimated-smallest
+    alias, repeatedly add the alias with the cheapest access path
+    (preferring index-nested-loop joins over Cartesian products),
+    costed from table cardinalities and per-column distinct counts. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+
+(** {1 Execution} *)
+
+type outcome = {
+  rows : Value.t array list;  (** projected tuples, truncated at [limit] *)
+  n_rows : int;
+  complete : bool;  (** false when the limit or timeout was hit *)
+  elapsed : float;
+}
+
+val execute : ?limit:int -> ?timeout:float -> Rel.db -> query -> outcome
+(** [timeout] in seconds (wall clock). *)
+
+val count : ?limit:int -> ?timeout:float -> Rel.db -> query -> int * bool

@@ -1,0 +1,71 @@
+open Gql_graph
+module Flat_pattern = Gql_matcher.Flat_pattern
+
+let db_of_graph g =
+  let db = Rel.create_db () in
+  Rel.create_table db "V" ~columns:[ "vid"; "label" ];
+  Rel.create_table db "E" ~columns:[ "vid1"; "vid2" ];
+  Graph.iter_nodes g ~f:(fun v ->
+      Rel.insert db "V" [| Value.Int v; Value.Str (Graph.label g v) |]);
+  Graph.iter_edges g ~f:(fun _ e ->
+      Rel.insert db "E" [| Value.Int e.Graph.src; Value.Int e.Graph.dst |];
+      if (not (Graph.directed g)) && e.Graph.src <> e.Graph.dst then
+        Rel.insert db "E" [| Value.Int e.Graph.dst; Value.Int e.Graph.src |]);
+  db
+
+let query_of_pattern p =
+  let k = Flat_pattern.size p in
+  let pg = p.Flat_pattern.structure in
+  let v_alias u = Printf.sprintf "V%d" (u + 1) in
+  let e_alias i = Printf.sprintf "E%d" (i + 1) in
+  let froms =
+    List.init k (fun u -> (v_alias u, "V"))
+    @ List.init (Graph.n_edges pg) (fun i -> (e_alias i, "E"))
+  in
+  let label_preds =
+    List.filter_map
+      (fun u ->
+        match Flat_pattern.required_label p u with
+        | Some l -> Some (Cq.Eq_const ((v_alias u, "label"), Value.Str l))
+        | None ->
+          if Pred.equal p.Flat_pattern.node_preds.(u) Pred.True then None
+          else
+            invalid_arg
+              "Graphplan.query_of_pattern: only label-equality node predicates \
+               are expressible in the V/E schema")
+      (List.init k Fun.id)
+  in
+  let edge_preds =
+    List.concat
+      (List.init (Graph.n_edges pg) (fun i ->
+           let e = Graph.edge pg i in
+           [
+             Cq.Eq_join ((v_alias e.Graph.src, "vid"), (e_alias i, "vid1"));
+             Cq.Eq_join ((v_alias e.Graph.dst, "vid"), (e_alias i, "vid2"));
+           ]))
+  in
+  let neq_preds =
+    List.concat
+      (List.init k (fun u ->
+           List.filter_map
+             (fun v ->
+               if v > u then
+                 Some (Cq.Neq_join ((v_alias u, "vid"), (v_alias v, "vid")))
+               else None)
+             (List.init k Fun.id)))
+  in
+  {
+    Cq.froms;
+    preds = label_preds @ edge_preds @ neq_preds;
+    select = List.init k (fun u -> (v_alias u, "vid"));
+  }
+
+let count_matches ?limit ?timeout db p =
+  Cq.count ?limit ?timeout db (query_of_pattern p)
+
+let find_matches ?limit ?timeout db p =
+  let o = Cq.execute ?limit ?timeout db (query_of_pattern p) in
+  List.map
+    (fun row ->
+      Array.map (function Value.Int v -> v | _ -> invalid_arg "vid") row)
+    o.Cq.rows

@@ -1,0 +1,30 @@
+(** The SQL-based implementation of graph pattern matching (§1.2,
+    Figure 4.2).
+
+    A graph is stored as two tables — V(vid, label) and E(vid1, vid2) —
+    with B-tree indexes on every field (the paper's MySQL setup;
+    undirected edges are stored in both orientations, as in the Datalog
+    translation of Figure 4.14). A pattern becomes the multi-join
+    conjunctive query of Figure 4.2: one V alias per pattern node
+    constrained to its label, one E alias per pattern edge joined on
+    both endpoints, and pairwise inequality predicates enforcing
+    injectivity. *)
+
+open Gql_graph
+
+val db_of_graph : Graph.t -> Rel.db
+
+val query_of_pattern : Gql_matcher.Flat_pattern.t -> Cq.query
+(** Supports label-constrained patterns (the experimental workloads).
+    Raises [Invalid_argument] on patterns with attribute predicates the
+    V/E schema cannot express. *)
+
+val count_matches :
+  ?limit:int -> ?timeout:float -> Rel.db -> Gql_matcher.Flat_pattern.t -> int * bool
+(** Number of result tuples and whether the query ran to completion
+    (false: hit the limit or the timeout). *)
+
+val find_matches :
+  ?limit:int -> ?timeout:float -> Rel.db -> Gql_matcher.Flat_pattern.t ->
+  int array list
+(** The matched node-id tuples, one per result row. *)

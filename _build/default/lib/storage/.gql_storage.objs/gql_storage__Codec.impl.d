@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Buffer Char Format Gql_graph Graph Int64 List String Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/store.ml: Array Buffer_pool Bytes Codec Int32 Int64 List Pager String

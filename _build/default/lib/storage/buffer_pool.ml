@@ -1,0 +1,96 @@
+type frame = {
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable last_used : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+type t = {
+  pager : Pager.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;  (* page id -> frame *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) pager =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity must be positive";
+  {
+    pager;
+    capacity;
+    frames = Hashtbl.create capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let pager t = t.pager
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let write_back t page frame =
+  if frame.dirty then begin
+    Pager.write t.pager page frame.data;
+    frame.dirty <- false
+  end
+
+let evict_one t =
+  (* least-recently-used resident page *)
+  let victim =
+    Hashtbl.fold
+      (fun page frame best ->
+        match best with
+        | Some (_, bf) when bf.last_used <= frame.last_used -> best
+        | _ -> Some (page, frame))
+      t.frames None
+  in
+  match victim with
+  | None -> ()
+  | Some (page, frame) ->
+    write_back t page frame;
+    Hashtbl.remove t.frames page;
+    t.evictions <- t.evictions + 1
+
+let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t done
+
+let insert t page data dirty =
+  make_room t;
+  Hashtbl.replace t.frames page { data; dirty; last_used = tick t }
+
+let get t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some frame ->
+    frame.last_used <- tick t;
+    t.hits <- t.hits + 1;
+    frame.data
+  | None ->
+    t.misses <- t.misses + 1;
+    let data = Pager.read t.pager page in
+    insert t page data false;
+    data
+
+let mark_dirty t page =
+  match Hashtbl.find_opt t.frames page with
+  | Some frame -> frame.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+
+let alloc t =
+  let page = Pager.alloc t.pager in
+  insert t page (Bytes.make Pager.page_size '\000') true;
+  page
+
+let flush t =
+  Hashtbl.iter (fun page frame -> write_back t page frame) t.frames;
+  Pager.sync t.pager
+
+let stats t = { hits = t.hits; misses = t.misses; evictions = t.evictions }

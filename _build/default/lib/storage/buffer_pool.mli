@@ -1,0 +1,34 @@
+(** An LRU buffer pool over {!Pager}.
+
+    Pages are cached in fixed-capacity frames; reads hit the cache,
+    mutations go through {!with_page} + dirty marking, and dirty frames
+    are written back on eviction or {!flush}. Hit/miss/eviction counters
+    support the storage benchmarks. *)
+
+type t
+
+val create : ?capacity:int -> Pager.t -> t
+(** Default capacity 256 frames (1 MiB). *)
+
+val pager : t -> Pager.t
+
+val get : t -> int -> bytes
+(** The cached frame for the page — the caller must not mutate it
+    without calling {!mark_dirty}. *)
+
+val mark_dirty : t -> int -> unit
+(** [Invalid_argument] if the page is not resident. *)
+
+val alloc : t -> int
+(** Allocate a fresh page and cache it (dirty). *)
+
+val flush : t -> unit
+(** Write back all dirty frames (the pool stays warm). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats

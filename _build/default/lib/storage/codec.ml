@@ -1,0 +1,183 @@
+open Gql_graph
+
+exception Corrupt of string
+
+let corrupt fmt = Format.kasprintf (fun s -> raise (Corrupt s)) fmt
+
+(* --- varints (LEB128, zigzag for signed) --- *)
+
+let write_uvarint buf n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (byte lor 0x80))
+  done
+
+let read_uvarint s off =
+  let n = ref 0 and shift = ref 0 and off = ref off and continue = ref true in
+  while !continue do
+    if !off >= String.length s then corrupt "truncated varint";
+    let byte = Char.code s.[!off] in
+    incr off;
+    n := !n lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then continue := false
+  done;
+  (!n, !off)
+
+let zigzag n = (n lsl 1) lxor (n asr 62)
+let unzigzag n = (n lsr 1) lxor (- (n land 1))
+
+let write_varint buf n = write_uvarint buf (zigzag n)
+
+let read_varint s off =
+  let n, off = read_uvarint s off in
+  (unzigzag n, off)
+
+let write_string buf s =
+  write_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string s off =
+  let len, off = read_uvarint s off in
+  if off + len > String.length s then corrupt "truncated string";
+  (String.sub s off len, off + len)
+
+(* --- values --- *)
+
+let write_value buf = function
+  | Value.Null -> Buffer.add_char buf '\000'
+  | Value.Bool false -> Buffer.add_char buf '\001'
+  | Value.Bool true -> Buffer.add_char buf '\002'
+  | Value.Int i ->
+    Buffer.add_char buf '\003';
+    write_varint buf i
+  | Value.Float f ->
+    Buffer.add_char buf '\004';
+    Buffer.add_int64_le buf (Int64.bits_of_float f)
+  | Value.Str s ->
+    Buffer.add_char buf '\005';
+    write_string buf s
+
+let read_value s off =
+  if off >= String.length s then corrupt "truncated value";
+  let tag = s.[off] and off = off + 1 in
+  match tag with
+  | '\000' -> (Value.Null, off)
+  | '\001' -> (Value.Bool false, off)
+  | '\002' -> (Value.Bool true, off)
+  | '\003' ->
+    let i, off = read_varint s off in
+    (Value.Int i, off)
+  | '\004' ->
+    if off + 8 > String.length s then corrupt "truncated float";
+    (Value.Float (Int64.float_of_bits (String.get_int64_le s off)), off + 8)
+  | '\005' ->
+    let str, off = read_string s off in
+    (Value.Str str, off)
+  | c -> corrupt "bad value tag %C" c
+
+(* --- tuples --- *)
+
+let write_option buf write = function
+  | None -> Buffer.add_char buf '\000'
+  | Some x ->
+    Buffer.add_char buf '\001';
+    write buf x
+
+let read_option s off read =
+  if off >= String.length s then corrupt "truncated option";
+  match s.[off] with
+  | '\000' -> (None, off + 1)
+  | '\001' ->
+    let x, off = read s (off + 1) in
+    (Some x, off)
+  | c -> corrupt "bad option tag %C" c
+
+let write_tuple buf t =
+  write_option buf write_string (Tuple.tag t);
+  let bindings = Tuple.bindings t in
+  write_uvarint buf (List.length bindings);
+  List.iter
+    (fun (k, v) ->
+      write_string buf k;
+      write_value buf v)
+    bindings
+
+let read_tuple s off =
+  let tag, off = read_option s off read_string in
+  let n, off = read_uvarint s off in
+  let off = ref off in
+  let bindings =
+    List.init n (fun _ ->
+        let k, o = read_string s !off in
+        let v, o = read_value s o in
+        off := o;
+        (k, v))
+  in
+  (Tuple.make ?tag bindings, !off)
+
+(* --- graphs --- *)
+
+let format_version = 1
+
+let write_graph buf g =
+  Buffer.add_char buf (Char.chr format_version);
+  Buffer.add_char buf (if Graph.directed g then '\001' else '\000');
+  write_option buf write_string (Graph.name g);
+  write_tuple buf (Graph.tuple g);
+  write_uvarint buf (Graph.n_nodes g);
+  Graph.iter_nodes g ~f:(fun v ->
+      write_option buf write_string (Graph.node_name g v);
+      write_tuple buf (Graph.node_tuple g v));
+  write_uvarint buf (Graph.n_edges g);
+  Graph.iter_edges g ~f:(fun i e ->
+      write_option buf write_string (Graph.edge_name g i);
+      write_uvarint buf e.Graph.src;
+      write_uvarint buf e.Graph.dst;
+      write_tuple buf e.Graph.etuple)
+
+let read_graph s off =
+  if off >= String.length s then corrupt "truncated graph";
+  let version = Char.code s.[off] in
+  if version <> format_version then corrupt "unsupported format version %d" version;
+  let off = off + 1 in
+  if off >= String.length s then corrupt "truncated graph";
+  let directed = s.[off] = '\001' in
+  let off = off + 1 in
+  let name, off = read_option s off read_string in
+  let gtuple, off = read_tuple s off in
+  let b = Graph.Builder.create ~directed ?name ~tuple:gtuple () in
+  let n, off = read_uvarint s off in
+  let off = ref off in
+  for _ = 1 to n do
+    let nm, o = read_option s !off read_string in
+    let t, o = read_tuple s o in
+    off := o;
+    ignore (Graph.Builder.add_node b ?name:nm t)
+  done;
+  let m, o = read_uvarint s !off in
+  off := o;
+  for _ = 1 to m do
+    let nm, o = read_option s !off read_string in
+    let src, o = read_uvarint s o in
+    let dst, o = read_uvarint s o in
+    let t, o = read_tuple s o in
+    off := o;
+    if src >= n || dst >= n then corrupt "edge endpoint out of range";
+    ignore (Graph.Builder.add_edge b ?name:nm ~tuple:t src dst)
+  done;
+  (Graph.Builder.build b, !off)
+
+let graph_to_string g =
+  let buf = Buffer.create 256 in
+  write_graph buf g;
+  Buffer.contents buf
+
+let graph_of_string s = fst (read_graph s 0)

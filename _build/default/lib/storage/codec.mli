@@ -1,0 +1,24 @@
+(** Binary serialization of values, tuples and graphs.
+
+    §7 ("Physical Storage of Graph Data") asks how to store heterogeneous
+    graphs on disk. This codec is the record format used by {!Store}:
+    length-delimited records with varint integers, so small graphs stay
+    small and records are skippable without decoding.
+
+    The format is self-contained per graph (no external string table) and
+    versioned by a leading byte. *)
+
+val write_value : Buffer.t -> Gql_graph.Value.t -> unit
+val read_value : string -> int -> Gql_graph.Value.t * int
+(** [read_value s off] returns the value and the offset after it. *)
+
+val write_tuple : Buffer.t -> Gql_graph.Tuple.t -> unit
+val read_tuple : string -> int -> Gql_graph.Tuple.t * int
+
+val write_graph : Buffer.t -> Gql_graph.Graph.t -> unit
+val read_graph : string -> int -> Gql_graph.Graph.t * int
+
+val graph_to_string : Gql_graph.Graph.t -> string
+val graph_of_string : string -> Gql_graph.Graph.t
+
+exception Corrupt of string

@@ -1,0 +1,66 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable pages : int;
+  mutable closed : bool;
+}
+
+let page_size = 4096
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  { fd; pages = 0; closed = false }
+
+let open_existing path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size mod page_size <> 0 then begin
+    Unix.close fd;
+    failwith (Printf.sprintf "Pager.open_existing: %s is not page aligned" path)
+  end;
+  { fd; pages = size / page_size; closed = false }
+
+let check t = if t.closed then invalid_arg "Pager: already closed"
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Unix.close t.fd
+  end
+
+let n_pages t = t.pages
+
+let pwrite t page buf =
+  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+  let written = Unix.write t.fd buf 0 page_size in
+  if written <> page_size then failwith "Pager: short write"
+
+let alloc t =
+  check t;
+  let id = t.pages in
+  pwrite t id (Bytes.make page_size '\000');
+  t.pages <- id + 1;
+  id
+
+let read t page =
+  check t;
+  if page < 0 || page >= t.pages then invalid_arg "Pager.read: page out of range";
+  ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
+  let buf = Bytes.make page_size '\000' in
+  let rec fill off =
+    if off < page_size then begin
+      let n = Unix.read t.fd buf off (page_size - off) in
+      if n = 0 then failwith "Pager: short read" else fill (off + n)
+    end
+  in
+  fill 0;
+  buf
+
+let write t page buf =
+  check t;
+  if Bytes.length buf <> page_size then invalid_arg "Pager.write: bad buffer size";
+  if page < 0 || page >= t.pages then invalid_arg "Pager.write: page out of range";
+  pwrite t page buf
+
+let sync t =
+  check t;
+  Unix.fsync t.fd

@@ -1,0 +1,32 @@
+(** Fixed-size page I/O over a file.
+
+    The lowest layer of the §7 storage substrate: a file is an array of
+    4 KiB pages addressed by page id. No caching here — that is
+    {!Buffer_pool}'s job. *)
+
+type t
+
+val page_size : int
+(** 4096 bytes. *)
+
+val create : string -> t
+(** Create or truncate the file. *)
+
+val open_existing : string -> t
+(** Raises [Sys_error] if missing, [Failure] if not page-aligned. *)
+
+val close : t -> unit
+val n_pages : t -> int
+
+val alloc : t -> int
+(** Append a zeroed page; returns its id. *)
+
+val read : t -> int -> bytes
+(** A fresh [page_size] buffer with the page's contents. *)
+
+val write : t -> int -> bytes -> unit
+(** [Invalid_argument] unless the buffer is exactly one page and the id
+    is allocated. *)
+
+val sync : t -> unit
+(** fsync. *)

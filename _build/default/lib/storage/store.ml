@@ -1,0 +1,161 @@
+let magic = "GQLSTOR1"
+
+type t = {
+  pool : Buffer_pool.t;
+  mutable offsets : (int * int) array;  (* (byte offset, length), grown by doubling *)
+  mutable n : int;
+  mutable tail : int;  (* byte offset of the end of the log *)
+  mutable closed : bool;
+}
+
+let push_offset t entry =
+  if t.n = Array.length t.offsets then begin
+    let bigger = Array.make (max 16 (2 * t.n)) (0, 0) in
+    Array.blit t.offsets 0 bigger 0 t.n;
+    t.offsets <- bigger
+  end;
+  t.offsets.(t.n) <- entry
+
+let header_size = Pager.page_size
+let check t = if t.closed then invalid_arg "Store: already closed"
+
+(* --- header --- *)
+
+let write_header t =
+  let page = Buffer_pool.get t.pool 0 in
+  Bytes.blit_string magic 0 page 0 8;
+  Bytes.set_int64_le page 8 (Int64.of_int t.n);
+  Bytes.set_int64_le page 16 (Int64.of_int t.tail);
+  Buffer_pool.mark_dirty t.pool 0
+
+let read_header pool =
+  let page = Buffer_pool.get pool 0 in
+  if Bytes.sub_string page 0 8 <> magic then
+    failwith "Store.open_existing: bad magic";
+  let n = Int64.to_int (Bytes.get_int64_le page 8) in
+  let tail = Int64.to_int (Bytes.get_int64_le page 16) in
+  (n, tail)
+
+(* --- byte-level access through the pool --- *)
+
+let read_bytes t ~off ~len =
+  let out = Bytes.create len in
+  let copied = ref 0 in
+  while !copied < len do
+    let pos = off + !copied in
+    let page_id = pos / Pager.page_size in
+    let in_page = pos mod Pager.page_size in
+    let chunk = min (len - !copied) (Pager.page_size - in_page) in
+    let page = Buffer_pool.get t.pool page_id in
+    Bytes.blit page in_page out !copied chunk;
+    copied := !copied + chunk
+  done;
+  Bytes.unsafe_to_string out
+
+let write_bytes t ~off s =
+  let len = String.length s in
+  let pager = Buffer_pool.pager t.pool in
+  (* make sure every touched page exists *)
+  let last_page = (off + len - 1) / Pager.page_size in
+  while Pager.n_pages pager <= last_page do
+    ignore (Buffer_pool.alloc t.pool)
+  done;
+  let copied = ref 0 in
+  while !copied < len do
+    let pos = off + !copied in
+    let page_id = pos / Pager.page_size in
+    let in_page = pos mod Pager.page_size in
+    let chunk = min (len - !copied) (Pager.page_size - in_page) in
+    let page = Buffer_pool.get t.pool page_id in
+    Bytes.blit_string s !copied page in_page chunk;
+    Buffer_pool.mark_dirty t.pool page_id;
+    copied := !copied + chunk
+  done
+
+(* records: 4-byte little-endian length + payload *)
+
+let read_record t off =
+  let len_bytes = read_bytes t ~off ~len:4 in
+  let len = Int32.to_int (String.get_int32_le len_bytes 0) in
+  if len < 0 then raise (Codec.Corrupt "negative record length");
+  (read_bytes t ~off:(off + 4) ~len, off + 4 + len)
+
+let write_record t off payload =
+  let len_bytes = Bytes.create 4 in
+  Bytes.set_int32_le len_bytes 0 (Int32.of_int (String.length payload));
+  write_bytes t ~off (Bytes.unsafe_to_string len_bytes);
+  write_bytes t ~off:(off + 4) payload;
+  off + 4 + String.length payload
+
+(* --- lifecycle --- *)
+
+let create ?pool_capacity path =
+  let pager = Pager.create path in
+  let pool = Buffer_pool.create ?capacity:pool_capacity pager in
+  ignore (Buffer_pool.alloc pool) (* header page *);
+  let t = { pool; offsets = [||]; n = 0; tail = header_size; closed = false } in
+  write_header t;
+  t
+
+let open_existing ?pool_capacity path =
+  let pager = Pager.open_existing path in
+  let pool = Buffer_pool.create ?capacity:pool_capacity pager in
+  let n, tail = read_header pool in
+  let t = { pool; offsets = Array.make (max 16 n) (0, 0); n = 0; tail; closed = false } in
+  (* rebuild the directory with a sequential scan of the log *)
+  let off = ref header_size in
+  for _ = 1 to n do
+    let payload, next = read_record t !off in
+    push_offset t (!off, String.length payload);
+    t.n <- t.n + 1;
+    off := next
+  done;
+  if !off <> tail then failwith "Store.open_existing: log tail mismatch";
+  t
+
+let flush t =
+  check t;
+  write_header t;
+  Buffer_pool.flush t.pool
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    Pager.close (Buffer_pool.pager t.pool);
+    t.closed <- true
+  end
+
+(* --- operations --- *)
+
+let add_graph t g =
+  check t;
+  let payload = Codec.graph_to_string g in
+  let id = t.n in
+  let off = t.tail in
+  t.tail <- write_record t off payload;
+  push_offset t (off, String.length payload);
+  t.n <- id + 1;
+  write_header t;
+  id
+
+let n_graphs t = t.n
+
+let offset_of t i =
+  if i < 0 || i >= t.n then invalid_arg "Store.get_graph: id out of range";
+  t.offsets.(i)
+
+let get_graph t i =
+  check t;
+  let off, len = offset_of t i in
+  let payload = read_bytes t ~off:(off + 4) ~len in
+  Codec.graph_of_string payload
+
+let iter t ~f =
+  check t;
+  for i = 0 to t.n - 1 do
+    f i (get_graph t i)
+  done
+
+let to_list t = List.init t.n (get_graph t)
+
+let pool_stats t = Buffer_pool.stats t.pool

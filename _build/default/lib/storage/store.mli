@@ -1,0 +1,35 @@
+(** A disk-backed collection of graphs.
+
+    The §7 "physical storage" extension: graphs are appended as
+    length-prefixed {!Codec} records to a log of 4 KiB pages behind an
+    LRU {!Buffer_pool}; the page-0 header records the graph count and
+    the log tail so a reopened store rebuilds its offset directory with
+    one sequential scan.
+
+    The store targets the "large collection of small graphs" database
+    category (chemical compounds, DBLP papers); a single large graph is
+    simply a one-record store. *)
+
+open Gql_graph
+
+type t
+
+val create : ?pool_capacity:int -> string -> t
+(** Create or truncate a store file. *)
+
+val open_existing : ?pool_capacity:int -> string -> t
+(** Reopen; raises [Codec.Corrupt] or [Failure] on malformed files. *)
+
+val close : t -> unit
+(** Flushes. The handle must not be used afterwards. *)
+
+val flush : t -> unit
+
+val add_graph : t -> Graph.t -> int
+(** Append; returns the graph's id (dense, in insertion order). *)
+
+val n_graphs : t -> int
+val get_graph : t -> int -> Graph.t
+val iter : t -> f:(int -> Graph.t -> unit) -> unit
+val to_list : t -> Graph.t list
+val pool_stats : t -> Buffer_pool.stats

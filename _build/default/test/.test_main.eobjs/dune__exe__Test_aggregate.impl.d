@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Algebra Gql_core Gql_graph Graph List Pred QCheck QCheck_alcotest Test_graph Tuple Value

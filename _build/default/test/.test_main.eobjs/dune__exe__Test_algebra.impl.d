@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Gql Gql_core Gql_graph Graph List Matched Pred Printf Tuple Value

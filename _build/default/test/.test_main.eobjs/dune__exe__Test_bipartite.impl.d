@@ -1,0 +1,1 @@
+test/test_bipartite.ml: Alcotest Array Bipartite Gql_matcher Hashtbl List Printf QCheck QCheck_alcotest String

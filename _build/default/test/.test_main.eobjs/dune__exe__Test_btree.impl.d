@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Gql_index Int List Map Option QCheck QCheck_alcotest Seq

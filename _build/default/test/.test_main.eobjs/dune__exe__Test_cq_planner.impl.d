@@ -1,0 +1,1 @@
+test/test_cq_planner.ml: Alcotest Cq Format Gql_graph Gql_matcher Gql_sqlsim Graphplan List Printf Rel Test_graph Value

@@ -1,0 +1,1 @@
+test/test_datalog.ml: Alcotest Datalog Gql_datalog Gql_graph Gql_matcher Graph List Pred QCheck QCheck_alcotest Test_graph Test_matcher Translate Tuple Value

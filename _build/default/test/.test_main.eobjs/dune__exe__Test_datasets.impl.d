@@ -1,0 +1,1 @@
+test/test_datasets.ml: Alcotest Array Chem Dblp Fun Gql_datasets Gql_graph Gql_index Gql_matcher Graph List Ppi Queries Rng Synthetic Tuple Zipf

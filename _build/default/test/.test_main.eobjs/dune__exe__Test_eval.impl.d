@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Eval Gql Gql_core Gql_graph Graph List Option Printf Test_graph Tuple Value

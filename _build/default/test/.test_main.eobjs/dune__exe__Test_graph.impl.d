@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format Gql_graph Graph Hashtbl List Option String

@@ -1,0 +1,1 @@
+test/test_iso.ml: Alcotest Gql_graph Graph Iso List Test_graph

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Format Gql_core Lexer List

@@ -1,0 +1,1 @@
+test/test_matched.ml: Alcotest Gql Gql_core Gql_graph Gql_matcher Graph List Matched Option Pred Test_graph Tuple

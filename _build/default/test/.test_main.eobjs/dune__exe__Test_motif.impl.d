@@ -1,0 +1,1 @@
+test/test_motif.ml: Alcotest Gql Gql_core Gql_graph Gql_matcher Graph List Motif Option Seq Tuple Value

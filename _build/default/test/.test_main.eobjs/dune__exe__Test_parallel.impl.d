@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Engine Feasible Flat_pattern Gql_datasets Gql_index Gql_matcher List Parallel Printf QCheck QCheck_alcotest Queries Rng Search Synthetic Test_graph Test_matcher

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Algebra Ast Format Gql Gql_core Gql_graph List Parser Test_graph

@@ -1,0 +1,1 @@
+test/test_path_index.ml: Alcotest Array Fun Gql_datasets Gql_graph Gql_index Gql_matcher Graph Lazy List Path_index Printf QCheck QCheck_alcotest Test_matcher

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Eval Format Gql Gql_core Gql_graph Gql_matcher Iso List Plan Test_eval Test_graph

@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Gql_graph List Pred Tuple Value

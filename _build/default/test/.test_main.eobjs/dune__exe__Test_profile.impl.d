@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Format Gql_graph Gql_index Graph List Neighborhood Option Profile QCheck QCheck_alcotest Test_graph

@@ -1,0 +1,1 @@
+test/test_reachability.ml: Alcotest Array Gql_core Gql_graph Gql_index Gql_matcher Graph List Option Printf QCheck QCheck_alcotest Queue Reachability Test_matcher Test_recursive

@@ -1,0 +1,1 @@
+test/test_recursive.ml: Alcotest Algebra Array Gql Gql_core Gql_graph Gql_matcher Graph List Motif Printf

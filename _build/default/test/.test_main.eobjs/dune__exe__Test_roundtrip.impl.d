@@ -1,0 +1,1 @@
+test/test_roundtrip.ml: Algebra Array Float Format Gql Gql_core Gql_datalog Gql_graph Gql_index Gql_matcher Gql_sqlsim Graph Int List Printf QCheck QCheck_alcotest Test_matcher Tuple Value

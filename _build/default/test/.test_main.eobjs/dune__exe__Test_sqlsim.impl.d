@@ -1,0 +1,1 @@
+test/test_sqlsim.ml: Alcotest Array Cq Gql_datasets Gql_graph Gql_index Gql_matcher Gql_sqlsim Graph Graphplan List Printf Rel Test_graph Unix Value

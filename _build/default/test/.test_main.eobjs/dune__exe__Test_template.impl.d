@@ -1,0 +1,1 @@
+test/test_template.ml: Alcotest Gql Gql_core Gql_graph Gql_matcher Graph List Matched Template Test_graph Tuple Value

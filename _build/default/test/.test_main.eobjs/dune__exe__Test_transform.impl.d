@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Algebra Eval Gql Gql_core Gql_graph Graph List Pred Test_graph Transform Tuple Value

@@ -1,0 +1,1 @@
+test/test_tuple.ml: Alcotest Gql_graph Tuple Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Gql_graph Value

@@ -1,0 +1,131 @@
+open Gql_core
+open Gql_graph
+
+let person name age city =
+  let b =
+    Graph.Builder.create
+      ~tuple:
+        (Tuple.make
+           [ ("name", Value.Str name); ("age", Value.Int age); ("city", Value.Str city) ])
+      ()
+  in
+  ignore (Graph.Builder.add_node b Tuple.empty);
+  Graph.Builder.build b
+
+let collection () =
+  List.map
+    (fun (n, a, c) -> Algebra.G (person n a c))
+    [
+      ("ann", 34, "york"); ("bob", 27, "leeds"); ("cat", 41, "york");
+      ("dan", 27, "york"); ("eve", 35, "leeds");
+    ]
+
+let key = Pred.attr "city"
+let age = Pred.attr "age"
+
+let test_group_by () =
+  let groups = Aggregate.group_by ~key (collection ()) in
+  Alcotest.(check int) "two cities" 2 (List.length groups);
+  match groups with
+  | [ (Value.Str "york", york); (Value.Str "leeds", leeds) ] ->
+    Alcotest.(check int) "york count" 3 (List.length york);
+    Alcotest.(check int) "leeds count" 2 (List.length leeds)
+  | _ -> Alcotest.fail "unexpected grouping (order should be first-seen)"
+
+let test_count_by () =
+  Alcotest.(check (list (pair string int)))
+    "counts"
+    [ ("\"york\"", 3); ("\"leeds\"", 2) ]
+    (List.map
+       (fun (k, n) -> (Value.to_string k, n))
+       (Aggregate.count_by ~key (collection ())))
+
+let test_order_and_top () =
+  let sorted = Aggregate.order_by ~key:age (collection ()) in
+  let ages =
+    List.map (fun e -> Aggregate.eval_key e age) sorted
+    |> List.map (function Value.Int i -> i | _ -> -1)
+  in
+  Alcotest.(check (list int)) "ascending ages" [ 27; 27; 34; 35; 41 ] ages;
+  let top = Aggregate.top_k ~descending:true ~key:age 2 (collection ()) in
+  Alcotest.(check int) "top 2" 2 (List.length top);
+  Alcotest.(check bool) "oldest first" true
+    (Aggregate.eval_key (List.hd top) age = Value.Int 41)
+
+let test_numeric_aggregates () =
+  let c = collection () in
+  Alcotest.(check bool) "sum" true (Aggregate.sum ~key:age c = Value.Int 164);
+  (match Aggregate.avg ~key:age c with
+  | Value.Float f -> Alcotest.(check (float 1e-9)) "avg" 32.8 f
+  | _ -> Alcotest.fail "avg should be a float");
+  Alcotest.(check bool) "min" true (Aggregate.min_value ~key:age c = Value.Int 27);
+  Alcotest.(check bool) "max" true (Aggregate.max_value ~key:age c = Value.Int 41);
+  Alcotest.(check int) "count" 5 (Aggregate.count c)
+
+let test_missing_keys () =
+  let c = Algebra.G (person "zed" 1 "york") :: collection () in
+  let missing = Pred.attr "salary" in
+  Alcotest.(check bool) "sum over missing key" true
+    (Aggregate.sum ~key:missing c = Value.Int 0);
+  Alcotest.(check bool) "avg over missing key is null" true
+    (Aggregate.avg ~key:missing c = Value.Null);
+  (* grouping by a missing key puts everything under Null *)
+  Alcotest.(check int) "one null group" 1
+    (List.length (Aggregate.group_by ~key:missing c))
+
+let test_matched_entries () =
+  (* aggregate over matched graphs: group author pairs by paper venue *)
+  let g = Test_graph.sample_g () in
+  let p = Gql_core.Gql.pattern_of_string {|graph P { node x where label="A"; }|} in
+  let matches = Algebra.select ~patterns:[ p ] [ Algebra.G g ] in
+  let by_label = Aggregate.count_by ~key:(Pred.path [ "x"; "label" ]) matches in
+  Alcotest.(check (list (pair string int)))
+    "matched-entry keys use the binding"
+    [ ("\"A\"", 2) ]
+    (List.map (fun (k, n) -> (Value.to_string k, n)) by_label)
+
+let test_structural () =
+  let c = [ Algebra.G (Test_graph.sample_g ()) ] in
+  Alcotest.(check int) "nodes" 6 (Aggregate.count_nodes c);
+  Alcotest.(check int) "edges" 6 (Aggregate.count_edges c);
+  (* sample_g degrees: A1:2 B1:3 C1:1 B2:2 C2:3 A2:1 *)
+  Alcotest.(check (list (pair int int))) "degree histogram"
+    [ (1, 2); (2, 2); (3, 2) ]
+    (Aggregate.degree_histogram c)
+
+let prop_order_by_sorted =
+  QCheck.Test.make ~name:"order_by produces a sorted permutation" ~count:100
+    QCheck.(list small_int)
+    (fun xs ->
+      let c =
+        List.map
+          (fun x ->
+            let b =
+              Graph.Builder.create ~tuple:(Tuple.make [ ("k", Value.Int x) ]) ()
+            in
+            ignore (Graph.Builder.add_node b Tuple.empty);
+            Algebra.G (Graph.Builder.build b))
+          xs
+      in
+      let sorted = Aggregate.order_by ~key:(Pred.attr "k") c in
+      let keys =
+        List.map
+          (fun e ->
+            match Aggregate.eval_key e (Pred.attr "k") with
+            | Value.Int i -> i
+            | _ -> min_int)
+          sorted
+      in
+      keys = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "group_by" `Quick test_group_by;
+    Alcotest.test_case "count_by" `Quick test_count_by;
+    Alcotest.test_case "order_by / top_k" `Quick test_order_and_top;
+    Alcotest.test_case "numeric aggregates" `Quick test_numeric_aggregates;
+    Alcotest.test_case "missing keys" `Quick test_missing_keys;
+    Alcotest.test_case "aggregates over matched graphs" `Quick test_matched_entries;
+    Alcotest.test_case "structural aggregates" `Quick test_structural;
+    QCheck_alcotest.to_alcotest prop_order_by_sorted;
+  ]

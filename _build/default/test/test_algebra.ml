@@ -1,0 +1,178 @@
+open Gql_core
+open Gql_graph
+
+let paper title authors =
+  let b = Graph.Builder.create ~tuple:(Tuple.make [ ("title", Value.Str title) ]) () in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Graph.Builder.add_node b
+           ~name:(Printf.sprintf "v%d" (i + 1))
+           (Tuple.make ~tag:"author" [ ("name", Value.Str name) ])))
+    authors;
+  Graph.Builder.build b
+
+let author_pair_pattern =
+  Gql.pattern_of_string "graph P { node v1 <author>; node v2 <author>; }"
+
+let test_select () =
+  let c = [ Algebra.G (paper "t1" [ "A"; "B" ]); Algebra.G (paper "t2" [ "C" ]) ] in
+  let matches = Algebra.select ~patterns:[ author_pair_pattern ] c in
+  (* paper 1 has 2 ordered author pairs; paper 2 has none *)
+  Alcotest.(check int) "ordered pairs" 2 (List.length matches);
+  match matches with
+  | Algebra.M m :: _ ->
+    Alcotest.(check bool) "binding accessible" true (Matched.node m "v1" <> None)
+  | _ -> Alcotest.fail "expected matched entries"
+
+let test_select_non_exhaustive () =
+  let c = [ Algebra.G (paper "t1" [ "A"; "B"; "C" ]) ] in
+  let all = Algebra.select ~patterns:[ author_pair_pattern ] c in
+  let one = Algebra.select ~exhaustive:false ~patterns:[ author_pair_pattern ] c in
+  Alcotest.(check int) "exhaustive: 6 ordered pairs" 6 (List.length all);
+  Alcotest.(check int) "single mapping" 1 (List.length one)
+
+let test_cartesian () =
+  let c = [ Algebra.G (paper "a" [ "A" ]) ] in
+  let d = [ Algebra.G (paper "b" [ "B" ]); Algebra.G (paper "c" [ "C" ]) ] in
+  let prod = Algebra.cartesian c d in
+  Alcotest.(check int) "2 pairs" 2 (List.length prod);
+  let g = Algebra.underlying (List.hd prod) in
+  Alcotest.(check int) "unconnected union" 2 (Graph.n_nodes g);
+  Alcotest.(check int) "no edges" 0 (Graph.n_edges g)
+
+let test_valued_join () =
+  let mk name id =
+    let b =
+      Graph.Builder.create ~name
+        ~tuple:(Tuple.make [ ("id", Value.Int id) ])
+        ()
+    in
+    ignore (Graph.Builder.add_node b Tuple.empty);
+    Graph.Builder.build b
+  in
+  let c = [ Algebra.G (mk "G1" 1); Algebra.G (mk "G1" 2) ] in
+  let d = [ Algebra.G (mk "G2" 1); Algebra.G (mk "G2" 3) ] in
+  let joined =
+    Algebra.join
+      ~on:Pred.(path [ "G1"; "id" ] = path [ "G2"; "id" ])
+      c d
+  in
+  Alcotest.(check int) "only ids 1=1 join" 1 (List.length joined)
+
+let test_set_operators () =
+  let a = Algebra.G (paper "x" [ "A" ]) in
+  let a' = Algebra.G (paper "x" [ "A" ]) in
+  let b = Algebra.G (paper "y" [ "B" ]) in
+  let c = Algebra.G (paper "z" [ "C" ]) in
+  Alcotest.(check int) "union dedups isomorphic" 3
+    (List.length (Algebra.union [ a; b ] [ a'; c ]));
+  Alcotest.(check int) "difference" 1 (List.length (Algebra.difference [ a; b ] [ a' ]));
+  Alcotest.(check int) "intersection" 1
+    (List.length (Algebra.intersection [ a; b ] [ a'; c ]));
+  Alcotest.(check int) "distinct" 2 (List.length (Algebra.distinct [ a; a'; b ]))
+
+let test_compose () =
+  (* Figure 4.11: build a new graph from the matched pair *)
+  let template =
+    Gql.parse_graph_decl
+      {|graph {
+          node v1 <label=P.v1.name>;
+          node v2 <label=P.title>;
+          edge e1 (v1, v2);
+        }|}
+  in
+  let c = [ Algebra.G (paper "Title1" [ "A"; "B" ]) ] in
+  let matches =
+    Algebra.select ~exhaustive:false
+      ~patterns:
+        [ Gql.pattern_of_string "graph P { node v1 <author>; node v2 <author>; }" ]
+      c
+  in
+  let out = Algebra.compose ~template ~param:"P" matches in
+  Alcotest.(check int) "one instantiation" 1 (List.length out);
+  let g = Algebra.underlying (List.hd out) in
+  Alcotest.(check int) "two nodes" 2 (Graph.n_nodes g);
+  Alcotest.(check int) "one edge" 1 (Graph.n_edges g);
+  let labels =
+    List.sort compare [ Graph.label g 0; Graph.label g 1 ]
+  in
+  Alcotest.(check (list string)) "labels from the binding" [ "A"; "Title1" ] labels
+
+let test_relational_simulation () =
+  (* Theorem 4.5: RA on single-node graphs *)
+  let r =
+    Algebra.rel_of_tuples
+      [
+        Tuple.make [ ("id", Value.Int 1); ("name", Value.Str "x") ];
+        Tuple.make [ ("id", Value.Int 2); ("name", Value.Str "y") ];
+      ]
+  in
+  let s = Algebra.rel_select Pred.(attr "id" > int 1) r in
+  Alcotest.(check int) "selection" 1 (List.length s);
+  let p = Algebra.rel_project [ "name" ] r in
+  Alcotest.(check (list string)) "projection"
+    [ "name" ]
+    (Tuple.names (List.hd (Algebra.tuples_of_rel p)));
+  let rn = Algebra.rel_rename [ ("id", "key") ] r in
+  Alcotest.(check bool) "rename" true
+    (Tuple.mem (List.hd (Algebra.tuples_of_rel rn)) "key");
+  let prod = Algebra.rel_product (Algebra.rel_project [ "id" ] r) (Algebra.rel_rename [ ("id", "id2"); ("name", "name2") ] r) in
+  Alcotest.(check int) "product" 4 (List.length prod)
+
+let test_compose_n () =
+  (* the general composition: ω over the product of two collections *)
+  let template =
+    Gql.parse_graph_decl
+      {|graph {
+          node l <t=Left.title>;
+          node r <t=Right.title>;
+          edge e (l, r);
+        }|}
+  in
+  let left = [ Algebra.G (paper "t1" [ "A" ]); Algebra.G (paper "t2" [ "B" ]) ] in
+  let right = [ Algebra.G (paper "t3" [ "C" ]) ] in
+  let out =
+    Algebra.compose_n ~template ~params:[ "Left"; "Right" ] [ left; right ]
+  in
+  Alcotest.(check int) "2 x 1 combinations" 2 (List.length out);
+  List.iter
+    (fun e ->
+      let g = Algebra.underlying e in
+      Alcotest.(check int) "pair graph" 2 (Graph.n_nodes g))
+    out;
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "Algebra.compose_n: params/collections arity mismatch")
+    (fun () -> ignore (Algebra.compose_n ~template ~params:[ "only" ] [ left; right ]))
+
+let test_cartesian_with_matched () =
+  (* matched graphs participate in products as the graphs they annotate *)
+  let c = [ Algebra.G (paper "t1" [ "A"; "B" ]) ] in
+  let matches = Algebra.select ~exhaustive:false ~patterns:[ author_pair_pattern ] c in
+  let prod = Algebra.cartesian matches c in
+  Alcotest.(check int) "product size" 1 (List.length prod);
+  Alcotest.(check int) "nodes from both operands" 4
+    (Graph.n_nodes (Algebra.underlying (List.hd prod)))
+
+let test_selection_distributes_over_union () =
+  (* an algebraic law inherited from RA: σ(C ∪ D) = σ(C) ∪ σ(D) *)
+  let c = [ Algebra.G (paper "t1" [ "A"; "B" ]) ] in
+  let d = [ Algebra.G (paper "t2" [ "C"; "D" ]) ] in
+  let p = [ author_pair_pattern ] in
+  let lhs = Algebra.select ~patterns:p (c @ d) in
+  let rhs = Algebra.select ~patterns:p c @ Algebra.select ~patterns:p d in
+  Alcotest.(check int) "same cardinality" (List.length rhs) (List.length lhs)
+
+let suite =
+  [
+    Alcotest.test_case "selection" `Quick test_select;
+    Alcotest.test_case "non-exhaustive selection" `Quick test_select_non_exhaustive;
+    Alcotest.test_case "cartesian product" `Quick test_cartesian;
+    Alcotest.test_case "valued join (Fig 4.10)" `Quick test_valued_join;
+    Alcotest.test_case "set operators" `Quick test_set_operators;
+    Alcotest.test_case "composition (Fig 4.11)" `Quick test_compose;
+    Alcotest.test_case "n-ary composition" `Quick test_compose_n;
+    Alcotest.test_case "product with matched graphs" `Quick test_cartesian_with_matched;
+    Alcotest.test_case "relational simulation (Thm 4.5)" `Quick test_relational_simulation;
+    Alcotest.test_case "σ distributes over ∪" `Quick test_selection_distributes_over_union;
+  ]

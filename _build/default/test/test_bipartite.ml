@@ -1,0 +1,85 @@
+open Gql_matcher
+
+let mk nl nr edges =
+  let adj = Array.make nl [] in
+  List.iter (fun (l, r) -> adj.(l) <- r :: adj.(l)) edges;
+  { Bipartite.nl; nr; adj }
+
+let test_perfect () =
+  let g = mk 3 3 [ (0, 0); (1, 1); (2, 2) ] in
+  Alcotest.(check int) "diagonal" 3 (Bipartite.hopcroft_karp g);
+  Alcotest.(check bool) "semi-perfect" true (Bipartite.semi_perfect g)
+
+let test_augmenting () =
+  (* requires augmenting path: 0-{0}, 1-{0,1} *)
+  let g = mk 2 2 [ (0, 0); (1, 0); (1, 1) ] in
+  Alcotest.(check int) "both matched" 2 (Bipartite.hopcroft_karp g)
+
+let test_deficient () =
+  let g = mk 3 3 [ (0, 0); (1, 0); (2, 0) ] in
+  Alcotest.(check int) "all want same right node" 1 (Bipartite.hopcroft_karp g);
+  Alcotest.(check bool) "not semi-perfect" false (Bipartite.semi_perfect g)
+
+let test_empty_left () =
+  let g = mk 0 5 [] in
+  Alcotest.(check int) "empty" 0 (Bipartite.hopcroft_karp g);
+  Alcotest.(check bool) "vacuously semi-perfect" true (Bipartite.semi_perfect g)
+
+let test_isolated_left () =
+  let g = mk 2 2 [ (0, 0) ] in
+  Alcotest.(check bool) "isolated left vertex blocks" false (Bipartite.semi_perfect g)
+
+let test_more_right () =
+  let g = mk 2 4 [ (0, 2); (0, 3); (1, 3) ] in
+  Alcotest.(check bool) "saturates left" true (Bipartite.semi_perfect g)
+
+let test_matching_valid () =
+  let g = mk 4 4 [ (0, 0); (0, 1); (1, 1); (1, 2); (2, 2); (2, 3); (3, 3); (3, 0) ] in
+  let size, ml = Bipartite.hopcroft_karp_matching g in
+  Alcotest.(check int) "perfect on cycle" 4 size;
+  (* assignment is a valid matching along graph edges *)
+  let seen = Hashtbl.create 8 in
+  Array.iteri
+    (fun l r ->
+      Alcotest.(check bool) "edge exists" true (List.mem r g.Bipartite.adj.(l));
+      Alcotest.(check bool) "right used once" false (Hashtbl.mem seen r);
+      Hashtbl.add seen r ())
+    ml
+
+let gen_bipartite =
+  QCheck.Gen.(
+    int_range 0 8 >>= fun nl ->
+    int_range 0 8 >>= fun nr ->
+    list_size (int_range 0 25) (pair (int_range 0 (max 0 (nl - 1))) (int_range 0 (max 0 (nr - 1))))
+    >|= fun edges ->
+    let edges = if nl = 0 || nr = 0 then [] else edges in
+    (nl, nr, List.sort_uniq compare edges))
+
+let prop_hk_equals_kuhn =
+  QCheck.Test.make ~name:"hopcroft-karp equals kuhn on random graphs" ~count:500
+    (QCheck.make gen_bipartite ~print:(fun (nl, nr, es) ->
+         Printf.sprintf "nl=%d nr=%d edges=[%s]" nl nr
+           (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) es))))
+    (fun (nl, nr, edges) ->
+      let g = mk nl nr edges in
+      Bipartite.hopcroft_karp g = Bipartite.kuhn g)
+
+let prop_matching_bounded =
+  QCheck.Test.make ~name:"matching size bounded by min(nl,nr)" ~count:300
+    (QCheck.make gen_bipartite)
+    (fun (nl, nr, edges) ->
+      let s = Bipartite.hopcroft_karp (mk nl nr edges) in
+      s <= min nl nr && s >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "perfect matching" `Quick test_perfect;
+    Alcotest.test_case "augmenting path" `Quick test_augmenting;
+    Alcotest.test_case "deficient graph" `Quick test_deficient;
+    Alcotest.test_case "empty left side" `Quick test_empty_left;
+    Alcotest.test_case "isolated left vertex" `Quick test_isolated_left;
+    Alcotest.test_case "wide right side" `Quick test_more_right;
+    Alcotest.test_case "returned matching is valid" `Quick test_matching_valid;
+    QCheck_alcotest.to_alcotest prop_hk_equals_kuhn;
+    QCheck_alcotest.to_alcotest prop_matching_bounded;
+  ]

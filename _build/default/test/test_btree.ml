@@ -1,0 +1,163 @@
+module Itree = Gql_index.Btree.Make (Int)
+module Imap = Map.Make (Int)
+
+let bindings t = List.of_seq (Itree.to_seq t)
+
+let test_empty () =
+  let t = Itree.empty () in
+  Alcotest.(check bool) "is_empty" true (Itree.is_empty t);
+  Alcotest.(check int) "cardinal" 0 (Itree.cardinal t);
+  Alcotest.(check (option int)) "find" None (Itree.find 3 t);
+  Alcotest.(check bool) "invariants" true (Itree.invariants_ok t)
+
+let test_insert_find () =
+  let t = List.fold_left (fun t k -> Itree.add k (k * 10) t) (Itree.empty ()) [ 5; 1; 9; 3; 7 ] in
+  Alcotest.(check int) "cardinal" 5 (Itree.cardinal t);
+  Alcotest.(check (option int)) "find 3" (Some 30) (Itree.find 3 t);
+  Alcotest.(check (option int)) "find 9" (Some 90) (Itree.find 9 t);
+  Alcotest.(check (option int)) "find missing" None (Itree.find 4 t)
+
+let test_replace () =
+  let t = Itree.add 1 10 (Itree.add 1 99 (Itree.empty ())) in
+  Alcotest.(check int) "no duplicate key" 1 (Itree.cardinal t);
+  Alcotest.(check (option int)) "replaced" (Some 10) (Itree.find 1 t)
+
+let test_sorted_iteration () =
+  let keys = [ 42; 7; 13; 99; 1; 56; 28 ] in
+  let t = List.fold_left (fun t k -> Itree.add k k t) (Itree.empty ()) keys in
+  Alcotest.(check (list int)) "ascending"
+    (List.sort compare keys)
+    (List.map fst (bindings t))
+
+let test_deep_tree () =
+  (* small degree to force many levels *)
+  let t = ref (Itree.empty ~degree:2 ()) in
+  for k = 0 to 999 do
+    t := Itree.add (k * 7 mod 1000) k !t
+  done;
+  Alcotest.(check int) "cardinal" 1000 (Itree.cardinal !t);
+  Alcotest.(check bool) "invariants" true (Itree.invariants_ok !t);
+  Alcotest.(check bool) "height > 2" true (Itree.height !t > 2)
+
+let test_delete () =
+  let t = ref (Itree.empty ~degree:2 ()) in
+  for k = 0 to 99 do
+    t := Itree.add k k !t
+  done;
+  for k = 0 to 99 do
+    if k mod 3 = 0 then t := Itree.remove k !t
+  done;
+  Alcotest.(check int) "cardinal after deletes" 66 (Itree.cardinal !t);
+  Alcotest.(check bool) "invariants after deletes" true (Itree.invariants_ok !t);
+  Alcotest.(check (option int)) "deleted gone" None (Itree.find 33 !t);
+  Alcotest.(check (option int)) "survivor present" (Some 34) (Itree.find 34 !t)
+
+let test_delete_all () =
+  let t = ref (Itree.empty ~degree:2 ()) in
+  for k = 0 to 49 do
+    t := Itree.add k k !t
+  done;
+  for k = 0 to 49 do
+    t := Itree.remove k !t
+  done;
+  Alcotest.(check bool) "empty again" true (Itree.is_empty !t);
+  Alcotest.(check bool) "invariants" true (Itree.invariants_ok !t)
+
+let test_remove_absent () =
+  let t = Itree.add 1 1 (Itree.empty ()) in
+  let t' = Itree.remove 99 t in
+  Alcotest.(check int) "unchanged" 1 (Itree.cardinal t')
+
+let test_min_max () =
+  let t = List.fold_left (fun t k -> Itree.add k k t) (Itree.empty ()) [ 5; 2; 8 ] in
+  Alcotest.(check (option (pair int int))) "min" (Some (2, 2)) (Itree.min_binding_opt t);
+  Alcotest.(check (option (pair int int))) "max" (Some (8, 8)) (Itree.max_binding_opt t)
+
+let test_range () =
+  let t = ref (Itree.empty ~degree:2 ()) in
+  for k = 0 to 100 do
+    t := Itree.add k k !t
+  done;
+  let got lo hi = Itree.range ~lo ~hi !t |> Seq.map fst |> List.of_seq in
+  Alcotest.(check (list int)) "inclusive range"
+    [ 10; 11; 12 ]
+    (got (Itree.Key_incl 10) (Itree.Key_incl 12));
+  Alcotest.(check (list int)) "exclusive bounds" [ 11 ]
+    (got (Itree.Key_excl 10) (Itree.Key_excl 12));
+  Alcotest.(check (list int)) "open low"
+    [ 0; 1; 2 ]
+    (got Itree.Key_unbounded (Itree.Key_incl 2));
+  Alcotest.(check (list int)) "open high"
+    [ 99; 100 ]
+    (got (Itree.Key_incl 99) Itree.Key_unbounded);
+  Alcotest.(check (list int)) "empty range" [] (got (Itree.Key_incl 50) (Itree.Key_excl 50))
+
+let test_update () =
+  let t = Itree.add 1 10 (Itree.empty ()) in
+  let t = Itree.update 1 (Option.map (fun v -> v + 1)) t in
+  Alcotest.(check (option int)) "bumped" (Some 11) (Itree.find 1 t);
+  let t = Itree.update 1 (fun _ -> None) t in
+  Alcotest.(check (option int)) "dropped" None (Itree.find 1 t);
+  let t = Itree.update 2 (fun _ -> Some 20) t in
+  Alcotest.(check (option int)) "created" (Some 20) (Itree.find 2 t)
+
+let test_persistence () =
+  let t1 = Itree.of_list (List.init 50 (fun i -> (i, i))) in
+  let t2 = Itree.remove 25 t1 in
+  let t3 = Itree.add 100 100 t1 in
+  Alcotest.(check (option int)) "t1 still has 25" (Some 25) (Itree.find 25 t1);
+  Alcotest.(check (option int)) "t2 lost 25" None (Itree.find 25 t2);
+  Alcotest.(check (option int)) "t1 lacks 100" None (Itree.find 100 t1);
+  Alcotest.(check (option int)) "t3 has 100" (Some 100) (Itree.find 100 t3)
+
+(* property: a btree with random ops behaves like Map, keeps invariants *)
+let prop_model =
+  QCheck.Test.make ~name:"btree matches Map under random add/remove" ~count:200
+    QCheck.(
+      pair (int_range 2 5)
+        (list (pair bool (int_range 0 60))))
+    (fun (degree, ops) ->
+      let t, m =
+        List.fold_left
+          (fun (t, m) (is_add, k) ->
+            if is_add then (Itree.add k (k * 2) t, Imap.add k (k * 2) m)
+            else (Itree.remove k t, Imap.remove k m))
+          (Itree.empty ~degree (), Imap.empty)
+          ops
+      in
+      Itree.invariants_ok t
+      && Itree.cardinal t = Imap.cardinal m
+      && List.equal ( = ) (bindings t) (Imap.bindings m))
+
+let prop_range =
+  QCheck.Test.make ~name:"btree range agrees with filtered bindings" ~count:200
+    QCheck.(triple (list (int_range 0 100)) (int_range 0 100) (int_range 0 100))
+    (fun (keys, a, b) ->
+      let lo = min a b and hi = max a b in
+      let t = List.fold_left (fun t k -> Itree.add k k t) (Itree.empty ~degree:2 ()) keys in
+      let expected =
+        bindings t |> List.filter (fun (k, _) -> k >= lo && k <= hi) |> List.map fst
+      in
+      let got =
+        Itree.range ~lo:(Itree.Key_incl lo) ~hi:(Itree.Key_incl hi) t
+        |> Seq.map fst |> List.of_seq
+      in
+      got = expected)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "insert and find" `Quick test_insert_find;
+    Alcotest.test_case "replace semantics" `Quick test_replace;
+    Alcotest.test_case "sorted iteration" `Quick test_sorted_iteration;
+    Alcotest.test_case "deep tree invariants" `Quick test_deep_tree;
+    Alcotest.test_case "deletion" `Quick test_delete;
+    Alcotest.test_case "delete everything" `Quick test_delete_all;
+    Alcotest.test_case "remove absent key" `Quick test_remove_absent;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "range scans" `Quick test_range;
+    Alcotest.test_case "update" `Quick test_update;
+    Alcotest.test_case "persistence" `Quick test_persistence;
+    QCheck_alcotest.to_alcotest prop_model;
+    QCheck_alcotest.to_alcotest prop_range;
+  ]

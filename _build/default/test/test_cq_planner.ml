@@ -1,0 +1,94 @@
+open Gql_graph
+open Gql_sqlsim
+
+let db_with_sample () = Graphplan.db_of_graph (Test_graph.sample_g ())
+
+let test_plan_uses_indexes () =
+  let db = db_with_sample () in
+  let q =
+    Graphplan.query_of_pattern (Gql_matcher.Flat_pattern.clique [ "A"; "B"; "C" ])
+  in
+  let plan = Cq.plan db q in
+  Alcotest.(check int) "one step per alias" (List.length q.Cq.froms)
+    (List.length plan);
+  (* first step: constant index on a V alias's label *)
+  (match plan with
+  | first :: rest ->
+    (match first.Cq.s_access with
+    | Cq.Index_const ("label", Value.Str _) -> ()
+    | _ -> Alcotest.fail "first step should be a constant label-index lookup");
+    (* every later step should join through an index, never a full scan:
+       the pattern is connected through E aliases *)
+    List.iter
+      (fun s ->
+        match s.Cq.s_access with
+        | Cq.Full_scan ->
+          Alcotest.fail
+            (Printf.sprintf "alias %s got a full scan in a connected query"
+               s.Cq.s_alias)
+        | _ -> ())
+      rest
+  | [] -> Alcotest.fail "empty plan");
+  (* all predicates must be applied exactly once across the steps *)
+  let applied = List.concat_map (fun s -> s.Cq.s_filters) plan in
+  Alcotest.(check int) "every predicate applied once" (List.length q.Cq.preds)
+    (List.length applied)
+
+let test_pp_plan () =
+  let db = db_with_sample () in
+  let q = Graphplan.query_of_pattern (Gql_matcher.Flat_pattern.path [ "A"; "B" ]) in
+  let text = Format.asprintf "%a" Cq.pp_plan (Cq.plan db q) in
+  Alcotest.(check bool) "mentions V alias" true (Test_graph.contains text "V as V1");
+  Alcotest.(check bool) "mentions E alias" true (Test_graph.contains text "E as E1")
+
+let test_cross_product_when_disconnected () =
+  let db = Rel.create_db () in
+  Rel.create_table db "R" ~columns:[ "x" ];
+  Rel.create_table db "S" ~columns:[ "y" ];
+  Rel.insert db "R" [| Value.Int 1 |];
+  Rel.insert db "S" [| Value.Int 2 |];
+  let q =
+    { Cq.froms = [ ("r", "R"); ("s", "S") ]; preds = []; select = [ ("r", "x"); ("s", "y") ] }
+  in
+  let plan = Cq.plan db q in
+  (* with no predicates the second step has to be a scan *)
+  Alcotest.(check bool) "one of the steps scans" true
+    (List.exists (fun s -> s.Cq.s_access = Cq.Full_scan) plan);
+  let o = Cq.execute db q in
+  Alcotest.(check int) "cartesian result" 1 o.Cq.n_rows
+
+let test_selectivity_ordering () =
+  (* the planner should start from the alias with the more selective
+     constant predicate *)
+  let db = Rel.create_db () in
+  Rel.create_table db "T" ~columns:[ "k"; "v" ];
+  for i = 0 to 99 do
+    Rel.insert db "T" [| Value.Int (i mod 50); Value.Int (i mod 2) |]
+  done;
+  let q =
+    {
+      Cq.froms = [ ("a", "T"); ("b", "T") ];
+      preds =
+        [
+          Cq.Eq_const (("a", "v"), Value.Int 0);  (* 50 rows *)
+          Cq.Eq_const (("b", "k"), Value.Int 3);  (* 2 rows *)
+          Cq.Eq_join (("a", "k"), ("b", "k"));
+        ];
+      select = [ ("a", "k") ];
+    }
+  in
+  match Cq.plan db q with
+  | first :: _ ->
+    Alcotest.(check string) "selective alias first" "b" first.Cq.s_alias
+  | [] -> Alcotest.fail "empty plan"
+
+let suite =
+  [
+    Alcotest.test_case "plans use indexes on connected queries" `Quick
+      test_plan_uses_indexes;
+    Alcotest.test_case "plan printing" `Quick test_pp_plan;
+    Alcotest.test_case "cross products fall back to scans" `Quick
+      test_cross_product_when_disconnected;
+    Alcotest.test_case "selectivity drives the start alias" `Quick
+      test_selectivity_ordering;
+  ]

@@ -1,0 +1,135 @@
+open Gql_graph
+open Gql_datalog
+
+let v s = Datalog.Var s
+let c s = Datalog.Const (Value.Str s)
+
+let test_facts_and_query () =
+  let db = Datalog.create () in
+  Datalog.add_fact db "parent" [ Value.Str "a"; Value.Str "b" ];
+  Datalog.add_fact db "parent" [ Value.Str "b"; Value.Str "c" ];
+  Alcotest.(check bool) "holds" true
+    (Datalog.holds db "parent" [ Value.Str "a"; Value.Str "b" ]);
+  Alcotest.(check int) "query with constant" 1
+    (List.length (Datalog.query db (Datalog.atom "parent" [ c "a"; v "X" ])))
+
+let test_transitive_closure () =
+  let db = Datalog.create () in
+  List.iter
+    (fun (x, y) -> Datalog.add_fact db "edge" [ Value.Str x; Value.Str y ])
+    [ ("a", "b"); ("b", "c"); ("c", "d") ];
+  Datalog.add_rule db
+    {
+      Datalog.head = Datalog.atom "reach" [ v "X"; v "Y" ];
+      body = [ Datalog.Pos (Datalog.atom "edge" [ v "X"; v "Y" ]) ];
+    };
+  Datalog.add_rule db
+    {
+      Datalog.head = Datalog.atom "reach" [ v "X"; v "Z" ];
+      body =
+        [
+          Datalog.Pos (Datalog.atom "reach" [ v "X"; v "Y" ]);
+          Datalog.Pos (Datalog.atom "edge" [ v "Y"; v "Z" ]);
+        ];
+    };
+  Datalog.solve db;
+  Alcotest.(check int) "closure size" 6 (Datalog.n_facts db "reach");
+  Alcotest.(check bool) "a reaches d" true
+    (Datalog.holds db "reach" [ Value.Str "a"; Value.Str "d" ])
+
+let test_comparison_builtin () =
+  let db = Datalog.create () in
+  List.iter
+    (fun (x, n) -> Datalog.add_fact db "age" [ Value.Str x; Value.Int n ])
+    [ ("a", 10); ("b", 20); ("c", 30) ];
+  Datalog.add_rule db
+    {
+      Datalog.head = Datalog.atom "adult" [ v "X" ];
+      body =
+        [
+          Datalog.Pos (Datalog.atom "age" [ v "X"; v "N" ]);
+          Datalog.Cmp (Datalog.Cge, v "N", Datalog.Const (Value.Int 20));
+        ];
+    };
+  Datalog.solve db;
+  Alcotest.(check int) "two adults" 2 (Datalog.n_facts db "adult")
+
+let test_unsafe_rule () =
+  let db = Datalog.create () in
+  Datalog.add_fact db "p" [ Value.Str "a" ];
+  Datalog.add_rule db
+    {
+      Datalog.head = Datalog.atom "q" [ v "Y" ];
+      body = [ Datalog.Pos (Datalog.atom "p" [ v "X" ]) ];
+    };
+  Alcotest.check_raises "unbound head var"
+    (Datalog.Unsafe_rule "head variable unbound in rule for q") (fun () ->
+      Datalog.solve db)
+
+(* --- Theorem 4.6: the translation agrees with the matcher --- *)
+
+let test_figure_4_14_facts () =
+  let g = Test_graph.sample_g () in
+  let db = Datalog.create () in
+  Translate.load_graph db ~name:"G" g;
+  Alcotest.(check int) "graph fact" 1 (Datalog.n_facts db "graph");
+  Alcotest.(check int) "node facts" 6 (Datalog.n_facts db "node");
+  (* undirected edges written twice *)
+  Alcotest.(check int) "edge facts" 12 (Datalog.n_facts db "edge")
+
+let test_translation_counts () =
+  let g = Test_graph.sample_g () in
+  let p = Gql_matcher.Flat_pattern.clique [ "A"; "B"; "C" ] in
+  Alcotest.(check int) "triangle count" 1 (Translate.count_matches g p);
+  let p2 = Gql_matcher.Flat_pattern.path [ "A"; "B" ] in
+  Alcotest.(check int) "A-B edges" 2 (Translate.count_matches g p2)
+
+let prop_translation_equals_matcher =
+  QCheck.Test.make ~name:"Datalog translation = matcher on random graphs" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (Test_matcher.gen_labeled_graph ~max_n:6)
+                     (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (g, pg) ->
+      let p = Gql_matcher.Flat_pattern.of_graph pg in
+      Translate.count_matches g p = Gql_matcher.Engine.count_matches p g)
+
+let test_translated_predicates () =
+  let g =
+    Graph.of_labeled ~labels:[| "X"; "X" |] []
+    |> fun g ->
+    Graph.map_node_tuples g ~f:(fun v t ->
+        Tuple.set t "year" (Value.Int (2000 + v)))
+  in
+  let pb = Graph.Builder.create () in
+  ignore (Graph.Builder.add_node pb ~name:"v1" Tuple.empty);
+  let pg = Graph.Builder.build pb in
+  let p =
+    Gql_matcher.Flat_pattern.of_where pg
+      Pred.(path [ "v1"; "year" ] > int 2000)
+  in
+  Alcotest.(check int) "predicate filters" 1 (Translate.count_matches g p)
+
+let test_reachability_rules () =
+  let g = Graph.of_labeled ~labels:[| "A"; "B"; "C" |] [ (0, 1); (1, 2) ] in
+  let db = Datalog.create () in
+  Translate.load_graph db ~name:"G" g;
+  List.iter (Datalog.add_rule db)
+    (Translate.reachability_rules ~edge_name:"edge" ~reach_name:"reach");
+  Datalog.solve db;
+  (* undirected: all ordered pairs within the component, including
+     self-reachability through back-and-forth *)
+  Alcotest.(check bool) "0 reaches 2" true
+    (Datalog.holds db "reach" [ Value.Str "G.v0"; Value.Str "G.v2" ])
+
+let suite =
+  [
+    Alcotest.test_case "facts and queries" `Quick test_facts_and_query;
+    Alcotest.test_case "transitive closure" `Quick test_transitive_closure;
+    Alcotest.test_case "comparison builtins" `Quick test_comparison_builtin;
+    Alcotest.test_case "unsafe rules detected" `Quick test_unsafe_rule;
+    Alcotest.test_case "graph to facts (Fig 4.14)" `Quick test_figure_4_14_facts;
+    Alcotest.test_case "pattern to rule counts (Fig 4.15)" `Quick test_translation_counts;
+    Alcotest.test_case "translated predicates" `Quick test_translated_predicates;
+    Alcotest.test_case "recursive reachability" `Quick test_reachability_rules;
+    QCheck_alcotest.to_alcotest prop_translation_equals_matcher;
+  ]

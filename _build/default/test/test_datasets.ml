@@ -1,0 +1,141 @@
+open Gql_graph
+open Gql_datasets
+
+let test_rng_deterministic () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" xs ys;
+  let c = Rng.create 2 in
+  let zs = List.init 10 (fun _ -> Rng.int c 1000) in
+  Alcotest.(check bool) "different seed differs" true (xs <> zs)
+
+let test_rng_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r 1.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_zipf () =
+  let z = Zipf.create 100 in
+  let r = Rng.create 4 in
+  let counts = Array.make 100 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let x = Zipf.sample z r in
+    Alcotest.(check bool) "rank in range" true (x >= 0 && x < 100);
+    counts.(x) <- counts.(x) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most frequent" true
+    (counts.(0) > counts.(1) && counts.(1) > counts.(5));
+  (* p(0)/p(9) = 10 under exponent 1 *)
+  let ratio = float_of_int counts.(0) /. float_of_int (max 1 counts.(9)) in
+  Alcotest.(check bool) "roughly zipfian head" true (ratio > 5.0 && ratio < 20.0);
+  let total = Array.fold_left (fun a i -> a +. Zipf.probability z i) 0.0 (Array.init 100 Fun.id) in
+  Alcotest.(check (float 1e-9)) "probabilities sum to 1" 1.0 total
+
+let test_erdos_renyi () =
+  let g = Synthetic.erdos_renyi (Rng.create 5) ~n:1000 ~m:5000 in
+  Alcotest.(check int) "n nodes" 1000 (Graph.n_nodes g);
+  Alcotest.(check int) "m edges" 5000 (Graph.n_edges g);
+  (* no self loops, no duplicate edges *)
+  Graph.iter_edges g ~f:(fun _ e ->
+      Alcotest.(check bool) "no self loop" true (e.Graph.src <> e.Graph.dst));
+  let idx = Gql_index.Label_index.build g in
+  Alcotest.(check bool) "about 100 labels" true
+    (Gql_index.Label_index.distinct_labels idx <= 100
+    && Gql_index.Label_index.distinct_labels idx > 50);
+  (* Zipf skew: most frequent label much more common than the tail *)
+  match Gql_index.Label_index.top_frequent idx 1 with
+  | [ top ] ->
+    Alcotest.(check bool) "head label frequent" true
+      (Gql_index.Label_index.frequency idx top > 100)
+  | _ -> Alcotest.fail "no labels"
+
+let test_ppi_shape () =
+  let g = Ppi.generate () in
+  Alcotest.(check int) "3112 proteins" Ppi.n_nodes (Graph.n_nodes g);
+  Alcotest.(check int) "12519 interactions" Ppi.n_edges_target (Graph.n_edges g);
+  let idx = Gql_index.Label_index.build g in
+  Alcotest.(check bool) "<= 183 GO terms, most present" true
+    (Gql_index.Label_index.distinct_labels idx <= Ppi.n_labels
+    && Gql_index.Label_index.distinct_labels idx > 150);
+  (* heavy tail: max degree far above the mean (~8) *)
+  let max_deg = Graph.fold_nodes g ~init:0 ~f:(fun m v -> max m (Graph.degree g v)) in
+  Alcotest.(check bool) "hub nodes exist" true (max_deg > 40)
+
+let test_ppi_deterministic () =
+  let a = Ppi.generate () and b = Ppi.generate () in
+  Alcotest.(check bool) "same seed reproduces" true (Graph.equal_structure a b)
+
+let test_clique_queries () =
+  let g = Ppi.generate () in
+  let idx = Gql_index.Label_index.build g in
+  let labels = Queries.top_labels idx 40 in
+  Alcotest.(check int) "top-40 labels" 40 (List.length labels);
+  let q = Queries.clique (Rng.create 6) ~labels ~size:4 in
+  Alcotest.(check int) "clique size" 4 (Gql_matcher.Flat_pattern.size q);
+  Alcotest.(check int) "clique edges" 6
+    (Graph.n_edges q.Gql_matcher.Flat_pattern.structure);
+  (* all labels drawn from the pool *)
+  for u = 0 to 3 do
+    match Gql_matcher.Flat_pattern.required_label q u with
+    | Some l -> Alcotest.(check bool) "label in pool" true (List.mem l labels)
+    | None -> Alcotest.fail "clique nodes must be labeled"
+  done
+
+let test_connected_subgraph_queries () =
+  let g = Synthetic.erdos_renyi (Rng.create 7) ~n:500 ~m:2500 in
+  let q = Queries.connected_subgraph (Rng.create 8) g ~size:8 in
+  let qg = q.Gql_matcher.Flat_pattern.structure in
+  Alcotest.(check int) "size 8" 8 (Graph.n_nodes qg);
+  (* connected: BFS from node 0 reaches everyone *)
+  let reached = Gql_graph.Neighborhood.nodes_within qg 0 ~r:8 in
+  Alcotest.(check int) "connected" 8 (List.length reached);
+  (* extracted pattern must have at least one answer: itself *)
+  Alcotest.(check bool) "self-match exists" true
+    (Gql_matcher.Engine.count_matches ~limit:1 q g >= 1)
+
+let test_dblp () =
+  let papers = Dblp.generate ~n_papers:50 () in
+  Alcotest.(check int) "50 papers" 50 (List.length papers);
+  List.iter
+    (fun p ->
+      let n = Graph.n_nodes p in
+      Alcotest.(check bool) "1-5 authors" true (n >= 1 && n <= 5);
+      Alcotest.(check bool) "venue attr" true
+        (Tuple.mem (Graph.tuple p) "booktitle"))
+    papers
+
+let test_chem () =
+  let compounds = Chem.generate ~n_compounds:20 () in
+  Alcotest.(check int) "20 compounds" 20 (List.length compounds);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "at least a ring" true (Graph.n_nodes c >= 5);
+      Graph.iter_edges c ~f:(fun _ e ->
+          Alcotest.(check bool) "bond attr present" true (Tuple.mem e.Graph.etuple "bond")))
+    compounds;
+  let benzene = Chem.benzene_like () in
+  Alcotest.(check int) "benzene ring" 6 (Graph.n_nodes benzene);
+  Alcotest.(check int) "ring edges" 6 (Graph.n_edges benzene)
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "zipf distribution" `Quick test_zipf;
+    Alcotest.test_case "erdos-renyi generator" `Quick test_erdos_renyi;
+    Alcotest.test_case "ppi population statistics" `Quick test_ppi_shape;
+    Alcotest.test_case "ppi determinism" `Quick test_ppi_deterministic;
+    Alcotest.test_case "clique query workload" `Quick test_clique_queries;
+    Alcotest.test_case "connected subgraph workload" `Quick
+      test_connected_subgraph_queries;
+    Alcotest.test_case "dblp generator" `Quick test_dblp;
+    Alcotest.test_case "chem generator" `Quick test_chem;
+  ]

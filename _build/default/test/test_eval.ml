@@ -1,0 +1,143 @@
+open Gql_core
+open Gql_graph
+
+(* the DBLP collection of Figure 4.13 *)
+let dblp () =
+  let paper authors =
+    let b = Graph.Builder.create () in
+    List.iteri
+      (fun i name ->
+        ignore
+          (Graph.Builder.add_node b
+             ~name:(Printf.sprintf "v%d" (i + 1))
+             (Tuple.make ~tag:"author" [ ("name", Value.Str name) ])))
+      authors;
+    Graph.Builder.build b
+  in
+  [ paper [ "A"; "B" ]; paper [ "C"; "D"; "A" ] ]
+
+let coauthor_query =
+  {|graph P { node v1 <author>; node v2 <author>; };
+    C := graph {};
+    for P exhaustive in doc("DBLP")
+    where P.v1.name < P.v2.name
+    let C := graph {
+      graph C;
+      node P.v1, P.v2;
+      edge e1 (P.v1, P.v2);
+      unify P.v1, C.v1 where P.v1.name=C.v1.name;
+      unify P.v2, C.v2 where P.v2.name=C.v2.name;
+    }|}
+
+(* Figure 4.13: resulting co-authorship graph has nodes A B C D and
+   edges A-B, C-D, A-C, A-D *)
+let test_coauthorship_figure_4_13 () =
+  let result = Gql.run_query ~docs:[ ("DBLP", dblp ()) ] coauthor_query in
+  match Eval.var result "C" with
+  | None -> Alcotest.fail "C not bound"
+  | Some c ->
+    Alcotest.(check int) "4 authors" 4 (Graph.n_nodes c);
+    Alcotest.(check int) "4 co-authorship edges" 4 (Graph.n_edges c);
+    let node_of name =
+      let found = ref None in
+      Graph.iter_nodes c ~f:(fun v ->
+          if Tuple.get (Graph.node_tuple c v) "name" = Value.Str name then
+            found := Some v);
+      match !found with
+      | Some v -> v
+      | None -> Alcotest.fail (Printf.sprintf "author %s missing" name)
+    in
+    let a = node_of "A" and b = node_of "B" and cc = node_of "C" and d = node_of "D" in
+    Alcotest.(check bool) "A-B" true (Graph.has_edge c a b);
+    Alcotest.(check bool) "C-D" true (Graph.has_edge c cc d);
+    Alcotest.(check bool) "A-C" true (Graph.has_edge c a cc);
+    Alcotest.(check bool) "A-D" true (Graph.has_edge c a d);
+    Alcotest.(check bool) "no B-C" false (Graph.has_edge c b cc)
+
+(* without the where filter, both orientations of each pair are matched;
+   unification must still keep each author unique *)
+let test_coauthorship_unordered () =
+  let query =
+    {|graph P { node v1 <author>; node v2 <author>; };
+      C := graph {};
+      for P exhaustive in doc("DBLP")
+      let C := graph {
+        graph C;
+        node P.v1, P.v2;
+        edge e1 (P.v1, P.v2);
+        unify P.v1, C.v1 where P.v1.name=C.v1.name;
+        unify P.v2, C.v2 where P.v2.name=C.v2.name;
+      }|}
+  in
+  let result = Gql.run_query ~docs:[ ("DBLP", dblp ()) ] query in
+  let c = Option.get (Eval.var result "C") in
+  Alcotest.(check int) "still 4 authors" 4 (Graph.n_nodes c);
+  Alcotest.(check int) "still 4 edges" 4 (Graph.n_edges c)
+
+let test_return_collection () =
+  let query =
+    {|for graph P { node v1 <author>; node v2 <author>; }
+      exhaustive in doc("DBLP")
+      where P.v1.name < P.v2.name
+      return graph {
+        node a <name=P.v1.name>;
+        node b <name=P.v2.name>;
+        edge e (a, b);
+      }|}
+  in
+  let result = Gql.run_query ~docs:[ ("DBLP", dblp ()) ] query in
+  let graphs = Eval.returned result in
+  (* pairs: (A,B) from paper 1; (C,D), (A,C), (A,D) from paper 2 *)
+  Alcotest.(check int) "4 result graphs" 4 (List.length graphs);
+  List.iter
+    (fun g ->
+      Alcotest.(check int) "pair graph nodes" 2 (Graph.n_nodes g);
+      Alcotest.(check int) "pair graph edge" 1 (Graph.n_edges g))
+    graphs
+
+let test_non_exhaustive_for () =
+  let query =
+    "for graph P { node v1 <author>; } in doc(\"DBLP\") return graph { node a <name=P.v1.name>; }"
+  in
+  let result = Gql.run_query ~docs:[ ("DBLP", dblp ()) ] query in
+  (* one mapping per collection graph *)
+  Alcotest.(check int) "one match per paper" 2 (List.length (Eval.returned result))
+
+let test_unknown_collection () =
+  match Gql.run_query "for graph P { node v1; } in doc(\"nope\") return graph {}" with
+  | exception Gql.Error msg ->
+    Alcotest.(check bool) "mentions collection" true (Test_graph.contains msg "nope")
+  | _ -> Alcotest.fail "expected an error"
+
+let test_variable_as_source () =
+  let query =
+    {|C := graph { node a <label="A">; node b <label="B">; edge e (a, b); };
+      for graph P { node v1 where label="A"; } in doc("C")
+      return graph { node out <found=1>; }|}
+  in
+  let result = Gql.run_query query in
+  Alcotest.(check int) "variable used as doc source" 1
+    (List.length (Eval.returned result))
+
+let test_assignment_and_template_env () =
+  let query =
+    {|BASE := graph { node x <label="X">; };
+      EXT := graph { graph BASE; node y <label="Y">; };|}
+  in
+  let result = Gql.run_query query in
+  let ext = Option.get (Eval.var result "EXT") in
+  Alcotest.(check int) "included + new" 2 (Graph.n_nodes ext)
+
+let suite =
+  [
+    Alcotest.test_case "co-authorship query (Fig 4.12/4.13)" `Quick
+      test_coauthorship_figure_4_13;
+    Alcotest.test_case "co-authorship without ordering filter" `Quick
+      test_coauthorship_unordered;
+    Alcotest.test_case "return collections" `Quick test_return_collection;
+    Alcotest.test_case "non-exhaustive for" `Quick test_non_exhaustive_for;
+    Alcotest.test_case "unknown collection error" `Quick test_unknown_collection;
+    Alcotest.test_case "variable as doc source" `Quick test_variable_as_source;
+    Alcotest.test_case "assignment and template env" `Quick
+      test_assignment_and_template_env;
+  ]

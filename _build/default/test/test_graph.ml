@@ -1,0 +1,134 @@
+open Gql_graph
+
+(* the running example of Figures 4.1/4.16: pattern P = triangle A-B-C,
+   graph G with nodes A1 B1 C1 B2 C2 A2 *)
+let sample_g () =
+  let b = Graph.Builder.create () in
+  let a1 = Graph.Builder.add_labeled_node b ~name:"A1" "A" in
+  let b1 = Graph.Builder.add_labeled_node b ~name:"B1" "B" in
+  let c1 = Graph.Builder.add_labeled_node b ~name:"C1" "C" in
+  let b2 = Graph.Builder.add_labeled_node b ~name:"B2" "B" in
+  let c2 = Graph.Builder.add_labeled_node b ~name:"C2" "C" in
+  let a2 = Graph.Builder.add_labeled_node b ~name:"A2" "A" in
+  List.iter
+    (fun (u, v) -> ignore (Graph.Builder.add_edge b u v))
+    [ (a1, b1); (b1, c1); (b1, c2); (a1, c2); (b2, c2); (a2, b2) ];
+  Graph.Builder.build b
+
+let test_counts () =
+  let g = sample_g () in
+  Alcotest.(check int) "nodes" 6 (Graph.n_nodes g);
+  Alcotest.(check int) "edges" 6 (Graph.n_edges g)
+
+let test_adjacency () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  Alcotest.(check int) "deg A1" 2 (Graph.degree g (id "A1"));
+  Alcotest.(check int) "deg B1" 3 (Graph.degree g (id "B1"));
+  Alcotest.(check int) "deg C1" 1 (Graph.degree g (id "C1"));
+  Alcotest.(check int) "deg A2" 1 (Graph.degree g (id "A2"));
+  Alcotest.(check bool) "has A1-B1" true (Graph.has_edge g (id "A1") (id "B1"));
+  Alcotest.(check bool) "undirected symmetry" true (Graph.has_edge g (id "B1") (id "A1"));
+  Alcotest.(check bool) "no A1-A2" false (Graph.has_edge g (id "A1") (id "A2"))
+
+let test_labels () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  Alcotest.(check string) "label A1" "A" (Graph.label g (id "A1"));
+  Alcotest.(check string) "label C2" "C" (Graph.label g (id "C2"))
+
+let test_directed () =
+  let b = Graph.Builder.create ~directed:true () in
+  let x = Graph.Builder.add_labeled_node b "X" in
+  let y = Graph.Builder.add_labeled_node b "Y" in
+  ignore (Graph.Builder.add_edge b x y);
+  let g = Graph.Builder.build b in
+  Alcotest.(check bool) "x->y" true (Graph.has_edge g x y);
+  Alcotest.(check bool) "y->x absent" false (Graph.has_edge g y x);
+  Alcotest.(check int) "out-degree x" 1 (Graph.degree g x);
+  Alcotest.(check int) "in-degree y" 1 (Graph.in_degree g y);
+  Alcotest.(check int) "out-degree y" 0 (Graph.degree g y)
+
+let test_self_loop () =
+  let g = Graph.of_edges ~n:1 [ (0, 0) ] in
+  Alcotest.(check bool) "self loop present" true (Graph.has_edge g 0 0);
+  Alcotest.(check int) "listed once in adjacency" 1 (Array.length (Graph.neighbors g 0))
+
+let test_parallel_edges () =
+  let g = Graph.of_edges ~n:2 [ (0, 1); (0, 1); (1, 0) ] in
+  Alcotest.(check int) "three parallel edges" 3 (List.length (Graph.find_all_edges g 0 1))
+
+let test_induced_subgraph () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  let sub, original = Graph.induced_subgraph g [ id "A1"; id "B1"; id "C2" ] in
+  Alcotest.(check int) "3 nodes" 3 (Graph.n_nodes sub);
+  Alcotest.(check int) "3 edges (the triangle)" 3 (Graph.n_edges sub);
+  Alcotest.(check int) "original mapping size" 3 (Array.length original)
+
+let test_disjoint_union () =
+  let g1 = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let g2 = Graph.of_labeled ~labels:[| "C" |] [] in
+  let u, r1, r2 = Graph.disjoint_union g1 g2 in
+  Alcotest.(check int) "nodes" 3 (Graph.n_nodes u);
+  Alcotest.(check int) "edges" 1 (Graph.n_edges u);
+  Alcotest.(check string) "left labels kept" "A" (Graph.label u r1.(0));
+  Alcotest.(check string) "right labels kept" "C" (Graph.label u r2.(0))
+
+let test_label_histogram () =
+  let g = sample_g () in
+  let h = Graph.label_histogram g in
+  Alcotest.(check int) "A freq" 2 (Hashtbl.find h "A");
+  Alcotest.(check int) "B freq" 2 (Hashtbl.find h "B");
+  Alcotest.(check int) "C freq" 2 (Hashtbl.find h "C")
+
+let test_edge_label_histogram () =
+  let g = sample_g () in
+  let h = Graph.edge_label_histogram g in
+  Alcotest.(check int) "A-B edges" 2 (Hashtbl.find h ("A", "B"));
+  Alcotest.(check int) "B-C edges" 3 (Hashtbl.find h ("B", "C"));
+  Alcotest.(check int) "A-C edges" 1 (Hashtbl.find h ("A", "C"))
+
+let test_builder_validation () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_labeled_node b ~name:"x" "X");
+  Alcotest.check_raises "duplicate name"
+    (Invalid_argument "Graph.Builder.add_node: duplicate node name \"x\"") (fun () ->
+      ignore (Graph.Builder.add_labeled_node b ~name:"x" "X"));
+  Alcotest.check_raises "edge endpoint range"
+    (Invalid_argument "Graph.Builder.add_edge: endpoint out of range") (fun () ->
+      ignore (Graph.Builder.add_edge b 0 5))
+
+let test_equal_structure () =
+  let g1 = sample_g () and g2 = sample_g () in
+  Alcotest.(check bool) "same build equal" true (Graph.equal_structure g1 g2);
+  let g3 = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  Alcotest.(check bool) "different not equal" false (Graph.equal_structure g1 g3)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pp_roundtrip_shape () =
+  let g = sample_g () in
+  let s = Format.asprintf "%a" Graph.pp g in
+  Alcotest.(check bool) "mentions node A1" true (contains s "node A1");
+  Alcotest.(check bool) "mentions an edge" true (contains s "(A1, B1)")
+
+let suite =
+  [
+    Alcotest.test_case "node/edge counts" `Quick test_counts;
+    Alcotest.test_case "adjacency and degrees" `Quick test_adjacency;
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "directed graphs" `Quick test_directed;
+    Alcotest.test_case "self loops" `Quick test_self_loop;
+    Alcotest.test_case "parallel edges" `Quick test_parallel_edges;
+    Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+    Alcotest.test_case "disjoint union" `Quick test_disjoint_union;
+    Alcotest.test_case "label histogram" `Quick test_label_histogram;
+    Alcotest.test_case "edge label histogram" `Quick test_edge_label_histogram;
+    Alcotest.test_case "builder validation" `Quick test_builder_validation;
+    Alcotest.test_case "structural equality" `Quick test_equal_structure;
+    Alcotest.test_case "pretty printing" `Quick test_pp_roundtrip_shape;
+  ]

@@ -1,0 +1,73 @@
+open Gql_graph
+
+let triangle = Graph.of_labeled ~labels:[| "A"; "B"; "C" |] [ (0, 1); (1, 2); (2, 0) ]
+
+let test_self_embedding () =
+  Alcotest.(check int) "labeled triangle embeds once into itself" 1
+    (Iso.count_embeddings ~pattern:triangle ~target:triangle ())
+
+let test_unlabeled_automorphisms () =
+  let t = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  Alcotest.(check int) "unlabeled triangle has 6 automorphisms" 6
+    (Iso.count_embeddings ~pattern:t ~target:t ())
+
+let test_subgraph () =
+  let square_with_diag =
+    Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3); (3, 0); (0, 2) ]
+  in
+  let edge = Graph.of_edges ~n:2 [ (0, 1) ] in
+  (* 5 undirected edges, 2 orientations each *)
+  Alcotest.(check int) "edge embeddings" 10
+    (Iso.count_embeddings ~pattern:edge ~target:square_with_diag ());
+  let tri = Graph.of_edges ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  (* 2 triangles x 6 automorphisms *)
+  Alcotest.(check int) "triangles" 12
+    (Iso.count_embeddings ~pattern:tri ~target:square_with_diag ())
+
+let test_fixed () =
+  let g = Test_graph.sample_g () in
+  let tri = triangle in
+  Alcotest.(check bool) "rooted at A1 works" true
+    (Iso.exists_embedding ~fixed:[ (0, 0) ] ~pattern:tri ~target:g ());
+  Alcotest.(check bool) "rooted at A2 fails" false
+    (Iso.exists_embedding ~fixed:[ (0, 5) ] ~pattern:tri ~target:g ())
+
+let test_limit () =
+  let edge = Graph.of_edges ~n:2 [ (0, 1) ] in
+  let g = Graph.of_edges ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  Alcotest.(check int) "limit respected" 2
+    (List.length (Iso.find_embeddings ~limit:2 ~pattern:edge ~target:g ()))
+
+let test_isomorphic () =
+  let g1 = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let g2 = Graph.of_labeled ~labels:[| "B"; "A" |] [ (1, 0) ] in
+  let g3 = Graph.of_labeled ~labels:[| "A"; "B" |] [] in
+  Alcotest.(check bool) "relabeled edge iso" true (Iso.isomorphic g1 g2);
+  Alcotest.(check bool) "edge vs no edge" false (Iso.isomorphic g1 g3);
+  Alcotest.(check bool) "reflexive" true (Iso.isomorphic g1 g1)
+
+let test_directed_orientation () =
+  let p = Graph.of_edges ~directed:true ~n:2 [ (0, 1) ] in
+  let g = Graph.of_edges ~directed:true ~n:2 [ (0, 1) ] in
+  Alcotest.(check int) "one orientation only" 1
+    (Iso.count_embeddings ~pattern:p ~target:g ())
+
+let test_compat_override () =
+  let p = Graph.of_edges ~n:1 [] in
+  let g = Graph.of_labeled ~labels:[| "A"; "B"; "A" |] [] in
+  Alcotest.(check int) "custom compat restricts" 2
+    (Iso.count_embeddings
+       ~compat:(fun _ v -> Graph.label g v = "A")
+       ~pattern:p ~target:g ())
+
+let suite =
+  [
+    Alcotest.test_case "self embedding" `Quick test_self_embedding;
+    Alcotest.test_case "automorphism count" `Quick test_unlabeled_automorphisms;
+    Alcotest.test_case "subgraph embedding counts" `Quick test_subgraph;
+    Alcotest.test_case "fixed roots" `Quick test_fixed;
+    Alcotest.test_case "limit" `Quick test_limit;
+    Alcotest.test_case "isomorphism check" `Quick test_isomorphic;
+    Alcotest.test_case "directed orientation" `Quick test_directed_orientation;
+    Alcotest.test_case "compat override" `Quick test_compat_override;
+  ]

@@ -1,0 +1,72 @@
+open Gql_core
+
+let toks src = Array.to_list (Lexer.tokenize src) |> List.map fst
+
+let tok = Alcotest.testable (fun ppf t -> Format.pp_print_string ppf (Lexer.token_to_string t)) ( = )
+
+let test_keywords () =
+  Alcotest.(check (list tok)) "keywords"
+    Lexer.[ GRAPH; NODE; EDGE; UNIFY; EXPORT; AS; WHERE; FOR; EXHAUSTIVE; IN; DOC; RETURN; LET; EOF ]
+    (toks "graph node edge unify export as where for exhaustive in doc return let")
+
+let test_identifiers_vs_keywords () =
+  Alcotest.(check (list tok)) "prefixed keywords are identifiers"
+    Lexer.[ ID "graphs"; ID "nodes"; ID "_for"; ID "doc2"; EOF ]
+    (toks "graphs nodes _for doc2")
+
+let test_literals () =
+  Alcotest.(check (list tok)) "numbers and strings"
+    Lexer.[ INT 42; FLOAT 3.5; FLOAT 1e3; INT 0; STRING "hi\nthere"; TRUE; FALSE; NULL; EOF ]
+    (toks {|42 3.5 1e3 0 "hi\nthere" true false null|})
+
+let test_negative_handled_by_parser () =
+  (* '-' is an operator token; negation happens in the parser *)
+  Alcotest.(check (list tok)) "minus then int"
+    Lexer.[ MINUS; INT 7; EOF ]
+    (toks "-7")
+
+let test_operators () =
+  Alcotest.(check (list tok)) "multi-char operators"
+    Lexer.[ EQEQ; NEQ; NEQ; LE; GE; ASSIGN; EQ; LANGLE; RANGLE; EOF ]
+    (toks "== != <> <= >= := = < >")
+
+let test_punctuation () =
+  Alcotest.(check (list tok)) "punctuation"
+    Lexer.[ LBRACE; RBRACE; LPAREN; RPAREN; COMMA; SEMI; DOT; PIPE; AMP; BANG; PLUS; MINUS; STAR; SLASH; EOF ]
+    (toks "{ } ( ) , ; . | & ! + - * /")
+
+let test_comments_and_whitespace () =
+  Alcotest.(check (list tok)) "comments stripped"
+    Lexer.[ ID "a"; ID "b"; EOF ]
+    (toks "a // to end of line\n /* block \n comment */ b")
+
+let test_string_escapes () =
+  Alcotest.(check (list tok)) "escapes"
+    Lexer.[ STRING "a\"b\\c\td"; EOF ]
+    (toks {|"a\"b\\c\td"|})
+
+let test_errors () =
+  let fails s = match Lexer.tokenize s with exception Lexer.Error _ -> true | _ -> false in
+  Alcotest.(check bool) "unterminated string" true (fails "\"abc");
+  Alcotest.(check bool) "unterminated comment" true (fails "/* abc");
+  Alcotest.(check bool) "bad escape" true (fails {|"\q"|});
+  Alcotest.(check bool) "stray character" true (fails "node @")
+
+let test_offsets () =
+  let toks = Lexer.tokenize "ab  cd" in
+  Alcotest.(check int) "first offset" 0 (snd toks.(0));
+  Alcotest.(check int) "second offset" 4 (snd toks.(1))
+
+let suite =
+  [
+    Alcotest.test_case "keywords" `Quick test_keywords;
+    Alcotest.test_case "identifiers vs keywords" `Quick test_identifiers_vs_keywords;
+    Alcotest.test_case "literals" `Quick test_literals;
+    Alcotest.test_case "negative numbers" `Quick test_negative_handled_by_parser;
+    Alcotest.test_case "operators" `Quick test_operators;
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+    Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "lexical errors" `Quick test_errors;
+    Alcotest.test_case "byte offsets" `Quick test_offsets;
+  ]

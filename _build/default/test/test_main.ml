@@ -1,0 +1,33 @@
+let () =
+  Alcotest.run "graphql-repro"
+    [
+      ("value", Test_value.suite);
+      ("tuple", Test_tuple.suite);
+      ("pred", Test_pred.suite);
+      ("lexer", Test_lexer.suite);
+      ("graph", Test_graph.suite);
+      ("iso", Test_iso.suite);
+      ("btree", Test_btree.suite);
+      ("profile", Test_profile.suite);
+      ("bipartite", Test_bipartite.suite);
+      ("matcher", Test_matcher.suite);
+      ("parser", Test_parser.suite);
+      ("motif", Test_motif.suite);
+      ("algebra", Test_algebra.suite);
+      ("eval", Test_eval.suite);
+      ("datasets", Test_datasets.suite);
+      ("sqlsim", Test_sqlsim.suite);
+      ("cq-planner", Test_cq_planner.suite);
+      ("datalog", Test_datalog.suite);
+      ("matched", Test_matched.suite);
+      ("template", Test_template.suite);
+      ("recursive", Test_recursive.suite);
+      ("laws", Test_roundtrip.suite);
+      ("storage", Test_storage.suite);
+      ("aggregate", Test_aggregate.suite);
+      ("parallel", Test_parallel.suite);
+      ("path-index", Test_path_index.suite);
+      ("plan", Test_plan.suite);
+      ("reachability", Test_reachability.suite);
+      ("transform", Test_transform.suite);
+    ]

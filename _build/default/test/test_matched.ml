@@ -1,0 +1,93 @@
+open Gql_core
+open Gql_graph
+
+let setup () =
+  let g = Test_graph.sample_g () in
+  let p =
+    Gql.pattern_of_string
+      {|graph P {
+          node x where label="A";
+          node y where label="B";
+          edge e (x, y);
+        }|}
+  in
+  let matches = Gql_matcher.Engine.run p g in
+  let phi = List.hd matches.Gql_matcher.Engine.outcome.Gql_matcher.Search.mappings in
+  (g, Matched.make p g phi)
+
+let test_node_access () =
+  let g, m = setup () in
+  (match Matched.node m "x" with
+  | Some v -> Alcotest.(check string) "x is an A node" "A" (Graph.label g v)
+  | None -> Alcotest.fail "x unbound");
+  Alcotest.(check bool) "unknown var" true (Matched.node m "zz" = None);
+  match Matched.node_tuple m "y" with
+  | Some t -> Alcotest.(check string) "y label" "B" (Tuple.label t)
+  | None -> Alcotest.fail "y unbound"
+
+let test_edge_access () =
+  let g, m = setup () in
+  match Matched.edge m "e" with
+  | Some ge ->
+    let e = Graph.edge g ge in
+    Alcotest.(check bool) "endpoints are the bound nodes" true
+      (let x = Option.get (Matched.node m "x") and y = Option.get (Matched.node m "y") in
+       (e.Graph.src = x && e.Graph.dst = y) || (e.Graph.src = y && e.Graph.dst = x))
+  | None -> Alcotest.fail "edge e unbound"
+
+let test_env () =
+  let _, m = setup () in
+  let env = Matched.env m in
+  Alcotest.(check bool) "x.label" true
+    Pred.(holds env (path [ "x"; "label" ] = str "A"));
+  Alcotest.(check bool) "y.label" true
+    Pred.(holds env (path [ "y"; "label" ] = str "B"));
+  Alcotest.(check bool) "cross" true
+    Pred.(holds env (path [ "x"; "label" ] <> path [ "y"; "label" ]))
+
+let test_env_dotted_names () =
+  (* nested motif variables carry dotted names like R.het *)
+  let ring = Gql.parse_graph_decl {|graph R { node a where label="A"; }|} in
+  let p =
+    match
+      Gql_core.Motif.flat_patterns
+        ~defs:(Gql_core.Motif.defs_of_list [ ("R", ring) ])
+        (Gql.parse_graph_decl {|graph P { graph R as X; node b where label="B"; edge e (X.a, b); }|})
+      |> List.of_seq
+    with
+    | [ p ] -> p
+    | _ -> Alcotest.fail "one derivation expected"
+  in
+  let g = Test_graph.sample_g () in
+  let r = Gql_matcher.Engine.run p g in
+  match r.Gql_matcher.Engine.outcome.Gql_matcher.Search.mappings with
+  | phi :: _ ->
+    let m = Matched.make p g phi in
+    let env = Matched.env m in
+    Alcotest.(check bool) "X.a.label resolves through the dotted name" true
+      Pred.(holds env (path [ "X"; "a"; "label" ] = str "A"))
+  | [] -> Alcotest.fail "no match"
+
+let test_to_graph () =
+  let _, m = setup () in
+  let mg = Matched.to_graph m in
+  Alcotest.(check int) "two nodes" 2 (Graph.n_nodes mg);
+  Alcotest.(check int) "one edge" 1 (Graph.n_edges mg);
+  Alcotest.(check (option int)) "named by pattern vars" (Some 0)
+    (Graph.node_by_name mg "x");
+  Alcotest.(check string) "carries the data tuple" "A"
+    (Graph.label mg (Option.get (Graph.node_by_name mg "x")))
+
+let test_same_binding () =
+  let _, m = setup () in
+  Alcotest.(check bool) "reflexive" true (Matched.same_binding m m)
+
+let suite =
+  [
+    Alcotest.test_case "node access by variable" `Quick test_node_access;
+    Alcotest.test_case "edge access by variable" `Quick test_edge_access;
+    Alcotest.test_case "predicate environment" `Quick test_env;
+    Alcotest.test_case "dotted nested-motif names" `Quick test_env_dotted_names;
+    Alcotest.test_case "materialized matched subgraph" `Quick test_to_graph;
+    Alcotest.test_case "same_binding" `Quick test_same_binding;
+  ]

@@ -1,0 +1,56 @@
+open Gql_matcher
+open Gql_datasets
+
+let test_parallel_equals_sequential () =
+  let g = Synthetic.erdos_renyi (Rng.create 21) ~n:500 ~m:2500 ~n_labels:8 in
+  let idx = Gql_index.Label_index.build g in
+  let labels = Gql_index.Label_index.top_frequent idx 4 in
+  let rng = Rng.create 22 in
+  for size = 2 to 4 do
+    let p = Queries.clique rng ~labels ~size in
+    let seq = Engine.count_matches p g in
+    List.iter
+      (fun domains ->
+        Alcotest.(check int)
+          (Printf.sprintf "size %d, %d domains" size domains)
+          seq
+          (Parallel.count_matches ~domains p g))
+      [ 1; 2; 4 ]
+  done
+
+let test_parallel_search_partition () =
+  let g = Test_graph.sample_g () in
+  let p = Flat_pattern.clique [ "A"; "B"; "C" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let out = Parallel.search ~domains:3 p g space in
+  Alcotest.(check int) "one triangle found in parallel" 1 out.Search.n_found;
+  Alcotest.(check bool) "complete" true out.Search.complete
+
+let test_empty_space () =
+  let g = Test_graph.sample_g () in
+  let p = Flat_pattern.clique [ "Z"; "Z" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let out = Parallel.search ~domains:4 p g space in
+  Alcotest.(check int) "no matches" 0 out.Search.n_found
+
+let prop_parallel_matches_oracle =
+  QCheck.Test.make ~name:"parallel search = sequential on random inputs" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:8)
+           (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (g, pg) ->
+      let p = Flat_pattern.of_graph pg in
+      let space = Feasible.compute ~retrieval:`Node_attrs p g in
+      let seq = (Search.run p g space).Search.n_found in
+      let par = (Parallel.search ~domains:3 p g space).Search.n_found in
+      seq = par)
+
+let suite =
+  [
+    Alcotest.test_case "parallel = sequential counts" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "partitioned search" `Quick test_parallel_search_partition;
+    Alcotest.test_case "empty candidate space" `Quick test_empty_space;
+    QCheck_alcotest.to_alcotest prop_parallel_matches_oracle;
+  ]

@@ -1,0 +1,163 @@
+open Gql_core
+
+let test_simple_graph () =
+  (* Figure 4.3 *)
+  let g =
+    Gql.graph_of_string
+      "graph G1 { node v1, v2, v3; edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1); }"
+  in
+  Alcotest.(check int) "3 nodes" 3 (Gql_graph.Graph.n_nodes g);
+  Alcotest.(check int) "3 edges" 3 (Gql_graph.Graph.n_edges g);
+  Alcotest.(check (option string)) "graph name" (Some "G1") (Gql_graph.Graph.name g);
+  Alcotest.(check (option int)) "node lookup" (Some 0)
+    (Gql_graph.Graph.node_by_name g "v1");
+  Alcotest.(check (option int)) "edge lookup" (Some 2)
+    (Gql_graph.Graph.edge_by_name g "e3")
+
+let test_attributes () =
+  (* Figure 4.7 *)
+  let g =
+    Gql.graph_of_string
+      {|graph G <inproceedings> {
+          node v1 <title="Title1", year=2006>;
+          node v2 <author name="A">;
+          node v3 <author name="B">;
+        };|}
+  in
+  Alcotest.(check int) "no edges" 0 (Gql_graph.Graph.n_edges g);
+  Alcotest.(check (option string)) "graph tag" (Some "inproceedings")
+    (Gql_graph.Tuple.tag (Gql_graph.Graph.tuple g));
+  let t1 = Gql_graph.Graph.node_tuple g 0 in
+  Alcotest.(check bool) "title attr" true
+    (Gql_graph.Tuple.get t1 "title" = Gql_graph.Value.Str "Title1");
+  Alcotest.(check bool) "year attr" true
+    (Gql_graph.Tuple.get t1 "year" = Gql_graph.Value.Int 2006);
+  let t2 = Gql_graph.Graph.node_tuple g 1 in
+  Alcotest.(check (option string)) "author tag" (Some "author") (Gql_graph.Tuple.tag t2)
+
+let test_pattern_where_forms () =
+  (* Figure 4.8: the two equivalent forms *)
+  let p1 =
+    Gql.pattern_of_string
+      {|graph P { node v1; node v2; } where v1.name="A" & v2.year>2000|}
+  in
+  let p2 =
+    Gql.pattern_of_string
+      {|graph P { node v1 where name="A"; node v2 where year>2000; }|}
+  in
+  let g =
+    Gql.graph_of_string
+      {|graph G { node a <name="A">; node b <year=2006>; }|}
+  in
+  Alcotest.(check int) "form 1 matches" 1
+    (List.length (Gql.find_matches ~pattern:"graph P { node v1; node v2; } where v1.name=\"A\" & v2.year>2000" g));
+  ignore p1;
+  ignore p2;
+  let count p =
+    let patterns = [ p ] in
+    List.length (Algebra.select ~patterns [ Algebra.G g ])
+  in
+  Alcotest.(check int) "both forms equal" (count p1) (count p2)
+
+let test_expression_precedence () =
+  let open Gql_graph.Pred in
+  let e = Parser.expression "a.x + 2 * 3 == 7 & b.y > 1 | c.z < 0" in
+  (* | binds loosest *)
+  match e with
+  | Binop (Or, Binop (And, Binop (Eq, Binop (Add, _, Binop (Mul, _, _)), _), _), _) ->
+    ()
+  | _ -> Alcotest.fail "unexpected parse tree"
+
+let test_parse_errors () =
+  let fails s =
+    match Gql.parse_program s with
+    | exception Gql.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unclosed brace" true (fails "graph G { node v1;");
+  Alcotest.(check bool) "bad token" true (fails "graph G { node $v; }");
+  Alcotest.(check bool) "unify arity" true (fails "graph G { node a; unify a; }");
+  Alcotest.(check bool) "trailing garbage" true (fails "graph G { } extra");
+  Alcotest.(check bool) "unterminated string" true (fails "graph G <x=\"oops> { }")
+
+let test_error_position () =
+  match Gql.parse_program "graph G {\n  node v1;\n  oops;\n}" with
+  | exception Gql.Error msg ->
+    Alcotest.(check bool) "mentions line 3" true
+      (Test_graph.contains msg "3:")
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_comments () =
+  let g =
+    Gql.graph_of_string
+      "graph G { // line comment\n node v1; /* block\n comment */ node v2; }"
+  in
+  Alcotest.(check int) "comments skipped" 2 (Gql_graph.Graph.n_nodes g)
+
+let test_flwr_parse () =
+  let prog =
+    Gql.parse_program
+      {|graph P { node v1 <author>; node v2 <author>; } where P.booktitle="SIGMOD";
+        C := graph {};
+        for P exhaustive in doc("DBLP")
+        let C := graph {
+          graph C;
+          node P.v1, P.v2;
+          edge e1 (P.v1, P.v2);
+          unify P.v1, C.v1 where P.v1.name=C.v1.name;
+          unify P.v2, C.v2 where P.v2.name=C.v2.name;
+        }|}
+  in
+  Alcotest.(check int) "three statements" 3 (List.length prog);
+  match prog with
+  | [ Ast.Sgraph g; Ast.Sassign ("C", _); Ast.Sflwr f ] ->
+    Alcotest.(check (option string)) "pattern name" (Some "P") g.Ast.g_name;
+    Alcotest.(check bool) "exhaustive" true f.Ast.f_exhaustive;
+    Alcotest.(check string) "source" "DBLP" f.Ast.f_source;
+    (match f.Ast.f_body with
+    | Ast.Let ("C", Ast.Tgraph body) ->
+      Alcotest.(check int) "template members" 5 (List.length body.Ast.g_members)
+    | _ -> Alcotest.fail "expected let body")
+  | _ -> Alcotest.fail "unexpected statement shapes"
+
+let test_pp_parse_roundtrip () =
+  let src =
+    {|graph P { node v1 <author name="A">; node v2; edge e1 (v1, v2); } where v2.year > 2000|}
+  in
+  let d1 = Gql.parse_graph_decl src in
+  let printed = Format.asprintf "%a" Ast.pp_graph_decl d1 in
+  let d2 = Gql.parse_graph_decl printed in
+  let p1 = Format.asprintf "%a" Ast.pp_graph_decl d2 in
+  Alcotest.(check string) "pp . parse . pp is stable" printed p1
+
+let test_disjunction_parse () =
+  (* Figure 4.5 *)
+  let d =
+    Gql.parse_graph_decl
+      {|graph G4 {
+          node v1, v2;
+          edge e1 (v1, v2);
+          { node v3; edge e2 (v1, v3); edge e3 (v2, v3); }
+          | { node v3, v4; edge e2 (v1, v3); edge e3 (v2, v4); edge e4 (v3, v4); };
+        }|}
+  in
+  match d.Ast.g_members with
+  | [ _; _; Ast.Alt [ b1; b2 ] ] ->
+    (* each node/edge statement is one member *)
+    Alcotest.(check int) "branch 1" 3 (List.length b1);
+    Alcotest.(check int) "branch 2" 4 (List.length b2)
+  | _ -> Alcotest.fail "expected an Alt member"
+
+let suite =
+  [
+    Alcotest.test_case "simple graph motif (Fig 4.3)" `Quick test_simple_graph;
+    Alcotest.test_case "attributed graph (Fig 4.7)" `Quick test_attributes;
+    Alcotest.test_case "where forms (Fig 4.8)" `Quick test_pattern_where_forms;
+    Alcotest.test_case "expression precedence" `Quick test_expression_precedence;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error positions" `Quick test_error_position;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "FLWR parse (Fig 4.12)" `Quick test_flwr_parse;
+    Alcotest.test_case "pretty-print round trip" `Quick test_pp_parse_roundtrip;
+    Alcotest.test_case "disjunction parse (Fig 4.5)" `Quick test_disjunction_parse;
+  ]

@@ -1,0 +1,95 @@
+open Gql_graph
+open Gql_index
+
+let compounds = lazy (Array.of_list (Gql_datasets.Chem.generate ~n_compounds:120 ()))
+
+let test_features () =
+  (* path A-B: features A, B, A/B *)
+  let g = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let fs = Path_index.features_of_graph ~max_len:2 g in
+  Alcotest.(check (list (pair string int)))
+    "features of an edge"
+    [ ("A", 1); ("A/B", 1); ("B", 1) ]
+    fs
+
+let test_feature_counts () =
+  (* star A(-B)(-B): B appears twice, A/B twice *)
+  let g = Graph.of_labeled ~labels:[| "A"; "B"; "B" |] [ (0, 1); (0, 2) ] in
+  let fs = Path_index.features_of_graph ~max_len:1 g in
+  Alcotest.(check (list (pair string int)))
+    "multiplicities"
+    [ ("A", 1); ("A/B", 2); ("B", 2) ]
+    fs
+
+let test_triangle_paths () =
+  let g = Graph.of_labeled ~labels:[| "A"; "B"; "C" |] [ (0, 1); (1, 2); (2, 0) ] in
+  let fs = Path_index.features_of_graph ~max_len:2 g in
+  (* 3 nodes, 3 edges, 3 two-edge paths *)
+  Alcotest.(check int) "feature kinds" 9 (List.length fs);
+  Alcotest.(check int) "total paths" 9
+    (List.fold_left (fun a (_, c) -> a + c) 0 fs)
+
+let test_filter_soundness () =
+  let graphs = Lazy.force compounds in
+  let idx = Path_index.build ~max_len:3 graphs in
+  let pattern =
+    (Gql_datasets.Chem.benzene_like () : Graph.t)
+  in
+  let cands = Path_index.candidates idx pattern in
+  (* every graph actually containing the pattern must be a candidate *)
+  let p = Gql_matcher.Flat_pattern.of_graph pattern in
+  Array.iteri
+    (fun id g ->
+      if Gql_matcher.Engine.count_matches ~limit:1 p g > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "true match %d survives filtering" id)
+          true (List.mem id cands))
+    graphs
+
+let test_filter_prunes () =
+  let graphs = Lazy.force compounds in
+  let idx = Path_index.build ~max_len:3 graphs in
+  (* an implausible pattern: a path of four sulfurs *)
+  let pattern = Graph.of_labeled ~labels:[| "S"; "S"; "S"; "S" |] [ (0, 1); (1, 2); (2, 3) ] in
+  let ratio = Path_index.filter_ratio idx pattern in
+  Alcotest.(check bool) "filters most graphs" true (ratio < 0.5)
+
+let test_wildcards_not_filtered () =
+  let graphs = Lazy.force compounds in
+  let idx = Path_index.build ~max_len:2 graphs in
+  let pattern = Graph.of_edges ~n:2 [ (0, 1) ] in
+  (* unlabeled pattern: no features, no filtering *)
+  Alcotest.(check int) "all graphs candidates"
+    (Array.length graphs)
+    (List.length (Path_index.candidates idx pattern))
+
+let prop_filter_sound =
+  QCheck.Test.make ~name:"path-index filtering never drops a containing graph"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 10) (Test_matcher.gen_labeled_graph ~max_n:7))
+           (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (graphs, pg) ->
+      let graphs = Array.of_list graphs in
+      let idx = Path_index.build ~max_len:2 graphs in
+      let cands = Path_index.candidates idx pg in
+      let p = Gql_matcher.Flat_pattern.of_graph pg in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun id g ->
+             Gql_matcher.Engine.count_matches ~limit:1 p g = 0 || List.mem id cands)
+           graphs))
+
+let suite =
+  [
+    Alcotest.test_case "path features" `Quick test_features;
+    Alcotest.test_case "feature multiplicities" `Quick test_feature_counts;
+    Alcotest.test_case "triangle paths" `Quick test_triangle_paths;
+    Alcotest.test_case "filtering is sound on compounds" `Quick test_filter_soundness;
+    Alcotest.test_case "filtering prunes" `Quick test_filter_prunes;
+    Alcotest.test_case "wildcard patterns skip filtering" `Quick
+      test_wildcards_not_filtered;
+    QCheck_alcotest.to_alcotest prop_filter_sound;
+  ]

@@ -1,0 +1,90 @@
+open Gql_graph
+
+let tuple_env attrs = Pred.env_of_tuple (Tuple.make attrs)
+
+let test_holds_basic () =
+  let env = tuple_env [ ("name", Value.Str "A"); ("year", Value.Int 2006) ] in
+  Alcotest.(check bool) "eq" true Pred.(holds env (attr "name" = str "A"));
+  Alcotest.(check bool) "gt" true Pred.(holds env (attr "year" > int 2000));
+  Alcotest.(check bool) "lt false" false Pred.(holds env (attr "year" < int 2000));
+  Alcotest.(check bool) "conj" true
+    Pred.(holds env (attr "name" = str "A" && attr "year" >= int 2006));
+  Alcotest.(check bool) "disj" true
+    Pred.(holds env (attr "name" = str "B" || attr "year" > int 2000));
+  Alcotest.(check bool) "not" true Pred.(holds env (Not (attr "name" = str "B")))
+
+let test_missing_attr_false () =
+  let env = tuple_env [ ("x", Value.Int 1) ] in
+  Alcotest.(check bool) "missing = is false" false Pred.(holds env (attr "y" = int 1));
+  Alcotest.(check bool) "missing < is false" false Pred.(holds env (attr "y" < int 1));
+  Alcotest.(check bool) "missing != is true" true Pred.(holds env (attr "y" <> int 1))
+
+let test_type_error_false () =
+  let env = tuple_env [ ("x", Value.Str "s") ] in
+  Alcotest.(check bool) "arith on string does not hold" false
+    Pred.(holds env (Binop (Add, attr "x", int 1) > int 0))
+
+let test_arith_eval () =
+  let env = tuple_env [ ("a", Value.Int 3); ("b", Value.Int 4) ] in
+  Alcotest.(check bool) "a + b == 7" true
+    Pred.(holds env (Binop (Add, attr "a", attr "b") = int 7));
+  Alcotest.(check bool) "a * b > 10" true
+    Pred.(holds env (Binop (Mul, attr "a", attr "b") > int 10))
+
+let test_scope () =
+  let env =
+    Pred.env_scope
+      [
+        ("v1", tuple_env [ ("name", Value.Str "A") ]);
+        ("v2", tuple_env [ ("name", Value.Str "B") ]);
+      ]
+  in
+  Alcotest.(check bool) "v1.name" true Pred.(holds env (path [ "v1"; "name" ] = str "A"));
+  Alcotest.(check bool) "v2.name" true Pred.(holds env (path [ "v2"; "name" ] = str "B"));
+  Alcotest.(check bool) "cross compare" true
+    Pred.(holds env (path [ "v1"; "name" ] <> path [ "v2"; "name" ]))
+
+let test_conjuncts () =
+  let p = Pred.(attr "a" = int 1 && (attr "b" = int 2 && attr "c" = int 3)) in
+  Alcotest.(check int) "3 conjuncts" 3 (List.length (Pred.conjuncts p));
+  Alcotest.(check int) "true is empty" 0 (List.length (Pred.conjuncts Pred.True))
+
+let test_split_by_root () =
+  let p =
+    Pred.(
+      path [ "v1"; "name" ] = str "A"
+      && path [ "v2"; "year" ] > int 2000
+      && path [ "v1"; "name" ] <> path [ "v2"; "name" ])
+  in
+  let per_var, residual = Pred.split_by_root ~vars:[ "v1"; "v2" ] p in
+  Alcotest.(check int) "two pushed" 2 (List.length per_var);
+  let v1p = List.assoc "v1" per_var in
+  Alcotest.(check bool) "v1 pred stripped" true
+    (Pred.equal v1p Pred.(attr "name" = str "A"));
+  Alcotest.(check bool) "residual kept" false (Pred.equal residual Pred.True);
+  Alcotest.(check (list string)) "residual roots" [ "v1"; "v2" ] (Pred.roots residual)
+
+let test_strip_add_prefix () =
+  let p = Pred.(path [ "v1"; "name" ] = str "A") in
+  let stripped = Pred.strip_prefix "v1" p in
+  Alcotest.(check bool) "stripped" true (Pred.equal stripped Pred.(attr "name" = str "A"));
+  Alcotest.(check bool) "roundtrip" true (Pred.equal (Pred.add_prefix "v1" stripped) p)
+
+let test_null_comparisons () =
+  let env = tuple_env [] in
+  (* get of missing attr inside tuple env yields Null, not Unresolved *)
+  Alcotest.(check bool) "null == null" true Pred.(holds env (attr "x" = attr "y"));
+  Alcotest.(check bool) "null < int false" false Pred.(holds env (attr "x" < int 5))
+
+let suite =
+  [
+    Alcotest.test_case "basic evaluation" `Quick test_holds_basic;
+    Alcotest.test_case "missing attribute never holds" `Quick test_missing_attr_false;
+    Alcotest.test_case "type errors never hold" `Quick test_type_error_false;
+    Alcotest.test_case "arithmetic in predicates" `Quick test_arith_eval;
+    Alcotest.test_case "scoped paths" `Quick test_scope;
+    Alcotest.test_case "conjunct flattening" `Quick test_conjuncts;
+    Alcotest.test_case "predicate pushdown split" `Quick test_split_by_root;
+    Alcotest.test_case "prefix strip/add" `Quick test_strip_add_prefix;
+    Alcotest.test_case "null comparisons" `Quick test_null_comparisons;
+  ]

@@ -1,0 +1,87 @@
+open Gql_graph
+
+let sample_g = Test_graph.sample_g
+
+let profile_string g v ~r =
+  let idx = Gql_index.Profile_index.build ~r g in
+  Format.asprintf "%a" Profile.pp (Gql_index.Profile_index.profile idx v)
+
+(* Figure 4.17: neighborhood profiles of radius 1 *)
+let test_figure_4_17_profiles () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  let p n = profile_string g (id n) ~r:1 in
+  Alcotest.(check string) "A1" "ABC" (p "A1");
+  Alcotest.(check string) "A2" "AB" (p "A2");
+  Alcotest.(check string) "B1" "ABCC" (p "B1");
+  Alcotest.(check string) "B2" "ABC" (p "B2");
+  Alcotest.(check string) "C1" "BC" (p "C1");
+  Alcotest.(check string) "C2" "ABBC" (p "C2")
+
+let test_radius_0 () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  Alcotest.(check string) "degenerates to the node" "A" (profile_string g (id "A1") ~r:0)
+
+let test_radius_2_covers_more () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  (* radius 2 from C1 reaches B1's neighbors *)
+  let nodes = Neighborhood.nodes_within g (id "C1") ~r:2 in
+  Alcotest.(check int) "ball size" 4 (List.length nodes)
+
+let test_neighborhood_subgraph () =
+  let g = sample_g () in
+  let id n = Option.get (Graph.node_by_name g n) in
+  let nbh = Neighborhood.make g (id "A1") ~r:1 in
+  Alcotest.(check int) "A1 ball has 3 nodes" 3 (Graph.n_nodes nbh.Neighborhood.graph);
+  Alcotest.(check int) "A1 ball is a triangle" 3 (Graph.n_edges nbh.Neighborhood.graph);
+  Alcotest.(check string) "center is A1" "A"
+    (Graph.label nbh.Neighborhood.graph nbh.Neighborhood.center);
+  Alcotest.(check int) "original maps center back" (id "A1")
+    nbh.Neighborhood.original.(nbh.Neighborhood.center)
+
+let test_containment () =
+  let c = Profile.contains in
+  let p l = Profile.of_labels l in
+  Alcotest.(check bool) "subset" true (c ~big:(p [ "A"; "B"; "C" ]) ~small:(p [ "A"; "C" ]));
+  Alcotest.(check bool) "multiset counts matter" false
+    (c ~big:(p [ "A"; "B" ]) ~small:(p [ "A"; "A" ]));
+  Alcotest.(check bool) "equal" true (c ~big:(p [ "A"; "B" ]) ~small:(p [ "A"; "B" ]));
+  Alcotest.(check bool) "empty contained" true (c ~big:(p []) ~small:(p []));
+  Alcotest.(check bool) "bigger not contained" false
+    (c ~big:(p [ "A" ]) ~small:(p [ "A"; "B" ]))
+
+let prop_containment_reflexive =
+  QCheck.Test.make ~name:"profile containment is reflexive and monotone" ~count:200
+    QCheck.(list (string_of_size (QCheck.Gen.return 1)))
+    (fun labels ->
+      let p = Profile.of_labels labels in
+      let smaller =
+        Profile.of_labels (List.filteri (fun i _ -> i mod 2 = 0) labels)
+      in
+      Profile.contains ~big:p ~small:p && Profile.contains ~big:p ~small:smaller)
+
+let test_label_index () =
+  let g = sample_g () in
+  let idx = Gql_index.Label_index.build g in
+  Alcotest.(check int) "distinct labels" 3 (Gql_index.Label_index.distinct_labels idx);
+  Alcotest.(check int) "A freq" 2 (Gql_index.Label_index.frequency idx "A");
+  Alcotest.(check int) "unknown freq" 0 (Gql_index.Label_index.frequency idx "Z");
+  Alcotest.(check (list int)) "A nodes ascending" [ 0; 5 ]
+    (Gql_index.Label_index.nodes_with_label idx "A");
+  Alcotest.(check (list string)) "top-2 frequent" [ "A"; "B" ]
+    (Gql_index.Label_index.top_frequent idx 2);
+  Alcotest.(check int) "range scan" 2
+    (List.length (Gql_index.Label_index.range idx ~lo:"A" ~hi:"B"))
+
+let suite =
+  [
+    Alcotest.test_case "Figure 4.17 profiles" `Quick test_figure_4_17_profiles;
+    Alcotest.test_case "radius 0" `Quick test_radius_0;
+    Alcotest.test_case "radius 2" `Quick test_radius_2_covers_more;
+    Alcotest.test_case "neighborhood subgraph" `Quick test_neighborhood_subgraph;
+    Alcotest.test_case "multiset containment" `Quick test_containment;
+    QCheck_alcotest.to_alcotest prop_containment_reflexive;
+    Alcotest.test_case "label index" `Quick test_label_index;
+  ]

@@ -1,0 +1,96 @@
+(* Cross-cutting laws: the textual format round-trips, and the three
+   independent matching implementations (optimized matcher, SQL plan,
+   Datalog translation) agree on random inputs. *)
+
+open Gql_core
+open Gql_graph
+
+let prop_text_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip preserves structure" ~count:100
+    (QCheck.make
+       (Test_matcher.gen_labeled_graph ~max_n:8)
+       ~print:(fun g -> Format.asprintf "%a" Graph.pp g))
+    (fun g ->
+      let text = Format.asprintf "%a" Graph.pp g in
+      let g' = Gql.graph_of_string text in
+      Graph.equal_structure g g')
+
+let prop_roundtrip_with_attributes =
+  QCheck.Test.make ~name:"round-trip keeps node attributes" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:6) (int_range 0 1000)))
+    (fun (g, salt) ->
+      let g =
+        Graph.map_node_tuples g ~f:(fun v t ->
+            Tuple.set (Tuple.set t "idx" (Value.Int (v + salt))) "note"
+              (Value.Str (Printf.sprintf "n-%d" v)))
+      in
+      let g' = Gql.graph_of_string (Format.asprintf "%a" Graph.pp g) in
+      Graph.equal_structure g g')
+
+let prop_three_engines_agree =
+  QCheck.Test.make
+    ~name:"matcher = SQL plan = Datalog translation on random graphs" ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:7)
+           (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (g, pg) ->
+      let p = Gql_matcher.Flat_pattern.of_graph pg in
+      let matcher = Gql_matcher.Engine.count_matches p g in
+      let sql, complete =
+        Gql_sqlsim.Graphplan.count_matches (Gql_sqlsim.Graphplan.db_of_graph g) p
+      in
+      let datalog = Gql_datalog.Translate.count_matches g p in
+      complete && matcher = sql && matcher = datalog)
+
+let prop_select_first_subset_of_exhaustive =
+  QCheck.Test.make ~name:"non-exhaustive selection is a sub-multiset" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:7)
+           (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (g, pg) ->
+      let p = Gql_matcher.Flat_pattern.of_graph pg in
+      let all = Algebra.select ~patterns:[ p ] [ Algebra.G g ] in
+      let one = Algebra.select ~exhaustive:false ~patterns:[ p ] [ Algebra.G g ] in
+      List.length one <= 1
+      && (all = [] || List.length one = 1)
+      && List.length one <= List.length all)
+
+let prop_refined_subset_of_initial =
+  QCheck.Test.make ~name:"refinement only shrinks candidate sets" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:8)
+           (Test_matcher.gen_labeled_graph ~max_n:4)))
+    (fun (g, pg) ->
+      let p = Gql_matcher.Flat_pattern.of_graph pg in
+      let space = Gql_matcher.Feasible.compute ~retrieval:`Node_attrs p g in
+      let refined, _ = Gql_matcher.Refine.refine p g space in
+      Array.for_all2
+        (fun r s -> List.for_all (fun v -> List.mem v s) r)
+        refined.Gql_matcher.Feasible.candidates space.Gql_matcher.Feasible.candidates)
+
+let prop_btree_height_logarithmic =
+  QCheck.Test.make ~name:"btree height stays logarithmic" ~count:30
+    QCheck.(int_range 100 2000)
+    (fun n ->
+      let module T = Gql_index.Btree.Make (Int) in
+      let t = ref (T.empty ~degree:8 ()) in
+      for i = 0 to n - 1 do
+        t := T.add i i !t
+      done;
+      (* with degree 8 every node holds >= 7 keys below the root *)
+      T.height !t <= 2 + int_of_float (Float.log (float_of_int n) /. Float.log 8.0))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_text_roundtrip;
+    QCheck_alcotest.to_alcotest prop_roundtrip_with_attributes;
+    QCheck_alcotest.to_alcotest prop_three_engines_agree;
+    QCheck_alcotest.to_alcotest prop_select_first_subset_of_exhaustive;
+    QCheck_alcotest.to_alcotest prop_refined_subset_of_initial;
+    QCheck_alcotest.to_alcotest prop_btree_height_logarithmic;
+  ]

@@ -1,0 +1,119 @@
+open Gql_graph
+open Gql_sqlsim
+
+let test_rel_basics () =
+  let db = Rel.create_db () in
+  Rel.create_table db "T" ~columns:[ "a"; "b" ];
+  Rel.insert db "T" [| Value.Int 1; Value.Str "x" |];
+  Rel.insert db "T" [| Value.Int 2; Value.Str "y" |];
+  Rel.insert db "T" [| Value.Int 1; Value.Str "z" |];
+  let t = Rel.table db "T" in
+  Alcotest.(check int) "cardinality" 3 (Rel.cardinality t);
+  Alcotest.(check int) "index lookup" 2
+    (List.length (Rel.index_lookup t ~column:"a" (Value.Int 1)));
+  Alcotest.(check int) "distinct a" 2 (Rel.index_distinct t ~column:"a");
+  Alcotest.(check int) "distinct b" 3 (Rel.index_distinct t ~column:"b");
+  Alcotest.(check int) "missing key" 0
+    (List.length (Rel.index_lookup t ~column:"a" (Value.Int 9)))
+
+let test_cq_join () =
+  let db = Rel.create_db () in
+  Rel.create_table db "R" ~columns:[ "x"; "y" ];
+  Rel.create_table db "S" ~columns:[ "y"; "z" ];
+  List.iter (fun (x, y) -> Rel.insert db "R" [| Value.Int x; Value.Int y |])
+    [ (1, 10); (2, 20); (3, 10) ];
+  List.iter (fun (y, z) -> Rel.insert db "S" [| Value.Int y; Value.Int z |])
+    [ (10, 100); (20, 200); (30, 300) ];
+  let q =
+    {
+      Cq.froms = [ ("r", "R"); ("s", "S") ];
+      preds = [ Cq.Eq_join (("r", "y"), ("s", "y")) ];
+      select = [ ("r", "x"); ("s", "z") ];
+    }
+  in
+  let o = Cq.execute db q in
+  Alcotest.(check int) "3 join rows" 3 o.Cq.n_rows;
+  Alcotest.(check bool) "complete" true o.Cq.complete
+
+let test_cq_filters_and_limit () =
+  let db = Rel.create_db () in
+  Rel.create_table db "R" ~columns:[ "x" ];
+  for i = 1 to 100 do
+    Rel.insert db "R" [| Value.Int i |]
+  done;
+  let q const =
+    {
+      Cq.froms = [ ("a", "R"); ("b", "R") ];
+      preds =
+        [ Cq.Eq_const (("a", "x"), Value.Int const);
+          Cq.Neq_join (("a", "x"), ("b", "x")) ];
+      select = [ ("a", "x"); ("b", "x") ];
+    }
+  in
+  let o = Cq.execute db (q 5) in
+  Alcotest.(check int) "99 pairs" 99 o.Cq.n_rows;
+  let o = Cq.execute ~limit:10 db (q 5) in
+  Alcotest.(check int) "limit" 10 o.Cq.n_rows;
+  Alcotest.(check bool) "incomplete" false o.Cq.complete
+
+let sample_g = Test_graph.sample_g
+
+let test_figure_4_2 () =
+  (* the SQL query of Figure 4.2 over the Figure 4.1 graph: one triangle,
+     found as one ordered (V1,V2,V3) assignment per the fixed labels *)
+  let g = sample_g () in
+  let db = Graphplan.db_of_graph g in
+  let v = Rel.table db "V" and e = Rel.table db "E" in
+  Alcotest.(check int) "V rows" 6 (Rel.cardinality v);
+  Alcotest.(check int) "E rows (both orientations)" 12 (Rel.cardinality e);
+  let p = Gql_matcher.Flat_pattern.clique [ "A"; "B"; "C" ] in
+  let n, complete = Graphplan.count_matches db p in
+  Alcotest.(check int) "one match" 1 n;
+  Alcotest.(check bool) "complete" true complete;
+  match Graphplan.find_matches db p with
+  | [ phi ] -> Alcotest.(check (list int)) "A1,B1,C2" [ 0; 1; 4 ] (Array.to_list phi)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_sql_agrees_with_matcher () =
+  let rng = Gql_datasets.Rng.create 11 in
+  let g = Gql_datasets.Synthetic.erdos_renyi rng ~n:300 ~m:900 ~n_labels:10 in
+  let db = Graphplan.db_of_graph g in
+  let idx = Gql_index.Label_index.build g in
+  let labels = Gql_index.Label_index.top_frequent idx 5 in
+  for size = 2 to 4 do
+    let p = Gql_datasets.Queries.clique rng ~labels ~size in
+    let sql_count, complete = Graphplan.count_matches db p in
+    let graph_count = Gql_matcher.Engine.count_matches p g in
+    Alcotest.(check bool) "complete" true complete;
+    Alcotest.(check int)
+      (Printf.sprintf "clique size %d: SQL = matcher" size)
+      graph_count sql_count
+  done
+
+let test_sql_timeout () =
+  let rng = Gql_datasets.Rng.create 12 in
+  let g = Gql_datasets.Synthetic.erdos_renyi rng ~n:2000 ~m:10000 ~n_labels:2 in
+  let db = Graphplan.db_of_graph g in
+  (* a 5-clique over 2 labels explodes; the timeout must kick in *)
+  let p = Gql_datasets.Queries.clique rng ~labels:[ "L0"; "L1" ] ~size:5 in
+  let t0 = Unix.gettimeofday () in
+  let _, complete = Graphplan.count_matches ~timeout:0.2 ~limit:100000 db p in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "stopped quickly" true (complete = false || elapsed < 2.0)
+
+let test_directed_sql () =
+  let g = Graph.of_labeled ~directed:true ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let db = Graphplan.db_of_graph g in
+  Alcotest.(check int) "directed edge stored once" 1
+    (Rel.cardinality (Rel.table db "E"))
+
+let suite =
+  [
+    Alcotest.test_case "relation storage and indexes" `Quick test_rel_basics;
+    Alcotest.test_case "conjunctive join" `Quick test_cq_join;
+    Alcotest.test_case "filters and limits" `Quick test_cq_filters_and_limit;
+    Alcotest.test_case "Figure 4.2 translation" `Quick test_figure_4_2;
+    Alcotest.test_case "SQL count = matcher count" `Quick test_sql_agrees_with_matcher;
+    Alcotest.test_case "timeout guard" `Quick test_sql_timeout;
+    Alcotest.test_case "directed edge storage" `Quick test_directed_sql;
+  ]

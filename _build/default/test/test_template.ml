@@ -1,0 +1,144 @@
+open Gql_core
+open Gql_graph
+
+let decl = Gql.parse_graph_decl
+
+let instantiate ?env src = Template.instantiate ?env (decl src)
+
+let test_fresh_nodes () =
+  let g = instantiate {|graph Out { node a <label="X" n=1+2>; node b; edge e (a, b); }|} in
+  Alcotest.(check int) "two nodes" 2 (Graph.n_nodes g);
+  Alcotest.(check bool) "expression evaluated" true
+    (Tuple.get (Graph.node_tuple g 0) "n" = Value.Int 3);
+  Alcotest.(check (option string)) "graph name kept" (Some "Out") (Graph.name g)
+
+let matched_param () =
+  let g = Test_graph.sample_g () in
+  let p =
+    Gql.pattern_of_string
+      {|graph P { node x where label="A"; node y where label="B"; edge e (x, y); }|}
+  in
+  let r = Gql_matcher.Engine.run ~exhaustive:false p g in
+  let phi = List.hd r.Gql_matcher.Engine.outcome.Gql_matcher.Search.mappings in
+  Matched.make p g phi
+
+let test_param_attributes () =
+  let m = matched_param () in
+  let g =
+    instantiate
+      ~env:[ ("P", Template.Pmatched m) ]
+      {|graph { node out <src=P.x.label dst=P.y.label>; }|}
+  in
+  Alcotest.(check bool) "src" true (Tuple.get (Graph.node_tuple g 0) "src" = Value.Str "A");
+  Alcotest.(check bool) "dst" true (Tuple.get (Graph.node_tuple g 0) "dst" = Value.Str "B")
+
+let test_copy_dedup () =
+  let m = matched_param () in
+  let g =
+    instantiate
+      ~env:[ ("P", Template.Pmatched m) ]
+      {|graph { node P.x, P.y, P.x; edge e (P.x, P.y); }|}
+  in
+  Alcotest.(check int) "copying the same node twice yields one" 2 (Graph.n_nodes g);
+  Alcotest.(check int) "edge between the copies" 1 (Graph.n_edges g);
+  (* the copies carry the data nodes' tuples *)
+  let labels = List.sort compare [ Graph.label g 0; Graph.label g 1 ] in
+  Alcotest.(check (list string)) "tuples copied" [ "A"; "B" ] labels
+
+let test_include_graph () =
+  let c = Graph.of_labeled ~labels:[| "X"; "Y" |] [ (0, 1) ] in
+  let g =
+    instantiate
+      ~env:[ ("C", Template.Pgraph c) ]
+      {|graph { graph C; node extra <label="Z">; }|}
+  in
+  Alcotest.(check int) "included + fresh" 3 (Graph.n_nodes g);
+  Alcotest.(check int) "edge kept" 1 (Graph.n_edges g)
+
+let test_unconditional_unify () =
+  let g =
+    instantiate
+      {|graph {
+          node a <x=1>;
+          node b <y=2>;
+          unify a, b;
+        }|}
+  in
+  Alcotest.(check int) "merged" 1 (Graph.n_nodes g);
+  Alcotest.(check bool) "tuple union" true
+    (Tuple.get (Graph.node_tuple g 0) "x" = Value.Int 1
+    && Tuple.get (Graph.node_tuple g 0) "y" = Value.Int 2)
+
+let test_conditional_unify_range () =
+  (* unify a fresh node with the node of an included graph carrying the
+     same name — the Figure 4.12 mechanism *)
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_node b (Tuple.make [ ("name", Value.Str "A") ]));
+  ignore (Graph.Builder.add_node b (Tuple.make [ ("name", Value.Str "B") ]));
+  let c = Graph.Builder.build b in
+  let g =
+    instantiate
+      ~env:[ ("C", Template.Pgraph c) ]
+      {|graph {
+          graph C;
+          node fresh <name="A" extra=1>;
+          unify fresh, C.v where fresh.name = C.v.name;
+        }|}
+  in
+  Alcotest.(check int) "A merged, B kept" 2 (Graph.n_nodes g);
+  let merged = ref false in
+  Graph.iter_nodes g ~f:(fun v ->
+      let t = Graph.node_tuple g v in
+      if Tuple.get t "name" = Value.Str "A" then
+        merged := Tuple.get t "extra" = Value.Int 1);
+  Alcotest.(check bool) "merged node has both attrs" true !merged
+
+let test_conditional_unify_no_match () =
+  let b = Graph.Builder.create () in
+  ignore (Graph.Builder.add_node b (Tuple.make [ ("name", Value.Str "B") ]));
+  let c = Graph.Builder.build b in
+  let g =
+    instantiate
+      ~env:[ ("C", Template.Pgraph c) ]
+      {|graph {
+          graph C;
+          node fresh <name="A">;
+          unify fresh, C.v where fresh.name = C.v.name;
+        }|}
+  in
+  Alcotest.(check int) "nothing merged" 2 (Graph.n_nodes g)
+
+let test_template_errors () =
+  let fails ?env src =
+    match instantiate ?env src with
+    | exception Template.Error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "export rejected" true
+    (fails "graph { node a; export a as b; }");
+  Alcotest.(check bool) "disjunction rejected" true
+    (fails "graph { { node a; } | { node b; }; }");
+  Alcotest.(check bool) "unknown copy" true (fails "graph { node P.x; }");
+  Alcotest.(check bool) "unknown include" true (fails "graph { graph C; }");
+  Alcotest.(check bool) "unresolved attribute" true
+    (fails "graph { node a <x=P.v1.name>; }")
+
+let test_duplicate_names_rejected () =
+  match instantiate "graph { node a; node a; }" with
+  | exception Template.Error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate name error"
+
+let suite =
+  [
+    Alcotest.test_case "fresh nodes and expressions" `Quick test_fresh_nodes;
+    Alcotest.test_case "parameter attribute access" `Quick test_param_attributes;
+    Alcotest.test_case "copies dedupe by source" `Quick test_copy_dedup;
+    Alcotest.test_case "graph inclusion" `Quick test_include_graph;
+    Alcotest.test_case "unconditional unify" `Quick test_unconditional_unify;
+    Alcotest.test_case "conditional unify over a range" `Quick
+      test_conditional_unify_range;
+    Alcotest.test_case "conditional unify without matches" `Quick
+      test_conditional_unify_no_match;
+    Alcotest.test_case "template-only construct errors" `Quick test_template_errors;
+    Alcotest.test_case "duplicate names rejected" `Quick test_duplicate_names_rejected;
+  ]

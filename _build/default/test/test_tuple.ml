@@ -1,0 +1,67 @@
+open Gql_graph
+
+let tup = Alcotest.testable Tuple.pp Tuple.equal
+let v = Alcotest.testable Value.pp Value.equal
+
+let mk ?tag attrs = Tuple.make ?tag attrs
+
+let test_basic () =
+  let t = mk ~tag:"author" [ ("name", Value.Str "A"); ("year", Value.Int 2006) ] in
+  Alcotest.(check (option string)) "tag" (Some "author") (Tuple.tag t);
+  Alcotest.check v "find name" (Value.Str "A") (Tuple.get t "name");
+  Alcotest.check v "missing is Null" Value.Null (Tuple.get t "nope");
+  Alcotest.(check bool) "mem" true (Tuple.mem t "year");
+  Alcotest.(check int) "cardinal" 2 (Tuple.cardinal t)
+
+let test_shadowing () =
+  let t = mk [ ("x", Value.Int 1); ("x", Value.Int 2) ] in
+  Alcotest.check v "later binding wins" (Value.Int 2) (Tuple.get t "x");
+  Alcotest.(check int) "no duplicate" 1 (Tuple.cardinal t)
+
+let test_set_remove () =
+  let t = mk [ ("x", Value.Int 1) ] in
+  let t2 = Tuple.set t "y" (Value.Int 2) in
+  let t3 = Tuple.set t2 "x" (Value.Int 9) in
+  Alcotest.check v "set new" (Value.Int 2) (Tuple.get t3 "y");
+  Alcotest.check v "set replaces" (Value.Int 9) (Tuple.get t3 "x");
+  Alcotest.check v "original untouched" (Value.Int 1) (Tuple.get t "x");
+  Alcotest.(check bool) "remove" false (Tuple.mem (Tuple.remove t3 "x") "x")
+
+let test_union () =
+  let a = mk ~tag:"t" [ ("x", Value.Int 1); ("y", Value.Int 2) ] in
+  let b = mk [ ("y", Value.Int 9); ("z", Value.Int 3) ] in
+  let u = Tuple.union a b in
+  Alcotest.check v "right wins on clash" (Value.Int 9) (Tuple.get u "y");
+  Alcotest.check v "left kept" (Value.Int 1) (Tuple.get u "x");
+  Alcotest.check v "right kept" (Value.Int 3) (Tuple.get u "z");
+  Alcotest.(check (option string)) "left tag kept" (Some "t") (Tuple.tag u)
+
+let test_project_rename () =
+  let t = mk [ ("a", Value.Int 1); ("b", Value.Int 2); ("c", Value.Int 3) ] in
+  let p = Tuple.project t [ "a"; "c"; "zz" ] in
+  Alcotest.(check (list string)) "projected names" [ "a"; "c" ] (Tuple.names p);
+  let r = Tuple.rename t [ ("a", "alpha") ] in
+  Alcotest.check v "renamed" (Value.Int 1) (Tuple.get r "alpha");
+  Alcotest.(check bool) "old gone" false (Tuple.mem r "a")
+
+let test_equal_order_insensitive () =
+  let a = mk [ ("x", Value.Int 1); ("y", Value.Int 2) ] in
+  let b = mk [ ("y", Value.Int 2); ("x", Value.Int 1) ] in
+  Alcotest.check tup "order-insensitive equality" a b
+
+let test_label () =
+  Alcotest.(check string) "label attr" "A"
+    (Tuple.label (mk [ ("label", Value.Str "A") ]));
+  Alcotest.(check string) "tag fallback" "author" (Tuple.label (mk ~tag:"author" []));
+  Alcotest.(check string) "empty" "" (Tuple.label Tuple.empty)
+
+let suite =
+  [
+    Alcotest.test_case "basic accessors" `Quick test_basic;
+    Alcotest.test_case "name shadowing" `Quick test_shadowing;
+    Alcotest.test_case "set / remove" `Quick test_set_remove;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "project / rename" `Quick test_project_rename;
+    Alcotest.test_case "equality order-insensitive" `Quick test_equal_order_insensitive;
+    Alcotest.test_case "label accessor" `Quick test_label;
+  ]

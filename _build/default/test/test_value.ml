@@ -1,0 +1,58 @@
+open Gql_graph
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let test_compare_numeric () =
+  Alcotest.(check int) "int vs float equal" 0 (Value.compare (Value.Int 3) (Value.Float 3.0));
+  Alcotest.(check bool) "int < float" true (Value.compare (Value.Int 3) (Value.Float 3.5) < 0);
+  Alcotest.(check bool) "float > int" true (Value.compare (Value.Float 4.5) (Value.Int 4) > 0)
+
+let test_compare_kinds () =
+  Alcotest.(check bool) "null < bool" true (Value.compare Value.Null (Value.Bool false) < 0);
+  Alcotest.(check bool) "bool < int" true (Value.compare (Value.Bool true) (Value.Int 0) < 0);
+  Alcotest.(check bool) "number < string" true (Value.compare (Value.Int 99) (Value.Str "a") < 0)
+
+let test_arith () =
+  Alcotest.check v "int add" (Value.Int 7) (Value.add (Value.Int 3) (Value.Int 4));
+  Alcotest.check v "mixed add is float" (Value.Float 7.5)
+    (Value.add (Value.Int 3) (Value.Float 4.5));
+  Alcotest.check v "string concat" (Value.Str "ab")
+    (Value.add (Value.Str "a") (Value.Str "b"));
+  Alcotest.check v "int div truncates" (Value.Int 2) (Value.div (Value.Int 5) (Value.Int 2));
+  Alcotest.check v "sub" (Value.Int (-1)) (Value.sub (Value.Int 3) (Value.Int 4));
+  Alcotest.check v "mul" (Value.Int 12) (Value.mul (Value.Int 3) (Value.Int 4))
+
+let test_arith_errors () =
+  Alcotest.check_raises "add bool" (Value.Type_error "+: expected numbers") (fun () ->
+      ignore (Value.add (Value.Bool true) (Value.Int 1)));
+  Alcotest.check_raises "div by zero" (Value.Type_error "division by zero") (fun () ->
+      ignore (Value.div (Value.Int 1) (Value.Int 0)))
+
+let test_logic () =
+  Alcotest.check v "and" (Value.Bool false)
+    (Value.logical_and (Value.Bool true) (Value.Bool false));
+  Alcotest.check v "or" (Value.Bool true)
+    (Value.logical_or (Value.Bool false) (Value.Bool true));
+  Alcotest.check v "not" (Value.Bool false) (Value.logical_not (Value.Bool true))
+
+let test_of_literal () =
+  Alcotest.check v "int" (Value.Int 42) (Value.of_literal "42");
+  Alcotest.check v "float" (Value.Float 4.5) (Value.of_literal "4.5");
+  Alcotest.check v "bool" (Value.Bool true) (Value.of_literal "true");
+  Alcotest.check v "null" Value.Null (Value.of_literal "null");
+  Alcotest.check v "string fallback" (Value.Str "SIGMOD") (Value.of_literal "SIGMOD")
+
+let test_hash_consistent () =
+  Alcotest.(check bool) "equal values hash equal" true
+    (Value.hash (Value.Int 3) = Value.hash (Value.Float 3.0))
+
+let suite =
+  [
+    Alcotest.test_case "compare numeric coercion" `Quick test_compare_numeric;
+    Alcotest.test_case "compare across kinds" `Quick test_compare_kinds;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "arithmetic errors" `Quick test_arith_errors;
+    Alcotest.test_case "logic" `Quick test_logic;
+    Alcotest.test_case "of_literal" `Quick test_of_literal;
+    Alcotest.test_case "hash consistency" `Quick test_hash_consistent;
+  ]
