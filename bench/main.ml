@@ -101,6 +101,39 @@ let split_hits obs =
 let t_optimized o = o.t_profiles +. o.t_refine +. o.t_order +. o.t_search_opt
 let t_baseline o = o.t_retrieve_base +. o.t_search_baseline
 
+(* JSON summary of one observation group (a figure cell): reduction
+   ratios plus per-step timings, mirroring the printed tables *)
+let obs_summary obs =
+  let m f = mean (List.map f obs) in
+  Json.Obj
+    [
+      ("queries", Json.Int (List.length obs));
+      ("answers_mean", Json.Float (m (fun o -> float_of_int o.o_answers)));
+      ("r_profiles", Json.Float (m (fun o -> o.r_profiles)));
+      ("r_subgraphs", Json.Float (m (fun o -> o.r_subgraphs)));
+      ("r_refined", Json.Float (m (fun o -> o.r_refined)));
+      ("t_profiles_ms", Json.Float (ms (m (fun o -> o.t_profiles))));
+      ("t_subgraphs_ms", Json.Float (ms (m (fun o -> o.t_subgraphs))));
+      ("t_refine_ms", Json.Float (ms (m (fun o -> o.t_refine))));
+      ("t_order_ms", Json.Float (ms (m (fun o -> o.t_order))));
+      ("t_search_opt_ms", Json.Float (ms (m (fun o -> o.t_search_opt))));
+      ("t_search_noopt_ms", Json.Float (ms (m (fun o -> o.t_search_noopt))));
+      ("t_optimized_ms", Json.Float (ms (m t_optimized)));
+      ("t_baseline_ms", Json.Float (ms (m t_baseline)));
+    ]
+
+let emit_observations name per_size =
+  emit_json name
+    (Json.List
+       (List.filter_map
+          (fun (size, obs) ->
+            if obs = [] then None
+            else
+              Some
+                (Json.Obj
+                   [ ("size", Json.Int size); ("summary", obs_summary obs) ]))
+          per_size))
+
 (* ---------------------------------------------------------------------- *)
 (* PPI clique workload (Figures 4.20 and 4.21)                             *)
 
@@ -152,7 +185,11 @@ let fig_4_20 () =
       "(mean log10 of |space|/|attrs-only space|; more negative = stronger pruning)\n"
   in
   print_group "(a)" "low hits" (fun obs -> fst (split_hits obs));
-  print_group "(b)" "high hits" (fun obs -> snd (split_hits obs))
+  print_group "(b)" "high hits" (fun obs -> snd (split_hits obs));
+  emit_observations "fig4.20.low_hits"
+    (List.map (fun (s, obs) -> (s, fst (split_hits obs))) observations);
+  emit_observations "fig4.20.high_hits"
+    (List.map (fun (s, obs) -> (s, snd (split_hits obs))) observations)
 
 let sql_time_per_query ~db pattern =
   let _, t =
@@ -187,6 +224,7 @@ let fig_4_21 () =
   let weights = Queries.label_weights lidx labels in
   let rng = Rng.create 31415 in
   let sql_queries_per_size = scale 10 50 in
+  let json_rows = ref [] in
   List.iter
     (fun (size, obs) ->
       let low, _ = split_hits obs in
@@ -204,9 +242,19 @@ let fig_4_21 () =
             sql_times := sql_time_per_query ~db q :: !sql_times
         done;
         row "%-6d %12.3f %12.3f %12.3f\n" size (m t_optimized) (m t_baseline)
-          (ms (mean !sql_times))
+          (ms (mean !sql_times));
+        json_rows :=
+          Json.Obj
+            [
+              ("size", Json.Int size);
+              ("t_optimized_ms", Json.Float (m t_optimized));
+              ("t_baseline_ms", Json.Float (m t_baseline));
+              ("t_sql_ms", Json.Float (ms (mean !sql_times)));
+            ]
+          :: !json_rows
       end)
     observations;
+  emit_json "fig4.21.totals" (Json.List (List.rev !json_rows));
   row
     "(SQL-based: Figure 4.2 plan on V/E tables with B-tree indexes, limit %d, 2 s timeout)\n"
     hit_limit
@@ -270,7 +318,9 @@ let fig_4_22 () =
           (m (fun o -> o.t_search_opt))
           (m (fun o -> o.t_search_noopt))
       end)
-    observations
+    observations;
+  emit_observations "fig4.22.low_hits"
+    (List.map (fun (s, obs) -> (s, fst (split_hits obs))) observations)
 
 let fig_4_23 () =
   let g, _, _ = Lazy.force synthetic_10k in
@@ -295,6 +345,7 @@ let fig_4_23 () =
     observations;
   header "Figure 4.23(b): total time vs graph size, query size 4 (ms)";
   row "%-10s %12s %12s %12s\n" "nodes" "Optimized" "Baseline" "SQL-based";
+  let json_rows = ref [] in
   List.iter
     (fun n ->
       let g, lidx, pidx = synthetic_env n in
@@ -317,8 +368,18 @@ let fig_4_23 () =
             sql_time_per_query ~db (Queries.connected_subgraph rng g ~size:4))
       in
       row "%-10d %12.3f %12.3f %12.3f\n" n (m t_optimized) (m t_baseline)
-        (ms (mean sql_times)))
-    [ 10_000; 20_000; 40_000; 80_000; 160_000; 320_000 ]
+        (ms (mean sql_times));
+      json_rows :=
+        Json.Obj
+          [
+            ("nodes", Json.Int n);
+            ("t_optimized_ms", Json.Float (m t_optimized));
+            ("t_baseline_ms", Json.Float (m t_baseline));
+            ("t_sql_ms", Json.Float (ms (mean sql_times)));
+          ]
+        :: !json_rows)
+    [ 10_000; 20_000; 40_000; 80_000; 160_000; 320_000 ];
+  emit_json "fig4.23.graph_size" (Json.List (List.rev !json_rows))
 
 (* ---------------------------------------------------------------------- *)
 (* ablation: contribution of each §4 technique                             *)
@@ -348,6 +409,7 @@ let ablation () =
   header "Ablation: mean total query time on PPI clique queries (ms)";
   row "%-42s %10s %10s %10s\n" "strategy" "size 4" "size 5" "size 6";
   let n_queries = scale 40 200 in
+  let json_rows = ref [] in
   List.iter
     (fun (name, s) ->
       let cell size =
@@ -364,8 +426,19 @@ let ablation () =
         done;
         ms (mean !times)
       in
-      row "%-42s %10.3f %10.3f %10.3f\n" name (cell 4) (cell 5) (cell 6))
+      let c4 = cell 4 and c5 = cell 5 and c6 = cell 6 in
+      row "%-42s %10.3f %10.3f %10.3f\n" name c4 c5 c6;
+      json_rows :=
+        Json.Obj
+          [
+            ("strategy", Json.Str name);
+            ("size4_ms", Json.Float c4);
+            ("size5_ms", Json.Float c5);
+            ("size6_ms", Json.Float c6);
+          ]
+        :: !json_rows)
     strategies;
+  emit_json "ablation.strategies" (Json.List (List.rev !json_rows));
   header "Ablation: Algorithm 4.2 worklist vs naive refinement (clique size 5)";
   row "%-12s %16s %14s %12s\n" "variant" "matchings" "removed" "time (ms)";
   let rng = Rng.create 777 in
@@ -471,8 +544,17 @@ let parallel () =
         in
         ms t /. float_of_int n_queries
       in
-      row "%-8d %12.3f %12.3f %12.3f %12.3f\n" size (cell 1) (cell 2) (cell 4)
-        (cell 8))
+      let c1 = cell 1 and c2 = cell 2 and c4 = cell 4 and c8 = cell 8 in
+      row "%-8d %12.3f %12.3f %12.3f %12.3f\n" size c1 c2 c4 c8;
+      emit_json
+        (Printf.sprintf "parallel.size%d" size)
+        (Json.Obj
+           [
+             ("domains1_ms", Json.Float c1);
+             ("domains2_ms", Json.Float c2);
+             ("domains4_ms", Json.Float c4);
+             ("domains8_ms", Json.Float c8);
+           ]))
     [ 4; 5; 6 ]
 
 let storage () =
@@ -516,7 +598,115 @@ let storage () =
 (* ---------------------------------------------------------------------- *)
 (* bechamel micro-benchmarks of the core primitives                        *)
 
+(* search phase, array-backed vs the retained seed list-based matcher,
+   over identical precomputed candidate spaces and orders — the
+   headline number of the BENCH_*.json trajectory *)
+let micro_search_comparison () =
+  header
+    "Search phase: array-backed Search vs seed list-based Reference (PPI cliques)";
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  let ref_index = Gql_matcher.Reference.build_index g in
+  row "%-6s %10s %18s %18s %10s\n" "size" "queries" "t_search_opt (ms)"
+    "t_search_ref (ms)" "speedup";
+  let cells =
+    List.map
+      (fun size ->
+        let rng = Rng.create (31337 + size) in
+        let n_queries = scale 80 400 in
+        let prepared =
+          List.init n_queries (fun _ ->
+              let q = Queries.clique ~weights rng ~labels ~size in
+              let space =
+                Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+                  ~profile_index:pidx q g
+              in
+              let order = Order.greedy q ~sizes:(Feasible.sizes space) in
+              (q, space, order))
+        in
+        (* same spaces, same orders: only the inner search differs.
+           Each side runs once for warmup/answers, then best-of-3 timed
+           passes to shed GC and scheduler noise. *)
+        let best_of n f =
+          let best = ref infinity in
+          for _ = 1 to n do
+            let _, t = time f in
+            if t < !best then best := t
+          done;
+          !best
+        in
+        let opt =
+          List.map
+            (fun (q, space, order) ->
+              Search.run ~limit:hit_limit ~order q g space)
+            prepared
+        in
+        let t_opt =
+          best_of 3 (fun () ->
+              List.iter
+                (fun (q, space, order) ->
+                  ignore (Search.run ~limit:hit_limit ~order q g space))
+                prepared)
+        in
+        let refr =
+          List.map
+            (fun (q, space, order) ->
+              Gql_matcher.Reference.run ~index:ref_index ~limit:hit_limit ~order
+                q g space)
+            prepared
+        in
+        let t_ref =
+          best_of 3 (fun () ->
+              List.iter
+                (fun (q, space, order) ->
+                  ignore
+                    (Gql_matcher.Reference.run ~index:ref_index ~limit:hit_limit
+                       ~order q g space))
+                prepared)
+        in
+        List.iter2
+          (fun (a : Search.outcome) (b : Search.outcome) ->
+            assert (a.Search.n_found = b.Search.n_found))
+          opt refr;
+        let speedup = t_ref /. t_opt in
+        row "%-6d %10d %18.3f %18.3f %9.2fx\n" size n_queries (ms t_opt)
+          (ms t_ref) speedup;
+        (size, n_queries, t_opt, t_ref))
+      [ 4; 5; 6 ]
+  in
+  let tot f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells in
+  let t_opt_total = tot (fun (_, _, t, _) -> t) in
+  let t_ref_total = tot (fun (_, _, _, t) -> t) in
+  let speedup = t_ref_total /. t_opt_total in
+  row "overall speedup (t_search_ref / t_search_opt): %.2fx\n" speedup;
+  emit_json "micro.search_ppi"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "PPI clique queries, profiles retrieval, greedy order, limit 1000"
+         );
+         ( "sizes",
+           Json.List
+             (List.map
+                (fun (size, n_queries, t_opt, t_ref) ->
+                  Json.Obj
+                    [
+                      ("size", Json.Int size);
+                      ("queries", Json.Int n_queries);
+                      ("t_search_opt_ms", Json.Float (ms t_opt));
+                      ("t_search_ref_ms", Json.Float (ms t_ref));
+                      ("speedup", Json.Float (t_ref /. t_opt));
+                    ])
+                cells) );
+         ("t_search_opt_ms", Json.Float (ms t_opt_total));
+         ("t_search_ref_ms", Json.Float (ms t_ref_total));
+         ("speedup", Json.Float speedup);
+       ])
+
 let micro () =
+  micro_search_comparison ();
   let open Bechamel in
   let open Toolkit in
   let g, lidx, pidx = Lazy.force ppi_env in
@@ -559,12 +749,20 @@ let micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   header "Micro-benchmarks (bechamel, monotonic clock, ns/run)";
+  let estimates = ref [] in
   Hashtbl.iter
     (fun name result ->
       match Analyze.OLS.estimates result with
-      | Some [ est ] -> row "%-36s %14.1f ns\n" name est
+      | Some [ est ] ->
+        estimates := (name, est) :: !estimates;
+        row "%-36s %14.1f ns\n" name est
       | _ -> row "%-36s %14s\n" name "-")
-    results
+    results;
+  emit_json "micro.bechamel_ns"
+    (Json.Obj
+       (List.map
+          (fun (name, est) -> (name, Json.Float est))
+          (List.sort compare !estimates)))
 
 (* ---------------------------------------------------------------------- *)
 
@@ -593,6 +791,19 @@ let () =
         else true)
       args
   in
+  (* --json FILE: dump per-figure timing summaries after the run *)
+  let json_file = ref None in
+  let rec strip_json = function
+    | "--json" :: file :: rest ->
+      json_file := Some file;
+      strip_json rest
+    | [ "--json" ] ->
+      prerr_endline "--json requires a file argument";
+      exit 2
+    | a :: rest -> a :: strip_json rest
+    | [] -> []
+  in
+  let args = strip_json args in
   let selected =
     match args with
     | [] -> experiments
@@ -614,4 +825,9 @@ let () =
     (fun (name, f) ->
       let (), elapsed = time f in
       Printf.printf "[%s completed in %.1f s]\n%!" name elapsed)
-    selected
+    selected;
+  match !json_file with
+  | None -> ()
+  | Some file ->
+    Util.write_json ~mode:(if !full_mode then "full" else "quick") file;
+    Printf.printf "[wrote %s]\n%!" file

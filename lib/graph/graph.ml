@@ -13,11 +13,16 @@ type t = {
   edges : edge array;
   edge_names : string option array;
   (* CSR adjacency: for node v, (neighbor, edge id) pairs are
-     adj.(v). Out-adjacency for directed graphs; full adjacency for
-     undirected ones. *)
+     adj.(v), sorted by (neighbor, edge id) so that edge probes are
+     binary searches. Out-adjacency for directed graphs; full adjacency
+     for undirected ones. *)
   adj : (int * int) array array;
   in_adj : (int * int) array array;  (* == adj when undirected *)
-  edge_index : (int * int, int list) Hashtbl.t;  (* normalized endpoints -> edge ids *)
+  (* The same rows split into parallel unboxed int arrays: probing an
+     [int array] touches no tuple pointers, so the matcher's binary
+     searches stay inside one cache line per step. *)
+  adj_nbr : int array array;
+  adj_eid : int array array;
   by_node_name : (string, int) Hashtbl.t;
   by_edge_name : (string, int) Hashtbl.t;
 }
@@ -39,16 +44,93 @@ let degree g v = Array.length g.adj.(v)
 let in_degree g v = Array.length g.in_adj.(v)
 let neighbors g v = g.adj.(v)
 let in_neighbors g v = g.in_adj.(v)
+let adj_nbrs g v = g.adj_nbr.(v)
+let adj_eids g v = g.adj_eid.(v)
 
-let norm_key g u v = if g.directed || u <= v then (u, v) else (v, u)
+(* Deduplicated neighbor ids regardless of orientation, ascending.
+   Rows are sorted by neighbor id, so undirected graphs dedup in one
+   pass and directed graphs merge the sorted out/in rows. *)
+let undirected_neighbor_ids g v =
+  let push out n x =
+    if !n = 0 || out.(!n - 1) <> x then begin
+      out.(!n) <- x;
+      incr n
+    end
+  in
+  if g.directed then begin
+    let a = g.adj.(v) and b = g.in_adj.(v) in
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make (max 1 (la + lb)) 0 in
+    let i = ref 0 and j = ref 0 and n = ref 0 in
+    while !i < la || !j < lb do
+      if !j >= lb || (!i < la && fst a.(!i) <= fst b.(!j)) then begin
+        push out n (fst a.(!i));
+        incr i
+      end
+      else begin
+        push out n (fst b.(!j));
+        incr j
+      end
+    done;
+    Array.sub out 0 !n
+  end
+  else begin
+    let a = g.adj.(v) in
+    let la = Array.length a in
+    let out = Array.make (max 1 la) 0 in
+    let n = ref 0 in
+    for i = 0 to la - 1 do
+      push out n (fst a.(i))
+    done;
+    Array.sub out 0 !n
+  end
+
+(* First index of [row] holding [v], or [Array.length row] if absent.
+   Rows are sorted, so parallel edges to [v] occupy a contiguous run
+   starting here. Operates on the unboxed neighbor-id rows. *)
+let row_lower_bound (row : int array) v =
+  let lo = ref 0 and hi = ref (Array.length row) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get row mid < v then lo := mid + 1 else hi := mid
+  done;
+  if !lo < Array.length row && Array.unsafe_get row !lo = v then !lo
+  else Array.length row
+
+let has_edge g u v =
+  let row = g.adj_nbr.(u) in
+  row_lower_bound row v < Array.length row
+
+let iter_edges_between g u v ~f =
+  let row = g.adj_nbr.(u) in
+  let eids = g.adj_eid.(u) in
+  let n = Array.length row in
+  let i = ref (row_lower_bound row v) in
+  while !i < n && Array.unsafe_get row !i = v do
+    f (Array.unsafe_get eids !i);
+    incr i
+  done
+
+let exists_edge_between g u v ~f =
+  let row = g.adj_nbr.(u) in
+  let eids = g.adj_eid.(u) in
+  let n = Array.length row in
+  let i = ref (row_lower_bound row v) in
+  let found = ref false in
+  while (not !found) && !i < n && Array.unsafe_get row !i = v do
+    if f (Array.unsafe_get eids !i) then found := true else incr i
+  done;
+  !found
 
 let find_all_edges g u v =
-  Option.value (Hashtbl.find_opt g.edge_index (norm_key g u v)) ~default:[]
+  let acc = ref [] in
+  iter_edges_between g u v ~f:(fun e -> acc := e :: !acc);
+  List.rev !acc
 
 let find_edge g u v =
-  match find_all_edges g u v with [] -> None | e :: _ -> Some e
-
-let has_edge g u v = Hashtbl.mem g.edge_index (norm_key g u v)
+  let row = g.adj_nbr.(u) in
+  let i = row_lower_bound row v in
+  if i < Array.length row then Some g.adj_eid.(u).(i) else None
 
 let fold_nodes g ~init ~f =
   let acc = ref init in
@@ -199,15 +281,13 @@ module Builder = struct
           out_fill.(e.dst) <- out_fill.(e.dst) + 1
         end)
       edges;
-    let edge_index = Hashtbl.create (max 16 m) in
-    Array.iteri
-      (fun i e ->
-        let key =
-          if b.b_directed || e.src <= e.dst then (e.src, e.dst) else (e.dst, e.src)
-        in
-        let prev = Option.value (Hashtbl.find_opt edge_index key) ~default:[] in
-        Hashtbl.replace edge_index key (i :: prev))
-      edges;
+    (* sort rows by (neighbor, edge id) so lookups can binary-search;
+       undirected graphs share adj == in_adj, one pass sorts both *)
+    let cmp (a : int * int) (b : int * int) = compare a b in
+    Array.iter (fun row -> Array.sort cmp row) adj;
+    if b.b_directed then Array.iter (fun row -> Array.sort cmp row) in_adj;
+    let adj_nbr = Array.map (fun row -> Array.map fst row) adj in
+    let adj_eid = Array.map (fun row -> Array.map snd row) adj in
     {
       directed = b.b_directed;
       name = b.b_name;
@@ -218,7 +298,8 @@ module Builder = struct
       edge_names;
       adj;
       in_adj;
-      edge_index;
+      adj_nbr;
+      adj_eid;
       by_node_name = b.b_by_node_name;
       by_edge_name = b.b_by_edge_name;
     }

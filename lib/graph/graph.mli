@@ -52,18 +52,46 @@ val in_degree : t -> int -> int
 
 val neighbors : t -> int -> (int * int) array
 (** [neighbors g v] are the [(neighbor, edge id)] pairs adjacent to [v]
-    (outgoing for directed graphs). The returned array is owned by the
-    graph: do not mutate. *)
+    (outgoing for directed graphs), sorted by neighbor id then edge id —
+    parallel edges to the same neighbor form a contiguous run. The
+    returned array is owned by the graph: do not mutate. *)
 
 val in_neighbors : t -> int -> (int * int) array
+(** Sorted like {!neighbors}. *)
+
+val adj_nbrs : t -> int -> int array
+(** The neighbor ids of {!neighbors} as an unboxed row — same order,
+    same length. Probing this avoids tuple indirections; pair it with
+    {!adj_eids} (index-aligned) to recover edge ids. Owned by the
+    graph: do not mutate. *)
+
+val adj_eids : t -> int -> int array
+(** Edge ids aligned with {!adj_nbrs}. Owned by the graph. *)
+
+val undirected_neighbor_ids : t -> int -> int array
+(** Distinct neighbor ids of [v] ignoring orientation and parallel
+    edges, ascending. Fresh array; safe to keep. *)
 
 val has_edge : t -> int -> int -> bool
-(** [has_edge g u v] — for undirected graphs, orientation-insensitive. *)
+(** [has_edge g u v] — for undirected graphs, orientation-insensitive.
+    A binary search over [u]'s sorted adjacency row. *)
 
 val find_edge : t -> int -> int -> int option
-(** Some edge id connecting [u] to [v] (any one, if parallel edges). *)
+(** Smallest edge id connecting [u] to [v] (if parallel edges, the
+    first). *)
 
 val find_all_edges : t -> int -> int -> int list
+(** Ascending edge ids. For directed graphs only edges oriented
+    [u -> v]; for undirected graphs both storage orientations. *)
+
+val iter_edges_between : t -> int -> int -> f:(int -> unit) -> unit
+(** Allocation-free version of {!find_all_edges}: applies [f] to each
+    connecting edge id in ascending order. *)
+
+val exists_edge_between : t -> int -> int -> f:(int -> bool) -> bool
+(** [exists_edge_between g u v ~f]: does some edge connecting [u] to
+    [v] satisfy [f]? Binary search plus a scan of the parallel-edge
+    run; no allocation. *)
 
 (** {1 Iteration} *)
 

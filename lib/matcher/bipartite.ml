@@ -96,5 +96,11 @@ let kuhn g =
 
 let semi_perfect g =
   g.nr >= g.nl
-  && Array.for_all (fun ns -> ns <> []) g.adj
+  && (let ok = ref true in
+      (* only the first [nl] rows belong to the graph: [adj] may be a
+         larger scratch buffer shared across calls *)
+      for l = 0 to g.nl - 1 do
+        if g.adj.(l) = [] then ok := false
+      done;
+      !ok)
   && hopcroft_karp g = g.nl

@@ -12,7 +12,10 @@
 type graph = {
   nl : int;  (** left vertices [0 .. nl-1] *)
   nr : int;  (** right vertices [0 .. nr-1] *)
-  adj : int list array;  (** [adj.(l)] = right neighbors of left vertex [l] *)
+  adj : int list array;
+      (** [adj.(l)] = right neighbors of left vertex [l]. May be longer
+          than [nl] (rows past [nl] are ignored), so callers can reuse a
+          scratch buffer across instances. *)
 }
 
 val hopcroft_karp : graph -> int

@@ -39,9 +39,22 @@ let fold t ~init ~f =
 
 let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
 
+let to_array t =
+  let out = Array.make t.card 0 in
+  let j = ref 0 in
+  iter t (fun i ->
+      out.(!j) <- i;
+      incr j);
+  out
+
 let of_list n l =
   let t = create n in
   List.iter (add t) l;
+  t
+
+let of_array n a =
+  let t = create n in
+  Array.iter (add t) a;
   t
 
 let copy t = { bits = Bytes.copy t.bits; n = t.n; card = t.card }

@@ -21,6 +21,10 @@ val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
 val to_list : t -> int list
 (** Ascending. *)
 
+val to_array : t -> int array
+(** Ascending; length = {!cardinal}. *)
+
 val of_list : int -> int list -> t
+val of_array : int -> int array -> t
 val copy : t -> t
 val is_empty : t -> bool

@@ -41,17 +41,9 @@ type model =
    edges between u and in_set *)
 let join_gamma model p ~in_set u =
   let g = p.Flat_pattern.structure in
-  let edges_closed =
-    let nbrs = Array.to_list (Graph.neighbors g u) in
-    let nbrs =
-      if Graph.directed g then
-        nbrs @ Array.to_list (Graph.in_neighbors g u)
-      else nbrs
-    in
-    List.filter (fun (u', _) -> in_set.(u')) nbrs
-  in
-  List.fold_left
-    (fun acc (u', _) ->
+  let acc = ref 1.0 in
+  let visit (u', _) =
+    if in_set.(u') then
       let f =
         match model with
         | Constant c -> c
@@ -60,8 +52,11 @@ let join_gamma model p ~in_set u =
             (Flat_pattern.required_label p u)
             (Flat_pattern.required_label p u')
       in
-      acc *. f)
-    1.0 edges_closed
+      acc := !acc *. f
+  in
+  Array.iter visit (Graph.neighbors g u);
+  if Graph.directed g then Array.iter visit (Graph.in_neighbors g u);
+  !acc
 
 let fold_order model p ~sizes order ~f ~init =
   let k = Flat_pattern.size p in

@@ -2,17 +2,27 @@ open Gql_graph
 
 type retrieval = [ `Node_attrs | `Profiles | `Subgraphs ]
 
-type space = { candidates : int list array }
+type space = { candidates : int array array }
 
 let log10_size space =
   Array.fold_left
     (fun acc phi ->
-      match phi with
-      | [] -> neg_infinity
-      | _ -> acc +. log10 (float_of_int (List.length phi)))
+      match Array.length phi with
+      | 0 -> neg_infinity
+      | n -> acc +. log10 (float_of_int n))
     0.0 space.candidates
 
-let sizes space = Array.map List.length space.candidates
+let sizes space = Array.map Array.length space.candidates
+
+let mem space u v =
+  (* candidate rows are sorted ascending *)
+  let row = space.candidates.(u) in
+  let lo = ref 0 and hi = ref (Array.length row) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if row.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo < Array.length row && row.(!lo) = v
 
 let base_candidates ?label_index p g u =
   match Flat_pattern.required_label p u, label_index with
@@ -34,36 +44,39 @@ let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
   let k = Flat_pattern.size p in
   let candidates =
     Array.init k (fun u ->
-        let base =
+        let filtered =
           base_candidates ?label_index p g u
           |> List.filter (fun v -> Flat_pattern.node_compat p g u v)
         in
-        match retrieval, pidx with
-        | `Node_attrs, _ | _, None -> base
-        | `Profiles, Some idx ->
-          let r = Gql_index.Profile_index.radius idx in
-          let pprof = Flat_pattern.profile p ~r u in
-          List.filter
-            (fun v ->
-              Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
-                ~small:pprof)
-            base
-        | `Subgraphs, Some idx ->
-          let r = Gql_index.Profile_index.radius idx in
-          let pnbh = Flat_pattern.neighborhood p ~r u in
-          List.filter
-            (fun v ->
-              (* quick reject by profile first: sound and cheap *)
-              let vnbh = Gql_index.Profile_index.neighborhood idx v in
-              let compat pu' dv' =
-                Flat_pattern.node_compat p g
-                  pnbh.Neighborhood.original.(pu')
-                  vnbh.Neighborhood.original.(dv')
-              in
-              Iso.rooted_sub_iso ~compat ~pattern:pnbh.Neighborhood.graph
-                ~pattern_root:pnbh.Neighborhood.center
-                ~target:vnbh.Neighborhood.graph
-                ~target_root:vnbh.Neighborhood.center)
-            base)
+        let pruned =
+          match retrieval, pidx with
+          | `Node_attrs, _ | _, None -> filtered
+          | `Profiles, Some idx ->
+            let r = Gql_index.Profile_index.radius idx in
+            let pprof = Flat_pattern.profile p ~r u in
+            List.filter
+              (fun v ->
+                Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
+                  ~small:pprof)
+              filtered
+          | `Subgraphs, Some idx ->
+            let r = Gql_index.Profile_index.radius idx in
+            let pnbh = Flat_pattern.neighborhood p ~r u in
+            List.filter
+              (fun v ->
+                (* quick reject by profile first: sound and cheap *)
+                let vnbh = Gql_index.Profile_index.neighborhood idx v in
+                let compat pu' dv' =
+                  Flat_pattern.node_compat p g
+                    pnbh.Neighborhood.original.(pu')
+                    vnbh.Neighborhood.original.(dv')
+                in
+                Iso.rooted_sub_iso ~compat ~pattern:pnbh.Neighborhood.graph
+                  ~pattern_root:pnbh.Neighborhood.center
+                  ~target:vnbh.Neighborhood.graph
+                  ~target_root:vnbh.Neighborhood.center)
+              filtered
+        in
+        Array.of_list pruned)
   in
   { candidates }

@@ -18,7 +18,9 @@ open Gql_graph
 type retrieval = [ `Node_attrs | `Profiles | `Subgraphs ]
 
 type space = {
-  candidates : int list array;  (** Φ(u) per pattern node, ascending ids *)
+  candidates : int array array;
+      (** Φ(u) per pattern node, ascending ids. Flat arrays so the
+          Algorithm 4.1 inner loop iterates without pointer chasing. *)
 }
 
 val log10_size : space -> float
@@ -27,6 +29,10 @@ val log10_size : space -> float
     these. *)
 
 val sizes : space -> int array
+
+val mem : space -> int -> int -> bool
+(** [mem space u v]: is [v] a feasible mate of [u]? Binary search over
+    the sorted candidate row. *)
 
 val compute :
   ?retrieval:retrieval ->

@@ -89,6 +89,15 @@ let node_compat p g u v =
   && (Pred.equal p.node_preds.(u) Pred.True
      || Pred.holds (Pred.env_of_tuple dtuple) p.node_preds.(u))
 
+(* [true] iff [edge_compat p g pe ge] holds for every data edge: the
+   pattern edge carries no implicit tuple constraints and its predicate
+   is [True]. Lets the matcher skip per-probe compatibility calls. *)
+let edge_always_compat p pe =
+  let ptuple = (Graph.edge p.structure pe).Graph.etuple in
+  Tuple.bindings ptuple = []
+  && Tuple.tag ptuple = None
+  && Pred.equal p.edge_preds.(pe) Pred.True
+
 let edge_compat p g pe ge =
   let dtuple = (Graph.edge g ge).Graph.etuple in
   tuple_constraints_ok (Graph.edge p.structure pe).Graph.etuple dtuple

@@ -55,6 +55,11 @@ val edge_compat : t -> Graph.t -> int -> int -> bool
 (** [edge_compat p g pe ge]: data edge [ge] satisfies pattern edge
     [pe]'s tuple constraints and Fe. *)
 
+val edge_always_compat : t -> int -> bool
+(** [edge_always_compat p pe]: pattern edge [pe] has no tuple
+    constraints and predicate [True], so {!edge_compat} holds for every
+    data edge. The matcher hoists this out of its inner probe loop. *)
+
 val global_holds : t -> Graph.t -> int array -> bool
 (** Evaluate the residual graph-wide predicate under a complete mapping
     [phi] (pattern node -> data node). Node and edge variable names

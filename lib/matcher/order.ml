@@ -2,18 +2,12 @@ open Gql_graph
 
 let identity p = Array.init (Flat_pattern.size p) (fun i -> i)
 
-let undirected_neighbors g u =
-  let out = Array.to_list (Graph.neighbors g u) |> List.map fst in
-  if Graph.directed g then
-    List.sort_uniq compare
-      (out @ (Array.to_list (Graph.in_neighbors g u) |> List.map fst))
-  else List.sort_uniq compare out
-
 let greedy ?(model = Cost.Constant Cost.default_constant) p ~sizes =
   let k = Flat_pattern.size p in
   if k = 0 then [||]
   else begin
     let g = p.Flat_pattern.structure in
+    let nbrs = Array.init k (fun u -> Graph.undirected_neighbor_ids g u) in
     let chosen = Array.make k false in
     let order = Array.make k 0 in
     (* start from the node with the smallest candidate set *)
@@ -26,9 +20,7 @@ let greedy ?(model = Cost.Constant Cost.default_constant) p ~sizes =
     let size = ref (float_of_int sizes.(!first)) in
     for i = 1 to k - 1 do
       (* candidate leaves: connected to the chosen set when possible *)
-      let connected u =
-        List.exists (fun u' -> chosen.(u')) (undirected_neighbors g u)
-      in
+      let connected u = Array.exists (fun u' -> chosen.(u')) nbrs.(u) in
       let best = ref (-1) in
       let best_cost = ref infinity in
       let consider u =

@@ -2,9 +2,14 @@ let default_domains () = min 8 (Domain.recommended_domain_count ())
 
 let slices k xs =
   (* round-robin so dense candidate regions spread across domains *)
-  let buckets = Array.make k [] in
-  List.iteri (fun i x -> buckets.(i mod k) <- x :: buckets.(i mod k)) xs;
-  Array.to_list buckets |> List.filter (fun b -> b <> []) |> List.map List.rev
+  let n = Array.length xs in
+  let buckets =
+    Array.init (min k n) (fun b ->
+        (* bucket b takes xs.(b), xs.(b+k), ... — preserves ascending
+           order within each slice *)
+        Array.init ((n - b + k - 1) / k) (fun i -> xs.((i * k) + b)))
+  in
+  Array.to_list buckets
 
 let search ?domains ?order ?limit_per_domain p g space =
   let k = Flat_pattern.size p in
@@ -34,16 +39,24 @@ let search ?domains ?order ?limit_per_domain p g space =
         parts
     in
     let outcomes = List.map Domain.join workers in
-    List.fold_left
-      (fun acc o ->
-        {
-          Search.mappings = acc.Search.mappings @ o.Search.mappings;
-          n_found = acc.Search.n_found + o.Search.n_found;
-          visited = acc.Search.visited + o.Search.visited;
-          complete = acc.Search.complete && o.Search.complete;
-        })
-      { Search.mappings = []; n_found = 0; visited = 0; complete = true }
-      outcomes
+    (* accumulate reversed with rev_append (linear overall), then one
+       final rev — the old [acc.mappings @ o.mappings] fold was
+       quadratic in the number of domains × results *)
+    let rev_mappings, n_found, visited, complete =
+      List.fold_left
+        (fun (ms, n, vis, comp) o ->
+          ( List.rev_append o.Search.mappings ms,
+            n + o.Search.n_found,
+            vis + o.Search.visited,
+            comp && o.Search.complete ))
+        ([], 0, 0, true) outcomes
+    in
+    {
+      Search.mappings = List.rev rev_mappings;
+      n_found;
+      visited;
+      complete;
+    }
   end
 
 let count_matches ?domains ?(strategy = Engine.optimized) p g =

@@ -21,8 +21,13 @@ val search :
   Search.outcome
 (** [domains] defaults to [Domain.recommended_domain_count ()], capped
     at 8. Mapping order differs from the sequential search (slices
-    complete independently); counts are identical. [limit_per_domain]
-    caps each slice separately, so a global limit is approximate. *)
+    complete independently); counts are identical.
+
+    [limit_per_domain] is a {e per-domain} cap, not a global hit limit:
+    each of the [d] slices may report up to that many mappings, so the
+    merged outcome can hold up to [d × limit_per_domain] results. Use
+    it to bound per-worker latency; callers needing an exact global
+    limit should truncate the merged mappings themselves. *)
 
 val count_matches :
   ?domains:int -> ?strategy:Engine.strategy -> Flat_pattern.t -> Graph.t -> int

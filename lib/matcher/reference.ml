@@ -1,0 +1,108 @@
+open Gql_graph
+
+type edge_index = {
+  idx_directed : bool;
+  tbl : (int * int, int list) Hashtbl.t;
+}
+
+let build_index g =
+  let m = Graph.n_edges g in
+  let directed = Graph.directed g in
+  let tbl = Hashtbl.create (max 16 m) in
+  Graph.iter_edges g ~f:(fun i e ->
+      let key =
+        if directed || e.Graph.src <= e.Graph.dst then (e.Graph.src, e.Graph.dst)
+        else (e.Graph.dst, e.Graph.src)
+      in
+      let prev = Option.value (Hashtbl.find_opt tbl key) ~default:[] in
+      Hashtbl.replace tbl key (i :: prev));
+  { idx_directed = directed; tbl }
+
+let find_all_edges idx u v =
+  let key = if idx.idx_directed || u <= v then (u, v) else (v, u) in
+  Option.value (Hashtbl.find_opt idx.tbl key) ~default:[]
+
+(* seed representation: back edges as association lists *)
+let back_edges p order =
+  let g = p.Flat_pattern.structure in
+  let k = Array.length order in
+  let pos = Array.make (Flat_pattern.size p) (-1) in
+  Array.iteri (fun i u -> pos.(u) <- i) order;
+  Array.init k (fun i ->
+      let u = order.(i) in
+      let acc = ref [] in
+      Graph.iter_edges g ~f:(fun e { Graph.src; dst; _ } ->
+          if src = u && pos.(dst) < i then acc := (`Out, e, dst) :: !acc
+          else if dst = u && pos.(src) < i then acc := (`In, e, src) :: !acc);
+      !acc)
+
+let generic_run ?index ?(order = [||]) p g space ~on_match =
+  let k = Flat_pattern.size p in
+  let order = if Array.length order = 0 then Array.init k (fun i -> i) else order in
+  let index = match index with Some i -> i | None -> build_index g in
+  let candidates = Array.map Array.to_list space.Feasible.candidates in
+  let back = back_edges p order in
+  let phi = Array.make k (-1) in
+  let used = Bitset.create (max 1 (Graph.n_nodes g)) in
+  let visited = ref 0 in
+  let directed = Graph.directed p.Flat_pattern.structure in
+  let check i v =
+    incr visited;
+    List.for_all
+      (fun (dir, pe, u') ->
+        let v' = phi.(u') in
+        let s, d =
+          match dir with
+          | `Out -> (v, v')
+          | `In -> (v', v)
+        in
+        let candidate_edges =
+          if directed then
+            List.filter
+              (fun ge ->
+                let e = Graph.edge g ge in
+                e.Graph.src = s && e.Graph.dst = d)
+              (find_all_edges index s d)
+          else find_all_edges index s d
+        in
+        List.exists (fun ge -> Flat_pattern.edge_compat p g pe ge) candidate_edges)
+      back.(i)
+  in
+  let stopped = ref false in
+  let rec go i =
+    if !stopped then ()
+    else if i >= k then begin
+      if Flat_pattern.global_holds p g phi then
+        match on_match phi with `Continue -> () | `Stop -> stopped := true
+    end
+    else begin
+      let u = order.(i) in
+      List.iter
+        (fun v ->
+          if (not !stopped) && (not (Bitset.mem used v)) && check i v then begin
+            phi.(u) <- v;
+            Bitset.add used v;
+            go (i + 1);
+            phi.(u) <- -1;
+            Bitset.remove used v
+          end)
+        candidates.(u)
+    end
+  in
+  if k = 0 then ()
+  else if Array.exists (fun c -> c = []) candidates then ()
+  else go 0;
+  (!visited, !stopped)
+
+let run ?index ?(exhaustive = true) ?limit ?order p g space =
+  let results = ref [] in
+  let n = ref 0 in
+  let on_match phi =
+    incr n;
+    results := Array.copy phi :: !results;
+    let hit_limit = match limit with Some l -> !n >= l | None -> false in
+    if hit_limit || not exhaustive then `Stop else `Continue
+  in
+  let visited, _stopped = generic_run ?index ?order p g space ~on_match in
+  let hit_limit = match limit with Some l -> !n >= l | None -> false in
+  { Search.mappings = List.rev !results; n_found = !n; visited; complete = not hit_limit }

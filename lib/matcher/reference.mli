@@ -1,0 +1,34 @@
+(** The seed list-based backtracking search, retained verbatim.
+
+    This is the pre-optimization implementation of Algorithm 4.1: [int
+    list] candidate sets and a polymorphic [(src, dst) -> edge ids]
+    hash table probed with boxed pair keys on every backtracking step.
+    It exists for two reasons:
+
+    - as a semantic oracle — the array-backed {!Search} must return the
+      same mappings and [n_found] (property-tested on random graphs);
+    - as the baseline of the [BENCH_*.json] performance trajectory —
+      the micro benchmark times it against {!Search} on the same
+      candidate spaces.
+
+    Do not use it in production paths. *)
+
+open Gql_graph
+
+type edge_index
+(** The seed's [(normalized endpoints) -> edge id list] hash table. *)
+
+val build_index : Graph.t -> edge_index
+
+val run :
+  ?index:edge_index ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?order:int array ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Search.outcome
+(** Same contract as {!Search.run}. [index] defaults to building one on
+    the fly; pass a prebuilt index when timing the search phase alone
+    (the seed built it at graph-construction time). *)

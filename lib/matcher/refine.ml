@@ -6,44 +6,63 @@ type stats = {
   removed : int;
 }
 
-let undirected_neighbors g v =
-  let out = Array.to_list (Graph.neighbors g v) |> List.map fst in
-  let all =
-    if Graph.directed g then
-      out @ (Array.to_list (Graph.in_neighbors g v) |> List.map fst)
-    else out
-  in
-  List.sort_uniq compare all
+(* Per-refinement memo: pattern neighborhoods are precomputed (k is
+   small), data-graph neighborhoods are filled on first touch, and the
+   bipartite adjacency is a scratch buffer reused across every
+   [has_semi_perfect] call instead of being reallocated per pair. *)
+type memo = {
+  pat_nbrs : int array array;
+  g_nbrs : int array option array;
+  mutable bip_adj : int list array;
+}
 
-let pattern_neighbors p u = undirected_neighbors p.Flat_pattern.structure u
-let graph_neighbors g v = undirected_neighbors g v
+let make_memo p g =
+  {
+    pat_nbrs =
+      Array.init (Flat_pattern.size p) (fun u ->
+          Graph.undirected_neighbor_ids p.Flat_pattern.structure u);
+    g_nbrs = Array.make (Graph.n_nodes g) None;
+    bip_adj = Array.make 8 [];
+  }
+
+let graph_nbrs memo g v =
+  match memo.g_nbrs.(v) with
+  | Some ns -> ns
+  | None ->
+    let ns = Graph.undirected_neighbor_ids g v in
+    memo.g_nbrs.(v) <- Some ns;
+    ns
 
 (* B(u,v): left = neighbors of u in the pattern, right = neighbors of v
    in the graph, edge iff v' ∈ Φ(u'). *)
-let has_semi_perfect p g phi u v =
-  let nu = pattern_neighbors p u in
-  let nv = Array.of_list (graph_neighbors g v) in
-  let adj =
-    List.map
-      (fun u' ->
-        let ns = ref [] in
-        Array.iteri (fun j v' -> if Bitset.mem phi.(u') v' then ns := j :: !ns) nv;
-        !ns)
-      nu
-  in
-  Bipartite.semi_perfect
-    { nl = List.length nu; nr = Array.length nv; adj = Array.of_list adj }
+let has_semi_perfect memo g phi u v =
+  let nu = memo.pat_nbrs.(u) in
+  let nv = graph_nbrs memo g v in
+  let nl = Array.length nu and nr = Array.length nv in
+  if nl > Array.length memo.bip_adj then
+    memo.bip_adj <- Array.make (max nl (2 * Array.length memo.bip_adj)) [];
+  let adj = memo.bip_adj in
+  for li = 0 to nl - 1 do
+    let phi_u' = phi.(nu.(li)) in
+    let ns = ref [] in
+    for j = nr - 1 downto 0 do
+      if Bitset.mem phi_u' nv.(j) then ns := j :: !ns
+    done;
+    adj.(li) <- !ns
+  done;
+  Bipartite.semi_perfect { nl; nr; adj }
 
 let to_space k phi =
-  { Feasible.candidates = Array.init k (fun u -> Bitset.to_list phi.(u)) }
+  { Feasible.candidates = Array.init k (fun u -> Bitset.to_array phi.(u)) }
 
 let refine ?level p g space =
   let k = Flat_pattern.size p in
   let n = Graph.n_nodes g in
   let level = Option.value level ~default:k in
   let phi =
-    Array.map (fun l -> Bitset.of_list n l) space.Feasible.candidates
+    Array.map (fun c -> Bitset.of_array n c) space.Feasible.candidates
   in
+  let memo = make_memo p g in
   let marked : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
   let mark u v = Hashtbl.replace marked (u, v) () in
   Array.iteri (fun u s -> Bitset.iter s (fun v -> mark u v)) phi;
@@ -61,17 +80,17 @@ let refine ?level p g space =
               batch *)
            if Hashtbl.mem marked (u, v) && Bitset.mem phi.(u) v then begin
              incr pairs_checked;
-             if has_semi_perfect p g phi u v then Hashtbl.remove marked (u, v)
+             if has_semi_perfect memo g phi u v then Hashtbl.remove marked (u, v)
              else begin
                Hashtbl.remove marked (u, v);
                Bitset.remove phi.(u) v;
                incr removed;
-               List.iter
+               Array.iter
                  (fun u' ->
-                   List.iter
+                   Array.iter
                      (fun v' -> if Bitset.mem phi.(u') v' then mark u' v')
-                     (graph_neighbors g v))
-                 (pattern_neighbors p u)
+                     (graph_nbrs memo g v))
+                 memo.pat_nbrs.(u)
              end
            end
            else Hashtbl.remove marked (u, v))
@@ -86,8 +105,9 @@ let refine_naive ?level p g space =
   let n = Graph.n_nodes g in
   let level = Option.value level ~default:k in
   let phi =
-    Array.map (fun l -> Bitset.of_list n l) space.Feasible.candidates
+    Array.map (fun c -> Bitset.of_array n c) space.Feasible.candidates
   in
+  let memo = make_memo p g in
   let pairs_checked = ref 0 in
   let removed = ref 0 in
   let levels_run = ref 0 in
@@ -96,15 +116,15 @@ let refine_naive ?level p g space =
        incr levels_run;
        let changed = ref false in
        for u = 0 to k - 1 do
-         List.iter
+         Array.iter
            (fun v ->
              incr pairs_checked;
-             if not (has_semi_perfect p g phi u v) then begin
+             if not (has_semi_perfect memo g phi u v) then begin
                Bitset.remove phi.(u) v;
                incr removed;
                changed := true
              end)
-           (Bitset.to_list phi.(u))
+           (Bitset.to_array phi.(u))
        done;
        if not !changed then raise Exit
      done

@@ -7,8 +7,18 @@ type outcome = {
   complete : bool;
 }
 
-(* pattern edges from order.(i) to nodes earlier in the order, as
-   (earlier-position source?, pattern edge id, other endpoint) *)
+(* Pattern edges from order.(i) to nodes earlier in the order, as flat
+   parallel arrays so the inner check loop touches no list cells:
+   is_out.(j) — does the edge leave order.(i)?; pe.(j) — pattern edge
+   id; other.(j) — the already-mapped endpoint; triv.(j) — pattern edge
+   has no constraints, so any connecting data edge satisfies it. *)
+type back = {
+  is_out : bool array;
+  pe : int array;
+  other : int array;
+  triv : bool array;
+}
+
 let back_edges p order =
   let g = p.Flat_pattern.structure in
   let k = Array.length order in
@@ -18,9 +28,15 @@ let back_edges p order =
       let u = order.(i) in
       let acc = ref [] in
       Graph.iter_edges g ~f:(fun e { Graph.src; dst; _ } ->
-          if src = u && pos.(dst) < i then acc := (`Out, e, dst) :: !acc
-          else if dst = u && pos.(src) < i then acc := (`In, e, src) :: !acc);
-      !acc)
+          if src = u && pos.(dst) < i then acc := (true, e, dst) :: !acc
+          else if dst = u && pos.(src) < i then acc := (false, e, src) :: !acc);
+      let arr = Array.of_list !acc in
+      {
+        is_out = Array.map (fun (o, _, _) -> o) arr;
+        pe = Array.map (fun (_, e, _) -> e) arr;
+        other = Array.map (fun (_, _, w) -> w) arr;
+        triv = Array.map (fun (_, e, _) -> Flat_pattern.edge_always_compat p e) arr;
+      })
 
 let generic_run ?(order = [||]) p g space ~on_match =
   let k = Flat_pattern.size p in
@@ -29,28 +45,55 @@ let generic_run ?(order = [||]) p g space ~on_match =
   let phi = Array.make k (-1) in
   let used = Bitset.create (max 1 (Graph.n_nodes g)) in
   let visited = ref 0 in
-  let directed = Graph.directed p.Flat_pattern.structure in
+  let pattern_directed = Graph.directed p.Flat_pattern.structure in
+  (* Check(uᵢ, v): every pattern edge from uᵢ to an already-mapped node
+     needs a compatible data edge. Each probe is a binary search over
+     the sorted adjacency row of the mapped source, then a scan of the
+     contiguous parallel-edge run — no hash lookups, no allocation. *)
   let check i v =
     incr visited;
-    List.for_all
-      (fun (dir, pe, u') ->
-        let v' = phi.(u') in
-        let s, d =
-          match dir with
-          | `Out -> (v, v')
-          | `In -> (v', v)
-        in
-        let candidate_edges =
-          if directed then
-            List.filter
-              (fun ge ->
-                let e = Graph.edge g ge in
-                e.Graph.src = s && e.Graph.dst = d)
-              (Graph.find_all_edges g s d)
-          else Graph.find_all_edges g s d
-        in
-        List.exists (fun ge -> Flat_pattern.edge_compat p g pe ge) candidate_edges)
-      back.(i)
+    let b = back.(i) in
+    let nb = Array.length b.pe in
+    let ok = ref true in
+    let j = ref 0 in
+    while !ok && !j < nb do
+      let v' = phi.(Array.unsafe_get b.other !j) in
+      let out = Array.unsafe_get b.is_out !j in
+      let s = if out then v else v' in
+      let d = if out then v' else v in
+      let row = Graph.adj_nbrs g s in
+      let n = Array.length row in
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) lsr 1 in
+        if Array.unsafe_get row mid < d then lo := mid + 1 else hi := mid
+      done;
+      if !lo >= n || Array.unsafe_get row !lo <> d then ok := false
+      else if (not pattern_directed) && Array.unsafe_get b.triv !j then
+        (* unconstrained undirected pattern edge: membership suffices *)
+        ()
+      else begin
+        let pe = Array.unsafe_get b.pe !j in
+        let triv = Array.unsafe_get b.triv !j in
+        let eids = Graph.adj_eids g s in
+        let found = ref false in
+        while (not !found) && !lo < n && Array.unsafe_get row !lo = d do
+          let ge = Array.unsafe_get eids !lo in
+          let oriented =
+            (not pattern_directed)
+            ||
+            let e = Graph.edge g ge in
+            e.Graph.src = s && e.Graph.dst = d
+          in
+          if oriented && (triv || Flat_pattern.edge_compat p g pe ge) then
+            found := true
+          else incr lo
+        done;
+        if not !found then ok := false
+      end;
+      incr j
+    done;
+    !ok
   in
   let stopped = ref false in
   let rec go i =
@@ -61,20 +104,25 @@ let generic_run ?(order = [||]) p g space ~on_match =
     end
     else begin
       let u = order.(i) in
-      List.iter
-        (fun v ->
-          if (not !stopped) && (not (Bitset.mem used v)) && check i v then begin
-            phi.(u) <- v;
-            Bitset.add used v;
-            go (i + 1);
-            phi.(u) <- -1;
-            Bitset.remove used v
-          end)
-        space.Feasible.candidates.(u)
+      let cands = space.Feasible.candidates.(u) in
+      let n = Array.length cands in
+      let ci = ref 0 in
+      while (not !stopped) && !ci < n do
+        let v = Array.unsafe_get cands !ci in
+        if (not (Bitset.mem used v)) && check i v then begin
+          phi.(u) <- v;
+          Bitset.add used v;
+          go (i + 1);
+          phi.(u) <- -1;
+          Bitset.remove used v
+        end;
+        incr ci
+      done
     end
   in
   if k = 0 then ()
-  else if Array.exists (fun c -> c = []) space.Feasible.candidates then ()
+  else if Array.exists (fun c -> Array.length c = 0) space.Feasible.candidates
+  then ()
   else go 0;
   (!visited, !stopped)
 

@@ -17,9 +17,9 @@ let test_retrieve_by_profiles () =
   let g = sample_g () in
   let space = Feasible.compute ~retrieval:`Profiles (triangle_p ()) g in
   Alcotest.(check (list int)) "{A1}x{B1,B2}x{C2}" [ 1; 2; 1 ] (space_sizes space);
-  Alcotest.(check (list int)) "A candidates" [ 0 ] space.Feasible.candidates.(0);
-  Alcotest.(check (list int)) "B candidates" [ 1; 3 ] space.Feasible.candidates.(1);
-  Alcotest.(check (list int)) "C candidates" [ 4 ] space.Feasible.candidates.(2)
+  Alcotest.(check (array int)) "A candidates" [| 0 |] space.Feasible.candidates.(0);
+  Alcotest.(check (array int)) "B candidates" [| 1; 3 |] space.Feasible.candidates.(1);
+  Alcotest.(check (array int)) "C candidates" [| 4 |] space.Feasible.candidates.(2)
 
 let test_retrieve_by_subgraphs () =
   let g = sample_g () in
@@ -33,9 +33,9 @@ let test_refinement_figure_4_18 () =
   let space0 = Feasible.compute ~retrieval:`Node_attrs p g in
   let refined, stats = Refine.refine p g space0 in
   Alcotest.(check (list int)) "output {A1}x{B1}x{C2}" [ 1; 1; 1 ] (space_sizes refined);
-  Alcotest.(check (list int)) "A -> A1" [ 0 ] refined.Feasible.candidates.(0);
-  Alcotest.(check (list int)) "B -> B1" [ 1 ] refined.Feasible.candidates.(1);
-  Alcotest.(check (list int)) "C -> C2" [ 4 ] refined.Feasible.candidates.(2);
+  Alcotest.(check (array int)) "A -> A1" [| 0 |] refined.Feasible.candidates.(0);
+  Alcotest.(check (array int)) "B -> B1" [| 1 |] refined.Feasible.candidates.(1);
+  Alcotest.(check (array int)) "C -> C2" [| 4 |] refined.Feasible.candidates.(2);
   Alcotest.(check bool) "ran at least 2 levels" true (stats.Refine.levels_run >= 2);
   Alcotest.(check bool) "removed 3 pairs" true (stats.Refine.removed = 3)
 
@@ -151,6 +151,48 @@ let test_edge_predicate () =
   in
   Alcotest.(check int) "only the heavy edge matches" 1 (Engine.count_matches p g)
 
+let test_directed_multigraph_back_edges () =
+  (* two parallel X->Y edges of which only one satisfies the edge
+     predicate, plus a decoy Y->X edge that does: the candidate check
+     must scan the whole parallel-edge run and respect orientation, in
+     both the `Out (order [X;Y]) and `In (order [Y;X]) back-edge
+     directions *)
+  let b = Graph.Builder.create ~directed:true () in
+  let x = Graph.Builder.add_labeled_node b "X" in
+  let y = Graph.Builder.add_labeled_node b "Y" in
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Int 1) ]) x y);
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Int 2) ]) x y);
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Int 9) ]) y x);
+  let g = Graph.Builder.build b in
+  let pattern pred =
+    let pb = Graph.Builder.create ~directed:true () in
+    let u = Graph.Builder.add_labeled_node pb "X" in
+    let v = Graph.Builder.add_labeled_node pb "Y" in
+    let e = Graph.Builder.add_edge pb u v in
+    Flat_pattern.of_graph ~edge_preds:[ (e, pred) ] (Graph.Builder.build pb)
+  in
+  let check_orders name p expected =
+    let space = Feasible.compute ~retrieval:`Node_attrs p g in
+    List.iter
+      (fun (dir, order) ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s (%s back edge)" name dir)
+          expected
+          (Search.run ~order p g space).Search.n_found;
+        Alcotest.(check int)
+          (Printf.sprintf "%s (%s back edge, reference)" name dir)
+          expected
+          (Reference.run ~order p g space).Search.n_found)
+      [ ("In", [| 0; 1 |]); ("Out", [| 1; 0 |]) ]
+  in
+  (* only the w=2 parallel edge qualifies: one mapping *)
+  check_orders "one of two parallel edges" (pattern Pred.(attr "w" > int 1)) 1;
+  (* both parallel edges qualify: still one node mapping *)
+  check_orders "both parallel edges" (pattern Pred.(attr "w" > int 0)) 1;
+  (* neither X->Y edge qualifies; the w=9 edge runs the other way and
+     must not leak through the orientation check *)
+  check_orders "orientation respected" (pattern Pred.(attr "w" > int 5)) 0
+
 let test_directed_matching () =
   let g = Graph.of_labeled ~directed:true ~labels:[| "A"; "B" |] [ (0, 1) ] in
   let p_fwd = Graph.of_labeled ~directed:true ~labels:[| "A"; "B" |] [ (0, 1) ] in
@@ -220,7 +262,7 @@ let prop_refine_sound =
       List.for_all
         (fun phi ->
           Array.to_list phi
-          |> List.mapi (fun u v -> List.mem v refined.Feasible.candidates.(u))
+          |> List.mapi (fun u v -> Feasible.mem refined u v)
           |> List.for_all Fun.id)
         embeddings)
 
@@ -237,7 +279,7 @@ let prop_local_pruning_sound =
         List.for_all
           (fun phi ->
             Array.to_list phi
-            |> List.mapi (fun u v -> List.mem v space.Feasible.candidates.(u))
+            |> List.mapi (fun u v -> Feasible.mem space u v)
             |> List.for_all Fun.id)
           embeddings
       in
@@ -253,7 +295,8 @@ let prop_profile_weaker_than_subgraph =
       let prof = Feasible.compute ~retrieval:`Profiles p g in
       let sub = Feasible.compute ~retrieval:`Subgraphs p g in
       Array.for_all2
-        (fun sub_c prof_c -> List.for_all (fun v -> List.mem v prof_c) sub_c)
+        (fun sub_c prof_c ->
+          Array.for_all (fun v -> Array.mem v prof_c) sub_c)
         sub.Feasible.candidates prof.Feasible.candidates)
 
 let prop_order_permutation =
@@ -358,9 +401,54 @@ let prop_search_respects_candidates =
       List.for_all
         (fun phi ->
           Array.to_list phi
-          |> List.mapi (fun u v -> List.mem v space.Feasible.candidates.(u))
+          |> List.mapi (fun u v -> Feasible.mem space u v)
           |> List.for_all Fun.id)
         out.Search.mappings)
+
+(* directed multigraphs: parallel edges and both orientations allowed *)
+let gen_directed_multigraph ~max_n =
+  QCheck.Gen.(
+    int_range 1 max_n >>= fun n ->
+    list_size (int_range 0 (2 * n)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun edges ->
+    array_size (return n) (int_range 0 (Array.length labels_pool - 1))
+    >|= fun label_ids ->
+    let labels = Array.map (fun i -> labels_pool.(i)) label_ids in
+    Graph.of_labeled ~directed:true ~labels edges)
+
+let same_outcome (a : Search.outcome) (b : Search.outcome) =
+  a.Search.n_found = b.Search.n_found && a.Search.mappings = b.Search.mappings
+
+(* the tentpole guard: the array-backed Feasible/Refine/Search pipeline
+   returns the same match sets and counts as the retained seed
+   list-based implementation *)
+let prop_array_pipeline_matches_reference =
+  QCheck.Test.make
+    ~name:"array-backed pipeline = seed reference matcher" ~count:120
+    (QCheck.make
+       QCheck.Gen.(pair (gen_labeled_graph ~max_n:8) (gen_labeled_graph ~max_n:4))
+       ~print:(fun (g, pg) ->
+         Printf.sprintf "target:\n%s\npattern:\n%s" (graph_print g) (graph_print pg)))
+    (fun (g, pg) ->
+      let p = Flat_pattern.of_graph pg in
+      let space = Feasible.compute ~retrieval:`Profiles p g in
+      let refined, _ = Refine.refine p g space in
+      let order = Order.greedy p ~sizes:(Feasible.sizes refined) in
+      same_outcome (Search.run ~order p g refined) (Reference.run ~order p g refined)
+      && same_outcome (Search.run p g space) (Reference.run p g space))
+
+let prop_directed_multigraph_matches_reference =
+  QCheck.Test.make
+    ~name:"directed multigraph search = seed reference matcher" ~count:120
+    (QCheck.make
+       QCheck.Gen.(
+         pair (gen_directed_multigraph ~max_n:6) (gen_directed_multigraph ~max_n:3))
+       ~print:(fun (g, pg) ->
+         Printf.sprintf "target:\n%s\npattern:\n%s" (graph_print g) (graph_print pg)))
+    (fun (g, pg) ->
+      let p = Flat_pattern.of_graph pg in
+      let space = Feasible.compute ~retrieval:`Node_attrs p g in
+      same_outcome (Search.run p g space) (Reference.run p g space))
 
 let suite =
   [
@@ -377,6 +465,8 @@ let suite =
     Alcotest.test_case "graph-wide predicate" `Quick test_global_predicate;
     Alcotest.test_case "edge predicates" `Quick test_edge_predicate;
     Alcotest.test_case "directed matching" `Quick test_directed_matching;
+    Alcotest.test_case "directed multigraph back edges" `Quick
+      test_directed_multigraph_back_edges;
     Alcotest.test_case "greedy vs exhaustive order" `Quick test_greedy_vs_exhaustive_cost;
     Alcotest.test_case "frequency cost model" `Quick test_frequency_cost_model;
     Alcotest.test_case "bitset" `Quick test_bitset;
@@ -391,4 +481,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_order_permutation;
     QCheck_alcotest.to_alcotest prop_exhaustive_order_no_worse;
     QCheck_alcotest.to_alcotest prop_search_respects_candidates;
+    QCheck_alcotest.to_alcotest prop_array_pipeline_matches_reference;
+    QCheck_alcotest.to_alcotest prop_directed_multigraph_matches_reference;
   ]

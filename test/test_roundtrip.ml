@@ -70,7 +70,7 @@ let prop_refined_subset_of_initial =
       let space = Gql_matcher.Feasible.compute ~retrieval:`Node_attrs p g in
       let refined, _ = Gql_matcher.Refine.refine p g space in
       Array.for_all2
-        (fun r s -> List.for_all (fun v -> List.mem v s) r)
+        (fun r s -> Array.for_all (fun v -> Array.mem v s) r)
         refined.Gql_matcher.Feasible.candidates space.Gql_matcher.Feasible.candidates)
 
 let prop_btree_height_logarithmic =
