@@ -595,6 +595,101 @@ let storage () =
   Gql_storage.Store.close st;
   Sys.remove path
 
+(* governance smoke: the budget machinery (visited counter, step-budget
+   compare, clock poll every 1024 checks) must be invisible on the §5
+   workload. Same prepared spaces and orders on both sides; only the
+   budget argument differs. Fails loudly if overhead exceeds 2%. *)
+let budget_overhead () =
+  header "Budget governance overhead: PPI clique search, governed vs ungoverned";
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  (* a real budget that never fires: the poll path executes (clock
+     reads, token loads) but the search always runs to completion *)
+  let governed = Gql_matcher.Budget.make ~deadline:3600.0 ~max_visited:max_int () in
+  row "%-6s %10s %16s %16s %10s\n" "size" "queries" "ungoverned (ms)"
+    "governed (ms)" "overhead";
+  let cells =
+    List.map
+      (fun size ->
+        let rng = Rng.create (60200 + size) in
+        let n_queries = scale 80 400 in
+        let prepared =
+          List.init n_queries (fun _ ->
+              let q = Queries.clique ~weights rng ~labels ~size in
+              let space =
+                Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+                  ~profile_index:pidx q g
+              in
+              let order = Order.greedy q ~sizes:(Feasible.sizes space) in
+              (q, space, order))
+        in
+        let run_all ?budget () =
+          List.iter
+            (fun (q, space, order) ->
+              ignore (Search.run ~limit:hit_limit ?budget ~order q g space))
+            prepared
+        in
+        run_all () (* warmup *);
+        run_all ~budget:governed ();
+        (* paired rounds: the two sides run back-to-back so GC pauses
+           and scheduler noise hit both; the per-round ratio is then
+           load-invariant, and the median ratio sheds the outliers *)
+        let pairs =
+          Array.init 9 (fun _ ->
+              let _, a = time (fun () -> run_all ()) in
+              let _, b = time (fun () -> run_all ~budget:governed ()) in
+              (a, b))
+        in
+        let t_plain = Array.fold_left (fun m (a, _) -> min m a) infinity pairs in
+        let t_gov = Array.fold_left (fun m (_, b) -> min m b) infinity pairs in
+        let ratios = Array.map (fun (a, b) -> b /. a) pairs in
+        Array.sort compare ratios;
+        let med = ratios.(Array.length ratios / 2) in
+        row "%-6d %10d %16.3f %16.3f %9.2f%%\n" size n_queries (ms t_plain)
+          (ms t_gov)
+          (100.0 *. (med -. 1.0));
+        (size, n_queries, t_plain, t_gov, ratios))
+      [ 4; 5; 6 ]
+  in
+  let all_ratios =
+    Array.concat (List.map (fun (_, _, _, _, rs) -> rs) cells)
+  in
+  Array.sort compare all_ratios;
+  let overhead = all_ratios.(Array.length all_ratios / 2) -. 1.0 in
+  row "overall overhead: %.2f%% (budget: 1h deadline + max_int steps, never fires)\n"
+    (100.0 *. overhead);
+  emit_json "budget.overhead"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "PPI clique queries, profiles retrieval, greedy order, limit 1000"
+         );
+         ( "sizes",
+           Json.List
+             (List.map
+                (fun (size, n_queries, t_plain, t_gov, ratios) ->
+                  Json.Obj
+                    [
+                      ("size", Json.Int size);
+                      ("queries", Json.Int n_queries);
+                      ("t_ungoverned_ms", Json.Float (ms t_plain));
+                      ("t_governed_ms", Json.Float (ms t_gov));
+                      ( "overhead_pct",
+                        Json.Float
+                          (100.0
+                          *. (ratios.(Array.length ratios / 2) -. 1.0)) );
+                    ])
+                cells) );
+         ("overhead_pct", Json.Float (100.0 *. overhead));
+         ("threshold_pct", Json.Float 2.0);
+       ]);
+  if overhead >= 0.02 then (
+    Printf.eprintf "FAIL: budget governance overhead %.2f%% >= 2%%\n"
+      (100.0 *. overhead);
+    exit 1)
+
 (* ---------------------------------------------------------------------- *)
 (* bechamel micro-benchmarks of the core primitives                        *)
 
@@ -776,6 +871,7 @@ let experiments =
     ("collection", collection);
     ("parallel", parallel);
     ("storage", storage);
+    ("budget", budget_overhead);
     ("micro", micro);
   ]
 

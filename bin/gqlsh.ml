@@ -4,13 +4,20 @@
    gqlsh match --pattern P.gql --graph G.gql        run the selection operator
    gqlsh explain QUERY.gql                          print the algebra expression
    gqlsh stats --graph G.gql                        graph statistics
+   gqlsh store FILE.store                           inspect a disk store
    gqlsh gen ppi|er|dblp|chem [-o out.gql]          generate datasets
 
    A .gql graph file is a sequence of named `graph ... { ... };`
-   declarations; all of them form the collection. *)
+   declarations; all of them form the collection.
+
+   Exit codes (stable, asserted by the CLI tests): 0 success, 1 usage,
+   2 parse error, 3 evaluation error, 4 corrupt store, 124 deadline or
+   budget stop. Every failure prints a one-line diagnostic on stderr —
+   never a raw OCaml exception. *)
 
 open Gql_core
 open Gql_graph
+module Budget = Gql_matcher.Budget
 
 let read_file path =
   let ic = open_in_bin path in
@@ -33,144 +40,225 @@ let strategy_of_string = function
   | "baseline" -> Gql_matcher.Engine.baseline
   | "subgraphs" ->
     { Gql_matcher.Engine.optimized with retrieval = `Subgraphs }
-  | s -> raise (Invalid_argument (Printf.sprintf "unknown strategy %S" s))
+  | s -> Error.raise_ (Error.Usage (Printf.sprintf "unknown strategy %S" s))
+
+let budget_of timeout max_visited =
+  match (timeout, max_visited) with
+  | None, None -> None
+  | _ ->
+    (try Some (Budget.make ?deadline:timeout ?max_visited ()) with
+    | Invalid_argument msg -> Error.raise_ (Error.Usage msg))
+
+(* Uniform failure boundary: every command body runs under this, so the
+   process always exits through the taxonomy's code, never an OCaml
+   backtrace. *)
+let guarded f =
+  try f () with
+  | Error.E t ->
+    Format.eprintf "gqlsh: %s@." (Error.to_string t);
+    Error.exit_code t
+  | Failure msg | Invalid_argument msg ->
+    Format.eprintf "gqlsh: %s@." msg;
+    1
+  | e ->
+    (* library exceptions raised outside Gql.wrap (e.g. Codec.Corrupt
+       from the store command) still map onto the taxonomy *)
+    (match Error.classify e with
+    | Some t ->
+      Format.eprintf "gqlsh: %s@." (Error.to_string t);
+      Error.exit_code t
+    | None -> raise e)
+
+(* A budget stop is reported on stderr and through exit code 124, but
+   the partial results are still printed first — a deadline delivers
+   what was found, it does not discard it. *)
+let finish_with stopped what =
+  match Error.of_stop_reason stopped what with
+  | None -> 0
+  | Some t ->
+    Format.eprintf "gqlsh: %s (partial results above)@." (Error.to_string t);
+    Error.exit_code t
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_cmd query_file docs verbose =
-  try
-    let docs =
-      List.map
-        (fun spec ->
-          match String.index_opt spec '=' with
-          | Some i ->
-            let name = String.sub spec 0 i in
-            let path = String.sub spec (i + 1) (String.length spec - i - 1) in
-            (name, load_collection path)
-          | None -> failwith (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec))
-        docs
-    in
-    let result = Gql.run_query ~docs (read_file query_file) in
-    List.iter
-      (fun (name, g) ->
-        Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
-      (List.rev result.Eval.vars);
-    let returned = Eval.returned result in
-    if returned <> [] then begin
-      Format.printf "-- returned %d graph(s) --@." (List.length returned);
-      if verbose then List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
-    end;
-    `Ok ()
-  with
-  | Gql.Error msg | Failure msg -> `Error (false, msg)
-  | Sys_error msg -> `Error (false, msg)
+let run_cmd query_file docs timeout max_visited verbose =
+  guarded (fun () ->
+      let docs =
+        List.map
+          (fun spec ->
+            match String.index_opt spec '=' with
+            | Some i ->
+              let name = String.sub spec 0 i in
+              let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+              (name, load_collection path)
+            | None ->
+              Error.raise_
+                (Error.Usage
+                   (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
+          docs
+      in
+      (* the deadline clock starts after the inputs are loaded: it
+         governs query execution, not file parsing *)
+      let budget = budget_of timeout max_visited in
+      let result = Gql.run_query ~docs ?budget (read_file query_file) in
+      List.iter
+        (fun (name, g) ->
+          Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
+        (List.rev result.Eval.vars);
+      let returned = Eval.returned result in
+      if returned <> [] then begin
+        Format.printf "-- returned %d graph(s) --@." (List.length returned);
+        if verbose then
+          List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
+      end;
+      finish_with result.Eval.stopped "query")
 
 (* --- match -------------------------------------------------------------- *)
 
-let match_cmd pattern_file graph_file strategy exhaustive limit verbose =
-  try
-    let strategy = strategy_of_string strategy in
-    let graphs = load_collection graph_file in
-    let patterns = Gql.patterns_of_string (read_file pattern_file) in
-    let entries = List.map (fun g -> Algebra.G g) graphs in
-    let t0 = Unix.gettimeofday () in
-    let matches = Algebra.select ~strategy ~exhaustive ?limit ~patterns entries in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    Format.printf "%d match(es) in %.2f ms@." (List.length matches)
-      (1000.0 *. elapsed);
-    if verbose then
-      List.iter
-        (function
-          | Algebra.M m -> Format.printf "%a@.@." Graph.pp (Matched.to_graph m)
-          | Algebra.G _ -> ())
-        matches;
-    `Ok ()
-  with
-  | Gql.Error msg | Failure msg | Invalid_argument msg -> `Error (false, msg)
-  | Sys_error msg -> `Error (false, msg)
+let match_cmd pattern_file graph_file strategy exhaustive limit timeout
+    max_visited verbose =
+  guarded (fun () ->
+      let strategy = strategy_of_string strategy in
+      let graphs = load_collection graph_file in
+      let patterns = Gql.patterns_of_string (read_file pattern_file) in
+      let entries = List.map (fun g -> Algebra.G g) graphs in
+      let budget = budget_of timeout max_visited in
+      let t0 = Unix.gettimeofday () in
+      let matches, stopped =
+        Algebra.select_governed ~strategy ~exhaustive ?limit ?budget ~patterns
+          entries
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Format.printf "%d match(es) in %.2f ms@." (List.length matches)
+        (1000.0 *. elapsed);
+      if verbose then
+        List.iter
+          (function
+            | Algebra.M m -> Format.printf "%a@.@." Graph.pp (Matched.to_graph m)
+            | Algebra.G _ -> ())
+          matches;
+      finish_with stopped "match")
 
 (* --- explain ------------------------------------------------------------ *)
 
 let explain_cmd query_file =
-  try
-    let plan = Plan.compile (Gql.parse_program (read_file query_file)) in
-    Format.printf "%a@." Plan.pp plan;
-    `Ok ()
-  with
-  | Gql.Error msg | Plan.Error msg | Failure msg -> `Error (false, msg)
-  | Sys_error msg -> `Error (false, msg)
+  guarded (fun () ->
+      let plan = Plan.compile (Gql.parse_program (read_file query_file)) in
+      Format.printf "%a@." Plan.pp plan;
+      0)
 
 (* --- stats -------------------------------------------------------------- *)
 
 let stats_cmd graph_file =
-  try
-    List.iter
-      (fun g ->
-        let idx = Gql_index.Label_index.build g in
-        Format.printf "graph %s: %d nodes, %d edges, %d labels@."
-          (Option.value (Graph.name g) ~default:"<anonymous>")
-          (Graph.n_nodes g) (Graph.n_edges g)
-          (Gql_index.Label_index.distinct_labels idx);
-        let degrees = List.init (Graph.n_nodes g) (Graph.degree g) in
-        let dmax = List.fold_left max 0 degrees in
-        let dsum = List.fold_left ( + ) 0 degrees in
-        if Graph.n_nodes g > 0 then
-          Format.printf "  mean degree %.2f, max degree %d@."
-            (float_of_int dsum /. float_of_int (Graph.n_nodes g))
-            dmax;
-        match Gql_index.Label_index.top_frequent idx 5 with
-        | [] -> ()
-        | top ->
-          Format.printf "  top labels:";
-          List.iter
-            (fun l -> Format.printf " %s(%d)" l (Gql_index.Label_index.frequency idx l))
-            top;
-          Format.printf "@.")
-      (load_collection graph_file);
-    `Ok ()
-  with
-  | Gql.Error msg | Failure msg -> `Error (false, msg)
-  | Sys_error msg -> `Error (false, msg)
+  guarded (fun () ->
+      List.iter
+        (fun g ->
+          let idx = Gql_index.Label_index.build g in
+          Format.printf "graph %s: %d nodes, %d edges, %d labels@."
+            (Option.value (Graph.name g) ~default:"<anonymous>")
+            (Graph.n_nodes g) (Graph.n_edges g)
+            (Gql_index.Label_index.distinct_labels idx);
+          let degrees = List.init (Graph.n_nodes g) (Graph.degree g) in
+          let dmax = List.fold_left max 0 degrees in
+          let dsum = List.fold_left ( + ) 0 degrees in
+          if Graph.n_nodes g > 0 then
+            Format.printf "  mean degree %.2f, max degree %d@."
+              (float_of_int dsum /. float_of_int (Graph.n_nodes g))
+              dmax;
+          match Gql_index.Label_index.top_frequent idx 5 with
+          | [] -> ()
+          | top ->
+            Format.printf "  top labels:";
+            List.iter
+              (fun l ->
+                Format.printf " %s(%d)" l (Gql_index.Label_index.frequency idx l))
+              top;
+            Format.printf "@.")
+        (load_collection graph_file);
+      0)
+
+(* --- store -------------------------------------------------------------- *)
+
+let store_cmd store_file =
+  guarded (fun () ->
+      let store = Gql_storage.Store.open_existing store_file in
+      Fun.protect
+        ~finally:(fun () -> Gql_storage.Store.close store)
+        (fun () ->
+          let n = Gql_storage.Store.n_graphs store in
+          Format.printf "store %s: %d graph(s)@." store_file n;
+          (match Gql_storage.Store.recovery store with
+          | None -> ()
+          | Some r ->
+            Format.printf
+              "  recovered from a torn tail: %d record(s) salvaged, %d \
+               record(s) / %d byte(s) dropped@."
+              r.Gql_storage.Store.salvaged r.Gql_storage.Store.dropped_records
+              r.Gql_storage.Store.dropped_bytes);
+          Gql_storage.Store.iter store ~f:(fun i g ->
+              Format.printf "  [%d] %s: %d nodes, %d edges@." i
+                (Option.value (Graph.name g) ~default:"<anonymous>")
+                (Graph.n_nodes g) (Graph.n_edges g));
+          0))
 
 (* --- gen ---------------------------------------------------------------- *)
 
 let gen_cmd kind seed out =
-  try
-    let graphs =
-      match kind with
-      | "ppi" -> [ Gql_datasets.Ppi.generate ~seed () ]
-      | "er" ->
-        [ Gql_datasets.Synthetic.erdos_renyi (Gql_datasets.Rng.create seed)
-            ~n:1000 ~m:5000 |> fun g -> Graph.with_name g (Some "er") ]
-      | "dblp" -> Gql_datasets.Dblp.generate ~seed ~n_papers:100 ()
-      | "chem" -> Gql_datasets.Chem.generate ~seed ~n_compounds:50 ()
-      | k -> failwith (Printf.sprintf "unknown dataset %S (ppi|er|dblp|chem)" k)
-    in
-    let print ppf =
-      List.iteri
-        (fun i g ->
-          let g =
-            if Graph.name g = None then
-              Graph.with_name g (Some (Printf.sprintf "g%d" i))
-            else g
-          in
-          Format.fprintf ppf "%a;@.@." Graph.pp g)
-        graphs
-    in
-    (match out with
-    | None -> print Format.std_formatter
-    | Some path ->
-      let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> print (Format.formatter_of_out_channel oc));
-      Printf.printf "wrote %d graph(s) to %s\n" (List.length graphs) path);
-    `Ok ()
-  with Failure msg -> `Error (false, msg)
+  guarded (fun () ->
+      let graphs =
+        match kind with
+        | "ppi" -> [ Gql_datasets.Ppi.generate ~seed () ]
+        | "er" ->
+          [ Gql_datasets.Synthetic.erdos_renyi (Gql_datasets.Rng.create seed)
+              ~n:1000 ~m:5000 |> fun g -> Graph.with_name g (Some "er") ]
+        | "dblp" -> Gql_datasets.Dblp.generate ~seed ~n_papers:100 ()
+        | "chem" -> Gql_datasets.Chem.generate ~seed ~n_compounds:50 ()
+        | k ->
+          Error.raise_
+            (Error.Usage (Printf.sprintf "unknown dataset %S (ppi|er|dblp|chem)" k))
+      in
+      let print ppf =
+        List.iteri
+          (fun i g ->
+            let g =
+              if Graph.name g = None then
+                Graph.with_name g (Some (Printf.sprintf "g%d" i))
+              else g
+            in
+            Format.fprintf ppf "%a;@.@." Graph.pp g)
+          graphs
+      in
+      (match out with
+      | None -> print Format.std_formatter
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> print (Format.formatter_of_out_channel oc));
+        Printf.printf "wrote %d graph(s) to %s\n" (List.length graphs) path);
+      0)
 
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECS"
+        ~doc:
+          "Wall-clock deadline for query execution. On expiry the matches \
+           found so far are printed and the exit code is 124.")
+
+let max_visited_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-visited" ] ~docv:"N"
+        ~doc:
+          "Per-search budget of search-tree expansions (Check calls); exit \
+           code 124 when a search is stopped by it.")
 
 let run_term =
   let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
@@ -181,7 +269,7 @@ let run_term =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.") in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
-    Term.(ret (const run_cmd $ query $ docs $ verbose))
+    Term.(const run_cmd $ query $ docs $ timeout_arg $ max_visited_arg $ verbose)
 
 let match_term =
   let pattern =
@@ -205,18 +293,27 @@ let match_term =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print matched subgraphs.") in
   Cmd.v
     (Cmd.info "match" ~doc:"Run the selection operator (graph pattern matching)")
-    Term.(ret (const match_cmd $ pattern $ graph $ strategy $ exhaustive $ limit $ verbose))
+    Term.(
+      const match_cmd $ pattern $ graph $ strategy $ exhaustive $ limit
+      $ timeout_arg $ max_visited_arg $ verbose)
 
 let explain_term =
   let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
   Cmd.v
     (Cmd.info "explain" ~doc:"Print the algebra expression a program compiles to (§3.4)")
-    Term.(ret (const explain_cmd $ query))
+    Term.(const explain_cmd $ query)
 
 let stats_term =
   let graph = Arg.(required & pos 0 (some file) None & info [] ~docv:"G.gql") in
   Cmd.v (Cmd.info "stats" ~doc:"Print collection statistics")
-    Term.(ret (const stats_cmd $ graph))
+    Term.(const stats_cmd $ graph)
+
+let store_term =
+  let store = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.store") in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:"Inspect a disk store (recovers from a torn tail if needed)")
+    Term.(const store_cmd $ store)
 
 let gen_term =
   let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET") in
@@ -224,11 +321,22 @@ let gen_term =
   let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE") in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a dataset (ppi, er, dblp, chem) in GraphQL syntax")
-    Term.(ret (const gen_cmd $ kind $ seed $ out))
+    Term.(const gen_cmd $ kind $ seed $ out)
 
 let () =
   let info =
     Cmd.info "gqlsh" ~version:"1.0.0"
       ~doc:"GraphQL: graphs-at-a-time queries over graph databases"
   in
-  exit (Cmd.eval (Cmd.group info [ run_term; match_term; explain_term; stats_term; gen_term ]))
+  let group =
+    Cmd.group info
+      [ run_term; match_term; explain_term; stats_term; store_term; gen_term ]
+  in
+  (* eval_value, not eval: cmdliner's own CLI-error code is 124, which
+     this front end reserves for deadlines — usage problems must be 1. *)
+  exit
+    (match Cmd.eval_value group with
+    | Ok (`Ok code) -> code
+    | Ok (`Version | `Help) -> 0
+    | Error (`Parse | `Term) -> 1
+    | Error `Exn -> 125)

@@ -1,6 +1,7 @@
 open Gql_graph
 module Flat_pattern = Gql_matcher.Flat_pattern
 module Engine = Gql_matcher.Engine
+module Budget = Gql_matcher.Budget
 
 type entry =
   | G of Graph.t
@@ -16,18 +17,52 @@ let graphs c = List.map underlying c
 
 (* --- selection ------------------------------------------------------------ *)
 
-let select_one ?strategy ?(exhaustive = true) ?limit pattern c =
-  List.concat_map
+(* A budget is shared across every (pattern, graph) engine run of a
+   selection. Per-run [Hit_limit] stops are normal truncation and do
+   not taint the aggregate reason; a [final] reason (expired deadline,
+   cancelled token) short-circuits the remaining runs — re-entering the
+   engine would only burn a poll to learn the same thing. [Step_budget]
+   is per-run, so later entries still get their own visit allowance. *)
+let select_one_governed ?strategy ?(exhaustive = true) ?limit
+    ?(budget = Budget.unlimited) pattern c =
+  let stopped = ref Budget.Exhausted in
+  let rev_out = ref [] in
+  List.iter
     (fun entry ->
-      let g = underlying entry in
-      let result = Engine.run ?strategy ~exhaustive ?limit pattern g in
-      List.map
-        (fun phi -> M (Matched.make pattern g phi))
-        result.Engine.outcome.Gql_matcher.Search.mappings)
-    c
+      if not (Budget.final !stopped) then begin
+        let g = underlying entry in
+        let result = Engine.run ?strategy ~exhaustive ?limit ~budget pattern g in
+        (match result.Engine.outcome.Gql_matcher.Search.stopped with
+        | Budget.Exhausted | Budget.Hit_limit -> ()
+        | r -> stopped := Budget.worst !stopped r);
+        List.iter
+          (fun phi -> rev_out := M (Matched.make pattern g phi) :: !rev_out)
+          result.Engine.outcome.Gql_matcher.Search.mappings
+      end)
+    c;
+  (List.rev !rev_out, !stopped)
 
-let select ?strategy ?exhaustive ?limit ~patterns c =
-  List.concat_map (fun p -> select_one ?strategy ?exhaustive ?limit p c) patterns
+let select_one ?strategy ?exhaustive ?limit ?budget pattern c =
+  fst (select_one_governed ?strategy ?exhaustive ?limit ?budget pattern c)
+
+let select_governed ?strategy ?exhaustive ?limit ?(budget = Budget.unlimited)
+    ~patterns c =
+  let stopped = ref Budget.Exhausted in
+  let rev_out = ref [] in
+  List.iter
+    (fun p ->
+      if not (Budget.final !stopped) then begin
+        let ms, r =
+          select_one_governed ?strategy ?exhaustive ?limit ~budget p c
+        in
+        stopped := Budget.worst !stopped r;
+        rev_out := List.rev_append ms !rev_out
+      end)
+    patterns;
+  (List.rev !rev_out, !stopped)
+
+let select ?strategy ?exhaustive ?limit ?budget ~patterns c =
+  fst (select_governed ?strategy ?exhaustive ?limit ?budget ~patterns c)
 
 (* --- product and join ------------------------------------------------------ *)
 

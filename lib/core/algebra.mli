@@ -30,6 +30,7 @@ val select :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?exhaustive:bool ->
   ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
   patterns:Gql_matcher.Flat_pattern.t list ->
   collection ->
   collection
@@ -38,15 +39,41 @@ val select :
     graph when [exhaustive] is false, §3.3). The result entries are
     matched graphs. [patterns] lists the derivations of the (possibly
     recursive) pattern; a graph's matches accumulate across
-    derivations. *)
+    derivations. The [budget] is shared by every engine run; on a
+    resource stop the matches found so far are returned (use
+    {!select_governed} to learn the reason). *)
 
 val select_one :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?exhaustive:bool ->
   ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
   Gql_matcher.Flat_pattern.t ->
   collection ->
   collection
+
+val select_governed :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
+  patterns:Gql_matcher.Flat_pattern.t list ->
+  collection ->
+  collection * Gql_matcher.Budget.stop_reason
+(** Like {!select}, plus the aggregate stop reason: [Exhausted] when
+    every run completed (per-run [Hit_limit] truncation included —
+    that is requested behaviour, not a resource stop), otherwise the
+    worst resource reason observed. A [final] reason (deadline,
+    cancellation) short-circuits the remaining (pattern, graph) runs. *)
+
+val select_one_governed :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
+  Gql_matcher.Flat_pattern.t ->
+  collection ->
+  collection * Gql_matcher.Budget.stop_reason
 
 (** {1 Product and join} *)
 

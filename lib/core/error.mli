@@ -1,0 +1,50 @@
+(** The unified error taxonomy of the query processor.
+
+    Every failure a client can provoke — bad command line, malformed
+    query text, a semantic error during evaluation, a corrupt store, or
+    a blown deadline — is one value of {!t}, so front ends ([gqlsh])
+    print a single one-line diagnostic and exit with a stable,
+    distinguishable code instead of leaking raw OCaml exceptions.
+
+    Exit-code contract (also asserted by the CLI tests):
+    - [Usage] → 1 (bad flags/arguments)
+    - [Parse] → 2 (lexical/syntax error, with source position)
+    - [Eval] → 3 (pattern derivation, template, typing, evaluation)
+    - [Corrupt] → 4 (store integrity: bad magic, CRC mismatch, …)
+    - [Deadline] → 124 (budget stop, mirroring [timeout(1)]) *)
+
+type t =
+  | Usage of string
+  | Parse of { line : int; col : int; msg : string }
+  | Eval of string
+  | Corrupt of string
+  | Deadline of string
+
+exception E of t
+
+val raise_ : t -> 'a
+(** [raise (E t)]. *)
+
+val to_string : t -> string
+(** One-line rendering, prefixed with the category
+    (e.g. ["parse error at 3:14: ..."]). *)
+
+val pp : Format.formatter -> t -> unit
+
+val exit_code : t -> int
+(** The contract above: 1, 2, 3, 4 or 124. *)
+
+val classify : exn -> t option
+(** Map a known exception from any layer onto the taxonomy:
+    [Eval.Error], [Motif.Error], [Template.Error], [Plan.Error],
+    [Value.Type_error] and [Pred.Unresolved] become [Eval];
+    [Codec.Corrupt] becomes [Corrupt]; [Sys_error] becomes [Usage].
+    Positioned lexer/parser errors are {e not} classified here — they
+    need the source text to compute line/column, which [Gql.wrap]
+    owns. [None] for anything unknown (genuine bugs should still
+    crash loudly). *)
+
+val of_stop_reason : Gql_matcher.Budget.stop_reason -> string -> t option
+(** [Some (Deadline …)] for resource stops ([Deadline], [Step_budget],
+    [Cancelled]); [None] for [Exhausted] and [Hit_limit]. The string
+    names what was interrupted, e.g. ["query"]. *)

@@ -6,16 +6,20 @@ let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
 type docs = (string * Graph.t list) list
 
+module Budget = Gql_matcher.Budget
+
 type result = {
   defs : (string * Ast.graph_decl) list;
   vars : (string * Graph.t) list;
   last : Algebra.collection option;
+  stopped : Budget.stop_reason;
 }
 
 type state = {
   mutable s_defs : (string * Ast.graph_decl) list;
   mutable s_vars : (string * Graph.t) list;
   mutable s_last : Algebra.collection option;
+  mutable s_stopped : Budget.stop_reason;
 }
 
 let template_env st extra =
@@ -29,8 +33,10 @@ let instantiate_template st extra = function
     | Some g -> g
     | None -> error "unknown variable %s" v)
 
-let run ?(docs = []) ?strategy ?max_depth (program : Ast.program) =
-  let st = { s_defs = []; s_vars = []; s_last = None } in
+let run ?(docs = []) ?strategy ?max_depth ?budget (program : Ast.program) =
+  let st =
+    { s_defs = []; s_vars = []; s_last = None; s_stopped = Budget.Exhausted }
+  in
   let defs name = List.assoc_opt name st.s_defs in
   let statement = function
     | Ast.Sgraph g ->
@@ -63,9 +69,11 @@ let run ?(docs = []) ?strategy ?max_depth (program : Ast.program) =
           | None -> error "unknown collection %S" f.Ast.f_source)
       in
       let entries = List.map (fun g -> Algebra.G g) source in
-      let matches =
-        Algebra.select ?strategy ~exhaustive:f.Ast.f_exhaustive ~patterns entries
+      let matches, sel_stopped =
+        Algebra.select_governed ?strategy ~exhaustive:f.Ast.f_exhaustive
+          ?budget ~patterns entries
       in
+      st.s_stopped <- Budget.worst st.s_stopped sel_stopped;
       let matches =
         match f.Ast.f_where with
         | None -> matches
@@ -108,7 +116,12 @@ let run ?(docs = []) ?strategy ?max_depth (program : Ast.program) =
           matches)
   in
   List.iter statement program;
-  { defs = st.s_defs; vars = st.s_vars; last = st.s_last }
+  {
+    defs = st.s_defs;
+    vars = st.s_vars;
+    last = st.s_last;
+    stopped = st.s_stopped;
+  }
 
 let var r name = List.assoc_opt name r.vars
 

@@ -25,17 +25,25 @@ type result = {
   defs : (string * Ast.graph_decl) list;  (** named declarations, in order *)
   vars : (string * Graph.t) list;  (** variable bindings after the run *)
   last : Algebra.collection option;  (** the last [return] collection *)
+  stopped : Gql_matcher.Budget.stop_reason;
+      (** [Exhausted] when every selection ran to completion (per-graph
+          [Hit_limit] truncation included); the worst resource reason
+          observed otherwise — the program's outputs are then built
+          from partial match sets. *)
 }
 
 val run :
   ?docs:docs ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?max_depth:int ->
+  ?budget:Gql_matcher.Budget.t ->
   Ast.program ->
   result
 (** [max_depth] bounds recursive motif derivation (default 16). A
     variable holding a graph can also serve as a [doc] source of one
-    graph; explicit [docs] entries win on name clash. *)
+    graph; explicit [docs] entries win on name clash. The [budget] is
+    shared by every selection of the program — one end-to-end deadline
+    governs the whole run. *)
 
 val var : result -> string -> Graph.t option
 val returned : result -> Graph.t list

@@ -1,18 +1,18 @@
-exception Error of string
-
-let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let eval_err fmt =
+  Format.kasprintf (fun s -> raise (Error.E (Error.Eval s))) fmt
 
 let wrap src f =
   try f () with
   | Lexer.Error (msg, off) ->
     let line, col = Parser.position src off in
-    err "lexical error at %d:%d: %s" line col msg
+    raise (Error.E (Error.Parse { line; col; msg = "lexical: " ^ msg }))
   | Parser.Error (msg, off) ->
     let line, col = Parser.position src off in
-    err "parse error at %d:%d: %s" line col msg
-  | Motif.Error msg -> err "pattern error: %s" msg
-  | Template.Error msg -> err "template error: %s" msg
-  | Eval.Error msg -> err "evaluation error: %s" msg
+    raise (Error.E (Error.Parse { line; col; msg }))
+  | e -> (
+    match Error.classify e with
+    | Some t -> raise (Error.E t)
+    | None -> raise e)
 
 let parse_program src = wrap src (fun () -> Parser.program src)
 let parse_graph_decl src = wrap src (fun () -> Parser.graph src)
@@ -29,15 +29,17 @@ let patterns_of_string ?(defs = []) ?max_depth src =
 let pattern_of_string ?defs ?max_depth src =
   match patterns_of_string ?defs ?max_depth src with
   | p :: _ -> p
-  | [] -> err "pattern has no derivation"
+  | [] -> eval_err "pattern has no derivation"
 
-let find_matches ?strategy ?exhaustive ?limit ~pattern g =
+let find_matches ?strategy ?exhaustive ?limit ?budget ~pattern g =
   let patterns = patterns_of_string pattern in
-  Algebra.select ?strategy ?exhaustive ?limit ~patterns [ Algebra.G g ]
+  wrap pattern (fun () ->
+      Algebra.select ?strategy ?exhaustive ?limit ?budget ~patterns
+        [ Algebra.G g ])
   |> List.filter_map (function Algebra.M m -> Some m | Algebra.G _ -> None)
 
 let count_matches ?strategy ~pattern g =
   List.length (find_matches ?strategy ~pattern g)
 
-let run_query ?docs ?strategy src =
-  wrap src (fun () -> Eval.run ?docs ?strategy (Parser.program src))
+let run_query ?docs ?strategy ?budget src =
+  wrap src (fun () -> Eval.run ?docs ?strategy ?budget (Parser.program src))

@@ -7,9 +7,11 @@
 
 open Gql_graph
 
-exception Error of string
-(** All parse/derivation/evaluation errors, with positions rendered
-    into the message. *)
+(** All parse/derivation/evaluation errors are raised as {!Error.E}
+    values of the unified taxonomy: parse errors carry line/column,
+    semantic errors map to [Error.Eval], store corruption to
+    [Error.Corrupt]. Render with {!Error.to_string}; front ends exit
+    with {!Error.exit_code}. *)
 
 val parse_program : string -> Ast.program
 val parse_graph_decl : string -> Ast.graph_decl
@@ -36,14 +38,21 @@ val find_matches :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?exhaustive:bool ->
   ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
   pattern:string ->
   Graph.t ->
   Matched.t list
 (** Parse the pattern and run the selection operator against one
-    graph. *)
+    graph. On a budget stop the matches found so far are returned. *)
 
 val count_matches :
   ?strategy:Gql_matcher.Engine.strategy -> pattern:string -> Graph.t -> int
 
-val run_query : ?docs:Eval.docs -> ?strategy:Gql_matcher.Engine.strategy -> string -> Eval.result
-(** Parse and evaluate a whole program. *)
+val run_query :
+  ?docs:Eval.docs ->
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?budget:Gql_matcher.Budget.t ->
+  string ->
+  Eval.result
+(** Parse and evaluate a whole program; [budget] governs all its
+    selections end to end (check [result.stopped]). *)

@@ -255,4 +255,9 @@ let execute ?(docs = []) ?strategy plan =
         | _ -> error "assignment of a multi-graph collection to %s" v)
       | Output e -> st.last <- Some (eval e))
     plan;
-  { Eval.defs = []; vars = st.vars; last = st.last }
+  {
+    Eval.defs = [];
+    vars = st.vars;
+    last = st.last;
+    stopped = Gql_matcher.Budget.Exhausted;
+  }

@@ -45,6 +45,14 @@ type timings = {
 
 let total t = t.t_retrieve +. t.t_refine +. t.t_order +. t.t_search
 
+type phase = Retrieve | Refine | Order | Search
+
+let phase_to_string = function
+  | Retrieve -> "retrieve"
+  | Refine -> "refine"
+  | Order -> "order"
+  | Search -> "search"
+
 type result = {
   outcome : Search.outcome;
   space_initial : Feasible.space;
@@ -52,6 +60,7 @@ type result = {
   refine_stats : Refine.stats option;
   order : int array;
   timings : timings;
+  stopped_in : phase option;
 }
 
 let timed f =
@@ -59,41 +68,86 @@ let timed f =
   let x = f () in
   (x, Unix.gettimeofday () -. t0)
 
-let run ?(strategy = optimized) ?(exhaustive = true) ?limit ?label_index
-    ?profile_index p g =
+let run ?(strategy = optimized) ?(exhaustive = true) ?limit
+    ?(budget = Budget.unlimited) ?label_index ?profile_index p g =
+  (* The pre-search phases are not instrumented internally; the budget
+     is polled at each phase boundary so a deadline that expires during
+     retrieval or refinement is attributed to that phase and the
+     remaining phases are skipped, returning an empty outcome. *)
+  let abort ~space_initial ~space_refined ~refine_stats ~order ~timings ~phase
+      reason =
+    {
+      outcome =
+        { Search.mappings = []; n_found = 0; visited = 0; stopped = reason };
+      space_initial;
+      space_refined;
+      refine_stats;
+      order;
+      timings;
+      stopped_in = Some phase;
+    }
+  in
   let space_initial, t_retrieve =
     timed (fun () ->
         Feasible.compute ~retrieval:strategy.retrieval ?label_index
           ?profile_index p g)
   in
-  let (space_refined, refine_stats), t_refine =
-    if strategy.refine then
-      timed (fun () ->
-          let s, st = Refine.refine ?level:strategy.refine_level p g space_initial in
-          (s, Some st))
-    else ((space_initial, None), 0.0)
-  in
-  let order, t_order =
-    if strategy.optimize_order then
-      timed (fun () ->
-          let model =
-            Option.value strategy.cost_model
-              ~default:(Cost.Constant Cost.default_constant)
-          in
-          Order.greedy ~model p ~sizes:(Feasible.sizes space_refined))
-    else (Order.identity p, 0.0)
-  in
-  let outcome, t_search =
-    timed (fun () -> Search.run ~exhaustive ?limit ~order p g space_refined)
-  in
-  {
-    outcome;
-    space_initial;
-    space_refined;
-    refine_stats;
-    order;
-    timings = { t_retrieve; t_refine; t_order; t_search };
-  }
+  let timings = { t_retrieve; t_refine = 0.0; t_order = 0.0; t_search = 0.0 } in
+  match Budget.poll budget with
+  | Some r ->
+    abort ~space_initial ~space_refined:space_initial ~refine_stats:None
+      ~order:(Order.identity p) ~timings ~phase:Retrieve r
+  | None -> (
+    let (space_refined, refine_stats), t_refine =
+      if strategy.refine then
+        timed (fun () ->
+            let s, st =
+              Refine.refine ?level:strategy.refine_level p g space_initial
+            in
+            (s, Some st))
+      else ((space_initial, None), 0.0)
+    in
+    let timings = { timings with t_refine } in
+    match Budget.poll budget with
+    | Some r ->
+      abort ~space_initial ~space_refined ~refine_stats
+        ~order:(Order.identity p) ~timings ~phase:Refine r
+    | None -> (
+      let order, t_order =
+        if strategy.optimize_order then
+          timed (fun () ->
+              let model =
+                Option.value strategy.cost_model
+                  ~default:(Cost.Constant Cost.default_constant)
+              in
+              Order.greedy ~model p ~sizes:(Feasible.sizes space_refined))
+        else (Order.identity p, 0.0)
+      in
+      let timings = { timings with t_order } in
+      match Budget.poll budget with
+      | Some r ->
+        abort ~space_initial ~space_refined ~refine_stats ~order ~timings
+          ~phase:Order r
+      | None ->
+        let outcome, t_search =
+          timed (fun () ->
+              Search.run ~exhaustive ?limit ~budget ~order p g space_refined)
+        in
+        let stopped_in =
+          match outcome.Search.stopped with
+          | Budget.Exhausted | Budget.Hit_limit -> None
+          | Budget.Deadline | Budget.Step_budget | Budget.Cancelled ->
+            Some Search
+        in
+        {
+          outcome;
+          space_initial;
+          space_refined;
+          refine_stats;
+          order;
+          timings = { timings with t_search };
+          stopped_in;
+        }))
 
-let count_matches ?strategy ?limit p g =
-  (run ?strategy ?limit p g).outcome.Search.n_found
+let count_matches ?strategy ?limit ?budget p g =
+  (run ?strategy ?limit ?budget p g).outcome.Search.n_found

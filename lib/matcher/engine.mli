@@ -34,6 +34,11 @@ type timings = {
 
 val total : timings -> float
 
+type phase = Retrieve | Refine | Order | Search
+(** Pipeline phase, for attributing where a budget stop happened. *)
+
+val phase_to_string : phase -> string
+
 type result = {
   outcome : Search.outcome;
   space_initial : Feasible.space;  (** after retrieval/local pruning *)
@@ -41,20 +46,33 @@ type result = {
   refine_stats : Refine.stats option;
   order : int array;
   timings : timings;
+  stopped_in : phase option;
+  (** [None] on a normal completion (including [Hit_limit]); [Some p]
+      when the budget stopped the pipeline during phase [p]. The
+      pre-search phases poll the budget at their boundaries, so a
+      deadline expiring inside retrieval is reported as
+      [Some Retrieve] with an empty outcome. *)
 }
 
 val run :
   ?strategy:strategy ->
   ?exhaustive:bool ->
   ?limit:int ->
+  ?budget:Budget.t ->
   ?label_index:Gql_index.Label_index.t ->
   ?profile_index:Gql_index.Profile_index.t ->
   Flat_pattern.t ->
   Graph.t ->
   result
-(** Defaults: [optimized] strategy, exhaustive, no limit. Indexes are
-    built on the fly when not supplied (pass prebuilt ones when timing —
-    the paper treats index construction as offline). *)
+(** Defaults: [optimized] strategy, exhaustive, no limit, unlimited
+    budget. Indexes are built on the fly when not supplied (pass
+    prebuilt ones when timing — the paper treats index construction as
+    offline). *)
 
 val count_matches :
-  ?strategy:strategy -> ?limit:int -> Flat_pattern.t -> Graph.t -> int
+  ?strategy:strategy ->
+  ?limit:int ->
+  ?budget:Budget.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  int

@@ -11,7 +11,13 @@ let slices k xs =
   in
   Array.to_list buckets
 
-let search ?domains ?order ?limit_per_domain p g space =
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
+    p g space =
   let k = Flat_pattern.size p in
   let n_domains = max 1 (Option.value domains ~default:(default_domains ())) in
   let order =
@@ -19,47 +25,104 @@ let search ?domains ?order ?limit_per_domain p g space =
     | Some o when Array.length o > 0 -> o
     | _ -> Array.init k (fun i -> i)
   in
-  if k = 0 || n_domains = 1 then Search.run ?limit:limit_per_domain ~order p g space
+  if k = 0 || n_domains = 1 then
+    Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~order p g space
   else begin
     let u0 = order.(0) in
     let parts = slices n_domains space.Feasible.candidates.(u0) in
-    let workers =
+    (* Cancelling [siblings] stops every domain at its next poll: used
+       when the global limit is reached or a domain dies, on top of
+       whatever tokens the caller's budget already carries. *)
+    let siblings = Budget.token () in
+    let domain_budget = Budget.with_token budget siblings in
+    (* Tickets make the global limit exact: a mapping is recorded iff
+       its fetch-and-add ticket is below [limit], so the merged outcome
+       holds exactly [min limit total] mappings — not the old
+       [domains × limit_per_domain] over-delivery. *)
+    let tickets = Atomic.make 0 in
+    let worker part () =
+      let space' =
+        {
+          Feasible.candidates =
+            Array.mapi
+              (fun u c -> if u = u0 then part else c)
+              space.Feasible.candidates;
+        }
+      in
+      let results = ref [] in
+      let n = ref 0 in
+      let on_match phi =
+        let accepted =
+          match limit with
+          | None -> true
+          | Some l ->
+            let ticket = Atomic.fetch_and_add tickets 1 in
+            if ticket + 1 >= l then Budget.cancel siblings;
+            ticket < l
+        in
+        if accepted then begin
+          incr n;
+          results := Array.copy phi :: !results
+        end;
+        let local_full =
+          match limit_per_domain with Some l -> !n >= l | None -> false
+        in
+        if (not accepted) || local_full then `Stop else `Continue
+      in
+      let visited, stopped = Search.run_raw ~budget:domain_budget ~order ~on_match p g space' in
+      (List.rev !results, !n, visited, stopped)
+    in
+    let spawned =
       List.map
         (fun part ->
-          let space' =
-            {
-              Feasible.candidates =
-                Array.mapi
-                  (fun u c -> if u = u0 then part else c)
-                  space.Feasible.candidates;
-            }
-          in
           Domain.spawn (fun () ->
-              Search.run ?limit:limit_per_domain ~order p g space'))
+              match worker part () with
+              | outcome -> Ok outcome
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                (* stop the siblings promptly, then report after join *)
+                Budget.cancel siblings;
+                Error (e, bt)))
         parts
     in
-    let outcomes = List.map Domain.join workers in
+    (* join every domain before acting on failures: no wedged domain is
+       ever leaked, and the first captured exception is re-raised with
+       its original backtrace once all the others have landed *)
+    let joined = List.map Domain.join spawned in
+    let failure =
+      List.find_map (function Error eb -> Some eb | Ok _ -> None) joined
+    in
+    (match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    let outcomes =
+      List.filter_map (function Ok o -> Some o | Error _ -> None) joined
+    in
     (* accumulate reversed with rev_append (linear overall), then one
        final rev — the old [acc.mappings @ o.mappings] fold was
        quadratic in the number of domains × results *)
-    let rev_mappings, n_found, visited, complete =
+    let rev_mappings, n_found, visited, reason =
       List.fold_left
-        (fun (ms, n, vis, comp) o ->
-          ( List.rev_append o.Search.mappings ms,
-            n + o.Search.n_found,
-            vis + o.Search.visited,
-            comp && o.Search.complete ))
-        ([], 0, 0, true) outcomes
+        (fun (ms, n, vis, reason) (mappings, n_dom, visited, stopped) ->
+          ( List.rev_append mappings ms,
+            n + n_dom,
+            vis + visited,
+            Budget.worst reason stopped ))
+        ([], 0, 0, Budget.Exhausted)
+        outcomes
     in
-    {
-      Search.mappings = List.rev rev_mappings;
-      n_found;
-      visited;
-      complete;
-    }
+    let stopped =
+      (* the limit being reached dominates: domains stopped by the
+         internal token report Cancelled, but globally this is just the
+         requested truncation *)
+      match limit with
+      | Some l when n_found >= l -> Budget.Hit_limit
+      | _ -> reason
+    in
+    { Search.mappings = List.rev rev_mappings; n_found; visited; stopped }
   end
 
-let count_matches ?domains ?(strategy = Engine.optimized) p g =
+let count_matches ?domains ?budget ?(strategy = Engine.optimized) p g =
   let space =
     Feasible.compute ~retrieval:strategy.Engine.retrieval p g
   in
@@ -73,4 +136,4 @@ let count_matches ?domains ?(strategy = Engine.optimized) p g =
       Order.greedy p ~sizes:(Feasible.sizes space)
     else Order.identity p
   in
-  (search ?domains ~order p g space).Search.n_found
+  (search ?domains ?budget ~order p g space).Search.n_found

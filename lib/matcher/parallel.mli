@@ -7,14 +7,21 @@
 
     Retrieval, refinement and ordering stay sequential (they are a
     small fraction of the time on selective queries); only the search
-    fans out. *)
+    fans out.
+
+    Governance: the caller's {!Budget.t} is shared by every domain,
+    extended with an internal cancellation token so that reaching the
+    global [limit] — or a domain dying — stops the siblings at their
+    next poll instead of letting them run to exhaustion. *)
 
 open Gql_graph
 
 val search :
   ?domains:int ->
   ?order:int array ->
+  ?limit:int ->
   ?limit_per_domain:int ->
+  ?budget:Budget.t ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->
@@ -23,12 +30,32 @@ val search :
     at 8. Mapping order differs from the sequential search (slices
     complete independently); counts are identical.
 
-    [limit_per_domain] is a {e per-domain} cap, not a global hit limit:
-    each of the [d] slices may report up to that many mappings, so the
-    merged outcome can hold up to [d × limit_per_domain] results. Use
-    it to bound per-worker latency; callers needing an exact global
-    limit should truncate the merged mappings themselves. *)
+    [limit] is a {e global} cap: the merged outcome holds exactly
+    [min limit total] mappings, enforced with an atomic ticket counter
+    shared by all domains (a mapping is kept iff its ticket is below
+    the limit), and the remaining domains are cancelled once the limit
+    is reached. [stopped] is then [Hit_limit].
+
+    [limit_per_domain] is the historical {e per-domain} cap: each of
+    the [d] slices may report up to that many mappings, so the merged
+    outcome can hold up to [d × limit_per_domain] results. Use it to
+    bound per-worker latency; combine with [limit] for an exact global
+    cap.
+
+    If a domain raises, the siblings are cancelled, {e all} domains are
+    joined, and the first captured exception is re-raised with its
+    original backtrace — no domain is ever leaked.
+
+    When the budget stops the search, [stopped] is the worst reason
+    across domains ([Cancelled] > [Deadline] > [Step_budget]) and
+    [mappings] holds whatever each domain had found; [visited] sums the
+    per-domain Check calls. *)
 
 val count_matches :
-  ?domains:int -> ?strategy:Engine.strategy -> Flat_pattern.t -> Graph.t -> int
+  ?domains:int ->
+  ?budget:Budget.t ->
+  ?strategy:Engine.strategy ->
+  Flat_pattern.t ->
+  Graph.t ->
+  int
 (** Full pipeline with the parallel search phase. *)

@@ -92,7 +92,7 @@ let generic_run ?index ?(order = [||]) p g space ~on_match =
   if k = 0 then ()
   else if Array.exists (fun c -> c = []) candidates then ()
   else go 0;
-  (!visited, !stopped)
+  (!visited, if !stopped then Budget.Hit_limit else Budget.Exhausted)
 
 let run ?index ?(exhaustive = true) ?limit ?order p g space =
   let results = ref [] in
@@ -103,6 +103,5 @@ let run ?index ?(exhaustive = true) ?limit ?order p g space =
     let hit_limit = match limit with Some l -> !n >= l | None -> false in
     if hit_limit || not exhaustive then `Stop else `Continue
   in
-  let visited, _stopped = generic_run ?index ?order p g space ~on_match in
-  let hit_limit = match limit with Some l -> !n >= l | None -> false in
-  { Search.mappings = List.rev !results; n_found = !n; visited; complete = not hit_limit }
+  let visited, stopped = generic_run ?index ?order p g space ~on_match in
+  { Search.mappings = List.rev !results; n_found = !n; visited; stopped }

@@ -29,6 +29,8 @@ val run :
   Graph.t ->
   Feasible.space ->
   Search.outcome
-(** Same contract as {!Search.run}. [index] defaults to building one on
-    the fly; pass a prebuilt index when timing the search phase alone
-    (the seed built it at graph-construction time). *)
+(** Same contract as {!Search.run}, minus budgets: the oracle never
+    stops early except at [limit] ([stopped] is [Exhausted] or
+    [Hit_limit]). [index] defaults to building one on the fly; pass a
+    prebuilt index when timing the search phase alone (the seed built
+    it at graph-construction time). *)

@@ -4,7 +4,7 @@ type outcome = {
   mappings : int array list;
   n_found : int;
   visited : int;
-  complete : bool;
+  stopped : Budget.stop_reason;
 }
 
 (* Pattern edges from order.(i) to nodes earlier in the order, as flat
@@ -38,7 +38,8 @@ let back_edges p order =
         triv = Array.map (fun (_, e, _) -> Flat_pattern.edge_always_compat p e) arr;
       })
 
-let generic_run ?(order = [||]) p g space ~on_match =
+let generic_run ?(budget = Budget.unlimited) ?(order = [||]) p g space ~on_match
+    =
   let k = Flat_pattern.size p in
   let order = if Array.length order = 0 then Array.init k (fun i -> i) else order in
   let back = back_edges p order in
@@ -46,61 +47,89 @@ let generic_run ?(order = [||]) p g space ~on_match =
   let used = Bitset.create (max 1 (Graph.n_nodes g)) in
   let visited = ref 0 in
   let pattern_directed = Graph.directed p.Flat_pattern.structure in
+  let stopped = ref false in
+  let reason = ref Budget.Exhausted in
+  let stop r =
+    reason := r;
+    stopped := true
+  in
+  (* Governance: the step budget is one integer compare per Check call;
+     deadline and cancellation are polled every Budget.check_interval
+     calls so the hot loop never measurably slows down. *)
+  let max_visited = Budget.max_visited budget in
+  let poll_mask = Budget.check_interval - 1 in
   (* Check(uᵢ, v): every pattern edge from uᵢ to an already-mapped node
      needs a compatible data edge. Each probe is a binary search over
      the sorted adjacency row of the mapped source, then a scan of the
      contiguous parallel-edge run — no hash lookups, no allocation. *)
   let check i v =
     incr visited;
-    let b = back.(i) in
-    let nb = Array.length b.pe in
-    let ok = ref true in
-    let j = ref 0 in
-    while !ok && !j < nb do
-      let v' = phi.(Array.unsafe_get b.other !j) in
-      let out = Array.unsafe_get b.is_out !j in
-      let s = if out then v else v' in
-      let d = if out then v' else v in
-      let row = Graph.adj_nbrs g s in
-      let n = Array.length row in
-      let lo = ref 0 and hi = ref n in
-      while !lo < !hi do
-        let mid = (!lo + !hi) lsr 1 in
-        if Array.unsafe_get row mid < d then lo := mid + 1 else hi := mid
-      done;
-      if !lo >= n || Array.unsafe_get row !lo <> d then ok := false
-      else if (not pattern_directed) && Array.unsafe_get b.triv !j then
-        (* unconstrained undirected pattern edge: membership suffices *)
-        ()
-      else begin
-        let pe = Array.unsafe_get b.pe !j in
-        let triv = Array.unsafe_get b.triv !j in
-        let eids = Graph.adj_eids g s in
-        let found = ref false in
-        while (not !found) && !lo < n && Array.unsafe_get row !lo = d do
-          let ge = Array.unsafe_get eids !lo in
-          let oriented =
-            (not pattern_directed)
-            ||
-            let e = Graph.edge g ge in
-            e.Graph.src = s && e.Graph.dst = d
-          in
-          if oriented && (triv || Flat_pattern.edge_compat p g pe ge) then
-            found := true
-          else incr lo
+    let vis = !visited in
+    if vis > max_visited then begin
+      stop Budget.Step_budget;
+      false
+    end
+    else if
+      vis land poll_mask = 0
+      &&
+      match Budget.poll budget with
+      | Some r ->
+        stop r;
+        true
+      | None -> false
+    then false
+    else begin
+      let b = back.(i) in
+      let nb = Array.length b.pe in
+      let ok = ref true in
+      let j = ref 0 in
+      while !ok && !j < nb do
+        let v' = phi.(Array.unsafe_get b.other !j) in
+        let out = Array.unsafe_get b.is_out !j in
+        let s = if out then v else v' in
+        let d = if out then v' else v in
+        let row = Graph.adj_nbrs g s in
+        let n = Array.length row in
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) lsr 1 in
+          if Array.unsafe_get row mid < d then lo := mid + 1 else hi := mid
         done;
-        if not !found then ok := false
-      end;
-      incr j
-    done;
-    !ok
+        if !lo >= n || Array.unsafe_get row !lo <> d then ok := false
+        else if (not pattern_directed) && Array.unsafe_get b.triv !j then
+          (* unconstrained undirected pattern edge: membership suffices *)
+          ()
+        else begin
+          let pe = Array.unsafe_get b.pe !j in
+          let triv = Array.unsafe_get b.triv !j in
+          let eids = Graph.adj_eids g s in
+          let found = ref false in
+          while (not !found) && !lo < n && Array.unsafe_get row !lo = d do
+            let ge = Array.unsafe_get eids !lo in
+            let oriented =
+              (not pattern_directed)
+              ||
+              let e = Graph.edge g ge in
+              e.Graph.src = s && e.Graph.dst = d
+            in
+            if oriented && (triv || Flat_pattern.edge_compat p g pe ge) then
+              found := true
+            else incr lo
+          done;
+          if not !found then ok := false
+        end;
+        incr j
+      done;
+      !ok
+    end
   in
-  let stopped = ref false in
   let rec go i =
     if !stopped then ()
     else if i >= k then begin
       if Flat_pattern.global_holds p g phi then
-        match on_match phi with `Continue -> () | `Stop -> stopped := true
+        match on_match phi with
+        | `Continue -> ()
+        | `Stop -> stop Budget.Hit_limit
     end
     else begin
       let u = order.(i) in
@@ -120,13 +149,19 @@ let generic_run ?(order = [||]) p g space ~on_match =
       done
     end
   in
-  if k = 0 then ()
+  (* poll once up front: an already-cancelled token or expired deadline
+     must do no work, even on searches too small to reach the mask *)
+  (match Budget.poll budget with Some r -> stop r | None -> ());
+  if !stopped || k = 0 then ()
   else if Array.exists (fun c -> Array.length c = 0) space.Feasible.candidates
   then ()
   else go 0;
-  (!visited, !stopped)
+  (!visited, !reason)
 
-let run ?(exhaustive = true) ?limit ?order p g space =
+let run_raw ?budget ?order ~on_match p g space =
+  generic_run ?budget ?order p g space ~on_match
+
+let run ?(exhaustive = true) ?limit ?budget ?order p g space =
   let results = ref [] in
   let n = ref 0 in
   let on_match phi =
@@ -135,15 +170,14 @@ let run ?(exhaustive = true) ?limit ?order p g space =
     let hit_limit = match limit with Some l -> !n >= l | None -> false in
     if hit_limit || not exhaustive then `Stop else `Continue
   in
-  let visited, _stopped = generic_run ?order p g space ~on_match in
-  let hit_limit = match limit with Some l -> !n >= l | None -> false in
-  { mappings = List.rev !results; n_found = !n; visited; complete = not hit_limit }
+  let visited, stopped = generic_run ?budget ?order p g space ~on_match in
+  { mappings = List.rev !results; n_found = !n; visited; stopped }
 
-let iter ?order ~f p g space =
+let iter ?budget ?order ~f p g space =
   let n = ref 0 in
   let on_match phi =
     incr n;
     f phi
   in
-  let _visited, _ = generic_run ?order p g space ~on_match in
+  let _visited, _stopped = generic_run ?budget ?order p g space ~on_match in
   !n

@@ -4,22 +4,32 @@
     [Check(uᵢ, v)] verifies the pattern edges from [uᵢ] to
     already-mapped nodes (existence, orientation, and the edge
     predicate Fe); the graph-wide predicate F is evaluated on complete
-    mappings only. *)
+    mappings only.
+
+    Every entry point takes an optional {!Budget.t}: the search then
+    stops cooperatively at a wall-clock deadline, a Check-call budget
+    or a cancellation token, returning the partial mappings found so
+    far plus the structured reason in [stopped]. *)
 
 open Gql_graph
 
 type outcome = {
   mappings : int array list;
   (** Complete mappings φ (pattern node → data node), in discovery
-      order. Truncated at [limit]. *)
+      order. Truncated at [limit] or a budget stop. *)
   n_found : int;
   visited : int;  (** search-tree nodes expanded (Check calls) *)
-  complete : bool;  (** false iff the search stopped at [limit] *)
+  stopped : Budget.stop_reason;
+  (** [Exhausted]: the space was fully explored (all mappings
+      delivered). [Hit_limit]: stopped at [limit] or, with
+      [~exhaustive:false], at the first mapping. Otherwise the budget
+      stopped the search and [mappings] is the prefix found so far. *)
 }
 
 val run :
   ?exhaustive:bool ->
   ?limit:int ->
+  ?budget:Budget.t ->
   ?order:int array ->
   Flat_pattern.t ->
   Graph.t ->
@@ -32,6 +42,7 @@ val run :
     [order] defaults to the input order [0..k-1]. *)
 
 val iter :
+  ?budget:Budget.t ->
   ?order:int array ->
   f:(int array -> [ `Continue | `Stop ]) ->
   Flat_pattern.t ->
@@ -40,3 +51,17 @@ val iter :
   int
 (** Streaming variant: [f] receives each mapping (the array is reused —
     copy it to retain); returns the number of mappings delivered. *)
+
+val run_raw :
+  ?budget:Budget.t ->
+  ?order:int array ->
+  on_match:(int array -> [ `Continue | `Stop ]) ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  int * Budget.stop_reason
+(** The primitive under {!run} and {!iter}: streams each mapping (array
+    reused) and returns [(visited, stopped)] — [Hit_limit] when
+    [on_match] returned [`Stop], [Exhausted] on a full exploration, a
+    budget reason otherwise. Used by [Parallel.search] to share a
+    global hit count across domains. *)

@@ -79,10 +79,16 @@ let get t page =
     insert t page data false;
     data
 
-let mark_dirty t page =
-  match Hashtbl.find_opt t.frames page with
+let with_page t page f =
+  let data = get t page in
+  (* mark before running [f]: if [f] raises after a partial mutation the
+     frame is already dirty, so the bytes can never be silently dropped
+     by a later eviction. [get] just made the page resident, so the
+     lookup cannot miss. *)
+  (match Hashtbl.find_opt t.frames page with
   | Some frame -> frame.dirty <- true
-  | None -> invalid_arg "Buffer_pool.mark_dirty: page not resident"
+  | None -> assert false);
+  f data
 
 let alloc t =
   let page = Pager.alloc t.pager in

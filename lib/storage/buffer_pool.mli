@@ -13,11 +13,16 @@ val create : ?capacity:int -> Pager.t -> t
 val pager : t -> Pager.t
 
 val get : t -> int -> bytes
-(** The cached frame for the page — the caller must not mutate it
-    without calling {!mark_dirty}. *)
+(** The cached frame for the page, for {e reading} — mutations must go
+    through {!with_page}, which is the only way to mark a frame dirty.
+    (The old public [mark_dirty] could be called on a non-resident page;
+    that misuse is now unrepresentable.) *)
 
-val mark_dirty : t -> int -> unit
-(** [Invalid_argument] if the page is not resident. *)
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** [with_page t page f] runs [f] on the page's frame and marks it
+    dirty — even if [f] raises, so partial mutations are never dropped
+    by an eviction. [f] must not re-enter the pool (an eviction inside
+    [f] could write back the frame mid-mutation). *)
 
 val alloc : t -> int
 (** Allocate a fresh page and cache it (dirty). *)

@@ -181,3 +181,25 @@ let graph_to_string g =
   Buffer.contents buf
 
 let graph_of_string s = fst (read_graph s 0)
+
+(* --- CRC-32 (IEEE 802.3) ---------------------------------------------- *)
+
+(* Table-driven, reflected, polynomial 0xEDB88320. All arithmetic stays
+   below 2^32, well inside OCaml's native int. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) s =
+  let table = Lazy.force crc_table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch ->
+      c := Array.unsafe_get table ((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF

@@ -22,3 +22,9 @@ val graph_to_string : Gql_graph.Graph.t -> string
 val graph_of_string : string -> Gql_graph.Graph.t
 
 exception Corrupt of string
+
+val crc32 : ?crc:int -> string -> int
+(** CRC-32 (IEEE 802.3, polynomial [0xEDB88320]) of the string, in
+    [0, 2^32). [crc] continues a running checksum over concatenated
+    chunks. Guards every {!Store} record and header slot against torn
+    writes and bit rot. *)

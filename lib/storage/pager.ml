@@ -1,23 +1,35 @@
+exception Crash
+
 type t = {
   fd : Unix.file_descr;
   mutable pages : int;
   mutable closed : bool;
+  mutable fault : int option;  (* byte budget before the injected crash *)
+  mutable bytes_written : int;
 }
 
 let page_size = 4096
 
 let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  { fd; pages = 0; closed = false }
+  { fd; pages = 0; closed = false; fault = None; bytes_written = 0 }
 
-let open_existing path =
+let open_existing ?(allow_torn_tail = false) path =
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
   let size = (Unix.fstat fd).Unix.st_size in
-  if size mod page_size <> 0 then begin
+  if size mod page_size <> 0 && not allow_torn_tail then begin
     Unix.close fd;
     failwith (Printf.sprintf "Pager.open_existing: %s is not page aligned" path)
   end;
-  { fd; pages = size / page_size; closed = false }
+  (* torn tail: the partial page at the end (left by a crashed append)
+     is invisible — only whole pages are addressable *)
+  {
+    fd;
+    pages = size / page_size;
+    closed = false;
+    fault = None;
+    bytes_written = 0;
+  }
 
 let check t = if t.closed then invalid_arg "Pager: already closed"
 
@@ -29,10 +41,41 @@ let close t =
 
 let n_pages t = t.pages
 
+let set_fault t ~after_bytes =
+  if after_bytes < 0 then invalid_arg "Pager.set_fault: negative budget";
+  t.fault <- Some after_bytes
+
+let clear_fault t = t.fault <- None
+let bytes_written t = t.bytes_written
+
+let write_all t buf off len =
+  let written = ref 0 in
+  while !written < len do
+    let n = Unix.write t.fd buf (off + !written) (len - !written) in
+    if n = 0 then failwith "Pager: short write";
+    written := !written + n
+  done;
+  t.bytes_written <- t.bytes_written + len
+
+(* The fault-injection point: every page write spends page_size bytes of
+   the budget. When the budget runs out mid-page the prefix is written
+   (a torn page, exactly what a power cut leaves behind) and [Crash] is
+   raised; every subsequent write crashes immediately — a dead machine
+   stays dead. *)
 let pwrite t page buf =
   ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
-  let written = Unix.write t.fd buf 0 page_size in
-  if written <> page_size then failwith "Pager: short write"
+  match t.fault with
+  | None -> write_all t buf 0 page_size
+  | Some budget ->
+    if budget >= page_size then begin
+      t.fault <- Some (budget - page_size);
+      write_all t buf 0 page_size
+    end
+    else begin
+      t.fault <- Some 0;
+      if budget > 0 then write_all t buf 0 budget;
+      raise Crash
+    end
 
 let alloc t =
   check t;

@@ -1,10 +1,40 @@
-let magic = "GQLSTOR1"
+(* On-disk layout (format GQLSTOR2):
+
+   Page 0 is the superblock, managed directly through {!Pager} and
+   never through the buffer pool, so its write ordering is explicit:
+
+     bytes 0..7    magic "GQLSTOR2"
+     bytes 8..39   header slot 0:  n:int64 | tail:int64 | seq:int64 | crc:int32
+     bytes 40..71  header slot 1:  same layout
+
+   A commit (flush) first writes back and fsyncs every dirty data page,
+   then writes the superblock with seq+1 into slot (seq+1) mod 2 and
+   fsyncs again. Opening picks the valid slot (CRC and seq >= 1) with
+   the highest seq — a write torn anywhere inside the superblock leaves
+   the other slot describing the previous commit, so committed graphs
+   are never lost to a crash.
+
+   Records start at byte 4096: [len:4 LE][crc32(payload):4 LE][payload].
+   Recovery scans at most the committed record count, stops at the
+   first record that fails its bounds or CRC, truncates the directory
+   there and commits the repaired header. *)
+
+let magic = "GQLSTOR2"
+
+type recovery = {
+  salvaged : int;
+  dropped_records : int;
+  dropped_bytes : int;
+}
 
 type t = {
   pool : Buffer_pool.t;
-  mutable offsets : (int * int) array;  (* (byte offset, length), grown by doubling *)
+  header : bytes;  (* in-memory page-0 image; the only writer of page 0 *)
+  mutable offsets : (int * int) array;  (* (record byte offset, payload length) *)
   mutable n : int;
   mutable tail : int;  (* byte offset of the end of the log *)
+  mutable seq : int;  (* last committed superblock sequence number *)
+  mutable recovery : recovery option;
   mutable closed : bool;
 }
 
@@ -17,24 +47,44 @@ let push_offset t entry =
   t.offsets.(t.n) <- entry
 
 let header_size = Pager.page_size
+let record_header = 8
 let check t = if t.closed then invalid_arg "Store: already closed"
 
-(* --- header --- *)
+(* --- superblock --- *)
 
-let write_header t =
-  let page = Buffer_pool.get t.pool 0 in
-  Bytes.blit_string magic 0 page 0 8;
-  Bytes.set_int64_le page 8 (Int64.of_int t.n);
-  Bytes.set_int64_le page 16 (Int64.of_int t.tail);
-  Buffer_pool.mark_dirty t.pool 0
+let slot_off idx = 8 + (32 * idx)
 
-let read_header pool =
-  let page = Buffer_pool.get pool 0 in
-  if Bytes.sub_string page 0 8 <> magic then
-    failwith "Store.open_existing: bad magic";
-  let n = Int64.to_int (Bytes.get_int64_le page 8) in
-  let tail = Int64.to_int (Bytes.get_int64_le page 16) in
-  (n, tail)
+let set_slot header ~n ~tail ~seq =
+  let body = Bytes.create 24 in
+  Bytes.set_int64_le body 0 (Int64.of_int n);
+  Bytes.set_int64_le body 8 (Int64.of_int tail);
+  Bytes.set_int64_le body 16 (Int64.of_int seq);
+  let crc = Codec.crc32 (Bytes.unsafe_to_string body) in
+  let off = slot_off (seq land 1) in
+  Bytes.blit body 0 header off 24;
+  Bytes.set_int32_le header (off + 24) (Int32.of_int crc)
+
+let get_slot header idx =
+  let off = slot_off idx in
+  let body = Bytes.sub_string header off 24 in
+  let stored = Int32.to_int (Bytes.get_int32_le header (off + 24)) land 0xFFFFFFFF in
+  if Codec.crc32 body <> stored then None
+  else
+    let n = Int64.to_int (Bytes.get_int64_le header off) in
+    let tail = Int64.to_int (Bytes.get_int64_le header (off + 8)) in
+    let seq = Int64.to_int (Bytes.get_int64_le header (off + 16)) in
+    if seq < 1 || n < 0 || tail < header_size then None else Some (n, tail, seq)
+
+(* Data pages are committed before the superblock names them: a crash
+   between the two fsyncs leaves the old superblock pointing at old,
+   fully-written data. *)
+let commit t =
+  Buffer_pool.flush t.pool;
+  t.seq <- t.seq + 1;
+  set_slot t.header ~n:t.n ~tail:t.tail ~seq:t.seq;
+  let pager = Buffer_pool.pager t.pool in
+  Pager.write pager 0 t.header;
+  Pager.sync pager
 
 (* --- byte-level access through the pool --- *)
 
@@ -66,61 +116,141 @@ let write_bytes t ~off s =
     let page_id = pos / Pager.page_size in
     let in_page = pos mod Pager.page_size in
     let chunk = min (len - !copied) (Pager.page_size - in_page) in
-    let page = Buffer_pool.get t.pool page_id in
-    Bytes.blit_string s !copied page in_page chunk;
-    Buffer_pool.mark_dirty t.pool page_id;
-    copied := !copied + chunk
+    let c = !copied in
+    Buffer_pool.with_page t.pool page_id (fun page ->
+        Bytes.blit_string s c page in_page chunk);
+    copied := c + chunk
   done
 
-(* records: 4-byte little-endian length + payload *)
-
-let read_record t off =
-  let len_bytes = read_bytes t ~off ~len:4 in
-  let len = Int32.to_int (String.get_int32_le len_bytes 0) in
-  if len < 0 then raise (Codec.Corrupt "negative record length");
-  (read_bytes t ~off:(off + 4) ~len, off + 4 + len)
+(* records: [len:4 LE][crc:4 LE][payload] *)
 
 let write_record t off payload =
-  let len_bytes = Bytes.create 4 in
-  Bytes.set_int32_le len_bytes 0 (Int32.of_int (String.length payload));
-  write_bytes t ~off (Bytes.unsafe_to_string len_bytes);
-  write_bytes t ~off:(off + 4) payload;
-  off + 4 + String.length payload
+  let hdr = Bytes.create record_header in
+  Bytes.set_int32_le hdr 0 (Int32.of_int (String.length payload));
+  Bytes.set_int32_le hdr 4 (Int32.of_int (Codec.crc32 payload));
+  write_bytes t ~off (Bytes.unsafe_to_string hdr);
+  write_bytes t ~off:(off + record_header) payload;
+  off + record_header + String.length payload
+
+(* Validating read bounded by [limit]: returns the payload and the next
+   offset, or [None] for anything that cannot be a committed record —
+   out of bounds, negative length, unreadable pages, CRC mismatch. *)
+let read_record_opt t ~limit off =
+  if off + record_header > limit then None
+  else
+    match read_bytes t ~off ~len:record_header with
+    | exception _ -> None
+    | hdr ->
+      let len = Int32.to_int (String.get_int32_le hdr 0) in
+      let stored = Int32.to_int (String.get_int32_le hdr 4) land 0xFFFFFFFF in
+      if len < 0 || off + record_header + len > limit then None
+      else (
+        match read_bytes t ~off:(off + record_header) ~len with
+        | exception _ -> None
+        | payload ->
+          if Codec.crc32 payload <> stored then None
+          else Some (payload, off + record_header + len))
 
 (* --- lifecycle --- *)
 
 let create ?pool_capacity path =
   let pager = Pager.create path in
   let pool = Buffer_pool.create ?capacity:pool_capacity pager in
-  ignore (Buffer_pool.alloc pool) (* header page *);
-  let t = { pool; offsets = [||]; n = 0; tail = header_size; closed = false } in
-  write_header t;
+  ignore (Pager.alloc pager) (* superblock page, outside the pool *);
+  let header = Bytes.make Pager.page_size '\000' in
+  Bytes.blit_string magic 0 header 0 8;
+  let t =
+    {
+      pool;
+      header;
+      offsets = [||];
+      n = 0;
+      tail = header_size;
+      seq = 0;
+      recovery = None;
+      closed = false;
+    }
+  in
+  commit t;
   t
 
+let corrupt fmt = Format.kasprintf (fun s -> raise (Codec.Corrupt s)) fmt
+
 let open_existing ?pool_capacity path =
-  let pager = Pager.open_existing path in
+  (* a non-page-aligned file is the signature of an append that died
+     mid-page: the torn tail is invisible to the pager and the scan
+     below decides what is still intact *)
+  let pager = Pager.open_existing ~allow_torn_tail:true path in
+  let fail_with f = Pager.close pager; f () in
+  if Pager.n_pages pager = 0 then
+    fail_with (fun () -> corrupt "%s: empty or headerless store file" path);
+  let header = Pager.read pager 0 in
+  if Bytes.sub_string header 0 8 <> magic then
+    fail_with (fun () -> corrupt "%s: bad magic (not a GQLSTOR2 store)" path);
+  let n, tail, seq =
+    match (get_slot header 0, get_slot header 1) with
+    | Some (n, t, s), Some (_, _, s') when s >= s' -> (n, t, s)
+    | _, Some (n, t, s) | Some (n, t, s), None -> (n, t, s)
+    | None, None ->
+      fail_with (fun () -> corrupt "%s: both header slots corrupt" path)
+  in
   let pool = Buffer_pool.create ?capacity:pool_capacity pager in
-  let n, tail = read_header pool in
-  let t = { pool; offsets = Array.make (max 16 n) (0, 0); n = 0; tail; closed = false } in
-  (* rebuild the directory with a sequential scan of the log *)
+  let t =
+    {
+      pool;
+      header;
+      offsets = Array.make (max 16 n) (0, 0);
+      n = 0;
+      tail;
+      seq;
+      recovery = None;
+      closed = false;
+    }
+  in
+  (* rebuild the directory with a sequential scan of the log, bounded
+     by the committed record count and tail — CRC-valid garbage beyond
+     them is never salvaged *)
   let off = ref header_size in
-  for _ = 1 to n do
-    let payload, next = read_record t !off in
-    push_offset t (!off, String.length payload);
-    t.n <- t.n + 1;
-    off := next
-  done;
-  if !off <> tail then failwith "Store.open_existing: log tail mismatch";
+  let valid = ref 0 in
+  (try
+     while !valid < n do
+       match read_record_opt t ~limit:tail !off with
+       | None -> raise Exit
+       | Some (payload, next) ->
+         push_offset t (!off, String.length payload);
+         t.n <- t.n + 1;
+         incr valid;
+         off := next
+     done
+   with Exit -> ());
+  if !valid < n || !off <> tail then begin
+    (* torn tail: keep the valid prefix, truncate the directory there,
+       and commit the repaired header so the next open is clean *)
+    t.recovery <-
+      Some
+        {
+          salvaged = !valid;
+          dropped_records = n - !valid;
+          dropped_bytes = tail - !off;
+        };
+    t.tail <- !off;
+    commit t
+  end;
   t
 
 let flush t =
   check t;
-  write_header t;
-  Buffer_pool.flush t.pool
+  commit t
 
 let close t =
   if not t.closed then begin
     flush t;
+    Pager.close (Buffer_pool.pager t.pool);
+    t.closed <- true
+  end
+
+let abort t =
+  if not t.closed then begin
     Pager.close (Buffer_pool.pager t.pool);
     t.closed <- true
   end
@@ -135,7 +265,6 @@ let add_graph t g =
   t.tail <- write_record t off payload;
   push_offset t (off, String.length payload);
   t.n <- id + 1;
-  write_header t;
   id
 
 let n_graphs t = t.n
@@ -147,7 +276,12 @@ let offset_of t i =
 let get_graph t i =
   check t;
   let off, len = offset_of t i in
-  let payload = read_bytes t ~off:(off + 4) ~len in
+  let hdr = read_bytes t ~off ~len:record_header in
+  let stored = Int32.to_int (String.get_int32_le hdr 4) land 0xFFFFFFFF in
+  let payload = read_bytes t ~off:(off + record_header) ~len in
+  if Codec.crc32 payload <> stored then
+    corrupt "record %d: CRC mismatch (stored %08x, computed %08x)" i stored
+      (Codec.crc32 payload);
   Codec.graph_of_string payload
 
 let iter t ~f =
@@ -159,3 +293,5 @@ let iter t ~f =
 let to_list t = List.init t.n (get_graph t)
 
 let pool_stats t = Buffer_pool.stats t.pool
+let recovery t = t.recovery
+let pager t = Buffer_pool.pager t.pool

@@ -1,10 +1,17 @@
-(** A disk-backed collection of graphs.
+(** A disk-backed collection of graphs, crash-safe.
 
     The §7 "physical storage" extension: graphs are appended as
-    length-prefixed {!Codec} records to a log of 4 KiB pages behind an
-    LRU {!Buffer_pool}; the page-0 header records the graph count and
-    the log tail so a reopened store rebuilds its offset directory with
-    one sequential scan.
+    CRC-guarded, length-prefixed {!Codec} records to a log of 4 KiB
+    pages behind an LRU {!Buffer_pool}. Page 0 is a dual-slot
+    superblock: a commit flushes the data pages first, then writes the
+    record count / log tail / sequence number into the alternate slot,
+    so a write torn {e anywhere} — mid-record, mid-page, or inside the
+    superblock itself — leaves the previous commit fully readable.
+
+    {!open_existing} recovers from a torn tail: it scans at most the
+    committed record count, drops everything from the first record that
+    fails its bounds or CRC, and commits the repaired header; the
+    salvage report is available from {!recovery}.
 
     The store targets the "large collection of small graphs" database
     category (chemical compounds, DBLP papers); a single large graph is
@@ -14,22 +21,49 @@ open Gql_graph
 
 type t
 
+type recovery = {
+  salvaged : int;  (** records readable after the repair *)
+  dropped_records : int;  (** committed count minus salvaged *)
+  dropped_bytes : int;  (** log bytes truncated from the tail *)
+}
+
 val create : ?pool_capacity:int -> string -> t
 (** Create or truncate a store file. *)
 
 val open_existing : ?pool_capacity:int -> string -> t
-(** Reopen; raises [Codec.Corrupt] or [Failure] on malformed files. *)
+(** Reopen, recovering from a torn tail if needed. Raises
+    [Codec.Corrupt] on files that never were a committed store: empty
+    or header-only files, bad magic, both superblock slots invalid. *)
+
+val recovery : t -> recovery option
+(** [Some _] when {!open_existing} had to repair this store. *)
 
 val close : t -> unit
-(** Flushes. The handle must not be used afterwards. *)
+(** Commits (flush + superblock). The handle must not be used
+    afterwards. *)
+
+val abort : t -> unit
+(** Close {e without} committing — what a crash looks like from the
+    outside. Used by the fault-injection tests, where {!close} would
+    just crash again on its flush. *)
 
 val flush : t -> unit
+(** Commit: write back data pages, fsync, publish the new superblock,
+    fsync. Graphs added since the last commit are volatile until this
+    (or {!close}) returns. *)
 
 val add_graph : t -> Graph.t -> int
 (** Append; returns the graph's id (dense, in insertion order). *)
 
 val n_graphs : t -> int
+
 val get_graph : t -> int -> Graph.t
+(** Verifies the record CRC; raises [Codec.Corrupt] on mismatch. *)
+
 val iter : t -> f:(int -> Graph.t -> unit) -> unit
 val to_list : t -> Graph.t list
 val pool_stats : t -> Buffer_pool.stats
+
+val pager : t -> Pager.t
+(** The underlying pager — exposed for the fault-injection tests
+    ({!Pager.set_fault}). *)

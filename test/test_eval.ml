@@ -105,8 +105,9 @@ let test_non_exhaustive_for () =
 
 let test_unknown_collection () =
   match Gql.run_query "for graph P { node v1; } in doc(\"nope\") return graph {}" with
-  | exception Gql.Error msg ->
-    Alcotest.(check bool) "mentions collection" true (Test_graph.contains msg "nope")
+  | exception Error.E t ->
+    Alcotest.(check bool) "mentions collection" true
+      (Test_graph.contains (Error.to_string t) "nope")
   | _ -> Alcotest.fail "expected an error"
 
 let test_variable_as_source () =

@@ -30,4 +30,6 @@ let () =
       ("plan", Test_plan.suite);
       ("reachability", Test_reachability.suite);
       ("transform", Test_transform.suite);
+      ("budget", Test_budget.suite);
+      ("storage-recovery", Test_recovery.suite);
     ]

@@ -68,7 +68,12 @@ let test_search_first_only () =
   Alcotest.(check int) "first only" 1 first.Search.n_found;
   let limited = Search.run ~limit:1 p g space in
   Alcotest.(check int) "limit 1" 1 limited.Search.n_found;
-  Alcotest.(check bool) "limit marks incomplete" false limited.Search.complete
+  Alcotest.(check bool)
+    "limit reported as Hit_limit" true
+    (limited.Search.stopped = Budget.Hit_limit);
+  Alcotest.(check bool)
+    "unbounded run is Exhausted" true
+    (all.Search.stopped = Budget.Exhausted)
 
 let test_engine_strategies_agree () =
   let g = sample_g () in

@@ -151,7 +151,7 @@ let test_motif_errors () =
   let fails s =
     match Motif.to_graph (decl s) with
     | exception Motif.Error _ -> true
-    | exception Gql.Error _ -> true
+    | exception Error.E _ -> true
     | _ -> false
   in
   Alcotest.(check bool) "unknown ref" true (fails "graph G { graph Nope; }");

@@ -24,7 +24,9 @@ let test_parallel_search_partition () =
   let space = Feasible.compute ~retrieval:`Node_attrs p g in
   let out = Parallel.search ~domains:3 p g space in
   Alcotest.(check int) "one triangle found in parallel" 1 out.Search.n_found;
-  Alcotest.(check bool) "complete" true out.Search.complete
+  Alcotest.(check bool)
+    "exhausted" true
+    (out.Search.stopped = Budget.Exhausted)
 
 let test_empty_space () =
   let g = Test_graph.sample_g () in

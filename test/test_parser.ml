@@ -71,7 +71,7 @@ let test_expression_precedence () =
 let test_parse_errors () =
   let fails s =
     match Gql.parse_program s with
-    | exception Gql.Error _ -> true
+    | exception Error.E _ -> true
     | _ -> false
   in
   Alcotest.(check bool) "unclosed brace" true (fails "graph G { node v1;");
@@ -82,9 +82,10 @@ let test_parse_errors () =
 
 let test_error_position () =
   match Gql.parse_program "graph G {\n  node v1;\n  oops;\n}" with
-  | exception Gql.Error msg ->
-    Alcotest.(check bool) "mentions line 3" true
-      (Test_graph.contains msg "3:")
+  | exception Error.E (Error.Parse { line; _ } as t) ->
+    Alcotest.(check int) "line 3" 3 line;
+    Alcotest.(check bool) "position rendered" true
+      (Test_graph.contains (Error.to_string t) "3:")
   | _ -> Alcotest.fail "expected a parse error"
 
 let test_comments () =

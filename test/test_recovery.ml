@@ -1,0 +1,223 @@
+(* Crash-safety of the store: fault-injected appends at every byte
+   offset, torn tails, flipped bits, and degenerate files.
+
+   The invariant under test: graphs committed by the last successful
+   [Store.flush]/[Store.close] survive any crash of a later append,
+   wherever in the write stream it lands. *)
+
+open Gql_graph
+open Gql_storage
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let copy_file src dst =
+  let s = In_channel.with_open_bin src In_channel.input_all in
+  Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc s)
+
+let graph_i i =
+  Graph.of_labeled
+    ~labels:(Array.init (3 + (i mod 4)) (fun j -> Printf.sprintf "G%d_%d" i j))
+    (List.init (2 + (i mod 3)) (fun k -> (k, k + 1)))
+
+let committed = List.init 3 graph_i
+let extra () = graph_i 7
+
+let make_base path =
+  let st = Store.create path in
+  List.iter (fun g -> ignore (Store.add_graph st g)) committed;
+  Store.close st
+
+let check_committed_intact ?(msg = "") st =
+  Alcotest.(check bool)
+    (Printf.sprintf "committed graphs present %s" msg)
+    true
+    (Store.n_graphs st >= List.length committed);
+  List.iteri
+    (fun i g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "graph %d intact %s" i msg)
+        true
+        (Graph.equal_structure g (Store.get_graph st i)))
+    committed
+
+(* The crash matrix: replay one append+flush with an injected crash
+   after every possible byte offset of its write stream, and verify the
+   three committed graphs always survive reopening. *)
+let test_crash_at_every_byte () =
+  let base = tmp "gql_rec_base.db" in
+  let work = tmp "gql_rec_work.db" in
+  make_base base;
+  (* measure the clean append's write volume *)
+  copy_file base work;
+  let st = Store.open_existing work in
+  ignore (Store.add_graph st (extra ()));
+  Store.flush st;
+  let total_bytes = Pager.bytes_written (Store.pager st) in
+  Store.close st;
+  Alcotest.(check bool) "append writes something" true (total_bytes > 0);
+  let crashes = ref 0 in
+  for fault = 0 to total_bytes do
+    copy_file base work;
+    let st = Store.open_existing work in
+    Alcotest.(check bool) "clean base needs no recovery" true
+      (Store.recovery st = None);
+    Pager.set_fault (Store.pager st) ~after_bytes:fault;
+    let crashed =
+      match
+        ignore (Store.add_graph st (extra ()));
+        Store.flush st
+      with
+      | () -> false
+      | exception Pager.Crash -> true
+    in
+    if crashed then incr crashes;
+    Store.abort st;
+    (* reopen with no fault: the previously committed graphs must all
+       be there, whatever the crash tore *)
+    let st = Store.open_existing work in
+    check_committed_intact ~msg:(Printf.sprintf "(fault at %d)" fault) st;
+    if not crashed then
+      Alcotest.(check int)
+        (Printf.sprintf "uncrashed append committed (fault at %d)" fault)
+        4 (Store.n_graphs st);
+    Store.close st
+  done;
+  Alcotest.(check bool) "the matrix exercised real crashes" true (!crashes > 0);
+  Sys.remove base;
+  Sys.remove work
+
+let test_empty_file () =
+  let path = tmp "gql_rec_empty.db" in
+  Out_channel.with_open_bin path (fun _ -> ());
+  Alcotest.(check bool) "empty file is Corrupt, not End_of_file" true
+    (match Store.open_existing path with
+    | exception Codec.Corrupt _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_sub_page_file () =
+  let path = tmp "gql_rec_subpage.db" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.make 100 '\000'));
+  Alcotest.(check bool) "sub-page file is Corrupt" true
+    (match Store.open_existing path with
+    | exception Codec.Corrupt _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let test_corrupt_header_slots () =
+  let path = tmp "gql_rec_slots.db" in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc "GQLSTOR2";
+      Out_channel.output_string oc (String.make (4096 - 8) '\xAB'));
+  Alcotest.(check bool) "garbage slots are Corrupt" true
+    (match Store.open_existing path with
+    | exception Codec.Corrupt _ -> true
+    | _ -> false);
+  Sys.remove path
+
+let flip_byte path off =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd
+
+let test_crc_flip_truncates_tail () =
+  let path = tmp "gql_rec_flip.db" in
+  make_base path;
+  (* record offsets are deterministic: [len][crc][payload] per graph *)
+  let sizes = List.map (fun g -> String.length (Codec.graph_to_string g)) committed in
+  let last_start =
+    List.fold_left ( + ) 4096
+      (List.filteri (fun i _ -> i < 2) sizes |> List.map (fun s -> s + 8))
+  in
+  (* flip a payload byte of the last record *)
+  flip_byte path (last_start + 8 + 1);
+  let st = Store.open_existing path in
+  (match Store.recovery st with
+  | Some r ->
+    Alcotest.(check int) "two records salvaged" 2 r.Store.salvaged;
+    Alcotest.(check int) "one record dropped" 1 r.Store.dropped_records;
+    Alcotest.(check bool) "dropped bytes counted" true (r.Store.dropped_bytes > 0)
+  | None -> Alcotest.fail "expected a recovery report");
+  Alcotest.(check int) "directory truncated" 2 (Store.n_graphs st);
+  List.iteri
+    (fun i g ->
+      if i < 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "surviving graph %d intact" i)
+          true
+          (Graph.equal_structure g (Store.get_graph st i)))
+    committed;
+  Store.close st;
+  (* the repair was committed: the next open is clean *)
+  let st = Store.open_existing path in
+  Alcotest.(check bool) "second open needs no recovery" true
+    (Store.recovery st = None);
+  Alcotest.(check int) "count stable" 2 (Store.n_graphs st);
+  Store.close st;
+  Sys.remove path
+
+let test_physical_truncation () =
+  (* chop the file mid-page: the unreadable tail is dropped, the store
+     still opens, and the repair is committed *)
+  let path = tmp "gql_rec_trunc.db" in
+  let st = Store.create path in
+  ignore (Store.add_graph st (graph_i 0));
+  (* a record spanning several pages *)
+  let big =
+    Graph.of_labeled
+      ~labels:(Array.init 1500 (fun i -> Printf.sprintf "Big%06d" i))
+      (List.init 1499 (fun i -> (i, i + 1)))
+  in
+  ignore (Store.add_graph st big);
+  Store.close st;
+  let size = (Unix.stat path).Unix.st_size in
+  Alcotest.(check bool) "store spans >2 pages" true (size > 3 * 4096);
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd ((2 * 4096) + 123);
+  Unix.close fd;
+  let st = Store.open_existing path in
+  Alcotest.(check int) "small graph salvaged" 1 (Store.n_graphs st);
+  Alcotest.(check bool) "salvaged graph intact" true
+    (Graph.equal_structure (graph_i 0) (Store.get_graph st 0));
+  (match Store.recovery st with
+  | Some r -> Alcotest.(check int) "big record dropped" 1 r.Store.dropped_records
+  | None -> Alcotest.fail "expected a recovery report");
+  Store.close st;
+  let st = Store.open_existing path in
+  Alcotest.(check bool) "repair was committed" true (Store.recovery st = None);
+  Store.close st;
+  Sys.remove path
+
+let test_closed_handle_rejected () =
+  let path = tmp "gql_rec_closed.db" in
+  let st = Store.create path in
+  ignore (Store.add_graph st (graph_i 0));
+  Store.abort st;
+  Alcotest.(check bool) "aborted handle unusable" true
+    (match Store.n_graphs st |> ignore; Store.get_graph st 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  (* abort skipped the commit: the add is gone, the create commit holds *)
+  let st = Store.open_existing path in
+  Alcotest.(check int) "uncommitted add not visible" 0 (Store.n_graphs st);
+  Store.close st;
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "crash at every byte offset" `Slow test_crash_at_every_byte;
+    Alcotest.test_case "empty file" `Quick test_empty_file;
+    Alcotest.test_case "sub-page file" `Quick test_sub_page_file;
+    Alcotest.test_case "corrupt header slots" `Quick test_corrupt_header_slots;
+    Alcotest.test_case "CRC flip truncates the tail" `Quick
+      test_crc_flip_truncates_tail;
+    Alcotest.test_case "physical truncation mid-record" `Quick
+      test_physical_truncation;
+    Alcotest.test_case "aborted handle" `Quick test_closed_handle_rejected;
+  ]

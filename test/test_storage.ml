@@ -95,9 +95,7 @@ let test_buffer_pool_lru () =
   let s = Buffer_pool.stats pool in
   Alcotest.(check bool) "eviction happened" true (s.Buffer_pool.evictions >= 1);
   (* write through a cached frame, evict it, read it back *)
-  let frame = Buffer_pool.get pool p0 in
-  Bytes.set frame 0 'A';
-  Buffer_pool.mark_dirty pool p0;
+  Buffer_pool.with_page pool p0 (fun frame -> Bytes.set frame 0 'A');
   ignore (Buffer_pool.get pool p1);
   ignore (Buffer_pool.get pool p2);  (* p0 now LRU and evicted *)
   let frame' = Buffer_pool.get pool p0 in
@@ -193,11 +191,18 @@ let test_store_bad_magic () =
   let oc = open_out path in
   output_string oc (String.make (2 * 4096) 'j');
   close_out oc;
-  Alcotest.(check bool) "bad magic rejected" true
+  Alcotest.(check bool) "bad magic rejected with Corrupt" true
     (match Store.open_existing path with
-    | exception Failure _ -> true
+    | exception Codec.Corrupt _ -> true
     | _ -> false);
   Sys.remove path
+
+let test_crc32_vectors () =
+  (* the IEEE 802.3 check value, plus incremental equivalence *)
+  Alcotest.(check int) "check vector" 0xCBF43926 (Codec.crc32 "123456789");
+  Alcotest.(check int) "empty" 0 (Codec.crc32 "");
+  Alcotest.(check int) "incremental = one-shot" (Codec.crc32 "123456789")
+    (Codec.crc32 ~crc:(Codec.crc32 "1234") "56789")
 
 let suite =
   [
@@ -214,4 +219,5 @@ let suite =
     Alcotest.test_case "selection over a stored collection" `Quick
       test_store_query_integration;
     Alcotest.test_case "bad magic rejected" `Quick test_store_bad_magic;
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
   ]
