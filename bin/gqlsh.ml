@@ -35,6 +35,32 @@ let load_collection path =
   in
   List.map (fun d -> Motif.to_graph ~defs d) decls
 
+(* A doc source is either a .gql text file or a .store disk store; the
+   metrics wiring makes store traffic (page reads, pool hits) visible to
+   explain --analyze. *)
+let load_doc ?(metrics = Gql_obs.Metrics.disabled) path =
+  if Filename.check_suffix path ".store" then begin
+    let store = Gql_storage.Store.open_existing path in
+    Gql_storage.Store.set_metrics store metrics;
+    Fun.protect
+      ~finally:(fun () -> Gql_storage.Store.close store)
+      (fun () -> Gql_storage.Store.to_list store)
+  end
+  else load_collection path
+
+let parse_docs ?metrics specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+        let name = String.sub spec 0 i in
+        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+        (name, load_doc ?metrics path)
+      | None ->
+        Error.raise_
+          (Error.Usage (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
+    specs
+
 let strategy_of_string = function
   | "optimized" -> Gql_matcher.Engine.optimized
   | "baseline" -> Gql_matcher.Engine.baseline
@@ -83,20 +109,7 @@ let finish_with stopped what =
 
 let run_cmd query_file docs timeout max_visited verbose =
   guarded (fun () ->
-      let docs =
-        List.map
-          (fun spec ->
-            match String.index_opt spec '=' with
-            | Some i ->
-              let name = String.sub spec 0 i in
-              let path = String.sub spec (i + 1) (String.length spec - i - 1) in
-              (name, load_collection path)
-            | None ->
-              Error.raise_
-                (Error.Usage
-                   (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
-          docs
-      in
+      let docs = parse_docs docs in
       (* the deadline clock starts after the inputs are loaded: it
          governs query execution, not file parsing *)
       let budget = budget_of timeout max_visited in
@@ -141,11 +154,37 @@ let match_cmd pattern_file graph_file strategy exhaustive limit timeout
 
 (* --- explain ------------------------------------------------------------ *)
 
-let explain_cmd query_file =
+let explain_cmd query_file analyze json docs timeout max_visited =
   guarded (fun () ->
-      let plan = Plan.compile (Gql.parse_program (read_file query_file)) in
-      Format.printf "%a@." Plan.pp plan;
-      0)
+      let src = read_file query_file in
+      if not analyze then begin
+        if json then
+          Error.raise_ (Error.Usage "--json requires --analyze");
+        let plan = Plan.compile (Gql.parse_program src) in
+        Format.printf "%a@." Plan.pp plan;
+        0
+      end
+      else begin
+        (* EXPLAIN ANALYZE: actually execute the program with metrics
+           enabled and report the span tree + counters. Doc loading runs
+           inside the instrumented window so store traffic is visible;
+           the deadline clock still starts at query execution. *)
+        let module M = Gql_obs.Metrics in
+        let metrics = M.create () in
+        let docs = M.with_span metrics "load" (fun () -> parse_docs ~metrics docs) in
+        let budget = budget_of timeout max_visited in
+        let result =
+          M.with_span metrics "query" (fun () ->
+              Gql.run_query ~docs ?budget ~metrics src)
+        in
+        if json then print_string (M.to_json metrics)
+        else begin
+          let plan = Plan.compile (Gql.parse_program src) in
+          Format.printf "%a@.@." Plan.pp plan;
+          Format.printf "%a" M.pp metrics
+        end;
+        finish_with result.Eval.stopped "query"
+      end)
 
 (* --- stats -------------------------------------------------------------- *)
 
@@ -179,8 +218,24 @@ let stats_cmd graph_file =
 
 (* --- store -------------------------------------------------------------- *)
 
-let store_cmd store_file =
+let store_import store_file gql_file =
+  let graphs = load_collection gql_file in
+  let store = Gql_storage.Store.create store_file in
+  Fun.protect
+    ~finally:(fun () -> Gql_storage.Store.close store)
+    (fun () ->
+      List.iter
+        (fun g -> ignore (Gql_storage.Store.add_graph store g))
+        graphs);
+  Format.printf "imported %d graph(s) into %s@." (List.length graphs)
+    store_file;
+  0
+
+let store_cmd store_file import =
   guarded (fun () ->
+      match import with
+      | Some gql_file -> store_import store_file gql_file
+      | None ->
       let store = Gql_storage.Store.open_existing store_file in
       Fun.protect
         ~finally:(fun () -> Gql_storage.Store.close store)
@@ -297,11 +352,30 @@ let match_term =
       const match_cmd $ pattern $ graph $ strategy $ exhaustive $ limit
       $ timeout_arg $ max_visited_arg $ verbose)
 
+let docs_arg =
+  Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE"
+         ~doc:"Bind a doc(\"NAME\") collection to a .gql graph file or a \
+               .store disk store. Repeatable.")
+
 let explain_term =
   let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
+  let analyze =
+    Arg.(value & flag & info [ "analyze" ]
+           ~doc:"Execute the program with instrumentation and print the \
+                 per-phase span tree, counters and histograms after the plan.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"With --analyze: print the metrics report as JSON \
+                 (schema gql-obs/v1) instead of text.")
+  in
   Cmd.v
-    (Cmd.info "explain" ~doc:"Print the algebra expression a program compiles to (§3.4)")
-    Term.(const explain_cmd $ query)
+    (Cmd.info "explain"
+       ~doc:"Print the algebra expression a program compiles to (§3.4); with \
+             --analyze, execute it and report observed spans and counters")
+    Term.(
+      const explain_cmd $ query $ analyze $ json $ docs_arg $ timeout_arg
+      $ max_visited_arg)
 
 let stats_term =
   let graph = Arg.(required & pos 0 (some file) None & info [] ~docv:"G.gql") in
@@ -309,11 +383,17 @@ let stats_term =
     Term.(const stats_cmd $ graph)
 
 let store_term =
-  let store = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.store") in
+  let store = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.store") in
+  let import =
+    Arg.(value & opt (some file) None & info [ "import" ] ~docv:"G.gql"
+           ~doc:"Create (or overwrite) the store from a .gql collection \
+                 instead of inspecting it.")
+  in
   Cmd.v
     (Cmd.info "store"
-       ~doc:"Inspect a disk store (recovers from a torn tail if needed)")
-    Term.(const store_cmd $ store)
+       ~doc:"Inspect a disk store (recovers from a torn tail if needed), or \
+             build one with --import")
+    Term.(const store_cmd $ store $ import)
 
 let gen_term =
   let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET") in

@@ -24,14 +24,26 @@ let graphs c = List.map underlying c
    engine would only burn a poll to learn the same thing. [Step_budget]
    is per-run, so later entries still get their own visit allowance. *)
 let select_one_governed ?strategy ?(exhaustive = true) ?limit
-    ?(budget = Budget.unlimited) pattern c =
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled) pattern c
+    =
+  let module M_ = Gql_obs.Metrics in
   let stopped = ref Budget.Exhausted in
   let rev_out = ref [] in
   List.iter
     (fun entry ->
       if not (Budget.final !stopped) then begin
         let g = underlying entry in
-        let result = Engine.run ?strategy ~exhaustive ?limit ~budget pattern g in
+        let result =
+          (* one "match" span per (pattern, graph) engine run; same-name
+             siblings aggregate in the span forest, so a 1000-graph
+             collection renders as a single match × 1000 line *)
+          M_.with_span metrics "match" (fun () ->
+              Engine.run ?strategy ~exhaustive ?limit ~budget ~metrics pattern
+                g)
+        in
+        if M_.enabled metrics then
+          M_.observe metrics M_.Matches_per_graph
+            result.Engine.outcome.Gql_matcher.Search.n_found;
         (match result.Engine.outcome.Gql_matcher.Search.stopped with
         | Budget.Exhausted | Budget.Hit_limit -> ()
         | r -> stopped := Budget.worst !stopped r);
@@ -42,18 +54,20 @@ let select_one_governed ?strategy ?(exhaustive = true) ?limit
     c;
   (List.rev !rev_out, !stopped)
 
-let select_one ?strategy ?exhaustive ?limit ?budget pattern c =
-  fst (select_one_governed ?strategy ?exhaustive ?limit ?budget pattern c)
+let select_one ?strategy ?exhaustive ?limit ?budget ?metrics pattern c =
+  fst
+    (select_one_governed ?strategy ?exhaustive ?limit ?budget ?metrics pattern
+       c)
 
 let select_governed ?strategy ?exhaustive ?limit ?(budget = Budget.unlimited)
-    ~patterns c =
+    ?metrics ~patterns c =
   let stopped = ref Budget.Exhausted in
   let rev_out = ref [] in
   List.iter
     (fun p ->
       if not (Budget.final !stopped) then begin
         let ms, r =
-          select_one_governed ?strategy ?exhaustive ?limit ~budget p c
+          select_one_governed ?strategy ?exhaustive ?limit ~budget ?metrics p c
         in
         stopped := Budget.worst !stopped r;
         rev_out := List.rev_append ms !rev_out
@@ -61,8 +75,8 @@ let select_governed ?strategy ?exhaustive ?limit ?(budget = Budget.unlimited)
     patterns;
   (List.rev !rev_out, !stopped)
 
-let select ?strategy ?exhaustive ?limit ?budget ~patterns c =
-  fst (select_governed ?strategy ?exhaustive ?limit ?budget ~patterns c)
+let select ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c =
+  fst (select_governed ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c)
 
 (* --- product and join ------------------------------------------------------ *)
 

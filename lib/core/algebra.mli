@@ -31,6 +31,7 @@ val select :
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   patterns:Gql_matcher.Flat_pattern.t list ->
   collection ->
   collection
@@ -41,13 +42,16 @@ val select :
     recursive) pattern; a graph's matches accumulate across
     derivations. The [budget] is shared by every engine run; on a
     resource stop the matches found so far are returned (use
-    {!select_governed} to learn the reason). *)
+    {!select_governed} to learn the reason). With [metrics] enabled,
+    each engine run executes inside a ["match"] span and the per-graph
+    match counts feed the [matches_per_graph] histogram. *)
 
 val select_one :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   Gql_matcher.Flat_pattern.t ->
   collection ->
   collection
@@ -57,6 +61,7 @@ val select_governed :
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   patterns:Gql_matcher.Flat_pattern.t list ->
   collection ->
   collection * Gql_matcher.Budget.stop_reason
@@ -71,6 +76,7 @@ val select_one_governed :
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   Gql_matcher.Flat_pattern.t ->
   collection ->
   collection * Gql_matcher.Budget.stop_reason

@@ -33,7 +33,8 @@ let instantiate_template st extra = function
     | Some g -> g
     | None -> error "unknown variable %s" v)
 
-let run ?(docs = []) ?strategy ?max_depth ?budget (program : Ast.program) =
+let run ?(docs = []) ?strategy ?max_depth ?budget
+    ?(metrics = Gql_obs.Metrics.disabled) (program : Ast.program) =
   let st =
     { s_defs = []; s_vars = []; s_last = None; s_stopped = Budget.Exhausted }
   in
@@ -70,8 +71,9 @@ let run ?(docs = []) ?strategy ?max_depth ?budget (program : Ast.program) =
       in
       let entries = List.map (fun g -> Algebra.G g) source in
       let matches, sel_stopped =
-        Algebra.select_governed ?strategy ~exhaustive:f.Ast.f_exhaustive
-          ?budget ~patterns entries
+        Gql_obs.Metrics.with_span metrics "flwr" (fun () ->
+            Algebra.select_governed ?strategy ~exhaustive:f.Ast.f_exhaustive
+              ?budget ~metrics ~patterns entries)
       in
       st.s_stopped <- Budget.worst st.s_stopped sel_stopped;
       let matches =

@@ -37,13 +37,16 @@ val run :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?max_depth:int ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   Ast.program ->
   result
 (** [max_depth] bounds recursive motif derivation (default 16). A
     variable holding a graph can also serve as a [doc] source of one
     graph; explicit [docs] entries win on name clash. The [budget] is
     shared by every selection of the program — one end-to-end deadline
-    governs the whole run. *)
+    governs the whole run. With [metrics] enabled, each FLWR selection
+    runs in a ["flwr"] span containing one ["match"] span per
+    (pattern, graph) engine run. *)
 
 val var : result -> string -> Graph.t option
 val returned : result -> Graph.t list

@@ -41,5 +41,6 @@ let find_matches ?strategy ?exhaustive ?limit ?budget ~pattern g =
 let count_matches ?strategy ~pattern g =
   List.length (find_matches ?strategy ~pattern g)
 
-let run_query ?docs ?strategy ?budget src =
-  wrap src (fun () -> Eval.run ?docs ?strategy ?budget (Parser.program src))
+let run_query ?docs ?strategy ?budget ?metrics src =
+  wrap src (fun () ->
+      Eval.run ?docs ?strategy ?budget ?metrics (Parser.program src))

@@ -52,7 +52,11 @@ val run_query :
   ?docs:Eval.docs ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   string ->
   Eval.result
 (** Parse and evaluate a whole program; [budget] governs all its
-    selections end to end (check [result.stopped]). *)
+    selections end to end (check [result.stopped]); [metrics] records
+    spans and counters across every phase (render with
+    [Gql_obs.Metrics.pp] / [to_json] — this is what
+    [gqlsh explain --analyze] prints). *)

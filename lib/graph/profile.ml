@@ -30,4 +30,10 @@ let labels t = Array.to_list t
 let equal a b = a = b
 
 let pp ppf t =
-  Array.iter (Format.pp_print_string ppf) t
+  (* a separator keeps the rendering injective: ["ab";"c"] and
+     ["a";"bc"] concatenated are both "abc", but "ab,c" <> "a,bc" *)
+  Array.iteri
+    (fun i l ->
+      if i > 0 then Format.pp_print_char ppf ',';
+      Format.pp_print_string ppf l)
+    t

@@ -29,5 +29,7 @@ val size : t -> int
 val labels : t -> string list
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit
-(** Prints as the concatenated label sequence, e.g. [ABC] in the
-    paper's Figure 4.17. *)
+(** Prints the label sequence comma-separated, e.g. [A,B,C] for the
+    paper's Figure 4.17 profile {i ABC}. The separator keeps distinct
+    profiles distinct for multi-character labels ([["ab"; "c"]] and
+    [["a"; "bc"]] would otherwise both print as [abc]). *)

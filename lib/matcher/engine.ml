@@ -69,11 +69,15 @@ let timed f =
   (x, Unix.gettimeofday () -. t0)
 
 let run ?(strategy = optimized) ?(exhaustive = true) ?limit
-    ?(budget = Budget.unlimited) ?label_index ?profile_index p g =
-  (* The pre-search phases are not instrumented internally; the budget
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled)
+    ?label_index ?profile_index p g =
+  let module M = Gql_obs.Metrics in
+  (* Each phase runs inside a trace span named after it, so `explain
+     --analyze` renders the same tree the timings describe. The budget
      is polled at each phase boundary so a deadline that expires during
      retrieval or refinement is attributed to that phase and the
      remaining phases are skipped, returning an empty outcome. *)
+  let phase_timed name f = timed (fun () -> M.with_span metrics name f) in
   let abort ~space_initial ~space_refined ~refine_stats ~order ~timings ~phase
       reason =
     {
@@ -88,8 +92,8 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
     }
   in
   let space_initial, t_retrieve =
-    timed (fun () ->
-        Feasible.compute ~retrieval:strategy.retrieval ?label_index
+    phase_timed "retrieve" (fun () ->
+        Feasible.compute ~retrieval:strategy.retrieval ~metrics ?label_index
           ?profile_index p g)
   in
   let timings = { t_retrieve; t_refine = 0.0; t_order = 0.0; t_search = 0.0 } in
@@ -100,9 +104,10 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
   | None -> (
     let (space_refined, refine_stats), t_refine =
       if strategy.refine then
-        timed (fun () ->
+        phase_timed "refine" (fun () ->
             let s, st =
-              Refine.refine ?level:strategy.refine_level p g space_initial
+              Refine.refine ?level:strategy.refine_level ~metrics p g
+                space_initial
             in
             (s, Some st))
       else ((space_initial, None), 0.0)
@@ -115,7 +120,7 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
     | None -> (
       let order, t_order =
         if strategy.optimize_order then
-          timed (fun () ->
+          phase_timed "order" (fun () ->
               let model =
                 Option.value strategy.cost_model
                   ~default:(Cost.Constant Cost.default_constant)
@@ -130,8 +135,9 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
           ~phase:Order r
       | None ->
         let outcome, t_search =
-          timed (fun () ->
-              Search.run ~exhaustive ?limit ~budget ~order p g space_refined)
+          phase_timed "search" (fun () ->
+              Search.run ~exhaustive ?limit ~budget ~metrics ~order p g
+                space_refined)
         in
         let stopped_in =
           match outcome.Search.stopped with

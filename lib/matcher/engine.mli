@@ -59,15 +59,18 @@ val run :
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   ?label_index:Gql_index.Label_index.t ->
   ?profile_index:Gql_index.Profile_index.t ->
   Flat_pattern.t ->
   Graph.t ->
   result
 (** Defaults: [optimized] strategy, exhaustive, no limit, unlimited
-    budget. Indexes are built on the fly when not supplied (pass
-    prebuilt ones when timing — the paper treats index construction as
-    offline). *)
+    budget, disabled metrics. Indexes are built on the fly when not
+    supplied (pass prebuilt ones when timing — the paper treats index
+    construction as offline). With metrics enabled, each phase runs in
+    a span of the same name ([retrieve]/[refine]/[order]/[search]) and
+    the phase counters (retrieval, refine, search) are recorded. *)
 
 val count_matches :
   ?strategy:strategy ->

@@ -31,7 +31,9 @@ let base_candidates ?label_index p g u =
     (* full scan *)
     Graph.fold_nodes g ~init:[] ~f:(fun acc v -> v :: acc) |> List.rev
 
-let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
+let compute ?(retrieval = `Profiles) ?(metrics = Gql_obs.Metrics.disabled)
+    ?label_index ?profile_index p g =
+  let module M = Gql_obs.Metrics in
   let pidx =
     match retrieval with
     | `Node_attrs -> None
@@ -44,9 +46,10 @@ let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
   let k = Flat_pattern.size p in
   let candidates =
     Array.init k (fun u ->
+        let base = base_candidates ?label_index p g u in
+        if M.enabled metrics then M.add metrics M.Retrieval_scanned (List.length base);
         let filtered =
-          base_candidates ?label_index p g u
-          |> List.filter (fun v -> Flat_pattern.node_compat p g u v)
+          List.filter (fun v -> Flat_pattern.node_compat p g u v) base
         in
         let pruned =
           match retrieval, pidx with
@@ -54,11 +57,20 @@ let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
           | `Profiles, Some idx ->
             let r = Gql_index.Profile_index.radius idx in
             let pprof = Flat_pattern.profile p ~r u in
-            List.filter
-              (fun v ->
-                Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
-                  ~small:pprof)
-              filtered
+            (* the counting predicate is built only when metrics are on,
+               so the disabled path filters exactly as before *)
+            let keep v =
+              Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
+                ~small:pprof
+            in
+            let keep =
+              if M.enabled metrics then fun v ->
+                let ok = keep v in
+                M.incr metrics (if ok then M.Profile_hits else M.Profile_misses);
+                ok
+              else keep
+            in
+            List.filter keep filtered
           | `Subgraphs, Some idx ->
             let r = Gql_index.Profile_index.radius idx in
             let pnbh = Flat_pattern.neighborhood p ~r u in
@@ -77,6 +89,11 @@ let compute ?(retrieval = `Profiles) ?label_index ?profile_index p g =
                   ~target_root:vnbh.Neighborhood.center)
               filtered
         in
-        Array.of_list pruned)
+        let row = Array.of_list pruned in
+        if M.enabled metrics then begin
+          M.add metrics M.Retrieval_candidates (Array.length row);
+          M.observe metrics M.Candidate_set_size (Array.length row)
+        end;
+        row)
   in
   { candidates }

@@ -36,6 +36,7 @@ val mem : space -> int -> int -> bool
 
 val compute :
   ?retrieval:retrieval ->
+  ?metrics:Gql_obs.Metrics.t ->
   ?label_index:Gql_index.Label_index.t ->
   ?profile_index:Gql_index.Profile_index.t ->
   Flat_pattern.t ->
@@ -44,4 +45,8 @@ val compute :
 (** [compute p g]: feasible mates of every pattern node. The profile
     index is required for [`Profiles] and [`Subgraphs] (built on demand
     with radius 1 when missing — callers should pass a prebuilt one for
-    honest timing). Default retrieval [`Profiles]. *)
+    honest timing). Default retrieval [`Profiles].
+
+    [metrics] (default disabled) records nodes scanned, candidates
+    retained, profile-filter hits/misses and the per-node candidate-set
+    size histogram. *)

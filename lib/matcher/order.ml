@@ -23,13 +23,19 @@ let greedy ?(model = Cost.Constant Cost.default_constant) p ~sizes =
       let connected u = Array.exists (fun u' -> chosen.(u')) nbrs.(u) in
       let best = ref (-1) in
       let best_cost = ref infinity in
+      let best_next = ref infinity in
       let consider u =
         let cost = !size *. float_of_int sizes.(u) in
-        (* prefer strictly smaller cost; tie-break on the reduction the
-           closed edges bring (more closed edges = smaller result) *)
-        if cost < !best_cost then begin
+        (* the γ-aware key: the join cost (what Cost.order_cost charges
+           this step), tie-broken on the size of the resulting partial
+           result — which is the cost scaled by γ, so a candidate whose
+           closed edges bring a larger reduction wins the tie and every
+           later join starts from a smaller intermediate *)
+        let next = cost *. Cost.join_gamma model p ~in_set:chosen u in
+        if cost < !best_cost || (cost = !best_cost && next < !best_next) then begin
           best := u;
-          best_cost := cost
+          best_cost := cost;
+          best_next := next
         end
       in
       for u = 0 to k - 1 do
@@ -40,22 +46,67 @@ let greedy ?(model = Cost.Constant Cost.default_constant) p ~sizes =
           if not chosen.(u) then consider u
         done;
       let u = !best in
-      let in_set = chosen in
-      let gamma = Cost.join_gamma model p ~in_set u in
-      size := !size *. float_of_int sizes.(u) *. gamma;
+      size := !best_next;
       order.(i) <- u;
       chosen.(u) <- true
     done;
-    order
+    (* greedy is myopic; never hand the search a plan worse than the
+       input order it was asked to improve on *)
+    if
+      Cost.order_cost model p ~sizes order
+      <= Cost.order_cost model p ~sizes (identity p)
+    then order
+    else identity p
   end
+
+(* Exact minimization for small patterns: depth-first over all
+   permutations, carrying (cost so far, intermediate size) exactly as
+   Cost.fold_order does, pruning branches whose partial cost already
+   exceeds the best. 8! = 40320 prefixes is instant at k <= 8. *)
+let exact model p ~sizes k =
+  let best_cost = ref infinity in
+  let best_order = ref (identity p) in
+  let order = Array.make k 0 in
+  let used = Array.make k false in
+  let in_set = Array.make k false in
+  let rec go i cost size =
+    if cost >= !best_cost then ()
+    else if i = k then begin
+      best_cost := cost;
+      best_order := Array.copy order
+    end
+    else
+      for u = 0 to k - 1 do
+        if not used.(u) then begin
+          let su = float_of_int sizes.(u) in
+          let cost' = if i = 0 then 0.0 else cost +. (size *. su) in
+          let size' =
+            if i = 0 then su
+            else size *. su *. Cost.join_gamma model p ~in_set u
+          in
+          order.(i) <- u;
+          used.(u) <- true;
+          in_set.(u) <- true;
+          go (i + 1) cost' size';
+          used.(u) <- false;
+          in_set.(u) <- false
+        end
+      done
+  in
+  go 0 0.0 1.0;
+  !best_order
 
 let exhaustive ?(model = Cost.Constant Cost.default_constant) p ~sizes =
   let k = Flat_pattern.size p in
   if k > 20 then invalid_arg "Order.exhaustive: pattern too large";
   if k = 0 then [||]
+  else if k <= 8 then exact model p ~sizes k
   else begin
     (* DP over subsets: best (cost, size, last-order) per subset. Cost of
-       extending subset S with u: size(S) * |Φ(u)|; new size includes γ. *)
+       extending subset S with u: size(S) * |Φ(u)|; new size includes γ.
+       Heuristic for k > 8: only one (cost, size) pair survives per
+       subset, so a costlier prefix with a smaller intermediate can be
+       lost — the exact search above is the oracle for small k. *)
     let n_subsets = 1 lsl k in
     let best_cost = Array.make n_subsets infinity in
     let best_size = Array.make n_subsets 0.0 in

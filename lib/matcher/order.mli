@@ -2,19 +2,28 @@
 
     [greedy] is the paper's implementation choice: start from the
     smallest candidate set and, at each join, pick the leaf node
-    minimizing the estimated join cost, preferring nodes connected to
-    the partial order so the search stays backtracking-friendly.
-    [exhaustive] enumerates all (connected-first) left-deep orders by
-    dynamic programming over subsets — exponential, usable for small
-    patterns and as a test oracle. *)
+    minimizing the estimated join cost, tie-breaking on the γ-weighted
+    size of the resulting partial result — a candidate that closes more
+    edges into the chosen set shrinks every later join. Nodes connected
+    to the partial order are preferred so the search stays
+    backtracking-friendly, and the result is never costlier than
+    {!identity} under {!Cost.order_cost}.
+
+    [exhaustive] minimizes {!Cost.order_cost} — exactly for patterns of
+    up to 8 nodes (branch-and-bound over all permutations), and by a
+    subset-DP heuristic for 9–20 nodes. Usable as a test oracle for
+    small patterns. *)
 
 val greedy :
   ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
+(** Guarantee: [Cost.order_cost model p ~sizes (greedy ~model p ~sizes)]
+    ≤ the cost of {!identity}. *)
 
 val exhaustive :
   ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
-(** Optimal left-deep order under the cost model. Raises
-    [Invalid_argument] for patterns of more than 20 nodes. *)
+(** Optimal left-deep order under the cost model for ≤ 8 pattern nodes;
+    best-effort above. Raises [Invalid_argument] for patterns of more
+    than 20 nodes. *)
 
 val identity : Flat_pattern.t -> int array
 (** The input order [0 .. k-1] (the "w/o optimized order" baseline). *)

@@ -17,7 +17,8 @@ let min_opt a b =
   | Some a, Some b -> Some (min a b)
 
 let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
-    p g space =
+    ?(metrics = Gql_obs.Metrics.disabled) p g space =
+  let module M = Gql_obs.Metrics in
   let k = Flat_pattern.size p in
   let n_domains = max 1 (Option.value domains ~default:(default_domains ())) in
   let order =
@@ -26,7 +27,8 @@ let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
     | _ -> Array.init k (fun i -> i)
   in
   if k = 0 || n_domains = 1 then
-    Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~order p g space
+    Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~metrics ~order p
+      g space
   else begin
     let u0 = order.(0) in
     let parts = slices n_domains space.Feasible.candidates.(u0) in
@@ -41,6 +43,10 @@ let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
        [domains × limit_per_domain] over-delivery. *)
     let tickets = Atomic.make 0 in
     let worker part () =
+      (* metrics are single-domain: each worker writes into its own
+         instance (plain int refs, no contention) and the per-domain
+         results are merged into the caller's after the join *)
+      let dm = if M.enabled metrics then M.create () else M.disabled in
       let space' =
         {
           Feasible.candidates =
@@ -69,8 +75,11 @@ let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
         in
         if (not accepted) || local_full then `Stop else `Continue
       in
-      let visited, stopped = Search.run_raw ~budget:domain_budget ~order ~on_match p g space' in
-      (List.rev !results, !n, visited, stopped)
+      let visited, stopped =
+        Search.run_raw ~budget:domain_budget ~metrics:dm ~order ~on_match p g
+          space'
+      in
+      (List.rev !results, !n, visited, stopped, dm)
     in
     let spawned =
       List.map
@@ -103,7 +112,8 @@ let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
        quadratic in the number of domains × results *)
     let rev_mappings, n_found, visited, reason =
       List.fold_left
-        (fun (ms, n, vis, reason) (mappings, n_dom, visited, stopped) ->
+        (fun (ms, n, vis, reason) (mappings, n_dom, visited, stopped, dm) ->
+          M.merge ~into:metrics dm;
           ( List.rev_append mappings ms,
             n + n_dom,
             vis + visited,

@@ -22,6 +22,7 @@ val search :
   ?limit:int ->
   ?limit_per_domain:int ->
   ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->
@@ -49,7 +50,11 @@ val search :
     When the budget stops the search, [stopped] is the worst reason
     across domains ([Cancelled] > [Deadline] > [Step_budget]) and
     [mappings] holds whatever each domain had found; [visited] sums the
-    per-domain Check calls. *)
+    per-domain Check calls.
+
+    [metrics]: each domain records into a private instance (no shared
+    mutable state on the hot path) and the per-domain counters are
+    merged into the caller's metrics after every domain has joined. *)
 
 val count_matches :
   ?domains:int ->

@@ -55,7 +55,15 @@ let has_semi_perfect memo g phi u v =
 let to_space k phi =
   { Feasible.candidates = Array.init k (fun u -> Bitset.to_array phi.(u)) }
 
-let refine ?level p g space =
+let record_stats metrics (st : stats) =
+  let module M = Gql_obs.Metrics in
+  if M.enabled metrics then begin
+    M.add metrics M.Refine_levels st.levels_run;
+    M.add metrics M.Refine_pairs_checked st.pairs_checked;
+    M.add metrics M.Refine_removed st.removed
+  end
+
+let refine ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   let k = Flat_pattern.size p in
   let n = Graph.n_nodes g in
   let level = Option.value level ~default:k in
@@ -97,10 +105,13 @@ let refine ?level p g space =
          batch
      done
    with Exit -> ());
-  ( to_space k phi,
-    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed } )
+  let st =
+    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed }
+  in
+  record_stats metrics st;
+  (to_space k phi, st)
 
-let refine_naive ?level p g space =
+let refine_naive ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   let k = Flat_pattern.size p in
   let n = Graph.n_nodes g in
   let level = Option.value level ~default:k in
@@ -129,5 +140,8 @@ let refine_naive ?level p g space =
        if not !changed then raise Exit
      done
    with Exit -> ());
-  ( to_space k phi,
-    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed } )
+  let st =
+    { levels_run = !levels_run; pairs_checked = !pairs_checked; removed = !removed }
+  in
+  record_stats metrics st;
+  (to_space k phi, st)

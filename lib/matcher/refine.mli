@@ -20,16 +20,19 @@ type stats = {
 
 val refine :
   ?level:int ->
+  ?metrics:Gql_obs.Metrics.t ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->
   Feasible.space * stats
 (** [refine p g space]: the reduced space. [level] defaults to the
     pattern size, the setting used in the experiments (§5.1). The input
-    space is not mutated. *)
+    space is not mutated. [metrics] (default disabled) receives the
+    returned {!stats} as counters. *)
 
 val refine_naive :
   ?level:int ->
+  ?metrics:Gql_obs.Metrics.t ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->

@@ -38,14 +38,19 @@ let back_edges p order =
         triv = Array.map (fun (_, e, _) -> Flat_pattern.edge_always_compat p e) arr;
       })
 
-let generic_run ?(budget = Budget.unlimited) ?(order = [||]) p g space ~on_match
-    =
+let generic_run ?(budget = Budget.unlimited)
+    ?(metrics = Gql_obs.Metrics.disabled) ?(order = [||]) p g space ~on_match =
   let k = Flat_pattern.size p in
   let order = if Array.length order = 0 then Array.init k (fun i -> i) else order in
   let back = back_edges p order in
   let phi = Array.make k (-1) in
   let used = Bitset.create (max 1 (Graph.n_nodes g)) in
   let visited = ref 0 in
+  (* descents/matches are plain local increments; the metrics object is
+     only touched once, after the search, so the disabled path costs a
+     register each *)
+  let descents = ref 0 in
+  let matches = ref 0 in
   let pattern_directed = Graph.directed p.Flat_pattern.structure in
   let stopped = ref false in
   let reason = ref Budget.Exhausted in
@@ -126,10 +131,12 @@ let generic_run ?(budget = Budget.unlimited) ?(order = [||]) p g space ~on_match
   let rec go i =
     if !stopped then ()
     else if i >= k then begin
-      if Flat_pattern.global_holds p g phi then
+      if Flat_pattern.global_holds p g phi then begin
+        incr matches;
         match on_match phi with
         | `Continue -> ()
         | `Stop -> stop Budget.Hit_limit
+      end
     end
     else begin
       let u = order.(i) in
@@ -139,6 +146,7 @@ let generic_run ?(budget = Budget.unlimited) ?(order = [||]) p g space ~on_match
       while (not !stopped) && !ci < n do
         let v = Array.unsafe_get cands !ci in
         if (not (Bitset.mem used v)) && check i v then begin
+          incr descents;
           phi.(u) <- v;
           Bitset.add used v;
           go (i + 1);
@@ -156,12 +164,19 @@ let generic_run ?(budget = Budget.unlimited) ?(order = [||]) p g space ~on_match
   else if Array.exists (fun c -> Array.length c = 0) space.Feasible.candidates
   then ()
   else go 0;
+  let module M = Gql_obs.Metrics in
+  if M.enabled metrics then begin
+    M.add metrics M.Search_visited !visited;
+    (* a backtrack is a Check call that found no compatible data edge *)
+    M.add metrics M.Search_backtracks (!visited - !descents);
+    M.add metrics M.Search_matches !matches
+  end;
   (!visited, !reason)
 
-let run_raw ?budget ?order ~on_match p g space =
-  generic_run ?budget ?order p g space ~on_match
+let run_raw ?budget ?metrics ?order ~on_match p g space =
+  generic_run ?budget ?metrics ?order p g space ~on_match
 
-let run ?(exhaustive = true) ?limit ?budget ?order p g space =
+let run ?(exhaustive = true) ?limit ?budget ?metrics ?order p g space =
   let results = ref [] in
   let n = ref 0 in
   let on_match phi =
@@ -170,14 +185,16 @@ let run ?(exhaustive = true) ?limit ?budget ?order p g space =
     let hit_limit = match limit with Some l -> !n >= l | None -> false in
     if hit_limit || not exhaustive then `Stop else `Continue
   in
-  let visited, stopped = generic_run ?budget ?order p g space ~on_match in
+  let visited, stopped = generic_run ?budget ?metrics ?order p g space ~on_match in
   { mappings = List.rev !results; n_found = !n; visited; stopped }
 
-let iter ?budget ?order ~f p g space =
+let iter ?budget ?metrics ?order ~f p g space =
   let n = ref 0 in
   let on_match phi =
     incr n;
     f phi
   in
-  let _visited, _stopped = generic_run ?budget ?order p g space ~on_match in
+  let _visited, _stopped =
+    generic_run ?budget ?metrics ?order p g space ~on_match
+  in
   !n

@@ -30,6 +30,7 @@ val run :
   ?exhaustive:bool ->
   ?limit:int ->
   ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   ?order:int array ->
   Flat_pattern.t ->
   Graph.t ->
@@ -39,10 +40,15 @@ val run :
     space. [exhaustive] (default true): all mappings, else stop at the
     first (§3.3's [exhaustive] option). [limit] caps the number of
     reported mappings regardless (the experiments stop at 1000).
-    [order] defaults to the input order [0..k-1]. *)
+    [order] defaults to the input order [0..k-1].
+
+    [metrics] (default disabled) receives the visited / backtrack /
+    match counters after the search — one flush, nothing on the hot
+    path. *)
 
 val iter :
   ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   ?order:int array ->
   f:(int array -> [ `Continue | `Stop ]) ->
   Flat_pattern.t ->
@@ -54,6 +60,7 @@ val iter :
 
 val run_raw :
   ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
   ?order:int array ->
   on_match:(int array -> [ `Continue | `Stop ]) ->
   Flat_pattern.t ->

@@ -18,6 +18,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable metrics : Gql_obs.Metrics.t;
 }
 
 let create ?(capacity = 256) pager =
@@ -30,9 +31,17 @@ let create ?(capacity = 256) pager =
     hits = 0;
     misses = 0;
     evictions = 0;
+    metrics = Gql_obs.Metrics.disabled;
   }
 
 let pager t = t.pager
+
+let set_metrics t m =
+  t.metrics <- m;
+  (* the pool hides pager traffic behind the cache, so wire the pager
+     too: a pool miss then shows up as both a pool.miss and a
+     storage.pages_read *)
+  Pager.set_metrics t.pager m
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -59,7 +68,9 @@ let evict_one t =
   | Some (page, frame) ->
     write_back t page frame;
     Hashtbl.remove t.frames page;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    let module M = Gql_obs.Metrics in
+    if M.enabled t.metrics then M.incr t.metrics M.Pool_evictions
 
 let make_room t = while Hashtbl.length t.frames >= t.capacity do evict_one t done
 
@@ -68,13 +79,16 @@ let insert t page data dirty =
   Hashtbl.replace t.frames page { data; dirty; last_used = tick t }
 
 let get t page =
+  let module M = Gql_obs.Metrics in
   match Hashtbl.find_opt t.frames page with
   | Some frame ->
     frame.last_used <- tick t;
     t.hits <- t.hits + 1;
+    if M.enabled t.metrics then M.incr t.metrics M.Pool_hits;
     frame.data
   | None ->
     t.misses <- t.misses + 1;
+    if M.enabled t.metrics then M.incr t.metrics M.Pool_misses;
     let data = Pager.read t.pager page in
     insert t page data false;
     data

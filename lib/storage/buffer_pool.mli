@@ -37,3 +37,9 @@ type stats = {
 }
 
 val stats : t -> stats
+
+val set_metrics : t -> Gql_obs.Metrics.t -> unit
+(** Subsequent hits/misses/evictions also count into the given metrics
+    ([storage.pool_hits] / [storage.pool_misses] /
+    [storage.pool_evictions]); the underlying {!Pager} is wired to the
+    same instance so cache misses surface as page reads too. *)

@@ -6,13 +6,21 @@ type t = {
   mutable closed : bool;
   mutable fault : int option;  (* byte budget before the injected crash *)
   mutable bytes_written : int;
+  mutable metrics : Gql_obs.Metrics.t;
 }
 
 let page_size = 4096
 
 let create path =
   let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  { fd; pages = 0; closed = false; fault = None; bytes_written = 0 }
+  {
+    fd;
+    pages = 0;
+    closed = false;
+    fault = None;
+    bytes_written = 0;
+    metrics = Gql_obs.Metrics.disabled;
+  }
 
 let open_existing ?(allow_torn_tail = false) path =
   let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
@@ -29,7 +37,10 @@ let open_existing ?(allow_torn_tail = false) path =
     closed = false;
     fault = None;
     bytes_written = 0;
+    metrics = Gql_obs.Metrics.disabled;
   }
+
+let set_metrics t m = t.metrics <- m
 
 let check t = if t.closed then invalid_arg "Pager: already closed"
 
@@ -63,6 +74,8 @@ let write_all t buf off len =
    raised; every subsequent write crashes immediately — a dead machine
    stays dead. *)
 let pwrite t page buf =
+  let module M = Gql_obs.Metrics in
+  if M.enabled t.metrics then M.incr t.metrics M.Pages_written;
   ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
   match t.fault with
   | None -> write_all t buf 0 page_size
@@ -87,6 +100,8 @@ let alloc t =
 let read t page =
   check t;
   if page < 0 || page >= t.pages then invalid_arg "Pager.read: page out of range";
+  let module M = Gql_obs.Metrics in
+  if M.enabled t.metrics then M.incr t.metrics M.Pages_read;
   ignore (Unix.lseek t.fd (page * page_size) Unix.SEEK_SET);
   let buf = Bytes.make page_size '\000' in
   let rec fill off =

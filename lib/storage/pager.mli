@@ -56,3 +56,10 @@ val clear_fault : t -> unit
 val bytes_written : t -> int
 (** Total bytes successfully written through this handle — the crash
     matrix iterates a fault over [0 .. bytes_written] of a clean run. *)
+
+(** {1 Observability} *)
+
+val set_metrics : t -> Gql_obs.Metrics.t -> unit
+(** Subsequent page reads/writes count into [storage.pages_read] /
+    [storage.pages_written]. Defaults to the disabled instance (no
+    overhead beyond one branch per page operation). *)

@@ -295,3 +295,4 @@ let to_list t = List.init t.n (get_graph t)
 let pool_stats t = Buffer_pool.stats t.pool
 let recovery t = t.recovery
 let pager t = Buffer_pool.pager t.pool
+let set_metrics t m = Buffer_pool.set_metrics t.pool m

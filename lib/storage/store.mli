@@ -67,3 +67,8 @@ val pool_stats : t -> Buffer_pool.stats
 val pager : t -> Pager.t
 (** The underlying pager — exposed for the fault-injection tests
     ({!Pager.set_fault}). *)
+
+val set_metrics : t -> Gql_obs.Metrics.t -> unit
+(** Wire the buffer pool and pager to the given metrics: subsequent
+    storage traffic counts into [storage.pool_*] and
+    [storage.pages_*]. *)

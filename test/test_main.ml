@@ -32,4 +32,6 @@ let () =
       ("transform", Test_transform.suite);
       ("budget", Test_budget.suite);
       ("storage-recovery", Test_recovery.suite);
+      ("obs", Test_obs.suite);
+      ("order", Test_order.suite);
     ]

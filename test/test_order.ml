@@ -1,0 +1,135 @@
+open Gql_graph
+open Gql_matcher
+
+(* Build a flat pattern from labeled nodes + an undirected edge list. *)
+let pattern labels edges =
+  let b = Graph.Builder.create () in
+  let nodes =
+    List.mapi
+      (fun i l -> Graph.Builder.add_labeled_node b ~name:(Printf.sprintf "v%d" i) l)
+      labels
+    |> Array.of_list
+  in
+  List.iter (fun (u, v) -> ignore (Graph.Builder.add_edge b nodes.(u) nodes.(v))) edges;
+  Flat_pattern.of_graph (Graph.Builder.build b)
+
+let cost ?(model = Cost.Constant Cost.default_constant) p ~sizes order =
+  Cost.order_cost model p ~sizes order
+
+(* The regression the γ-aware tie-break fixes. Node 3 and node 2 both
+   cost size × 10 when joined after [0; 1], but node 3 closes two edges
+   (to 0 and to 1, γ = 0.25) while node 2 closes one (γ = 0.5): picking
+   node 3 first shrinks the intermediate result that every later join
+   pays for. The pre-fix greedy ignored γ during selection and produced
+   the identity order here, cost 187 instead of 162. *)
+let regression_pattern () =
+  pattern [ "A"; "B"; "C"; "D"; "E" ] [ (0, 1); (0, 2); (0, 3); (1, 3); (3, 4) ]
+
+let regression_sizes = [| 1; 2; 10; 10; 10 |]
+
+let test_greedy_beats_old_choice () =
+  let p = regression_pattern () in
+  let sizes = regression_sizes in
+  let id_cost = cost p ~sizes (Order.identity p) in
+  let greedy_cost = cost p ~sizes (Order.greedy p ~sizes) in
+  Alcotest.(check (float 1e-9)) "old greedy (= identity) cost" 187.0 id_cost;
+  Alcotest.(check (float 1e-9)) "fixed greedy cost" 162.0 greedy_cost;
+  Alcotest.(check bool) "strictly better than the old choice" true
+    (greedy_cost < id_cost)
+
+let test_exhaustive_at_most_greedy () =
+  let p = regression_pattern () in
+  let sizes = regression_sizes in
+  let ex = cost p ~sizes (Order.exhaustive p ~sizes) in
+  let gr = cost p ~sizes (Order.greedy p ~sizes) in
+  Alcotest.(check bool) "exhaustive <= greedy" true (ex <= gr)
+
+let test_trivial_patterns () =
+  let p1 = pattern [ "A" ] [] in
+  Alcotest.(check (array int)) "k=1 greedy" [| 0 |] (Order.greedy p1 ~sizes:[| 7 |]);
+  Alcotest.(check (array int)) "k=1 exhaustive" [| 0 |]
+    (Order.exhaustive p1 ~sizes:[| 7 |]);
+  (* disconnected pattern: both nodes must still appear exactly once *)
+  let p2 = pattern [ "A"; "B" ] [] in
+  let sort a = List.sort compare (Array.to_list a) in
+  Alcotest.(check (list int)) "k=2 greedy is a permutation" [ 0; 1 ]
+    (sort (Order.greedy p2 ~sizes:[| 5; 3 |]));
+  Alcotest.(check (list int)) "k=2 exhaustive is a permutation" [ 0; 1 ]
+    (sort (Order.exhaustive p2 ~sizes:[| 5; 3 |]))
+
+(* --- property: exhaustive <= greedy <= identity, both cost models --- *)
+
+let labels_pool = [| "A"; "B"; "C" |]
+
+(* (k, edges, sizes, label indices, seed for the stats graph) *)
+let gen_case =
+  QCheck.Gen.(
+    2 -- 6 >>= fun k ->
+    let pairs =
+      List.concat (List.init k (fun i -> List.init i (fun j -> (j, i))))
+    in
+    list_repeat (List.length pairs) bool >>= fun flags ->
+    let edges =
+      List.filteri (fun i _ -> List.nth flags i) pairs
+    in
+    list_repeat k (1 -- 20) >>= fun sizes ->
+    list_repeat k (0 -- 2) >>= fun lbls ->
+    0 -- 1000 >>= fun seed ->
+    return (k, edges, Array.of_list sizes, lbls, seed))
+
+let print_case (k, edges, sizes, lbls, seed) =
+  Printf.sprintf "k=%d edges=[%s] sizes=[%s] labels=[%s] seed=%d" k
+    (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) edges))
+    (String.concat ";" (List.map string_of_int (Array.to_list sizes)))
+    (String.concat ";" (List.map string_of_int lbls))
+    seed
+
+let arb_case = QCheck.make ~print:print_case gen_case
+
+(* a small random labeled data graph, to give Frequencies real stats *)
+let stats_graph seed =
+  let st = Random.State.make [| seed |] in
+  let b = Graph.Builder.create () in
+  let n = 8 + Random.State.int st 8 in
+  let nodes =
+    Array.init n (fun i ->
+        Graph.Builder.add_labeled_node b
+          ~name:(Printf.sprintf "n%d" i)
+          labels_pool.(Random.State.int st (Array.length labels_pool)))
+  in
+  for _ = 1 to 2 * n do
+    let u = Random.State.int st n and v = Random.State.int st n in
+    if u <> v then ignore (Graph.Builder.add_edge b nodes.(u) nodes.(v))
+  done;
+  Graph.Builder.build b
+
+let check_chain model p ~sizes =
+  let c order = Cost.order_cost model p ~sizes order in
+  let ex = c (Order.exhaustive ~model p ~sizes) in
+  let gr = c (Order.greedy ~model p ~sizes) in
+  let id = c (Order.identity p) in
+  (* float slack: the three costs are computed by the same fold, so
+     exact comparison would be fine; keep a tiny epsilon anyway *)
+  let eps = 1e-9 *. (1.0 +. id) in
+  ex <= gr +. eps && gr <= id +. eps
+
+let prop_order_chain =
+  QCheck.Test.make ~name:"order_cost exhaustive <= greedy <= identity"
+    ~count:300 arb_case (fun (_k, edges, sizes, lbls, seed) ->
+      let p =
+        pattern (List.map (fun i -> labels_pool.(i)) lbls) edges
+      in
+      check_chain (Cost.Constant Cost.default_constant) p ~sizes
+      && check_chain (Cost.Frequencies (Cost.stats_of_graph (stats_graph seed)))
+           p ~sizes)
+
+let suite =
+  [
+    Alcotest.test_case "greedy tie-break regression (Fig 4.x)" `Quick
+      test_greedy_beats_old_choice;
+    Alcotest.test_case "exhaustive is an upper bound oracle" `Quick
+      test_exhaustive_at_most_greedy;
+    Alcotest.test_case "trivial and disconnected patterns" `Quick
+      test_trivial_patterns;
+    QCheck_alcotest.to_alcotest prop_order_chain;
+  ]

@@ -11,12 +11,12 @@ let test_figure_4_17_profiles () =
   let g = sample_g () in
   let id n = Option.get (Graph.node_by_name g n) in
   let p n = profile_string g (id n) ~r:1 in
-  Alcotest.(check string) "A1" "ABC" (p "A1");
-  Alcotest.(check string) "A2" "AB" (p "A2");
-  Alcotest.(check string) "B1" "ABCC" (p "B1");
-  Alcotest.(check string) "B2" "ABC" (p "B2");
-  Alcotest.(check string) "C1" "BC" (p "C1");
-  Alcotest.(check string) "C2" "ABBC" (p "C2")
+  Alcotest.(check string) "A1" "A,B,C" (p "A1");
+  Alcotest.(check string) "A2" "A,B" (p "A2");
+  Alcotest.(check string) "B1" "A,B,C,C" (p "B1");
+  Alcotest.(check string) "B2" "A,B,C" (p "B2");
+  Alcotest.(check string) "C1" "B,C" (p "C1");
+  Alcotest.(check string) "C2" "A,B,B,C" (p "C2")
 
 let test_radius_0 () =
   let g = sample_g () in
@@ -62,6 +62,32 @@ let prop_containment_reflexive =
       in
       Profile.contains ~big:p ~small:p && Profile.contains ~big:p ~small:smaller)
 
+(* the pp regression: without a separator ["ab";"c"] and ["a";"bc"]
+   both rendered as "abc" *)
+let test_pp_injective () =
+  let s ls = Format.asprintf "%a" Profile.pp (Profile.of_labels ls) in
+  Alcotest.(check string) "multi-char labels" "ab,c" (s [ "ab"; "c" ]);
+  Alcotest.(check bool) "distinct profiles print distinctly" true
+    (s [ "ab"; "c" ] <> s [ "a"; "bc" ]);
+  Alcotest.(check string) "empty" "" (s []);
+  Alcotest.(check string) "singleton has no separator" "A" (s [ "A" ])
+
+let prop_pp_round_trip =
+  QCheck.Test.make ~name:"pp round-trips through split on ','" ~count:200
+    QCheck.(
+      list_of_size
+        Gen.(0 -- 6)
+        (string_gen_of_size
+           Gen.(1 -- 3)
+           Gen.(map Char.chr (int_range (Char.code 'a') (Char.code 'z')))))
+    (fun labels ->
+      let p = Profile.of_labels labels in
+      let printed = Format.asprintf "%a" Profile.pp p in
+      let parsed =
+        if printed = "" then [] else String.split_on_char ',' printed
+      in
+      Profile.equal p (Profile.of_labels parsed))
+
 let test_label_index () =
   let g = sample_g () in
   let idx = Gql_index.Label_index.build g in
@@ -83,5 +109,7 @@ let suite =
     Alcotest.test_case "neighborhood subgraph" `Quick test_neighborhood_subgraph;
     Alcotest.test_case "multiset containment" `Quick test_containment;
     QCheck_alcotest.to_alcotest prop_containment_reflexive;
+    Alcotest.test_case "pp is injective" `Quick test_pp_injective;
+    QCheck_alcotest.to_alcotest prop_pp_round_trip;
     Alcotest.test_case "label index" `Quick test_label_index;
   ]
