@@ -1,6 +1,7 @@
 (* gqlsh — command-line front end for the GraphQL library.
 
    gqlsh run QUERY.gql --doc DBLP=papers.gql        run a FLWR program
+   gqlsh batch FILE.gql --doc ... --jobs N          run many queries, shared caches
    gqlsh match --pattern P.gql --graph G.gql        run the selection operator
    gqlsh explain QUERY.gql                          print the algebra expression
    gqlsh stats --graph G.gql                        graph statistics
@@ -125,6 +126,137 @@ let run_cmd query_file docs timeout max_visited verbose =
           List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
       end;
       finish_with result.Eval.stopped "query")
+
+(* --- batch -------------------------------------------------------------- *)
+
+(* A batch file is a sequence of FLWR programs separated by lines whose
+   first non-blank characters are `---` (a YAML-ish document break that
+   is not valid GraphQL, so it can never appear inside a query). *)
+let split_batch src =
+  let is_sep line =
+    let t = String.trim line in
+    String.length t >= 3 && String.sub t 0 3 = "---"
+  in
+  let finish acc cur =
+    let q = String.trim (String.concat "\n" (List.rev cur)) in
+    if q = "" then acc else q :: acc
+  in
+  let acc, cur =
+    List.fold_left
+      (fun (acc, cur) line ->
+        if is_sep line then (finish acc cur, []) else (acc, line :: cur))
+      ([], [])
+      (String.split_on_char '\n' src)
+  in
+  List.rev (finish acc cur)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let batch_cmd batch_file docs jobs quantum timeout json verbose =
+  guarded (fun () ->
+      let module Service = Gql_exec.Service in
+      let module M = Gql_obs.Metrics in
+      let queries = split_batch (read_file batch_file) in
+      if queries = [] then
+        Error.raise_ (Error.Usage "batch file contains no queries");
+      let docs = parse_docs docs in
+      let t0 = Unix.gettimeofday () in
+      let outcomes, svc =
+        Service.run_batch ?jobs ?quantum ?deadline:timeout ~docs queries
+      in
+      let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+      let exit_code = ref 0 in
+      let prefer code =
+        (* failures outrank deadlines outrank success; first one wins
+           within its class so reruns are stable *)
+        let rank c = match c with 0 -> 0 | 124 -> 1 | _ -> 2 in
+        if rank code > rank !exit_code then exit_code := code
+      in
+      List.iter
+        (fun o ->
+          (match o.Service.o_status with
+          | Service.Done r -> (
+            match Error.of_stop_reason r.Eval.stopped "query" with
+            | None -> ()
+            | Some t -> prefer (Error.exit_code t))
+          | Service.Rejected _ -> prefer 124
+          | Service.Failed t -> prefer (Error.exit_code t));
+          if json then
+            let common =
+              Printf.sprintf "\"id\":%d,\"yields\":%d,\"ms\":%.3f"
+                o.Service.o_id o.Service.o_yields o.Service.o_wall_ms
+            in
+            match o.Service.o_status with
+            | Service.Done r ->
+              Printf.printf
+                "{%s,\"status\":\"ok\",\"stopped\":%S,\"returned\":%d,\"vars\":%d}\n"
+                common
+                (Budget.stop_reason_to_string r.Eval.stopped)
+                (List.length (Eval.returned r))
+                (List.length r.Eval.vars)
+            | Service.Rejected reason ->
+              Printf.printf "{%s,\"status\":\"rejected\",\"reason\":%S}\n"
+                common
+                (Budget.stop_reason_to_string reason)
+            | Service.Failed t ->
+              Printf.printf "{%s,\"status\":\"error\",\"error\":\"%s\"}\n"
+                common
+                (json_escape (Error.to_string t))
+          else
+            match o.Service.o_status with
+            | Service.Done r ->
+              Format.printf
+                "query %d: %d graph(s) returned, %d var(s) (%s, %d yield(s), \
+                 %.2f ms)@."
+                o.Service.o_id
+                (List.length (Eval.returned r))
+                (List.length r.Eval.vars)
+                (Budget.stop_reason_to_string r.Eval.stopped)
+                o.Service.o_yields o.Service.o_wall_ms;
+              if verbose then
+                List.iter
+                  (fun g -> Format.printf "%a@.@." Graph.pp g)
+                  (Eval.returned r)
+            | Service.Rejected reason ->
+              Format.printf "query %d: rejected (%s before start)@."
+                o.Service.o_id
+                (Budget.stop_reason_to_string reason)
+            | Service.Failed t ->
+              Format.printf "query %d: error: %s@." o.Service.o_id
+                (Error.to_string t))
+        outcomes;
+      let agg = Service.metrics svc in
+      let c k = M.get agg k in
+      if json then
+        Printf.printf
+          "{\"batch\":{\"queries\":%d,\"wall_ms\":%.3f,\"cache\":{\"hit\":%d,\"miss\":%d,\"evictions\":%d,\"invalidations\":%d},\"queue\":{\"submitted\":%d,\"completed\":%d,\"yields\":%d,\"deadline_stops\":%d}}}\n"
+          (List.length outcomes) wall_ms
+          (c M.Exec_cache_hit) (c M.Exec_cache_miss)
+          (c M.Exec_cache_evictions) (c M.Exec_cache_invalidations)
+          (c M.Exec_queue_submitted) (c M.Exec_queue_completed)
+          (c M.Exec_queue_yields) (c M.Exec_queue_deadline_stops)
+      else
+        Format.printf
+          "batch: %d quer(ies) in %.2f ms — cache %d hit / %d miss, queue %d \
+           yield(s), %d deadline stop(s)@."
+          (List.length outcomes) wall_ms (c M.Exec_cache_hit)
+          (c M.Exec_cache_miss) (c M.Exec_queue_yields)
+          (c M.Exec_queue_deadline_stops);
+      !exit_code)
 
 (* --- match -------------------------------------------------------------- *)
 
@@ -326,6 +458,42 @@ let run_term =
     (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
     Term.(const run_cmd $ query $ docs $ timeout_arg $ max_visited_arg $ verbose)
 
+let batch_term =
+  let batch =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BATCH.gql"
+           ~doc:"Queries separated by `---` lines.")
+  in
+  let docs =
+    Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE"
+           ~doc:"Bind a doc(\"NAME\") collection to a graph file or .store. \
+                 Repeatable; shared by every query of the batch.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains (default: the recommended domain count).")
+  in
+  let quantum =
+    Arg.(value & opt (some int) None & info [ "quantum" ] ~docv:"NODES"
+           ~doc:"Visited-node slice before a query yields to queued work \
+                 (default 4096).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Stream one JSON object per query, then a batch summary \
+                 with the exec.cache.* / exec.queue.* counters.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run many queries against one document set on the concurrent \
+             query service (shared caches, fair scheduling, per-query \
+             deadlines)")
+    Term.(
+      const batch_cmd $ batch $ docs $ jobs $ quantum $ timeout_arg $ json
+      $ verbose)
+
 let match_term =
   let pattern =
     Arg.(required & opt (some file) None & info [ "pattern" ] ~docv:"P.gql"
@@ -410,7 +578,15 @@ let () =
   in
   let group =
     Cmd.group info
-      [ run_term; match_term; explain_term; stats_term; store_term; gen_term ]
+      [
+        run_term;
+        batch_term;
+        match_term;
+        explain_term;
+        stats_term;
+        store_term;
+        gen_term;
+      ]
   in
   (* eval_value, not eval: cmdliner's own CLI-error code is 124, which
      this front end reserves for deadlines — usage problems must be 1. *)

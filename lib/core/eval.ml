@@ -15,6 +15,12 @@ type result = {
   stopped : Budget.stop_reason;
 }
 
+type selector =
+  exhaustive:bool ->
+  patterns:Gql_matcher.Flat_pattern.t list ->
+  Algebra.collection ->
+  Algebra.collection * Budget.stop_reason
+
 type state = {
   mutable s_defs : (string * Ast.graph_decl) list;
   mutable s_vars : (string * Graph.t) list;
@@ -34,7 +40,17 @@ let instantiate_template st extra = function
     | None -> error "unknown variable %s" v)
 
 let run ?(docs = []) ?strategy ?max_depth ?budget
-    ?(metrics = Gql_obs.Metrics.disabled) (program : Ast.program) =
+    ?(metrics = Gql_obs.Metrics.disabled) ?selector (program : Ast.program) =
+  let selector =
+    (* the default selector is the plain bulk-algebra selection; the
+       exec service substitutes a caching, quantum-yielding one *)
+    match selector with
+    | Some s -> s
+    | None ->
+      fun ~exhaustive ~patterns entries ->
+        Algebra.select_governed ?strategy ~exhaustive ?budget ~metrics
+          ~patterns entries
+  in
   let st =
     { s_defs = []; s_vars = []; s_last = None; s_stopped = Budget.Exhausted }
   in
@@ -72,8 +88,7 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
       let entries = List.map (fun g -> Algebra.G g) source in
       let matches, sel_stopped =
         Gql_obs.Metrics.with_span metrics "flwr" (fun () ->
-            Algebra.select_governed ?strategy ~exhaustive:f.Ast.f_exhaustive
-              ?budget ~metrics ~patterns entries)
+            selector ~exhaustive:f.Ast.f_exhaustive ~patterns entries)
       in
       st.s_stopped <- Budget.worst st.s_stopped sel_stopped;
       let matches =

@@ -32,12 +32,24 @@ type result = {
           from partial match sets. *)
 }
 
+type selector =
+  exhaustive:bool ->
+  patterns:Gql_matcher.Flat_pattern.t list ->
+  Algebra.collection ->
+  Algebra.collection * Gql_matcher.Budget.stop_reason
+(** How a FLWR statement's selection σP is executed: given the flat
+    derivations of the pattern and the source collection, return the
+    matched entries plus the aggregate stop reason. The default is
+    {!Algebra.select_governed}; the batch service ([Gql_exec]) installs
+    a caching, quantum-yielding selector instead. *)
+
 val run :
   ?docs:docs ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?max_depth:int ->
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
+  ?selector:selector ->
   Ast.program ->
   result
 (** [max_depth] bounds recursive motif derivation (default 16). A

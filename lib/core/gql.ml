@@ -41,6 +41,6 @@ let find_matches ?strategy ?exhaustive ?limit ?budget ~pattern g =
 let count_matches ?strategy ~pattern g =
   List.length (find_matches ?strategy ~pattern g)
 
-let run_query ?docs ?strategy ?budget ?metrics src =
+let run_query ?docs ?strategy ?budget ?metrics ?selector src =
   wrap src (fun () ->
-      Eval.run ?docs ?strategy ?budget ?metrics (Parser.program src))
+      Eval.run ?docs ?strategy ?budget ?metrics ?selector (Parser.program src))

@@ -53,6 +53,7 @@ val run_query :
   ?strategy:Gql_matcher.Engine.strategy ->
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
+  ?selector:Eval.selector ->
   string ->
   Eval.result
 (** Parse and evaluate a whole program; [budget] governs all its

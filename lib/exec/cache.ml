@@ -1,0 +1,203 @@
+open Gql_graph
+module M = Gql_obs.Metrics
+
+(* Documents are identified physically: the service owns the graphs it
+   registered, and a rebuilt document is a new allocation, so [==] is
+   exactly "same version of the same document". [Hashtbl.hash] only
+   inspects a bounded prefix of the structure — cheap even on the PPI
+   graph — and physical equality disambiguates collisions. *)
+module GraphTbl = Hashtbl.Make (struct
+  type t = Graph.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(* Rendering a pattern with [Flat_pattern.pp] is the expensive part of
+   key construction, and the same pattern object keys one lookup per
+   collection graph — memoize the rendered text per pattern, weakly, so
+   ephemeral per-query derivations don't accumulate. *)
+module PatTbl = Ephemeron.K1.Make (struct
+  type t = Gql_matcher.Flat_pattern.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type plan = {
+  p_space : int array array;
+  p_order : int array;
+}
+
+type t = {
+  mutex : Mutex.t;
+  plan_capacity : int;
+  mutable version : int;
+  mutable next_gid : int;
+  gids : int GraphTbl.t;
+  indexes : (int, Gql_index.Label_index.t * Gql_index.Profile_index.t) Hashtbl.t;
+  plans : (string, plan) Hashtbl.t;
+  rows : Lru.t;
+  pkeys : string PatTbl.t;
+  mutable invalidations : int;
+}
+
+type stats = {
+  version : int;
+  graphs : int;
+  indexes : int;
+  plans : int;
+  retrieval : Lru.stats;
+  invalidations : int;
+}
+
+let create ?(plan_capacity = 4096) ?(retrieval_budget_bytes = 64 * 1024 * 1024)
+    () =
+  if plan_capacity <= 0 then invalid_arg "Cache.create: plan_capacity <= 0";
+  {
+    mutex = Mutex.create ();
+    plan_capacity;
+    version = 0;
+    next_gid = 0;
+    gids = GraphTbl.create 64;
+    indexes = Hashtbl.create 64;
+    plans = Hashtbl.create 256;
+    rows = Lru.create ~budget_bytes:retrieval_budget_bytes;
+    pkeys = PatTbl.create 64;
+    invalidations = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let register t graphs =
+  locked t (fun () ->
+      List.iter
+        (fun g ->
+          if not (GraphTbl.mem t.gids g) then begin
+            GraphTbl.add t.gids g t.next_gid;
+            t.next_gid <- t.next_gid + 1
+          end)
+        graphs)
+
+let registered t g = locked t (fun () -> GraphTbl.mem t.gids g)
+let version t = locked t (fun () -> t.version)
+
+let invalidate t ~metrics =
+  locked t (fun () ->
+      t.version <- t.version + 1;
+      t.invalidations <- t.invalidations + 1;
+      GraphTbl.reset t.gids;
+      Hashtbl.reset t.indexes;
+      Hashtbl.reset t.plans;
+      Lru.clear t.rows;
+      M.incr metrics M.Exec_cache_invalidations)
+
+let gid_opt t g = GraphTbl.find_opt t.gids g
+
+let indexes t ~metrics g =
+  locked t (fun () ->
+      match gid_opt t g with
+      | None -> None
+      | Some gid -> (
+        match Hashtbl.find_opt t.indexes gid with
+        | Some pair ->
+          M.incr metrics M.Exec_cache_hit;
+          Some pair
+        | None ->
+          M.incr metrics M.Exec_cache_miss;
+          (* Built under the mutex: concurrent first users of a big
+             graph wait rather than duplicate a linear build. *)
+          let pair =
+            (Gql_index.Label_index.build g, Gql_index.Profile_index.build ~r:1 g)
+          in
+          Hashtbl.add t.indexes gid pair;
+          Some pair))
+
+let mode_char = function `Node_attrs -> 'a' | `Profiles -> 'p'
+
+(* call under the mutex *)
+let pattern_text t p =
+  match PatTbl.find_opt t.pkeys p with
+  | Some s -> s
+  | None ->
+    let s = Format.asprintf "%a" Gql_matcher.Flat_pattern.pp p in
+    PatTbl.add t.pkeys p s;
+    s
+
+let plan_key t gid ~retrieval ~refine p =
+  Printf.sprintf "g%d|%c|%b|%s" gid (mode_char retrieval) refine
+    (pattern_text t p)
+
+let plan_find t ~metrics ~retrieval ~refine g p =
+  locked t (fun () ->
+      match gid_opt t g with
+      | None -> None
+      | Some gid -> (
+        match
+          Hashtbl.find_opt t.plans (plan_key t gid ~retrieval ~refine p)
+        with
+        | Some plan ->
+          M.incr metrics M.Exec_cache_hit;
+          Some plan
+        | None ->
+          M.incr metrics M.Exec_cache_miss;
+          None))
+
+let plan_add t ~retrieval ~refine g p plan =
+  locked t (fun () ->
+      match gid_opt t g with
+      | None -> ()
+      | Some gid ->
+        if Hashtbl.length t.plans >= t.plan_capacity then Hashtbl.reset t.plans;
+        Hashtbl.replace t.plans (plan_key t gid ~retrieval ~refine p) plan)
+
+(* Everything the row depends on, textually: the retrieval mode, the
+   node's tuple constraints, its local predicate, and its radius-1
+   pattern profile (which [`Profiles] retrieval prunes against).
+   [required_label] is derived from the tuple or the predicate, so it
+   is covered. Two different patterns whose nodes constrain identically
+   share the row. *)
+let row_key gid ~retrieval p u =
+  let mode = match retrieval with `Node_attrs -> 'a' | `Profiles -> 'p' in
+  Format.asprintf "g%d|%c|%a|%a|%a" gid mode Tuple.pp
+    (Graph.node_tuple p.Gql_matcher.Flat_pattern.structure u)
+    Pred.pp
+    p.Gql_matcher.Flat_pattern.node_preds.(u)
+    Profile.pp
+    (Gql_matcher.Flat_pattern.profile p ~r:1 u)
+
+let row t ~metrics ~retrieval g p u ~compute =
+  let key =
+    locked t (fun () ->
+        Option.map (fun gid -> row_key gid ~retrieval p u) (gid_opt t g))
+  in
+  match key with
+  | None -> compute ()
+  | Some key -> (
+    match locked t (fun () -> Lru.find t.rows key) with
+    | Some row ->
+      M.incr metrics M.Exec_cache_hit;
+      row
+    | None ->
+      M.incr metrics M.Exec_cache_miss;
+      let row = compute () in
+      locked t (fun () ->
+          let before = (Lru.stats t.rows).Lru.evictions in
+          Lru.add t.rows key row;
+          let after = (Lru.stats t.rows).Lru.evictions in
+          if after > before then
+            M.add metrics M.Exec_cache_evictions (after - before));
+      row)
+
+let stats t =
+  locked t (fun () ->
+      {
+        version = t.version;
+        graphs = GraphTbl.length t.gids;
+        indexes = Hashtbl.length t.indexes;
+        plans = Hashtbl.length t.plans;
+        retrieval = Lru.stats t.rows;
+        invalidations = t.invalidations;
+      })

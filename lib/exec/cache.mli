@@ -1,0 +1,121 @@
+(** The shared cross-query caches of the batch service.
+
+    Three caches, one mutex, one version stamp:
+
+    - a {b profile-index cache}: data graph → its [Label_index] +
+      [Profile_index], built once and reused by every query that scans
+      the graph — the dominant win on repeated workloads, since index
+      construction is linear in the graph and queries are often
+      sublinear;
+    - a {b plan cache}: (graph, pattern) → the refined candidate space
+      and the optimized search order, so a repeated query skips
+      retrieval, refinement and ordering and goes straight to search;
+    - a bounded {b retrieval cache}: (graph, retrieval mode, pattern-node
+      signature) → the feasible-mate row Φ(u), an {!Lru} under a byte
+      budget.
+
+    Graphs are identified {e physically} ([==]): the service registers
+    the document graphs it owns, and only registered graphs hit the
+    caches — a graph bound to a query variable mid-run falls back to
+    the uncached engine. Any document update bumps the version stamp
+    and clears all three caches ({!invalidate}); stale reuse is
+    impossible because lookups happen under the same mutex.
+
+    Row signatures are textual: the pattern node's tuple constraints,
+    its local predicate and its radius-[r] pattern profile, rendered
+    with the canonical printers. Two syntactically different queries
+    whose pattern nodes constrain identically therefore share rows.
+    [`Subgraphs] retrieval is never cached (its neighborhood
+    memoization is not domain-safe to share); callers must bypass the
+    cache for it.
+
+    Every operation is thread-safe and counts [exec.cache.hit] /
+    [exec.cache.miss] (and eviction / invalidation events) into the
+    metrics instance passed by the calling job. *)
+
+open Gql_graph
+
+type t
+
+val create : ?plan_capacity:int -> ?retrieval_budget_bytes:int -> unit -> t
+(** Defaults: 4096 plans, 64 MiB of retrieval rows. The plan table is
+    reset wholesale when it exceeds capacity (plans are cheap to
+    recompute and capacity overrun indicates an adversarial workload);
+    the retrieval cache evicts LRU entries continuously. *)
+
+val register : t -> Graph.t list -> unit
+(** Make these graphs cacheable. Idempotent per graph (physical
+    identity). *)
+
+val registered : t -> Graph.t -> bool
+val version : t -> int
+
+val invalidate : t -> metrics:Gql_obs.Metrics.t -> unit
+(** Bump the version stamp, drop every cached index, plan and row, and
+    forget all registrations (documents changed — the new graphs must
+    be re-{!register}ed). Counts [exec.cache.invalidations]. *)
+
+val indexes :
+  t ->
+  metrics:Gql_obs.Metrics.t ->
+  Graph.t ->
+  (Gql_index.Label_index.t * Gql_index.Profile_index.t) option
+(** The label and radius-1 profile indexes of a registered graph,
+    building and caching them on first use. [None] when the graph is
+    not registered. The profile index is shared across domains: only
+    its precomputed profiles may be read ([`Node_attrs] / [`Profiles]
+    retrieval) — never its lazily-memoized neighborhoods. *)
+
+type plan = {
+  p_space : int array array;
+      (** the {e refined} candidate rows Φ(u) — retrieval and joint
+          reduction already applied; treat as immutable *)
+  p_order : int array;  (** the search order used with that space *)
+}
+
+val plan_find :
+  t ->
+  metrics:Gql_obs.Metrics.t ->
+  retrieval:[ `Node_attrs | `Profiles ] ->
+  refine:bool ->
+  Graph.t ->
+  Gql_matcher.Flat_pattern.t ->
+  plan option
+(** The cached plan for (graph, pattern) under the given engine
+    settings: on a hit the caller skips retrieval, refinement and
+    ordering and goes straight to search. [None] for unregistered
+    graphs or cold patterns. *)
+
+val plan_add :
+  t ->
+  retrieval:[ `Node_attrs | `Profiles ] ->
+  refine:bool ->
+  Graph.t ->
+  Gql_matcher.Flat_pattern.t ->
+  plan ->
+  unit
+(** Store a freshly computed plan. No-op for unregistered graphs. *)
+
+val row :
+  t ->
+  metrics:Gql_obs.Metrics.t ->
+  retrieval:[ `Node_attrs | `Profiles ] ->
+  Graph.t ->
+  Gql_matcher.Flat_pattern.t ->
+  int ->
+  compute:(unit -> int array) ->
+  int array
+(** The cached feasible-mate row Φ(u), or [compute ()] — inserted into
+    the LRU (which may evict colder rows). Treat the returned array as
+    immutable: it is shared. *)
+
+type stats = {
+  version : int;
+  graphs : int;  (** registered graphs *)
+  indexes : int;  (** index pairs actually built *)
+  plans : int;
+  retrieval : Lru.stats;
+  invalidations : int;
+}
+
+val stats : t -> stats

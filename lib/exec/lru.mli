@@ -1,0 +1,46 @@
+(** Byte-budgeted LRU cache of candidate rows.
+
+    The exec service's retrieval cache: maps a pattern-node signature to
+    the feasible-mate row Φ(u) computed for it. Entries are charged
+    their approximate heap footprint (key bytes + 8 bytes per candidate
+    + constant overhead) against a fixed byte budget; inserting past the
+    budget evicts least-recently-used entries until the cache fits
+    again.
+
+    Not synchronized — [Gql_exec.Cache] wraps every call in the service
+    cache mutex. *)
+
+type t
+
+val create : budget_bytes:int -> t
+(** [budget_bytes] must be positive. An entry larger than the whole
+    budget is not cached at all (counted as an eviction). *)
+
+val find : t -> string -> int array option
+(** Marks the entry most recently used. Counts a hit or a miss. *)
+
+val add : t -> string -> int array -> unit
+(** Insert (or replace) and evict from the cold end until within
+    budget. The stored array is shared with the caller — treat rows as
+    immutable. *)
+
+val mem : t -> string -> bool
+(** Does not touch recency or the hit/miss counters. *)
+
+type stats = {
+  entries : int;
+  bytes : int;  (** current charged footprint *)
+  budget : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop every entry (does not reset the counters). *)
+
+val entry_bytes : string -> int array -> int
+(** The footprint charged for a (key, row) pair — exposed so tests can
+    size a budget for an exact eviction scenario. *)

@@ -1,0 +1,410 @@
+module M = Gql_obs.Metrics
+module Budget = Gql_matcher.Budget
+module Engine = Gql_matcher.Engine
+module Flat_pattern = Gql_matcher.Flat_pattern
+module Feasible = Gql_matcher.Feasible
+module Search = Gql_matcher.Search
+module Eval = Gql_core.Eval
+module Algebra = Gql_core.Algebra
+module Matched = Gql_core.Matched
+module Error = Gql_core.Error
+
+(* Cooperative preemption: the caching selector performs [Yield] after
+   an engine run once the quantum is spent; the captured continuation
+   goes to the back of the work queue and any worker domain may resume
+   it (one-shot, resumed exactly once — the domainslib pattern). *)
+type _ Effect.t += Yield : unit Effect.t
+
+type status =
+  | Done of Eval.result
+  | Rejected of Budget.stop_reason
+  | Failed of Error.t
+
+type outcome = {
+  o_id : int;
+  o_query : string;
+  o_status : status;
+  o_yields : int;
+  o_wall_ms : float;
+}
+
+type job = {
+  j_id : int;
+  j_src : string;
+  j_budget : Budget.t;
+  j_metrics : M.t;
+  j_submitted : float;
+  mutable j_slice : int;  (* visited nodes since the last yield *)
+  mutable j_yields : int;
+  mutable j_done : bool;  (* guarded by r_mutex; completion idempotence *)
+}
+
+type task =
+  | Fresh of job
+  | Resume of (unit, unit) Effect.Deep.continuation
+
+type t = {
+  cache : Cache.t;
+  strategy : Engine.strategy;
+  quantum : int;
+  (* work queue *)
+  q_mutex : Mutex.t;
+  q_cond : Condition.t;
+  queue : task Queue.t;
+  mutable stopping : bool;
+  (* results; also guards docs, pending, next_id, the aggregate *)
+  r_mutex : Mutex.t;
+  r_cond : Condition.t;
+  results : (int, outcome) Hashtbl.t;
+  mutable pending : int;
+  mutable next_id : int;
+  mutable docs : Eval.docs;
+  agg : M.t;
+  (* parse cache: query text -> AST (ASTs are immutable, sharing is safe) *)
+  p_mutex : Mutex.t;
+  parsed : (string, Gql_core.Ast.program) Hashtbl.t;
+  mutable domains : unit Domain.t list;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* --- work queue ----------------------------------------------------------- *)
+
+let push_task t task =
+  locked t.q_mutex (fun () ->
+      Queue.push task t.queue;
+      Condition.signal t.q_cond)
+
+let queue_nonempty t =
+  locked t.q_mutex (fun () -> not (Queue.is_empty t.queue))
+
+let next_task t =
+  locked t.q_mutex (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.stopping then None
+        else begin
+          Condition.wait t.q_cond t.q_mutex;
+          wait ()
+        end
+      in
+      wait ())
+
+(* --- the caching engine run ----------------------------------------------- *)
+
+let empty_outcome stopped =
+  { Search.mappings = []; n_found = 0; visited = 0; stopped }
+
+(* Mirror of [Engine.run]'s phase structure — same spans, same budget
+   polls at phase boundaries — with retrieval rows and the search order
+   pulled from the shared cache when this graph is registered. *)
+let cached_run t job ~exhaustive p g =
+  let metrics = job.j_metrics in
+  let budget = job.j_budget in
+  let s = t.strategy in
+  let fallback () =
+    (Engine.run ~strategy:s ~exhaustive ~budget ~metrics p g).Engine.outcome
+  in
+  let search ~order space =
+    M.with_span metrics "search" (fun () ->
+        Search.run ~exhaustive ~budget ~metrics ~order p g space)
+  in
+  match s.Engine.retrieval with
+  | `Subgraphs -> fallback ()
+  | (`Node_attrs | `Profiles) as retrieval -> (
+    match
+      Cache.plan_find t.cache ~metrics ~retrieval ~refine:s.Engine.refine g p
+    with
+    | Some { Cache.p_space; p_order } -> (
+      (* warm plan: retrieval, refinement and ordering already done *)
+      match Budget.poll budget with
+      | Some r -> empty_outcome r
+      | None -> search ~order:p_order { Feasible.candidates = p_space })
+    | None -> (
+      match Cache.indexes t.cache ~metrics g with
+      | None -> fallback () (* unregistered: a variable binding, not a doc *)
+      | Some (lidx, pidx) -> (
+        let k = Flat_pattern.size p in
+        let space =
+          M.with_span metrics "retrieve" (fun () ->
+              {
+                Feasible.candidates =
+                  Array.init k (fun u ->
+                      Cache.row t.cache ~metrics ~retrieval g p u
+                        ~compute:(fun () ->
+                          Feasible.compute_row ~retrieval ~metrics
+                            ~label_index:lidx ~profile_index:pidx p g u));
+              })
+        in
+        match Budget.poll budget with
+        | Some r -> empty_outcome r
+        | None -> (
+          let refined =
+            if s.Engine.refine then
+              M.with_span metrics "refine" (fun () ->
+                  fst
+                    (Gql_matcher.Refine.refine ?level:s.Engine.refine_level
+                       ~metrics p g space))
+            else space
+          in
+          match Budget.poll budget with
+          | Some r -> empty_outcome r
+          | None -> (
+            let order =
+              if s.Engine.optimize_order then
+                M.with_span metrics "order" (fun () ->
+                    let model =
+                      Option.value s.Engine.cost_model
+                        ~default:
+                          (Gql_matcher.Cost.Constant
+                             Gql_matcher.Cost.default_constant)
+                    in
+                    Gql_matcher.Order.greedy ~model p
+                      ~sizes:(Feasible.sizes refined))
+              else Gql_matcher.Order.identity p
+            in
+            Cache.plan_add t.cache ~retrieval ~refine:s.Engine.refine g p
+              { Cache.p_space = refined.Feasible.candidates; p_order = order };
+            match Budget.poll budget with
+            | Some r -> empty_outcome r
+            | None -> search ~order refined)))))
+
+let maybe_yield t job =
+  if job.j_slice >= t.quantum && queue_nonempty t then begin
+    job.j_slice <- 0;
+    job.j_yields <- job.j_yields + 1;
+    M.incr job.j_metrics M.Exec_queue_yields;
+    Effect.perform Yield
+  end
+
+(* Same iteration structure, short-circuiting and result order as
+   [Algebra.select_governed], so batch results are equal (and equally
+   ordered) to a sequential [Gql.run_query] of the same text. *)
+let selector t job ~exhaustive ~patterns entries =
+  let metrics = job.j_metrics in
+  let stopped = ref Budget.Exhausted in
+  let rev_out = ref [] in
+  List.iter
+    (fun p ->
+      if not (Budget.final !stopped) then
+        List.iter
+          (fun entry ->
+            if not (Budget.final !stopped) then begin
+              let g = Algebra.underlying entry in
+              let outcome =
+                M.with_span metrics "match" (fun () ->
+                    cached_run t job ~exhaustive p g)
+              in
+              if M.enabled metrics then
+                M.observe metrics M.Matches_per_graph outcome.Search.n_found;
+              (match outcome.Search.stopped with
+              | Budget.Exhausted | Budget.Hit_limit -> ()
+              | r -> stopped := Budget.worst !stopped r);
+              List.iter
+                (fun phi ->
+                  rev_out := Algebra.M (Matched.make p g phi) :: !rev_out)
+                outcome.Search.mappings;
+              job.j_slice <- job.j_slice + outcome.Search.visited + 1;
+              maybe_yield t job
+            end)
+          entries)
+    patterns;
+  (List.rev !rev_out, !stopped)
+
+(* --- job execution --------------------------------------------------------- *)
+
+let parse_cached t job src =
+  match locked t.p_mutex (fun () -> Hashtbl.find_opt t.parsed src) with
+  | Some program ->
+    M.incr job.j_metrics M.Exec_cache_hit;
+    program
+  | None ->
+    M.incr job.j_metrics M.Exec_cache_miss;
+    let program = Gql_core.Gql.parse_program src in
+    locked t.p_mutex (fun () -> Hashtbl.replace t.parsed src program);
+    program
+
+let internalize e =
+  match e with
+  | Error.E err -> err
+  | e -> (
+    match Error.classify e with
+    | Some err -> err
+    | None -> Error.Eval ("internal: " ^ Printexc.to_string e))
+
+let run_job t job =
+  let docs = locked t.r_mutex (fun () -> t.docs) in
+  match Budget.poll job.j_budget with
+  | Some r -> Rejected r
+  | None -> (
+    match
+      let program = parse_cached t job job.j_src in
+      Eval.run ~docs ~strategy:t.strategy ~budget:job.j_budget
+        ~metrics:job.j_metrics ~selector:(selector t job) program
+    with
+    | result -> Done result
+    | exception e -> Failed (internalize e))
+
+let complete t job status =
+  let wall_ms = (Unix.gettimeofday () -. job.j_submitted) *. 1000.0 in
+  locked t.r_mutex (fun () ->
+      if not job.j_done then begin
+        job.j_done <- true;
+        M.incr job.j_metrics M.Exec_queue_completed;
+        (match status with
+        | Rejected _ -> M.incr job.j_metrics M.Exec_queue_deadline_stops
+        | Done r -> (
+          match r.Eval.stopped with
+          | Budget.Deadline | Budget.Cancelled | Budget.Step_budget ->
+            M.incr job.j_metrics M.Exec_queue_deadline_stops
+          | Budget.Exhausted | Budget.Hit_limit -> ())
+        | Failed _ -> ());
+        M.merge ~into:t.agg job.j_metrics;
+        Hashtbl.replace t.results job.j_id
+          {
+            o_id = job.j_id;
+            o_query = job.j_src;
+            o_status = status;
+            o_yields = job.j_yields;
+            o_wall_ms = wall_ms;
+          };
+        t.pending <- t.pending - 1;
+        Condition.broadcast t.r_cond
+      end)
+
+let exec_fresh t job =
+  Effect.Deep.match_with
+    (fun () -> complete t job (run_job t job))
+    ()
+    {
+      retc = Fun.id;
+      exnc = (fun e -> complete t job (Failed (internalize e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Yield ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                push_task t (Resume k))
+          | _ -> None);
+    }
+
+let worker t () =
+  let rec loop () =
+    match next_task t with
+    | None -> ()
+    | Some (Fresh job) ->
+      exec_fresh t job;
+      loop ()
+    | Some (Resume k) ->
+      Effect.Deep.continue k ();
+      loop ()
+  in
+  loop ()
+
+(* --- public API ------------------------------------------------------------ *)
+
+let create ?jobs ?(quantum = 4096) ?(strategy = Engine.optimized)
+    ?plan_capacity ?retrieval_budget_bytes ?(docs = []) () =
+  if quantum <= 0 then invalid_arg "Service.create: quantum <= 0";
+  let jobs =
+    match jobs with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Service.create: jobs <= 0"
+    | None -> min 8 (Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      cache = Cache.create ?plan_capacity ?retrieval_budget_bytes ();
+      strategy;
+      quantum;
+      q_mutex = Mutex.create ();
+      q_cond = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      r_mutex = Mutex.create ();
+      r_cond = Condition.create ();
+      results = Hashtbl.create 64;
+      pending = 0;
+      next_id = 0;
+      docs;
+      agg = M.create ();
+      p_mutex = Mutex.create ();
+      parsed = Hashtbl.create 64;
+      domains = [];
+    }
+  in
+  Cache.register t.cache (List.concat_map snd docs);
+  t.domains <- List.init jobs (fun _ -> Domain.spawn (worker t));
+  t
+
+let submit t ?deadline src =
+  let now = Unix.gettimeofday () in
+  let budget =
+    match deadline with
+    | None -> Budget.make ()
+    | Some d -> Budget.make ~deadline_at:(now +. d) ()
+  in
+  let job =
+    locked t.r_mutex (fun () ->
+        let id = t.next_id in
+        t.next_id <- t.next_id + 1;
+        t.pending <- t.pending + 1;
+        {
+          j_id = id;
+          j_src = src;
+          j_budget = budget;
+          j_metrics = M.create ();
+          j_submitted = now;
+          j_slice = 0;
+          j_yields = 0;
+          j_done = false;
+        })
+  in
+  M.incr job.j_metrics M.Exec_queue_submitted;
+  push_task t (Fresh job);
+  job.j_id
+
+let drain t =
+  let out =
+    locked t.r_mutex (fun () ->
+        while t.pending > 0 do
+          Condition.wait t.r_cond t.r_mutex
+        done;
+        let out = Hashtbl.fold (fun _ o acc -> o :: acc) t.results [] in
+        Hashtbl.reset t.results;
+        out)
+  in
+  List.sort (fun a b -> compare a.o_id b.o_id) out
+
+let update_docs t docs =
+  let m = M.create () in
+  Cache.invalidate t.cache ~metrics:m;
+  Cache.register t.cache (List.concat_map snd docs);
+  locked t.r_mutex (fun () ->
+      t.docs <- docs;
+      M.merge ~into:t.agg m)
+
+let version t = Cache.version t.cache
+let metrics t = t.agg
+let cache_stats t = Cache.stats t.cache
+
+let shutdown t =
+  locked t.q_mutex (fun () ->
+      t.stopping <- true;
+      Condition.broadcast t.q_cond);
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let run_batch ?jobs ?quantum ?strategy ?plan_capacity ?retrieval_budget_bytes
+    ?docs ?deadline queries =
+  let t =
+    create ?jobs ?quantum ?strategy ?plan_capacity ?retrieval_budget_bytes
+      ?docs ()
+  in
+  List.iter (fun q -> ignore (submit t ?deadline q)) queries;
+  let out = drain t in
+  shutdown t;
+  (out, t)

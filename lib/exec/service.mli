@@ -1,0 +1,111 @@
+(** The concurrent query service: a batch scheduler over a fixed domain
+    pool with shared cross-query caches.
+
+    Queries are submitted as source text and run by a pool of worker
+    domains against one shared document set. All queries of a service
+    share the {!Cache} (profile indexes, search-order plans, retrieval
+    rows) and a parse cache, so repeated or similar queries amortize
+    the per-query setup that dominates a sequential [Gql.run_query]
+    loop.
+
+    {b Fairness.} Execution is cooperative: each query runs with a
+    caching selector (installed through [Eval.run ~selector]) that
+    performs a [Yield] effect after every (pattern, graph) engine run
+    once the query has expanded [quantum] search-tree nodes in its
+    current slice {e and} other work is queued. The captured
+    continuation is re-enqueued at the back of the work queue and may
+    be resumed by a different domain — so a single exponential query
+    cannot starve cheap ones even on a one-domain pool.
+
+    {b Admission and deadlines.} A per-query [deadline] is converted to
+    an absolute budget at submit time, so time spent waiting in the
+    queue counts against it; a query whose deadline expires before it
+    starts is rejected without running. Budget stops surface in the
+    outcome, never as exceptions.
+
+    {b Errors.} A failing query never kills the pool: known errors are
+    classified through [Error.classify]; unknown exceptions are wrapped
+    as [Error.Eval "internal: ..."] so the batch completes and the
+    failure is visible in its outcome.
+
+    Instrumentation: each job writes to its own [Metrics.t] (domain
+    safety), merged into the service aggregate at completion —
+    [exec.cache.*] and [exec.queue.*] counters plus the usual engine
+    spans. *)
+
+type status =
+  | Done of Gql_core.Eval.result
+      (** Check [result.stopped] — a deadline can still have truncated
+          the selections. *)
+  | Rejected of Gql_matcher.Budget.stop_reason
+      (** Deadline expired (or budget cancelled) before the query
+          started running. *)
+  | Failed of Gql_core.Error.t  (** Parse/eval/corrupt failure. *)
+
+type outcome = {
+  o_id : int;  (** as returned by {!submit}; drain order *)
+  o_query : string;  (** the submitted source text *)
+  o_status : status;
+  o_yields : int;  (** times this query was preempted *)
+  o_wall_ms : float;  (** submit → completion, queue wait included *)
+}
+
+type t
+
+val create :
+  ?jobs:int ->
+  ?quantum:int ->
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?plan_capacity:int ->
+  ?retrieval_budget_bytes:int ->
+  ?docs:Gql_core.Eval.docs ->
+  unit ->
+  t
+(** Spawn the worker pool. [jobs] defaults to
+    [min 8 (Domain.recommended_domain_count ())]; [quantum] (default
+    4096) is the per-slice visited-node allowance before a query offers
+    to yield. [strategy] (default [Engine.optimized]) is fixed for the
+    whole service — the plan cache is only sound for a single strategy.
+    [`Subgraphs] retrieval bypasses the caches entirely. *)
+
+val submit : t -> ?deadline:float -> string -> int
+(** Enqueue a query (source text), returning its job id. [deadline] is
+    in seconds from now, inclusive of queue wait. Never blocks. *)
+
+val drain : t -> outcome list
+(** Wait for every submitted query to complete and return their
+    outcomes in submission order. The service stays usable — submit
+    more or {!shutdown}. *)
+
+val update_docs : t -> Gql_core.Eval.docs -> unit
+(** Replace the document set: bumps the cache version stamp, drops
+    every cached index/plan/row, and registers the new graphs. Call
+    between {!drain} and the next {!submit} — queries already running
+    keep the documents they started with. *)
+
+val version : t -> int
+(** The cache version stamp (increments on each {!update_docs}). *)
+
+val metrics : t -> Gql_obs.Metrics.t
+(** The service aggregate. Only read it when no query is in flight
+    (after {!drain}) — completions merge into it concurrently. *)
+
+val cache_stats : t -> Cache.stats
+
+val shutdown : t -> unit
+(** Stop the workers (after finishing queued work) and join them. Call
+    {!drain} first; idempotent. *)
+
+val run_batch :
+  ?jobs:int ->
+  ?quantum:int ->
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?plan_capacity:int ->
+  ?retrieval_budget_bytes:int ->
+  ?docs:Gql_core.Eval.docs ->
+  ?deadline:float ->
+  string list ->
+  outcome list * t
+(** Convenience: create, submit all (sharing one per-query [deadline]
+    setting), drain, shutdown. The returned service is already shut
+    down — use it for {!metrics} / {!cache_stats}. *)

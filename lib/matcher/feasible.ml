@@ -31,69 +31,74 @@ let base_candidates ?label_index p g u =
     (* full scan *)
     Graph.fold_nodes g ~init:[] ~f:(fun acc v -> v :: acc) |> List.rev
 
+let resolve_pidx ~retrieval ~profile_index g =
+  match retrieval with
+  | `Node_attrs -> None
+  | `Profiles | `Subgraphs ->
+    Some
+      (match profile_index with
+      | Some idx -> idx
+      | None -> Gql_index.Profile_index.build ~r:1 g)
+
+let row ~retrieval ~metrics ~label_index ~pidx p g u =
+  let module M = Gql_obs.Metrics in
+  let base = base_candidates ?label_index p g u in
+  if M.enabled metrics then M.add metrics M.Retrieval_scanned (List.length base);
+  let filtered =
+    List.filter (fun v -> Flat_pattern.node_compat p g u v) base
+  in
+  let pruned =
+    match retrieval, pidx with
+    | `Node_attrs, _ | _, None -> filtered
+    | `Profiles, Some idx ->
+      let r = Gql_index.Profile_index.radius idx in
+      let pprof = Flat_pattern.profile p ~r u in
+      (* the counting predicate is built only when metrics are on,
+         so the disabled path filters exactly as before *)
+      let keep v =
+        Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
+          ~small:pprof
+      in
+      let keep =
+        if M.enabled metrics then fun v ->
+          let ok = keep v in
+          M.incr metrics (if ok then M.Profile_hits else M.Profile_misses);
+          ok
+        else keep
+      in
+      List.filter keep filtered
+    | `Subgraphs, Some idx ->
+      let r = Gql_index.Profile_index.radius idx in
+      let pnbh = Flat_pattern.neighborhood p ~r u in
+      List.filter
+        (fun v ->
+          (* quick reject by profile first: sound and cheap *)
+          let vnbh = Gql_index.Profile_index.neighborhood idx v in
+          let compat pu' dv' =
+            Flat_pattern.node_compat p g
+              pnbh.Neighborhood.original.(pu')
+              vnbh.Neighborhood.original.(dv')
+          in
+          Iso.rooted_sub_iso ~compat ~pattern:pnbh.Neighborhood.graph
+            ~pattern_root:pnbh.Neighborhood.center
+            ~target:vnbh.Neighborhood.graph
+            ~target_root:vnbh.Neighborhood.center)
+        filtered
+  in
+  let row = Array.of_list pruned in
+  if M.enabled metrics then begin
+    M.add metrics M.Retrieval_candidates (Array.length row);
+    M.observe metrics M.Candidate_set_size (Array.length row)
+  end;
+  row
+
+let compute_row ?(retrieval = `Profiles) ?(metrics = Gql_obs.Metrics.disabled)
+    ?label_index ?profile_index p g u =
+  let pidx = resolve_pidx ~retrieval ~profile_index g in
+  row ~retrieval ~metrics ~label_index ~pidx p g u
+
 let compute ?(retrieval = `Profiles) ?(metrics = Gql_obs.Metrics.disabled)
     ?label_index ?profile_index p g =
-  let module M = Gql_obs.Metrics in
-  let pidx =
-    match retrieval with
-    | `Node_attrs -> None
-    | `Profiles | `Subgraphs ->
-      Some
-        (match profile_index with
-        | Some idx -> idx
-        | None -> Gql_index.Profile_index.build ~r:1 g)
-  in
+  let pidx = resolve_pidx ~retrieval ~profile_index g in
   let k = Flat_pattern.size p in
-  let candidates =
-    Array.init k (fun u ->
-        let base = base_candidates ?label_index p g u in
-        if M.enabled metrics then M.add metrics M.Retrieval_scanned (List.length base);
-        let filtered =
-          List.filter (fun v -> Flat_pattern.node_compat p g u v) base
-        in
-        let pruned =
-          match retrieval, pidx with
-          | `Node_attrs, _ | _, None -> filtered
-          | `Profiles, Some idx ->
-            let r = Gql_index.Profile_index.radius idx in
-            let pprof = Flat_pattern.profile p ~r u in
-            (* the counting predicate is built only when metrics are on,
-               so the disabled path filters exactly as before *)
-            let keep v =
-              Profile.contains ~big:(Gql_index.Profile_index.profile idx v)
-                ~small:pprof
-            in
-            let keep =
-              if M.enabled metrics then fun v ->
-                let ok = keep v in
-                M.incr metrics (if ok then M.Profile_hits else M.Profile_misses);
-                ok
-              else keep
-            in
-            List.filter keep filtered
-          | `Subgraphs, Some idx ->
-            let r = Gql_index.Profile_index.radius idx in
-            let pnbh = Flat_pattern.neighborhood p ~r u in
-            List.filter
-              (fun v ->
-                (* quick reject by profile first: sound and cheap *)
-                let vnbh = Gql_index.Profile_index.neighborhood idx v in
-                let compat pu' dv' =
-                  Flat_pattern.node_compat p g
-                    pnbh.Neighborhood.original.(pu')
-                    vnbh.Neighborhood.original.(dv')
-                in
-                Iso.rooted_sub_iso ~compat ~pattern:pnbh.Neighborhood.graph
-                  ~pattern_root:pnbh.Neighborhood.center
-                  ~target:vnbh.Neighborhood.graph
-                  ~target_root:vnbh.Neighborhood.center)
-              filtered
-        in
-        let row = Array.of_list pruned in
-        if M.enabled metrics then begin
-          M.add metrics M.Retrieval_candidates (Array.length row);
-          M.observe metrics M.Candidate_set_size (Array.length row)
-        end;
-        row)
-  in
-  { candidates }
+  { candidates = Array.init k (row ~retrieval ~metrics ~label_index ~pidx p g) }

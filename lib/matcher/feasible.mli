@@ -50,3 +50,17 @@ val compute :
     [metrics] (default disabled) records nodes scanned, candidates
     retained, profile-filter hits/misses and the per-node candidate-set
     size histogram. *)
+
+val compute_row :
+  ?retrieval:retrieval ->
+  ?metrics:Gql_obs.Metrics.t ->
+  ?label_index:Gql_index.Label_index.t ->
+  ?profile_index:Gql_index.Profile_index.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  int ->
+  int array
+(** [compute_row p g u]: the single candidate row Φ(u) — what {!compute}
+    builds for each pattern node. Exposed so cross-query caches
+    ([Gql_exec]) can assemble a space from per-node cached rows and
+    compute only the missing ones. *)

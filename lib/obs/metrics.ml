@@ -14,6 +14,14 @@ type counter =
   | Pool_hits
   | Pool_misses
   | Pool_evictions
+  | Exec_cache_hit
+  | Exec_cache_miss
+  | Exec_cache_evictions
+  | Exec_cache_invalidations
+  | Exec_queue_submitted
+  | Exec_queue_completed
+  | Exec_queue_yields
+  | Exec_queue_deadline_stops
 
 let counter_index = function
   | Retrieval_scanned -> 0
@@ -31,8 +39,16 @@ let counter_index = function
   | Pool_hits -> 12
   | Pool_misses -> 13
   | Pool_evictions -> 14
+  | Exec_cache_hit -> 15
+  | Exec_cache_miss -> 16
+  | Exec_cache_evictions -> 17
+  | Exec_cache_invalidations -> 18
+  | Exec_queue_submitted -> 19
+  | Exec_queue_completed -> 20
+  | Exec_queue_yields -> 21
+  | Exec_queue_deadline_stops -> 22
 
-let n_counters = 15
+let n_counters = 23
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -50,6 +66,14 @@ let counter_name = function
   | Pool_hits -> "storage.pool_hits"
   | Pool_misses -> "storage.pool_misses"
   | Pool_evictions -> "storage.pool_evictions"
+  | Exec_cache_hit -> "exec.cache.hit"
+  | Exec_cache_miss -> "exec.cache.miss"
+  | Exec_cache_evictions -> "exec.cache.evictions"
+  | Exec_cache_invalidations -> "exec.cache.invalidations"
+  | Exec_queue_submitted -> "exec.queue.submitted"
+  | Exec_queue_completed -> "exec.queue.completed"
+  | Exec_queue_yields -> "exec.queue.yields"
+  | Exec_queue_deadline_stops -> "exec.queue.deadline_stops"
 
 let all_counters =
   [
@@ -68,6 +92,14 @@ let all_counters =
     Pool_hits;
     Pool_misses;
     Pool_evictions;
+    Exec_cache_hit;
+    Exec_cache_miss;
+    Exec_cache_evictions;
+    Exec_cache_invalidations;
+    Exec_queue_submitted;
+    Exec_queue_completed;
+    Exec_queue_yields;
+    Exec_queue_deadline_stops;
   ]
 
 type histogram = Candidate_set_size | Matches_per_graph

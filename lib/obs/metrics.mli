@@ -34,6 +34,14 @@ type counter =
   | Pool_hits  (** buffer-pool lookups served from a frame *)
   | Pool_misses  (** buffer-pool lookups that went to the pager *)
   | Pool_evictions  (** frames evicted (written back when dirty) *)
+  | Exec_cache_hit  (** exec-service cache lookups served (all caches) *)
+  | Exec_cache_miss  (** exec-service cache lookups that computed fresh *)
+  | Exec_cache_evictions  (** retrieval-LRU entries evicted by byte budget *)
+  | Exec_cache_invalidations  (** version-stamp bumps that cleared the caches *)
+  | Exec_queue_submitted  (** queries admitted to the batch scheduler *)
+  | Exec_queue_completed  (** queries that finished (any stop reason) *)
+  | Exec_queue_yields  (** quantum expirations that re-enqueued a query *)
+  | Exec_queue_deadline_stops  (** queries stopped by their budget *)
 
 val counter_name : counter -> string
 (** Stable dotted name, e.g. ["search.visited"] — the key used by the

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Compares a freshly measured bench JSON (schema gql-bench/v1, produced by
+`dune exec bench/main.exe -- <experiments> --json FILE`) against the most
+recent committed BENCH_PR*.json snapshot and fails on large slowdowns.
+
+Design choices, deliberately conservative for shared CI runners:
+
+- Only timing leaves present in BOTH files are compared, matched by
+  their JSON path. New experiments pass freely (the snapshot catches up
+  when it is regenerated), and removed ones are ignored.
+- Only leaves whose key ends in `_ms` or `_ns`, or that live under the
+  `micro.bechamel_ns` experiment, count as timings. Ratios, counts and
+  speedup factors are not gated here.
+- Baseline values below a noise floor (0.5 ms / 500 ns) are skipped:
+  sub-millisecond timers on a noisy VM produce meaningless ratios.
+- The threshold is loose (3x) on purpose: this gate catches
+  order-of-magnitude regressions (an accidentally quadratic loop, a
+  dropped index), not 10% drift.
+
+Exit status: 0 when every compared timing is within threshold, 1
+otherwise, 2 on usage/schema errors.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import sys
+
+
+def find_baseline(repo_root):
+    """The committed BENCH_PR<N>.json with the highest N."""
+    best, best_n = None, -1
+    for path in glob.glob(os.path.join(repo_root, "BENCH_PR*.json")):
+        m = re.search(r"BENCH_PR(\d+)\.json$", path)
+        if m and int(m.group(1)) > best_n:
+            best, best_n = path, int(m.group(1))
+    return best
+
+
+def flatten(node, path=()):
+    """Yield (path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            yield from flatten(v, path + (str(k),))
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            # Benchmark rows are keyed by a "size" field when present,
+            # so path identity survives a row being added in the middle.
+            key = str(i)
+            if isinstance(v, dict) and "size" in v:
+                key = "size=%s" % v["size"]
+            yield from flatten(v, path + (key,))
+    elif isinstance(node, (int, float)) and not isinstance(node, bool):
+        yield path, float(node)
+
+
+def is_timing(path):
+    leaf = path[-1]
+    return (
+        leaf.endswith("_ms")
+        or leaf.endswith("_ns")
+        or (len(path) >= 1 and path[0] == "micro.bechamel_ns")
+    )
+
+
+def noise_floor(path):
+    return 500.0 if (path[-1].endswith("_ns") or path[0] == "micro.bechamel_ns") else 0.5
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--current", required=True, help="bench JSON measured in this run")
+    ap.add_argument("--baseline", help="snapshot to compare against "
+                    "(default: latest committed BENCH_PR*.json)")
+    ap.add_argument("--threshold", type=float, default=3.0,
+                    help="fail when current/baseline exceeds this (default 3.0)")
+    ap.add_argument("--repo-root", default=".", help="where BENCH_PR*.json live")
+    args = ap.parse_args()
+
+    baseline_path = args.baseline or find_baseline(args.repo_root)
+    if baseline_path is None:
+        print("perf-gate: no BENCH_PR*.json baseline found; nothing to compare")
+        return 0
+
+    try:
+        current = json.load(open(args.current))
+        baseline = json.load(open(baseline_path))
+    except (OSError, ValueError) as e:
+        print("perf-gate: cannot load inputs: %s" % e, file=sys.stderr)
+        return 2
+
+    for doc, name in ((current, args.current), (baseline, baseline_path)):
+        if doc.get("schema") != "gql-bench/v1":
+            print("perf-gate: %s is not gql-bench/v1 (schema=%r)"
+                  % (name, doc.get("schema")), file=sys.stderr)
+            return 2
+    if current.get("mode") != baseline.get("mode"):
+        print("perf-gate: mode mismatch (current=%r baseline=%r); "
+              "ratios would be meaningless" % (current.get("mode"),
+                                               baseline.get("mode")),
+              file=sys.stderr)
+        return 2
+
+    cur = dict(flatten(current.get("experiments", {})))
+    base = dict(flatten(baseline.get("experiments", {})))
+
+    compared, skipped, failures = 0, 0, []
+    print("perf-gate: baseline %s, threshold %.1fx" % (baseline_path, args.threshold))
+    for path in sorted(set(cur) & set(base)):
+        if not is_timing(path):
+            continue
+        b, c = base[path], cur[path]
+        if b < noise_floor(path):
+            skipped += 1
+            continue
+        compared += 1
+        ratio = c / b if b > 0 else float("inf")
+        marker = ""
+        if ratio > args.threshold:
+            failures.append((path, b, c, ratio))
+            marker = "  <-- REGRESSION"
+        print("  %-70s %10.2f -> %10.2f  (%5.2fx)%s"
+              % ("/".join(path), b, c, ratio, marker))
+
+    print("perf-gate: %d timings compared, %d below noise floor, %d regressions"
+          % (compared, skipped, len(failures)))
+    if failures:
+        for path, b, c, ratio in failures:
+            print("FAIL %s: %.2f -> %.2f (%.2fx > %.1fx)"
+                  % ("/".join(path), b, c, ratio, args.threshold), file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("perf-gate: warning: no comparable timings (experiment sets disjoint?)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,273 @@
+(* The concurrent query service: batch/sequential equivalence, cache
+   invalidation on document updates, LRU eviction under a byte budget,
+   and scheduler liveness when an exponential query shares the pool
+   with cheap ones. *)
+
+open Gql_graph
+module M = Gql_obs.Metrics
+module Budget = Gql_matcher.Budget
+module Eval = Gql_core.Eval
+module Gql = Gql_core.Gql
+module Error = Gql_core.Error
+module Service = Gql_exec.Service
+module Lru = Gql_exec.Lru
+
+let graph_print g = Format.asprintf "%a" Graph.pp g
+
+(* ---- the retrieval LRU, in isolation ---- *)
+
+let test_lru_eviction () =
+  let k i = Printf.sprintf "key%d" i in
+  let r = Array.init 4 (fun i -> i) in
+  let per = Lru.entry_bytes (k 0) r in
+  let lru = Lru.create ~budget_bytes:(2 * per) in
+  Lru.add lru (k 0) r;
+  Lru.add lru (k 1) r;
+  (* touch k0 so k1 is the cold end when k2 arrives *)
+  Alcotest.(check bool) "k0 findable" true (Lru.find lru (k 0) <> None);
+  Lru.add lru (k 2) r;
+  Alcotest.(check bool) "k1 evicted" false (Lru.mem lru (k 1));
+  Alcotest.(check bool) "k0 survives (recently used)" true (Lru.mem lru (k 0));
+  Alcotest.(check bool) "k2 present" true (Lru.mem lru (k 2));
+  let s = Lru.stats lru in
+  Alcotest.(check int) "two entries fit" 2 s.Lru.entries;
+  Alcotest.(check int) "one eviction" 1 s.Lru.evictions;
+  Alcotest.(check bool) "within budget" true (s.Lru.bytes <= s.Lru.budget);
+  (* an entry larger than the whole budget is refused, not cached,
+     and leaves the resident entries alone *)
+  Lru.add lru "huge" (Array.make 4096 0);
+  Alcotest.(check bool) "oversized refused" false (Lru.mem lru "huge");
+  let s' = Lru.stats lru in
+  Alcotest.(check int) "refusal counted as eviction" 2 s'.Lru.evictions;
+  Alcotest.(check int) "residents untouched" 2 s'.Lru.entries
+
+let test_lru_counters () =
+  let lru = Lru.create ~budget_bytes:(1024 * 1024) in
+  Lru.add lru "a" [| 1; 2 |];
+  ignore (Lru.find lru "a");
+  ignore (Lru.find lru "a");
+  ignore (Lru.find lru "nope");
+  let s = Lru.stats lru in
+  Alcotest.(check int) "hits" 2 s.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Lru.misses;
+  Lru.clear lru;
+  let s' = Lru.stats lru in
+  Alcotest.(check int) "clear drops entries" 0 s'.Lru.entries;
+  Alcotest.(check int) "clear keeps counters" 2 s'.Lru.hits
+
+(* ---- version-stamp invalidation ---- *)
+
+let edge_query =
+  {|for graph P { node a where label="A"; node b where label="B"; edge e (a, b); }
+    exhaustive in doc("D")
+    return graph { node m <x=1>; };|}
+
+let returned_count = function
+  | Service.Done r -> List.length (Eval.returned r)
+  | Service.Rejected _ | Service.Failed _ -> -1
+
+let test_invalidation () =
+  (* v1 has one A-B edge, v2 has two: a stale cache would keep
+     answering 1 *)
+  let v1 = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let v2 = Graph.of_labeled ~labels:[| "A"; "B"; "B" |] [ (0, 1); (0, 2) ] in
+  let t = Service.create ~jobs:1 ~docs:[ ("D", [ v1 ]) ] () in
+  ignore (Service.submit t edge_query);
+  ignore (Service.submit t edge_query);
+  let outs = Service.drain t in
+  List.iter
+    (fun o ->
+      Alcotest.(check int)
+        "one match against v1" 1
+        (returned_count o.Service.o_status))
+    outs;
+  Alcotest.(check int) "fresh service is version 0" 0 (Service.version t);
+  let s = Service.cache_stats t in
+  Alcotest.(check bool) "indexes cached" true (s.Gql_exec.Cache.indexes >= 1);
+  Alcotest.(check bool) "plans cached" true (s.Gql_exec.Cache.plans >= 1);
+  Alcotest.(check bool)
+    "repeat run hit the caches" true
+    (M.get (Service.metrics t) M.Exec_cache_hit > 0);
+  Service.update_docs t [ ("D", [ v2 ]) ];
+  Alcotest.(check int) "version bumped" 1 (Service.version t);
+  let s' = Service.cache_stats t in
+  Alcotest.(check int) "indexes dropped" 0 s'.Gql_exec.Cache.indexes;
+  Alcotest.(check int) "plans dropped" 0 s'.Gql_exec.Cache.plans;
+  Alcotest.(check int)
+    "rows dropped" 0 s'.Gql_exec.Cache.retrieval.Lru.entries;
+  Alcotest.(check int) "invalidation counted" 1 s'.Gql_exec.Cache.invalidations;
+  ignore (Service.submit t edge_query);
+  (match Service.drain t with
+  | [ o ] ->
+    Alcotest.(check int)
+      "two matches against v2 (no stale reuse)" 2
+      (returned_count o.Service.o_status)
+  | outs -> Alcotest.failf "expected one outcome, got %d" (List.length outs));
+  Service.shutdown t
+
+(* ---- uncached fallbacks and error containment ---- *)
+
+let test_variable_doc_fallback () =
+  (* the doc source is a query variable, never registered with the
+     cache: the service must fall back to the uncached engine *)
+  let q =
+    {|C := graph { node a <label="A">; node b <label="B">; edge e (a, b); };
+      for graph P { node v1 where label="A"; } in doc("C")
+      return graph { node out <found=1>; };|}
+  in
+  let outs, t = Service.run_batch ~jobs:1 [ q ] in
+  (match outs with
+  | [ o ] -> Alcotest.(check int) "one match" 1 (returned_count o.Service.o_status)
+  | _ -> Alcotest.fail "expected one outcome");
+  ignore t
+
+let test_error_containment () =
+  let t = Service.create ~jobs:1 () in
+  let bad = Service.submit t "for graph P {" in
+  let good =
+    Service.submit t {|C := graph { node a <x=1>; }; for graph P { node v1; } in doc("C") return graph { node m <y=2>; };|}
+  in
+  let outs = Service.drain t in
+  let find id = List.find (fun o -> o.Service.o_id = id) outs in
+  (match (find bad).Service.o_status with
+  | Service.Failed (Error.Parse _) -> ()
+  | _ -> Alcotest.fail "expected a parse failure");
+  (match (find good).Service.o_status with
+  | Service.Done r ->
+    Alcotest.(check int) "pool still alive" 1 (List.length (Eval.returned r))
+  | _ -> Alcotest.fail "good query should complete after a bad one");
+  Service.shutdown t
+
+(* ---- scheduler liveness ---- *)
+
+(* A same-label complete graph K_n: a 5-node path pattern enumerates
+   n!/(n-5)! embeddings per graph (~15k on K_9, tens of milliseconds).
+   Many modest bombs (rather than one huge one) give the scheduler
+   yield points between per-graph engine runs: the whole collection
+   takes seconds, far past the deadline, while any single run finishes
+   well within it. *)
+let bomb_graph n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_labeled ~labels:(Array.make n "A") !edges
+
+let bomb_query =
+  {|for graph P { node a where label="A"; node b where label="A";
+                  node c where label="A"; node d where label="A";
+                  node e where label="A";
+                  edge e1 (a, b); edge e2 (b, c); edge e3 (c, d); edge e4 (d, e); }
+    exhaustive in doc("BOMB")
+    return graph { node m <x=1>; };|}
+
+let cheap_query =
+  {|for graph P { node a where label="A"; node b where label="B"; edge e (a, b); }
+    exhaustive in doc("SMALL")
+    return graph { node m <x=1>; };|}
+
+let test_liveness () =
+  let bombs = List.init 60 (fun _ -> bomb_graph 9) in
+  let small = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let t =
+    Service.create ~jobs:1 ~quantum:500
+      ~docs:[ ("BOMB", bombs); ("SMALL", [ small ]) ]
+      ()
+  in
+  (* the bomb goes in first: on a one-domain pool the cheap queries
+     can only complete if the bomb cooperatively yields *)
+  let slow_id = Service.submit t ~deadline:0.3 bomb_query in
+  let cheap_ids = List.init 10 (fun _ -> Service.submit t cheap_query) in
+  let t0 = Unix.gettimeofday () in
+  let outs = Service.drain t in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let find id = List.find (fun o -> o.Service.o_id = id) outs in
+  let slow = find slow_id in
+  (match slow.Service.o_status with
+  | Service.Done r ->
+    Alcotest.(check bool)
+      "bomb stopped by its deadline" true
+      (r.Eval.stopped = Budget.Deadline)
+  | Service.Rejected reason ->
+    Alcotest.(check bool)
+      "bomb rejected by its deadline" true
+      (reason = Budget.Deadline)
+  | Service.Failed e -> Alcotest.failf "bomb failed: %s" (Error.to_string e));
+  List.iter
+    (fun id ->
+      match (find id).Service.o_status with
+      | Service.Done r ->
+        Alcotest.(check bool)
+          "cheap query ran to completion" true
+          (r.Eval.stopped = Budget.Exhausted);
+        Alcotest.(check int) "cheap query found its match" 1
+          (List.length (Eval.returned r))
+      | _ -> Alcotest.fail "cheap query did not complete")
+    cheap_ids;
+  Alcotest.(check bool) "bomb was preempted at least once" true
+    (slow.Service.o_yields >= 1);
+  Alcotest.(check bool) "drain returned promptly" true (elapsed < 10.0);
+  let agg = Service.metrics t in
+  Alcotest.(check int) "all queries completed" 11
+    (M.get agg M.Exec_queue_completed);
+  Alcotest.(check bool) "yields counted" true
+    (M.get agg M.Exec_queue_yields >= 1);
+  Alcotest.(check bool) "deadline stop counted" true
+    (M.get agg M.Exec_queue_deadline_stops >= 1);
+  Service.shutdown t
+
+(* ---- batch == sequential (property) ---- *)
+
+let q l1 l2 ex =
+  Printf.sprintf
+    "for graph P { node a where label=%S; node b where label=%S; edge e (a, \
+     b); } %sin doc(\"D\") return graph { node m <x=1>; };"
+    l1 l2
+    (if ex then "exhaustive " else "")
+
+let batch_queries =
+  [ q "A" "B" true; q "B" "C" true; q "A" "A" true; q "A" "C" false;
+    q "B" "B" false ]
+
+let prop_batch_equals_sequential =
+  QCheck.Test.make ~name:"batch service agrees with sequential run_query"
+    ~count:25
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (Test_matcher.gen_labeled_graph ~max_n:6)
+           (Test_matcher.gen_labeled_graph ~max_n:6))
+       ~print:(fun (g1, g2) -> graph_print g1 ^ "\n---\n" ^ graph_print g2))
+    (fun (g1, g2) ->
+      let docs = [ ("D", [ g1; g2 ]) ] in
+      let seq = List.map (fun src -> Gql.run_query ~docs src) batch_queries in
+      (* a tiny quantum so yielding actually happens and provably does
+         not perturb results *)
+      let outs, _ = Service.run_batch ~jobs:2 ~quantum:16 ~docs batch_queries in
+      List.length outs = List.length seq
+      && List.for_all2
+           (fun o r ->
+             match o.Service.o_status with
+             | Service.Done rb ->
+               rb.Eval.stopped = r.Eval.stopped
+               && List.map graph_print (Eval.returned rb)
+                  = List.map graph_print (Eval.returned r)
+             | Service.Rejected _ | Service.Failed _ -> false)
+           outs seq)
+
+let suite =
+  [
+    Alcotest.test_case "lru eviction under byte budget" `Quick test_lru_eviction;
+    Alcotest.test_case "lru recency and counters" `Quick test_lru_counters;
+    Alcotest.test_case "update_docs invalidates every cache" `Quick
+      test_invalidation;
+    Alcotest.test_case "variable doc bypasses the caches" `Quick
+      test_variable_doc_fallback;
+    Alcotest.test_case "a failing query does not kill the pool" `Quick
+      test_error_containment;
+    Alcotest.test_case "bomb query cannot starve cheap ones" `Quick
+      test_liveness;
+    QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
+  ]

@@ -34,4 +34,5 @@ let () =
       ("storage-recovery", Test_recovery.suite);
       ("obs", Test_obs.suite);
       ("order", Test_order.suite);
+      ("exec", Test_exec.suite);
     ]
