@@ -512,12 +512,26 @@ let collection () =
         (t_scan /. t_filtered))
     patterns
 
+(* Two workloads, two engines.  Balanced: PPI clique queries whose
+   Φ(u₁) candidates carry comparable subtrees — static slicing is
+   already fine there, and the work-stealing engine must not regress
+   it.  Skewed: a synthetic hub graph where a single Φ(u₁) candidate
+   owns every match, the adversarial case for static slicing (one
+   domain inherits the whole search while the rest idle); stealing
+   redistributes the hub's subtrees.  Both engines must agree on
+   [n_found]; the WS steal/spawn counters are emitted so the JSON shows
+   the protocol actually engaged (on a single-core runner the
+   wall-clock columns are about overhead, not speedup). *)
 let parallel () =
-  header "Parallel search (OCaml 5 domains): PPI clique queries";
+  header "Parallel search: work-stealing vs static slicing";
+  let module Par = Gql_matcher.Parallel in
+  let module Ws = Gql_matcher.Ws in
+  let module M = Gql_obs.Metrics in
   let g, lidx, pidx = Lazy.force ppi_env in
   let labels = Queries.top_labels lidx 40 in
   let weights = Queries.label_weights lidx labels in
-  row "%-8s %12s %12s %12s %12s\n" "size" "1 domain" "2 domains" "4 domains" "8 domains";
+  row "balanced workload: PPI clique queries, profile-pruned spaces\n";
+  row "%-8s %12s %12s %12s %12s\n" "size" "ws x1" "ws x2" "ws x4" "static x4";
   List.iter
     (fun size ->
       let rng = Rng.create (9000 + size) in
@@ -534,28 +548,114 @@ let parallel () =
                 ~profile_index:pidx q g ))
           qs
       in
-      let cell domains =
+      let cell engine domains =
         let _, t =
           time (fun () ->
               List.iter
-                (fun (q, space) ->
-                  ignore (Gql_matcher.Parallel.search ~domains q g space))
+                (fun (q, space) -> ignore (engine ~domains q g space))
                 spaces)
         in
         ms t /. float_of_int n_queries
       in
-      let c1 = cell 1 and c2 = cell 2 and c4 = cell 4 and c8 = cell 8 in
-      row "%-8d %12.3f %12.3f %12.3f %12.3f\n" size c1 c2 c4 c8;
+      let ws d = cell (fun ~domains q g s -> Par.search ~domains q g s) d in
+      let st d = cell (fun ~domains q g s -> Par.search_static ~domains q g s) d in
+      let c1 = ws 1 and c2 = ws 2 and c4 = ws 4 and s4 = st 4 in
+      row "%-8d %12.3f %12.3f %12.3f %12.3f\n" size c1 c2 c4 s4;
       emit_json
-        (Printf.sprintf "parallel.size%d" size)
+        (Printf.sprintf "parallel.balanced.size%d" size)
         (Json.Obj
            [
-             ("domains1_ms", Json.Float c1);
-             ("domains2_ms", Json.Float c2);
-             ("domains4_ms", Json.Float c4);
-             ("domains8_ms", Json.Float c8);
+             ("ws1_ms", Json.Float c1);
+             ("ws2_ms", Json.Float c2);
+             ("ws4_ms", Json.Float c4);
+             ("static4_ms", Json.Float s4);
            ]))
-    [ 4; 5; 6 ]
+    [ 4; 5; 6 ];
+  (* skewed workload: 64 candidates for u₁, one hub adjacent to a
+     24-node community (4-clique pattern → every match runs through the
+     hub), the other 63 are immediate dead ends *)
+  let hub_g =
+    let b = Graph.Builder.create () in
+    let hs = Array.init 64 (fun _ -> Graph.Builder.add_labeled_node b "H") in
+    let bs = Array.init 24 (fun _ -> Graph.Builder.add_labeled_node b "B") in
+    Array.iter (fun v -> ignore (Graph.Builder.add_edge b hs.(0) v)) bs;
+    Array.iteri
+      (fun i u ->
+        for j = i + 1 to Array.length bs - 1 do
+          ignore (Graph.Builder.add_edge b u bs.(j))
+        done)
+      bs;
+    Graph.Builder.build b
+  in
+  let hub_p = FP.clique [ "H"; "B"; "B"; "B" ] in
+  let hub_space = Feasible.compute ~retrieval:`Node_attrs hub_p hub_g in
+  let reps = scale 10 30 in
+  let expected = (Search.run hub_p hub_g hub_space).Search.n_found in
+  let skew_cell engine domains =
+    let check (out : Search.outcome) =
+      if out.Search.n_found <> expected then begin
+        Printf.eprintf "FAIL: skewed run found %d matches, expected %d\n"
+          out.Search.n_found expected;
+        exit 1
+      end
+    in
+    check (engine ~domains hub_p hub_g hub_space);
+    let _, t =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (engine ~domains hub_p hub_g hub_space)
+          done)
+    in
+    ms t /. float_of_int reps
+  in
+  let ws_cell d = skew_cell (fun ~domains p g s -> Par.search ~domains p g s) d in
+  let st_cell d =
+    skew_cell (fun ~domains p g s -> Par.search_static ~domains p g s) d
+  in
+  let s1 = st_cell 1 and s2 = st_cell 2 and s4 = st_cell 4 in
+  let w1 = ws_cell 1 and w2 = ws_cell 2 and w4 = ws_cell 4 in
+  (* counters from one instrumented 4-domain WS run: nonzero spawn and
+     steal counts are the proof the skewed search was redistributed *)
+  let metrics = M.create () in
+  ignore (Ws.search ~domains:4 ~metrics hub_p hub_g hub_space);
+  let steals = M.get metrics M.Parallel_steals in
+  let spawned = M.get metrics M.Parallel_tasks_spawned in
+  let idle = M.get metrics M.Parallel_idle_polls in
+  row "skewed workload: hub graph, %d matches, all through Φ(u1)[0]\n" expected;
+  row "%-8s %12s %12s %12s\n" "engine" "x1" "x2" "x4";
+  row "%-8s %12.3f %12.3f %12.3f\n" "static" s1 s2 s4;
+  row "%-8s %12.3f %12.3f %12.3f\n" "ws" w1 w2 w4;
+  row "ws x4 counters: %d task(s) spawned, %d steal(s), %d idle poll(s)\n"
+    spawned steals idle;
+  if spawned = 0 then begin
+    Printf.eprintf "FAIL: work-stealing run spawned no subtree tasks\n";
+    exit 1
+  end;
+  emit_json "parallel.skewed"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "hub graph: |Φ(u1)| = 64, one hub owns every 4-clique match \
+              (24-node community); static slicing strands the search in one \
+              domain" );
+         ("n_found", Json.Int expected);
+         ("static1_ms", Json.Float s1);
+         ("static2_ms", Json.Float s2);
+         ("static4_ms", Json.Float s4);
+         ("ws1_ms", Json.Float w1);
+         ("ws2_ms", Json.Float w2);
+         ("ws4_ms", Json.Float w4);
+         ("ws4_tasks_spawned", Json.Int spawned);
+         ("ws4_steals", Json.Int steals);
+         ("ws4_idle_polls", Json.Int idle);
+         ( "note",
+           Json.Str
+             (Printf.sprintf
+                "measured on %d available core(s): speedup columns only mean \
+                 anything above 1"
+                (Domain.recommended_domain_count ())) );
+       ])
 
 let storage () =
   header "Disk storage: store/scan a compound collection through the buffer pool";
@@ -930,8 +1030,100 @@ let micro_search_comparison () =
          ("speedup", Json.Float speedup);
        ])
 
+(* refinement: packed word rows + word-at-a-time Kuhn vs the PR1-era
+   consed lists + Hopcroft–Karp, over identical profile-pruned spaces.
+   Same fixpoint by construction (asserted row for row). *)
+let micro_refine_comparison () =
+  header "Refine phase: packed word rows vs consed lists (PPI cliques)";
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  row "%-6s %10s %18s %18s %10s\n" "size" "queries" "t_refine_words (ms)"
+    "t_refine_lists (ms)" "speedup";
+  let best_of n f =
+    let best = ref infinity in
+    for _ = 1 to n do
+      let _, t = time f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let cells =
+    List.map
+      (fun size ->
+        let rng = Rng.create (51337 + size) in
+        let n_queries = scale 60 300 in
+        let prepared =
+          List.init n_queries (fun _ ->
+              let q = Queries.clique ~weights rng ~labels ~size in
+              let space =
+                Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+                  ~profile_index:pidx q g
+              in
+              (q, space))
+        in
+        let words =
+          List.map (fun (q, space) -> fst (Refine.refine q g space)) prepared
+        in
+        let t_words =
+          best_of 3 (fun () ->
+              List.iter
+                (fun (q, space) -> ignore (Refine.refine q g space))
+                prepared)
+        in
+        let lists =
+          List.map
+            (fun (q, space) -> fst (Refine.refine_lists q g space))
+            prepared
+        in
+        let t_lists =
+          best_of 3 (fun () ->
+              List.iter
+                (fun (q, space) -> ignore (Refine.refine_lists q g space))
+                prepared)
+        in
+        List.iter2
+          (fun (a : Feasible.space) (b : Feasible.space) ->
+            assert (a.Feasible.candidates = b.Feasible.candidates))
+          words lists;
+        let speedup = t_lists /. t_words in
+        row "%-6d %10d %18.3f %18.3f %9.2fx\n" size n_queries (ms t_words)
+          (ms t_lists) speedup;
+        (size, n_queries, t_words, t_lists))
+      [ 4; 5; 6 ]
+  in
+  let tot f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells in
+  let t_words_total = tot (fun (_, _, t, _) -> t) in
+  let t_lists_total = tot (fun (_, _, _, t) -> t) in
+  let speedup = t_lists_total /. t_words_total in
+  row "overall speedup (t_refine_lists / t_refine_words): %.2fx\n" speedup;
+  emit_json "micro.refine_ppi"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str "PPI clique queries, profiles retrieval, full-level refine"
+         );
+         ( "sizes",
+           Json.List
+             (List.map
+                (fun (size, n_queries, t_words, t_lists) ->
+                  Json.Obj
+                    [
+                      ("size", Json.Int size);
+                      ("queries", Json.Int n_queries);
+                      ("t_refine_words_ms", Json.Float (ms t_words));
+                      ("t_refine_lists_ms", Json.Float (ms t_lists));
+                      ("speedup", Json.Float (t_lists /. t_words));
+                    ])
+                cells) );
+         ("t_refine_words_ms", Json.Float (ms t_words_total));
+         ("t_refine_lists_ms", Json.Float (ms t_lists_total));
+         ("speedup", Json.Float speedup);
+       ])
+
 let micro () =
   micro_search_comparison ();
+  micro_refine_comparison ();
   let open Bechamel in
   let open Toolkit in
   let g, lidx, pidx = Lazy.force ppi_env in
@@ -1041,9 +1233,31 @@ let exec_service () =
     ]
   in
   let rounds = scale 8 16 in
+  (* One deliberately heavy query heads the queue: a 4-node chain over
+     same-label complete graphs whose search alone crosses the
+     scheduler quantum many times while the whole round-robin is queued
+     behind it. The PR4 incarnation of this bench ran only cheap
+     selective queries, so `yields` sat at 0 and the preemption path
+     was never exercised — now it is asserted nonzero. *)
+  let bombs = List.init 4 (fun _ ->
+      let n = 7 in
+      let edges = ref [] in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          edges := (i, j) :: !edges
+        done
+      done;
+      Graph.of_labeled ~labels:(Array.make n "A") !edges)
+  in
+  let docs = ("K", bombs) :: docs in
+  let bomb_query =
+    {|for graph P { node a where label="A"; node b where label="A"; node c where label="A"; node d where label="A"; edge e1 (a, b); edge e2 (b, c); edge e3 (c, d); } exhaustive in doc("K") return graph { node m <n=3>; }|}
+  in
   (* round-robin over the pool: every query text after round one is a
      repeat, so the second occurrence onwards must hit the caches *)
-  let queries = List.concat (List.init rounds (fun _ -> distinct)) in
+  let queries =
+    bomb_query :: List.concat (List.init rounds (fun _ -> distinct))
+  in
   let n = List.length queries in
   let count_returned r = List.length (Eval.returned r) in
   let run_seq () =
@@ -1054,7 +1268,7 @@ let exec_service () =
   ignore (run_seq ()) (* warmup: page in both datasets *);
   let seq_returned, t_seq = time run_seq in
   let (outcomes, svc), t_batch =
-    time (fun () -> Service.run_batch ~jobs:2 ~docs queries)
+    time (fun () -> Service.run_batch ~jobs:2 ~quantum:512 ~docs queries)
   in
   let batch_returned =
     List.fold_left
@@ -1104,6 +1318,11 @@ let exec_service () =
   end;
   if hits = 0 then begin
     Printf.eprintf "FAIL: no exec.cache.hit on a repeated workload\n";
+    exit 1
+  end;
+  if yields = 0 then begin
+    Printf.eprintf
+      "FAIL: no exec.queue.yields — the workload never crossed the quantum\n";
     exit 1
   end;
   if speedup < 2.0 then begin

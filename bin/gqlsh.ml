@@ -69,6 +69,15 @@ let strategy_of_string = function
     { Gql_matcher.Engine.optimized with retrieval = `Subgraphs }
   | s -> Error.raise_ (Error.Usage (Printf.sprintf "unknown strategy %S" s))
 
+(* --domains N overrides the strategy's search-phase parallelism; the
+   work-stealing engine only engages above 1. *)
+let with_domains domains strategy =
+  match domains with
+  | None -> strategy
+  | Some d when d >= 1 -> { strategy with Gql_matcher.Engine.search_domains = d }
+  | Some d ->
+    Error.raise_ (Error.Usage (Printf.sprintf "--domains must be >= 1, got %d" d))
+
 let budget_of timeout max_visited =
   match (timeout, max_visited) with
   | None, None -> None
@@ -108,13 +117,20 @@ let finish_with stopped what =
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_cmd query_file docs timeout max_visited verbose =
+let run_cmd query_file docs domains timeout max_visited verbose =
   guarded (fun () ->
       let docs = parse_docs docs in
+      let strategy =
+        Option.map
+          (fun _ -> with_domains domains Gql_matcher.Engine.optimized)
+          domains
+      in
       (* the deadline clock starts after the inputs are loaded: it
          governs query execution, not file parsing *)
       let budget = budget_of timeout max_visited in
-      let result = Gql.run_query ~docs ?budget (read_file query_file) in
+      let result =
+        Gql.run_query ~docs ?strategy ?budget (read_file query_file)
+      in
       List.iter
         (fun (name, g) ->
           Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
@@ -166,17 +182,23 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let batch_cmd batch_file docs jobs quantum timeout json verbose =
+let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
   guarded (fun () ->
       let module Service = Gql_exec.Service in
       let module M = Gql_obs.Metrics in
       let queries = split_batch (read_file batch_file) in
       if queries = [] then
         Error.raise_ (Error.Usage "batch file contains no queries");
+      (match domains with
+      | Some d when d < 1 ->
+        Error.raise_
+          (Error.Usage (Printf.sprintf "--domains must be >= 1, got %d" d))
+      | _ -> ());
       let docs = parse_docs docs in
       let t0 = Unix.gettimeofday () in
       let outcomes, svc =
-        Service.run_batch ?jobs ?quantum ?deadline:timeout ~docs queries
+        Service.run_batch ?jobs ?search_domains:domains ?quantum
+          ?deadline:timeout ~docs queries
       in
       let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
       let exit_code = ref 0 in
@@ -260,10 +282,10 @@ let batch_cmd batch_file docs jobs quantum timeout json verbose =
 
 (* --- match -------------------------------------------------------------- *)
 
-let match_cmd pattern_file graph_file strategy exhaustive limit timeout
+let match_cmd pattern_file graph_file strategy domains exhaustive limit timeout
     max_visited verbose =
   guarded (fun () ->
-      let strategy = strategy_of_string strategy in
+      let strategy = with_domains domains (strategy_of_string strategy) in
       let graphs = load_collection graph_file in
       let patterns = Gql.patterns_of_string (read_file pattern_file) in
       let entries = List.map (fun g -> Algebra.G g) graphs in
@@ -286,7 +308,7 @@ let match_cmd pattern_file graph_file strategy exhaustive limit timeout
 
 (* --- explain ------------------------------------------------------------ *)
 
-let explain_cmd query_file analyze json docs timeout max_visited =
+let explain_cmd query_file analyze json docs domains timeout max_visited =
   guarded (fun () ->
       let src = read_file query_file in
       if not analyze then begin
@@ -304,10 +326,15 @@ let explain_cmd query_file analyze json docs timeout max_visited =
         let module M = Gql_obs.Metrics in
         let metrics = M.create () in
         let docs = M.with_span metrics "load" (fun () -> parse_docs ~metrics docs) in
+        let strategy =
+          Option.map
+            (fun _ -> with_domains domains Gql_matcher.Engine.optimized)
+            domains
+        in
         let budget = budget_of timeout max_visited in
         let result =
           M.with_span metrics "query" (fun () ->
-              Gql.run_query ~docs ?budget ~metrics src)
+              Gql.run_query ~docs ?strategy ?budget ~metrics src)
         in
         if json then print_string (M.to_json metrics)
         else begin
@@ -447,6 +474,17 @@ let max_visited_arg =
           "Per-search budget of search-tree expansions (Check calls); exit \
            code 124 when a search is stopped by it.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Domains for the search phase of each pattern match. Above 1 the \
+           search runs on the work-stealing parallel engine; for batch, this \
+           sets the per-query split (default: the cores the job pool leaves \
+           idle).")
+
 let run_term =
   let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
   let docs =
@@ -456,7 +494,9 @@ let run_term =
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.") in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
-    Term.(const run_cmd $ query $ docs $ timeout_arg $ max_visited_arg $ verbose)
+    Term.(
+      const run_cmd $ query $ docs $ domains_arg $ timeout_arg
+      $ max_visited_arg $ verbose)
 
 let batch_term =
   let batch =
@@ -491,8 +531,8 @@ let batch_term =
              query service (shared caches, fair scheduling, per-query \
              deadlines)")
     Term.(
-      const batch_cmd $ batch $ docs $ jobs $ quantum $ timeout_arg $ json
-      $ verbose)
+      const batch_cmd $ batch $ docs $ jobs $ domains_arg $ quantum
+      $ timeout_arg $ json $ verbose)
 
 let match_term =
   let pattern =
@@ -517,8 +557,8 @@ let match_term =
   Cmd.v
     (Cmd.info "match" ~doc:"Run the selection operator (graph pattern matching)")
     Term.(
-      const match_cmd $ pattern $ graph $ strategy $ exhaustive $ limit
-      $ timeout_arg $ max_visited_arg $ verbose)
+      const match_cmd $ pattern $ graph $ strategy $ domains_arg $ exhaustive
+      $ limit $ timeout_arg $ max_visited_arg $ verbose)
 
 let docs_arg =
   Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE"
@@ -542,8 +582,8 @@ let explain_term =
        ~doc:"Print the algebra expression a program compiles to (§3.4); with \
              --analyze, execute it and report observed spans and counters")
     Term.(
-      const explain_cmd $ query $ analyze $ json $ docs_arg $ timeout_arg
-      $ max_visited_arg)
+      const explain_cmd $ query $ analyze $ json $ docs_arg $ domains_arg
+      $ timeout_arg $ max_visited_arg)
 
 let stats_term =
   let graph = Arg.(required & pos 0 (some file) None & info [] ~docv:"G.gql") in

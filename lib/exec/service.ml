@@ -47,6 +47,7 @@ type t = {
   cache : Cache.t;
   strategy : Engine.strategy;
   quantum : int;
+  search_domains : int;  (* intra-query fan-out when the queue is idle *)
   (* work queue *)
   q_mutex : Mutex.t;
   q_cond : Condition.t;
@@ -107,9 +108,31 @@ let cached_run t job ~exhaustive p g =
   let fallback () =
     (Engine.run ~strategy:s ~exhaustive ~budget ~metrics p g).Engine.outcome
   in
+  (* Inter- vs intra-query split: while other work is queued, every
+     domain runs its own query (inter-query parallelism, caches hot);
+     when this is the only live query and it is about to walk a big
+     search space, fan the search itself out over the work-stealing
+     engine so a lone heavy query no longer runs single-threaded while
+     the pool idles. Tiny searches stay sequential — domain spawn/join
+     costs more than they do. *)
   let search ~order space =
     M.with_span metrics "search" (fun () ->
-        Search.run ~exhaustive ~budget ~metrics ~order p g space)
+        let domains =
+          if t.search_domains <= 1 || queue_nonempty t then 1
+          else t.search_domains
+        in
+        let heavy =
+          Array.length order > 0
+          && Array.length space.Feasible.candidates.(order.(0)) > 1
+          && Feasible.log10_size space >= 3.0
+        in
+        if domains > 1 && heavy then
+          (* the work-stealing engine has no [exhaustive] switch;
+             first-match mode is a global limit of 1 *)
+          let limit = if exhaustive then None else Some 1 in
+          Gql_matcher.Ws.search ~domains ?limit ~budget ~metrics ~order p g
+            space
+        else Search.run ~exhaustive ~budget ~metrics ~order p g space)
   in
   match s.Engine.retrieval with
   | `Subgraphs -> fallback ()
@@ -306,8 +329,9 @@ let worker t () =
 
 (* --- public API ------------------------------------------------------------ *)
 
-let create ?jobs ?(quantum = 4096) ?(strategy = Engine.optimized)
-    ?plan_capacity ?retrieval_budget_bytes ?(docs = []) () =
+let create ?jobs ?search_domains ?(quantum = 4096)
+    ?(strategy = Engine.optimized) ?plan_capacity ?retrieval_budget_bytes
+    ?(docs = []) () =
   if quantum <= 0 then invalid_arg "Service.create: quantum <= 0";
   let jobs =
     match jobs with
@@ -315,11 +339,21 @@ let create ?jobs ?(quantum = 4096) ?(strategy = Engine.optimized)
     | Some _ -> invalid_arg "Service.create: jobs <= 0"
     | None -> min 8 (Domain.recommended_domain_count ())
   in
+  let search_domains =
+    match search_domains with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Service.create: search_domains <= 0"
+    | None ->
+      (* split the machine between the two axes: whatever the job pool
+         leaves unused goes to intra-query fan-out *)
+      max 1 (Domain.recommended_domain_count () / jobs)
+  in
   let t =
     {
       cache = Cache.create ?plan_capacity ?retrieval_budget_bytes ();
       strategy;
       quantum;
+      search_domains;
       q_mutex = Mutex.create ();
       q_cond = Condition.create ();
       queue = Queue.create ();
@@ -398,11 +432,11 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let run_batch ?jobs ?quantum ?strategy ?plan_capacity ?retrieval_budget_bytes
-    ?docs ?deadline queries =
+let run_batch ?jobs ?search_domains ?quantum ?strategy ?plan_capacity
+    ?retrieval_budget_bytes ?docs ?deadline queries =
   let t =
-    create ?jobs ?quantum ?strategy ?plan_capacity ?retrieval_budget_bytes
-      ?docs ()
+    create ?jobs ?search_domains ?quantum ?strategy ?plan_capacity
+      ?retrieval_budget_bytes ?docs ()
   in
   List.iter (fun q -> ignore (submit t ?deadline q)) queries;
   let out = drain t in

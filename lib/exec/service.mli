@@ -54,6 +54,7 @@ type t
 
 val create :
   ?jobs:int ->
+  ?search_domains:int ->
   ?quantum:int ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?plan_capacity:int ->
@@ -66,7 +67,16 @@ val create :
     4096) is the per-slice visited-node allowance before a query offers
     to yield. [strategy] (default [Engine.optimized]) is fixed for the
     whole service — the plan cache is only sound for a single strategy.
-    [`Subgraphs] retrieval bypasses the caches entirely. *)
+    [`Subgraphs] retrieval bypasses the caches entirely.
+
+    [search_domains] splits the machine between inter- and intra-query
+    parallelism: when a query reaches its search phase with {e nothing
+    else queued} and a non-trivial candidate space, the search runs on
+    the work-stealing engine with this many domains instead of
+    sequentially. Defaults to
+    [max 1 (Domain.recommended_domain_count () / jobs)] — the cores the
+    job pool leaves idle. Cached (warm-plan) searches use it too; the
+    [`Subgraphs] fallback path stays sequential. *)
 
 val submit : t -> ?deadline:float -> string -> int
 (** Enqueue a query (source text), returning its job id. [deadline] is
@@ -98,6 +108,7 @@ val shutdown : t -> unit
 
 val run_batch :
   ?jobs:int ->
+  ?search_domains:int ->
   ?quantum:int ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?plan_capacity:int ->

@@ -104,3 +104,68 @@ let semi_perfect g =
       done;
       !ok)
   && hopcroft_karp g = g.nl
+
+(* --- packed word rows ---------------------------------------------------- *)
+
+let bpw = Bitset.bits_per_word
+
+(* number of trailing zeros of a one-bit word *)
+let ntz_pow2 b = Bitset.popcount (b - 1)
+
+let kuhn_packed ~nl ~nr ~stride rows =
+  let match_r = Array.make nr (-1) in
+  let visited = Array.make stride 0 in
+  (* augmenting-path DFS where the candidate set at each left vertex is
+     row ∧ ¬visited, evaluated a word at a time: a 63-neighbor row
+     costs one mask instead of 63 per-element visited tests *)
+  let rec try_augment l =
+    let base = l * stride in
+    let rec scan wi =
+      if wi >= stride then false
+      else
+        let w =
+          Array.unsafe_get rows (base + wi) land lnot (Array.unsafe_get visited wi)
+        in
+        if w = 0 then scan (wi + 1) else try_bits wi w
+    and try_bits wi w =
+      if w = 0 then scan (wi + 1)
+      else begin
+        let b = w land -w in
+        let rest = w land (w - 1) in
+        (* the recursive call below may have visited this bit already *)
+        if Array.unsafe_get visited wi land b <> 0 then try_bits wi rest
+        else begin
+          Array.unsafe_set visited wi (Array.unsafe_get visited wi lor b);
+          let r = (wi * bpw) + ntz_pow2 b in
+          if match_r.(r) < 0 || try_augment match_r.(r) then begin
+            match_r.(r) <- l;
+            true
+          end
+          else try_bits wi rest
+        end
+      end
+    in
+    scan 0
+  in
+  let size = ref 0 in
+  for l = 0 to nl - 1 do
+    Array.fill visited 0 stride 0;
+    if try_augment l then incr size
+  done;
+  !size
+
+let semi_perfect_packed ~nl ~nr ~stride rows =
+  nr >= nl
+  && (let ok = ref true in
+      let l = ref 0 in
+      while !ok && !l < nl do
+        let base = !l * stride in
+        let any = ref false in
+        for wi = 0 to stride - 1 do
+          if Array.unsafe_get rows (base + wi) <> 0 then any := true
+        done;
+        if not !any then ok := false;
+        incr l
+      done;
+      !ok)
+  && kuhn_packed ~nl ~nr ~stride rows = nl

@@ -1,0 +1,68 @@
+(* Work-stealing deque with the Chase–Lev owner/thief discipline: the
+   owner pushes and pops at the bottom (LIFO — deepest, smallest
+   subtree first, preserving DFS locality), thieves take from the top
+   (FIFO — the oldest entry, which under lazy task exposure is the
+   shallowest and therefore biggest pending subtree).
+
+   Unlike the lock-free original, each deque carries a private mutex:
+   the search engine exposes at most a handful of tasks per deque (one
+   per open level, see Ws), so operations are rare — a steal happens
+   once per idle transition, a push once per exposed level — and a
+   16-byte critical section is far below measurement noise next to the
+   thousands of Check calls each task represents. The [length] used by
+   the owner's exposure heuristic is an Atomic so the unsynchronised
+   read from the owner loop is well-defined. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  mutable items : 'a list;  (* head = bottom (owner end) *)
+  len : int Atomic.t;
+}
+
+let create () = { lock = Mutex.create (); items = []; len = Atomic.make 0 }
+
+let length t = Atomic.get t.len
+let is_empty t = Atomic.get t.len = 0
+
+let push t x =
+  Mutex.lock t.lock;
+  t.items <- x :: t.items;
+  Atomic.incr t.len;
+  Mutex.unlock t.lock
+
+let pop t =
+  Mutex.lock t.lock;
+  let r =
+    match t.items with
+    | [] -> None
+    | x :: tl ->
+      t.items <- tl;
+      Atomic.decr t.len;
+      Some x
+  in
+  Mutex.unlock t.lock;
+  r
+
+let steal t =
+  Mutex.lock t.lock;
+  let r =
+    match t.items with
+    | [] -> None
+    | [ x ] ->
+      t.items <- [];
+      Atomic.decr t.len;
+      Some x
+    | items ->
+      (* take the last element — the top / oldest / shallowest *)
+      let rec split acc = function
+        | [ x ] -> (List.rev acc, x)
+        | x :: tl -> split (x :: acc) tl
+        | [] -> assert false
+      in
+      let rest, x = split [] items in
+      t.items <- rest;
+      Atomic.decr t.len;
+      Some x
+  in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,25 @@
+(** Work-stealing deque (Chase–Lev owner/thief discipline, lock-based).
+
+    The owner of a deque pushes and pops at the bottom in LIFO order;
+    thieves steal from the top in FIFO order, so under lazy task
+    exposure a thief always receives the {e shallowest} — largest —
+    pending subtree. See DESIGN.md §13 for why a mutex (rather than the
+    lock-free Chase–Lev buffer) is the right trade here. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner: push at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner: pop the most recently pushed element (bottom, LIFO). *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest element (top, FIFO). Safe from any domain. *)
+
+val length : 'a t -> int
+(** Racy-read friendly (Atomic); exact only between operations. *)
+
+val is_empty : 'a t -> bool

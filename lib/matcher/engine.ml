@@ -5,6 +5,7 @@ type strategy = {
   refine_level : int option;
   optimize_order : bool;
   cost_model : Cost.model option;
+  search_domains : int;
 }
 
 let optimized =
@@ -14,6 +15,7 @@ let optimized =
     refine_level = None;
     optimize_order = true;
     cost_model = None;
+    search_domains = 1;
   }
 
 let baseline =
@@ -23,6 +25,7 @@ let baseline =
     refine_level = None;
     optimize_order = false;
     cost_model = None;
+    search_domains = 1;
   }
 
 let strategy_name s =
@@ -136,8 +139,18 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
       | None ->
         let outcome, t_search =
           phase_timed "search" (fun () ->
-              Search.run ~exhaustive ?limit ~budget ~metrics ~order p g
-                space_refined)
+              if strategy.search_domains > 1 then
+                (* the work-stealing engine has no [exhaustive] switch;
+                   first-match mode is a global limit of 1 *)
+                let limit =
+                  if exhaustive then limit
+                  else Some (match limit with Some l -> min l 1 | None -> 1)
+                in
+                Ws.search ~domains:strategy.search_domains ?limit ~budget
+                  ~metrics ~order p g space_refined
+              else
+                Search.run ~exhaustive ?limit ~budget ~metrics ~order p g
+                  space_refined)
         in
         let stopped_in =
           match outcome.Search.stopped with

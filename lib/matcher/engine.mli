@@ -19,6 +19,10 @@ type strategy = {
   refine_level : int option;  (** default: pattern size *)
   optimize_order : bool;
   cost_model : Cost.model option;  (** default: constant γ = 0.5 *)
+  search_domains : int;
+  (** > 1: run the search phase on the work-stealing parallel engine
+      ({!Ws.search}) with that many domains. Default 1 (sequential) in
+      both named strategies; [gqlsh --domains N] overrides it. *)
 }
 
 val optimized : strategy

@@ -26,10 +26,11 @@ let mem space u v =
 
 let base_candidates ?label_index p g u =
   match Flat_pattern.required_label p u, label_index with
-  | Some l, Some idx -> Gql_index.Label_index.nodes_with_label idx l
+  | Some l, Some idx ->
+    Array.of_list (Gql_index.Label_index.nodes_with_label idx l)
   | _ ->
-    (* full scan *)
-    Graph.fold_nodes g ~init:[] ~f:(fun acc v -> v :: acc) |> List.rev
+    (* full scan; node ids are dense 0..n-1 *)
+    Array.init (Graph.n_nodes g) (fun v -> v)
 
 let resolve_pidx ~retrieval ~profile_index g =
   match retrieval with
@@ -42,14 +43,16 @@ let resolve_pidx ~retrieval ~profile_index g =
 
 let row ~retrieval ~metrics ~label_index ~pidx p g u =
   let module M = Gql_obs.Metrics in
+  (* [base] is ours (freshly built by [base_candidates]), so the
+     pipeline compacts survivors into it in place: one allocation per
+     row, no intermediate consed lists *)
   let base = base_candidates ?label_index p g u in
-  if M.enabled metrics then M.add metrics M.Retrieval_scanned (List.length base);
-  let filtered =
-    List.filter (fun v -> Flat_pattern.node_compat p g u v) base
-  in
-  let pruned =
+  if M.enabled metrics then
+    M.add metrics M.Retrieval_scanned (Array.length base);
+  let deep =
+    (* second-stage predicate, applied after the node_compat gate *)
     match retrieval, pidx with
-    | `Node_attrs, _ | _, None -> filtered
+    | `Node_attrs, _ | _, None -> None
     | `Profiles, Some idx ->
       let r = Gql_index.Profile_index.radius idx in
       let pprof = Flat_pattern.profile p ~r u in
@@ -66,11 +69,11 @@ let row ~retrieval ~metrics ~label_index ~pidx p g u =
           ok
         else keep
       in
-      List.filter keep filtered
+      Some keep
     | `Subgraphs, Some idx ->
       let r = Gql_index.Profile_index.radius idx in
       let pnbh = Flat_pattern.neighborhood p ~r u in
-      List.filter
+      Some
         (fun v ->
           (* quick reject by profile first: sound and cheap *)
           let vnbh = Gql_index.Profile_index.neighborhood idx v in
@@ -83,9 +86,26 @@ let row ~retrieval ~metrics ~label_index ~pidx p g u =
             ~pattern_root:pnbh.Neighborhood.center
             ~target:vnbh.Neighborhood.graph
             ~target_root:vnbh.Neighborhood.center)
-        filtered
   in
-  let row = Array.of_list pruned in
+  let m = ref 0 in
+  (match deep with
+  | None ->
+    for i = 0 to Array.length base - 1 do
+      let v = Array.unsafe_get base i in
+      if Flat_pattern.node_compat p g u v then begin
+        Array.unsafe_set base !m v;
+        incr m
+      end
+    done
+  | Some keep ->
+    for i = 0 to Array.length base - 1 do
+      let v = Array.unsafe_get base i in
+      if Flat_pattern.node_compat p g u v && keep v then begin
+        Array.unsafe_set base !m v;
+        incr m
+      end
+    done);
+  let row = if !m = Array.length base then base else Array.sub base 0 !m in
   if M.enabled metrics then begin
     M.add metrics M.Retrieval_candidates (Array.length row);
     M.observe metrics M.Candidate_set_size (Array.length row)

@@ -1,4 +1,4 @@
-let default_domains () = min 8 (Domain.recommended_domain_count ())
+let default_domains () = Ws.default_domains ()
 
 let slices k xs =
   (* round-robin so dense candidate regions spread across domains *)
@@ -16,8 +16,13 @@ let min_opt a b =
   | None, x | x, None -> x
   | Some a, Some b -> Some (min a b)
 
-let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
-    ?(metrics = Gql_obs.Metrics.disabled) p g space =
+(* The PR4-era static engine: Φ(u₁) is round-robin partitioned once and
+   each domain runs the sequential search on its slice. Kept as the
+   baseline the work-stealing engine is benchmarked against (bench
+   `parallel`), and as a property-test cross-check. *)
+let search_static ?domains ?order ?limit ?limit_per_domain
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled) p g
+    space =
   let module M = Gql_obs.Metrics in
   let k = Flat_pattern.size p in
   let n_domains = max 1 (Option.value domains ~default:(default_domains ())) in
@@ -131,6 +136,8 @@ let search ?domains ?order ?limit ?limit_per_domain ?(budget = Budget.unlimited)
     in
     { Search.mappings = List.rev rev_mappings; n_found; visited; stopped }
   end
+
+let search = Ws.search
 
 let count_matches ?domains ?budget ?(strategy = Engine.optimized) p g =
   let space =

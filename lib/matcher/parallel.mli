@@ -1,9 +1,13 @@
 (** Parallel graph pattern matching (OCaml 5 domains).
 
     §7's scalability direction: the Algorithm 4.1 search parallelizes
-    naturally by partitioning the candidate set of the first node in
-    the search order — each domain explores a disjoint slice of
-    Φ(u₁) × …, over the same immutable graph and candidate space.
+    naturally over the Φ(u₁) × … product space. Since PR5 the default
+    engine is {e work-stealing} ({!Ws}): domains start from seed slices
+    of Φ(u₁) but rebalance by stealing the shallowest pending subtree
+    from a busy sibling, so a skewed Φ(u₁) no longer strands the work
+    on one domain. The historical static-slicing engine survives as
+    {!search_static} (benchmark baseline and property-test
+    cross-check).
 
     Retrieval, refinement and ordering stay sequential (they are a
     small fraction of the time on selective queries); only the search
@@ -27,9 +31,11 @@ val search :
   Graph.t ->
   Feasible.space ->
   Search.outcome
-(** [domains] defaults to [Domain.recommended_domain_count ()], capped
-    at 8. Mapping order differs from the sequential search (slices
-    complete independently); counts are identical.
+(** Work-stealing engine (alias of {!Ws.search}). [domains] defaults to
+    [Domain.recommended_domain_count ()] — uncapped, and an explicit
+    [?domains] above that is honored. Mapping order differs from the
+    sequential search (subtrees complete independently); the mapping
+    {e set} and counts are identical.
 
     [limit] is a {e global} cap: the merged outcome holds exactly
     [min limit total] mappings, enforced with an atomic ticket counter
@@ -53,8 +59,27 @@ val search :
     per-domain Check calls.
 
     [metrics]: each domain records into a private instance (no shared
-    mutable state on the hot path) and the per-domain counters are
-    merged into the caller's metrics after every domain has joined. *)
+    mutable state on the hot path) and the per-domain counters —
+    including [parallel.steals] / [parallel.tasks_spawned] /
+    [parallel.idle_polls] — are merged into the caller's metrics after
+    every domain has joined. *)
+
+val search_static :
+  ?domains:int ->
+  ?order:int array ->
+  ?limit:int ->
+  ?limit_per_domain:int ->
+  ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Search.outcome
+(** The PR4-era engine: Φ(u₁) round-robin partitioned into one static
+    slice per domain, no rebalancing. Same limit / budget / exception
+    contract as {!search}. Kept as the bench baseline for the
+    work-stealing engine and as a second implementation for property
+    tests; new callers should use {!search}. *)
 
 val count_matches :
   ?domains:int ->

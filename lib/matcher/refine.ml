@@ -8,12 +8,15 @@ type stats = {
 
 (* Per-refinement memo: pattern neighborhoods are precomputed (k is
    small), data-graph neighborhoods are filled on first touch, and the
-   bipartite adjacency is a scratch buffer reused across every
-   [has_semi_perfect] call instead of being reallocated per pair. *)
+   bipartite adjacency — packed word rows for the default engine, a
+   list-of-lists buffer for the historical one — is a scratch reused
+   across every semi-perfect check instead of being reallocated per
+   pair. *)
 type memo = {
   pat_nbrs : int array array;
   g_nbrs : int array option array;
-  mutable bip_adj : int list array;
+  mutable row_words : int array;  (* nl × stride packed rows *)
+  mutable bip_adj : int list array;  (* list-based baseline scratch *)
 }
 
 let make_memo p g =
@@ -22,6 +25,7 @@ let make_memo p g =
       Array.init (Flat_pattern.size p) (fun u ->
           Graph.undirected_neighbor_ids p.Flat_pattern.structure u);
     g_nbrs = Array.make (Graph.n_nodes g) None;
+    row_words = Array.make 64 0;
     bip_adj = Array.make 8 [];
   }
 
@@ -33,9 +37,57 @@ let graph_nbrs memo g v =
     memo.g_nbrs.(v) <- Some ns;
     ns
 
+let bpw = Bitset.bits_per_word
+
 (* B(u,v): left = neighbors of u in the pattern, right = neighbors of v
-   in the graph, edge iff v' ∈ Φ(u'). *)
+   in the graph, edge iff v' ∈ Φ(u').  Rows are built as packed bit
+   words (no consing), an empty row aborts before any matching runs,
+   and the augmenting-path search intersects row ∧ ¬visited one word at
+   a time. *)
 let has_semi_perfect memo g phi u v =
+  let nu = memo.pat_nbrs.(u) in
+  let nl = Array.length nu in
+  if nl = 0 then true
+  else begin
+    let nv = graph_nbrs memo g v in
+    let nr = Array.length nv in
+    if nr < nl then false
+    else begin
+      let stride = (nr + bpw - 1) / bpw in
+      let need = nl * stride in
+      if need > Array.length memo.row_words then
+        memo.row_words <-
+          Array.make (max need (2 * Array.length memo.row_words)) 0;
+      let rows = memo.row_words in
+      let ok = ref true in
+      let li = ref 0 in
+      while !ok && !li < nl do
+        let phi_u' = phi.(nu.(!li)) in
+        let base = !li * stride in
+        Array.fill rows base stride 0;
+        let any = ref false in
+        for j = 0 to nr - 1 do
+          if Bitset.unsafe_mem phi_u' (Array.unsafe_get nv j) then begin
+            let q = j / bpw in
+            let wi = base + q in
+            Array.unsafe_set rows wi
+              (Array.unsafe_get rows wi lor (1 lsl (j - (q * bpw))));
+            any := true
+          end
+        done;
+        if not !any then ok := false;
+        incr li
+      done;
+      !ok
+      && (nl = 1 (* a nonempty single row is trivially saturable *)
+         || Bipartite.kuhn_packed ~nl ~nr ~stride rows = nl)
+    end
+  end
+
+(* The PR1-era check: rows consed as int lists, Hopcroft–Karp over
+   them. Kept as the bench baseline (micro.refine_ppi) and as a second
+   implementation for the equivalence property tests. *)
+let has_semi_perfect_lists memo g phi u v =
   let nu = memo.pat_nbrs.(u) in
   let nv = graph_nbrs memo g v in
   let nl = Array.length nu and nr = Array.length nv in
@@ -63,7 +115,7 @@ let record_stats metrics (st : stats) =
     M.add metrics M.Refine_removed st.removed
   end
 
-let refine ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
+let refine_with check ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   let k = Flat_pattern.size p in
   let n = Graph.n_nodes g in
   let level = Option.value level ~default:k in
@@ -88,7 +140,7 @@ let refine ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
               batch *)
            if Hashtbl.mem marked (u, v) && Bitset.mem phi.(u) v then begin
              incr pairs_checked;
-             if has_semi_perfect memo g phi u v then Hashtbl.remove marked (u, v)
+             if check memo g phi u v then Hashtbl.remove marked (u, v)
              else begin
                Hashtbl.remove marked (u, v);
                Bitset.remove phi.(u) v;
@@ -111,6 +163,12 @@ let refine ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   record_stats metrics st;
   (to_space k phi, st)
 
+let refine ?level ?metrics p g space =
+  refine_with has_semi_perfect ?level ?metrics p g space
+
+let refine_lists ?level ?metrics p g space =
+  refine_with has_semi_perfect_lists ?level ?metrics p g space
+
 let refine_naive ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   let k = Flat_pattern.size p in
   let n = Graph.n_nodes g in
@@ -130,7 +188,9 @@ let refine_naive ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
          Array.iter
            (fun v ->
              incr pairs_checked;
-             if not (has_semi_perfect memo g phi u v) then begin
+             (* the lists-based check: the oracle stays on the
+                independent implementation *)
+             if not (has_semi_perfect_lists memo g phi u v) then begin
                Bitset.remove phi.(u) v;
                incr removed;
                changed := true

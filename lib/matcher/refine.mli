@@ -28,7 +28,25 @@ val refine :
 (** [refine p g space]: the reduced space. [level] defaults to the
     pattern size, the setting used in the experiments (§5.1). The input
     space is not mutated. [metrics] (default disabled) receives the
-    returned {!stats} as counters. *)
+    returned {!stats} as counters.
+
+    The bipartite rows are built as packed bit words in a reused
+    scratch (no consing); an isolated left vertex aborts the check
+    before any matching runs, and the matching itself
+    ({!Bipartite.kuhn_packed}) intersects rows with the visited mask a
+    word at a time. *)
+
+val refine_lists :
+  ?level:int ->
+  ?metrics:Gql_obs.Metrics.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Feasible.space * stats
+(** The PR1-era engine: bipartite rows consed as int lists, matched
+    with Hopcroft–Karp. Same worklist, same fixpoint — kept as the
+    bench baseline for the word-packed {!refine} and as an independent
+    implementation for equivalence tests. *)
 
 val refine_naive :
   ?level:int ->

@@ -38,6 +38,57 @@ let back_edges p order =
         triv = Array.map (fun (_, e, _) -> Flat_pattern.edge_always_compat p e) arr;
       })
 
+(* Check(uᵢ, v), structural part: every pattern edge from uᵢ to an
+   already-mapped node needs a compatible data edge. Each probe is a
+   binary search over the sorted adjacency row of the mapped source,
+   then a scan of the contiguous parallel-edge run — no hash lookups,
+   no allocation. Shared by the sequential engine below and the
+   work-stealing one in {!Ws}. *)
+let node_check ~g ~p ~pattern_directed (back : back array) (phi : int array) i v
+    =
+  let b = Array.unsafe_get back i in
+  let nb = Array.length b.pe in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < nb do
+    let v' = phi.(Array.unsafe_get b.other !j) in
+    let out = Array.unsafe_get b.is_out !j in
+    let s = if out then v else v' in
+    let d = if out then v' else v in
+    let row = Graph.adj_nbrs g s in
+    let n = Array.length row in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) lsr 1 in
+      if Array.unsafe_get row mid < d then lo := mid + 1 else hi := mid
+    done;
+    if !lo >= n || Array.unsafe_get row !lo <> d then ok := false
+    else if (not pattern_directed) && Array.unsafe_get b.triv !j then
+      (* unconstrained undirected pattern edge: membership suffices *)
+      ()
+    else begin
+      let pe = Array.unsafe_get b.pe !j in
+      let triv = Array.unsafe_get b.triv !j in
+      let eids = Graph.adj_eids g s in
+      let found = ref false in
+      while (not !found) && !lo < n && Array.unsafe_get row !lo = d do
+        let ge = Array.unsafe_get eids !lo in
+        let oriented =
+          (not pattern_directed)
+          ||
+          let e = Graph.edge g ge in
+          e.Graph.src = s && e.Graph.dst = d
+        in
+        if oriented && (triv || Flat_pattern.edge_compat p g pe ge) then
+          found := true
+        else incr lo
+      done;
+      if not !found then ok := false
+    end;
+    incr j
+  done;
+  !ok
+
 let generic_run ?(budget = Budget.unlimited)
     ?(metrics = Gql_obs.Metrics.disabled) ?(order = [||]) p g space ~on_match =
   let k = Flat_pattern.size p in
@@ -63,10 +114,6 @@ let generic_run ?(budget = Budget.unlimited)
      calls so the hot loop never measurably slows down. *)
   let max_visited = Budget.max_visited budget in
   let poll_mask = Budget.check_interval - 1 in
-  (* Check(uᵢ, v): every pattern edge from uᵢ to an already-mapped node
-     needs a compatible data edge. Each probe is a binary search over
-     the sorted adjacency row of the mapped source, then a scan of the
-     contiguous parallel-edge run — no hash lookups, no allocation. *)
   let check i v =
     incr visited;
     let vis = !visited in
@@ -83,50 +130,7 @@ let generic_run ?(budget = Budget.unlimited)
         true
       | None -> false
     then false
-    else begin
-      let b = back.(i) in
-      let nb = Array.length b.pe in
-      let ok = ref true in
-      let j = ref 0 in
-      while !ok && !j < nb do
-        let v' = phi.(Array.unsafe_get b.other !j) in
-        let out = Array.unsafe_get b.is_out !j in
-        let s = if out then v else v' in
-        let d = if out then v' else v in
-        let row = Graph.adj_nbrs g s in
-        let n = Array.length row in
-        let lo = ref 0 and hi = ref n in
-        while !lo < !hi do
-          let mid = (!lo + !hi) lsr 1 in
-          if Array.unsafe_get row mid < d then lo := mid + 1 else hi := mid
-        done;
-        if !lo >= n || Array.unsafe_get row !lo <> d then ok := false
-        else if (not pattern_directed) && Array.unsafe_get b.triv !j then
-          (* unconstrained undirected pattern edge: membership suffices *)
-          ()
-        else begin
-          let pe = Array.unsafe_get b.pe !j in
-          let triv = Array.unsafe_get b.triv !j in
-          let eids = Graph.adj_eids g s in
-          let found = ref false in
-          while (not !found) && !lo < n && Array.unsafe_get row !lo = d do
-            let ge = Array.unsafe_get eids !lo in
-            let oriented =
-              (not pattern_directed)
-              ||
-              let e = Graph.edge g ge in
-              e.Graph.src = s && e.Graph.dst = d
-            in
-            if oriented && (triv || Flat_pattern.edge_compat p g pe ge) then
-              found := true
-            else incr lo
-          done;
-          if not !found then ok := false
-        end;
-        incr j
-      done;
-      !ok
-    end
+    else node_check ~g ~p ~pattern_directed back phi i v
   in
   let rec go i =
     if !stopped then ()
@@ -145,6 +149,8 @@ let generic_run ?(budget = Budget.unlimited)
       let ci = ref 0 in
       while (not !stopped) && !ci < n do
         let v = Array.unsafe_get cands !ci in
+        (* bounds-checked used-set ops: a malformed candidate space
+           (ids beyond the graph) must raise, not corrupt the heap *)
         if (not (Bitset.mem used v)) && check i v then begin
           incr descents;
           phi.(u) <- v;

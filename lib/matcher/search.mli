@@ -26,6 +26,29 @@ type outcome = {
       stopped the search and [mappings] is the prefix found so far. *)
 }
 
+type back
+(** Precomputed back-edges (pattern edges into earlier order positions)
+    for one order position, as flat parallel arrays. *)
+
+val back_edges : Flat_pattern.t -> int array -> back array
+(** [back_edges p order]: one entry per order position. Immutable once
+    built — safe to share across domains. *)
+
+val node_check :
+  g:Graph.t ->
+  p:Flat_pattern.t ->
+  pattern_directed:bool ->
+  back array ->
+  int array ->
+  int ->
+  int ->
+  bool
+(** [node_check ~g ~p ~pattern_directed back phi i v]: may [order.(i)]
+    be mapped to [v] given the partial mapping [phi]? The structural
+    part of Check(uᵢ, v) — budget accounting is the caller's job.
+    [pattern_directed] caches [Graph.directed p.structure]. Used by the
+    work-stealing engine ({!Ws}), which runs its own visit loop. *)
+
 val run :
   ?exhaustive:bool ->
   ?limit:int ->

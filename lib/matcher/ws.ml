@@ -1,0 +1,303 @@
+(* Work-stealing parallel search.
+
+   The static slicing in [Parallel.search_static] partitions Φ(u₁) once
+   and hopes the slices are balanced; under a skewed Φ(u₁) (one hub
+   node owning almost the whole search tree) every domain but one goes
+   idle. Here each domain owns a {!Deque} of subtree tasks — a prefix
+   assignment u₁…uⱼ ↦ v₁…vⱼ plus a candidate range at level j — and:
+
+   - expands its own subtree depth-first, exactly like the sequential
+     engine (same [Search.node_check], same budget accounting);
+   - lazily exposes work: while its own deque holds fewer than
+     [expose_target] tasks and more than one candidate remains at the
+     current level, it splits off the untouched siblings as ONE task
+     (the grain adapts — nothing is exposed while the deque is primed,
+     so exposure cost is O(levels), not O(search tree));
+   - when its deque runs dry, steals from a victim's top — the oldest,
+     hence shallowest, hence biggest pending subtree — which keeps
+     steals rare;
+   - spins in a polite idle loop (budget poll + [Domain.cpu_relax],
+     backing off to a micro-sleep) until either work appears or the
+     global pending-task count hits zero.
+
+   Global ~limit, sibling cancellation, exception re-raise and
+   per-domain metrics behave exactly as in the static engine; see
+   Parallel's interface for the contract. *)
+
+open Gql_graph
+
+let default_domains () = Domain.recommended_domain_count ()
+
+type task = {
+  t_depth : int;  (* order positions 0..t_depth-1 are assigned *)
+  t_phi : int array;  (* their values, indexed by order position *)
+  t_lo : int;  (* candidates of order.(t_depth) left to explore: *)
+  t_hi : int;  (* indices [t_lo, t_hi) *)
+}
+
+(* Own-deque priming level: expose while the deque holds fewer tasks
+   than this. 2 keeps one task available to thieves even while the
+   owner is popping its own backlog, without flooding the deque. *)
+let expose_target = 2
+
+let min_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (min a b)
+
+let search ?domains ?order ?limit ?limit_per_domain
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled) p g
+    space =
+  let module M = Gql_obs.Metrics in
+  let k = Flat_pattern.size p in
+  let n_domains =
+    max 1 (Option.value domains ~default:(default_domains ()))
+  in
+  let order =
+    match order with
+    | Some o when Array.length o > 0 -> o
+    | _ -> Array.init k (fun i -> i)
+  in
+  if k = 0 || n_domains = 1 then
+    Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~metrics ~order
+      p g space
+  else if
+    Array.exists (fun c -> Array.length c = 0) space.Feasible.candidates
+  then begin
+    let stopped =
+      match Budget.poll budget with Some r -> r | None -> Budget.Exhausted
+    in
+    { Search.mappings = []; n_found = 0; visited = 0; stopped }
+  end
+  else begin
+    let u0 = order.(0) in
+    let roots = space.Feasible.candidates.(u0) in
+    let n0 = Array.length roots in
+    let siblings = Budget.token () in
+    let domain_budget = Budget.with_token budget siblings in
+    let tickets = Atomic.make 0 in
+    (* tasks sitting in a deque or currently being executed; 0 means the
+       whole tree is done and idle workers may exit *)
+    let pending = Atomic.make 0 in
+    let deques = Array.init n_domains (fun _ -> Deque.create ()) in
+    (* seed: contiguous ranges of Φ(u₁), one depth-0 task per domain —
+       the work-stealing equivalent of the static slices, except any
+       imbalance is corrected by stealing instead of suffered *)
+    let seeds = min n_domains n0 in
+    for d = 0 to seeds - 1 do
+      let lo = d * n0 / seeds and hi = (d + 1) * n0 / seeds in
+      if hi > lo then begin
+        Atomic.incr pending;
+        Deque.push deques.(d) { t_depth = 0; t_phi = [||]; t_lo = lo; t_hi = hi }
+      end
+    done;
+    let pattern_directed = Graph.directed p.Flat_pattern.structure in
+    let back = Search.back_edges p order in
+    let max_visited = Budget.max_visited domain_budget in
+    let poll_mask = Budget.check_interval - 1 in
+    let worker wid () =
+      let dm = if M.enabled metrics then M.create () else M.disabled in
+      let phi = Array.make k (-1) in
+      let used = Bitset.create (max 1 (Graph.n_nodes g)) in
+      let my_deque = deques.(wid) in
+      let results = ref [] in
+      let n = ref 0 in
+      let visited = ref 0 in
+      let descents = ref 0 in
+      let matches = ref 0 in
+      let steals = ref 0 in
+      let spawned = ref 0 in
+      let idles = ref 0 in
+      let stopped = ref false in
+      let reason = ref Budget.Exhausted in
+      let stop r =
+        reason := r;
+        stopped := true
+      in
+      let check i v =
+        incr visited;
+        let vis = !visited in
+        if vis > max_visited then begin
+          stop Budget.Step_budget;
+          false
+        end
+        else if
+          vis land poll_mask = 0
+          &&
+          match Budget.poll domain_budget with
+          | Some r ->
+            stop r;
+            true
+          | None -> false
+        then false
+        else Search.node_check ~g ~p ~pattern_directed back phi i v
+      in
+      let on_match () =
+        incr matches;
+        let accepted =
+          match limit with
+          | None -> true
+          | Some l ->
+            let ticket = Atomic.fetch_and_add tickets 1 in
+            if ticket + 1 >= l then Budget.cancel siblings;
+            ticket < l
+        in
+        if accepted then begin
+          incr n;
+          results := Array.copy phi :: !results
+        end;
+        let local_full =
+          match limit_per_domain with Some l -> !n >= l | None -> false
+        in
+        if (not accepted) || local_full then stop Budget.Hit_limit
+      in
+      (* explore candidates [lo, hi) of order.(depth) under the prefix
+         currently installed in phi/used *)
+      let rec explore depth lo hi =
+        let u = Array.unsafe_get order depth in
+        let cands = Array.unsafe_get space.Feasible.candidates u in
+        let ci = ref lo in
+        let hi = ref hi in
+        while (not !stopped) && !ci < !hi do
+          if !hi - !ci > 1 && Deque.length my_deque < expose_target then begin
+            (* split: keep the current candidate, publish the rest of
+               this level as one stealable task *)
+            Atomic.incr pending;
+            incr spawned;
+            Deque.push my_deque
+              {
+                t_depth = depth;
+                t_phi = Array.init depth (fun i -> phi.(order.(i)));
+                t_lo = !ci + 1;
+                t_hi = !hi;
+              };
+            hi := !ci + 1
+          end;
+          let v = Array.unsafe_get cands !ci in
+          (* bounds-checked used-set ops: a malformed candidate space
+             (ids beyond the graph) must raise, not corrupt the heap *)
+          if (not (Bitset.mem used v)) && check depth v then begin
+            incr descents;
+            phi.(u) <- v;
+            Bitset.add used v;
+            (if depth + 1 >= k then begin
+               if Flat_pattern.global_holds p g phi then on_match ()
+             end
+             else
+               explore (depth + 1) 0
+                 (Array.length space.Feasible.candidates.(order.(depth + 1))));
+            phi.(u) <- -1;
+            Bitset.remove used v
+          end;
+          incr ci
+        done
+      in
+      let run_task t =
+        (* adopt the prefix: it was validated when captured, and graph
+           and space are immutable, so no re-checking *)
+        for i = 0 to t.t_depth - 1 do
+          let v = t.t_phi.(i) in
+          phi.(order.(i)) <- v;
+          Bitset.unsafe_add used v
+        done;
+        Fun.protect
+          ~finally:(fun () ->
+            for i = 0 to t.t_depth - 1 do
+              phi.(order.(i)) <- -1;
+              Bitset.unsafe_remove used t.t_phi.(i)
+            done;
+            Atomic.decr pending)
+          (fun () -> explore t.t_depth t.t_lo t.t_hi)
+      in
+      let try_steal () =
+        let found = ref None in
+        let tried = ref 0 in
+        while !found = None && !tried < n_domains - 1 do
+          let victim = (wid + 1 + !tried) mod n_domains in
+          (match Deque.steal deques.(victim) with
+          | Some t -> found := Some t
+          | None -> ());
+          incr tried
+        done;
+        !found
+      in
+      (* an already-expired deadline or cancelled token must do no work *)
+      (match Budget.poll domain_budget with Some r -> stop r | None -> ());
+      let idle_rounds = ref 0 in
+      while not !stopped do
+        match Deque.pop my_deque with
+        | Some t ->
+          idle_rounds := 0;
+          run_task t
+        | None -> (
+          match try_steal () with
+          | Some t ->
+            idle_rounds := 0;
+            incr steals;
+            run_task t
+          | None ->
+            if Atomic.get pending = 0 then stopped := true
+            else begin
+              incr idles;
+              (match Budget.poll domain_budget with
+              | Some r -> stop r
+              | None ->
+                Domain.cpu_relax ();
+                incr idle_rounds;
+                (* on an oversubscribed machine spinning starves the
+                   worker that owns the remaining work; yield the core
+                   after a while *)
+                if !idle_rounds > 1000 then begin
+                  idle_rounds := 0;
+                  Unix.sleepf 1e-4
+                end)
+            end)
+      done;
+      if M.enabled dm then begin
+        M.add dm M.Search_visited !visited;
+        M.add dm M.Search_backtracks (!visited - !descents);
+        M.add dm M.Search_matches !matches;
+        M.add dm M.Parallel_steals !steals;
+        M.add dm M.Parallel_tasks_spawned !spawned;
+        M.add dm M.Parallel_idle_polls !idles
+      end;
+      (List.rev !results, !n, !visited, !reason, dm)
+    in
+    let spawned_domains =
+      List.init n_domains (fun wid ->
+          Domain.spawn (fun () ->
+              match worker wid () with
+              | outcome -> Ok outcome
+              | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                Budget.cancel siblings;
+                Error (e, bt)))
+    in
+    let joined = List.map Domain.join spawned_domains in
+    let failure =
+      List.find_map (function Error eb -> Some eb | Ok _ -> None) joined
+    in
+    (match failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    let outcomes =
+      List.filter_map (function Ok o -> Some o | Error _ -> None) joined
+    in
+    let rev_mappings, n_found, visited, reason =
+      List.fold_left
+        (fun (ms, n, vis, reason) (mappings, n_dom, visited, stopped, dm) ->
+          M.merge ~into:metrics dm;
+          ( List.rev_append mappings ms,
+            n + n_dom,
+            vis + visited,
+            Budget.worst reason stopped ))
+        ([], 0, 0, Budget.Exhausted)
+        outcomes
+    in
+    let stopped =
+      match limit with
+      | Some l when n_found >= l -> Budget.Hit_limit
+      | _ -> reason
+    in
+    { Search.mappings = List.rev rev_mappings; n_found; visited; stopped }
+  end

@@ -1,0 +1,39 @@
+(** Work-stealing parallel search engine.
+
+    Sits below {!Engine} so both the single-query pipeline and
+    {!Parallel.search} (which delegates here) can fan a search out
+    across OCaml 5 domains. Each domain owns a {!Deque} of subtree
+    tasks (prefix assignment + candidate range), expands depth-first
+    with the shared {!Search.node_check}, lazily exposes the shallowest
+    untouched siblings for thieves, and steals the shallowest pending
+    subtree when idle. See DESIGN.md §13 for the protocol.
+
+    Semantics match {!Search.run} up to mapping order: the returned
+    mapping {e set}, [n_found], and the [stopped] classification are
+    identical; [visited] sums per-domain Check calls. [limit] is a
+    global cap enforced exactly via atomic tickets; when any domain
+    raises, siblings are cancelled, all are joined, and the first
+    exception is re-raised with its backtrace.
+
+    Per-domain metrics (merged after join) additionally record
+    [parallel.steals], [parallel.tasks_spawned] and
+    [parallel.idle_polls]. *)
+
+open Gql_graph
+
+val default_domains : unit -> int
+(** [Domain.recommended_domain_count ()] — no cap. *)
+
+val search :
+  ?domains:int ->
+  ?order:int array ->
+  ?limit:int ->
+  ?limit_per_domain:int ->
+  ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Search.outcome
+(** Falls back to the sequential {!Search.run} when [domains <= 1] or
+    the pattern is empty. *)

@@ -9,6 +9,9 @@ type counter =
   | Search_visited
   | Search_backtracks
   | Search_matches
+  | Parallel_steals
+  | Parallel_tasks_spawned
+  | Parallel_idle_polls
   | Pages_read
   | Pages_written
   | Pool_hits
@@ -34,21 +37,24 @@ let counter_index = function
   | Search_visited -> 7
   | Search_backtracks -> 8
   | Search_matches -> 9
-  | Pages_read -> 10
-  | Pages_written -> 11
-  | Pool_hits -> 12
-  | Pool_misses -> 13
-  | Pool_evictions -> 14
-  | Exec_cache_hit -> 15
-  | Exec_cache_miss -> 16
-  | Exec_cache_evictions -> 17
-  | Exec_cache_invalidations -> 18
-  | Exec_queue_submitted -> 19
-  | Exec_queue_completed -> 20
-  | Exec_queue_yields -> 21
-  | Exec_queue_deadline_stops -> 22
+  | Parallel_steals -> 10
+  | Parallel_tasks_spawned -> 11
+  | Parallel_idle_polls -> 12
+  | Pages_read -> 13
+  | Pages_written -> 14
+  | Pool_hits -> 15
+  | Pool_misses -> 16
+  | Pool_evictions -> 17
+  | Exec_cache_hit -> 18
+  | Exec_cache_miss -> 19
+  | Exec_cache_evictions -> 20
+  | Exec_cache_invalidations -> 21
+  | Exec_queue_submitted -> 22
+  | Exec_queue_completed -> 23
+  | Exec_queue_yields -> 24
+  | Exec_queue_deadline_stops -> 25
 
-let n_counters = 23
+let n_counters = 26
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -61,6 +67,9 @@ let counter_name = function
   | Search_visited -> "search.visited"
   | Search_backtracks -> "search.backtracks"
   | Search_matches -> "search.matches"
+  | Parallel_steals -> "parallel.steals"
+  | Parallel_tasks_spawned -> "parallel.tasks_spawned"
+  | Parallel_idle_polls -> "parallel.idle_polls"
   | Pages_read -> "storage.pages_read"
   | Pages_written -> "storage.pages_written"
   | Pool_hits -> "storage.pool_hits"
@@ -87,6 +96,9 @@ let all_counters =
     Search_visited;
     Search_backtracks;
     Search_matches;
+    Parallel_steals;
+    Parallel_tasks_spawned;
+    Parallel_idle_polls;
     Pages_read;
     Pages_written;
     Pool_hits;

@@ -29,6 +29,9 @@ type counter =
   | Search_visited  (** search-tree nodes expanded (Check calls) *)
   | Search_backtracks  (** Check calls that failed (dead ends) *)
   | Search_matches  (** complete mappings delivered *)
+  | Parallel_steals  (** subtree tasks taken from a victim's deque *)
+  | Parallel_tasks_spawned  (** subtree tasks exposed for stealing *)
+  | Parallel_idle_polls  (** idle-loop iterations waiting for work *)
   | Pages_read  (** 4 KiB pages read from disk *)
   | Pages_written  (** 4 KiB pages written to disk *)
   | Pool_hits  (** buffer-pool lookups served from a frame *)

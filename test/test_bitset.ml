@@ -1,0 +1,189 @@
+open Gql_matcher
+
+(* Every word-level kernel is checked against a bool-array oracle, at
+   capacities chosen to exercise the tail word: below, at, and just
+   above the 63-bit word boundary and its multiples. *)
+
+let capacities = [ 1; 5; 62; 63; 64; 65; 126; 127; 200 ]
+
+let oracle_members o =
+  let out = ref [] in
+  Array.iteri (fun i b -> if b then out := i :: !out) o;
+  List.rev !out
+
+(* Deterministic pseudo-random membership: no dependence on the global
+   Random state, so failures reproduce. *)
+let fill seed n =
+  let rng = Gql_datasets.Rng.create seed in
+  let o = Array.init n (fun _ -> Gql_datasets.Rng.int rng 3 = 0) in
+  let s = Bitset.create n in
+  Array.iteri (fun i b -> if b then Bitset.add s i) o;
+  (o, s)
+
+let check_agrees msg o s =
+  let n = Array.length o in
+  Alcotest.(check int) (msg ^ ": capacity") n (Bitset.capacity s);
+  Alcotest.(check (list int)) (msg ^ ": members") (oracle_members o)
+    (Bitset.to_list s);
+  Alcotest.(check int)
+    (msg ^ ": cardinal")
+    (List.length (oracle_members o))
+    (Bitset.cardinal s);
+  for i = 0 to n - 1 do
+    if Bitset.mem s i <> o.(i) then
+      Alcotest.failf "%s: mem %d disagrees with oracle" msg i
+  done
+
+(* The layout invariant word-level scans rely on: bits at positions
+   >= capacity stay clear in the last word. *)
+let check_tail_clear msg s =
+  let nw = Bitset.n_words s in
+  if nw > 0 then begin
+    let last = Bitset.get_word s (nw - 1) in
+    if last land lnot (Bitset.last_word_mask s) <> 0 then
+      Alcotest.failf "%s: phantom bits beyond capacity" msg
+  end
+
+let test_basic_ops () =
+  List.iter
+    (fun n ->
+      let o, s = fill (100 + n) n in
+      check_agrees (Printf.sprintf "fill n=%d" n) o s;
+      check_tail_clear (Printf.sprintf "fill n=%d" n) s;
+      (* remove every third member, add every fourth non-member *)
+      for i = 0 to n - 1 do
+        if o.(i) && i mod 3 = 0 then begin
+          o.(i) <- false;
+          Bitset.remove s i
+        end
+        else if (not o.(i)) && i mod 4 = 0 then begin
+          o.(i) <- true;
+          Bitset.add s i
+        end
+      done;
+      check_agrees (Printf.sprintf "mutate n=%d" n) o s;
+      (* add/remove are idempotent on cardinal *)
+      if n > 0 then begin
+        let c = Bitset.cardinal s in
+        Bitset.add s 0;
+        Bitset.add s 0;
+        Alcotest.(check int)
+          (Printf.sprintf "double add n=%d" n)
+          (if o.(0) then c else c + 1)
+          (Bitset.cardinal s);
+        Bitset.remove s 0;
+        Bitset.remove s 0;
+        Alcotest.(check int)
+          (Printf.sprintf "double remove n=%d" n)
+          (if o.(0) then c - 1 else c)
+          (Bitset.cardinal s)
+      end)
+    capacities
+
+let test_bounds_checked () =
+  let s = Bitset.create 65 in
+  List.iter
+    (fun i ->
+      Alcotest.check_raises
+        (Printf.sprintf "mem %d raises" i)
+        (Invalid_argument "Bitset: index out of bounds") (fun () ->
+          ignore (Bitset.mem s i));
+      Alcotest.check_raises
+        (Printf.sprintf "add %d raises" i)
+        (Invalid_argument "Bitset: index out of bounds") (fun () ->
+          Bitset.add s i))
+    [ -1; 65; 1000 ]
+
+let test_kernels () =
+  List.iter
+    (fun n ->
+      let oa, a = fill (200 + n) n in
+      let ob, b = fill (300 + n) n in
+      let run name f expect =
+        let into = Bitset.create n in
+        f ~into a b;
+        let o = Array.init n (fun i -> expect oa.(i) ob.(i)) in
+        check_agrees (Printf.sprintf "%s n=%d" name n) o into;
+        check_tail_clear (Printf.sprintf "%s n=%d" name n) into
+      in
+      run "inter" Bitset.inter_into ( && );
+      run "union" Bitset.union_into ( || );
+      run "diff" Bitset.diff_into (fun x y -> x && not y);
+      (* aliasing: into == a *)
+      let a' = Bitset.copy a in
+      Bitset.inter_into ~into:a' a' b;
+      check_agrees
+        (Printf.sprintf "aliased inter n=%d" n)
+        (Array.init n (fun i -> oa.(i) && ob.(i)))
+        a';
+      let expect_card =
+        Array.fold_left ( + ) 0
+          (Array.init n (fun i -> if oa.(i) && ob.(i) then 1 else 0))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "inter_card n=%d" n)
+        expect_card (Bitset.inter_card a b);
+      Alcotest.(check bool)
+        (Printf.sprintf "inter_exists n=%d" n)
+        (expect_card > 0) (Bitset.inter_exists a b))
+    capacities
+
+let test_kernel_capacity_mismatch () =
+  let a = Bitset.create 63 and b = Bitset.create 64 in
+  Alcotest.check_raises "mismatched capacities raise"
+    (Invalid_argument "Bitset.inter_into: capacity mismatch") (fun () ->
+      Bitset.inter_into ~into:(Bitset.create 63) a b)
+
+let test_popcount () =
+  List.iter
+    (fun x ->
+      let naive =
+        let c = ref 0 in
+        for i = 0 to 62 do
+          if x land (1 lsl i) <> 0 then incr c
+        done;
+        !c
+      in
+      Alcotest.(check int) (Printf.sprintf "popcount %#x" x) naive
+        (Bitset.popcount x))
+    [ 0; 1; 2; 3; 0x55; max_int; max_int - 1; 1 lsl 62; (1 lsl 62) - 1 ]
+
+let test_conversions () =
+  List.iter
+    (fun n ->
+      let o, s = fill (400 + n) n in
+      let members = oracle_members o in
+      Alcotest.(check (list int))
+        (Printf.sprintf "of_list round-trip n=%d" n)
+        members
+        (Bitset.to_list (Bitset.of_list n members));
+      Alcotest.(check (list int))
+        (Printf.sprintf "of_array round-trip n=%d" n)
+        members
+        (Array.to_list (Bitset.to_array (Bitset.of_array n (Array.of_list members))));
+      let c = Bitset.copy s in
+      Bitset.clear c;
+      Alcotest.(check bool)
+        (Printf.sprintf "clear n=%d" n)
+        true (Bitset.is_empty c);
+      Alcotest.(check (list int))
+        (Printf.sprintf "copy is independent n=%d" n)
+        members (Bitset.to_list s);
+      let folded =
+        List.rev (Bitset.fold s ~init:[] ~f:(fun acc i -> i :: acc))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "fold ascends n=%d" n)
+        members folded)
+    capacities
+
+let suite =
+  [
+    Alcotest.test_case "add/remove/mem vs oracle" `Quick test_basic_ops;
+    Alcotest.test_case "safe ops bounds-checked" `Quick test_bounds_checked;
+    Alcotest.test_case "word kernels vs oracle" `Quick test_kernels;
+    Alcotest.test_case "kernel capacity mismatch" `Quick
+      test_kernel_capacity_mismatch;
+    Alcotest.test_case "popcount vs naive" `Quick test_popcount;
+    Alcotest.test_case "conversions and fold" `Quick test_conversions;
+  ]

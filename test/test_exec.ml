@@ -218,6 +218,42 @@ let test_liveness () =
     (M.get agg M.Exec_queue_deadline_stops >= 1);
   Service.shutdown t
 
+(* A workload guaranteed to cross the scheduler quantum with queued
+   competitors, so preemption is observable without any deadline: the
+   PR4 bench ran cheap queries only and reported `yields: 0` forever —
+   this pins the yield path as a hard assertion. *)
+let test_quantum_yields () =
+  let bombs = List.init 3 (fun _ -> bomb_graph 7) in
+  let small = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let t =
+    Service.create ~jobs:1 ~quantum:64
+      ~docs:[ ("BOMB", bombs); ("SMALL", [ small ]) ]
+      ()
+  in
+  let heavy_id = Service.submit t bomb_query in
+  let cheap_ids = List.init 4 (fun _ -> Service.submit t cheap_query) in
+  let outs = Service.drain t in
+  let find id = List.find (fun o -> o.Service.o_id = id) outs in
+  (match (find heavy_id).Service.o_status with
+  | Service.Done r ->
+    Alcotest.(check bool)
+      "heavy query still ran to completion" true
+      (r.Eval.stopped = Budget.Exhausted)
+  | _ -> Alcotest.fail "heavy query did not complete");
+  List.iter
+    (fun id ->
+      match (find id).Service.o_status with
+      | Service.Done _ -> ()
+      | _ -> Alcotest.fail "cheap query did not complete")
+    cheap_ids;
+  Alcotest.(check bool)
+    "quantum crossed: the heavy query was preempted" true
+    ((find heavy_id).Service.o_yields > 0);
+  Alcotest.(check bool)
+    "exec.queue.yields is nonzero" true
+    (M.get (Service.metrics t) M.Exec_queue_yields > 0);
+  Service.shutdown t
+
 (* ---- batch == sequential (property) ---- *)
 
 let q l1 l2 ex =
@@ -269,5 +305,7 @@ let suite =
       test_error_containment;
     Alcotest.test_case "bomb query cannot starve cheap ones" `Quick
       test_liveness;
+    Alcotest.test_case "quantum workload yields without a deadline" `Quick
+      test_quantum_yields;
     QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
   ]

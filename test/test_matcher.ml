@@ -271,6 +271,20 @@ let prop_refine_sound =
           |> List.for_all Fun.id)
         embeddings)
 
+(* the packed-word engine against the historical consed-list one: not
+   just the same fixpoint sizes — identical candidate rows *)
+let prop_refine_packed_equals_lists =
+  QCheck.Test.make ~name:"packed refine = list-based refine, row for row"
+    ~count:150
+    (QCheck.make
+       QCheck.Gen.(pair (gen_labeled_graph ~max_n:7) (gen_labeled_graph ~max_n:4)))
+    (fun (g, pg) ->
+      let p = Flat_pattern.of_graph pg in
+      let space0 = Feasible.compute ~retrieval:`Node_attrs p g in
+      let a, _ = Refine.refine p g space0 in
+      let b, _ = Refine.refine_lists p g space0 in
+      a.Feasible.candidates = b.Feasible.candidates)
+
 let prop_local_pruning_sound =
   QCheck.Test.make ~name:"profile and subgraph pruning keep all embeddings" ~count:150
     (QCheck.make
@@ -481,6 +495,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_baseline;
     QCheck_alcotest.to_alcotest prop_subgraph_strategy;
     QCheck_alcotest.to_alcotest prop_refine_sound;
+    QCheck_alcotest.to_alcotest prop_refine_packed_equals_lists;
     QCheck_alcotest.to_alcotest prop_local_pruning_sound;
     QCheck_alcotest.to_alcotest prop_profile_weaker_than_subgraph;
     QCheck_alcotest.to_alcotest prop_order_permutation;

@@ -1,5 +1,18 @@
+open Gql_graph
 open Gql_matcher
 open Gql_datasets
+
+(* CI runs the suite twice: once at the default and once with
+   GQL_TEST_DOMAINS=4, so the work-stealing paths are exercised at more
+   than one pool width without duplicating the test list. *)
+let env_domains =
+  match Sys.getenv_opt "GQL_TEST_DOMAINS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 3)
+  | None -> 3
+
+(* mapping order differs between engines by design: compare as sets *)
+let mapping_set (out : Search.outcome) =
+  List.sort compare (List.map Array.to_list out.Search.mappings)
 
 let test_parallel_equals_sequential () =
   let g = Synthetic.erdos_renyi (Rng.create 21) ~n:500 ~m:2500 ~n_labels:8 in
@@ -35,6 +48,121 @@ let test_empty_space () =
   let out = Parallel.search ~domains:4 p g space in
   Alcotest.(check int) "no matches" 0 out.Search.n_found
 
+(* --- work-stealing engine ----------------------------------------------- *)
+
+let test_ws_pre_cancelled () =
+  let g = Test_graph.sample_g () in
+  let p = Flat_pattern.clique [ "A"; "B"; "C" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let tok = Budget.token () in
+  Budget.cancel tok;
+  let budget = Budget.make ~cancel:tok () in
+  let out = Parallel.search ~domains:env_domains ~budget p g space in
+  Alcotest.(check int) "nothing found" 0 out.Search.n_found;
+  Alcotest.(check bool)
+    "stopped by cancellation" true
+    (out.Search.stopped = Budget.Cancelled)
+
+let test_ws_expired_deadline () =
+  let g = Test_graph.sample_g () in
+  let p = Flat_pattern.clique [ "A"; "B"; "C" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let budget = Budget.make ~deadline_at:(Unix.gettimeofday () -. 5.0) () in
+  let out = Parallel.search ~domains:env_domains ~budget p g space in
+  Alcotest.(check int) "nothing found" 0 out.Search.n_found;
+  Alcotest.(check bool)
+    "stopped by deadline" true
+    (out.Search.stopped = Budget.Deadline)
+
+(* A skewed Φ(u₁): one hub carries every match, the other first-level
+   candidates are dead ends — the shape static slicing handles worst.
+   The equality check is the point; the spawned-task counter proves the
+   work-stealing path (subtree exposure) actually ran. *)
+let hub_graph () =
+  let b = Graph.Builder.create () in
+  let hs =
+    Array.init 8 (fun i ->
+        Graph.Builder.add_labeled_node b ~name:(Printf.sprintf "H%d" i) "H")
+  in
+  let bs =
+    Array.init 20 (fun i ->
+        Graph.Builder.add_labeled_node b ~name:(Printf.sprintf "B%d" i) "B")
+  in
+  Array.iter (fun v -> ignore (Graph.Builder.add_edge b hs.(0) v)) bs;
+  for i = 0 to Array.length bs - 1 do
+    for j = i + 1 to Array.length bs - 1 do
+      ignore (Graph.Builder.add_edge b bs.(i) bs.(j))
+    done
+  done;
+  Graph.Builder.build b
+
+let test_ws_skewed_spawns_tasks () =
+  let module M = Gql_obs.Metrics in
+  let g = hub_graph () in
+  let p = Flat_pattern.clique [ "H"; "B"; "B" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let seq = Search.run p g space in
+  let metrics = M.create () in
+  let out = Ws.search ~domains:(max 2 env_domains) ~metrics p g space in
+  Alcotest.(check int)
+    "same count on the skewed hub graph" seq.Search.n_found out.Search.n_found;
+  Alcotest.(check bool)
+    "subtree tasks were exposed" true
+    (M.get metrics M.Parallel_tasks_spawned > 0)
+
+let test_static_engine_agrees () =
+  let g = Synthetic.erdos_renyi (Rng.create 31) ~n:300 ~m:1500 ~n_labels:6 in
+  let idx = Gql_index.Label_index.build g in
+  let labels = Gql_index.Label_index.top_frequent idx 3 in
+  let p = Queries.clique (Rng.create 32) ~labels ~size:3 in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let seq = Search.run p g space in
+  let ws = Parallel.search ~domains:env_domains p g space in
+  let static = Parallel.search_static ~domains:env_domains p g space in
+  Alcotest.(check (list (list int)))
+    "work-stealing = sequential mapping set" (mapping_set seq)
+    (mapping_set ws);
+  Alcotest.(check (list (list int)))
+    "static slicing = sequential mapping set" (mapping_set seq)
+    (mapping_set static)
+
+let prop_ws_mapping_set =
+  QCheck.Test.make
+    ~name:"work-stealing search = sequential mapping set on random inputs"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair (Test_matcher.gen_labeled_graph ~max_n:8)
+           (Test_matcher.gen_labeled_graph ~max_n:3)))
+    (fun (g, pg) ->
+      let p = Flat_pattern.of_graph pg in
+      let space = Feasible.compute ~retrieval:`Node_attrs p g in
+      let seq = Search.run p g space in
+      let par = Parallel.search ~domains:env_domains p g space in
+      mapping_set seq = mapping_set par)
+
+let prop_ws_limit_exact =
+  QCheck.Test.make
+    ~name:"work-stealing ~limit: exact global cap, subset of sequential set"
+    ~count:40
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (Test_matcher.gen_labeled_graph ~max_n:8)
+           (Test_matcher.gen_labeled_graph ~max_n:3)
+           (int_range 1 5)))
+    (fun (g, pg, l) ->
+      let p = Flat_pattern.of_graph pg in
+      let space = Feasible.compute ~retrieval:`Node_attrs p g in
+      let seq = Search.run p g space in
+      let par = Parallel.search ~domains:env_domains ~limit:l p g space in
+      let seq_set = mapping_set seq in
+      par.Search.n_found = min l seq.Search.n_found
+      && List.for_all (fun m -> List.mem m seq_set) (mapping_set par)
+      && par.Search.stopped
+         = (if seq.Search.n_found >= l then Budget.Hit_limit
+            else Budget.Exhausted))
+
 let prop_parallel_matches_oracle =
   QCheck.Test.make ~name:"parallel search = sequential on random inputs" ~count:60
     (QCheck.make
@@ -54,5 +182,15 @@ let suite =
       test_parallel_equals_sequential;
     Alcotest.test_case "partitioned search" `Quick test_parallel_search_partition;
     Alcotest.test_case "empty candidate space" `Quick test_empty_space;
+    Alcotest.test_case "pre-cancelled token stops before work" `Quick
+      test_ws_pre_cancelled;
+    Alcotest.test_case "expired deadline stops before work" `Quick
+      test_ws_expired_deadline;
+    Alcotest.test_case "skewed hub graph exposes subtree tasks" `Quick
+      test_ws_skewed_spawns_tasks;
+    Alcotest.test_case "static and work-stealing engines agree" `Quick
+      test_static_engine_agrees;
+    QCheck_alcotest.to_alcotest prop_ws_mapping_set;
+    QCheck_alcotest.to_alcotest prop_ws_limit_exact;
     QCheck_alcotest.to_alcotest prop_parallel_matches_oracle;
   ]
