@@ -1030,24 +1030,22 @@ let micro_search_comparison () =
          ("speedup", Json.Float speedup);
        ])
 
-(* refinement: packed word rows + word-at-a-time Kuhn vs the PR1-era
-   consed lists + Hopcroft–Karp, over identical profile-pruned spaces.
-   Same fixpoint by construction (asserted row for row). *)
+(* refinement kernels over identical profile-pruned spaces: the
+   per-row auto dispatch ([Refine.refine]) vs always-packed vs the
+   PR1-era consed lists + Hopcroft–Karp. Same fixpoint by construction
+   (asserted row for row). The dispatch exists to fix the small-clique
+   regression where packed-row setup cost lost to the lists — so the
+   cell hard-fails if auto loses to either pure kernel beyond noise at
+   any size. *)
 let micro_refine_comparison () =
-  header "Refine phase: packed word rows vs consed lists (PPI cliques)";
+  header
+    "Refine phase: auto kernel dispatch vs packed words vs consed lists (PPI \
+     cliques)";
   let g, lidx, pidx = Lazy.force ppi_env in
   let labels = Queries.top_labels lidx 40 in
   let weights = Queries.label_weights lidx labels in
-  row "%-6s %10s %18s %18s %10s\n" "size" "queries" "t_refine_words (ms)"
-    "t_refine_lists (ms)" "speedup";
-  let best_of n f =
-    let best = ref infinity in
-    for _ = 1 to n do
-      let _, t = time f in
-      if t < !best then best := t
-    done;
-    !best
-  in
+  row "%-6s %10s %14s %14s %14s %10s\n" "size" "queries" "t_auto (ms)"
+    "t_packed (ms)" "t_lists (ms)" "speedup";
   let cells =
     List.map
       (fun size ->
@@ -1062,41 +1060,74 @@ let micro_refine_comparison () =
               in
               (q, space))
         in
-        let words =
-          List.map (fun (q, space) -> fst (Refine.refine q g space)) prepared
+        let run refine =
+          List.map (fun (q, space) -> fst (refine q g space)) prepared
         in
-        let t_words =
-          best_of 3 (fun () ->
-              List.iter
-                (fun (q, space) -> ignore (Refine.refine q g space))
-                prepared)
+        let pass refine () =
+          List.iter (fun (q, space) -> ignore (refine q g space)) prepared
         in
-        let lists =
-          List.map
-            (fun (q, space) -> fst (Refine.refine_lists q g space))
-            prepared
-        in
-        let t_lists =
-          best_of 3 (fun () ->
-              List.iter
-                (fun (q, space) -> ignore (Refine.refine_lists q g space))
-                prepared)
-        in
+        let auto_pass = pass (fun q g s -> Refine.refine q g s) in
+        let packed_pass = pass (fun q g s -> Refine.refine_packed q g s) in
+        let lists_pass = pass (fun q g s -> Refine.refine_lists q g s) in
+        let auto = run (fun q g s -> Refine.refine q g s) in
+        let packed = run (fun q g s -> Refine.refine_packed q g s) in
+        let lists = run (fun q g s -> Refine.refine_lists q g s) in
+        (* measured interleaved (A P L, A P L, ...) so allocator and
+           frequency drift hit the three kernels alike; best-of wins
+           over mean under CI noise *)
+        let t_auto = ref infinity
+        and t_packed = ref infinity
+        and t_lists = ref infinity in
+        for _ = 1 to 5 do
+          let _, ta = time auto_pass in
+          let _, tp = time packed_pass in
+          let _, tl = time lists_pass in
+          t_auto := Float.min !t_auto ta;
+          t_packed := Float.min !t_packed tp;
+          t_lists := Float.min !t_lists tl
+        done;
+        let t_auto = !t_auto
+        and t_packed = !t_packed
+        and t_lists = !t_lists in
         List.iter2
           (fun (a : Feasible.space) (b : Feasible.space) ->
             assert (a.Feasible.candidates = b.Feasible.candidates))
-          words lists;
-        let speedup = t_lists /. t_words in
-        row "%-6d %10d %18.3f %18.3f %9.2fx\n" size n_queries (ms t_words)
-          (ms t_lists) speedup;
-        (size, n_queries, t_words, t_lists))
+          auto packed;
+        List.iter2
+          (fun (a : Feasible.space) (b : Feasible.space) ->
+            assert (a.Feasible.candidates = b.Feasible.candidates))
+          auto lists;
+        let speedup = t_lists /. t_auto in
+        row "%-6d %10d %14.3f %14.3f %14.3f %9.2fx\n" size n_queries (ms t_auto)
+          (ms t_packed) (ms t_lists) speedup;
+        (* two-part crossover claim: the dispatch must never lose to
+           the list baseline (the PR5 size-4 regression this cell
+           exists to pin — tight 5% allowance), and must track the
+           better pure kernel within a wider band that absorbs
+           run-to-run timer noise on the mixed path *)
+        if t_auto > 1.05 *. t_lists then begin
+          Printf.eprintf
+            "FAIL: refine auto dispatch lost to lists at size %d: auto %.3fms \
+             lists %.3fms\n"
+            size (ms t_auto) (ms t_lists);
+          exit 1
+        end;
+        if t_auto > 1.3 *. Float.min t_packed t_lists then begin
+          Printf.eprintf
+            "FAIL: refine auto dispatch lost at size %d: auto %.3fms packed \
+             %.3fms lists %.3fms\n"
+            size (ms t_auto) (ms t_packed) (ms t_lists);
+          exit 1
+        end;
+        (size, n_queries, t_auto, t_packed, t_lists))
       [ 4; 5; 6 ]
   in
   let tot f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells in
-  let t_words_total = tot (fun (_, _, t, _) -> t) in
-  let t_lists_total = tot (fun (_, _, _, t) -> t) in
-  let speedup = t_lists_total /. t_words_total in
-  row "overall speedup (t_refine_lists / t_refine_words): %.2fx\n" speedup;
+  let t_auto_total = tot (fun (_, _, t, _, _) -> t) in
+  let t_packed_total = tot (fun (_, _, _, t, _) -> t) in
+  let t_lists_total = tot (fun (_, _, _, _, t) -> t) in
+  let speedup = t_lists_total /. t_auto_total in
+  row "overall speedup (t_refine_lists / t_refine_auto): %.2fx\n" speedup;
   emit_json "micro.refine_ppi"
     (Json.Obj
        [
@@ -1106,17 +1137,19 @@ let micro_refine_comparison () =
          ( "sizes",
            Json.List
              (List.map
-                (fun (size, n_queries, t_words, t_lists) ->
+                (fun (size, n_queries, t_auto, t_packed, t_lists) ->
                   Json.Obj
                     [
                       ("size", Json.Int size);
                       ("queries", Json.Int n_queries);
-                      ("t_refine_words_ms", Json.Float (ms t_words));
+                      ("t_refine_auto_ms", Json.Float (ms t_auto));
+                      ("t_refine_words_ms", Json.Float (ms t_packed));
                       ("t_refine_lists_ms", Json.Float (ms t_lists));
-                      ("speedup", Json.Float (t_lists /. t_words));
+                      ("speedup", Json.Float (t_lists /. t_auto));
                     ])
                 cells) );
-         ("t_refine_words_ms", Json.Float (ms t_words_total));
+         ("t_refine_auto_ms", Json.Float (ms t_auto_total));
+         ("t_refine_words_ms", Json.Float (ms t_packed_total));
          ("t_refine_lists_ms", Json.Float (ms t_lists_total));
          ("speedup", Json.Float speedup);
        ])
@@ -1130,6 +1163,12 @@ let micro () =
   let labels = Queries.top_labels lidx 40 in
   let rng = Rng.create 4242 in
   let triangle = Queries.clique rng ~labels ~size:3 in
+  let order_q = Queries.clique rng ~labels ~size:6 in
+  let order_sizes =
+    Feasible.sizes
+      (Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+         ~profile_index:pidx order_q g)
+  in
   let module Itree = Gql_index.Btree.Make (Int) in
   let keys = Array.init 10_000 (fun i -> i * 2654435761 land 0xFFFFFF) in
   let tree = Array.fold_left (fun t k -> Itree.add k k t) (Itree.empty ()) keys in
@@ -1153,6 +1192,9 @@ let micro () =
           (Staged.stage (fun () -> ignore (Profile.contains ~big:prof_a ~small:prof_b)));
         Test.make ~name:"hopcroft-karp"
           (Staged.stage (fun () -> ignore (Gql_matcher.Bipartite.hopcroft_karp bip)));
+        Test.make ~name:"order-greedy"
+          (Staged.stage (fun () ->
+               ignore (Order.greedy order_q ~sizes:order_sizes)));
         Test.make ~name:"triangle-query-optimized"
           (Staged.stage (fun () ->
                ignore
@@ -1331,6 +1373,186 @@ let exec_service () =
   end
 
 (* ---------------------------------------------------------------------- *)
+(* adaptive planner: mid-query re-planning vs the static greedy order     *)
+
+(* Two workloads, two claims. On the Zipf/hub skewed graph the static
+   constant-γ greedy picks a suffix that joins the non-reducing mesh
+   side first; the adaptive driver detects the fan-out drift after its
+   first root slice, re-plans to the leaf-first suffix and must win by
+   ≥ 1.2x. On the uniform PPI cliques the estimates are fine, no
+   re-plan triggers, and the adaptive driver's slicing/profiling
+   overhead must stay within noise of the static search. Both cells
+   assert identical match counts — re-planning must never change the
+   answer. *)
+let adaptive () =
+  let module Adapt = Gql_matcher.Adapt in
+  header "Adaptive planner: hub-skewed workload (re-plan wins)";
+  let model = Cost.Constant Cost.default_constant in
+  let g =
+    Synthetic.hub (Rng.create 2008) ~n_hubs:40 ~n_leaves:400 ~n_mesh:400
+  in
+  let p = FP.path [ "M"; "H"; "L" ] in
+  let space = Feasible.compute ~retrieval:`Node_attrs p g in
+  let sizes = Feasible.sizes space in
+  let order = Order.greedy ~model p ~sizes in
+  let static_out = Search.run ~order p g space in
+  let adaptive_res = Adapt.run ~model ~order p g space in
+  if adaptive_res.Adapt.outcome.Search.n_found <> static_out.Search.n_found
+  then begin
+    Printf.eprintf "FAIL: adaptive found %d matches, static %d\n"
+      adaptive_res.Adapt.outcome.Search.n_found static_out.Search.n_found;
+    exit 1
+  end;
+  if adaptive_res.Adapt.replans = 0 then begin
+    Printf.eprintf "FAIL: hub workload triggered no re-plan\n";
+    exit 1
+  end;
+  let reps = scale 5 20 in
+  let t_static = ref infinity and t_adaptive = ref infinity in
+  for _ = 1 to 3 do
+    let _, ts =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Search.run ~order p g space)
+          done)
+    in
+    let _, ta =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (Adapt.run ~model ~order p g space)
+          done)
+    in
+    t_static := Float.min !t_static ts;
+    t_adaptive := Float.min !t_adaptive ta
+  done;
+  let t_static = ms !t_static /. float_of_int reps in
+  let t_adaptive = ms !t_adaptive /. float_of_int reps in
+  let speedup = t_static /. t_adaptive in
+  row "%d matches; static order [%s], adaptive re-planned to [%s]\n"
+    static_out.Search.n_found
+    (String.concat ";" (Array.to_list (Array.map string_of_int order)))
+    (String.concat ";"
+       (Array.to_list (Array.map string_of_int adaptive_res.Adapt.final_order)));
+  row "%-10s %12s\n" "engine" "ms/query";
+  row "%-10s %12.3f\n" "static" t_static;
+  row "%-10s %12.3f\n" "adaptive" t_adaptive;
+  row "speedup (static / adaptive): %.2fx, %d re-plan(s)\n" speedup
+    adaptive_res.Adapt.replans;
+  if speedup < 1.2 then begin
+    Printf.eprintf "FAIL: adaptive speedup %.2fx < 1.2x on the hub workload\n"
+      speedup;
+    exit 1
+  end;
+  emit_json "adaptive.skewed"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "hub graph (40 hubs, 400 Zipf leaves, 400 mesh nodes), M–H–L \
+              path, constant-γ static order joins mesh first" );
+         ("n_found", Json.Int static_out.Search.n_found);
+         ("replans", Json.Int adaptive_res.Adapt.replans);
+         ("static_ms", Json.Float t_static);
+         ("adaptive_ms", Json.Float t_adaptive);
+         ("speedup", Json.Float speedup);
+         ("threshold_speedup", Json.Float 1.2);
+       ]);
+  header "Adaptive planner: uniform PPI cliques (no re-plan, overhead only)";
+  let g, lidx, pidx = Lazy.force ppi_env in
+  let labels = Queries.top_labels lidx 40 in
+  let weights = Queries.label_weights lidx labels in
+  row "%-6s %10s %14s %14s %10s\n" "size" "queries" "static (ms)"
+    "adaptive (ms)" "ratio";
+  let cells =
+    List.map
+      (fun size ->
+        let rng = Rng.create (77001 + size) in
+        let n_queries = scale 40 200 in
+        let prepared =
+          List.init n_queries (fun _ ->
+              let q = Queries.clique ~weights rng ~labels ~size in
+              let space =
+                Feasible.compute ~retrieval:`Profiles ~label_index:lidx
+                  ~profile_index:pidx q g
+              in
+              let space, _ = Refine.refine q g space in
+              let order = Order.greedy ~model q ~sizes:(Feasible.sizes space) in
+              (q, space, order))
+        in
+        let static_pass () =
+          List.fold_left
+            (fun acc (q, space, order) ->
+              acc + (Search.run ~order q g space).Search.n_found)
+            0 prepared
+        in
+        let adaptive_pass () =
+          List.fold_left
+            (fun acc (q, space, order) ->
+              acc
+              + (Adapt.run ~model ~order q g space).Adapt.outcome
+                  .Search.n_found)
+            0 prepared
+        in
+        let found_static = static_pass () and found_adaptive = adaptive_pass () in
+        if found_static <> found_adaptive then begin
+          Printf.eprintf
+            "FAIL: size %d: adaptive found %d total matches, static %d\n" size
+            found_adaptive found_static;
+          exit 1
+        end;
+        let t_static = ref infinity and t_adaptive = ref infinity in
+        for _ = 1 to 5 do
+          let _, ts = time (fun () -> ignore (static_pass ())) in
+          let _, ta = time (fun () -> ignore (adaptive_pass ())) in
+          t_static := Float.min !t_static ts;
+          t_adaptive := Float.min !t_adaptive ta
+        done;
+        let ratio = !t_adaptive /. !t_static in
+        row "%-6d %10d %14.3f %14.3f %9.2fx\n" size n_queries (ms !t_static)
+          (ms !t_adaptive) ratio;
+        (size, n_queries, !t_static, !t_adaptive))
+      [ 4; 5; 6 ]
+  in
+  let tot f = List.fold_left (fun acc c -> acc +. f c) 0.0 cells in
+  let t_static_total = tot (fun (_, _, t, _) -> t) in
+  let t_adaptive_total = tot (fun (_, _, _, t) -> t) in
+  let ratio = t_adaptive_total /. t_static_total in
+  row "overall overhead (t_adaptive / t_static): %.2fx\n" ratio;
+  (* the "never lose beyond noise" claim; the committed snapshot must
+     show ≤ 1.05, the in-run gate allows CI timer jitter on top *)
+  if ratio > 1.15 then begin
+    Printf.eprintf
+      "FAIL: adaptive overhead %.2fx > 1.15x on the uniform PPI workload\n"
+      ratio;
+    exit 1
+  end;
+  emit_json "adaptive.ppi"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "PPI clique queries, profiles retrieval + refine, greedy static \
+              order vs adaptive driver (uniform data: no re-plan expected)" );
+         ( "sizes",
+           Json.List
+             (List.map
+                (fun (size, n_queries, ts, ta) ->
+                  Json.Obj
+                    [
+                      ("size", Json.Int size);
+                      ("queries", Json.Int n_queries);
+                      ("static_ms", Json.Float (ms ts));
+                      ("adaptive_ms", Json.Float (ms ta));
+                      ("ratio", Json.Float (ta /. ts));
+                    ])
+                cells) );
+         ("static_ms", Json.Float (ms t_static_total));
+         ("adaptive_ms", Json.Float (ms t_adaptive_total));
+         ("ratio", Json.Float ratio);
+         ("threshold_ratio", Json.Float 1.05);
+       ])
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -1345,6 +1567,7 @@ let experiments =
     ("budget", budget_overhead);
     ("obs", obs_overhead);
     ("exec", exec_service);
+    ("adaptive", adaptive);
     ("micro", micro);
   ]
 

@@ -78,6 +78,18 @@ let with_domains domains strategy =
   | Some d ->
     Error.raise_ (Error.Usage (Printf.sprintf "--domains must be >= 1, got %d" d))
 
+(* A strategy override is only materialized when a flag asks for one —
+   otherwise the evaluator keeps its own default. [--adaptive] alone
+   must still force a strategy, or the flag would silently no-op. *)
+let strategy_opt ~adaptive domains =
+  if adaptive || Option.is_some domains then
+    Some
+      {
+        (with_domains domains Gql_matcher.Engine.optimized) with
+        Gql_matcher.Engine.adaptive;
+      }
+  else None
+
 let budget_of timeout max_visited =
   match (timeout, max_visited) with
   | None, None -> None
@@ -117,14 +129,10 @@ let finish_with stopped what =
 
 (* --- run ---------------------------------------------------------------- *)
 
-let run_cmd query_file docs domains timeout max_visited verbose =
+let run_cmd query_file docs domains adaptive timeout max_visited verbose =
   guarded (fun () ->
       let docs = parse_docs docs in
-      let strategy =
-        Option.map
-          (fun _ -> with_domains domains Gql_matcher.Engine.optimized)
-          domains
-      in
+      let strategy = strategy_opt ~adaptive domains in
       (* the deadline clock starts after the inputs are loaded: it
          governs query execution, not file parsing *)
       let budget = budget_of timeout max_visited in
@@ -282,10 +290,15 @@ let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
 
 (* --- match -------------------------------------------------------------- *)
 
-let match_cmd pattern_file graph_file strategy domains exhaustive limit timeout
-    max_visited verbose =
+let match_cmd pattern_file graph_file strategy domains adaptive exhaustive
+    limit timeout max_visited verbose =
   guarded (fun () ->
-      let strategy = with_domains domains (strategy_of_string strategy) in
+      let strategy =
+        {
+          (with_domains domains (strategy_of_string strategy)) with
+          Gql_matcher.Engine.adaptive;
+        }
+      in
       let graphs = load_collection graph_file in
       let patterns = Gql.patterns_of_string (read_file pattern_file) in
       let entries = List.map (fun g -> Algebra.G g) graphs in
@@ -308,7 +321,8 @@ let match_cmd pattern_file graph_file strategy domains exhaustive limit timeout
 
 (* --- explain ------------------------------------------------------------ *)
 
-let explain_cmd query_file analyze json docs domains timeout max_visited =
+let explain_cmd query_file analyze json docs domains adaptive timeout
+    max_visited =
   guarded (fun () ->
       let src = read_file query_file in
       if not analyze then begin
@@ -326,11 +340,7 @@ let explain_cmd query_file analyze json docs domains timeout max_visited =
         let module M = Gql_obs.Metrics in
         let metrics = M.create () in
         let docs = M.with_span metrics "load" (fun () -> parse_docs ~metrics docs) in
-        let strategy =
-          Option.map
-            (fun _ -> with_domains domains Gql_matcher.Engine.optimized)
-            domains
-        in
+        let strategy = strategy_opt ~adaptive domains in
         let budget = budget_of timeout max_visited in
         let result =
           M.with_span metrics "query" (fun () ->
@@ -485,6 +495,17 @@ let domains_arg =
            sets the per-query split (default: the cores the job pool leaves \
            idle).")
 
+let adaptive_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "Adaptive mid-query re-planning: track observed vs estimated \
+           fan-out per search-order position and re-order the remaining \
+           suffix when they diverge. Same match set, better orders on \
+           skewed data.")
+
 let run_term =
   let query = Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY.gql") in
   let docs =
@@ -495,7 +516,7 @@ let run_term =
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
     Term.(
-      const run_cmd $ query $ docs $ domains_arg $ timeout_arg
+      const run_cmd $ query $ docs $ domains_arg $ adaptive_arg $ timeout_arg
       $ max_visited_arg $ verbose)
 
 let batch_term =
@@ -557,8 +578,8 @@ let match_term =
   Cmd.v
     (Cmd.info "match" ~doc:"Run the selection operator (graph pattern matching)")
     Term.(
-      const match_cmd $ pattern $ graph $ strategy $ domains_arg $ exhaustive
-      $ limit $ timeout_arg $ max_visited_arg $ verbose)
+      const match_cmd $ pattern $ graph $ strategy $ domains_arg $ adaptive_arg
+      $ exhaustive $ limit $ timeout_arg $ max_visited_arg $ verbose)
 
 let docs_arg =
   Arg.(value & opt_all string [] & info [ "doc" ] ~docv:"NAME=FILE"
@@ -583,7 +604,7 @@ let explain_term =
              --analyze, execute it and report observed spans and counters")
     Term.(
       const explain_cmd $ query $ analyze $ json $ docs_arg $ domains_arg
-      $ timeout_arg $ max_visited_arg)
+      $ adaptive_arg $ timeout_arg $ max_visited_arg)
 
 let stats_term =
   let graph = Arg.(required & pos 0 (some file) None & info [] ~docv:"G.gql") in

@@ -59,21 +59,58 @@ let select_one ?strategy ?exhaustive ?limit ?budget ?metrics pattern c =
     (select_one_governed ?strategy ?exhaustive ?limit ?budget ?metrics pattern
        c)
 
+(* The graph-side analogue of the sqlsim System-R enumerator's
+   cheapest-access-first rule, one level up: rank the patterns of a
+   multi-pattern program (e.g. the derivations of a recursive motif) by
+   their whole-pattern estimated cost so the cheap ones run — and under
+   a budget, complete — first. Stable, so equal-cost patterns keep
+   their program order. *)
+let pattern_order ?strategy ~n_nodes patterns =
+  let model =
+    match strategy with
+    | Some s ->
+      Option.value s.Engine.cost_model
+        ~default:(Gql_matcher.Cost.Constant Gql_matcher.Cost.default_constant)
+    | None -> Gql_matcher.Cost.Constant Gql_matcher.Cost.default_constant
+  in
+  let costed =
+    List.mapi
+      (fun i p -> (i, Gql_matcher.Order.pattern_cost ~model p ~n_nodes))
+      patterns
+  in
+  List.map fst
+    (List.stable_sort (fun (_, a) (_, b) -> Float.compare a b) costed)
+
 let select_governed ?strategy ?exhaustive ?limit ?(budget = Budget.unlimited)
     ?metrics ~patterns c =
   let stopped = ref Budget.Exhausted in
-  let rev_out = ref [] in
+  let pats = Array.of_list patterns in
+  let np = Array.length pats in
+  let ranked =
+    if np <= 1 then List.init np Fun.id
+    else
+      let n_nodes =
+        List.fold_left (fun m e -> max m (Graph.n_nodes (underlying e))) 1 c
+      in
+      pattern_order ?strategy ~n_nodes patterns
+  in
+  (* execute in costed order, emit grouped in program order — the
+     observable result is unchanged unless the budget stops the run,
+     in which case the cheapest patterns' results are the ones that
+     made it *)
+  let per_pattern = Array.make np [] in
   List.iter
-    (fun p ->
+    (fun i ->
       if not (Budget.final !stopped) then begin
         let ms, r =
-          select_one_governed ?strategy ?exhaustive ?limit ~budget ?metrics p c
+          select_one_governed ?strategy ?exhaustive ?limit ~budget ?metrics
+            pats.(i) c
         in
         stopped := Budget.worst !stopped r;
-        rev_out := List.rev_append ms !rev_out
+        per_pattern.(i) <- ms
       end)
-    patterns;
-  (List.rev !rev_out, !stopped)
+    ranked;
+  (List.concat (Array.to_list per_pattern), !stopped)
 
 let select ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c =
   fst (select_governed ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c)

@@ -81,6 +81,20 @@ val select_one_governed :
   collection ->
   collection * Gql_matcher.Budget.stop_reason
 
+val pattern_order :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  n_nodes:int ->
+  Gql_matcher.Flat_pattern.t list ->
+  int list
+(** Execution order for a multi-pattern selection: indices into the
+    input list, cheapest estimated whole-pattern cost
+    ({!Gql_matcher.Order.pattern_cost} under the strategy's cost model)
+    first; stable on ties. {!select} and {!select_governed} run
+    patterns in this order — the System-R style cheapest-first rule
+    lifted from join orders to pattern derivations — while emitting
+    results grouped in program order, so only budget-stopped runs can
+    observe the difference. *)
+
 (** {1 Product and join} *)
 
 val cartesian : collection -> collection -> collection

@@ -72,4 +72,31 @@ let barabasi_albert ?(n_labels = 100) ?(zipf_exponent = 1.0) rng ~n ~m_per_node 
   done;
   build_labeled labels !edges
 
+let hub ?(hub_label = "H") ?(leaf_label = "L") ?(mesh_label = "M") rng ~n_hubs
+    ~n_leaves ~n_mesh =
+  if n_hubs <= 0 then invalid_arg "Synthetic.hub: need at least one hub";
+  let n = n_hubs + n_leaves + n_mesh in
+  let labels =
+    Array.init n (fun i ->
+        if i < n_hubs then hub_label
+        else if i < n_hubs + n_leaves then leaf_label
+        else mesh_label)
+  in
+  let z = Zipf.create n_hubs in
+  let edges = ref [] in
+  (* leaves pick their hub Zipf-distributed: rank-0 hubs own most of
+     the leaf fan-out, so per-hub selectivity varies wildly around any
+     single-number estimate *)
+  for l = 0 to n_leaves - 1 do
+    edges := (Zipf.sample z rng, n_hubs + l) :: !edges
+  done;
+  (* every mesh node touches every hub: the hub–mesh γ is exactly 1,
+     the worst case for a model that assumes joins reduce *)
+  for m = 0 to n_mesh - 1 do
+    for h = 0 to n_hubs - 1 do
+      edges := (h, n_hubs + n_leaves + m) :: !edges
+    done
+  done;
+  build_labeled labels !edges
+
 let label_array g = Array.init (Graph.n_nodes g) (Graph.label g)

@@ -21,4 +21,22 @@ val barabasi_albert :
     existing nodes chosen proportionally to degree. Power-law degree
     distribution; used as the protein-network surrogate. *)
 
+val hub :
+  ?hub_label:string ->
+  ?leaf_label:string ->
+  ?mesh_label:string ->
+  Rng.t ->
+  n_hubs:int ->
+  n_leaves:int ->
+  n_mesh:int ->
+  Graph.t
+(** A hub-skewed graph for the adaptive-planner experiments: [n_hubs]
+    hub nodes, [n_leaves] leaf nodes each attached to one hub chosen
+    Zipf-distributed (rank 0 owns the most), and [n_mesh] mesh nodes
+    each connected to {e every} hub. Per-edge reduction factors are
+    therefore wildly non-uniform: hub–mesh joins do not reduce at all
+    (γ = 1) while hub–leaf joins reduce by orders of magnitude — the
+    shape that makes a static frequency-estimated order wrong and
+    mid-query re-planning profitable. *)
+
 val label_array : Graph.t -> string array

@@ -27,6 +27,7 @@ end)
 type plan = {
   p_space : int array array;
   p_order : int array;
+  p_epoch : int;
 }
 
 type t = {
@@ -39,6 +40,9 @@ type t = {
   plans : (string, plan) Hashtbl.t;
   rows : Lru.t;
   pkeys : string PatTbl.t;
+  (* the shared learned planner statistics: only ever touched under the
+     mutex ([Stats.t] is not domain-safe); planners read {!Stats.snapshot}s *)
+  learned : Gql_matcher.Stats.t;
   mutable invalidations : int;
 }
 
@@ -64,6 +68,7 @@ let create ?(plan_capacity = 4096) ?(retrieval_budget_bytes = 64 * 1024 * 1024)
     plans = Hashtbl.create 256;
     rows = Lru.create ~budget_bytes:retrieval_budget_bytes;
     pkeys = PatTbl.create 64;
+    learned = Gql_matcher.Stats.create ();
     invalidations = 0;
   }
 
@@ -130,7 +135,7 @@ let plan_key t gid ~retrieval ~refine p =
   Printf.sprintf "g%d|%c|%b|%s" gid (mode_char retrieval) refine
     (pattern_text t p)
 
-let plan_find t ~metrics ~retrieval ~refine g p =
+let plan_find t ~metrics ~retrieval ~refine ?(epoch = 0) g p =
   locked t (fun () ->
       match gid_opt t g with
       | None -> None
@@ -138,9 +143,15 @@ let plan_find t ~metrics ~retrieval ~refine g p =
         match
           Hashtbl.find_opt t.plans (plan_key t gid ~retrieval ~refine p)
         with
-        | Some plan ->
+        | Some plan when plan.p_epoch = epoch ->
           M.incr metrics M.Exec_cache_hit;
-          Some plan
+          Some (`Fresh plan)
+        | Some plan ->
+          (* the learned stats moved on since this plan was ordered:
+             the candidate space is still exact (it only depends on the
+             graph), but the order deserves a re-plan *)
+          M.incr metrics M.Exec_plan_stale;
+          Some (`Stale plan)
         | None ->
           M.incr metrics M.Exec_cache_miss;
           None))
@@ -190,6 +201,13 @@ let row t ~metrics ~retrieval g p u ~compute =
           if after > before then
             M.add metrics M.Exec_cache_evictions (after - before));
       row)
+
+let learned_epoch t = locked t (fun () -> Gql_matcher.Stats.epoch t.learned)
+
+let learned_snapshot t =
+  locked t (fun () -> Gql_matcher.Stats.snapshot t.learned)
+
+let observe_learned t ~f = locked t (fun () -> f t.learned)
 
 let stats t =
   locked t (fun () ->

@@ -71,6 +71,9 @@ type plan = {
       (** the {e refined} candidate rows Φ(u) — retrieval and joint
           reduction already applied; treat as immutable *)
   p_order : int array;  (** the search order used with that space *)
+  p_epoch : int;
+      (** the learned-stats epoch the order was planned under (0 when
+          the planner does not consult the learned stats) *)
 }
 
 val plan_find :
@@ -78,13 +81,17 @@ val plan_find :
   metrics:Gql_obs.Metrics.t ->
   retrieval:[ `Node_attrs | `Profiles ] ->
   refine:bool ->
+  ?epoch:int ->
   Graph.t ->
   Gql_matcher.Flat_pattern.t ->
-  plan option
+  [ `Fresh of plan | `Stale of plan ] option
 (** The cached plan for (graph, pattern) under the given engine
-    settings: on a hit the caller skips retrieval, refinement and
-    ordering and goes straight to search. [None] for unregistered
-    graphs or cold patterns. *)
+    settings: on a [`Fresh] hit the caller skips retrieval, refinement
+    and ordering and goes straight to search. [`Stale] means the plan
+    was ordered under an older learned-stats epoch than [epoch]
+    (default 0): its candidate space is still exact and reusable, but
+    the order should be recomputed (counts [exec.cache.stale_plans]).
+    [None] for unregistered graphs or cold patterns. *)
 
 val plan_add :
   t ->
@@ -108,6 +115,18 @@ val row :
 (** The cached feasible-mate row Φ(u), or [compute ()] — inserted into
     the LRU (which may evict colder rows). Treat the returned array as
     immutable: it is shared. *)
+
+val learned_epoch : t -> int
+(** Current epoch of the shared learned statistics (bumps every
+    [epoch_every] observed runs — see {!Gql_matcher.Stats}). *)
+
+val learned_snapshot : t -> Gql_matcher.Stats.t
+(** Deep copy of the shared learned statistics, safe to plan from on
+    any domain while jobs keep feeding the original. *)
+
+val observe_learned : t -> f:(Gql_matcher.Stats.t -> unit) -> unit
+(** Run [f] on the shared learned statistics under the cache mutex —
+    how jobs fold their per-run observations in. Keep [f] short. *)
 
 type stats = {
   version : int;

@@ -108,6 +108,37 @@ let cached_run t job ~exhaustive p g =
   let fallback () =
     (Engine.run ~strategy:s ~exhaustive ~budget ~metrics p g).Engine.outcome
   in
+  (* When the caller did not pin a cost model, the service plans with
+     the shared learned statistics: γ and selectivity estimates start at
+     the static defaults (unseen buckets fall back) and converge on what
+     this workload's searches actually observed. *)
+  let uses_learned = Option.is_none s.Engine.cost_model in
+  let order_model () =
+    match s.Engine.cost_model with
+    | Some m -> m
+    | None ->
+      Gql_matcher.Cost.Learned
+        { learned = Cache.learned_snapshot t.cache; fallback = None }
+  in
+  (* Fold a completed search's observations into the shared stats under
+     the cache mutex. Only exhaustive runs: a truncated search
+     undercounts deep positions and would bias the γ averages. *)
+  let feed outcome ~sizes ~order ~profile =
+    if
+      (uses_learned || s.Engine.adaptive)
+      && outcome.Search.stopped = Budget.Exhausted
+    then
+      Cache.observe_learned t.cache ~f:(fun st ->
+          let k = Array.length order in
+          let pd = profile.Search.pr_descents in
+          let fanouts = Array.make k nan in
+          for i = 1 to k - 1 do
+            if pd.(i - 1) > 0 then
+              fanouts.(i) <- float_of_int pd.(i) /. float_of_int pd.(i - 1)
+          done;
+          Gql_matcher.Stats.observe_run st ~p
+            ~n_nodes:(Gql_graph.Graph.n_nodes g) ~sizes ~order ~fanouts)
+  in
   (* Inter- vs intra-query split: while other work is queued, every
      domain runs its own query (inter-query parallelism, caches hot);
      when this is the only live query and it is about to walk a big
@@ -117,6 +148,7 @@ let cached_run t job ~exhaustive p g =
      costs more than they do. *)
   let search ~order space =
     M.with_span metrics "search" (fun () ->
+        let sizes = Feasible.sizes space in
         let domains =
           if t.search_domains <= 1 || queue_nonempty t then 1
           else t.search_domains
@@ -126,25 +158,78 @@ let cached_run t job ~exhaustive p g =
           && Array.length space.Feasible.candidates.(order.(0)) > 1
           && Feasible.log10_size space >= 3.0
         in
-        if domains > 1 && heavy then
+        if domains > 1 && heavy then begin
           (* the work-stealing engine has no [exhaustive] switch;
              first-match mode is a global limit of 1 *)
           let limit = if exhaustive then None else Some 1 in
-          Gql_matcher.Ws.search ~domains ?limit ~budget ~metrics ~order p g
-            space
-        else Search.run ~exhaustive ~budget ~metrics ~order p g space)
+          if s.Engine.adaptive then begin
+            let reported = ref None in
+            let o =
+              Gql_matcher.Ws.search ~domains ?limit ~budget ~metrics
+                ~adapt:Gql_matcher.Adapt.default ~model:(order_model ())
+                ~report:(fun r -> reported := Some r)
+                ~order p g space
+            in
+            Option.iter
+              (fun r ->
+                feed o ~sizes ~order:r.Gql_matcher.Ws.r_order
+                  ~profile:r.Gql_matcher.Ws.r_profile)
+              !reported;
+            o
+          end
+          else
+            Gql_matcher.Ws.search ~domains ?limit ~budget ~metrics ~order p g
+              space
+        end
+        else if s.Engine.adaptive then begin
+          let r =
+            Gql_matcher.Adapt.run ~exhaustive ~budget ~metrics
+              ~model:(order_model ()) ~order p g space
+          in
+          let o = r.Gql_matcher.Adapt.outcome in
+          feed o ~sizes ~order:r.Gql_matcher.Adapt.final_order
+            ~profile:r.Gql_matcher.Adapt.profile;
+          o
+        end
+        else begin
+          let profile = Search.profile_create (Flat_pattern.size p) in
+          let o =
+            Search.run ~exhaustive ~budget ~metrics ~order ~profile p g space
+          in
+          feed o ~sizes ~order ~profile;
+          o
+        end)
   in
   match s.Engine.retrieval with
   | `Subgraphs -> fallback ()
   | (`Node_attrs | `Profiles) as retrieval -> (
+    let epoch = if uses_learned then Cache.learned_epoch t.cache else 0 in
     match
-      Cache.plan_find t.cache ~metrics ~retrieval ~refine:s.Engine.refine g p
+      Cache.plan_find t.cache ~metrics ~retrieval ~refine:s.Engine.refine
+        ~epoch g p
     with
-    | Some { Cache.p_space; p_order } -> (
+    | Some (`Fresh { Cache.p_space; p_order; _ }) -> (
       (* warm plan: retrieval, refinement and ordering already done *)
       match Budget.poll budget with
       | Some r -> empty_outcome r
       | None -> search ~order:p_order { Feasible.candidates = p_space })
+    | Some (`Stale { Cache.p_space; _ }) -> (
+      (* the learned stats crossed an epoch since this plan was
+         ordered: the refined space is still exact — only re-run the
+         (cheap) ordering under the current model and re-stamp *)
+      let space = { Feasible.candidates = p_space } in
+      let order =
+        if s.Engine.optimize_order then
+          M.with_span metrics "order" (fun () ->
+              Gql_matcher.Order.greedy ~model:(order_model ()) p
+                ~sizes:(Feasible.sizes space))
+        else Gql_matcher.Order.identity p
+      in
+      Cache.plan_add t.cache ~retrieval ~refine:s.Engine.refine g p
+        { Cache.p_space; p_order = order; p_epoch = epoch };
+      match Budget.poll budget with
+      | Some r -> empty_outcome r
+      | None -> search ~order space)
     | None -> (
       match Cache.indexes t.cache ~metrics g with
       | None -> fallback () (* unregistered: a variable binding, not a doc *)
@@ -178,18 +263,16 @@ let cached_run t job ~exhaustive p g =
             let order =
               if s.Engine.optimize_order then
                 M.with_span metrics "order" (fun () ->
-                    let model =
-                      Option.value s.Engine.cost_model
-                        ~default:
-                          (Gql_matcher.Cost.Constant
-                             Gql_matcher.Cost.default_constant)
-                    in
-                    Gql_matcher.Order.greedy ~model p
+                    Gql_matcher.Order.greedy ~model:(order_model ()) p
                       ~sizes:(Feasible.sizes refined))
               else Gql_matcher.Order.identity p
             in
             Cache.plan_add t.cache ~retrieval ~refine:s.Engine.refine g p
-              { Cache.p_space = refined.Feasible.candidates; p_order = order };
+              {
+                Cache.p_space = refined.Feasible.candidates;
+                p_order = order;
+                p_epoch = epoch;
+              };
             match Budget.poll budget with
             | Some r -> empty_outcome r
             | None -> search ~order refined)))))
@@ -203,15 +286,30 @@ let maybe_yield t job =
   end
 
 (* Same iteration structure, short-circuiting and result order as
-   [Algebra.select_governed], so batch results are equal (and equally
-   ordered) to a sequential [Gql.run_query] of the same text. *)
+   [Algebra.select_governed] — including its costed pattern ordering —
+   so batch results are equal (and equally ordered) to a sequential
+   [Gql.run_query] of the same text. *)
 let selector t job ~exhaustive ~patterns entries =
   let metrics = job.j_metrics in
   let stopped = ref Budget.Exhausted in
-  let rev_out = ref [] in
+  let pats = Array.of_list patterns in
+  let np = Array.length pats in
+  let ranked =
+    if np <= 1 then List.init np Fun.id
+    else
+      let n_nodes =
+        List.fold_left
+          (fun m e -> max m (Gql_graph.Graph.n_nodes (Algebra.underlying e)))
+          1 entries
+      in
+      Algebra.pattern_order ~strategy:t.strategy ~n_nodes patterns
+  in
+  let per_pattern = Array.make (max 1 np) [] in
   List.iter
-    (fun p ->
-      if not (Budget.final !stopped) then
+    (fun pi ->
+      if not (Budget.final !stopped) then begin
+        let p = pats.(pi) in
+        let rev_out = ref [] in
         List.iter
           (fun entry ->
             if not (Budget.final !stopped) then begin
@@ -232,9 +330,11 @@ let selector t job ~exhaustive ~patterns entries =
               job.j_slice <- job.j_slice + outcome.Search.visited + 1;
               maybe_yield t job
             end)
-          entries)
-    patterns;
-  (List.rev !rev_out, !stopped)
+          entries;
+        per_pattern.(pi) <- List.rev !rev_out
+      end)
+    ranked;
+  (List.concat (Array.to_list per_pattern), !stopped)
 
 (* --- job execution --------------------------------------------------------- *)
 

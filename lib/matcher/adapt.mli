@@ -1,0 +1,83 @@
+(** Mid-query re-planning (adaptive execution).
+
+    The search order is chosen from estimates; when the data disagrees
+    — a hub-dominated degree distribution, a label pair far denser than
+    the frequency model assumes — the estimate/actual gap shows up as
+    per-position fan-out drift long before the query finishes. This
+    driver runs the backtracking search over the root candidate set in
+    geometrically growing slices, compares the observed fan-out at each
+    order position ({!Search.profile}) against
+    {!Cost.position_estimates} at every slice boundary, and when the
+    ratio diverges past [threshold] re-plans the order suffix with
+    {!Order.greedy_from} under an {!Cost.Edge_gamma} model carrying the
+    observed reduction factors. The root node is pinned, so every root
+    is enumerated exactly once and the union of per-root subtree match
+    sets — which do not depend on the suffix order — equals the static
+    search's match set.
+
+    Sequential engine only; the work-stealing engine ({!Ws}) has its own
+    shared-plan variant of the same trigger. *)
+
+type config = {
+  threshold : float;
+  (** re-plan when observed/estimated fan-out (either direction)
+        reaches this ratio at some position. Default 4.0. *)
+  min_samples : int;
+  (** minimum partial mappings alive at position [i-1] before the
+        fan-out at [i] is trusted. Default 16 (also the initial root
+        slice size). *)
+  max_replans : int;
+  (** cap on re-plans per query — each one is an {!Order.greedy_from}
+        run plus a back-edge rebuild. Default 2. *)
+}
+
+val default : config
+
+type result = {
+  outcome : Search.outcome;
+  replans : int;  (** re-plans actually applied *)
+  final_order : int array;
+  profile : Search.profile;
+  (** observations accumulated since the last re-plan, positions
+        meaning those of [final_order] — what [explain --analyze] and
+        {!Stats.observe_run} consume *)
+  estimates : float array;
+  (** {!Cost.position_estimates} for [final_order] under the last
+        model used to plan it *)
+}
+
+val diverged : config -> float array -> int array -> bool
+(** [diverged cfg estimates descents]: does some order position with
+    enough samples show a fan-out (descents.(i)/descents.(i-1)) off the
+    estimated ratio (estimates.(i)/estimates.(i-1)) by [threshold] in
+    either direction? Shared with the work-stealing engine. *)
+
+val observed_overrides :
+  config ->
+  Flat_pattern.t ->
+  sizes:int array ->
+  int array ->
+  int array ->
+  float array
+(** [observed_overrides cfg p ~sizes order descents]: per-pattern-edge
+    γ overrides (-1 = no observation) for {!Cost.Edge_gamma},
+    attributing each position's observed fan-out geometrically to the
+    edges closed there. *)
+
+val run :
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?budget:Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
+  ?config:config ->
+  model:Cost.model ->
+  order:int array ->
+  Flat_pattern.t ->
+  Gql_graph.Graph.t ->
+  Feasible.space ->
+  result
+(** [run ~model ~order p g space]: adaptive search starting from
+    [order] (the planner's static choice; must cover all pattern
+    nodes). Options mirror {!Search.run}. Finds the same match set as
+    the static search; bumps the [planner.replans] counter on each
+    applied re-plan. *)

@@ -36,23 +36,40 @@ let edge_probability stats la lb =
 type model =
   | Constant of float
   | Frequencies of stats
+  | Learned of { learned : Stats.t; fallback : stats option }
+  | Edge_gamma of { base : model; overrides : float array }
+
+(* The factor of one pattern edge [e] joining node [u] into a set
+   already containing [u']. [u] first: the Frequencies key convention
+   is (label of the joining node, label of the in-set node). *)
+let rec edge_factor model p ~u ~u' e =
+  match model with
+  | Constant c -> c
+  | Frequencies stats ->
+    edge_probability stats
+      (Flat_pattern.required_label p u)
+      (Flat_pattern.required_label p u')
+  | Learned { learned; fallback } -> (
+    let la = Flat_pattern.required_label p u in
+    let lb = Flat_pattern.required_label p u' in
+    match Stats.gamma learned la lb with
+    | Some g -> g
+    | None -> (
+      match fallback with
+      | Some stats -> edge_probability stats la lb
+      | None -> default_constant))
+  | Edge_gamma { base; overrides } ->
+    if e >= 0 && e < Array.length overrides && overrides.(e) >= 0.0 then
+      overrides.(e)
+    else edge_factor base p ~u ~u' e
 
 (* γ of joining node [u] into the set [in_set]: product over the pattern
    edges between u and in_set *)
 let join_gamma model p ~in_set u =
   let g = p.Flat_pattern.structure in
   let acc = ref 1.0 in
-  let visit (u', _) =
-    if in_set.(u') then
-      let f =
-        match model with
-        | Constant c -> c
-        | Frequencies stats ->
-          edge_probability stats
-            (Flat_pattern.required_label p u)
-            (Flat_pattern.required_label p u')
-      in
-      acc := !acc *. f
+  let visit (u', e) =
+    if in_set.(u') then acc := !acc *. edge_factor model p ~u ~u' e
   in
   Array.iter visit (Graph.neighbors g u);
   if Graph.directed g then Array.iter visit (Graph.in_neighbors g u);
@@ -82,3 +99,21 @@ let order_cost model p ~sizes order =
 
 let order_size model p ~sizes order =
   snd (fold_order model p ~sizes order ~init:0.0 ~f:(fun acc ~cost:_ -> acc))
+
+(* est.(i) = estimated number of partial mappings alive after order
+   position i — the "estimated" column the adaptive search and
+   [explain --analyze] compare the observed descent counts against. *)
+let position_estimates model p ~sizes order =
+  let k = Array.length order in
+  let est = Array.make k 0.0 in
+  let in_set = Array.make (Flat_pattern.size p) false in
+  let size = ref 1.0 in
+  Array.iteri
+    (fun i u ->
+      let su = float_of_int sizes.(u) in
+      if i = 0 then size := su
+      else size := !size *. su *. join_gamma model p ~in_set u;
+      est.(i) <- !size;
+      in_set.(u) <- true)
+    order;
+  est

@@ -16,6 +16,9 @@ type stats
 
 val stats_of_graph : Graph.t -> stats
 
+val label_frequency : stats -> string option -> float
+(** Number of data nodes carrying the label ([n_nodes] for [None]). *)
+
 val edge_probability : stats -> string option -> string option -> float
 (** [P(e(u,v))] from the frequency estimates; falls back to the
     constant factor when either label is unknown. *)
@@ -23,9 +26,24 @@ val edge_probability : stats -> string option -> string option -> float
 type model =
   | Constant of float  (** fixed γ per joined edge *)
   | Frequencies of stats
+  | Learned of { learned : Stats.t; fallback : stats option }
+      (** γ from the decayed per-label-pair observations of {!Stats};
+          label pairs no run has observed yet fall back to [fallback]'s
+          frequency estimate, or to {!default_constant} without one. *)
+  | Edge_gamma of { base : model; overrides : float array }
+      (** [base] with per-pattern-edge overrides (indexed by pattern
+          edge id; a negative entry means "inherit from [base]"). How
+          the adaptive search injects the fan-outs it has actually
+          observed into suffix re-planning. *)
 
 val default_constant : float
 (** γ = 0.5, the simple estimate. *)
+
+val edge_factor : model -> Flat_pattern.t -> u:int -> u':int -> int -> float
+(** [edge_factor m p ~u ~u' e]: the reduction factor of the single
+    pattern edge [e] when node [u] joins a partial order already
+    containing [u']. [join_gamma] is the product of these over the
+    closed edges. *)
 
 val join_gamma :
   model -> Flat_pattern.t -> in_set:bool array -> int -> float
@@ -40,3 +58,10 @@ val order_cost :
 
 val order_size : model -> Flat_pattern.t -> sizes:int array -> int array -> float
 (** Estimated result size after the full order (for tests). *)
+
+val position_estimates :
+  model -> Flat_pattern.t -> sizes:int array -> int array -> float array
+(** Per-position estimated partial-result cardinalities: entry [i] is
+    the expected number of partial mappings alive after matching
+    [order.(0..i)]. The baseline the adaptive search and
+    [explain --analyze] compare observed descent counts against. *)

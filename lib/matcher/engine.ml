@@ -6,6 +6,7 @@ type strategy = {
   optimize_order : bool;
   cost_model : Cost.model option;
   search_domains : int;
+  adaptive : bool;
 }
 
 let optimized =
@@ -16,6 +17,7 @@ let optimized =
     optimize_order = true;
     cost_model = None;
     search_domains = 1;
+    adaptive = false;
   }
 
 let baseline =
@@ -26,6 +28,7 @@ let baseline =
     optimize_order = false;
     cost_model = None;
     search_domains = 1;
+    adaptive = false;
   }
 
 let strategy_name s =
@@ -35,9 +38,10 @@ let strategy_name s =
     | `Profiles -> "profiles"
     | `Subgraphs -> "subgraphs"
   in
-  Printf.sprintf "%s%s%s" retr
+  Printf.sprintf "%s%s%s%s" retr
     (if s.refine then "+refine" else "")
     (if s.optimize_order then "+order" else "")
+    (if s.adaptive then "+adaptive" else "")
 
 type timings = {
   t_retrieve : float;
@@ -62,6 +66,7 @@ type result = {
   space_refined : Feasible.space;
   refine_stats : Refine.stats option;
   order : int array;
+  replans : int;
   timings : timings;
   stopped_in : phase option;
 }
@@ -90,6 +95,7 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
       space_refined;
       refine_stats;
       order;
+      replans = 0;
       timings;
       stopped_in = Some phase;
     }
@@ -137,21 +143,94 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
         abort ~space_initial ~space_refined ~refine_stats ~order ~timings
           ~phase:Order r
       | None ->
+        let model =
+          Option.value strategy.cost_model
+            ~default:(Cost.Constant Cost.default_constant)
+        in
+        let replans = ref 0 in
+        (* (profile, estimates, final order) for drift accounting *)
+        let observed = ref None in
         let outcome, t_search =
           phase_timed "search" (fun () ->
-              if strategy.search_domains > 1 then
+              if strategy.search_domains > 1 then begin
                 (* the work-stealing engine has no [exhaustive] switch;
                    first-match mode is a global limit of 1 *)
                 let limit =
                   if exhaustive then limit
                   else Some (match limit with Some l -> min l 1 | None -> 1)
                 in
-                Ws.search ~domains:strategy.search_domains ?limit ~budget
-                  ~metrics ~order p g space_refined
-              else
-                Search.run ~exhaustive ?limit ~budget ~metrics ~order p g
-                  space_refined)
+                if strategy.adaptive then
+                  Ws.search ~domains:strategy.search_domains ?limit ~budget
+                    ~metrics ~adapt:Adapt.default ~model
+                    ~report:(fun r ->
+                      replans := r.Ws.r_replans;
+                      observed :=
+                        Some (r.Ws.r_profile, r.Ws.r_estimates, r.Ws.r_order))
+                    ~order p g space_refined
+                else
+                  Ws.search ~domains:strategy.search_domains ?limit ~budget
+                    ~metrics ~order p g space_refined
+              end
+              else if strategy.adaptive then begin
+                let r =
+                  Adapt.run ~exhaustive ?limit ~budget ~metrics ~model ~order
+                    p g space_refined
+                in
+                replans := r.Adapt.replans;
+                observed :=
+                  Some (r.Adapt.profile, r.Adapt.estimates, r.Adapt.final_order);
+                r.Adapt.outcome
+              end
+              else begin
+                (* static sequential run: profile when metrics are on so
+                   [explain --analyze] can show estimate/actual drift *)
+                let profile =
+                  if M.enabled metrics then
+                    Some (Search.profile_create (Flat_pattern.size p))
+                  else None
+                in
+                let o =
+                  Search.run ~exhaustive ?limit ~budget ~metrics ~order
+                    ?profile p g space_refined
+                in
+                Option.iter
+                  (fun pr ->
+                    let est =
+                      Cost.position_estimates model p
+                        ~sizes:(Feasible.sizes space_refined) order
+                    in
+                    observed := Some (pr, est, order))
+                  profile;
+                o
+              end)
         in
+        let order =
+          match !observed with Some (_, _, o) -> o | None -> order
+        in
+        (match !observed with
+        | Some (pr, est, ord) ->
+          let k = Array.length ord in
+          if M.enabled metrics then
+            for i = 0 to k - 1 do
+              M.record_drift metrics ~position:i ~estimated:est.(i)
+                ~actual:(float_of_int pr.Search.pr_descents.(i))
+            done;
+          (match model with
+          | Cost.Learned { learned; _ } ->
+            (* close the feedback loop: fold the observed per-position
+               fan-outs and candidate sizes into the learned stats *)
+            let pd = pr.Search.pr_descents in
+            let fanouts = Array.make k nan in
+            for i = 1 to k - 1 do
+              if pd.(i - 1) > 0 then
+                fanouts.(i) <-
+                  float_of_int pd.(i) /. float_of_int pd.(i - 1)
+            done;
+            Stats.observe_run learned ~p
+              ~n_nodes:(Gql_graph.Graph.n_nodes g)
+              ~sizes:(Feasible.sizes space_refined) ~order:ord ~fanouts
+          | _ -> ())
+        | None -> ());
         let stopped_in =
           match outcome.Search.stopped with
           | Budget.Exhausted | Budget.Hit_limit -> None
@@ -164,6 +243,7 @@ let run ?(strategy = optimized) ?(exhaustive = true) ?limit
           space_refined;
           refine_stats;
           order;
+          replans = !replans;
           timings = { timings with t_search };
           stopped_in;
         }))

@@ -23,6 +23,11 @@ type strategy = {
   (** > 1: run the search phase on the work-stealing parallel engine
       ({!Ws.search}) with that many domains. Default 1 (sequential) in
       both named strategies; [gqlsh --domains N] overrides it. *)
+  adaptive : bool;
+  (** Mid-query re-planning ({!Adapt}): profile per-position fan-out
+      against the cost model's estimates and re-order the suffix when
+      they diverge. Same match set; default false in both named
+      strategies; [gqlsh --adaptive] enables it. *)
 }
 
 val optimized : strategy
@@ -49,6 +54,10 @@ type result = {
   space_refined : Feasible.space;  (** = initial when refinement off *)
   refine_stats : Refine.stats option;
   order : int array;
+  (** the order the search finished under (adaptive runs may have
+      re-planned away from the planner's choice) *)
+  replans : int;
+  (** re-plans applied by an adaptive search; 0 otherwise *)
   timings : timings;
   stopped_in : phase option;
   (** [None] on a normal completion (including [Hit_limit]); [Some p]

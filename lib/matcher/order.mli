@@ -17,7 +17,22 @@
 val greedy :
   ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
 (** Guarantee: [Cost.order_cost model p ~sizes (greedy ~model p ~sizes)]
-    ≤ the cost of {!identity}. *)
+    ≤ the cost of {!identity}. Selection keeps an incremental per-node γ
+    memo (updated once per closed edge) instead of recomputing
+    {!Cost.join_gamma} per candidate per step. *)
+
+val greedy_from :
+  ?model:Cost.model ->
+  Flat_pattern.t ->
+  sizes:int array ->
+  prefix:int array ->
+  int array
+(** Greedy completion of a pinned prefix: the returned order starts with
+    [prefix] (verbatim) and continues greedily. How the adaptive search
+    re-plans the suffix mid-query — the prefix positions are already
+    being enumerated and cannot move. No identity guard: the caller
+    compares the completion against the order it is considering
+    replacing. Raises [Invalid_argument] on an invalid prefix. *)
 
 val exhaustive :
   ?model:Cost.model -> Flat_pattern.t -> sizes:int array -> int array
@@ -25,5 +40,27 @@ val exhaustive :
     best-effort above. Raises [Invalid_argument] for patterns of more
     than 20 nodes. *)
 
+val exhaustive_from :
+  ?model:Cost.model ->
+  Flat_pattern.t ->
+  sizes:int array ->
+  prefix:int array ->
+  int array
+(** Optimal completion of a pinned prefix for ≤ 8 pattern nodes (greedy
+    completion above). What the adaptive search re-plans with:
+    {!greedy_from} keys each step on the immediate join cost, which is
+    blind to a join that costs more now but whose observed γ collapses
+    every later intermediate — the exact shape a mid-query re-plan
+    exists to exploit. Raises [Invalid_argument] on an invalid
+    prefix. *)
+
 val identity : Flat_pattern.t -> int array
 (** The input order [0 .. k-1] (the "w/o optimized order" baseline). *)
+
+val pattern_cost : ?model:Cost.model -> Flat_pattern.t -> n_nodes:int -> float
+(** Estimated cost of matching the whole pattern against a graph of
+    [n_nodes] nodes: the root scan plus {!Cost.order_cost} of the
+    pattern's own greedy order, with per-node candidate sizes estimated
+    from the model ([Learned] selectivities, [Frequencies] label counts,
+    or [n_nodes] under [Constant]). The ranking key the algebra uses to
+    execute the cheapest pattern of a multi-pattern FLWR first. *)

@@ -137,7 +137,10 @@ let search_static ?domains ?order ?limit ?limit_per_domain
     { Search.mappings = List.rev rev_mappings; n_found; visited; stopped }
   end
 
-let search = Ws.search
+let search ?domains ?order ?limit ?limit_per_domain ?budget ?metrics p g space
+    =
+  Ws.search ?domains ?order ?limit ?limit_per_domain ?budget ?metrics p g
+    space
 
 let count_matches ?domains ?budget ?(strategy = Engine.optimized) p g =
   let space =

@@ -104,6 +104,22 @@ let has_semi_perfect_lists memo g phi u v =
   done;
   Bipartite.semi_perfect { nl; nr; adj }
 
+(* Kernel crossover, in data-side neighbor count [nr]: the packed rows
+   pay a fixed setup cost (stride math, word fills) that dominates tiny
+   bipartite problems, where consed lists + Hopcroft–Karp are cheaper;
+   from [nr] of about a cache line of words upward the word-at-a-time
+   row intersection wins. Measured on the PPI clique workload
+   (micro.refine_ppi) — the bench asserts the dispatch never loses to
+   either pure kernel. *)
+let auto_nr_threshold = 16
+
+let has_semi_perfect_auto memo g phi u v =
+  let nu = memo.pat_nbrs.(u) in
+  if Array.length nu = 0 then true
+  else if Array.length (graph_nbrs memo g v) < auto_nr_threshold then
+    has_semi_perfect_lists memo g phi u v
+  else has_semi_perfect memo g phi u v
+
 let to_space k phi =
   { Feasible.candidates = Array.init k (fun u -> Bitset.to_array phi.(u)) }
 
@@ -164,6 +180,9 @@ let refine_with check ?level ?(metrics = Gql_obs.Metrics.disabled) p g space =
   (to_space k phi, st)
 
 let refine ?level ?metrics p g space =
+  refine_with has_semi_perfect_auto ?level ?metrics p g space
+
+let refine_packed ?level ?metrics p g space =
   refine_with has_semi_perfect ?level ?metrics p g space
 
 let refine_lists ?level ?metrics p g space =

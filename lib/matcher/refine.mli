@@ -30,11 +30,25 @@ val refine :
     space is not mutated. [metrics] (default disabled) receives the
     returned {!stats} as counters.
 
-    The bipartite rows are built as packed bit words in a reused
-    scratch (no consing); an isolated left vertex aborts the check
-    before any matching runs, and the matching itself
-    ({!Bipartite.kuhn_packed}) intersects rows with the visited mask a
-    word at a time. *)
+    Each semi-perfect check picks its kernel from the data node's
+    neighbor count: small rows go through the consed-list
+    Hopcroft–Karp (the packed rows' setup cost dominates tiny
+    bipartite problems), larger rows through the word-packed
+    {!Bipartite.kuhn_packed}. Both kernels compute the same predicate,
+    so the fixpoint is identical whichever is picked. *)
+
+val refine_packed :
+  ?level:int ->
+  ?metrics:Gql_obs.Metrics.t ->
+  Flat_pattern.t ->
+  Graph.t ->
+  Feasible.space ->
+  Feasible.space * stats
+(** Always the word-packed kernel: rows built as packed bit words in a
+    reused scratch (no consing), an isolated left vertex aborts the
+    check before any matching runs, and {!Bipartite.kuhn_packed}
+    intersects rows with the visited mask a word at a time. Kept for
+    the kernel-crossover benchmark. *)
 
 val refine_lists :
   ?level:int ->

@@ -7,6 +7,22 @@ type outcome = {
   stopped : Budget.stop_reason;
 }
 
+(* Per-order-position observation arrays for the adaptive planner:
+   Check calls and successful extensions (descents) at each position.
+   Only counted when a profile is passed — the default search pays one
+   predictable branch per Check. *)
+type profile = {
+  pr_checked : int array;
+  pr_descents : int array;
+}
+
+let profile_create k =
+  { pr_checked = Array.make k 0; pr_descents = Array.make k 0 }
+
+let profile_reset pr =
+  Array.fill pr.pr_checked 0 (Array.length pr.pr_checked) 0;
+  Array.fill pr.pr_descents 0 (Array.length pr.pr_descents) 0
+
 (* Pattern edges from order.(i) to nodes earlier in the order, as flat
    parallel arrays so the inner check loop touches no list cells:
    is_out.(j) — does the edge leave order.(i)?; pe.(j) — pattern edge
@@ -90,9 +106,15 @@ let node_check ~g ~p ~pattern_directed (back : back array) (phi : int array) i v
   !ok
 
 let generic_run ?(budget = Budget.unlimited)
-    ?(metrics = Gql_obs.Metrics.disabled) ?(order = [||]) p g space ~on_match =
+    ?(metrics = Gql_obs.Metrics.disabled) ?(order = [||]) ?profile ?root_range
+    p g space ~on_match =
   let k = Flat_pattern.size p in
   let order = if Array.length order = 0 then Array.init k (fun i -> i) else order in
+  let profiling, pr_checked, pr_descents =
+    match profile with
+    | Some pr -> (true, pr.pr_checked, pr.pr_descents)
+    | None -> (false, [||], [||])
+  in
   let back = back_edges p order in
   let phi = Array.make k (-1) in
   let used = Bitset.create (max 1 (Graph.n_nodes g)) in
@@ -130,7 +152,10 @@ let generic_run ?(budget = Budget.unlimited)
         true
       | None -> false
     then false
-    else node_check ~g ~p ~pattern_directed back phi i v
+    else begin
+      if profiling then pr_checked.(i) <- pr_checked.(i) + 1;
+      node_check ~g ~p ~pattern_directed back phi i v
+    end
   in
   let rec go i =
     if !stopped then ()
@@ -146,13 +171,19 @@ let generic_run ?(budget = Budget.unlimited)
       let u = order.(i) in
       let cands = space.Feasible.candidates.(u) in
       let n = Array.length cands in
-      let ci = ref 0 in
-      while (not !stopped) && !ci < n do
+      let stop_at =
+        match root_range with Some (_, hi) when i = 0 -> min hi n | _ -> n
+      in
+      let ci =
+        ref (match root_range with Some (lo, _) when i = 0 -> lo | _ -> 0)
+      in
+      while (not !stopped) && !ci < stop_at do
         let v = Array.unsafe_get cands !ci in
         (* bounds-checked used-set ops: a malformed candidate space
            (ids beyond the graph) must raise, not corrupt the heap *)
         if (not (Bitset.mem used v)) && check i v then begin
           incr descents;
+          if profiling then pr_descents.(i) <- pr_descents.(i) + 1;
           phi.(u) <- v;
           Bitset.add used v;
           go (i + 1);
@@ -179,10 +210,11 @@ let generic_run ?(budget = Budget.unlimited)
   end;
   (!visited, !reason)
 
-let run_raw ?budget ?metrics ?order ~on_match p g space =
-  generic_run ?budget ?metrics ?order p g space ~on_match
+let run_raw ?budget ?metrics ?order ?profile ?root_range ~on_match p g space =
+  generic_run ?budget ?metrics ?order ?profile ?root_range p g space ~on_match
 
-let run ?(exhaustive = true) ?limit ?budget ?metrics ?order p g space =
+let run ?(exhaustive = true) ?limit ?budget ?metrics ?order ?profile p g space
+    =
   let results = ref [] in
   let n = ref 0 in
   let on_match phi =
@@ -191,7 +223,9 @@ let run ?(exhaustive = true) ?limit ?budget ?metrics ?order p g space =
     let hit_limit = match limit with Some l -> !n >= l | None -> false in
     if hit_limit || not exhaustive then `Stop else `Continue
   in
-  let visited, stopped = generic_run ?budget ?metrics ?order p g space ~on_match in
+  let visited, stopped =
+    generic_run ?budget ?metrics ?order ?profile p g space ~on_match
+  in
   { mappings = List.rev !results; n_found = !n; visited; stopped }
 
 let iter ?budget ?metrics ?order ~f p g space =

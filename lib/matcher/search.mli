@@ -26,6 +26,20 @@ type outcome = {
       stopped the search and [mappings] is the prefix found so far. *)
 }
 
+type profile = {
+  pr_checked : int array;  (** Check calls per order position *)
+  pr_descents : int array;  (** successful extensions per order position *)
+}
+(** Per-position observation arrays for the adaptive planner: comparing
+    [pr_descents] against {!Cost.position_estimates} is how estimate /
+    actual drift is detected. Pass a fresh one per search; the search
+    adds into it. *)
+
+val profile_create : int -> profile
+(** [profile_create k]: zeroed arrays for a k-node pattern. *)
+
+val profile_reset : profile -> unit
+
 type back
 (** Precomputed back-edges (pattern edges into earlier order positions)
     for one order position, as flat parallel arrays. *)
@@ -55,6 +69,7 @@ val run :
   ?budget:Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?order:int array ->
+  ?profile:profile ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->
@@ -85,6 +100,8 @@ val run_raw :
   ?budget:Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?order:int array ->
+  ?profile:profile ->
+  ?root_range:int * int ->
   on_match:(int array -> [ `Continue | `Stop ]) ->
   Flat_pattern.t ->
   Graph.t ->
@@ -94,4 +111,6 @@ val run_raw :
     reused) and returns [(visited, stopped)] — [Hit_limit] when
     [on_match] returned [`Stop], [Exhausted] on a full exploration, a
     budget reason otherwise. Used by [Parallel.search] to share a
-    global hit count across domains. *)
+    global hit count across domains. [root_range] restricts position 0
+    to the candidate indices [lo, hi) — the slice primitive the
+    adaptive engine re-plans between. *)

@@ -22,17 +22,41 @@
 
    Global ~limit, sibling cancellation, exception re-raise and
    per-domain metrics behave exactly as in the static engine; see
-   Parallel's interface for the contract. *)
+   Parallel's interface for the contract.
+
+   Adaptive mode ([~adapt]) shares one plan — (order, back edges,
+   per-position estimates, epoch) — through an Atomic. A task is bound
+   to the plan it was created under (its prefix is indexed by that
+   plan's order positions), except depth-0 tasks, whose empty prefix is
+   order-agnostic: they adopt whatever plan is current when they run,
+   which is how a re-plan takes effect on all outstanding root ranges.
+   Workers profile descents per position for the current epoch only; a
+   worker whose local observations diverge from the plan's estimates
+   computes a suffix re-order (root pinned, so root ranges stay valid)
+   and installs it with compare-and-set — losers simply continue under
+   the winner's plan. The match set is unchanged: every root is
+   enumerated exactly once and a root's subtree match set does not
+   depend on the suffix order. *)
 
 open Gql_graph
 
 let default_domains () = Domain.recommended_domain_count ()
+
+(* Everything a task needs to interpret its prefix and keep searching:
+   immutable once built, shared via [Atomic.t plan]. *)
+type plan = {
+  pl_order : int array;
+  pl_back : Search.back array;
+  pl_est : float array;  (* Cost.position_estimates; [||] when static *)
+  pl_epoch : int;
+}
 
 type task = {
   t_depth : int;  (* order positions 0..t_depth-1 are assigned *)
   t_phi : int array;  (* their values, indexed by order position *)
   t_lo : int;  (* candidates of order.(t_depth) left to explore: *)
   t_hi : int;  (* indices [t_lo, t_hi) *)
+  t_plan : plan;  (* the plan t_phi's positions refer to *)
 }
 
 (* Own-deque priming level: expose while the deque holds fewer tasks
@@ -45,9 +69,16 @@ let min_opt a b =
   | None, x | x, None -> x
   | Some a, Some b -> Some (min a b)
 
+type report = {
+  r_replans : int;
+  r_order : int array;  (* the final plan's order *)
+  r_profile : Search.profile;  (* descents observed under the final plan *)
+  r_estimates : float array;  (* its position estimates *)
+}
+
 let search ?domains ?order ?limit ?limit_per_domain
-    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled) p g
-    space =
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled) ?adapt
+    ?(model = Cost.Constant Cost.default_constant) ?report p g space =
   let module M = Gql_obs.Metrics in
   let k = Flat_pattern.size p in
   let n_domains =
@@ -58,9 +89,28 @@ let search ?domains ?order ?limit ?limit_per_domain
     | Some o when Array.length o > 0 -> o
     | _ -> Array.init k (fun i -> i)
   in
+  let adaptive = adapt <> None && k > 1 in
   if k = 0 || n_domains = 1 then
-    Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~metrics ~order
-      p g space
+    if adaptive then begin
+      let r =
+        Adapt.run ?limit:(min_opt limit limit_per_domain) ~budget ~metrics
+          ?config:adapt ~model ~order p g space
+      in
+      Option.iter
+        (fun f ->
+          f
+            {
+              r_replans = r.Adapt.replans;
+              r_order = r.Adapt.final_order;
+              r_profile = r.Adapt.profile;
+              r_estimates = r.Adapt.estimates;
+            })
+        report;
+      r.Adapt.outcome
+    end
+    else
+      Search.run ?limit:(min_opt limit limit_per_domain) ~budget ~metrics
+        ~order p g space
   else if
     Array.exists (fun c -> Array.length c = 0) space.Feasible.candidates
   then begin
@@ -80,6 +130,21 @@ let search ?domains ?order ?limit ?limit_per_domain
        whole tree is done and idle workers may exit *)
     let pending = Atomic.make 0 in
     let deques = Array.init n_domains (fun _ -> Deque.create ()) in
+    let pattern_directed = Graph.directed p.Flat_pattern.structure in
+    let sizes = if adaptive then Feasible.sizes space else [||] in
+    let plan0 =
+      {
+        pl_order = order;
+        pl_back = Search.back_edges p order;
+        pl_est =
+          (if adaptive then Cost.position_estimates model p ~sizes order
+           else [||]);
+        pl_epoch = 0;
+      }
+    in
+    let current_plan = Atomic.make plan0 in
+    let replans = Atomic.make 0 in
+    let cfg = Option.value adapt ~default:Adapt.default in
     (* seed: contiguous ranges of Φ(u₁), one depth-0 task per domain —
        the work-stealing equivalent of the static slices, except any
        imbalance is corrected by stealing instead of suffered *)
@@ -88,11 +153,10 @@ let search ?domains ?order ?limit ?limit_per_domain
       let lo = d * n0 / seeds and hi = (d + 1) * n0 / seeds in
       if hi > lo then begin
         Atomic.incr pending;
-        Deque.push deques.(d) { t_depth = 0; t_phi = [||]; t_lo = lo; t_hi = hi }
+        Deque.push deques.(d)
+          { t_depth = 0; t_phi = [||]; t_lo = lo; t_hi = hi; t_plan = plan0 }
       end
     done;
-    let pattern_directed = Graph.directed p.Flat_pattern.structure in
-    let back = Search.back_edges p order in
     let max_visited = Budget.max_visited domain_budget in
     let poll_mask = Budget.check_interval - 1 in
     let worker wid () =
@@ -110,6 +174,13 @@ let search ?domains ?order ?limit ?limit_per_domain
       let idles = ref 0 in
       let stopped = ref false in
       let reason = ref Budget.Exhausted in
+      (* the plan of the task being executed; set by [run_task] *)
+      let w_plan = ref plan0 in
+      (* descents per order position, for the epoch [prof_epoch] only —
+         stale-plan tasks are executed but not profiled *)
+      let prof = Search.profile_create k in
+      let prof_epoch = ref 0 in
+      let profiling = ref false in
       let stop r =
         reason := r;
         stopped := true
@@ -130,7 +201,11 @@ let search ?domains ?order ?limit ?limit_per_domain
             true
           | None -> false
         then false
-        else Search.node_check ~g ~p ~pattern_directed back phi i v
+        else begin
+          if !profiling then
+            prof.Search.pr_checked.(i) <- prof.Search.pr_checked.(i) + 1;
+          Search.node_check ~g ~p ~pattern_directed !w_plan.pl_back phi i v
+        end
       in
       let on_match () =
         incr matches;
@@ -154,6 +229,7 @@ let search ?domains ?order ?limit ?limit_per_domain
       (* explore candidates [lo, hi) of order.(depth) under the prefix
          currently installed in phi/used *)
       let rec explore depth lo hi =
+        let order = !w_plan.pl_order in
         let u = Array.unsafe_get order depth in
         let cands = Array.unsafe_get space.Feasible.candidates u in
         let ci = ref lo in
@@ -170,6 +246,7 @@ let search ?domains ?order ?limit ?limit_per_domain
                 t_phi = Array.init depth (fun i -> phi.(order.(i)));
                 t_lo = !ci + 1;
                 t_hi = !hi;
+                t_plan = !w_plan;
               };
             hi := !ci + 1
           end;
@@ -178,6 +255,9 @@ let search ?domains ?order ?limit ?limit_per_domain
              (ids beyond the graph) must raise, not corrupt the heap *)
           if (not (Bitset.mem used v)) && check depth v then begin
             incr descents;
+            if !profiling then
+              prof.Search.pr_descents.(depth) <-
+                prof.Search.pr_descents.(depth) + 1;
             phi.(u) <- v;
             Bitset.add used v;
             (if depth + 1 >= k then begin
@@ -193,6 +273,23 @@ let search ?domains ?order ?limit ?limit_per_domain
         done
       in
       let run_task t =
+        (* a depth-0 task has an empty, order-agnostic prefix: bind it
+           to the freshest plan so an applied re-plan reaches every
+           pending root range. Deeper prefixes are glued to the order
+           they were captured under. *)
+        let pl =
+          if t.t_depth = 0 && adaptive then Atomic.get current_plan
+          else t.t_plan
+        in
+        w_plan := pl;
+        if adaptive then begin
+          if pl.pl_epoch > !prof_epoch then begin
+            Search.profile_reset prof;
+            prof_epoch := pl.pl_epoch
+          end;
+          profiling := pl.pl_epoch = !prof_epoch
+        end;
+        let order = pl.pl_order in
         (* adopt the prefix: it was validated when captured, and graph
            and space are immutable, so no re-checking *)
         for i = 0 to t.t_depth - 1 do
@@ -208,6 +305,53 @@ let search ?domains ?order ?limit ?limit_per_domain
             done;
             Atomic.decr pending)
           (fun () -> explore t.t_depth t.t_lo t.t_hi)
+      in
+      (* task-boundary re-plan trigger: cheap (a handful of float
+         divides) and outside the search hot path *)
+      let maybe_replan () =
+        if adaptive && Atomic.get replans < cfg.Adapt.max_replans then begin
+          let pl = Atomic.get current_plan in
+          if
+            pl.pl_epoch = !prof_epoch
+            && Adapt.diverged cfg pl.pl_est prof.Search.pr_descents
+          then begin
+            let overrides =
+              Adapt.observed_overrides cfg p ~sizes pl.pl_order
+                prof.Search.pr_descents
+            in
+            let model' = Cost.Edge_gamma { base = model; overrides } in
+            let candidate =
+              Order.exhaustive_from ~model:model' p ~sizes
+                ~prefix:[| pl.pl_order.(0) |]
+            in
+            let pl' =
+              if
+                Cost.order_cost model' p ~sizes candidate
+                < Cost.order_cost model' p ~sizes pl.pl_order
+              then
+                {
+                  pl_order = candidate;
+                  pl_back = Search.back_edges p candidate;
+                  pl_est = Cost.position_estimates model' p ~sizes candidate;
+                  pl_epoch = pl.pl_epoch + 1;
+                }
+              else
+                (* observations do not change the plan: refresh the
+                   baseline (same order, bumped epoch) so the drift does
+                   not re-trigger at every task boundary *)
+                {
+                  pl with
+                  pl_est = Cost.position_estimates model' p ~sizes pl.pl_order;
+                  pl_epoch = pl.pl_epoch + 1;
+                }
+            in
+            if Atomic.compare_and_set current_plan pl pl' then
+              if pl'.pl_order != pl.pl_order then begin
+                Atomic.incr replans;
+                if M.enabled dm then M.incr dm M.Planner_replans
+              end
+          end
+        end
       in
       let try_steal () =
         let found = ref None in
@@ -228,13 +372,15 @@ let search ?domains ?order ?limit ?limit_per_domain
         match Deque.pop my_deque with
         | Some t ->
           idle_rounds := 0;
-          run_task t
+          run_task t;
+          maybe_replan ()
         | None -> (
           match try_steal () with
           | Some t ->
             idle_rounds := 0;
             incr steals;
-            run_task t
+            run_task t;
+            maybe_replan ()
           | None ->
             if Atomic.get pending = 0 then stopped := true
             else begin
@@ -261,7 +407,7 @@ let search ?domains ?order ?limit ?limit_per_domain
         M.add dm M.Parallel_tasks_spawned !spawned;
         M.add dm M.Parallel_idle_polls !idles
       end;
-      (List.rev !results, !n, !visited, !reason, dm)
+      (List.rev !results, !n, !visited, !reason, dm, prof, !prof_epoch)
     in
     let spawned_domains =
       List.init n_domains (fun wid ->
@@ -285,7 +431,8 @@ let search ?domains ?order ?limit ?limit_per_domain
     in
     let rev_mappings, n_found, visited, reason =
       List.fold_left
-        (fun (ms, n, vis, reason) (mappings, n_dom, visited, stopped, dm) ->
+        (fun (ms, n, vis, reason)
+             (mappings, n_dom, visited, stopped, dm, _, _) ->
           M.merge ~into:metrics dm;
           ( List.rev_append mappings ms,
             n + n_dom,
@@ -294,6 +441,31 @@ let search ?domains ?order ?limit ?limit_per_domain
         ([], 0, 0, Budget.Exhausted)
         outcomes
     in
+    (if adaptive then
+       Option.iter
+         (fun f ->
+           let final = Atomic.get current_plan in
+           let merged = Search.profile_create k in
+           List.iter
+             (fun (_, _, _, _, _, prof, epoch) ->
+               if epoch = final.pl_epoch then
+                 for i = 0 to k - 1 do
+                   merged.Search.pr_checked.(i) <-
+                     merged.Search.pr_checked.(i)
+                     + prof.Search.pr_checked.(i);
+                   merged.Search.pr_descents.(i) <-
+                     merged.Search.pr_descents.(i)
+                     + prof.Search.pr_descents.(i)
+                 done)
+             outcomes;
+           f
+             {
+               r_replans = Atomic.get replans;
+               r_order = final.pl_order;
+               r_profile = merged;
+               r_estimates = final.pl_est;
+             })
+         report);
     let stopped =
       match limit with
       | Some l when n_found >= l -> Budget.Hit_limit

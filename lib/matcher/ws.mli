@@ -24,6 +24,16 @@ open Gql_graph
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — no cap. *)
 
+type report = {
+  r_replans : int;  (** re-plans applied across all domains *)
+  r_order : int array;  (** the final shared plan's order *)
+  r_profile : Search.profile;
+  (** descents/checks observed under the final plan, all domains
+        merged — positions are those of [r_order] *)
+  r_estimates : float array;
+  (** {!Cost.position_estimates} of the final plan *)
+}
+
 val search :
   ?domains:int ->
   ?order:int array ->
@@ -31,9 +41,23 @@ val search :
   ?limit_per_domain:int ->
   ?budget:Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
+  ?adapt:Adapt.config ->
+  ?model:Cost.model ->
+  ?report:(report -> unit) ->
   Flat_pattern.t ->
   Graph.t ->
   Feasible.space ->
   Search.outcome
 (** Falls back to the sequential {!Search.run} when [domains <= 1] or
-    the pattern is empty. *)
+    the pattern is empty ({!Adapt.run} instead when [adapt] is given).
+
+    With [adapt], the current (order, back-edges, estimates) plan lives
+    in an [Atomic]: workers profile their own descents per order
+    position, and one whose observations diverge from the estimates
+    (see {!Adapt}) installs a re-planned suffix by compare-and-set.
+    Depth-0 tasks — root ranges, whose empty prefix is order-agnostic —
+    always adopt the freshest plan; deeper tasks stay glued to the plan
+    their prefix was captured under, so the match set is exactly that
+    of the static search. [model] is the γ source for re-planning
+    estimates (default [Constant]); [report] receives the final plan,
+    merged profile and re-plan count after the join. *)

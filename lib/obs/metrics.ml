@@ -25,6 +25,8 @@ type counter =
   | Exec_queue_completed
   | Exec_queue_yields
   | Exec_queue_deadline_stops
+  | Planner_replans
+  | Exec_plan_stale
 
 let counter_index = function
   | Retrieval_scanned -> 0
@@ -53,8 +55,10 @@ let counter_index = function
   | Exec_queue_completed -> 23
   | Exec_queue_yields -> 24
   | Exec_queue_deadline_stops -> 25
+  | Planner_replans -> 26
+  | Exec_plan_stale -> 27
 
-let n_counters = 26
+let n_counters = 28
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -83,6 +87,8 @@ let counter_name = function
   | Exec_queue_completed -> "exec.queue.completed"
   | Exec_queue_yields -> "exec.queue.yields"
   | Exec_queue_deadline_stops -> "exec.queue.deadline_stops"
+  | Planner_replans -> "planner.replans"
+  | Exec_plan_stale -> "exec.cache.stale_plans"
 
 let all_counters =
   [
@@ -112,6 +118,8 @@ let all_counters =
     Exec_queue_completed;
     Exec_queue_yields;
     Exec_queue_deadline_stops;
+    Planner_replans;
+    Exec_plan_stale;
   ]
 
 type histogram = Candidate_set_size | Matches_per_graph
@@ -132,9 +140,14 @@ type histo_summary = {
   mean : float;
   p50 : int;
   p90 : int;
+  p99 : int;
 }
 
 let n_buckets = 64
+
+(* per-order-position cardinality drift: one slot per position keeps
+   (runs contributing, Σ estimated partials, Σ actual partials) *)
+let n_drift = 64
 
 type t = {
   e : bool;
@@ -145,6 +158,9 @@ type t = {
   h_sum : int array;
   h_min : int array;
   h_max : int array;
+  d_runs : int array;
+  d_est : float array;
+  d_act : float array;
   (* spans, structure-of-arrays; parent = -1 for roots *)
   mutable s_name : string array;
   mutable s_start : float array;
@@ -163,6 +179,9 @@ let make e =
     h_sum = Array.make n_histograms 0;
     h_min = Array.make n_histograms max_int;
     h_max = Array.make n_histograms min_int;
+    d_runs = Array.make n_drift 0;
+    d_est = Array.make n_drift 0.0;
+    d_act = Array.make n_drift 0.0;
     s_name = Array.make 16 "";
     s_start = Array.make 16 0.0;
     s_stop = Array.make 16 0.0;
@@ -223,6 +242,12 @@ let percentile m i q =
   (* clamp the bucket floor to the exact extremes *)
   Stdlib.min m.h_max.(i) (Stdlib.max m.h_min.(i) (bucket_floor !found))
 
+let histogram_quantile m h q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Metrics.histogram_quantile: q outside [0, 1]";
+  let i = histogram_index h in
+  if m.h_count.(i) = 0 then None else Some (percentile m i q)
+
 let histo_summary m h =
   let i = histogram_index h in
   if m.h_count.(i) = 0 then None
@@ -235,7 +260,25 @@ let histo_summary m h =
         mean = float_of_int m.h_sum.(i) /. float_of_int m.h_count.(i);
         p50 = percentile m i 0.5;
         p90 = percentile m i 0.9;
+        p99 = percentile m i 0.99;
       }
+
+(* --- cardinality drift --------------------------------------------------- *)
+
+let record_drift m ~position ~estimated ~actual =
+  if m.e && position >= 0 && position < n_drift then begin
+    m.d_runs.(position) <- m.d_runs.(position) + 1;
+    m.d_est.(position) <- m.d_est.(position) +. estimated;
+    m.d_act.(position) <- m.d_act.(position) +. actual
+  end
+
+let drift m =
+  let acc = ref [] in
+  for i = n_drift - 1 downto 0 do
+    if m.d_runs.(i) > 0 then
+      acc := (i, m.d_runs.(i), m.d_est.(i), m.d_act.(i)) :: !acc
+  done;
+  !acc
 
 (* --- spans --------------------------------------------------------------- *)
 
@@ -289,6 +332,11 @@ let merge ~into m =
       into.h_sum.(i) <- into.h_sum.(i) + m.h_sum.(i);
       if m.h_min.(i) < into.h_min.(i) then into.h_min.(i) <- m.h_min.(i);
       if m.h_max.(i) > into.h_max.(i) then into.h_max.(i) <- m.h_max.(i)
+    done;
+    for i = 0 to n_drift - 1 do
+      into.d_runs.(i) <- into.d_runs.(i) + m.d_runs.(i);
+      into.d_est.(i) <- into.d_est.(i) +. m.d_est.(i);
+      into.d_act.(i) <- into.d_act.(i) +. m.d_act.(i)
     done;
     let off = into.n_spans in
     for id = 0 to m.n_spans - 1 do
@@ -374,9 +422,22 @@ let pp ppf m =
         | None -> ()
         | Some s ->
           Format.fprintf ppf
-            "histogram %s: count=%d min=%d p50=%d p90=%d max=%d mean=%.2f@."
-            (histogram_name h) s.count s.min s.p50 s.p90 s.max s.mean)
-      all_histograms
+            "histogram %s: count=%d min=%d p50=%d p90=%d p99=%d max=%d \
+             mean=%.2f@."
+            (histogram_name h) s.count s.min s.p50 s.p90 s.p99 s.max s.mean)
+      all_histograms;
+    match drift m with
+    | [] -> ()
+    | rows ->
+      Format.fprintf ppf "cardinality drift (per order position):@.";
+      Format.fprintf ppf "  %-8s %6s %14s %14s %8s@." "position" "runs"
+        "estimated" "actual" "ratio";
+      List.iter
+        (fun (pos, runs, est, act) ->
+          let ratio = if est > 0.0 then act /. est else Float.nan in
+          Format.fprintf ppf "  %-8d %6d %14.1f %14.1f %8.2f@." pos runs est
+            act ratio)
+        rows
   end
 
 (* minimal JSON writer — names are library-controlled, but escape
@@ -431,8 +492,15 @@ let to_json m =
         if not !first then addf ",";
         first := false;
         addf
-          "\"%s\":{\"count\":%d,\"min\":%d,\"p50\":%d,\"p90\":%d,\"max\":%d,\"mean\":%.6g}"
-          (histogram_name h) s.count s.min s.p50 s.p90 s.max s.mean)
+          "\"%s\":{\"count\":%d,\"min\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"max\":%d,\"mean\":%.6g}"
+          (histogram_name h) s.count s.min s.p50 s.p90 s.p99 s.max s.mean)
     all_histograms;
-  addf "}}";
+  addf "},\"drift\":[";
+  List.iteri
+    (fun i (pos, runs, est, act) ->
+      if i > 0 then addf ",";
+      addf "{\"position\":%d,\"runs\":%d,\"estimated\":%.6g,\"actual\":%.6g}"
+        pos runs est act)
+    (drift m);
+  addf "]}";
   Buffer.contents buf

@@ -45,6 +45,8 @@ type counter =
   | Exec_queue_completed  (** queries that finished (any stop reason) *)
   | Exec_queue_yields  (** quantum expirations that re-enqueued a query *)
   | Exec_queue_deadline_stops  (** queries stopped by their budget *)
+  | Planner_replans  (** mid-query suffix re-orders taken by the adaptive search *)
+  | Exec_plan_stale  (** cached plans bypassed because their stats epoch aged out *)
 
 val counter_name : counter -> string
 (** Stable dotted name, e.g. ["search.visited"] — the key used by the
@@ -69,6 +71,7 @@ type histo_summary = {
   mean : float;
   p50 : int;  (** bucket lower bound — log2 buckets, so approximate *)
   p90 : int;
+  p99 : int;
 }
 
 (** {1 Instances} *)
@@ -96,6 +99,25 @@ val observe : t -> histogram -> int -> unit
 
 val histo_summary : t -> histogram -> histo_summary option
 (** [None] when the histogram has no samples. *)
+
+val histogram_quantile : t -> histogram -> float -> int option
+(** [histogram_quantile m h q] for [q] in [0, 1]: the lower bound of the
+    log2 bucket holding the q-quantile sample, clamped to the exact
+    recorded min/max. [None] when the histogram has no samples; raises
+    [Invalid_argument] outside [0, 1]. [p50]/[p90]/[p99] of
+    {!histo_summary} are this at 0.5 / 0.9 / 0.99. *)
+
+(** {1 Cardinality drift} *)
+
+val record_drift : t -> position:int -> estimated:float -> actual:float -> unit
+(** Accumulate one search's estimated vs observed partial-result
+    cardinality at the given order position (positions ≥ 64 are
+    dropped). Rendered by {!pp} / {!to_json} as the estimated-vs-actual
+    column of [explain --analyze]. *)
+
+val drift : t -> (int * int * float * float) list
+(** The non-empty drift rows as [(position, runs, Σ estimated,
+    Σ actual)], in position order. *)
 
 (** {1 Spans} *)
 

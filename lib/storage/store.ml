@@ -17,9 +17,18 @@
    Records start at byte 4096: [len:4 LE][crc32(payload):4 LE][payload].
    Recovery scans at most the committed record count, stops at the
    first record that fails its bounds or CRC, truncates the directory
-   there and commits the repaired header. *)
+   there and commits the repaired header.
+
+   Two record types share the log, classified by the payload's first
+   byte: graph records begin with {!Codec.format_version} (a small
+   integer), auxiliary records — the planner's learned statistics —
+   with [aux_kind] (0xFA, far outside any codec version). Aux records
+   ride the same CRC/commit/recovery machinery; only graph records
+   count toward [n] and the id directory, and the newest CRC-valid aux
+   record wins (a torn final aux rolls back to the previous one). *)
 
 let magic = "GQLSTOR2"
+let aux_kind = '\250'
 
 type recovery = {
   salvaged : int;
@@ -34,6 +43,7 @@ type t = {
   mutable n : int;
   mutable tail : int;  (* byte offset of the end of the log *)
   mutable seq : int;  (* last committed superblock sequence number *)
+  mutable aux : string option;  (* newest committed aux payload, sans kind byte *)
   mutable recovery : recovery option;
   mutable closed : bool;
 }
@@ -167,6 +177,7 @@ let create ?pool_capacity path =
       n = 0;
       tail = header_size;
       seq = 0;
+      aux = None;
       recovery = None;
       closed = false;
     }
@@ -203,6 +214,7 @@ let open_existing ?pool_capacity path =
       n = 0;
       tail;
       seq;
+      aux = None;
       recovery = None;
       closed = false;
     }
@@ -212,15 +224,33 @@ let open_existing ?pool_capacity path =
      them is never salvaged *)
   let off = ref header_size in
   let valid = ref 0 in
+  let note_aux payload =
+    t.aux <- Some (String.sub payload 1 (String.length payload - 1))
+  in
+  let is_aux payload = String.length payload > 0 && payload.[0] = aux_kind in
   (try
      while !valid < n do
        match read_record_opt t ~limit:tail !off with
        | None -> raise Exit
        | Some (payload, next) ->
-         push_offset t (!off, String.length payload);
-         t.n <- t.n + 1;
-         incr valid;
+         if is_aux payload then note_aux payload
+         else begin
+           push_offset t (!off, String.length payload);
+           t.n <- t.n + 1;
+           incr valid
+         end;
          off := next
+     done;
+     (* aux records appended after the last committed graph: walk them
+        up to tail; anything unreadable there is a torn tail and falls
+        to the truncation below, keeping the previous aux value *)
+     let walking = ref true in
+     while !walking && !off < tail do
+       match read_record_opt t ~limit:tail !off with
+       | Some (payload, next) when is_aux payload ->
+         note_aux payload;
+         off := next
+       | _ -> walking := false
      done
    with Exit -> ());
   if !valid < n || !off <> tail then begin
@@ -291,6 +321,15 @@ let iter t ~f =
   done
 
 let to_list t = List.init t.n (get_graph t)
+
+let set_stats t blob =
+  check t;
+  t.tail <- write_record t t.tail (String.make 1 aux_kind ^ blob);
+  t.aux <- Some blob
+
+let stats_blob t =
+  check t;
+  t.aux
 
 let pool_stats t = Buffer_pool.stats t.pool
 let recovery t = t.recovery

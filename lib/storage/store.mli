@@ -62,6 +62,18 @@ val get_graph : t -> int -> Graph.t
 
 val iter : t -> f:(int -> Graph.t -> unit) -> unit
 val to_list : t -> Graph.t list
+
+val set_stats : t -> string -> unit
+(** Append an auxiliary statistics record (the serialized learned
+    planner statistics, {!Gql_matcher.Stats.to_string}) to the log.
+    Aux records share the graph records' CRC, commit and recovery
+    machinery but do not consume graph ids; the newest one wins.
+    Durable after the next {!flush}/{!close}; a reopen after a torn
+    final aux record recovers the previous one. *)
+
+val stats_blob : t -> string option
+(** The newest committed-or-pending aux record's payload, if any. *)
+
 val pool_stats : t -> Buffer_pool.stats
 
 val pager : t -> Pager.t

@@ -293,6 +293,69 @@ let prop_batch_equals_sequential =
              | Service.Rejected _ | Service.Failed _ -> false)
            outs seq)
 
+(* ---- plan epochs: learned-stats feedback invalidates cached orders ---- *)
+
+let flat_pattern labels edges =
+  let b = Graph.Builder.create () in
+  let nodes =
+    List.mapi
+      (fun i l ->
+        Graph.Builder.add_labeled_node b ~name:(Printf.sprintf "v%d" i) l)
+      labels
+    |> Array.of_list
+  in
+  List.iter
+    (fun (u, v) -> ignore (Graph.Builder.add_edge b nodes.(u) nodes.(v)))
+    edges;
+  Gql_matcher.Flat_pattern.of_graph (Graph.Builder.build b)
+
+let test_plan_epoch () =
+  let module Cache = Gql_exec.Cache in
+  let g = Graph.of_labeled ~labels:[| "A"; "B" |] [ (0, 1) ] in
+  let p = flat_pattern [ "A"; "B" ] [ (0, 1) ] in
+  let c = Cache.create () in
+  Cache.register c [ g ];
+  let metrics = M.create () in
+  let find ?epoch () =
+    Cache.plan_find c ~metrics ~retrieval:`Node_attrs ~refine:true ?epoch g p
+  in
+  Alcotest.(check bool) "cold pattern misses" true (find () = None);
+  let plan =
+    { Cache.p_space = [| [| 0 |]; [| 1 |] |]; p_order = [| 0; 1 |]; p_epoch = 0 }
+  in
+  Cache.plan_add c ~retrieval:`Node_attrs ~refine:true g p plan;
+  (match find () with
+  | Some (`Fresh pl) ->
+    Alcotest.(check (array int)) "fresh hit returns the order" [| 0; 1 |]
+      pl.Cache.p_order
+  | _ -> Alcotest.fail "same-epoch lookup should be a fresh hit");
+  (match find ~epoch:1 () with
+  | Some (`Stale pl) ->
+    Alcotest.(check int) "stale hit keeps the old stamp" 0 pl.Cache.p_epoch
+  | _ -> Alcotest.fail "a newer learned epoch should mark the plan stale");
+  Alcotest.(check int) "staleness counted" 1 (M.get metrics M.Exec_plan_stale);
+  (* re-planning under the new epoch re-stamps the entry *)
+  Cache.plan_add c ~retrieval:`Node_attrs ~refine:true g p
+    { plan with Cache.p_epoch = 1 };
+  (match find ~epoch:1 () with
+  | Some (`Fresh _) -> ()
+  | _ -> Alcotest.fail "re-stamped plan should be fresh again");
+  Alcotest.(check bool) "engine settings are part of the key" true
+    (Cache.plan_find c ~metrics ~retrieval:`Profiles ~refine:true g p = None)
+
+let test_learned_survives_invalidate () =
+  let module Cache = Gql_exec.Cache in
+  let module Stats = Gql_matcher.Stats in
+  let c = Cache.create () in
+  Cache.observe_learned c ~f:(fun s ->
+      Stats.observe_gamma s (Some "A") (Some "B") 0.25);
+  (* documents changing voids plans and rows, not what the planner has
+     learned about the workload *)
+  Cache.invalidate c ~metrics:M.disabled;
+  Alcotest.(check (option (float 1e-9)))
+    "learned gamma survives invalidate" (Some 0.25)
+    (Stats.gamma (Cache.learned_snapshot c) (Some "A") (Some "B"))
+
 let suite =
   [
     Alcotest.test_case "lru eviction under byte budget" `Quick test_lru_eviction;
@@ -308,4 +371,7 @@ let suite =
     Alcotest.test_case "quantum workload yields without a deadline" `Quick
       test_quantum_yields;
     QCheck_alcotest.to_alcotest prop_batch_equals_sequential;
+    Alcotest.test_case "plan epochs gate cached orders" `Quick test_plan_epoch;
+    Alcotest.test_case "learned stats survive invalidate" `Quick
+      test_learned_survives_invalidate;
   ]

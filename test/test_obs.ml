@@ -90,6 +90,56 @@ let test_histogram () =
     Alcotest.(check bool) "p50 within range" true (s.M.p50 >= 1 && s.M.p50 <= 100);
     Alcotest.(check bool) "p90 >= p50" true (s.M.p90 >= s.M.p50)
 
+let test_histogram_quantile () =
+  let m = M.create () in
+  Alcotest.(check (option int))
+    "empty histogram has no quantiles" None
+    (M.histogram_quantile m M.Candidate_set_size 0.5);
+  List.iter (M.observe m M.Candidate_set_size) [ 1; 1; 1; 1; 8; 8; 8; 8 ];
+  let q x = M.histogram_quantile m M.Candidate_set_size x in
+  Alcotest.(check (option int)) "q=0 reads the min bucket" (Some 1) (q 0.0);
+  Alcotest.(check (option int)) "p50 stays in the low half" (Some 1) (q 0.5);
+  Alcotest.(check (option int))
+    "just past the median crosses buckets" (Some 8) (q 0.51);
+  Alcotest.(check (option int)) "q=1 reads the max bucket" (Some 8) (q 1.0);
+  (match M.histo_summary m M.Candidate_set_size with
+  | None -> Alcotest.fail "summary lost the samples"
+  | Some s ->
+    Alcotest.(check (option int)) "p50 agrees with the summary" (Some s.M.p50)
+      (q 0.5);
+    Alcotest.(check (option int)) "p90 agrees with the summary" (Some s.M.p90)
+      (q 0.9);
+    Alcotest.(check (option int)) "p99 agrees with the summary" (Some s.M.p99)
+      (q 0.99));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) "rejects q outside [0, 1]" true
+        (match q bad with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ -0.1; 1.5 ];
+  (* bucket floors are clamped to the exact recorded extremes: samples
+     70 and 100 share the [64, 128) bucket, whose floor is below both *)
+  let m2 = M.create () in
+  M.observe m2 M.Matches_per_graph 100;
+  Alcotest.(check (option int)) "a single sample reads back exactly"
+    (Some 100)
+    (M.histogram_quantile m2 M.Matches_per_graph 0.5);
+  M.observe m2 M.Matches_per_graph 70;
+  Alcotest.(check (option int)) "bucket floor clamped up to the min"
+    (Some 70)
+    (M.histogram_quantile m2 M.Matches_per_graph 0.0)
+
+let test_drift_rows () =
+  let m = M.create () in
+  Alcotest.(check int) "no rows before any search" 0 (List.length (M.drift m));
+  M.record_drift m ~position:1 ~estimated:10.0 ~actual:40.0;
+  M.record_drift m ~position:1 ~estimated:10.0 ~actual:20.0;
+  M.record_drift m ~position:3 ~estimated:5.0 ~actual:5.0;
+  M.record_drift m ~position:1000 ~estimated:1.0 ~actual:1.0 (* dropped *);
+  Alcotest.(check bool) "rows accumulate per position, in order" true
+    (M.drift m = [ (1, 2, 20.0, 60.0); (3, 1, 5.0, 5.0) ])
+
 (* --- merge (the Parallel.search fan-in) ---------------------------------- *)
 
 let test_merge () =
@@ -262,6 +312,8 @@ let suite =
     Alcotest.test_case "span nesting and aggregation" `Quick test_span_nesting;
     Alcotest.test_case "spans are exception-safe" `Quick test_span_exception_safe;
     Alcotest.test_case "histogram summaries" `Quick test_histogram;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantile;
+    Alcotest.test_case "cardinality drift rows" `Quick test_drift_rows;
     Alcotest.test_case "merge folds domains in" `Quick test_merge;
     Alcotest.test_case "json report shape" `Quick test_json_shape;
     Alcotest.test_case "engine counters match outcome" `Quick test_engine_counters;

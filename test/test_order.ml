@@ -113,15 +113,89 @@ let check_chain model p ~sizes =
   let eps = 1e-9 *. (1.0 +. id) in
   ex <= gr +. eps && gr <= id +. eps
 
+(* learned stats fed from seeded random observations, so the Learned
+   model exercises both hit and fallback paths of the chain *)
+let learned_stats seed =
+  let st = Random.State.make [| seed; 7 |] in
+  let s = Stats.create () in
+  let lbl () =
+    if Random.State.bool st then None
+    else Some labels_pool.(Random.State.int st (Array.length labels_pool))
+  in
+  for _ = 1 to Random.State.int st 12 do
+    if Random.State.bool st then
+      Stats.observe_selectivity s ~label:(lbl ())
+        ~degree:(Random.State.int st 12)
+        (Random.State.float st 1.0)
+    else Stats.observe_gamma s (lbl ()) (lbl ()) (Random.State.float st 1.0)
+  done;
+  s
+
 let prop_order_chain =
   QCheck.Test.make ~name:"order_cost exhaustive <= greedy <= identity"
     ~count:300 arb_case (fun (_k, edges, sizes, lbls, seed) ->
       let p =
         pattern (List.map (fun i -> labels_pool.(i)) lbls) edges
       in
+      let freq = Cost.stats_of_graph (stats_graph seed) in
       check_chain (Cost.Constant Cost.default_constant) p ~sizes
-      && check_chain (Cost.Frequencies (Cost.stats_of_graph (stats_graph seed)))
+      && check_chain (Cost.Frequencies freq) p ~sizes
+      && check_chain
+           (Cost.Learned { learned = learned_stats seed; fallback = Some freq })
            p ~sizes)
+
+(* --- pinned-prefix completions (what the adaptive re-planner calls) --- *)
+
+let prop_prefix_completions =
+  QCheck.Test.make
+    ~name:"greedy_from / exhaustive_from honor the prefix; exact wins"
+    ~count:300 arb_case (fun (k, edges, sizes, lbls, seed) ->
+      let p = pattern (List.map (fun i -> labels_pool.(i)) lbls) edges in
+      let model =
+        Cost.Learned { learned = learned_stats seed; fallback = None }
+      in
+      let prefix = [| seed mod k |] in
+      let gr = Order.greedy_from ~model p ~sizes ~prefix in
+      let ex = Order.exhaustive_from ~model p ~sizes ~prefix in
+      let is_perm o =
+        List.sort compare (Array.to_list o) = List.init k (fun i -> i)
+      in
+      let c = Cost.order_cost model p ~sizes in
+      gr.(0) = prefix.(0)
+      && ex.(0) = prefix.(0)
+      && is_perm gr && is_perm ex
+      && c ex <= c gr +. (1e-9 *. (1.0 +. c gr)))
+
+let test_prefix_rejected () =
+  let p = regression_pattern () in
+  let sizes = regression_sizes in
+  List.iter
+    (fun prefix ->
+      Alcotest.(check bool)
+        "invalid prefix raises" true
+        (match Order.exhaustive_from p ~sizes ~prefix with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+    [ [| 9 |]; [| -1 |]; [| 0; 0 |] ]
+
+(* --- whole-pattern ranking (the multi-pattern FLWR enumerator) --- *)
+
+let test_pattern_cost_ranks () =
+  (* a 2-node path is cheaper to derive than a 4-clique over the same
+     label universe; the algebra must schedule it first *)
+  let cheap = pattern [ "A"; "B" ] [ (0, 1) ] in
+  let dear =
+    pattern [ "A"; "B"; "C"; "A" ]
+      [ (0, 1); (0, 2); (0, 3); (1, 2); (1, 3); (2, 3) ]
+  in
+  let c p = Order.pattern_cost p ~n_nodes:100 in
+  Alcotest.(check bool) "clique costs more than the path" true
+    (c dear > c cheap);
+  Alcotest.(check bool) "cost grows with the graph" true
+    (Order.pattern_cost dear ~n_nodes:1000 > c dear);
+  Alcotest.(check (list int)) "algebra runs the cheap pattern first"
+    [ 1; 0 ]
+    (Gql_core.Algebra.pattern_order ~n_nodes:100 [ dear; cheap ])
 
 let suite =
   [
@@ -132,4 +206,9 @@ let suite =
     Alcotest.test_case "trivial and disconnected patterns" `Quick
       test_trivial_patterns;
     QCheck_alcotest.to_alcotest prop_order_chain;
+    QCheck_alcotest.to_alcotest prop_prefix_completions;
+    Alcotest.test_case "invalid prefixes are rejected" `Quick
+      test_prefix_rejected;
+    Alcotest.test_case "pattern_cost ranks multi-pattern programs" `Quick
+      test_pattern_cost_ranks;
   ]

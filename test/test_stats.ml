@@ -1,0 +1,252 @@
+(* Learned planner statistics: EWMA semantics, log2 degree bucketing,
+   serialization round-trips, and persistence through the store's aux
+   records — including that recovery from a torn later append replays
+   the last committed stats blob. *)
+
+open Gql_graph
+open Gql_matcher
+open Gql_storage
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
+
+let pattern labels edges =
+  let b = Graph.Builder.create () in
+  let nodes =
+    List.mapi
+      (fun i l ->
+        Graph.Builder.add_labeled_node b ~name:(Printf.sprintf "v%d" i) l)
+      labels
+    |> Array.of_list
+  in
+  List.iter
+    (fun (u, v) -> ignore (Graph.Builder.add_edge b nodes.(u) nodes.(v)))
+    edges;
+  Flat_pattern.of_graph (Graph.Builder.build b)
+
+(* --- EWMA + buckets ------------------------------------------------------ *)
+
+let test_ewma_decay () =
+  let s = Stats.create ~decay:0.25 () in
+  Stats.observe_selectivity s ~label:(Some "A") ~degree:2 0.8;
+  Alcotest.(check (option (float 1e-9)))
+    "first observation initializes" (Some 0.8)
+    (Stats.selectivity s ~label:(Some "A") ~degree:2);
+  Stats.observe_selectivity s ~label:(Some "A") ~degree:2 0.0;
+  (* 0.75 * 0.8 + 0.25 * 0.0 *)
+  Alcotest.(check (option (float 1e-9)))
+    "decayed toward the new sample" (Some 0.6)
+    (Stats.selectivity s ~label:(Some "A") ~degree:2)
+
+let test_bucket_sharing () =
+  let s = Stats.create () in
+  Stats.observe_selectivity s ~label:(Some "A") ~degree:2 0.5;
+  Alcotest.(check bool) "degree 3 shares the [2,4) bucket" true
+    (Stats.selectivity s ~label:(Some "A") ~degree:3 <> None);
+  Alcotest.(check bool) "degree 4 is a different bucket" true
+    (Stats.selectivity s ~label:(Some "A") ~degree:4 = None);
+  Alcotest.(check bool) "a different label is a different key" true
+    (Stats.selectivity s ~label:(Some "B") ~degree:2 = None);
+  Alcotest.(check bool) "unlabeled is its own key" true
+    (Stats.selectivity s ~label:None ~degree:2 = None)
+
+let test_gamma_unordered () =
+  let s = Stats.create () in
+  Stats.observe_gamma s (Some "A") (Some "B") 0.125;
+  Alcotest.(check (option (float 1e-9)))
+    "reversed pair reads the same entry" (Some 0.125)
+    (Stats.gamma s (Some "B") (Some "A"));
+  Stats.observe_gamma s (Some "C") None 0.0;
+  (match Stats.gamma s None (Some "C") with
+  | Some g -> Alcotest.(check bool) "gamma clamped above zero" true (g > 0.0)
+  | None -> Alcotest.fail "clamped observation lost")
+
+let test_observe_run_and_epoch () =
+  let s = Stats.create ~epoch_every:2 () in
+  let p = pattern [ "A"; "B" ] [ (0, 1) ] in
+  let feed () =
+    Stats.observe_run s ~p ~n_nodes:10 ~sizes:[| 4; 6 |] ~order:[| 0; 1 |]
+      ~fanouts:[| Float.nan; 3.0 |]
+  in
+  feed ();
+  Alcotest.(check int) "one run, no epoch yet" 0 (Stats.epoch s);
+  feed ();
+  Alcotest.(check int) "epoch bumps every epoch_every runs" 1 (Stats.epoch s);
+  Alcotest.(check int) "observations counted" 2 (Stats.observations s);
+  Alcotest.(check (option (float 1e-9)))
+    "selectivity learned from sizes" (Some 0.4)
+    (Stats.selectivity s ~label:(Some "A") ~degree:1);
+  (* fan-out 3.0 over |Φ(B)| = 6 at position 1 closes one edge *)
+  Alcotest.(check (option (float 1e-9)))
+    "gamma learned from the fan-out" (Some 0.5)
+    (Stats.gamma s (Some "A") (Some "B"))
+
+let test_estimate_sizes () =
+  let s = Stats.create () in
+  let p = pattern [ "A"; "B" ] [ (0, 1) ] in
+  Alcotest.(check (array int))
+    "unseen buckets estimate n_nodes" [| 100; 100 |]
+    (Stats.estimate_sizes s p ~n_nodes:100);
+  Stats.observe_selectivity s ~label:(Some "A") ~degree:1 0.1;
+  Alcotest.(check (array int))
+    "seen bucket scales by the learned selectivity" [| 10; 100 |]
+    (Stats.estimate_sizes s p ~n_nodes:100)
+
+(* --- serialization ------------------------------------------------------- *)
+
+let labels_pool = [| None; Some "A"; Some "B"; Some "C" |]
+
+let stats_of_ops ops =
+  let s = Stats.create ~decay:0.5 ~epoch_every:3 () in
+  List.iter
+    (fun (a, b, d, x) ->
+      if d land 1 = 0 then
+        Stats.observe_selectivity s ~label:labels_pool.(a) ~degree:d x
+      else Stats.observe_gamma s labels_pool.(a) labels_pool.(b) x)
+    ops;
+  s
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string round-trip is identity"
+    ~count:200
+    QCheck.(
+      list
+        (quad (int_bound 3) (int_bound 3) (int_bound 12)
+           (float_range 0.0 1.0)))
+    (fun ops ->
+      let s = stats_of_ops ops in
+      let s' = Stats.of_string (Stats.to_string s) in
+      Stats.equal s s' && Stats.to_string s = Stats.to_string s')
+
+let expect_invalid what s =
+  match Stats.of_string s with
+  | _ -> Alcotest.failf "of_string accepted %s" what
+  | exception Invalid_argument _ -> ()
+
+let test_of_string_rejects () =
+  expect_invalid "empty input" "";
+  expect_invalid "bad magic" "NOTSTATS";
+  expect_invalid "truncated header" "GSTATS1\n";
+  let good = Stats.to_string (Stats.create ()) in
+  expect_invalid "trailing bytes" (good ^ "x");
+  expect_invalid "truncated tail" (String.sub good 0 (String.length good - 1))
+
+let test_snapshot_is_independent () =
+  let s = Stats.create () in
+  Stats.observe_gamma s (Some "A") (Some "B") 0.25;
+  let snap = Stats.snapshot s in
+  Stats.observe_gamma s (Some "A") (Some "B") 1.0;
+  Alcotest.(check (option (float 1e-9)))
+    "snapshot unaffected by later learning" (Some 0.25)
+    (Stats.gamma snap (Some "A") (Some "B"));
+  Alcotest.(check bool) "original moved on" true
+    (Stats.gamma s (Some "A") (Some "B") <> Some 0.25)
+
+(* --- persistence through the store --------------------------------------- *)
+
+let graph_i i =
+  Graph.of_labeled
+    ~labels:(Array.init (3 + (i mod 4)) (fun j -> Printf.sprintf "G%d_%d" i j))
+    (List.init (2 + (i mod 3)) (fun k -> (k, k + 1)))
+
+let fresh path =
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let test_store_roundtrip () =
+  let path = fresh (tmp "gql_stats_roundtrip.db") in
+  let st = Store.create path in
+  ignore (Store.add_graph st (graph_i 0));
+  let s = stats_of_ops [ (1, 2, 3, 0.25); (0, 1, 2, 0.5) ] in
+  Store.set_stats st (Stats.to_string s);
+  ignore (Store.add_graph st (graph_i 1));
+  Store.close st;
+  let st = Store.open_existing path in
+  Alcotest.(check int) "graphs unaffected by the aux record" 2
+    (Store.n_graphs st);
+  Alcotest.(check bool) "clean open" true (Store.recovery st = None);
+  (match Store.stats_blob st with
+  | None -> Alcotest.fail "stats blob lost across close/open"
+  | Some blob ->
+    Alcotest.(check bool) "blob round-trips to an equal state" true
+      (Stats.equal s (Stats.of_string blob)));
+  Store.close st;
+  Sys.remove path
+
+let test_store_newest_wins () =
+  let path = fresh (tmp "gql_stats_newest.db") in
+  let s1 = stats_of_ops [ (1, 2, 3, 0.25) ] in
+  let s2 = stats_of_ops [ (2, 3, 5, 0.75); (0, 0, 0, 0.1) ] in
+  let st = Store.create path in
+  ignore (Store.add_graph st (graph_i 0));
+  Store.set_stats st (Stats.to_string s1);
+  Store.set_stats st (Stats.to_string s2);
+  Store.close st;
+  let st = Store.open_existing path in
+  (match Store.stats_blob st with
+  | None -> Alcotest.fail "stats blob lost"
+  | Some blob ->
+    Alcotest.(check bool) "the later record wins" true
+      (Stats.equal s2 (Stats.of_string blob)));
+  Store.close st;
+  Sys.remove path
+
+let test_store_corrupt_tail_keeps_stats () =
+  let path = fresh (tmp "gql_stats_torn.db") in
+  let s1 = stats_of_ops [ (1, 2, 3, 0.25) ] in
+  let s2 = stats_of_ops [ (2, 3, 5, 0.75) ] in
+  let st = Store.create path in
+  ignore (Store.add_graph st (graph_i 0));
+  Store.set_stats st (Stats.to_string s1);
+  Store.set_stats st (Stats.to_string s2);
+  Store.close st;
+  (* flip a byte inside the newest stats record (located by the last
+     occurrence of the serialization magic): its CRC fails, recovery
+     truncates the log there and replays the previous committed blob *)
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let magic = "GSTATS1" in
+  let rec last_index from acc =
+    match String.index_from_opt raw from magic.[0] with
+    | None -> acc
+    | Some i ->
+      let hit =
+        i + String.length magic <= String.length raw
+        && String.sub raw i (String.length magic) = magic
+      in
+      last_index (i + 1) (if hit then i else acc)
+  in
+  let i = last_index 0 (-1) in
+  Alcotest.(check bool) "found the newest stats record" true (i >= 0);
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  ignore (Unix.lseek fd (i + String.length magic + 2) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+  Unix.close fd;
+  let st = Store.open_existing path in
+  Alcotest.(check bool) "corrupt tail detected" true (Store.recovery st <> None);
+  Alcotest.(check int) "graph intact" 1 (Store.n_graphs st);
+  (match Store.stats_blob st with
+  | None -> Alcotest.fail "committed stats lost to the corrupt record"
+  | Some blob ->
+    Alcotest.(check bool) "previous committed blob replayed" true
+      (Stats.equal s1 (Stats.of_string blob)));
+  Store.close st;
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "EWMA decay" `Quick test_ewma_decay;
+    Alcotest.test_case "log2 degree buckets" `Quick test_bucket_sharing;
+    Alcotest.test_case "gamma keys are unordered" `Quick test_gamma_unordered;
+    Alcotest.test_case "observe_run feeds both tables; epoch bumps" `Quick
+      test_observe_run_and_epoch;
+    Alcotest.test_case "estimate_sizes falls back to n_nodes" `Quick
+      test_estimate_sizes;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "of_string rejects corrupt input" `Quick
+      test_of_string_rejects;
+    Alcotest.test_case "snapshot is a deep copy" `Quick
+      test_snapshot_is_independent;
+    Alcotest.test_case "store round-trip" `Quick test_store_roundtrip;
+    Alcotest.test_case "newest stats record wins" `Quick test_store_newest_wins;
+    Alcotest.test_case "recovery replays committed stats" `Quick
+      test_store_corrupt_tail_keeps_stats;
+  ]
