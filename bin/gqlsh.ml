@@ -62,6 +62,79 @@ let parse_docs ?metrics specs =
           (Error.Usage (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
     specs
 
+(* --- writable doc mounts -------------------------------------------------- *)
+
+(* [run] and [batch] mount their docs instead of merely loading them: a
+   .store-backed doc keeps its store open read-write, with the
+   doc-position -> gid mapping that lets evaluator writes flow back into
+   the transaction log. A .gql text doc has no durability — its writes
+   live only for the process (the write count still reports them). *)
+type mount = {
+  m_name : string;
+  m_store : Gql_storage.Store.t option;
+  mutable m_gids : int list;  (* doc position -> gid; store-backed only *)
+}
+
+let mount_docs specs =
+  List.split
+    (List.map
+       (fun spec ->
+         match String.index_opt spec '=' with
+         | None ->
+           Error.raise_
+             (Error.Usage
+                (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec))
+         | Some i ->
+           let name = String.sub spec 0 i in
+           let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+           if Filename.check_suffix path ".store" then begin
+             let store = Gql_storage.Store.open_existing path in
+             let gids = ref [] and graphs = ref [] in
+             Gql_storage.Store.iter store ~f:(fun gid g ->
+                 gids := gid :: !gids;
+                 graphs := g :: !graphs);
+             ( { m_name = name; m_store = Some store; m_gids = List.rev !gids },
+               (name, List.rev !graphs) )
+           end
+           else
+             ( { m_name = name; m_store = None; m_gids = [] },
+               (name, load_collection path) ))
+       specs)
+
+(* The durability sink: one evaluator write -> one transaction-log
+   record (or base-record append / tombstone) in the backing store.
+   Store graph state tracks the evaluator's exactly — both sides apply
+   the same op sequence to the same starting graph — so node/edge ids
+   in later ops stay aligned. Callers serialize writes (gqlsh run is
+   sequential; the batch service gates DML jobs on the watermark). *)
+let persist mounts w =
+  let mount source =
+    List.find_opt (fun m -> String.equal m.m_name source) mounts
+  in
+  match w with
+  | Eval.W_update { source; index; ops; _ } -> (
+    match mount source with
+    | Some { m_store = Some store; m_gids; _ } ->
+      ignore (Gql_storage.Store.append_txn store ~gid:(List.nth m_gids index) ops)
+    | _ -> ())
+  | Eval.W_insert { source; new_graph } -> (
+    match mount source with
+    | Some ({ m_store = Some store; _ } as m) ->
+      let gid = Gql_storage.Store.add_graph store new_graph in
+      m.m_gids <- m.m_gids @ [ gid ]
+    | _ -> ())
+  | Eval.W_remove { source; index; _ } -> (
+    match mount source with
+    | Some ({ m_store = Some store; _ } as m) ->
+      Gql_storage.Store.remove_graph store (List.nth m.m_gids index);
+      m.m_gids <- List.filteri (fun i _ -> i <> index) m.m_gids
+    | _ -> ())
+
+(* Closing commits: every store close groups the staged records under
+   one superblock swap. *)
+let close_mounts mounts =
+  List.iter (fun m -> Option.iter Gql_storage.Store.close m.m_store) mounts
+
 let strategy_of_string = function
   | "optimized" -> Gql_matcher.Engine.optimized
   | "baseline" -> Gql_matcher.Engine.baseline
@@ -131,25 +204,31 @@ let finish_with stopped what =
 
 let run_cmd query_file docs domains adaptive timeout max_visited verbose =
   guarded (fun () ->
-      let docs = parse_docs docs in
-      let strategy = strategy_opt ~adaptive domains in
-      (* the deadline clock starts after the inputs are loaded: it
-         governs query execution, not file parsing *)
-      let budget = budget_of timeout max_visited in
-      let result =
-        Gql.run_query ~docs ?strategy ?budget (read_file query_file)
-      in
-      List.iter
-        (fun (name, g) ->
-          Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
-        (List.rev result.Eval.vars);
-      let returned = Eval.returned result in
-      if returned <> [] then begin
-        Format.printf "-- returned %d graph(s) --@." (List.length returned);
-        if verbose then
-          List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
-      end;
-      finish_with result.Eval.stopped "query")
+      let mounts, docs = mount_docs docs in
+      Fun.protect
+        ~finally:(fun () -> close_mounts mounts)
+        (fun () ->
+          let strategy = strategy_opt ~adaptive domains in
+          (* the deadline clock starts after the inputs are loaded: it
+             governs query execution, not file parsing *)
+          let budget = budget_of timeout max_visited in
+          let result =
+            Gql.run_query ~docs ?strategy ?budget ~writer:(persist mounts)
+              (read_file query_file)
+          in
+          List.iter
+            (fun (name, g) ->
+              Format.printf "-- variable %s --@.%a@.@." name Graph.pp g)
+            (List.rev result.Eval.vars);
+          let returned = Eval.returned result in
+          if returned <> [] then begin
+            Format.printf "-- returned %d graph(s) --@." (List.length returned);
+            if verbose then
+              List.iter (fun g -> Format.printf "%a@.@." Graph.pp g) returned
+          end;
+          if result.Eval.writes > 0 then
+            Format.printf "-- applied %d write(s) --@." result.Eval.writes;
+          finish_with result.Eval.stopped "query"))
 
 (* --- batch -------------------------------------------------------------- *)
 
@@ -190,7 +269,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
+let batch_cmd batch_file docs jobs domains quantum timeout wait_watermark json
+    verbose =
   guarded (fun () ->
       let module Service = Gql_exec.Service in
       let module M = Gql_obs.Metrics in
@@ -202,11 +282,28 @@ let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
         Error.raise_
           (Error.Usage (Printf.sprintf "--domains must be >= 1, got %d" d))
       | _ -> ());
-      let docs = parse_docs docs in
+      let mounts, docs = mount_docs docs in
       let t0 = Unix.gettimeofday () in
       let outcomes, svc =
-        Service.run_batch ?jobs ?search_domains:domains ?quantum
-          ?deadline:timeout ~docs queries
+        Fun.protect
+          ~finally:(fun () -> close_mounts mounts)
+          (fun () ->
+            let svc =
+              Service.create ?jobs ?search_domains:domains ?quantum ~docs
+                ~on_write:(persist mounts) ()
+            in
+            List.iter
+              (fun q ->
+                (* --wait-watermark: every query waits for all writes
+                   staged before it — read-your-writes across the batch *)
+                let after =
+                  if wait_watermark then Some (Service.watermark svc) else None
+                in
+                ignore (Service.submit svc ?deadline:timeout ?after q))
+              queries;
+            let outcomes = Service.drain svc in
+            Service.shutdown svc;
+            (outcomes, svc))
       in
       let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
       let exit_code = ref 0 in
@@ -233,11 +330,12 @@ let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
             match o.Service.o_status with
             | Service.Done r ->
               Printf.printf
-                "{%s,\"status\":\"ok\",\"stopped\":%S,\"returned\":%d,\"vars\":%d}\n"
+                "{%s,\"status\":\"ok\",\"stopped\":%S,\"returned\":%d,\"vars\":%d,\"writes\":%d}\n"
                 common
                 (Budget.stop_reason_to_string r.Eval.stopped)
                 (List.length (Eval.returned r))
                 (List.length r.Eval.vars)
+                r.Eval.writes
             | Service.Rejected reason ->
               Printf.printf "{%s,\"status\":\"rejected\",\"reason\":%S}\n"
                 common
@@ -250,11 +348,14 @@ let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
             match o.Service.o_status with
             | Service.Done r ->
               Format.printf
-                "query %d: %d graph(s) returned, %d var(s) (%s, %d yield(s), \
-                 %.2f ms)@."
+                "query %d: %d graph(s) returned, %d var(s)%s (%s, %d \
+                 yield(s), %.2f ms)@."
                 o.Service.o_id
                 (List.length (Eval.returned r))
                 (List.length r.Eval.vars)
+                (if r.Eval.writes > 0 then
+                   Printf.sprintf ", %d write(s)" r.Eval.writes
+                 else "")
                 (Budget.stop_reason_to_string r.Eval.stopped)
                 o.Service.o_yields o.Service.o_wall_ms;
               if verbose then
@@ -273,19 +374,21 @@ let batch_cmd batch_file docs jobs domains quantum timeout json verbose =
       let c k = M.get agg k in
       if json then
         Printf.printf
-          "{\"batch\":{\"queries\":%d,\"wall_ms\":%.3f,\"cache\":{\"hit\":%d,\"miss\":%d,\"evictions\":%d,\"invalidations\":%d},\"queue\":{\"submitted\":%d,\"completed\":%d,\"yields\":%d,\"deadline_stops\":%d}}}\n"
+          "{\"batch\":{\"queries\":%d,\"wall_ms\":%.3f,\"cache\":{\"hit\":%d,\"miss\":%d,\"evictions\":%d,\"invalidations\":%d,\"index_updates\":%d},\"queue\":{\"submitted\":%d,\"completed\":%d,\"yields\":%d,\"deadline_stops\":%d,\"watermark_waits\":%d},\"writes\":%d}}\n"
           (List.length outcomes) wall_ms
           (c M.Exec_cache_hit) (c M.Exec_cache_miss)
           (c M.Exec_cache_evictions) (c M.Exec_cache_invalidations)
+          (c M.Index_incremental)
           (c M.Exec_queue_submitted) (c M.Exec_queue_completed)
           (c M.Exec_queue_yields) (c M.Exec_queue_deadline_stops)
+          (c M.Exec_watermark_waits) (c M.Exec_writes)
       else
         Format.printf
           "batch: %d quer(ies) in %.2f ms — cache %d hit / %d miss, queue %d \
-           yield(s), %d deadline stop(s)@."
+           yield(s), %d deadline stop(s), %d write(s)@."
           (List.length outcomes) wall_ms (c M.Exec_cache_hit)
           (c M.Exec_cache_miss) (c M.Exec_queue_yields)
-          (c M.Exec_queue_deadline_stops);
+          (c M.Exec_queue_deadline_stops) (c M.Exec_writes);
       !exit_code)
 
 (* --- match -------------------------------------------------------------- *)
@@ -409,15 +512,25 @@ let store_cmd store_file import =
       Fun.protect
         ~finally:(fun () -> Gql_storage.Store.close store)
         (fun () ->
-          let n = Gql_storage.Store.n_graphs store in
+          let n = Gql_storage.Store.live_count store in
           Format.printf "store %s: %d graph(s)@." store_file n;
+          let txns = Gql_storage.Store.txn_count store in
+          if txns > 0 then
+            Format.printf
+              "  %d transaction record(s) applied (%d durable)@." txns
+              (Gql_storage.Store.durable_txn_count store);
           (match Gql_storage.Store.recovery store with
           | None -> ()
           | Some r ->
             Format.printf
-              "  recovered from a torn tail: %d record(s) salvaged, %d \
+              "  recovered from a torn tail: %d record(s) salvaged%s, %d \
                record(s) / %d byte(s) dropped@."
-              r.Gql_storage.Store.salvaged r.Gql_storage.Store.dropped_records
+              r.Gql_storage.Store.salvaged
+              (if r.Gql_storage.Store.salvaged_txns > 0 then
+                 Printf.sprintf " (%d transaction(s))"
+                   r.Gql_storage.Store.salvaged_txns
+               else "")
+              r.Gql_storage.Store.dropped_records
               r.Gql_storage.Store.dropped_bytes);
           Gql_storage.Store.iter store ~f:(fun i g ->
               Format.printf "  [%d] %s: %d nodes, %d edges@." i
@@ -543,6 +656,13 @@ let batch_term =
            ~doc:"Stream one JSON object per query, then a batch summary \
                  with the exec.cache.* / exec.queue.* counters.")
   in
+  let wait_watermark =
+    Arg.(value & flag & info [ "wait-watermark" ]
+           ~doc:"Gate every query on the log watermark of all previously \
+                 submitted writes (read-your-writes across the batch). \
+                 Without it, pure reads run on the document snapshot \
+                 current when they start; DML queries always serialize.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.")
   in
@@ -550,10 +670,10 @@ let batch_term =
     (Cmd.info "batch"
        ~doc:"Run many queries against one document set on the concurrent \
              query service (shared caches, fair scheduling, per-query \
-             deadlines)")
+             deadlines); writes persist to .store-backed docs")
     Term.(
       const batch_cmd $ batch $ docs $ jobs $ domains_arg $ quantum
-      $ timeout_arg $ json $ verbose)
+      $ timeout_arg $ wait_watermark $ json $ verbose)
 
 let match_term =
   let pattern =

@@ -53,12 +53,44 @@ and template =
   | Tgraph of graph_decl
   | Tvar of string
 
+(* DML (NebulaGraph-style): a doc_ref names a graph inside a document
+   collection; nodes and edges inside it are addressed by their
+   declared names. *)
+type doc_ref = {
+  d_doc : string;  (** document/collection name, as in [doc("...")] *)
+  d_graph : string;  (** graph name within the document *)
+}
+
+type dml =
+  | Insert_node of {
+      i_name : string;
+      i_tuple : tuple_lit option;
+      i_into : doc_ref;
+    }
+  | Insert_edge of {
+      i_name : string option;
+      i_src : string;
+      i_dst : string;
+      i_tuple : tuple_lit option;
+      i_into : doc_ref;
+    }
+  | Insert_graph of { i_decl : graph_decl; i_doc : string }
+  | Update_node of { u_ref : doc_ref; u_node : string; u_tuple : tuple_lit }
+  | Update_edge of { u_ref : doc_ref; u_edge : string; u_tuple : tuple_lit }
+  | Delete_node of { x_ref : doc_ref; x_node : string }
+  | Delete_edge of { x_ref : doc_ref; x_edge : string }
+  | Delete_graph of doc_ref
+
 type statement =
   | Sgraph of graph_decl
   | Sassign of string * template
   | Sflwr of flwr
+  | Sdml of dml
 
 type program = statement list
+
+let is_dml = function Sdml _ -> true | _ -> false
+let count_dml program = List.length (List.filter is_dml program)
 
 (* --- pretty printing ---------------------------------------------------- *)
 
@@ -149,7 +181,33 @@ let pp_template ppf = function
   | Tgraph g -> pp_graph_decl ppf g
   | Tvar v -> Format.pp_print_string ppf v
 
+let pp_doc_ref ppf r = Format.fprintf ppf "doc(%S).%s" r.d_doc r.d_graph
+
+let pp_dml ppf = function
+  | Insert_node { i_name; i_tuple; i_into } ->
+    Format.fprintf ppf "insert node %s%a into %a;" i_name pp_opt_tuple i_tuple
+      pp_doc_ref i_into
+  | Insert_edge { i_name; i_src; i_dst; i_tuple; i_into } ->
+    Format.fprintf ppf "insert edge %s(%s, %s)%a into %a;"
+      (match i_name with Some n -> n ^ " " | None -> "")
+      i_src i_dst pp_opt_tuple i_tuple pp_doc_ref i_into
+  | Insert_graph { i_decl; i_doc } ->
+    Format.fprintf ppf "@[<v>insert %a into doc(%S);@]" pp_graph_decl i_decl
+      i_doc
+  | Update_node { u_ref; u_node; u_tuple } ->
+    Format.fprintf ppf "update node %a.%s set %a;" pp_doc_ref u_ref u_node
+      pp_tuple_lit u_tuple
+  | Update_edge { u_ref; u_edge; u_tuple } ->
+    Format.fprintf ppf "update edge %a.%s set %a;" pp_doc_ref u_ref u_edge
+      pp_tuple_lit u_tuple
+  | Delete_node { x_ref; x_node } ->
+    Format.fprintf ppf "delete node %a.%s;" pp_doc_ref x_ref x_node
+  | Delete_edge { x_ref; x_edge } ->
+    Format.fprintf ppf "delete edge %a.%s;" pp_doc_ref x_ref x_edge
+  | Delete_graph r -> Format.fprintf ppf "delete graph %a;" pp_doc_ref r
+
 let pp_statement ppf = function
+  | Sdml d -> pp_dml ppf d
   | Sgraph g -> Format.fprintf ppf "%a;" pp_graph_decl g
   | Sassign (v, t) -> Format.fprintf ppf "@[<v>%s := %a;@]" v pp_template t
   | Sflwr f ->

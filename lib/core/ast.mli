@@ -78,16 +78,66 @@ and template =
   | Tgraph of graph_decl
   | Tvar of string  (** a template that is just a variable reference *)
 
+(** {1 DML}
+
+    NebulaGraph-style write statements over document collections:
+    {[
+      insert node a <label="C"> into doc("mols").G1;
+      insert edge b1 (a, b) <w=1> into doc("mols").G1;
+      insert graph G9 { node x <label="C">; } into doc("mols");
+      update node doc("mols").G1.a set <label="N">;
+      update edge doc("mols").G1.b1 set <w=2>;
+      delete node doc("mols").G1.a;
+      delete edge doc("mols").G1.b1;
+      delete graph doc("mols").G1;
+    ]}
+    Nodes and edges are addressed by their declared names within the
+    named graph; [update ... set] merges the tuple (new fields win). *)
+
+type doc_ref = {
+  d_doc : string;  (** the [doc("...")] collection name *)
+  d_graph : string;  (** graph name within the collection *)
+}
+
+type dml =
+  | Insert_node of {
+      i_name : string;
+      i_tuple : tuple_lit option;
+      i_into : doc_ref;
+    }
+  | Insert_edge of {
+      i_name : string option;
+      i_src : string;
+      i_dst : string;
+      i_tuple : tuple_lit option;
+      i_into : doc_ref;
+    }
+  | Insert_graph of { i_decl : graph_decl; i_doc : string }
+      (** the decl must be a data graph (constant attributes) *)
+  | Update_node of { u_ref : doc_ref; u_node : string; u_tuple : tuple_lit }
+  | Update_edge of { u_ref : doc_ref; u_edge : string; u_tuple : tuple_lit }
+  | Delete_node of { x_ref : doc_ref; x_node : string }
+  | Delete_edge of { x_ref : doc_ref; x_edge : string }
+  | Delete_graph of doc_ref
+
 type statement =
   | Sgraph of graph_decl  (** named pattern / data graph definition *)
   | Sassign of string * template  (** [C := graph {...};] *)
   | Sflwr of flwr
+  | Sdml of dml
 
 type program = statement list
+
+val is_dml : statement -> bool
+
+val count_dml : program -> int
+(** Number of DML statements — the write slots a program can consume,
+    used by the service to reserve log sequence numbers at submit. *)
 
 (** {1 Pretty printing} *)
 
 val pp_tuple_lit : Format.formatter -> tuple_lit -> unit
 val pp_graph_decl : Format.formatter -> graph_decl -> unit
+val pp_dml : Format.formatter -> dml -> unit
 val pp_statement : Format.formatter -> statement -> unit
 val pp_program : Format.formatter -> program -> unit

@@ -8,11 +8,27 @@ type docs = (string * Graph.t list) list
 
 module Budget = Gql_matcher.Budget
 
+(* One applied DML statement, reported to the ?writer sink so the
+   caller (gqlsh, the exec service) can persist it — append the ops to
+   the store's transaction log, refresh caches, bump the watermark. *)
+type write =
+  | W_update of {
+      source : string;
+      index : int;  (* position of the graph within the doc's list *)
+      old_graph : Graph.t;
+      new_graph : Graph.t;
+      ops : Mutate.op list;
+      delta : Mutate.delta;
+    }
+  | W_insert of { source : string; new_graph : Graph.t }
+  | W_remove of { source : string; index : int; old_graph : Graph.t }
+
 type result = {
   defs : (string * Ast.graph_decl) list;
   vars : (string * Graph.t) list;
   last : Algebra.collection option;
   stopped : Budget.stop_reason;
+  writes : int;
 }
 
 type selector =
@@ -26,6 +42,8 @@ type state = {
   mutable s_vars : (string * Graph.t) list;
   mutable s_last : Algebra.collection option;
   mutable s_stopped : Budget.stop_reason;
+  mutable s_docs : docs;  (* DML mutates the in-run view of the sources *)
+  mutable s_writes : int;
 }
 
 let template_env st extra =
@@ -39,8 +57,109 @@ let instantiate_template st extra = function
     | Some g -> g
     | None -> error "unknown variable %s" v)
 
+(* --- DML ------------------------------------------------------------------ *)
+
+let const_value expr =
+  match Pred.eval (fun _ -> None) expr with
+  | v -> v
+  | exception Pred.Unresolved p ->
+    error "non-constant attribute value (references %s)" (String.concat "." p)
+  | exception Value.Type_error m -> error "bad attribute value: %s" m
+
+let const_tuple = function
+  | None -> Tuple.empty
+  | Some { Ast.tag; fields } ->
+    Tuple.make ?tag (List.map (fun (k, e) -> (k, const_value e)) fields)
+
+let find_doc st doc =
+  match List.assoc_opt doc st.s_docs with
+  | Some gs -> gs
+  | None -> error "unknown collection %S" doc
+
+let set_doc st doc gs = st.s_docs <- (doc, gs) :: List.remove_assoc doc st.s_docs
+
+(* graphs inside a collection are addressed by their declared name *)
+let find_graph st (r : Ast.doc_ref) =
+  let gs = find_doc st r.d_doc in
+  let rec go i = function
+    | [] -> error "no graph named %s in doc(%S)" r.d_graph r.d_doc
+    | g :: _ when Graph.name g = Some r.d_graph -> (i, g)
+    | _ :: tl -> go (i + 1) tl
+  in
+  go 0 gs
+
+let node_id g (r : Ast.doc_ref) name =
+  match Graph.node_by_name g name with
+  | Some v -> v
+  | None -> error "no node named %s in doc(%S).%s" name r.d_doc r.d_graph
+
+let edge_id g (r : Ast.doc_ref) name =
+  match Graph.edge_by_name g name with
+  | Some e -> e
+  | None -> error "no edge named %s in doc(%S).%s" name r.d_doc r.d_graph
+
+let apply_ops st writer (r : Ast.doc_ref) ops =
+  let i, g = find_graph st r in
+  let g', delta =
+    try Mutate.apply_all g ops with Invalid_argument m -> error "%s" m
+  in
+  set_doc st r.d_doc
+    (List.mapi (fun j x -> if j = i then g' else x) (find_doc st r.d_doc));
+  st.s_writes <- st.s_writes + 1;
+  writer
+    (W_update
+       { source = r.d_doc; index = i; old_graph = g; new_graph = g'; ops; delta })
+
+let exec_dml st instantiate writer = function
+  | Ast.Insert_node { i_name; i_tuple; i_into } ->
+    apply_ops st writer i_into
+      [ Mutate.Add_node { name = Some i_name; tuple = const_tuple i_tuple } ]
+  | Ast.Insert_edge { i_name; i_src; i_dst; i_tuple; i_into } ->
+    let _, g = find_graph st i_into in
+    let src = node_id g i_into i_src and dst = node_id g i_into i_dst in
+    apply_ops st writer i_into
+      [ Mutate.Add_edge { name = i_name; src; dst; tuple = const_tuple i_tuple } ]
+  | Ast.Insert_graph { i_decl; i_doc } ->
+    let name =
+      match i_decl.Ast.g_name with
+      | Some n -> n
+      | None -> error "insert graph needs a named graph"
+    in
+    let gs = find_doc st i_doc in
+    if List.exists (fun g -> Graph.name g = Some name) gs then
+      error "doc(%S) already has a graph named %s" i_doc name;
+    let g = instantiate (Ast.Tgraph i_decl) in
+    set_doc st i_doc (gs @ [ g ]);
+    st.s_writes <- st.s_writes + 1;
+    writer (W_insert { source = i_doc; new_graph = g })
+  | Ast.Update_node { u_ref; u_node; u_tuple } ->
+    let _, g = find_graph st u_ref in
+    let v = node_id g u_ref u_node in
+    (* merge: new fields win, untouched fields survive *)
+    let tuple = Tuple.union (Graph.node_tuple g v) (const_tuple (Some u_tuple)) in
+    apply_ops st writer u_ref [ Mutate.Set_node { v; tuple } ]
+  | Ast.Update_edge { u_ref; u_edge; u_tuple } ->
+    let _, g = find_graph st u_ref in
+    let e = edge_id g u_ref u_edge in
+    let tuple =
+      Tuple.union (Graph.edge g e).Graph.etuple (const_tuple (Some u_tuple))
+    in
+    apply_ops st writer u_ref [ Mutate.Set_edge { e; tuple } ]
+  | Ast.Delete_node { x_ref; x_node } ->
+    let _, g = find_graph st x_ref in
+    apply_ops st writer x_ref [ Mutate.Del_node (node_id g x_ref x_node) ]
+  | Ast.Delete_edge { x_ref; x_edge } ->
+    let _, g = find_graph st x_ref in
+    apply_ops st writer x_ref [ Mutate.Del_edge (edge_id g x_ref x_edge) ]
+  | Ast.Delete_graph r ->
+    let i, g = find_graph st r in
+    set_doc st r.d_doc (List.filteri (fun j _ -> j <> i) (find_doc st r.d_doc));
+    st.s_writes <- st.s_writes + 1;
+    writer (W_remove { source = r.d_doc; index = i; old_graph = g })
+
 let run ?(docs = []) ?strategy ?max_depth ?budget
-    ?(metrics = Gql_obs.Metrics.disabled) ?selector (program : Ast.program) =
+    ?(metrics = Gql_obs.Metrics.disabled) ?selector ?(writer = fun _ -> ())
+    (program : Ast.program) =
   let selector =
     (* the default selector is the plain bulk-algebra selection; the
        exec service substitutes a caching, quantum-yielding one *)
@@ -52,7 +171,14 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
           ~patterns entries
   in
   let st =
-    { s_defs = []; s_vars = []; s_last = None; s_stopped = Budget.Exhausted }
+    {
+      s_defs = [];
+      s_vars = [];
+      s_last = None;
+      s_stopped = Budget.Exhausted;
+      s_docs = docs;
+      s_writes = 0;
+    }
   in
   let defs name = List.assoc_opt name st.s_defs in
   let statement = function
@@ -78,7 +204,7 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
       in
       if patterns = [] then error "pattern %s has no derivation" pname;
       let source =
-        match List.assoc_opt f.Ast.f_source docs with
+        match List.assoc_opt f.Ast.f_source st.s_docs with
         | Some gs -> gs
         | None ->
           (match List.assoc_opt f.Ast.f_source st.s_vars with
@@ -131,6 +257,7 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
             let g = instantiate_template st extra t in
             st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars)
           matches)
+    | Ast.Sdml d -> exec_dml st (instantiate_template st []) writer d
   in
   List.iter statement program;
   {
@@ -138,6 +265,7 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
     vars = st.s_vars;
     last = st.s_last;
     stopped = st.s_stopped;
+    writes = st.s_writes;
   }
 
 let var r name = List.assoc_opt name r.vars

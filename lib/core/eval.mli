@@ -21,6 +21,23 @@ exception Error of string
 type docs = (string * Graph.t list) list
 (** The [doc("name")] data sources. *)
 
+(** One applied DML statement, as reported to the [?writer] sink of
+    {!run}. The evaluator applies writes to its in-run view of the
+    docs (later statements read their own writes); the sink is where
+    durability happens — the CLI and the batch service append the ops
+    to the store's transaction log and refresh their caches. *)
+type write =
+  | W_update of {
+      source : string;  (** the doc collection name *)
+      index : int;  (** position of the graph within the collection *)
+      old_graph : Graph.t;
+      new_graph : Graph.t;
+      ops : Mutate.op list;
+      delta : Mutate.delta;  (** dirty set for incremental maintenance *)
+    }
+  | W_insert of { source : string; new_graph : Graph.t }
+  | W_remove of { source : string; index : int; old_graph : Graph.t }
+
 type result = {
   defs : (string * Ast.graph_decl) list;  (** named declarations, in order *)
   vars : (string * Graph.t) list;  (** variable bindings after the run *)
@@ -30,6 +47,7 @@ type result = {
           [Hit_limit] truncation included); the worst resource reason
           observed otherwise — the program's outputs are then built
           from partial match sets. *)
+  writes : int;  (** DML statements applied *)
 }
 
 type selector =
@@ -50,6 +68,7 @@ val run :
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?selector:selector ->
+  ?writer:(write -> unit) ->
   Ast.program ->
   result
 (** [max_depth] bounds recursive motif derivation (default 16). A

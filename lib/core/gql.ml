@@ -41,6 +41,7 @@ let find_matches ?strategy ?exhaustive ?limit ?budget ~pattern g =
 let count_matches ?strategy ~pattern g =
   List.length (find_matches ?strategy ~pattern g)
 
-let run_query ?docs ?strategy ?budget ?metrics ?selector src =
+let run_query ?docs ?strategy ?budget ?metrics ?selector ?writer src =
   wrap src (fun () ->
-      Eval.run ?docs ?strategy ?budget ?metrics ?selector (Parser.program src))
+      Eval.run ?docs ?strategy ?budget ?metrics ?selector ?writer
+        (Parser.program src))

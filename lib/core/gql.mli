@@ -54,10 +54,13 @@ val run_query :
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?selector:Eval.selector ->
+  ?writer:(Eval.write -> unit) ->
   string ->
   Eval.result
 (** Parse and evaluate a whole program; [budget] governs all its
     selections end to end (check [result.stopped]); [metrics] records
     spans and counters across every phase (render with
     [Gql_obs.Metrics.pp] / [to_json] — this is what
-    [gqlsh explain --analyze] prints). *)
+    [gqlsh explain --analyze] prints). DML statements are applied to
+    the in-run doc view and reported to [writer] (see
+    {!Eval.write}). *)

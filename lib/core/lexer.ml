@@ -5,6 +5,7 @@ type token =
   | STRING of string
   | GRAPH | NODE | EDGE | UNIFY | EXPORT | AS | WHERE
   | FOR | EXHAUSTIVE | IN | DOC | RETURN | LET
+  | INSERT | UPDATE | DELETE | SET | INTO
   | TRUE | FALSE | NULL
   | LBRACE | RBRACE | LPAREN | RPAREN
   | LANGLE | RANGLE
@@ -33,6 +34,11 @@ let keyword = function
   | "doc" -> Some DOC
   | "return" -> Some RETURN
   | "let" -> Some LET
+  | "insert" -> Some INSERT
+  | "update" -> Some UPDATE
+  | "delete" -> Some DELETE
+  | "set" -> Some SET
+  | "into" -> Some INTO
   | "true" -> Some TRUE
   | "false" -> Some FALSE
   | "null" -> Some NULL
@@ -169,6 +175,8 @@ let token_to_string = function
   | UNIFY -> "'unify'" | EXPORT -> "'export'" | AS -> "'as'"
   | WHERE -> "'where'" | FOR -> "'for'" | EXHAUSTIVE -> "'exhaustive'"
   | IN -> "'in'" | DOC -> "'doc'" | RETURN -> "'return'" | LET -> "'let'"
+  | INSERT -> "'insert'" | UPDATE -> "'update'" | DELETE -> "'delete'"
+  | SET -> "'set'" | INTO -> "'into'"
   | TRUE -> "'true'" | FALSE -> "'false'" | NULL -> "'null'"
   | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
   | LANGLE -> "'<'" | RANGLE -> "'>'" | COMMA -> "','" | SEMI -> "';'"

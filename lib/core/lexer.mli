@@ -13,6 +13,7 @@ type token =
   (* keywords *)
   | GRAPH | NODE | EDGE | UNIFY | EXPORT | AS | WHERE
   | FOR | EXHAUSTIVE | IN | DOC | RETURN | LET
+  | INSERT | UPDATE | DELETE | SET | INTO
   | TRUE | FALSE | NULL
   (* punctuation *)
   | LBRACE | RBRACE | LPAREN | RPAREN

@@ -274,16 +274,7 @@ let template st =
   | Lexer.ID _ -> Ast.Tvar (ident st)
   | _ -> fail st "expected a graph template"
 
-let flwr st =
-  expect st Lexer.FOR "expected 'for'";
-  let pattern =
-    match peek st with
-    | Lexer.GRAPH -> `Inline (graph_decl st)
-    | Lexer.ID _ -> `Named (ident st)
-    | _ -> fail st "expected a pattern name or inline pattern after 'for'"
-  in
-  let exhaustive = accept st Lexer.EXHAUSTIVE in
-  expect st Lexer.IN "expected 'in'";
+let doc_name st =
   expect st Lexer.DOC "expected 'doc'";
   expect st Lexer.LPAREN "expected '(' after doc";
   let source =
@@ -294,6 +285,98 @@ let flwr st =
     | _ -> fail st "expected a collection name string in doc(...)"
   in
   expect st Lexer.RPAREN "expected ')' after collection name";
+  source
+
+let doc_ref st =
+  let d = doc_name st in
+  expect st Lexer.DOT "expected '.' naming a graph after doc(...)";
+  let g = ident st in
+  { Ast.d_doc = d; d_graph = g }
+
+(* doc("D").G.x — a node or edge inside a stored graph *)
+let doc_member st =
+  let r = doc_ref st in
+  expect st Lexer.DOT "expected '.' naming a node or edge";
+  let m = ident st in
+  (r, m)
+
+let dml st =
+  match peek st with
+  | Lexer.INSERT ->
+    advance st;
+    (match peek st with
+    | Lexer.NODE ->
+      advance st;
+      let name = ident st in
+      let t = opt_tuple st in
+      expect st Lexer.INTO "expected 'into' in insert";
+      let r = doc_ref st in
+      Ast.Insert_node { i_name = name; i_tuple = t; i_into = r }
+    | Lexer.EDGE ->
+      advance st;
+      let name = if peek st = Lexer.LPAREN then None else Some (ident st) in
+      expect st Lexer.LPAREN "expected '(' in insert edge";
+      let src = ident st in
+      expect st Lexer.COMMA "expected ',' between edge endpoints";
+      let dst = ident st in
+      expect st Lexer.RPAREN "expected ')' in insert edge";
+      let t = opt_tuple st in
+      expect st Lexer.INTO "expected 'into' in insert";
+      let r = doc_ref st in
+      Ast.Insert_edge
+        { i_name = name; i_src = src; i_dst = dst; i_tuple = t; i_into = r }
+    | Lexer.GRAPH ->
+      let g = graph_decl st in
+      expect st Lexer.INTO "expected 'into' in insert";
+      let d = doc_name st in
+      Ast.Insert_graph { i_decl = g; i_doc = d }
+    | _ -> fail st "expected 'node', 'edge' or 'graph' after 'insert'")
+  | Lexer.UPDATE ->
+    advance st;
+    let kind =
+      match peek st with
+      | Lexer.NODE ->
+        advance st;
+        `Node
+      | Lexer.EDGE ->
+        advance st;
+        `Edge
+      | _ -> fail st "expected 'node' or 'edge' after 'update'"
+    in
+    let r, m = doc_member st in
+    expect st Lexer.SET "expected 'set' in update";
+    let t = tuple st in
+    (match kind with
+    | `Node -> Ast.Update_node { u_ref = r; u_node = m; u_tuple = t }
+    | `Edge -> Ast.Update_edge { u_ref = r; u_edge = m; u_tuple = t })
+  | Lexer.DELETE ->
+    advance st;
+    (match peek st with
+    | Lexer.NODE ->
+      advance st;
+      let r, m = doc_member st in
+      Ast.Delete_node { x_ref = r; x_node = m }
+    | Lexer.EDGE ->
+      advance st;
+      let r, m = doc_member st in
+      Ast.Delete_edge { x_ref = r; x_edge = m }
+    | Lexer.GRAPH ->
+      advance st;
+      Ast.Delete_graph (doc_ref st)
+    | _ -> fail st "expected 'node', 'edge' or 'graph' after 'delete'")
+  | _ -> fail st "expected a DML statement"
+
+let flwr st =
+  expect st Lexer.FOR "expected 'for'";
+  let pattern =
+    match peek st with
+    | Lexer.GRAPH -> `Inline (graph_decl st)
+    | Lexer.ID _ -> `Named (ident st)
+    | _ -> fail st "expected a pattern name or inline pattern after 'for'"
+  in
+  let exhaustive = accept st Lexer.EXHAUSTIVE in
+  expect st Lexer.IN "expected 'in'";
+  let source = doc_name st in
   let w = opt_where st in
   let body =
     match peek st with
@@ -321,13 +404,20 @@ let statement st =
     let f = flwr st in
     ignore (accept st Lexer.SEMI);
     Ast.Sflwr f
+  | Lexer.INSERT | Lexer.UPDATE | Lexer.DELETE ->
+    let d = dml st in
+    ignore (accept st Lexer.SEMI);
+    Ast.Sdml d
   | Lexer.ID _ when peek2 st = Lexer.ASSIGN ->
     let v = ident st in
     expect st Lexer.ASSIGN "expected ':='";
     let t = template st in
     ignore (accept st Lexer.SEMI);
     Ast.Sassign (v, t)
-  | _ -> fail st "expected a statement ('graph', 'for', or an assignment)"
+  | _ ->
+    fail st
+      "expected a statement ('graph', 'for', insert/update/delete, or an \
+       assignment)"
 
 let run_parser src p =
   let st = { toks = Lexer.tokenize src; pos = 0 } in

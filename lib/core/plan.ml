@@ -25,6 +25,7 @@ type expr =
 type statement =
   | Assign of string * expr
   | Output of expr
+  | Write of Ast.dml
 
 type t = statement list
 
@@ -74,7 +75,8 @@ let compile ?max_depth (program : Ast.program) =
           None
         | None -> error "top-level graph declarations must be named")
       | Ast.Sassign (v, t) -> Some (Assign (v, Compose { template = t; param = "_"; input = Var "_unit" }))
-      | Ast.Sflwr f -> Some (compile_flwr f))
+      | Ast.Sflwr f -> Some (compile_flwr f)
+      | Ast.Sdml d -> Some (Write d))
     program
 
 (* --- printing (EXPLAIN) --- *)
@@ -108,7 +110,8 @@ let pp ppf plan =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut
     (fun ppf -> function
       | Assign (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
-      | Output e -> Format.fprintf ppf "return %a" pp_expr e)
+      | Output e -> Format.fprintf ppf "return %a" pp_expr e
+      | Write d -> Format.fprintf ppf "write %a" Ast.pp_dml d)
     ppf plan
 
 (* --- optimization: predicate pushdown --- *)
@@ -168,7 +171,8 @@ let optimize plan =
   List.map
     (function
       | Assign (v, e) -> Assign (v, optimize_expr e)
-      | Output e -> Output (optimize_expr e))
+      | Output e -> Output (optimize_expr e)
+      | Write d -> Write d)
     plan
 
 (* --- execution --- *)
@@ -253,11 +257,15 @@ let execute ?(docs = []) ?strategy plan =
         | [ Algebra.G g ] -> st.vars <- (v, g) :: List.remove_assoc v st.vars
         | [] -> ()
         | _ -> error "assignment of a multi-graph collection to %s" v)
-      | Output e -> st.last <- Some (eval e))
+      | Output e -> st.last <- Some (eval e)
+      | Write _ ->
+        (* writes need a durability sink; only Eval.run carries one *)
+        error "DML statements are not executable from a compiled plan")
     plan;
   {
     Eval.defs = [];
     vars = st.vars;
     last = st.last;
     stopped = Gql_matcher.Budget.Exhausted;
+    writes = 0;
   }

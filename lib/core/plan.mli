@@ -40,6 +40,9 @@ type expr =
 type statement =
   | Assign of string * expr
   | Output of expr
+  | Write of Ast.dml
+      (** DML pass-through: printable in EXPLAIN, but only {!Eval.run}
+          executes writes (it carries the durability sink) *)
 
 type t = statement list
 

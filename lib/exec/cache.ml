@@ -40,6 +40,11 @@ type t = {
   plans : (string, plan) Hashtbl.t;
   rows : Lru.t;
   pkeys : string PatTbl.t;
+  (* per-graph epochs: gid -> how many times this document slot has been
+     replaced by a write. Gids are never reused, so a stale retrieval
+     row keyed by a dead gid can never be found again — it just ages out
+     of the LRU. *)
+  epochs : (int, int) Hashtbl.t;
   (* the shared learned planner statistics: only ever touched under the
      mutex ([Stats.t] is not domain-safe); planners read {!Stats.snapshot}s *)
   learned : Gql_matcher.Stats.t;
@@ -68,6 +73,7 @@ let create ?(plan_capacity = 4096) ?(retrieval_budget_bytes = 64 * 1024 * 1024)
     plans = Hashtbl.create 256;
     rows = Lru.create ~budget_bytes:retrieval_budget_bytes;
     pkeys = PatTbl.create 64;
+    epochs = Hashtbl.create 64;
     learned = Gql_matcher.Stats.create ();
     invalidations = 0;
   }
@@ -96,10 +102,112 @@ let invalidate t ~metrics =
       GraphTbl.reset t.gids;
       Hashtbl.reset t.indexes;
       Hashtbl.reset t.plans;
+      Hashtbl.reset t.epochs;
       Lru.clear t.rows;
       M.incr metrics M.Exec_cache_invalidations)
 
 let gid_opt t g = GraphTbl.find_opt t.gids g
+
+(* call under the mutex: forget one graph's registration, indexes and
+   plans. Retrieval rows keyed by the dead gid are unreachable (gids
+   are monotonic) and age out of the LRU on their own. *)
+let drop_gid t g gid =
+  GraphTbl.remove t.gids g;
+  Hashtbl.remove t.indexes gid;
+  let prefix = Printf.sprintf "g%d|" gid in
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if String.starts_with ~prefix k then k :: acc else acc)
+      t.plans []
+  in
+  List.iter (Hashtbl.remove t.plans) doomed
+
+(* call under the mutex *)
+let add_gid t g =
+  let gid = t.next_gid in
+  t.next_gid <- t.next_gid + 1;
+  GraphTbl.add t.gids g gid;
+  gid
+
+let graph_epoch t g =
+  locked t (fun () ->
+      match gid_opt t g with
+      | None -> None
+      | Some gid ->
+        Some (Option.value ~default:0 (Hashtbl.find_opt t.epochs gid)))
+
+let replace t ~metrics ~old_graph ~new_graph ~delta =
+  locked t (fun () ->
+      match gid_opt t old_graph with
+      | None ->
+        (* the old version was never cached — just make the new one
+           cacheable *)
+        if not (GraphTbl.mem t.gids new_graph) then ignore (add_gid t new_graph)
+      | Some gid ->
+        let epoch = Option.value ~default:0 (Hashtbl.find_opt t.epochs gid) in
+        let idx = Hashtbl.find_opt t.indexes gid in
+        drop_gid t old_graph gid;
+        Hashtbl.remove t.epochs gid;
+        let gid' = add_gid t new_graph in
+        Hashtbl.replace t.epochs gid' (epoch + 1);
+        (* incremental index maintenance: when the old graph's indexes
+           were warm and the write tracked its dirty set, carry them
+           forward instead of letting the next query rebuild from
+           scratch *)
+        (match (idx, delta) with
+        | Some (li, pi), Some d ->
+          let li' = Gql_index.Label_index.update li ~old_graph new_graph d in
+          let pi', _recomputed = Gql_index.Profile_index.update pi new_graph d in
+          Hashtbl.add t.indexes gid' (li', pi');
+          M.incr metrics M.Index_incremental
+        | _ -> ());
+        t.version <- t.version + 1)
+
+let drop t g =
+  locked t (fun () ->
+      match gid_opt t g with
+      | None -> ()
+      | Some gid ->
+        drop_gid t g gid;
+        Hashtbl.remove t.epochs gid;
+        t.version <- t.version + 1)
+
+let retain t ~metrics ~keep =
+  locked t (fun () ->
+      let survivors = List.filter (fun g -> GraphTbl.mem t.gids g) keep in
+      if survivors = [] && GraphTbl.length t.gids > 0 then begin
+        (* nothing carries over: wholesale replacement, same effect as
+           the old single version stamp *)
+        t.version <- t.version + 1;
+        t.invalidations <- t.invalidations + 1;
+        GraphTbl.reset t.gids;
+        Hashtbl.reset t.indexes;
+        Hashtbl.reset t.plans;
+        Hashtbl.reset t.epochs;
+        Lru.clear t.rows;
+        M.incr metrics M.Exec_cache_invalidations
+      end
+      else begin
+        let keep_set = Hashtbl.create 16 in
+        List.iter
+          (fun g -> Option.iter (fun gid -> Hashtbl.replace keep_set gid ()) (gid_opt t g))
+          survivors;
+        let doomed =
+          GraphTbl.fold
+            (fun g gid acc ->
+              if Hashtbl.mem keep_set gid then acc else (g, gid) :: acc)
+            t.gids []
+        in
+        List.iter
+          (fun (g, gid) ->
+            drop_gid t g gid;
+            Hashtbl.remove t.epochs gid)
+          doomed;
+        if doomed <> [] then t.version <- t.version + 1
+      end;
+      List.iter
+        (fun g -> if not (GraphTbl.mem t.gids g) then ignore (add_gid t g))
+        keep)
 
 let indexes t ~metrics g =
   locked t (fun () ->

@@ -55,6 +55,39 @@ val invalidate : t -> metrics:Gql_obs.Metrics.t -> unit
     forget all registrations (documents changed — the new graphs must
     be re-{!register}ed). Counts [exec.cache.invalidations]. *)
 
+val replace :
+  t ->
+  metrics:Gql_obs.Metrics.t ->
+  old_graph:Graph.t ->
+  new_graph:Graph.t ->
+  delta:Gql_graph.Mutate.delta option ->
+  unit
+(** A write produced [new_graph] from [old_graph]: retire {e only} the
+    old graph's registration, indexes and plans, register the new
+    graph under a fresh gid, and bump its per-graph epoch — every
+    other graph's warm state is untouched. When the old indexes were
+    cached and the write carried a dirty-set [delta], the new graph's
+    indexes are derived incrementally ([Label_index.update] /
+    [Profile_index.update], counting [exec.cache.index_updates])
+    instead of being rebuilt from scratch on next use. *)
+
+val drop : t -> Graph.t -> unit
+(** Retire one graph (document deletion): forget its registration,
+    indexes, plans and epoch. Other graphs are untouched. *)
+
+val retain : t -> metrics:Gql_obs.Metrics.t -> keep:Graph.t list -> unit
+(** Reconcile the registrations with a new document set: graphs in
+    [keep] that are already registered stay warm (indexes, plans,
+    epochs intact); every other registered graph is retired; new
+    graphs in [keep] are registered. When {e nothing} survives the
+    reconciliation this degenerates to {!invalidate} (wholesale
+    replacement, counted as such). *)
+
+val graph_epoch : t -> Graph.t -> int option
+(** How many times this document slot has been replaced by writes
+    ([0] for a freshly registered graph, [None] if unregistered). A
+    write to one graph bumps only that graph's epoch. *)
+
 val indexes :
   t ->
   metrics:Gql_obs.Metrics.t ->

@@ -34,6 +34,9 @@ type job = {
   j_budget : Budget.t;
   j_metrics : M.t;
   j_submitted : float;
+  j_after : int;  (* watermark gate: runs once [applied >= j_after] *)
+  j_reserved : int;  (* log positions reserved at submit (DML count) *)
+  mutable j_writes : int;  (* writes actually applied; guarded by r_mutex *)
   mutable j_slice : int;  (* visited nodes since the last yield *)
   mutable j_yields : int;
   mutable j_done : bool;  (* guarded by r_mutex; completion idempotence *)
@@ -60,6 +63,16 @@ type t = {
   mutable pending : int;
   mutable next_id : int;
   mutable docs : Eval.docs;
+  (* the log watermark: [staged] positions are reserved at submit (one
+     per DML statement of the program), [applied] advances as writes
+     land — or catches up at completion when a job applies fewer writes
+     than it reserved (budget stop, failure, rejection), so a gate can
+     never wait forever. [staged] is guarded by r_mutex; [applied] is
+     atomic so the dequeue path can read it without taking r_mutex
+     (q_mutex is held there — no nesting). *)
+  mutable staged : int;
+  applied : int Atomic.t;
+  on_write : (Eval.write -> unit) option;  (* the durability sink *)
   agg : M.t;
   (* parse cache: query text -> AST (ASTs are immutable, sharing is safe) *)
   p_mutex : Mutex.t;
@@ -81,15 +94,42 @@ let push_task t task =
 let queue_nonempty t =
   locked t.q_mutex (fun () -> not (Queue.is_empty t.queue))
 
+(* Dequeue the first runnable task. A [Fresh] job whose watermark gate
+   is ahead of [applied] is skipped (rotated to the back, counting
+   [exec.queue.watermark_waits]); a [Resume] is never gated — its job
+   already passed the gate. During shutdown gates are ignored so queued
+   work always drains. Gate openers ([writer] / the completion catch-up)
+   broadcast [q_cond]. *)
 let next_task t =
   locked t.q_mutex (fun () ->
+      let runnable = function
+        | Resume _ -> true
+        | Fresh job ->
+          t.stopping || job.j_after <= Atomic.get t.applied
+      in
       let rec wait () =
-        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
-        else if t.stopping then None
-        else begin
-          Condition.wait t.q_cond t.q_mutex;
-          wait ()
-        end
+        let found = ref None in
+        let n = Queue.length t.queue in
+        let i = ref 0 in
+        while Option.is_none !found && !i < n do
+          incr i;
+          let task = Queue.pop t.queue in
+          if runnable task then found := Some task
+          else begin
+            (match task with
+            | Fresh job -> M.incr job.j_metrics M.Exec_watermark_waits
+            | Resume _ -> ());
+            Queue.push task t.queue
+          end
+        done;
+        match !found with
+        | Some task -> Some task
+        | None ->
+          if t.stopping && Queue.is_empty t.queue then None
+          else begin
+            Condition.wait t.q_cond t.q_mutex;
+            wait ()
+          end
       in
       wait ())
 
@@ -357,6 +397,53 @@ let internalize e =
     | Some err -> err
     | None -> Error.Eval ("internal: " ^ Printexc.to_string e))
 
+(* The service-side write sink, called by [Eval.run] once per applied
+   DML statement. Under r_mutex: mirror the evaluator's doc change into
+   the service's doc list and retire exactly the written graph's cached
+   state ([Cache.replace] — other graphs' plans stay warm). Then, off
+   the lock: hand the write to the durability sink ([on_write] — the
+   CLI appends it to the store's transaction log there), and only after
+   it returns advance the applied watermark, so a reader gated on this
+   write observes it both in memory and on disk. *)
+let writer t job w =
+  locked t.r_mutex (fun () ->
+      let m = job.j_metrics in
+      (match w with
+      | Eval.W_update { source; index; old_graph; new_graph; delta; ops = _ } ->
+        Cache.replace t.cache ~metrics:m ~old_graph ~new_graph
+          ~delta:(Some delta);
+        t.docs <-
+          List.map
+            (fun (name, gs) ->
+              if String.equal name source then
+                (name, List.mapi (fun i g -> if i = index then new_graph else g) gs)
+              else (name, gs))
+            t.docs
+      | Eval.W_insert { source; new_graph } ->
+        Cache.register t.cache [ new_graph ];
+        t.docs <-
+          (if List.mem_assoc source t.docs then
+             List.map
+               (fun (name, gs) ->
+                 if String.equal name source then (name, gs @ [ new_graph ])
+                 else (name, gs))
+               t.docs
+           else t.docs @ [ (source, [ new_graph ]) ])
+      | Eval.W_remove { source; index; old_graph } ->
+        Cache.drop t.cache old_graph;
+        t.docs <-
+          List.map
+            (fun (name, gs) ->
+              if String.equal name source then
+                (name, List.filteri (fun i _ -> i <> index) gs)
+              else (name, gs))
+            t.docs);
+      job.j_writes <- job.j_writes + 1;
+      M.incr m M.Exec_writes);
+  Option.iter (fun f -> f w) t.on_write;
+  ignore (Atomic.fetch_and_add t.applied 1);
+  locked t.q_mutex (fun () -> Condition.broadcast t.q_cond)
+
 let run_job t job =
   let docs = locked t.r_mutex (fun () -> t.docs) in
   match Budget.poll job.j_budget with
@@ -365,16 +452,19 @@ let run_job t job =
     match
       let program = parse_cached t job job.j_src in
       Eval.run ~docs ~strategy:t.strategy ~budget:job.j_budget
-        ~metrics:job.j_metrics ~selector:(selector t job) program
+        ~metrics:job.j_metrics ~selector:(selector t job)
+        ~writer:(writer t job) program
     with
     | result -> Done result
     | exception e -> Failed (internalize e))
 
 let complete t job status =
   let wall_ms = (Unix.gettimeofday () -. job.j_submitted) *. 1000.0 in
-  locked t.r_mutex (fun () ->
-      if not job.j_done then begin
-        job.j_done <- true;
+  let first =
+    locked t.r_mutex (fun () ->
+        if job.j_done then false
+        else begin
+          job.j_done <- true;
         M.incr job.j_metrics M.Exec_queue_completed;
         (match status with
         | Rejected _ -> M.incr job.j_metrics M.Exec_queue_deadline_stops
@@ -393,9 +483,21 @@ let complete t job status =
             o_yields = job.j_yields;
             o_wall_ms = wall_ms;
           };
-        t.pending <- t.pending - 1;
-        Condition.broadcast t.r_cond
-      end)
+          t.pending <- t.pending - 1;
+          Condition.broadcast t.r_cond;
+          true
+        end)
+  in
+  (* Catch up the applied watermark when the job reserved more log
+     positions than it wrote (budget stop, failure, rejection): gates
+     behind it must not wait for writes that will never come. *)
+  if first then begin
+    let shortfall = job.j_reserved - job.j_writes in
+    if shortfall > 0 then begin
+      ignore (Atomic.fetch_and_add t.applied shortfall);
+      locked t.q_mutex (fun () -> Condition.broadcast t.q_cond)
+    end
+  end
 
 let exec_fresh t job =
   Effect.Deep.match_with
@@ -431,7 +533,7 @@ let worker t () =
 
 let create ?jobs ?search_domains ?(quantum = 4096)
     ?(strategy = Engine.optimized) ?plan_capacity ?retrieval_budget_bytes
-    ?(docs = []) () =
+    ?(docs = []) ?on_write () =
   if quantum <= 0 then invalid_arg "Service.create: quantum <= 0";
   let jobs =
     match jobs with
@@ -464,6 +566,9 @@ let create ?jobs ?search_domains ?(quantum = 4096)
       pending = 0;
       next_id = 0;
       docs;
+      staged = 0;
+      applied = Atomic.make 0;
+      on_write;
       agg = M.create ();
       p_mutex = Mutex.create ();
       parsed = Hashtbl.create 64;
@@ -474,24 +579,52 @@ let create ?jobs ?search_domains ?(quantum = 4096)
   t.domains <- List.init jobs (fun _ -> Domain.spawn (worker t));
   t
 
-let submit t ?deadline src =
+let submit t ?deadline ?after src =
   let now = Unix.gettimeofday () in
   let budget =
     match deadline with
     | None -> Budget.make ()
     | Some d -> Budget.make ~deadline_at:(now +. d) ()
   in
+  (* Reserve log positions for the program's DML statements at submit
+     time. A parse failure reserves none — the job fails identically
+     when run. The peek neither populates the parse cache nor counts
+     into any metrics: the job's own (counted) parse does both. *)
+  let reserved =
+    try
+      let program =
+        match locked t.p_mutex (fun () -> Hashtbl.find_opt t.parsed src) with
+        | Some p -> p
+        | None -> Gql_core.Gql.parse_program src
+      in
+      Gql_core.Ast.count_dml program
+    with _ -> 0
+  in
   let job =
     locked t.r_mutex (fun () ->
         let id = t.next_id in
         t.next_id <- t.next_id + 1;
         t.pending <- t.pending + 1;
+        (* DML programs gate on every previously staged write — writes
+           serialize in submission order, which keeps the evaluator's
+           in-collection indices aligned with the service's doc list.
+           Read programs run ungated on the snapshot they dequeue with,
+           unless the caller asked to read its writes via [?after]. *)
+        let gate =
+          match after with
+          | Some w -> w
+          | None -> if reserved > 0 then t.staged else 0
+        in
+        t.staged <- t.staged + reserved;
         {
           j_id = id;
           j_src = src;
           j_budget = budget;
           j_metrics = M.create ();
           j_submitted = now;
+          j_after = gate;
+          j_reserved = reserved;
+          j_writes = 0;
           j_slice = 0;
           j_yields = 0;
           j_done = false;
@@ -515,13 +648,19 @@ let drain t =
 
 let update_docs t docs =
   let m = M.create () in
-  Cache.invalidate t.cache ~metrics:m;
-  Cache.register t.cache (List.concat_map snd docs);
+  (* Per-graph reconciliation: graphs carried over from the previous
+     doc set keep their indexes, plans and epochs; only the graphs
+     that actually changed are retired. A wholesale replacement (no
+     graph survives) degenerates to the old full invalidation. *)
+  Cache.retain t.cache ~metrics:m ~keep:(List.concat_map snd docs);
   locked t.r_mutex (fun () ->
       t.docs <- docs;
       M.merge ~into:t.agg m)
 
 let version t = Cache.version t.cache
+let watermark t = locked t.r_mutex (fun () -> t.staged)
+let applied t = Atomic.get t.applied
+let graph_epoch t g = Cache.graph_epoch t.cache g
 let metrics t = t.agg
 let cache_stats t = Cache.stats t.cache
 
@@ -533,10 +672,10 @@ let shutdown t =
   t.domains <- []
 
 let run_batch ?jobs ?search_domains ?quantum ?strategy ?plan_capacity
-    ?retrieval_budget_bytes ?docs ?deadline queries =
+    ?retrieval_budget_bytes ?docs ?on_write ?deadline queries =
   let t =
     create ?jobs ?search_domains ?quantum ?strategy ?plan_capacity
-      ?retrieval_budget_bytes ?docs ()
+      ?retrieval_budget_bytes ?docs ?on_write ()
   in
   List.iter (fun q -> ignore (submit t ?deadline q)) queries;
   let out = drain t in

@@ -60,6 +60,7 @@ val create :
   ?plan_capacity:int ->
   ?retrieval_budget_bytes:int ->
   ?docs:Gql_core.Eval.docs ->
+  ?on_write:(Gql_core.Eval.write -> unit) ->
   unit ->
   t
 (** Spawn the worker pool. [jobs] defaults to
@@ -78,9 +79,18 @@ val create :
     job pool leaves idle. Cached (warm-plan) searches use it too; the
     [`Subgraphs] fallback path stays sequential. *)
 
-val submit : t -> ?deadline:float -> string -> int
+val submit : t -> ?deadline:float -> ?after:int -> string -> int
 (** Enqueue a query (source text), returning its job id. [deadline] is
-    in seconds from now, inclusive of queue wait. Never blocks. *)
+    in seconds from now, inclusive of queue wait. Never blocks.
+
+    [after] is a watermark gate: the query does not {e start} until at
+    least that many writes have been applied — pass {!watermark}[ t]
+    to read your own (and every earlier) submitted write. Programs
+    containing DML statements are gated automatically on all
+    previously staged writes, so writes serialize in submission order;
+    pure reads run ungated on the document snapshot current when they
+    dequeue. Time spent gated counts [exec.queue.watermark_waits] and
+    against the deadline. *)
 
 val drain : t -> outcome list
 (** Wait for every submitted query to complete and return their
@@ -88,13 +98,32 @@ val drain : t -> outcome list
     more or {!shutdown}. *)
 
 val update_docs : t -> Gql_core.Eval.docs -> unit
-(** Replace the document set: bumps the cache version stamp, drops
-    every cached index/plan/row, and registers the new graphs. Call
-    between {!drain} and the next {!submit} — queries already running
-    keep the documents they started with. *)
+(** Replace the document set, {e reconciling} per graph: physically
+    identical graphs carried over from the previous set keep their
+    cached indexes, plans and epochs; only the changed graphs are
+    retired (wholesale replacement degenerates to a full
+    invalidation). Call between {!drain} and the next {!submit} —
+    queries already running keep the documents they started with. *)
 
 val version : t -> int
-(** The cache version stamp (increments on each {!update_docs}). *)
+(** The cache version stamp — now a {e write counter}: it increments
+    once per replaced/dropped/reconciled graph rather than gating any
+    lookup (per-graph epochs and gid retirement do that). *)
+
+val watermark : t -> int
+(** The staged watermark: total DML statements reserved by every
+    {!submit} so far. [submit ~after:(watermark t)] gives
+    read-your-writes over all previously submitted programs. *)
+
+val applied : t -> int
+(** The applied watermark: writes applied (or abandoned by failed /
+    truncated jobs) so far. [applied t >= w] means a gate of [w] is
+    open; [applied t = watermark t] means no write is in flight. *)
+
+val graph_epoch : t -> Gql_graph.Graph.t -> int option
+(** Per-graph write epoch of a registered document graph (see
+    {!Cache.graph_epoch}) — a write to one graph bumps only that
+    graph's epoch, leaving every other graph's warm plans valid. *)
 
 val metrics : t -> Gql_obs.Metrics.t
 (** The service aggregate. Only read it when no query is in flight
@@ -114,6 +143,7 @@ val run_batch :
   ?plan_capacity:int ->
   ?retrieval_budget_bytes:int ->
   ?docs:Gql_core.Eval.docs ->
+  ?on_write:(Gql_core.Eval.write -> unit) ->
   ?deadline:float ->
   string list ->
   outcome list * t

@@ -6,6 +6,9 @@ let of_neighborhood (n : Neighborhood.t) =
   Graph.fold_nodes n.graph ~init:[] ~f:(fun acc v -> Graph.label n.graph v :: acc)
   |> of_labels
 
+let of_node g ~r v =
+  Neighborhood.nodes_within g v ~r |> List.map (Graph.label g) |> of_labels
+
 let all g ~r =
   Array.init (Graph.n_nodes g) (fun v ->
       Neighborhood.nodes_within g v ~r

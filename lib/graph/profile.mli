@@ -18,6 +18,10 @@ val of_labels : string list -> t
 val of_neighborhood : Neighborhood.t -> t
 (** Labels of every node of the neighborhood subgraph (center included). *)
 
+val of_node : Graph.t -> r:int -> int -> t
+(** Profile of a single node's radius-[r] neighborhood — one BFS, used
+    by incremental index maintenance to recompute only dirty nodes. *)
+
 val all : Graph.t -> r:int -> t array
 (** Per-node profiles of radius [r], computed directly by BFS (no
     subgraph materialization). *)

@@ -7,6 +7,13 @@ type t = {
   freqs : (string * int) list;  (* descending frequency *)
 }
 
+let rebuild_freqs by_label =
+  Smap.to_seq by_label
+  |> Seq.map (fun (l, vs) -> (l, List.length vs))
+  |> List.of_seq
+  |> List.sort (fun (l1, f1) (l2, f2) ->
+         match compare f2 f1 with 0 -> String.compare l1 l2 | c -> c)
+
 let build g =
   let by_label =
     Graph.fold_nodes g ~init:(Smap.empty ()) ~f:(fun acc v ->
@@ -15,14 +22,64 @@ let build g =
           (function None -> Some [ v ] | Some vs -> Some (v :: vs))
           acc)
   in
-  let freqs =
-    Smap.to_seq by_label
-    |> Seq.map (fun (l, vs) -> (l, List.length vs))
-    |> List.of_seq
-    |> List.sort (fun (l1, f1) (l2, f2) ->
-           match compare f2 f1 with 0 -> String.compare l1 l2 | c -> c)
+  { by_label; freqs = rebuild_freqs by_label }
+
+(* An update is genuinely incremental only when node ids are stable: a
+   deletion renumbers every higher id, which would touch most postings
+   anyway, so that case falls back to a full rebuild. With stable ids
+   only the dirty nodes can have a changed label (the dirty set covers
+   the write's whole r-ball, so it over-approximates the relabels), plus
+   any appended nodes. *)
+let update t ~old_graph graph (d : Mutate.delta) =
+  let old_n = Graph.n_nodes old_graph and n = Graph.n_nodes graph in
+  let identity =
+    Array.length d.node_map = old_n
+    && (let ok = ref true in
+        Array.iteri (fun i v -> if v <> i then ok := false) d.node_map;
+        !ok)
   in
-  { by_label; freqs }
+  if not identity then build graph
+  else begin
+    let touched = Hashtbl.create 16 in
+    let remove_from l v m =
+      Hashtbl.replace touched l ();
+      Smap.update l
+        (function
+          | None -> None
+          | Some vs -> (
+            match List.filter (fun u -> u <> v) vs with
+            | [] -> None
+            | vs -> Some vs))
+        m
+    in
+    let add_to l v m =
+      Hashtbl.replace touched l ();
+      Smap.update l
+        (function None -> Some [ v ] | Some vs -> Some (v :: vs))
+        m
+    in
+    let m = ref t.by_label in
+    Array.iter
+      (fun v ->
+        if v < old_n then begin
+          let old_l = Graph.label old_graph v and new_l = Graph.label graph v in
+          if not (String.equal old_l new_l) then
+            m := add_to new_l v (remove_from old_l v !m)
+        end)
+      d.dirty;
+    for v = old_n to n - 1 do
+      m := add_to (Graph.label graph v) v !m
+    done;
+    (* restore the descending-id posting order on touched labels *)
+    Hashtbl.iter
+      (fun l () ->
+        m :=
+          Smap.update l
+            (Option.map (fun vs -> List.sort (fun a b -> compare b a) vs))
+            !m)
+      touched;
+    { by_label = !m; freqs = rebuild_freqs !m }
+  end
 
 let nodes_with_label t l =
   match Smap.find l t.by_label with None -> [] | Some vs -> List.rev vs

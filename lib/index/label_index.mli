@@ -11,6 +11,17 @@ type t
 
 val build : Gql_graph.Graph.t -> t
 
+val update :
+  t ->
+  old_graph:Gql_graph.Graph.t ->
+  Gql_graph.Graph.t ->
+  Gql_graph.Mutate.delta ->
+  t
+(** Incremental maintenance after a mutation of [old_graph] into the new
+    graph. Structure is shared with [t] (the B-tree is persistent);
+    [t] itself is untouched and stays valid for [old_graph]. Falls back
+    to a full {!build} when the delta renumbers node ids (deletions). *)
+
 val nodes_with_label : t -> string -> int list
 (** Ascending node ids; [[]] for unknown labels. *)
 

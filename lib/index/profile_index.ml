@@ -15,6 +15,39 @@ let build ?(r = 1) graph =
     nbh_cache = Hashtbl.create 256;
   }
 
+(* Incremental maintenance: profiles of surviving nodes are copied
+   through the renumbering; only the delta's dirty set (plus any node the
+   renumbering left uncovered, e.g. freshly appended ones) pays a BFS.
+   Sound only when the delta tracked at least our radius — a narrower
+   dirty set could miss a changed ball — so we rebuild in that case.
+   Returns the number of profiles recomputed (the "work" the bench and
+   oracle tests compare against the full [n] of a rebuild). *)
+let update t graph (d : Mutate.delta) =
+  if d.d_r < t.r then
+    let t' = build ~r:t.r graph in
+    (t', Graph.n_nodes graph)
+  else begin
+    let n = Graph.n_nodes graph in
+    let profiles = Array.make n (Profile.of_labels []) in
+    let covered = Array.make n false in
+    Array.iteri
+      (fun old_v new_v ->
+        if new_v >= 0 then begin
+          profiles.(new_v) <- t.profiles.(old_v);
+          covered.(new_v) <- true
+        end)
+      d.node_map;
+    Array.iter (fun v -> if v >= 0 && v < n then covered.(v) <- false) d.dirty;
+    let recomputed = ref 0 in
+    for v = 0 to n - 1 do
+      if not covered.(v) then begin
+        profiles.(v) <- Profile.of_node graph ~r:t.r v;
+        incr recomputed
+      end
+    done;
+    ({ r = t.r; graph; profiles; nbh_cache = Hashtbl.create 256 }, !recomputed)
+  end
+
 let radius t = t.r
 let graph t = t.graph
 let profile t v = t.profiles.(v)

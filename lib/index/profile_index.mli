@@ -10,6 +10,14 @@ type t
 val build : ?r:int -> Gql_graph.Graph.t -> t
 (** Default radius 1, as in the experimental study. *)
 
+val update : t -> Gql_graph.Graph.t -> Gql_graph.Mutate.delta -> t * int
+(** [update t g delta] is the index of the post-mutation graph [g],
+    recomputing only the delta's dirty profiles (surviving nodes'
+    profiles are copied through the renumbering). Returns the new index
+    and the number of profiles actually recomputed. Falls back to a
+    full rebuild (recomputing all [n]) when the delta was tracked at a
+    radius narrower than the index's. [t] is untouched. *)
+
 val radius : t -> int
 val graph : t -> Gql_graph.Graph.t
 val profile : t -> int -> Gql_graph.Profile.t

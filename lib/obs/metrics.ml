@@ -27,6 +27,10 @@ type counter =
   | Exec_queue_deadline_stops
   | Planner_replans
   | Exec_plan_stale
+  | Exec_writes
+  | Exec_watermark_waits
+  | Storage_txn_appended
+  | Index_incremental
 
 let counter_index = function
   | Retrieval_scanned -> 0
@@ -57,8 +61,12 @@ let counter_index = function
   | Exec_queue_deadline_stops -> 25
   | Planner_replans -> 26
   | Exec_plan_stale -> 27
+  | Exec_writes -> 28
+  | Exec_watermark_waits -> 29
+  | Storage_txn_appended -> 30
+  | Index_incremental -> 31
 
-let n_counters = 28
+let n_counters = 32
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -89,6 +97,10 @@ let counter_name = function
   | Exec_queue_deadline_stops -> "exec.queue.deadline_stops"
   | Planner_replans -> "planner.replans"
   | Exec_plan_stale -> "exec.cache.stale_plans"
+  | Exec_writes -> "exec.writes.applied"
+  | Exec_watermark_waits -> "exec.queue.watermark_waits"
+  | Storage_txn_appended -> "storage.txn_appended"
+  | Index_incremental -> "exec.cache.index_updates"
 
 let all_counters =
   [
@@ -120,6 +132,10 @@ let all_counters =
     Exec_queue_deadline_stops;
     Planner_replans;
     Exec_plan_stale;
+    Exec_writes;
+    Exec_watermark_waits;
+    Storage_txn_appended;
+    Index_incremental;
   ]
 
 type histogram = Candidate_set_size | Matches_per_graph

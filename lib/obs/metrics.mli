@@ -47,6 +47,10 @@ type counter =
   | Exec_queue_deadline_stops  (** queries stopped by their budget *)
   | Planner_replans  (** mid-query suffix re-orders taken by the adaptive search *)
   | Exec_plan_stale  (** cached plans bypassed because their stats epoch aged out *)
+  | Exec_writes  (** DML write operations applied by the service *)
+  | Exec_watermark_waits  (** scheduler waits for a write watermark (read-your-writes) *)
+  | Storage_txn_appended  (** transaction-log records appended to a store *)
+  | Index_incremental  (** index maintenances done incrementally (vs full rebuild) *)
 
 val counter_name : counter -> string
 (** Stable dotted name, e.g. ["search.visited"] — the key used by the

@@ -175,6 +175,80 @@ let read_graph s off =
   done;
   (Graph.Builder.build b, !off)
 
+(* --- mutation ops (transaction-log payloads) --- *)
+
+let write_op buf (op : Mutate.op) =
+  match op with
+  | Add_node { name; tuple } ->
+    Buffer.add_char buf '\001';
+    write_option buf write_string name;
+    write_tuple buf tuple
+  | Add_edge { name; src; dst; tuple } ->
+    Buffer.add_char buf '\002';
+    write_option buf write_string name;
+    write_uvarint buf src;
+    write_uvarint buf dst;
+    write_tuple buf tuple
+  | Set_node { v; tuple } ->
+    Buffer.add_char buf '\003';
+    write_uvarint buf v;
+    write_tuple buf tuple
+  | Set_edge { e; tuple } ->
+    Buffer.add_char buf '\004';
+    write_uvarint buf e;
+    write_tuple buf tuple
+  | Del_node v ->
+    Buffer.add_char buf '\005';
+    write_uvarint buf v
+  | Del_edge e ->
+    Buffer.add_char buf '\006';
+    write_uvarint buf e
+
+let read_op s off : Mutate.op * int =
+  if off >= String.length s then corrupt "truncated op";
+  let tag = s.[off] and off = off + 1 in
+  match tag with
+  | '\001' ->
+    let name, off = read_option s off read_string in
+    let tuple, off = read_tuple s off in
+    (Add_node { name; tuple }, off)
+  | '\002' ->
+    let name, off = read_option s off read_string in
+    let src, off = read_uvarint s off in
+    let dst, off = read_uvarint s off in
+    let tuple, off = read_tuple s off in
+    (Add_edge { name; src; dst; tuple }, off)
+  | '\003' ->
+    let v, off = read_uvarint s off in
+    let tuple, off = read_tuple s off in
+    (Set_node { v; tuple }, off)
+  | '\004' ->
+    let e, off = read_uvarint s off in
+    let tuple, off = read_tuple s off in
+    (Set_edge { e; tuple }, off)
+  | '\005' ->
+    let v, off = read_uvarint s off in
+    (Del_node v, off)
+  | '\006' ->
+    let e, off = read_uvarint s off in
+    (Del_edge e, off)
+  | c -> corrupt "bad op tag %C" c
+
+let write_ops buf ops =
+  write_uvarint buf (List.length ops);
+  List.iter (write_op buf) ops
+
+let read_ops s off =
+  let n, off = read_uvarint s off in
+  let off = ref off in
+  let ops =
+    List.init n (fun _ ->
+        let op, o = read_op s !off in
+        off := o;
+        op)
+  in
+  (ops, !off)
+
 let graph_to_string g =
   let buf = Buffer.create 256 in
   write_graph buf g;

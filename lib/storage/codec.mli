@@ -8,6 +8,11 @@
     The format is self-contained per graph (no external string table) and
     versioned by a leading byte. *)
 
+val write_uvarint : Buffer.t -> int -> unit
+val read_uvarint : string -> int -> int * int
+(** [read_uvarint s off] returns the integer and the offset after it;
+    exposed for the {!Store} transaction-record payloads. *)
+
 val write_value : Buffer.t -> Gql_graph.Value.t -> unit
 val read_value : string -> int -> Gql_graph.Value.t * int
 (** [read_value s off] returns the value and the offset after it. *)
@@ -20,6 +25,14 @@ val read_graph : string -> int -> Gql_graph.Graph.t * int
 
 val graph_to_string : Gql_graph.Graph.t -> string
 val graph_of_string : string -> Gql_graph.Graph.t
+
+val write_op : Buffer.t -> Gql_graph.Mutate.op -> unit
+val read_op : string -> int -> Gql_graph.Mutate.op * int
+
+val write_ops : Buffer.t -> Gql_graph.Mutate.op list -> unit
+val read_ops : string -> int -> Gql_graph.Mutate.op list * int
+(** Length-prefixed op sequences — the payload of a transaction-log
+    record. *)
 
 exception Corrupt of string
 

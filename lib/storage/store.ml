@@ -19,21 +19,48 @@
    first record that fails its bounds or CRC, truncates the directory
    there and commits the repaired header.
 
-   Two record types share the log, classified by the payload's first
+   Three record types share the log, classified by the payload's first
    byte: graph records begin with {!Codec.format_version} (a small
    integer), auxiliary records — the planner's learned statistics —
-   with [aux_kind] (0xFA, far outside any codec version). Aux records
-   ride the same CRC/commit/recovery machinery; only graph records
-   count toward [n] and the id directory, and the newest CRC-valid aux
-   record wins (a torn final aux rolls back to the previous one). *)
+   with [aux_kind] (0xFA), transaction records with [txn_kind] (0xFB),
+   both far outside any codec version. Aux and txn records ride the
+   same CRC/commit/recovery machinery; only graph records count toward
+   [n] and the id directory.
+
+   Transaction records are the write path's log: instead of rewriting a
+   mutated graph's (possibly large) base record, a write appends the
+   mutation ops ['u' gid ops] or a deletion tombstone ['d' gid]. Opening
+   replays them in log order into a per-graph pending-ops overlay;
+   [get_graph] lazily materializes base-plus-overlay (memoized). Graph
+   ids are stable across deletions — a dead gid is simply no longer
+   live. Group commit falls out of the superblock design: any number of
+   staged records become durable atomically at the next flush's slot
+   swap, and a torn tail is salvaged record-by-record on reopen. *)
+
+open Gql_graph
 
 let magic = "GQLSTOR2"
 let aux_kind = '\250'
+let txn_kind = '\251'
 
 type recovery = {
   salvaged : int;
   dropped_records : int;
   dropped_bytes : int;
+  salvaged_txns : int;
+}
+
+(* In-memory image of the last committed state: [rollback]/[abort]
+   discard staged records by restoring it. Staged pages beyond [c_tail]
+   may already be on disk (pool eviction) but are unreachable — record
+   validity is bounded by the committed tail. *)
+type snapshot = {
+  c_n : int;
+  c_tail : int;
+  c_aux : string option;
+  c_txns : int;
+  c_pending : (int * Mutate.op list) list;
+  c_dead : int list;
 }
 
 type t = {
@@ -44,7 +71,13 @@ type t = {
   mutable tail : int;  (* byte offset of the end of the log *)
   mutable seq : int;  (* last committed superblock sequence number *)
   mutable aux : string option;  (* newest committed aux payload, sans kind byte *)
+  mutable txns : int;  (* txn records replayed + appended (tombstones included) *)
+  pending : (int, Mutate.op list) Hashtbl.t;  (* gid -> logged ops, log order *)
+  dead : (int, unit) Hashtbl.t;  (* tombstoned gids *)
+  materialized : (int, Graph.t) Hashtbl.t;  (* memo of base + pending overlay *)
+  mutable committed : snapshot;
   mutable recovery : recovery option;
+  mutable metrics : Gql_obs.Metrics.t option;
   mutable closed : bool;
 }
 
@@ -85,16 +118,29 @@ let get_slot header idx =
     let seq = Int64.to_int (Bytes.get_int64_le header (off + 16)) in
     if seq < 1 || n < 0 || tail < header_size then None else Some (n, tail, seq)
 
+let snapshot t =
+  {
+    c_n = t.n;
+    c_tail = t.tail;
+    c_aux = t.aux;
+    c_txns = t.txns;
+    c_pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending [];
+    c_dead = Hashtbl.fold (fun k () acc -> k :: acc) t.dead [];
+  }
+
 (* Data pages are committed before the superblock names them: a crash
    between the two fsyncs leaves the old superblock pointing at old,
-   fully-written data. *)
+   fully-written data. The snapshot is taken only after the sync
+   returns: a crash anywhere inside commit leaves [committed]
+   describing the previous durable state. *)
 let commit t =
   Buffer_pool.flush t.pool;
   t.seq <- t.seq + 1;
   set_slot t.header ~n:t.n ~tail:t.tail ~seq:t.seq;
   let pager = Buffer_pool.pager t.pool in
   Pager.write pager 0 t.header;
-  Pager.sync pager
+  Pager.sync pager;
+  t.committed <- snapshot t
 
 (* --- byte-level access through the pool --- *)
 
@@ -163,6 +209,16 @@ let read_record_opt t ~limit off =
 
 (* --- lifecycle --- *)
 
+let empty_snapshot =
+  {
+    c_n = 0;
+    c_tail = header_size;
+    c_aux = None;
+    c_txns = 0;
+    c_pending = [];
+    c_dead = [];
+  }
+
 let create ?pool_capacity path =
   let pager = Pager.create path in
   let pool = Buffer_pool.create ?capacity:pool_capacity pager in
@@ -178,7 +234,13 @@ let create ?pool_capacity path =
       tail = header_size;
       seq = 0;
       aux = None;
+      txns = 0;
+      pending = Hashtbl.create 16;
+      dead = Hashtbl.create 16;
+      materialized = Hashtbl.create 16;
+      committed = empty_snapshot;
       recovery = None;
+      metrics = None;
       closed = false;
     }
   in
@@ -186,6 +248,45 @@ let create ?pool_capacity path =
   t
 
 let corrupt fmt = Format.kasprintf (fun s -> raise (Codec.Corrupt s)) fmt
+
+(* Replay one CRC-valid transaction record into the overlay. Returns
+   [false] on anything malformed — unknown sub-kind, trailing bytes, an
+   out-of-range or already-dead gid — which recovery treats exactly
+   like a CRC failure: the log is truncated there. A structurally valid
+   record always applies, because truncation only ever removes a
+   suffix: the ops were validated against this same prefix state when
+   they were first appended. *)
+let replay_txn t payload =
+  let len = String.length payload in
+  try
+    if len < 2 then false
+    else
+      match payload.[1] with
+      | 'u' ->
+        let gid, o = Codec.read_uvarint payload 2 in
+        let ops, o = Codec.read_ops payload o in
+        if o <> len || gid < 0 || gid >= t.n || Hashtbl.mem t.dead gid then
+          false
+        else begin
+          Hashtbl.replace t.pending gid
+            (match Hashtbl.find_opt t.pending gid with
+            | None -> ops
+            | Some prev -> prev @ ops);
+          t.txns <- t.txns + 1;
+          true
+        end
+      | 'd' ->
+        let gid, o = Codec.read_uvarint payload 2 in
+        if o <> len || gid < 0 || gid >= t.n || Hashtbl.mem t.dead gid then
+          false
+        else begin
+          Hashtbl.replace t.dead gid ();
+          Hashtbl.remove t.pending gid;
+          t.txns <- t.txns + 1;
+          true
+        end
+      | _ -> false
+  with Codec.Corrupt _ -> false
 
 let open_existing ?pool_capacity path =
   (* a non-page-aligned file is the signature of an append that died
@@ -215,41 +316,55 @@ let open_existing ?pool_capacity path =
       tail;
       seq;
       aux = None;
+      txns = 0;
+      pending = Hashtbl.create 16;
+      dead = Hashtbl.create 16;
+      materialized = Hashtbl.create 16;
+      committed = empty_snapshot;
       recovery = None;
+      metrics = None;
       closed = false;
     }
   in
   (* rebuild the directory with a sequential scan of the log, bounded
      by the committed record count and tail — CRC-valid garbage beyond
-     them is never salvaged *)
+     them is never salvaged. Txn records replay into the overlay in log
+     order; a malformed one truncates the log exactly like a CRC
+     failure would. *)
   let off = ref header_size in
   let valid = ref 0 in
   let note_aux payload =
     t.aux <- Some (String.sub payload 1 (String.length payload - 1))
   in
   let is_aux payload = String.length payload > 0 && payload.[0] = aux_kind in
+  let is_txn payload = String.length payload > 0 && payload.[0] = txn_kind in
   (try
      while !valid < n do
        match read_record_opt t ~limit:tail !off with
        | None -> raise Exit
        | Some (payload, next) ->
-         if is_aux payload then note_aux payload
-         else begin
-           push_offset t (!off, String.length payload);
-           t.n <- t.n + 1;
-           incr valid
-         end;
+         (if is_aux payload then note_aux payload
+          else if is_txn payload then begin
+            if not (replay_txn t payload) then raise Exit
+          end
+          else begin
+            push_offset t (!off, String.length payload);
+            t.n <- t.n + 1;
+            incr valid
+          end);
          off := next
      done;
-     (* aux records appended after the last committed graph: walk them
-        up to tail; anything unreadable there is a torn tail and falls
-        to the truncation below, keeping the previous aux value *)
+     (* aux/txn records appended after the last committed graph: walk
+        them up to tail; anything unreadable there is a torn tail and
+        falls to the truncation below, keeping the previous state *)
      let walking = ref true in
      while !walking && !off < tail do
        match read_record_opt t ~limit:tail !off with
        | Some (payload, next) when is_aux payload ->
          note_aux payload;
          off := next
+       | Some (payload, next) when is_txn payload ->
+         if replay_txn t payload then off := next else walking := false
        | _ -> walking := false
      done
    with Exit -> ());
@@ -262,10 +377,12 @@ let open_existing ?pool_capacity path =
           salvaged = !valid;
           dropped_records = n - !valid;
           dropped_bytes = tail - !off;
+          salvaged_txns = t.txns;
         };
     t.tail <- !off;
     commit t
-  end;
+  end
+  else t.committed <- snapshot t;
   t
 
 let flush t =
@@ -279,8 +396,31 @@ let close t =
     t.closed <- true
   end
 
+(* Discard everything staged since the last commit: graph/aux/txn
+   records (the log tail), tombstones and pending overlays. Pages
+   beyond the restored tail may hold the discarded bytes, but they are
+   unreachable — record validity is bounded by the superblock tail, and
+   the next append overwrites them. *)
+let discard_staged t =
+  let s = t.committed in
+  t.n <- s.c_n;
+  t.tail <- s.c_tail;
+  t.aux <- s.c_aux;
+  t.txns <- s.c_txns;
+  Hashtbl.reset t.pending;
+  List.iter (fun (k, v) -> Hashtbl.replace t.pending k v) s.c_pending;
+  Hashtbl.reset t.dead;
+  List.iter (fun k -> Hashtbl.replace t.dead k ()) s.c_dead;
+  (* memoized graphs may reflect discarded ops *)
+  Hashtbl.reset t.materialized
+
+let rollback t =
+  check t;
+  discard_staged t
+
 let abort t =
   if not t.closed then begin
+    discard_staged t;
     Pager.close (Buffer_pool.pager t.pool);
     t.closed <- true
   end
@@ -298,13 +438,14 @@ let add_graph t g =
   id
 
 let n_graphs t = t.n
+let is_live t i = i >= 0 && i < t.n && not (Hashtbl.mem t.dead i)
+let live_count t = t.n - Hashtbl.length t.dead
 
 let offset_of t i =
   if i < 0 || i >= t.n then invalid_arg "Store.get_graph: id out of range";
   t.offsets.(i)
 
-let get_graph t i =
-  check t;
+let base_graph t i =
   let off, len = offset_of t i in
   let hdr = read_bytes t ~off ~len:record_header in
   let stored = Int32.to_int (String.get_int32_le hdr 4) land 0xFFFFFFFF in
@@ -314,13 +455,84 @@ let get_graph t i =
       (Codec.crc32 payload);
   Codec.graph_of_string payload
 
+let get_graph t i =
+  check t;
+  if i >= 0 && i < t.n && Hashtbl.mem t.dead i then
+    invalid_arg (Printf.sprintf "Store.get_graph: graph %d is deleted" i);
+  match Hashtbl.find_opt t.materialized i with
+  | Some g -> g
+  | None -> (
+    let g = base_graph t i in
+    match Hashtbl.find_opt t.pending i with
+    | None -> g
+    | Some ops ->
+      let g' =
+        try fst (Mutate.apply_all g ops)
+        with Invalid_argument msg ->
+          corrupt "record %d: transaction replay failed: %s" i msg
+      in
+      Hashtbl.replace t.materialized i g';
+      g')
+
 let iter t ~f =
   check t;
   for i = 0 to t.n - 1 do
-    f i (get_graph t i)
+    if not (Hashtbl.mem t.dead i) then f i (get_graph t i)
   done
 
-let to_list t = List.init t.n (get_graph t)
+let to_list t =
+  check t;
+  List.filter_map
+    (fun i -> if Hashtbl.mem t.dead i then None else Some (get_graph t i))
+    (List.init t.n Fun.id)
+
+(* --- the write path --- *)
+
+let count_txn t =
+  t.txns <- t.txns + 1;
+  match t.metrics with
+  | Some m -> Gql_obs.Metrics.incr m Storage_txn_appended
+  | None -> ()
+
+let append_txn ?(r = 1) t ~gid ops =
+  check t;
+  if not (is_live t gid) then
+    invalid_arg (Printf.sprintf "Store.append_txn: graph %d not live" gid);
+  let g = get_graph t gid in
+  let g', delta = Mutate.apply_all ~r g ops in
+  if ops <> [] then begin
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf txn_kind;
+    Buffer.add_char buf 'u';
+    Codec.write_uvarint buf gid;
+    Codec.write_ops buf ops;
+    t.tail <- write_record t t.tail (Buffer.contents buf);
+    Hashtbl.replace t.pending gid
+      (match Hashtbl.find_opt t.pending gid with
+      | None -> ops
+      | Some prev -> prev @ ops);
+    Hashtbl.replace t.materialized gid g';
+    count_txn t
+  end;
+  (g', delta)
+
+let remove_graph t gid =
+  check t;
+  if not (is_live t gid) then
+    invalid_arg (Printf.sprintf "Store.remove_graph: graph %d not live" gid);
+  let buf = Buffer.create 8 in
+  Buffer.add_char buf txn_kind;
+  Buffer.add_char buf 'd';
+  Codec.write_uvarint buf gid;
+  t.tail <- write_record t t.tail (Buffer.contents buf);
+  Hashtbl.replace t.dead gid ();
+  Hashtbl.remove t.pending gid;
+  Hashtbl.remove t.materialized gid;
+  count_txn t
+
+let txn_count t = t.txns
+let durable_txn_count t = t.committed.c_txns
+let pending_ops t gid = Option.value ~default:[] (Hashtbl.find_opt t.pending gid)
 
 let set_stats t blob =
   check t;
@@ -334,4 +546,7 @@ let stats_blob t =
 let pool_stats t = Buffer_pool.stats t.pool
 let recovery t = t.recovery
 let pager t = Buffer_pool.pager t.pool
-let set_metrics t m = Buffer_pool.set_metrics t.pool m
+
+let set_metrics t m =
+  t.metrics <- Some m;
+  Buffer_pool.set_metrics t.pool m

@@ -22,9 +22,10 @@ open Gql_graph
 type t
 
 type recovery = {
-  salvaged : int;  (** records readable after the repair *)
+  salvaged : int;  (** graph records readable after the repair *)
   dropped_records : int;  (** committed count minus salvaged *)
   dropped_bytes : int;  (** log bytes truncated from the tail *)
+  salvaged_txns : int;  (** transaction records replayed before the tear *)
 }
 
 val create : ?pool_capacity:int -> string -> t
@@ -42,10 +43,15 @@ val close : t -> unit
 (** Commits (flush + superblock). The handle must not be used
     afterwards. *)
 
+val rollback : t -> unit
+(** Discard everything staged since the last commit — graphs, aux
+    records and the transaction-log tail (pending ops, tombstones) —
+    restoring the last committed state. The store stays open. *)
+
 val abort : t -> unit
-(** Close {e without} committing — what a crash looks like from the
-    outside. Used by the fault-injection tests, where {!close} would
-    just crash again on its flush. *)
+(** {!rollback} then close {e without} committing — what a crash looks
+    like from the outside. Used by the fault-injection tests, where
+    {!close} would just crash again on its flush. *)
 
 val flush : t -> unit
 (** Commit: write back data pages, fsync, publish the new superblock,
@@ -56,12 +62,50 @@ val add_graph : t -> Graph.t -> int
 (** Append; returns the graph's id (dense, in insertion order). *)
 
 val n_graphs : t -> int
+(** Ids ever allocated, deleted ones included — the valid gid range is
+    [0, n_graphs): ids are stable, deletion does not renumber. *)
+
+val is_live : t -> int -> bool
+val live_count : t -> int
 
 val get_graph : t -> int -> Graph.t
-(** Verifies the record CRC; raises [Codec.Corrupt] on mismatch. *)
+(** The graph with its pending mutation overlay applied (memoized).
+    Verifies the base record CRC; raises [Codec.Corrupt] on mismatch,
+    [Invalid_argument] on a dead or out-of-range id. *)
+
+val append_txn :
+  ?r:int -> t -> gid:int -> Mutate.op list -> Graph.t * Mutate.delta
+(** Append a transaction record mutating graph [gid] and return the
+    post-mutation graph plus the {!Gql_graph.Mutate.delta} (dirty set
+    tracked at radius [r], default 1) for incremental index
+    maintenance. The ops are applied to the in-memory overlay
+    immediately; like {!add_graph} they are volatile until the next
+    {!flush}/{!close}, and any number of staged records commit
+    atomically together (group commit — one superblock swap publishes
+    them all). Raises [Invalid_argument] if [gid] is not live or an op
+    is invalid against the current graph (nothing is logged then). *)
+
+val remove_graph : t -> int -> unit
+(** Append a deletion tombstone. The gid stays allocated but is no
+    longer live; other ids are unchanged. *)
+
+val txn_count : t -> int
+(** Transaction records applied over this store's lifetime (replayed at
+    open + appended since), tombstones included. *)
+
+val durable_txn_count : t -> int
+(** The same count as of the last commit — what a crash-reopen would
+    replay. [txn_count t - durable_txn_count t] is the staged tail. *)
+
+val pending_ops : t -> int -> Mutate.op list
+(** The logged-but-not-compacted mutation overlay of a gid (log order);
+    [[]] for untouched graphs. Exposed for tests and introspection. *)
 
 val iter : t -> f:(int -> Graph.t -> unit) -> unit
+(** Live graphs only, by ascending gid. *)
+
 val to_list : t -> Graph.t list
+(** Live graphs only. *)
 
 val set_stats : t -> string -> unit
 (** Append an auxiliary statistics record (the serialized learned

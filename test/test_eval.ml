@@ -129,6 +129,95 @@ let test_assignment_and_template_env () =
   let ext = Option.get (Eval.var result "EXT") in
   Alcotest.(check int) "included + new" 2 (Graph.n_nodes ext)
 
+(* ---- DML ---- *)
+
+let mol () =
+  let b = Graph.Builder.create ~name:"G1" () in
+  let a = Graph.Builder.add_labeled_node b ~name:"a" "A" in
+  let b1 = Graph.Builder.add_labeled_node b ~name:"b" "B" in
+  ignore (Graph.Builder.add_edge b ~name:"e1" a b1);
+  Graph.Builder.build b
+
+let test_dml_round_trip () =
+  let writes = ref [] in
+  let result =
+    Gql.run_query
+      ~docs:[ ("mols", [ mol () ]) ]
+      ~writer:(fun w -> writes := w :: !writes)
+      {|insert node c <label="C" x=1> into doc("mols").G1;
+        insert edge e2 (b, c) into doc("mols").G1;
+        update node doc("mols").G1.a set <seen=1>;
+        delete edge doc("mols").G1.e1;|}
+  in
+  Alcotest.(check int) "four writes applied" 4 result.Eval.writes;
+  Alcotest.(check int) "four writes reported" 4 (List.length !writes);
+  (* every write here is an in-place update of the same graph; the last
+     report carries the final state *)
+  match !writes with
+  | Eval.W_update { new_graph; index; source; ops; _ } :: _ ->
+    Alcotest.(check string) "doc" "mols" source;
+    Alcotest.(check int) "graph position" 0 index;
+    Alcotest.(check int) "one op per DML statement" 1 (List.length ops);
+    Alcotest.(check int) "node inserted" 3 (Graph.n_nodes new_graph);
+    Alcotest.(check int) "edge inserted, edge deleted" 1 (Graph.n_edges new_graph);
+    Alcotest.(check (option int)) "new node addressable" (Some 2)
+      (Graph.node_by_name new_graph "c");
+    (* update merges: the label survives, the new field lands *)
+    let at = Graph.node_tuple new_graph 0 in
+    Alcotest.(check bool) "merged field" true (Tuple.get at "seen" = Value.Int 1);
+    Alcotest.(check string) "label survives the merge" "A"
+      (Graph.label new_graph 0)
+  | _ -> Alcotest.fail "expected W_update reports"
+
+let test_dml_read_your_writes () =
+  (* a FLWR after DML in the same program sees the mutated doc *)
+  let result =
+    Gql.run_query
+      ~docs:[ ("mols", [ mol () ]) ]
+      {|insert node c <label="B"> into doc("mols").G1;
+        insert edge (a, c) into doc("mols").G1;
+        for graph P { node x where label="A"; node y where label="B"; edge e (x, y); }
+        exhaustive in doc("mols")
+        return graph { node m <hit=1>; };|}
+  in
+  Alcotest.(check int) "two writes" 2 result.Eval.writes;
+  Alcotest.(check int) "read sees its own writes" 2
+    (List.length (Eval.returned result))
+
+let test_dml_graph_lifecycle () =
+  let writes = ref [] in
+  let result =
+    Gql.run_query
+      ~docs:[ ("mols", [ mol () ]) ]
+      ~writer:(fun w -> writes := w :: !writes)
+      {|insert graph G2 { node x <label="X">; node y <label="Y">; edge e (x, y); } into doc("mols");
+        delete graph doc("mols").G1;|}
+  in
+  Alcotest.(check int) "two writes" 2 result.Eval.writes;
+  (match List.rev !writes with
+  | [ Eval.W_insert { source = "mols"; new_graph }; Eval.W_remove { index = 0; _ } ] ->
+    Alcotest.(check (option string)) "inserted graph named" (Some "G2")
+      (Graph.name new_graph);
+    Alcotest.(check int) "instantiated members" 2 (Graph.n_nodes new_graph)
+  | _ -> Alcotest.fail "expected an insert then a remove")
+
+let test_dml_errors () =
+  let fails src =
+    match Gql.run_query ~docs:[ ("mols", [ mol () ]) ] src with
+    | exception Error.E (Error.Eval _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "unknown graph" true
+    (fails {|insert node c into doc("mols").NOPE;|});
+  Alcotest.(check bool) "unknown node" true
+    (fails {|update node doc("mols").G1.zz set <x=1>;|});
+  Alcotest.(check bool) "duplicate node name" true
+    (fails {|insert node a into doc("mols").G1;|});
+  Alcotest.(check bool) "duplicate graph name" true
+    (fails {|insert graph G1 { node x; } into doc("mols");|});
+  Alcotest.(check bool) "non-constant attribute" true
+    (fails {|insert node c <x=P.v1.name> into doc("mols").G1;|})
+
 let suite =
   [
     Alcotest.test_case "co-authorship query (Fig 4.12/4.13)" `Quick
@@ -141,4 +230,10 @@ let suite =
     Alcotest.test_case "variable as doc source" `Quick test_variable_as_source;
     Alcotest.test_case "assignment and template env" `Quick
       test_assignment_and_template_env;
+    Alcotest.test_case "DML round trip" `Quick test_dml_round_trip;
+    Alcotest.test_case "DML read-your-writes in one program" `Quick
+      test_dml_read_your_writes;
+    Alcotest.test_case "insert/delete graph lifecycle" `Quick
+      test_dml_graph_lifecycle;
+    Alcotest.test_case "DML errors" `Quick test_dml_errors;
   ]

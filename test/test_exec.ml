@@ -356,6 +356,88 @@ let test_learned_survives_invalidate () =
     "learned gamma survives invalidate" (Some 0.25)
     (Stats.gamma (Cache.learned_snapshot c) (Some "A") (Some "B"))
 
+(* ---- the write path: per-graph epochs and the watermark ---- *)
+
+let named_graph name nodes edges =
+  let b = Graph.Builder.create ~name () in
+  let ids =
+    List.map
+      (fun (n, l) -> Graph.Builder.add_labeled_node b ~name:n l)
+      nodes
+    |> Array.of_list
+  in
+  List.iter (fun (u, v) -> ignore (Graph.Builder.add_edge b ids.(u) ids.(v))) edges;
+  Graph.Builder.build b
+
+let test_epoch_isolation () =
+  (* a write to GA must not evict GB's warm plans or bump its epoch *)
+  let ga = named_graph "GA" [ ("a", "A"); ("b", "B") ] [ (0, 1) ] in
+  let gb = named_graph "GB" [ ("a", "A"); ("b", "B") ] [ (0, 1) ] in
+  let t = Service.create ~jobs:1 ~docs:[ ("D", [ ga; gb ]) ] () in
+  ignore (Service.submit t edge_query);
+  ignore (Service.submit t edge_query);
+  List.iter
+    (fun o ->
+      Alcotest.(check int) "two matches warm" 2
+        (returned_count o.Service.o_status))
+    (Service.drain t);
+  let s0 = Service.cache_stats t in
+  Alcotest.(check bool) "plans warmed for both graphs" true
+    (s0.Gql_exec.Cache.plans >= 2);
+  Alcotest.(check (option int)) "GA at epoch 0" (Some 0) (Service.graph_epoch t ga);
+  Alcotest.(check (option int)) "GB at epoch 0" (Some 0) (Service.graph_epoch t gb);
+  ignore (Service.submit t {|insert node c <C x=1> into doc("D").GA;|});
+  (match Service.drain t with
+  | [ { Service.o_status = Service.Done r; _ } ] ->
+    Alcotest.(check int) "one write applied" 1 r.Eval.writes
+  | _ -> Alcotest.fail "write program should succeed");
+  Alcotest.(check (option int)) "old GA object retired" None
+    (Service.graph_epoch t ga);
+  Alcotest.(check (option int)) "GB epoch untouched" (Some 0)
+    (Service.graph_epoch t gb);
+  let s1 = Service.cache_stats t in
+  Alcotest.(check bool) "GB's warm plans survive" true
+    (s1.Gql_exec.Cache.plans >= 1);
+  Alcotest.(check int) "no blanket invalidation" 0
+    s1.Gql_exec.Cache.invalidations;
+  Alcotest.(check bool) "indexes maintained incrementally" true
+    (M.get (Service.metrics t) M.Index_incremental >= 1);
+  Alcotest.(check int) "write counted" 1
+    (M.get (Service.metrics t) M.Exec_writes);
+  ignore (Service.submit t edge_query);
+  (match Service.drain t with
+  | [ o ] ->
+    Alcotest.(check int) "post-write matches still correct" 2
+      (returned_count o.Service.o_status)
+  | outs -> Alcotest.failf "expected one outcome, got %d" (List.length outs));
+  Service.shutdown t
+
+let test_watermark_read_your_writes () =
+  let g1 = named_graph "G1" [ ("a", "A"); ("b", "B") ] [ (0, 1) ] in
+  let t = Service.create ~jobs:2 ~docs:[ ("D", [ g1 ]) ] () in
+  Alcotest.(check int) "fresh watermark" 0 (Service.watermark t);
+  ignore
+    (Service.submit t
+       {|insert node c <label="B"> into doc("D").G1;
+         insert edge (a, c) into doc("D").G1;|});
+  Alcotest.(check int) "two writes staged" 2 (Service.watermark t);
+  (* the gate: this read must observe both inserts even on a 2-worker
+     pool where it could otherwise dequeue first *)
+  ignore (Service.submit t ~after:(Service.watermark t) edge_query);
+  (match Service.drain t with
+  | [ w; r ] ->
+    (match w.Service.o_status with
+    | Service.Done _ -> ()
+    | _ -> Alcotest.fail "write program should succeed");
+    Alcotest.(check int) "gated read sees the writes" 2
+      (returned_count r.Service.o_status)
+  | outs -> Alcotest.failf "expected two outcomes, got %d" (List.length outs));
+  Alcotest.(check int) "applied caught up to staged"
+    (Service.watermark t) (Service.applied t);
+  Alcotest.(check int) "writes counted" 2
+    (M.get (Service.metrics t) M.Exec_writes);
+  Service.shutdown t
+
 let suite =
   [
     Alcotest.test_case "lru eviction under byte budget" `Quick test_lru_eviction;
@@ -374,4 +456,8 @@ let suite =
     Alcotest.test_case "plan epochs gate cached orders" `Quick test_plan_epoch;
     Alcotest.test_case "learned stats survive invalidate" `Quick
       test_learned_survives_invalidate;
+    Alcotest.test_case "a write to one graph spares the others' plans" `Quick
+      test_epoch_isolation;
+    Alcotest.test_case "watermark gate gives read-your-writes" `Quick
+      test_watermark_read_your_writes;
   ]

@@ -1,0 +1,238 @@
+(* Point mutations ([Mutate]) and incremental index maintenance: op
+   semantics, map/dirty-set bookkeeping, dirty-set soundness against
+   recomputed profiles, and QCheck equivalence of [Label_index.update] /
+   [Profile_index.update] against the full-rebuild oracle over random
+   mutation sequences. *)
+
+open Gql_graph
+module LI = Gql_index.Label_index
+module PI = Gql_index.Profile_index
+
+let lbl s = Tuple.make [ ("label", Value.Str s) ]
+let path3 () = Graph.of_labeled ~labels:[| "A"; "B"; "C" |] [ (0, 1); (1, 2) ]
+let mem x arr = Array.exists (( = ) x) arr
+
+let test_add_node () =
+  let g = path3 () in
+  let g', d = Mutate.apply g (Mutate.Add_node { name = Some "x"; tuple = lbl "D" }) in
+  Alcotest.(check int) "node appended" 4 (Graph.n_nodes g');
+  Alcotest.(check string) "label set" "D" (Graph.label g' 3);
+  Alcotest.(check (option int)) "named" (Some 3) (Graph.node_by_name g' "x");
+  Alcotest.(check (array int)) "node map is identity" [| 0; 1; 2 |] d.Mutate.node_map;
+  Alcotest.(check (array int)) "only the new node is dirty" [| 3 |] d.Mutate.dirty;
+  Alcotest.(check int) "edges untouched" 2 (Graph.n_edges g')
+
+let test_add_edge () =
+  let g = path3 () in
+  let g', d =
+    Mutate.apply g
+      (Mutate.Add_edge { name = None; src = 0; dst = 2; tuple = Tuple.empty })
+  in
+  Alcotest.(check int) "edge appended" 3 (Graph.n_edges g');
+  Alcotest.(check int) "nodes untouched" 3 (Graph.n_nodes g');
+  Alcotest.(check bool) "src endpoint dirty" true (mem 0 d.Mutate.dirty);
+  Alcotest.(check bool) "dst endpoint dirty" true (mem 2 d.Mutate.dirty)
+
+let test_set_node () =
+  let g = path3 () in
+  let g', d = Mutate.apply g (Mutate.Set_node { v = 1; tuple = lbl "X" }) in
+  Alcotest.(check string) "label replaced" "X" (Graph.label g' 1);
+  Alcotest.(check int) "structure untouched" 2 (Graph.n_edges g');
+  (* relabeling 1 changes the radius-1 profile of its whole ball *)
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d dirty" v)
+        true (mem v d.Mutate.dirty))
+    [ 0; 1; 2 ]
+
+let test_del_edge () =
+  let g = path3 () in
+  let g', d = Mutate.apply g (Mutate.Del_edge 0) in
+  Alcotest.(check int) "edge removed" 1 (Graph.n_edges g');
+  Alcotest.(check int) "deleted edge maps to -1" (-1) d.Mutate.edge_map.(0);
+  Alcotest.(check bool) "surviving edge remapped" true (d.Mutate.edge_map.(1) >= 0)
+
+let test_del_node () =
+  let g = path3 () in
+  let g', d = Mutate.apply g (Mutate.Del_node 1) in
+  Alcotest.(check int) "node removed" 2 (Graph.n_nodes g');
+  Alcotest.(check (array int)) "renumbering" [| 0; -1; 1 |] d.Mutate.node_map;
+  Alcotest.(check int) "incident edges removed" 0 (Graph.n_edges g');
+  Alcotest.(check string) "survivor 0" "A" (Graph.label g' 0);
+  Alcotest.(check string) "survivor 1" "C" (Graph.label g' 1)
+
+let test_invalid_ops () =
+  let g = path3 () in
+  let raises op =
+    match Mutate.apply g op with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "edge endpoint out of range" true
+    (raises (Mutate.Add_edge { name = None; src = 0; dst = 9; tuple = Tuple.empty }));
+  Alcotest.(check bool) "set of unknown node" true
+    (raises (Mutate.Set_node { v = 7; tuple = lbl "X" }));
+  Alcotest.(check bool) "delete of unknown edge" true (raises (Mutate.Del_edge 5));
+  let g2, _ =
+    Mutate.apply g (Mutate.Add_node { name = Some "x"; tuple = lbl "D" })
+  in
+  Alcotest.(check bool) "duplicate node name" true
+    (match Mutate.apply g2 (Mutate.Add_node { name = Some "x"; tuple = lbl "E" }) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_compose_maps () =
+  (* delete 1 (renumber), then relabel the old node 2 under its new id:
+     the composed map must relate original ids to final ids *)
+  let g = path3 () in
+  let g', d =
+    Mutate.apply_all g
+      [ Mutate.Del_node 1; Mutate.Set_node { v = 1; tuple = lbl "Z" } ]
+  in
+  Alcotest.(check (array int)) "composed node map" [| 0; -1; 1 |] d.Mutate.node_map;
+  Alcotest.(check string) "relabel landed on the survivor" "Z" (Graph.label g' 1);
+  Alcotest.(check (array int)) "both edges died" [| -1; -1 |] d.Mutate.edge_map
+
+(* ---- random mutation sequences ------------------------------------- *)
+
+let labels_pool = [| "A"; "B"; "C" |]
+
+(* Derive a valid op sequence from an int seed list: each seed picks an
+   op kind and target against the evolving graph; choices that are
+   invalid at that point are skipped. *)
+let derive_ops g seeds =
+  let cur = ref g and ops = ref [] in
+  List.iter
+    (fun s ->
+      let n = Graph.n_nodes !cur and m = Graph.n_edges !cur in
+      let k = abs s in
+      let op =
+        match k mod 6 with
+        | 0 ->
+          Some (Mutate.Add_node { name = None; tuple = lbl labels_pool.(k mod 3) })
+        | 1 when n >= 1 ->
+          Some
+            (Mutate.Add_edge
+               { name = None; src = k mod n; dst = k / 7 mod n; tuple = Tuple.empty })
+        | 2 when n >= 1 ->
+          Some (Mutate.Set_node { v = k mod n; tuple = lbl labels_pool.(k / 5 mod 3) })
+        | 3 when m >= 1 ->
+          Some (Mutate.Set_edge { e = k mod m; tuple = lbl labels_pool.(k / 3 mod 3) })
+        | 4 when n >= 2 -> Some (Mutate.Del_node (k mod n))
+        | 5 when m >= 1 -> Some (Mutate.Del_edge (k mod m))
+        | _ -> None
+      in
+      Option.iter
+        (fun op ->
+          match Mutate.apply !cur op with
+          | g', _ ->
+            cur := g';
+            ops := op :: !ops
+          | exception Invalid_argument _ -> ())
+        op)
+    seeds;
+  List.rev !ops
+
+let gen_case =
+  QCheck.Gen.(
+    pair (Test_matcher.gen_labeled_graph ~max_n:8) (list_size (int_range 1 12) nat))
+
+let print_case (g, seeds) =
+  Format.asprintf "%a@.seeds: %s" Graph.pp g
+    (String.concat "," (List.map string_of_int seeds))
+
+(* Soundness of the dirty set: every surviving node NOT listed dirty
+   must have an unchanged radius-r profile. *)
+let prop_dirty_sound =
+  QCheck.Test.make ~name:"dirty set covers every changed profile" ~count:200
+    (QCheck.make gen_case ~print:print_case)
+    (fun (g, seeds) ->
+      let ops = derive_ops g seeds in
+      let g', d = Mutate.apply_all g ops in
+      let ok = ref true in
+      Array.iteri
+        (fun old_v new_v ->
+          if new_v >= 0 && not (mem new_v d.Mutate.dirty) then
+            if
+              not
+                (Profile.equal
+                   (Profile.of_node g ~r:d.Mutate.d_r old_v)
+                   (Profile.of_node g' ~r:d.Mutate.d_r new_v))
+            then ok := false)
+        d.Mutate.node_map;
+      !ok)
+
+(* The tentpole property: incremental index maintenance lands on exactly
+   the same index as a from-scratch rebuild. *)
+let li_equal a b g =
+  let ls = LI.labels b in
+  LI.labels a = ls
+  && List.for_all
+       (fun l -> LI.nodes_with_label a l = LI.nodes_with_label b l)
+       ls
+  && LI.top_frequent a (Graph.n_nodes g) = LI.top_frequent b (Graph.n_nodes g)
+
+let pi_equal a b g =
+  let n = Graph.n_nodes g in
+  let ok = ref (PI.radius a = PI.radius b) in
+  for v = 0 to n - 1 do
+    if not (Profile.equal (PI.profile a v) (PI.profile b v)) then ok := false
+  done;
+  !ok
+
+let prop_incremental_equals_rebuild =
+  QCheck.Test.make ~name:"incremental index update = full rebuild" ~count:200
+    (QCheck.make gen_case ~print:print_case)
+    (fun (g, seeds) ->
+      let ops = derive_ops g seeds in
+      let g', d = Mutate.apply_all g ops in
+      let li = LI.update (LI.build g) ~old_graph:g g' d in
+      let pi, recomputed = PI.update (PI.build ~r:1 g) g' d in
+      recomputed <= Graph.n_nodes g'
+      && li_equal li (LI.build g') g'
+      && pi_equal pi (PI.build ~r:1 g') g')
+
+let test_incremental_is_local () =
+  (* a long path, one relabel at the end: only the r-ball recomputes *)
+  let n = 200 in
+  let g =
+    Graph.of_labeled
+      ~labels:(Array.make n "A")
+      (List.init (n - 1) (fun i -> (i, i + 1)))
+  in
+  let pi = PI.build ~r:1 g in
+  let g', d = Mutate.apply g (Mutate.Set_node { v = 0; tuple = lbl "B" }) in
+  let pi', recomputed = PI.update pi g' d in
+  Alcotest.(check bool) "far fewer than n profiles recomputed" true
+    (recomputed <= 3);
+  Alcotest.(check bool) "still equal to the rebuild" true
+    (pi_equal pi' (PI.build ~r:1 g') g')
+
+let test_radius_fallback () =
+  (* delta tracked at r=1, index built at r=2: must fall back to a full
+     rebuild rather than trust an under-scoped dirty set *)
+  let g = path3 () in
+  let pi = PI.build ~r:2 g in
+  let g', d = Mutate.apply ~r:1 g (Mutate.Set_node { v = 0; tuple = lbl "Z" }) in
+  let pi', recomputed = PI.update pi g' d in
+  Alcotest.(check int) "every profile recomputed" (Graph.n_nodes g') recomputed;
+  Alcotest.(check bool) "fallback equals rebuild" true
+    (pi_equal pi' (PI.build ~r:2 g') g')
+
+let suite =
+  [
+    Alcotest.test_case "add node" `Quick test_add_node;
+    Alcotest.test_case "add edge" `Quick test_add_edge;
+    Alcotest.test_case "set node" `Quick test_set_node;
+    Alcotest.test_case "del edge" `Quick test_del_edge;
+    Alcotest.test_case "del node renumbers" `Quick test_del_node;
+    Alcotest.test_case "invalid ops rejected" `Quick test_invalid_ops;
+    Alcotest.test_case "apply_all composes maps" `Quick test_compose_maps;
+    QCheck_alcotest.to_alcotest prop_dirty_sound;
+    QCheck_alcotest.to_alcotest prop_incremental_equals_rebuild;
+    Alcotest.test_case "incremental update is local" `Quick
+      test_incremental_is_local;
+    Alcotest.test_case "narrow delta forces a rebuild" `Quick
+      test_radius_fallback;
+  ]

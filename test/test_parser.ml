@@ -149,6 +149,72 @@ let test_disjunction_parse () =
     Alcotest.(check int) "branch 2" 4 (List.length b2)
   | _ -> Alcotest.fail "expected an Alt member"
 
+let test_dml_parse () =
+  let prog =
+    Gql.parse_program
+      {|insert node c <person name="carol"> into doc("mols").G1;
+        insert edge e9 (a, c) into doc("mols").G1;
+        insert edge (c, b) into doc("mols").G1;
+        insert graph G2 { node x <label="X">; } into doc("mols");
+        update node doc("mols").G1.a set <name="alicia">;
+        update edge doc("mols").G1.e1 set <weight=2>;
+        delete node doc("mols").G1.c;
+        delete edge doc("mols").G1.e1;
+        delete graph doc("mols").G2;|}
+  in
+  Alcotest.(check int) "nine statements" 9 (List.length prog);
+  Alcotest.(check int) "all count as DML" 9 (Ast.count_dml prog);
+  let dml = function Ast.Sdml d -> d | _ -> Alcotest.fail "expected Sdml" in
+  (match dml (List.nth prog 0) with
+  | Ast.Insert_node { i_name; i_tuple = Some t; i_into } ->
+    Alcotest.(check string) "node name" "c" i_name;
+    Alcotest.(check (option string)) "tuple tag" (Some "person") t.Ast.tag;
+    Alcotest.(check string) "doc" "mols" i_into.Ast.d_doc;
+    Alcotest.(check string) "graph" "G1" i_into.Ast.d_graph
+  | _ -> Alcotest.fail "expected insert node");
+  (match dml (List.nth prog 1) with
+  | Ast.Insert_edge { i_name; i_src; i_dst; _ } ->
+    Alcotest.(check (option string)) "edge name" (Some "e9") i_name;
+    Alcotest.(check string) "src" "a" i_src;
+    Alcotest.(check string) "dst" "c" i_dst
+  | _ -> Alcotest.fail "expected insert edge");
+  (match dml (List.nth prog 2) with
+  | Ast.Insert_edge { i_name = None; _ } -> ()
+  | _ -> Alcotest.fail "expected anonymous insert edge");
+  (match dml (List.nth prog 3) with
+  | Ast.Insert_graph { i_decl; i_doc } ->
+    Alcotest.(check (option string)) "graph name" (Some "G2") i_decl.Ast.g_name;
+    Alcotest.(check string) "target doc" "mols" i_doc
+  | _ -> Alcotest.fail "expected insert graph");
+  (match dml (List.nth prog 4) with
+  | Ast.Update_node { u_node = "a"; _ } -> ()
+  | _ -> Alcotest.fail "expected update node");
+  (match dml (List.nth prog 5) with
+  | Ast.Update_edge { u_edge = "e1"; _ } -> ()
+  | _ -> Alcotest.fail "expected update edge");
+  (match dml (List.nth prog 6) with
+  | Ast.Delete_node { x_node = "c"; _ } -> ()
+  | _ -> Alcotest.fail "expected delete node");
+  (match dml (List.nth prog 7) with
+  | Ast.Delete_edge { x_edge = "e1"; _ } -> ()
+  | _ -> Alcotest.fail "expected delete edge");
+  match dml (List.nth prog 8) with
+  | Ast.Delete_graph r -> Alcotest.(check string) "graph" "G2" r.Ast.d_graph
+  | _ -> Alcotest.fail "expected delete graph"
+
+let test_dml_parse_errors () =
+  let rejected s =
+    match Gql.parse_program s with
+    | exception Error.E (Error.Parse _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "insert without target" true
+    (rejected "insert node c <x=1>;");
+  Alcotest.(check bool) "update without set" true
+    (rejected {|update node doc("d").G.a <x=1>;|});
+  Alcotest.(check bool) "delete of unknown kind" true
+    (rejected {|delete thing doc("d").G.a;|})
+
 let suite =
   [
     Alcotest.test_case "simple graph motif (Fig 4.3)" `Quick test_simple_graph;
@@ -161,4 +227,6 @@ let suite =
     Alcotest.test_case "FLWR parse (Fig 4.12)" `Quick test_flwr_parse;
     Alcotest.test_case "pretty-print round trip" `Quick test_pp_parse_roundtrip;
     Alcotest.test_case "disjunction parse (Fig 4.5)" `Quick test_disjunction_parse;
+    Alcotest.test_case "DML statements parse" `Quick test_dml_parse;
+    Alcotest.test_case "DML parse errors" `Quick test_dml_parse_errors;
   ]
