@@ -1711,6 +1711,138 @@ let write_path () =
        ])
 
 (* ---------------------------------------------------------------------- *)
+(* path queries: RPQ reachability vs naive unrolled evaluation            *)
+
+(* The workload the depth-16 bug silently broke: single-source
+   reachability over a long chain. The naive evaluator unrolls the
+   recursive motif into one flat chain pattern per length and runs each
+   through the full engine; the RPQ engine answers every pair from the
+   reachability index after one O(V+E) build. Both must produce the
+   same target set — the bench is also the correctness post-mortem,
+   reporting how many targets an unroll capped at 16 (the old default)
+   would have missed. *)
+let paths () =
+  header "Path queries: reachability fast path vs unrolled evaluation";
+  let n = scale 128 512 in
+  let b = Graph.Builder.create ~directed:true ~name:"chain" () in
+  for i = 0 to n - 1 do
+    let t =
+      if i = 0 then Tuple.make [ ("s", Value.Str "1") ] else Tuple.empty
+    in
+    ignore (Graph.Builder.add_node b t)
+  done;
+  for i = 0 to n - 2 do
+    ignore (Graph.Builder.add_edge b i (i + 1))
+  done;
+  let g = Graph.Builder.build b in
+  (* unrolled flat chain of exactly k hops from the source, built by
+     the same lazy bounded-repetition unroll the motif layer uses *)
+  let chain_pattern k =
+    Gql_core.Gql.pattern_of_string
+      (Printf.sprintf {|graph P { node a <s="1">; node b; edge (a, b) *%d; }|}
+         k)
+  in
+  let target_of p =
+    let k = FP.size p in
+    let rec find i = if FP.var_name p i = "b" then i else find (i + 1) in
+    ignore k;
+    find 0
+  in
+  let unrolled_targets max_len patterns =
+    let hits = Hashtbl.create 64 in
+    List.iteri
+      (fun i p ->
+        if i < max_len then
+          let o =
+            (Engine.run ~exhaustive:true p g).Engine.outcome
+          in
+          let bi = target_of p in
+          List.iter
+            (fun phi -> Hashtbl.replace hits phi.(bi) ())
+            o.Search.mappings)
+      patterns;
+    List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) hits [])
+  in
+  (* pattern construction is not part of the measured evaluation *)
+  let patterns = List.init (n - 1) (fun i -> chain_pattern (i + 1)) in
+  let naive, t_naive = time (fun () -> unrolled_targets (n - 1) patterns) in
+  let module Rpq = Gql_matcher.Rpq in
+  let seg =
+    {
+      Rpq.seg_src = 0;
+      seg_dst = 1;
+      seg_min = 1;
+      seg_max = None;
+      seg_tuple = Tuple.empty;
+      seg_pred = Pred.True;
+    }
+  in
+  let rpq, t_rpq =
+    time (fun () ->
+        let ctx = Rpq.ctx g in
+        let out = ref [] in
+        for v = n - 1 downto 0 do
+          if fst (Rpq.segment_holds ctx seg ~src:0 ~dst:v) then
+            out := v :: !out
+        done;
+        !out)
+  in
+  if naive <> rpq then begin
+    Printf.eprintf "FAIL: unrolled and RPQ target sets differ (%d vs %d)\n"
+      (List.length naive) (List.length rpq);
+    exit 1
+  end;
+  let speedup = t_naive /. t_rpq in
+  (* the old evaluator: unrolling silently capped at depth 16 *)
+  let truncated16 = unrolled_targets 16 patterns in
+  let missed = List.length rpq - List.length truncated16 in
+  row "%d-node directed chain, single tagged source\n" n;
+  row "%-28s %14s %10s\n" "evaluation" "total (ms)" "targets";
+  row "%-28s %14.2f %10d\n" "unrolled (all lengths)" (ms t_naive)
+    (List.length naive);
+  row "%-28s %14.2f %10d\n" "RPQ reachability index" (ms t_rpq)
+    (List.length rpq);
+  row "%-28s %14s %10d   (%d silently missed)\n" "unrolled, capped at 16"
+    "-" (List.length truncated16) missed;
+  row "fast-path speedup: %.1fx (threshold 5x)\n" speedup;
+  if missed <> n - 1 - 16 then begin
+    Printf.eprintf "FAIL: expected the 16-cap to miss %d targets, missed %d\n"
+      (n - 1 - 16) missed;
+    exit 1
+  end;
+  if speedup < 5.0 then begin
+    Printf.eprintf "FAIL: RPQ speedup %.1fx < 5x\n" speedup;
+    exit 1
+  end;
+  (* a shortest witness across the whole chain, for the record *)
+  let (_, t_witness) =
+    time (fun () ->
+        match
+          fst (Rpq.shortest_walk (Rpq.ctx g) seg ~src:0 ~dst:(n - 1))
+        with
+        | Some (nodes, _) -> assert (List.length nodes = n)
+        | None -> assert false)
+  in
+  row "shortest %d-hop witness walk: %.2f ms\n" (n - 1) (ms t_witness);
+  emit_json "paths.reachability"
+    (Json.Obj
+       [
+         ( "workload",
+           Json.Str
+             "directed chain, single-source reachability; unrolled flat \
+              chains (one engine run per length) vs reachability-index \
+              fast path; 16-cap row reproduces the old silent truncation" );
+         ("nodes", Json.Int n);
+         ("targets", Json.Int (List.length rpq));
+         ("t_unrolled_ms", Json.Float (ms t_naive));
+         ("t_rpq_ms", Json.Float (ms t_rpq));
+         ("speedup", Json.Float speedup);
+         ("threshold_speedup", Json.Float 5.0);
+         ("missed_at_depth16", Json.Int missed);
+         ("t_witness_ms", Json.Float (ms t_witness));
+       ])
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [
@@ -1727,6 +1859,7 @@ let experiments =
     ("exec", exec_service);
     ("adaptive", adaptive);
     ("write", write_path);
+    ("paths", paths);
     ("micro", micro);
   ]
 

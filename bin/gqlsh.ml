@@ -627,7 +627,17 @@ let run_term =
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.") in
   Cmd.v
-    (Cmd.info "run" ~doc:"Evaluate a GraphQL program (FLWR expressions)")
+    (Cmd.info "run"
+       ~doc:
+         "Evaluate a GraphQL program: FLWR expressions, DML, and path \
+          queries. $(b,find [shortest] path from <decl> to <decl> [over \
+          <tuple> *k..m] in doc(\"D\");) returns one shortest witness walk \
+          per reachable endpoint pair; $(b,get subgraph from <decl> within \
+          N in doc(\"D\");) returns the radius-N neighborhood of each \
+          matching node. Patterns may use edge repetition: $(b,edge (a,b) \
+          *3) for exactly 3 hops, $(b,*1..4) for a bounded range, \
+          $(b,*1..) for unbounded reachability (evaluated by the RPQ \
+          engine, never unrolled).")
     Term.(
       const run_cmd $ query $ docs $ domains_arg $ adaptive_arg $ timeout_arg
       $ max_visited_arg $ verbose)

@@ -115,6 +115,76 @@ let select_governed ?strategy ?exhaustive ?limit ?(budget = Budget.unlimited)
 let select ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c =
   fst (select_governed ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c)
 
+(* Selection over path patterns: like [select_governed], but each
+   (pattern, graph) run goes through {!Gql_matcher.Rpq.run} — the flat
+   core matches through the usual engine, path segments through the
+   product BFS / reachability fast path. One RPQ context (hence one
+   lazily built reachability index) is shared per distinct graph across
+   all patterns of the selection. *)
+module Rpq = Gql_matcher.Rpq
+
+let select_paths_governed ?strategy ?exhaustive ?limit
+    ?(budget = Budget.unlimited) ?(metrics = Gql_obs.Metrics.disabled)
+    ~patterns c =
+  let module M_ = Gql_obs.Metrics in
+  let ctxs : (Graph.t * Rpq.ctx) list ref = ref [] in
+  let ctx_of g =
+    match List.find_opt (fun (g', _) -> g' == g) !ctxs with
+    | Some (_, cx) -> cx
+    | None ->
+      let cx = Rpq.ctx g in
+      ctxs := (g, cx) :: !ctxs;
+      cx
+  in
+  let stopped = ref Budget.Exhausted in
+  let pats = Array.of_list patterns in
+  let np = Array.length pats in
+  let ranked =
+    if np <= 1 then List.init np Fun.id
+    else
+      let n_nodes =
+        List.fold_left (fun m e -> max m (Graph.n_nodes (underlying e))) 1 c
+      in
+      pattern_order ?strategy ~n_nodes
+        (List.map (fun p -> p.Rpq.core) patterns)
+  in
+  let per_pattern = Array.make np [] in
+  List.iter
+    (fun i ->
+      if not (Budget.final !stopped) then begin
+        let p = pats.(i) in
+        let rev_out = ref [] in
+        List.iter
+          (fun entry ->
+            if not (Budget.final !stopped) then begin
+              let g = underlying entry in
+              let outcome =
+                M_.with_span metrics "match" (fun () ->
+                    Rpq.run ?strategy ?exhaustive ?limit ~budget ~metrics
+                      ~ctx:(ctx_of g) p g)
+              in
+              if M_.enabled metrics then
+                M_.observe metrics M_.Matches_per_graph
+                  outcome.Gql_matcher.Search.n_found;
+              (match outcome.Gql_matcher.Search.stopped with
+              | Budget.Exhausted | Budget.Hit_limit -> ()
+              | r -> stopped := Budget.worst !stopped r);
+              List.iter
+                (fun phi ->
+                  rev_out := M (Matched.make p.Rpq.core g phi) :: !rev_out)
+                outcome.Gql_matcher.Search.mappings
+            end)
+          c;
+        per_pattern.(i) <- List.rev !rev_out
+      end)
+    ranked;
+  (List.concat (Array.to_list per_pattern), !stopped)
+
+let select_paths ?strategy ?exhaustive ?limit ?budget ?metrics ~patterns c =
+  fst
+    (select_paths_governed ?strategy ?exhaustive ?limit ?budget ?metrics
+       ~patterns c)
+
 (* --- product and join ------------------------------------------------------ *)
 
 let cartesian c d =

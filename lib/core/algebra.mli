@@ -81,6 +81,33 @@ val select_one_governed :
   collection ->
   collection * Gql_matcher.Budget.stop_reason
 
+val select_paths_governed :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
+  patterns:Gql_matcher.Rpq.pattern list ->
+  collection ->
+  collection * Gql_matcher.Budget.stop_reason
+(** {!select_governed} over path patterns: the flat core of each
+    pattern runs through the matcher engine, path segments (unbounded
+    repetition) through {!Gql_matcher.Rpq} — product BFS with the
+    reachability-index fast path. One RPQ context per distinct graph is
+    shared across all patterns, so a selection builds each graph's
+    reachability index at most once. Patterns are ranked by the cost of
+    their flat cores. *)
+
+val select_paths :
+  ?strategy:Gql_matcher.Engine.strategy ->
+  ?exhaustive:bool ->
+  ?limit:int ->
+  ?budget:Gql_matcher.Budget.t ->
+  ?metrics:Gql_obs.Metrics.t ->
+  patterns:Gql_matcher.Rpq.pattern list ->
+  collection ->
+  collection
+
 val pattern_order :
   ?strategy:Gql_matcher.Engine.strategy ->
   n_nodes:int ->

@@ -18,6 +18,9 @@ type edge_decl = {
   e_name : string option;
   e_src : path;
   e_dst : path;
+  e_rep : (int * int option) option;
+      (** repetition bounds [*min..max]; [None] in the max means
+          unbounded, [None] overall means a plain single edge *)
   e_tuple : tuple_lit option;
   e_where : Pred.t option;
 }
@@ -81,11 +84,24 @@ type dml =
   | Delete_edge of { x_ref : doc_ref; x_edge : string }
   | Delete_graph of doc_ref
 
+(* Path queries (NebulaGraph-style verbs): endpoint candidates are
+   given as anonymous node declarations, the walk constraint as an
+   optional edge tuple plus repetition bounds. *)
+type path_query = {
+  q_kind : [ `Path of bool (* shortest *) | `Subgraph of int (* radius *) ];
+  q_from : node_decl;
+  q_to : node_decl option;  (** [None] only for [`Subgraph] *)
+  q_edge : tuple_lit option;  (** constraint on every step edge *)
+  q_rep : int * int option;  (** hop bounds; default [1, None] *)
+  q_source : string;  (** document collection, as in [in doc("...")] *)
+}
+
 type statement =
   | Sgraph of graph_decl
   | Sassign of string * template
   | Sflwr of flwr
   | Sdml of dml
+  | Spath of path_query
 
 type program = statement list
 
@@ -125,11 +141,17 @@ let pp_node ppf (n : node_decl) =
       (Option.value n.n_name ~default:"")
       pp_opt_tuple n.n_tuple pp_opt_where n.n_where
 
+let pp_rep ppf = function
+  | None -> ()
+  | Some (min, max) ->
+    Format.fprintf ppf " *%d..%s" min
+      (match max with Some m -> string_of_int m | None -> "")
+
 let pp_edge ppf (e : edge_decl) =
-  Format.fprintf ppf "%s (%a, %a)%a%a"
+  Format.fprintf ppf "%s (%a, %a)%a%a%a"
     (Option.value e.e_name ~default:"")
-    pp_path e.e_src pp_path e.e_dst pp_opt_tuple e.e_tuple pp_opt_where
-    e.e_where
+    pp_path e.e_src pp_path e.e_dst pp_rep e.e_rep pp_opt_tuple e.e_tuple
+    pp_opt_where e.e_where
 
 let comma ppf () = Format.fprintf ppf ",@ "
 
@@ -206,8 +228,30 @@ let pp_dml ppf = function
     Format.fprintf ppf "delete edge %a.%s;" pp_doc_ref x_ref x_edge
   | Delete_graph r -> Format.fprintf ppf "delete graph %a;" pp_doc_ref r
 
+let pp_path_query ppf q =
+  let pp_over ppf q =
+    match (q.q_edge, q.q_rep) with
+    | None, (1, None) -> ()
+    | edge, (min, max) ->
+      Format.fprintf ppf " over%a%a" pp_opt_tuple edge pp_rep
+        (Some (min, max))
+  in
+  match q.q_kind with
+  | `Path shortest ->
+    Format.fprintf ppf "find%s path from %a to %a%a in doc(%S);"
+      (if shortest then " shortest" else "")
+      pp_node q.q_from
+      (fun ppf -> function
+        | Some n -> pp_node ppf n
+        | None -> Format.pp_print_string ppf "?")
+      q.q_to pp_over q q.q_source
+  | `Subgraph r ->
+    Format.fprintf ppf "get subgraph from %a within %d%a in doc(%S);" pp_node
+      q.q_from r pp_over q q.q_source
+
 let pp_statement ppf = function
   | Sdml d -> pp_dml ppf d
+  | Spath q -> pp_path_query ppf q
   | Sgraph g -> Format.fprintf ppf "%a;" pp_graph_decl g
   | Sassign (v, t) -> Format.fprintf ppf "@[<v>%s := %a;@]" v pp_template t
   | Sflwr f ->

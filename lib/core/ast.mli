@@ -39,6 +39,11 @@ type edge_decl = {
   e_name : string option;
   e_src : path;
   e_dst : path;
+  e_rep : (int * int option) option;
+      (** repetition bounds [*min..max] on the edge ([edge e (a, b)
+          *1..3;]); [None] in the max means unbounded ([*1..]), [None]
+          overall means a plain single edge. A repeated edge stands for
+          a walk, so it cannot be named. *)
   e_tuple : tuple_lit option;
   e_where : Pred.t option;
 }
@@ -120,11 +125,35 @@ type dml =
   | Delete_edge of { x_ref : doc_ref; x_edge : string }
   | Delete_graph of doc_ref
 
+(** {1 Path queries}
+
+    NebulaGraph-style traversal verbs:
+    {[
+      find path from a where label == "N0" to b where label == "N9"
+        in doc("D");
+      find shortest path from <person> to <person name="bo"> over <knows> *1..
+        in doc("D");
+      get subgraph from a where label == "Hub" within 2 in doc("D");
+    ]}
+    Endpoints are anonymous node declarations (tuple constraints plus a
+    [where] predicate); [over] constrains every step edge and gives the
+    hop bounds (default [*1..]). *)
+
+type path_query = {
+  q_kind : [ `Path of bool  (** shortest? *) | `Subgraph of int  (** radius *) ];
+  q_from : node_decl;
+  q_to : node_decl option;  (** [None] only for [`Subgraph] *)
+  q_edge : tuple_lit option;  (** constraint on every step edge *)
+  q_rep : int * int option;  (** hop bounds; default [(1, None)] *)
+  q_source : string;  (** the [doc("...")] collection name *)
+}
+
 type statement =
   | Sgraph of graph_decl  (** named pattern / data graph definition *)
   | Sassign of string * template  (** [C := graph {...};] *)
   | Sflwr of flwr
   | Sdml of dml
+  | Spath of path_query
 
 type program = statement list
 
@@ -139,5 +168,6 @@ val count_dml : program -> int
 val pp_tuple_lit : Format.formatter -> tuple_lit -> unit
 val pp_graph_decl : Format.formatter -> graph_decl -> unit
 val pp_dml : Format.formatter -> dml -> unit
+val pp_path_query : Format.formatter -> path_query -> unit
 val pp_statement : Format.formatter -> statement -> unit
 val pp_program : Format.formatter -> program -> unit

@@ -33,7 +33,7 @@ type result = {
 
 type selector =
   exhaustive:bool ->
-  patterns:Gql_matcher.Flat_pattern.t list ->
+  patterns:Gql_matcher.Rpq.pattern list ->
   Algebra.collection ->
   Algebra.collection * Budget.stop_reason
 
@@ -157,7 +157,7 @@ let exec_dml st instantiate writer = function
     st.s_writes <- st.s_writes + 1;
     writer (W_remove { source = r.d_doc; index = i; old_graph = g })
 
-let run ?(docs = []) ?strategy ?max_depth ?budget
+let run ?(docs = []) ?strategy ?max_depth ?(max_derivations = 4096) ?budget
     ?(metrics = Gql_obs.Metrics.disabled) ?selector ?(writer = fun _ -> ())
     (program : Ast.program) =
   let selector =
@@ -167,7 +167,7 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
     | Some s -> s
     | None ->
       fun ~exhaustive ~patterns entries ->
-        Algebra.select_governed ?strategy ~exhaustive ?budget ~metrics
+        Algebra.select_paths_governed ?strategy ~exhaustive ?budget ~metrics
           ~patterns entries
   in
   let st =
@@ -199,10 +199,39 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
         | `Inline d ->
           (d, Option.value d.Ast.g_name ~default:"P")
       in
-      let patterns =
-        List.of_seq (Motif.flat_patterns ~defs ?max_depth decl)
+      (* enumerate derivations lazily, polling the budget between
+         derivations: a branching recursive def no longer materializes
+         exponentially many derivations before any admission check, and
+         hitting the cap is a typed error instead of silent loss *)
+      let truncated = ref false in
+      let patterns, enum_stopped =
+        let rec take n acc seq =
+          match
+            match budget with Some b -> Budget.poll b | None -> None
+          with
+          | Some r -> (List.rev acc, r)
+          | None ->
+            (match Seq.uncons seq with
+            | None -> (List.rev acc, Budget.Exhausted)
+            | Some (p, rest) ->
+              if n >= max_derivations then
+                error
+                  "pattern %s has more than %d derivations; bound the \
+                   recursion or raise the derivation cap"
+                  pname max_derivations
+              else take (n + 1) (p :: acc) rest)
+        in
+        take 0 [] (Motif.path_patterns ~defs ?max_depth ~truncated decl)
       in
-      if patterns = [] then error "pattern %s has no derivation" pname;
+      st.s_stopped <- Budget.worst st.s_stopped enum_stopped;
+      if patterns = [] && enum_stopped = Budget.Exhausted then
+        if !truncated then
+          error
+            "pattern %s has no derivation within the depth cap (recursive \
+             references truncated; use unbounded repetition or raise \
+             max_depth)"
+            pname
+        else error "pattern %s has no derivation" pname;
       let source =
         match List.assoc_opt f.Ast.f_source st.s_docs with
         | Some gs -> gs
@@ -257,6 +286,146 @@ let run ?(docs = []) ?strategy ?max_depth ?budget
             let g = instantiate_template st extra t in
             st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars)
           matches)
+    | Ast.Spath q ->
+      let module Rpq = Gql_matcher.Rpq in
+      let source =
+        match List.assoc_opt q.Ast.q_source st.s_docs with
+        | Some gs -> gs
+        | None ->
+          (match List.assoc_opt q.Ast.q_source st.s_vars with
+          | Some g -> [ g ]
+          | None -> error "unknown collection %S" q.Ast.q_source)
+      in
+      let node_candidates g (d : Ast.node_decl) =
+        (match d.Ast.n_copy with
+        | Some p ->
+          error "node copy %s is not allowed in path queries"
+            (String.concat "." p)
+        | None -> ());
+        let tuple = const_tuple d.Ast.n_tuple in
+        let ok v =
+          let dt = Graph.node_tuple g v in
+          List.for_all
+            (fun (k, w) -> Value.equal (Tuple.get dt k) w)
+            (Tuple.bindings tuple)
+          && (match Tuple.tag tuple with
+             | None -> true
+             | Some tag -> Tuple.tag dt = Some tag)
+          && (match d.Ast.n_where with
+             | None -> true
+             | Some p -> Pred.holds (Pred.env_of_tuple dt) p)
+        in
+        List.filter ok (List.init (Graph.n_nodes g) Fun.id)
+      in
+      (* a witness walk as a standalone graph: positions p0..pk carrying
+         the data tuples (a walk may revisit a node, so positions, not
+         original names, identify the output's nodes) *)
+      let materialize_walk g nodes edges =
+        let b = Graph.Builder.create ~directed:(Graph.directed g) () in
+        List.iteri
+          (fun i v ->
+            ignore
+              (Graph.Builder.add_node b
+                 ~name:(Printf.sprintf "p%d" i)
+                 (Graph.node_tuple g v)))
+          nodes;
+        List.iteri
+          (fun i e ->
+            ignore
+              (Graph.Builder.add_edge b
+                 ~tuple:(Graph.edge g e).Graph.etuple i (i + 1)))
+          edges;
+        Graph.Builder.build b
+      in
+      let poll () = match budget with Some b -> Budget.poll b | None -> None in
+      let min_hops, max_hops = q.Ast.q_rep in
+      let stop = ref Budget.Exhausted in
+      let results = ref [] in
+      Gql_obs.Metrics.with_span metrics "path" (fun () ->
+          try
+            match q.Ast.q_kind with
+            | `Subgraph r ->
+              if q.Ast.q_edge <> None || q.Ast.q_rep <> (1, None) then
+                error
+                  "get subgraph does not take 'over' constraints (the \
+                   radius-%d ball is unconstrained)"
+                  r;
+              List.iter
+                (fun g ->
+                  List.iter
+                    (fun u ->
+                      (match poll () with
+                      | Some r' ->
+                        stop := r';
+                        raise Exit
+                      | None -> ());
+                      let nb = Neighborhood.make g u ~r in
+                      results := Algebra.G nb.Neighborhood.graph :: !results)
+                    (node_candidates g q.Ast.q_from))
+                source
+            | `Path _shortest ->
+              let to_decl =
+                match q.Ast.q_to with
+                | Some d -> d
+                | None -> error "find path needs a 'to' endpoint"
+              in
+              let seg =
+                {
+                  Rpq.seg_src = 0;
+                  seg_dst = 1;
+                  seg_min = min_hops;
+                  seg_max = max_hops;
+                  seg_tuple = const_tuple q.Ast.q_edge;
+                  seg_pred = Pred.True;
+                }
+              in
+              (* the reachability index answers "no path" in O(1) for
+                 unconstrained walks, skipping the witness BFS *)
+              let fast = Rpq.segment_unconstrained seg && min_hops <= 1
+                         && max_hops = None
+              in
+              List.iter
+                (fun g ->
+                  let ctx = Rpq.ctx g in
+                  let froms = node_candidates g q.Ast.q_from in
+                  let tos = node_candidates g to_decl in
+                  List.iter
+                    (fun u ->
+                      List.iter
+                        (fun v ->
+                          (match poll () with
+                          | Some r ->
+                            stop := r;
+                            raise Exit
+                          | None -> ());
+                          let skip =
+                            fast
+                            && not
+                                 (fst
+                                    (Rpq.segment_holds ~metrics ctx seg ~src:u
+                                       ~dst:v))
+                          in
+                          if not skip then begin
+                            let witness, r =
+                              Rpq.shortest_walk ?budget ~metrics ctx seg ~src:u
+                                ~dst:v
+                            in
+                            (match r with
+                            | Budget.Exhausted | Budget.Hit_limit -> ()
+                            | r -> stop := Budget.worst !stop r);
+                            match witness with
+                            | Some (nodes, edges) ->
+                              results :=
+                                Algebra.G (materialize_walk g nodes edges)
+                                :: !results
+                            | None -> ()
+                          end)
+                        tos)
+                    froms)
+                source
+          with Exit -> ());
+      st.s_stopped <- Budget.worst st.s_stopped !stop;
+      st.s_last <- Some (List.rev !results)
     | Ast.Sdml d -> exec_dml st (instantiate_template st []) writer d
   in
   List.iter statement program;

@@ -52,32 +52,42 @@ type result = {
 
 type selector =
   exhaustive:bool ->
-  patterns:Gql_matcher.Flat_pattern.t list ->
+  patterns:Gql_matcher.Rpq.pattern list ->
   Algebra.collection ->
   Algebra.collection * Gql_matcher.Budget.stop_reason
-(** How a FLWR statement's selection σP is executed: given the flat
-    derivations of the pattern and the source collection, return the
-    matched entries plus the aggregate stop reason. The default is
-    {!Algebra.select_governed}; the batch service ([Gql_exec]) installs
-    a caching, quantum-yielding selector instead. *)
+(** How a FLWR statement's selection σP is executed: given the path
+    patterns (flat core + unbounded-repetition segments) derived from
+    the pattern and the source collection, return the matched entries
+    plus the aggregate stop reason. The default is
+    {!Algebra.select_paths_governed}; the batch service ([Gql_exec])
+    installs a caching, quantum-yielding selector instead. *)
 
 val run :
   ?docs:docs ->
   ?strategy:Gql_matcher.Engine.strategy ->
   ?max_depth:int ->
+  ?max_derivations:int ->
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?selector:selector ->
   ?writer:(write -> unit) ->
   Ast.program ->
   result
-(** [max_depth] bounds recursive motif derivation (default 16). A
-    variable holding a graph can also serve as a [doc] source of one
-    graph; explicit [docs] entries win on name clash. The [budget] is
-    shared by every selection of the program — one end-to-end deadline
-    governs the whole run. With [metrics] enabled, each FLWR selection
-    runs in a ["flwr"] span containing one ["match"] span per
-    (pattern, graph) engine run. *)
+(** [max_depth] bounds recursive motif derivation (default 16) —
+    unbounded repetition ([*1..]) is evaluated by the RPQ engine and
+    never unrolled, so it is exempt. Derivations are enumerated lazily
+    and budget-polled; a pattern with more than [max_derivations]
+    (default 4096) of them raises {!Error} — a typed failure instead of
+    silent truncation. A pattern whose only derivations lie beyond
+    [max_depth] also raises, with a message distinguishing "none within
+    depth" from "none exists". A variable holding a graph can also
+    serve as a [doc] source of one graph; explicit [docs] entries win
+    on name clash. The [budget] is shared by every selection of the
+    program — one end-to-end deadline governs the whole run. With
+    [metrics] enabled, each FLWR selection runs in a ["flwr"] span
+    containing one ["match"] span per (pattern, graph) engine run;
+    path-query statements ([find path] / [get subgraph]) run in a
+    ["path"] span. *)
 
 val var : result -> string -> Graph.t option
 val returned : result -> Graph.t list

@@ -41,7 +41,14 @@ let find_matches ?strategy ?exhaustive ?limit ?budget ~pattern g =
 let count_matches ?strategy ~pattern g =
   List.length (find_matches ?strategy ~pattern g)
 
-let run_query ?docs ?strategy ?budget ?metrics ?selector ?writer src =
+let path_patterns_of_string ?(defs = []) ?max_depth ?truncated src =
   wrap src (fun () ->
-      Eval.run ?docs ?strategy ?budget ?metrics ?selector ?writer
-        (Parser.program src))
+      Motif.path_patterns ~defs:(Motif.defs_of_list defs) ?max_depth ?truncated
+        (Parser.graph src)
+      |> List.of_seq)
+
+let run_query ?docs ?strategy ?max_depth ?max_derivations ?budget ?metrics
+    ?selector ?writer src =
+  wrap src (fun () ->
+      Eval.run ?docs ?strategy ?max_depth ?max_derivations ?budget ?metrics
+        ?selector ?writer (Parser.program src))

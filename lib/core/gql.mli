@@ -32,7 +32,18 @@ val patterns_of_string :
   ?max_depth:int ->
   string ->
   Gql_matcher.Flat_pattern.t list
-(** All derivations (recursion bounded by [max_depth]). *)
+(** All derivations (recursion bounded by [max_depth]). Raises on
+    unbounded repetition — use {!path_patterns_of_string}. *)
+
+val path_patterns_of_string :
+  ?defs:(string * Ast.graph_decl) list ->
+  ?max_depth:int ->
+  ?truncated:bool ref ->
+  string ->
+  Gql_matcher.Rpq.pattern list
+(** All derivations as path patterns: flat core plus the
+    unbounded-repetition segments, which are evaluated by
+    [Gql_matcher.Rpq] instead of being unrolled. *)
 
 val find_matches :
   ?strategy:Gql_matcher.Engine.strategy ->
@@ -51,6 +62,8 @@ val count_matches :
 val run_query :
   ?docs:Eval.docs ->
   ?strategy:Gql_matcher.Engine.strategy ->
+  ?max_depth:int ->
+  ?max_derivations:int ->
   ?budget:Gql_matcher.Budget.t ->
   ?metrics:Gql_obs.Metrics.t ->
   ?selector:Eval.selector ->

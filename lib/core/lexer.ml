@@ -9,7 +9,7 @@ type token =
   | TRUE | FALSE | NULL
   | LBRACE | RBRACE | LPAREN | RPAREN
   | LANGLE | RANGLE
-  | COMMA | SEMI | DOT | PIPE | AMP
+  | COMMA | SEMI | DOT | DOTDOT | PIPE | AMP
   | EQ
   | EQEQ | NEQ | LE | GE
   | ASSIGN
@@ -126,6 +126,7 @@ let tokenize src =
       | "<=" -> emit LE i; go (i + 2)
       | ">=" -> emit GE i; go (i + 2)
       | ":=" -> emit ASSIGN i; go (i + 2)
+      | ".." -> emit DOTDOT i; go (i + 2)
       | _ ->
         (match src.[i] with
         | '{' -> emit LBRACE i; go (i + 1)
@@ -180,7 +181,7 @@ let token_to_string = function
   | TRUE -> "'true'" | FALSE -> "'false'" | NULL -> "'null'"
   | LBRACE -> "'{'" | RBRACE -> "'}'" | LPAREN -> "'('" | RPAREN -> "')'"
   | LANGLE -> "'<'" | RANGLE -> "'>'" | COMMA -> "','" | SEMI -> "';'"
-  | DOT -> "'.'" | PIPE -> "'|'" | AMP -> "'&'" | EQ -> "'='"
+  | DOT -> "'.'" | DOTDOT -> "'..'" | PIPE -> "'|'" | AMP -> "'&'" | EQ -> "'='"
   | EQEQ -> "'=='" | NEQ -> "'!='" | LE -> "'<='" | GE -> "'>='"
   | ASSIGN -> "':='" | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'"
   | SLASH -> "'/'" | BANG -> "'!'" | EOF -> "end of input"

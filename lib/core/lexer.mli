@@ -18,7 +18,7 @@ type token =
   (* punctuation *)
   | LBRACE | RBRACE | LPAREN | RPAREN
   | LANGLE | RANGLE  (** [<] and [>] *)
-  | COMMA | SEMI | DOT | PIPE | AMP
+  | COMMA | SEMI | DOT | DOTDOT | PIPE | AMP
   | EQ  (** [=] *)
   | EQEQ | NEQ | LE | GE
   | ASSIGN  (** [:=] *)

@@ -59,6 +59,8 @@ type acc = {
   a_n : int;
   a_edges : (int * int * Tuple.t * Pred.t) list;  (* reversed *)
   a_m : int;
+  a_segments : (int * int * int * Tuple.t * Pred.t) list;
+      (* unbounded repetition: src, dst, min hops, step constraints *)
   a_unions : (int * int) list;
   a_pending : (scope * string option * Pred.t) list;
   a_depth : int;  (* max nesting depth of graph references used so far *)
@@ -70,6 +72,7 @@ let empty_acc =
     a_n = 0;
     a_edges = [];
     a_m = 0;
+    a_segments = [];
     a_unions = [];
     a_pending = [];
     a_depth = 0;
@@ -89,6 +92,29 @@ let const_tuple = function
 
 (* --- expansion ------------------------------------------------------------ *)
 
+(* Derivations are enumerated by increasing nesting depth (iterative
+   deepening), so the shallowest derivations of a recursive motif come
+   first — "the first resulting graph consists of node v0 alone"
+   (Fig 4.6b). Instead of re-expanding the whole tree once per depth
+   (the old [Seq.init (max_depth+1)] + exact-depth filter built every
+   derivation up to 17x), expansion yields a stream of {e steps}: a
+   branch suspends itself the moment its nesting depth grows, and the
+   driver resumes suspended branches bucket by bucket. Each derivation
+   is built exactly once, in depth order. *)
+
+type 'a step =
+  | Done of 'a
+  | Suspend of int * (unit -> 'a step Seq.t)
+      (* this branch just reached nesting depth [d]; resume it when
+         every shallower derivation has been emitted *)
+
+let rec bind (s : 'a step Seq.t) (f : 'a -> 'b step Seq.t) : 'b step Seq.t =
+  Seq.concat_map
+    (function
+      | Done x -> f x
+      | Suspend (d, k) -> Seq.return (Suspend (d, fun () -> bind (k ()) f)))
+    s
+
 let add_node_name scope name id =
   if List.mem_assoc name scope.s_nodes then error "duplicate node name %s" name;
   { scope with s_nodes = (name, id) :: scope.s_nodes }
@@ -101,13 +127,22 @@ let add_sub scope alias sub =
   if List.mem_assoc alias scope.s_subs then error "duplicate graph alias %s" alias;
   { scope with s_subs = (alias, sub) :: scope.s_subs }
 
-let rec expand_members defs depth members st : (acc * scope) Seq.t =
+(* [level] is the nesting level of the members being expanded (root
+   decl = 0); entering a graph reference at level [l] contributes
+   nesting depth [l + 1]. [truncated] records that some branch was cut
+   by [max_depth], so "no derivation" can be told apart from "none
+   within depth". *)
+let rec expand_members defs ~level ~max_depth ~truncated members st :
+    (acc * scope) step Seq.t =
   match members with
-  | [] -> Seq.return st
+  | [] -> Seq.return (Done st)
   | m :: rest ->
-    Seq.concat_map (expand_members defs depth rest) (expand_member defs depth m st)
+    bind
+      (expand_member defs ~level ~max_depth ~truncated m st)
+      (expand_members defs ~level ~max_depth ~truncated rest)
 
-and expand_member defs depth member ((acc, scope) as st) : (acc * scope) Seq.t =
+and expand_member defs ~level ~max_depth ~truncated member ((acc, scope) as st)
+    : (acc * scope) step Seq.t =
   match member with
   | Ast.Nodes decls ->
     let step (acc, scope) (d : Ast.node_decl) =
@@ -124,49 +159,100 @@ and expand_member defs depth member ((acc, scope) as st) : (acc * scope) Seq.t =
       in
       ({ acc with a_nodes = (tuple, pred) :: acc.a_nodes; a_n = id + 1 }, scope)
     in
-    Seq.return (List.fold_left step st decls)
+    Seq.return (Done (List.fold_left step st decls))
   | Ast.Edges decls ->
-    let step (acc, scope) (d : Ast.edge_decl) =
-      let endpoint p =
-        match resolve_node scope p with
-        | Some id -> id
-        | None -> error "unknown edge endpoint %s" (String.concat "." p)
-      in
-      let src = endpoint d.Ast.e_src and dst = endpoint d.Ast.e_dst in
-      let id = acc.a_m in
-      let tuple = const_tuple d.Ast.e_tuple in
-      let pred = Option.value d.Ast.e_where ~default:Pred.True in
-      let scope =
-        match d.Ast.e_name with
-        | Some name -> add_edge_name scope name id
-        | None -> scope
-      in
-      ( { acc with a_edges = (src, dst, tuple, pred) :: acc.a_edges; a_m = id + 1 },
-        scope )
+    let rec go decls ((acc, scope) as st) : (acc * scope) step Seq.t =
+      match decls with
+      | [] -> Seq.return (Done st)
+      | (d : Ast.edge_decl) :: rest ->
+        let endpoint p =
+          match resolve_node scope p with
+          | Some id -> id
+          | None -> error "unknown edge endpoint %s" (String.concat "." p)
+        in
+        let src = endpoint d.Ast.e_src and dst = endpoint d.Ast.e_dst in
+        let tuple = const_tuple d.Ast.e_tuple in
+        let pred = Option.value d.Ast.e_where ~default:Pred.True in
+        (match d.Ast.e_rep with
+        | None ->
+          let id = acc.a_m in
+          let scope =
+            match d.Ast.e_name with
+            | Some name -> add_edge_name scope name id
+            | None -> scope
+          in
+          go rest
+            ( { acc with a_edges = (src, dst, tuple, pred) :: acc.a_edges;
+                a_m = id + 1 },
+              scope )
+        | Some (min, None) ->
+          (* unbounded repetition: a path segment for the RPQ engine —
+             never unrolled, so no depth cap applies *)
+          go rest
+            ( { acc with
+                a_segments = (src, dst, min, tuple, pred) :: acc.a_segments },
+              scope )
+        | Some (min, Some max) ->
+          (* bounded repetition: lazily unroll into a chain of k step
+             edges through k-1 fresh anonymous nodes, one alternative
+             per k. k = 0 collapses the endpoints (unification). *)
+          let unrolled k =
+            if k = 0 then
+              go rest ({ acc with a_unions = (src, dst) :: acc.a_unions }, scope)
+            else begin
+              let rec chain acc prev k =
+                if k = 1 then
+                  { acc with
+                    a_edges = (prev, dst, tuple, pred) :: acc.a_edges;
+                    a_m = acc.a_m + 1 }
+                else
+                  let mid = acc.a_n in
+                  chain
+                    { acc with
+                      a_nodes = (Tuple.empty, Pred.True) :: acc.a_nodes;
+                      a_n = mid + 1;
+                      a_edges = (prev, mid, tuple, pred) :: acc.a_edges;
+                      a_m = acc.a_m + 1 }
+                    mid (k - 1)
+              in
+              go rest (chain acc src k, scope)
+            end
+          in
+          Seq.concat_map unrolled (Seq.init (max - min + 1) (fun i -> min + i)))
     in
-    Seq.return (List.fold_left step st decls)
+    go decls st
   | Ast.Graph_refs refs ->
-    let rec go refs st =
+    let rec go refs ((acc, scope) as st) =
       match refs with
-      | [] -> Seq.return st
+      | [] -> Seq.return (Done st)
       | (name, alias) :: rest ->
         let decl =
           match defs name with
           | Some d -> d
           | None -> error "unknown graph motif %s" name
         in
-        if depth <= 0 then Seq.empty
-        else
-          let (acc, scope) = st in
-          let saved_depth = acc.a_depth in
-          Seq.concat_map
-            (fun (acc', sub_scope) ->
-              let scope' = add_sub scope (Option.value alias ~default:name) sub_scope in
-              let acc' =
-                { acc' with a_depth = max saved_depth (acc'.a_depth + 1) }
-              in
-              go rest (acc', scope'))
-            (expand_decl defs (depth - 1) decl { acc with a_depth = 0 })
+        let d' = level + 1 in
+        if d' > max_depth then begin
+          truncated := true;
+          Seq.empty
+        end
+        else begin
+          let inner () =
+            bind
+              (expand_decl defs ~level:d' ~max_depth ~truncated decl
+                 { acc with a_depth = max acc.a_depth d' })
+              (fun (acc', sub_scope) ->
+                let scope' =
+                  add_sub scope (Option.value alias ~default:name) sub_scope
+                in
+                go rest (acc', scope'))
+          in
+          (* suspend exactly when the derivation gets deeper than
+             anything seen on this branch, so the driver can finish
+             shallower derivations first *)
+          if d' > acc.a_depth then Seq.return (Suspend (d', inner))
+          else inner ()
+        end
     in
     go refs st
   | Ast.Unify (paths, where) ->
@@ -184,7 +270,7 @@ and expand_member defs depth member ((acc, scope) as st) : (acc * scope) Seq.t =
       | first :: rest -> List.map (fun id -> (first, id)) rest
       | [] -> []
     in
-    Seq.return ({ acc with a_unions = unions @ acc.a_unions }, scope)
+    Seq.return (Done ({ acc with a_unions = unions @ acc.a_unions }, scope))
   | Ast.Exports exports ->
     let step (acc, scope) (p, name) =
       match resolve_node scope p with
@@ -194,14 +280,17 @@ and expand_member defs depth member ((acc, scope) as st) : (acc * scope) Seq.t =
         | Some id -> (acc, add_edge_name scope name id)
         | None -> error "export: unknown name %s" (String.concat "." p))
     in
-    Seq.return (List.fold_left step st exports)
+    Seq.return (Done (List.fold_left step st exports))
   | Ast.Alt branches ->
     Seq.concat_map
-      (fun branch -> expand_members defs depth branch st)
+      (fun branch -> expand_members defs ~level ~max_depth ~truncated branch st)
       (List.to_seq branches)
 
-and expand_decl defs depth (decl : Ast.graph_decl) acc : (acc * scope) Seq.t =
-  Seq.map
+and expand_decl defs ~level ~max_depth ~truncated (decl : Ast.graph_decl) acc :
+    (acc * scope) step Seq.t =
+  bind
+    (expand_members defs ~level ~max_depth ~truncated decl.Ast.g_members
+       (acc, empty_scope))
     (fun (acc, scope) ->
       let acc =
         match decl.Ast.g_where with
@@ -209,8 +298,7 @@ and expand_decl defs depth (decl : Ast.graph_decl) acc : (acc * scope) Seq.t =
           { acc with a_pending = (scope, decl.Ast.g_name, pred) :: acc.a_pending }
         | None -> acc
       in
-      (acc, scope))
-    (expand_members defs depth decl.Ast.g_members (acc, empty_scope))
+      Seq.return (Done (acc, scope)))
 
 (* --- union-find ----------------------------------------------------------- *)
 
@@ -238,6 +326,7 @@ type derived = {
   node_preds : (int * Pred.t) list;
   edge_preds : (int * Pred.t) list;
   global_pred : Pred.t;
+  segments : Gql_matcher.Rpq.segment list;
 }
 
 let rec collect_names prefix scope =
@@ -377,21 +466,50 @@ let build (decl : Ast.graph_decl) (acc, top_scope) =
   let edge_preds =
     List.filter (fun (_, p) -> not (Pred.equal p Pred.True)) !final_edge_preds
   in
-  { graph; node_preds; edge_preds; global_pred }
+  let segments =
+    List.rev_map
+      (fun (src, dst, min, tuple, pred) ->
+        {
+          Gql_matcher.Rpq.seg_src = cls src;
+          seg_dst = cls dst;
+          seg_min = min;
+          seg_max = None;
+          seg_tuple = tuple;
+          seg_pred = pred;
+        })
+      acc.a_segments
+  in
+  { graph; node_preds; edge_preds; global_pred; segments }
 
 (* --- public API ------------------------------------------------------------ *)
 
-(* Enumerate by increasing nesting depth (iterative deepening), so the
-   shallowest derivations of a recursive motif come first — "the first
-   resulting graph consists of node v0 alone" (Fig 4.6b). Each
-   derivation has a unique exact depth, so no duplicates arise. *)
-let derive ?(defs = no_defs) ?(max_depth = 16) decl =
-  Seq.concat_map
-    (fun d ->
-      expand_decl defs d decl empty_acc
-      |> Seq.filter (fun (acc, _) -> acc.a_depth = d)
-      |> Seq.map (build decl))
-    (Seq.init (max_depth + 1) Fun.id)
+(* Drive the step stream depth bucket by depth bucket: drain the
+   current bucket's stream, parking suspensions (which always target a
+   strictly deeper bucket), then resume the parked branches of the next
+   depth in encounter order. Purely functional over persistent lists,
+   so the returned Seq can be re-forced from the start. *)
+let derive ?(defs = no_defs) ?(max_depth = 16) ?truncated decl =
+  let truncated =
+    match truncated with Some r -> r | None -> ref false
+  in
+  let rec drain d pending s () =
+    match Seq.uncons s with
+    | Some (Done st, rest) -> Seq.Cons (build decl st, drain d pending rest)
+    | Some (Suspend (d', k), rest) -> drain d ((d', k) :: pending) rest ()
+    | None -> next_depth (d + 1) pending ()
+  and next_depth d pending () =
+    if pending = [] then Seq.Nil
+    else begin
+      let now, later = List.partition (fun (d', _) -> d' = d) pending in
+      match now with
+      | [] -> next_depth (d + 1) pending ()
+      | _ ->
+        let s = Seq.concat_map (fun (_, k) -> k ()) (List.to_seq (List.rev now)) in
+        drain d later s ()
+    end
+  in
+  drain 0 []
+    (expand_decl defs ~level:0 ~max_depth ~truncated decl empty_acc)
 
 let to_flat d =
   (* push pushable conjuncts of the global predicate down to nodes/edges *)
@@ -415,17 +533,41 @@ let to_flat d =
     global_pred = from_where.Gql_matcher.Flat_pattern.global_pred;
   }
 
+let to_path d = { Gql_matcher.Rpq.core = to_flat d; segments = d.segments }
+
+let path_patterns ?defs ?max_depth ?truncated decl =
+  Seq.map to_path (derive ?defs ?max_depth ?truncated decl)
+
 let flat_patterns ?defs ?max_depth decl =
-  Seq.map to_flat (derive ?defs ?max_depth decl)
+  Seq.map
+    (fun d ->
+      if d.segments <> [] then
+        error
+          "pattern %s uses unbounded repetition; it needs the path-query \
+           engine, not a flat matcher"
+          (Option.value decl.Ast.g_name ~default:"");
+      to_flat d)
+    (derive ?defs ?max_depth decl)
 
 let is_ground d =
-  d.node_preds = [] && d.edge_preds = [] && Pred.equal d.global_pred Pred.True
+  d.node_preds = [] && d.edge_preds = []
+  && Pred.equal d.global_pred Pred.True
+  && d.segments = []
 
 let to_graph ?defs decl =
-  match List.of_seq (Seq.take 2 (derive ?defs ~max_depth:16 decl)) with
-  | [] -> error "graph %s has no derivation" (Option.value decl.Ast.g_name ~default:"")
+  let truncated = ref false in
+  let gname = Option.value decl.Ast.g_name ~default:"" in
+  match List.of_seq (Seq.take 2 (derive ?defs ~max_depth:16 ~truncated decl)) with
+  | [] ->
+    if !truncated then
+      error
+        "graph %s has no derivation within depth 16 (recursive references \
+         truncated)"
+        gname
+    else error "graph %s has no derivation" gname
   | [ d ] when is_ground d -> d.graph
-  | [ _ ] -> error "graph literal has predicates; expected a ground data graph"
+  | [ _ ] ->
+    error "graph literal has predicates or repetition; expected a ground data graph"
   | _ -> error "graph literal is ambiguous (disjunction or recursion)"
 
 let language ?defs ?max_depth decl =

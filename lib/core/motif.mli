@@ -37,25 +37,55 @@ type derived = {
   global_pred : Pred.t;
       (** residual [where] predicates, with paths rewritten to the
           derivation's canonical names *)
+  segments : Gql_matcher.Rpq.segment list;
+      (** unbounded repetition ([edge (a, b) *1..;]) — path constraints
+          between final node ids, evaluated by {!Gql_matcher.Rpq}
+          rather than unrolled *)
 }
 
-val derive : ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> derived Seq.t
-(** All derivations, lazily; recursive references are expanded at most
-    [max_depth] (default 16) levels deep, so the sequence is always
-    finite. Disjunction branches derive in declaration order. Raises
-    {!Error} on unknown references, unresolved names, duplicate names,
+val derive :
+  ?defs:defs ->
+  ?max_depth:int ->
+  ?truncated:bool ref ->
+  Ast.graph_decl ->
+  derived Seq.t
+(** All derivations, lazily, in order of increasing nesting depth —
+    each derivation is expanded exactly once (branches suspend when
+    their depth grows and resume after every shallower derivation).
+    Recursive references are expanded at most [max_depth] (default 16)
+    levels deep, so the sequence is always finite; [truncated] is set
+    when some branch was cut by the cap — the way to distinguish "no
+    derivation exists" from "none within depth". Unbounded repetition
+    is never unrolled (it becomes a {!derived.segments} entry), bounded
+    repetition [*k..m] unrolls lazily into one alternative per length.
+    Disjunction branches derive in declaration order. Raises {!Error}
+    on unknown references, unresolved names, duplicate names,
     template-only constructs ([node P.v1] copies, conditional [unify]),
     or non-constant tuple attributes. *)
 
 val to_flat : derived -> Gql_matcher.Flat_pattern.t
+(** Ignores {!derived.segments} — use {!to_path} when they may be
+    present. *)
+
+val to_path : derived -> Gql_matcher.Rpq.pattern
 
 val flat_patterns :
   ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> Gql_matcher.Flat_pattern.t Seq.t
+(** Raises {!Error} on a derivation with path segments (unbounded
+    repetition needs {!path_patterns}). *)
+
+val path_patterns :
+  ?defs:defs ->
+  ?max_depth:int ->
+  ?truncated:bool ref ->
+  Ast.graph_decl ->
+  Gql_matcher.Rpq.pattern Seq.t
 
 val to_graph : ?defs:defs -> Ast.graph_decl -> Graph.t
 (** The unique derivation of a {e data graph} literal. Raises {!Error}
-    when the declaration has predicates or more than one derivation
-    (disjunction / recursion). *)
+    when the declaration has predicates, repetition, or more than one
+    derivation (disjunction / recursion) — with a distinct message when
+    derivations exist but only beyond the depth cap. *)
 
 val language : ?defs:defs -> ?max_depth:int -> Ast.graph_decl -> Graph.t Seq.t
 (** The structures derivable from a motif — the language of the grammar

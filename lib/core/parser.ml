@@ -181,6 +181,25 @@ let node_decl st =
     let w = opt_where st in
     { Ast.n_name = None; n_tuple = t; n_where = w; n_copy = None }
 
+(* [*] = one or more hops; [*k] = exactly k; [*k..m] = k to m; [*k..] =
+   k or more (unbounded) *)
+let repetition st =
+  if accept st Lexer.STAR then
+    match peek st with
+    | Lexer.INT min ->
+      advance st;
+      if min < 0 then fail st "repetition bound must be non-negative";
+      if accept st Lexer.DOTDOT then (
+        match peek st with
+        | Lexer.INT max ->
+          advance st;
+          if max < min then fail st "empty repetition range";
+          Some (min, Some max)
+        | _ -> Some (min, None))
+      else Some (min, Some min)
+    | _ -> Some (1, None)
+  else None
+
 let edge_decl st =
   let name = match peek st with Lexer.ID _ -> Some (ident st) | _ -> None in
   expect st Lexer.LPAREN "expected '(' in edge declaration";
@@ -188,9 +207,13 @@ let edge_decl st =
   expect st Lexer.COMMA "expected ',' between edge endpoints";
   let dst = path st in
   expect st Lexer.RPAREN "expected ')' in edge declaration";
+  let rep = repetition st in
+  if rep <> None && name <> None then
+    fail st "a repeated edge cannot be named (it stands for a whole walk)";
   let t = opt_tuple st in
   let w = opt_where st in
-  { Ast.e_name = name; e_src = src; e_dst = dst; e_tuple = t; e_where = w }
+  { Ast.e_name = name; e_src = src; e_dst = dst; e_rep = rep; e_tuple = t;
+    e_where = w }
 
 let rec comma_list st item =
   let x = item st in
@@ -366,6 +389,61 @@ let dml st =
     | _ -> fail st "expected 'node', 'edge' or 'graph' after 'delete'")
   | _ -> fail st "expected a DML statement"
 
+(* find / get / path / from / to / over / within / shortest / subgraph
+   are contextual keywords: plain identifiers everywhere except at the
+   head of a path-query statement, so existing programs keep parsing. *)
+let word st s =
+  match peek st with
+  | Lexer.ID w when w = s ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_word st s =
+  if not (word st s) then fail st (Printf.sprintf "expected '%s'" s)
+
+let opt_over st =
+  if word st "over" then begin
+    let t = opt_tuple st in
+    let rep = repetition st in
+    (t, Option.value rep ~default:(1, None))
+  end
+  else (None, (1, None))
+
+let path_query st =
+  if word st "find" then begin
+    let shortest = word st "shortest" in
+    expect_word st "path";
+    expect_word st "from";
+    let from_ = node_decl st in
+    expect_word st "to";
+    let to_ = node_decl st in
+    let edge, rep = opt_over st in
+    expect st Lexer.IN "expected 'in'";
+    let source = doc_name st in
+    { Ast.q_kind = `Path shortest; q_from = from_; q_to = Some to_;
+      q_edge = edge; q_rep = rep; q_source = source }
+  end
+  else begin
+    expect_word st "get";
+    expect_word st "subgraph";
+    expect_word st "from";
+    let from_ = node_decl st in
+    expect_word st "within";
+    let radius =
+      match peek st with
+      | Lexer.INT r when r >= 0 ->
+        advance st;
+        r
+      | _ -> fail st "expected a non-negative radius after 'within'"
+    in
+    let edge, rep = opt_over st in
+    expect st Lexer.IN "expected 'in'";
+    let source = doc_name st in
+    { Ast.q_kind = `Subgraph radius; q_from = from_; q_to = None;
+      q_edge = edge; q_rep = rep; q_source = source }
+  end
+
 let flwr st =
   expect st Lexer.FOR "expected 'for'";
   let pattern =
@@ -414,6 +492,10 @@ let statement st =
     let t = template st in
     ignore (accept st Lexer.SEMI);
     Ast.Sassign (v, t)
+  | Lexer.ID ("find" | "get") ->
+    let q = path_query st in
+    ignore (accept st Lexer.SEMI);
+    Ast.Spath q
   | _ ->
     fail st
       "expected a statement ('graph', 'for', insert/update/delete, or an \

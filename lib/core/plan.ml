@@ -5,7 +5,7 @@ type expr =
   | Var of string
   | Select of {
       pname : string;
-      patterns : Gql_matcher.Flat_pattern.t list;
+      patterns : Gql_matcher.Rpq.pattern list;
       exhaustive : bool;
       post : Pred.t option;
       input : expr;
@@ -26,6 +26,7 @@ type statement =
   | Assign of string * expr
   | Output of expr
   | Write of Ast.dml
+  | Path of Ast.path_query
 
 type t = statement list
 
@@ -33,7 +34,7 @@ exception Error of string
 
 let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
 
-let compile ?max_depth (program : Ast.program) =
+let compile ?max_depth ?(max_derivations = 4096) (program : Ast.program) =
   let defs = Hashtbl.create 8 in
   let lookup name = Hashtbl.find_opt defs name in
   let compile_flwr (f : Ast.flwr) =
@@ -45,10 +46,27 @@ let compile ?max_depth (program : Ast.program) =
         | None -> error "unknown pattern %s" n)
       | `Inline d -> (d, Option.value d.Ast.g_name ~default:"P")
     in
+    let truncated = ref false in
     let patterns =
-      List.of_seq (Motif.flat_patterns ~defs:lookup ?max_depth decl)
+      (* enumerate lazily, capped: a runaway grammar fails with a typed
+         error instead of an unbounded materialization *)
+      let rec take n acc seq =
+        match Seq.uncons seq with
+        | None -> List.rev acc
+        | Some (p, rest) ->
+          if n >= max_derivations then
+            error "pattern %s has more than %d derivations; bound the recursion or raise the derivation cap"
+              pname max_derivations
+          else take (n + 1) (p :: acc) rest
+      in
+      take 0 []
+        (Motif.path_patterns ~defs:lookup ?max_depth ~truncated decl)
     in
-    if patterns = [] then error "pattern %s has no derivation" pname;
+    if patterns = [] then
+      if !truncated then
+        error "pattern %s has no derivation within the depth cap (recursive references truncated; use unbounded repetition or raise max_depth)"
+          pname
+      else error "pattern %s has no derivation" pname;
     let selection =
       Select
         {
@@ -76,7 +94,8 @@ let compile ?max_depth (program : Ast.program) =
         | None -> error "top-level graph declarations must be named")
       | Ast.Sassign (v, t) -> Some (Assign (v, Compose { template = t; param = "_"; input = Var "_unit" }))
       | Ast.Sflwr f -> Some (compile_flwr f)
-      | Ast.Sdml d -> Some (Write d))
+      | Ast.Sdml d -> Some (Write d)
+      | Ast.Spath q -> Some (Path q))
     program
 
 (* --- printing (EXPLAIN) --- *)
@@ -91,9 +110,18 @@ let rec pp_expr ppf = function
   | Source s -> Format.fprintf ppf "doc(%S)" s
   | Var v -> Format.pp_print_string ppf v
   | Select { pname; patterns; exhaustive; post; input } ->
-    Format.fprintf ppf "σ[%s%s%s%s](%a)" pname
+    let n_segments =
+      List.fold_left
+        (fun n p -> n + List.length p.Gql_matcher.Rpq.segments)
+        0 patterns
+    in
+    Format.fprintf ppf "σ[%s%s%s%s%s](%a)" pname
       (if List.length patterns > 1 then
          Printf.sprintf ", %d derivations" (List.length patterns)
+       else "")
+      (if n_segments > 0 then
+         Printf.sprintf ", %d path segment%s" n_segments
+           (if n_segments > 1 then "s" else "")
        else "")
       (if exhaustive then ", exhaustive" else "")
       (match post with
@@ -111,7 +139,8 @@ let pp ppf plan =
     (fun ppf -> function
       | Assign (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
       | Output e -> Format.fprintf ppf "return %a" pp_expr e
-      | Write d -> Format.fprintf ppf "write %a" Ast.pp_dml d)
+      | Write d -> Format.fprintf ppf "write %a" Ast.pp_dml d
+      | Path q -> Format.fprintf ppf "path %a" Ast.pp_path_query q)
     ppf plan
 
 (* --- optimization: predicate pushdown --- *)
@@ -155,11 +184,13 @@ let rec optimize_expr = function
   (* only exhaustive selections: under take-one-mapping semantics the
      filter's position is observable *)
   | Select ({ pname; patterns = [ p ]; post = Some post; input; exhaustive = true } as s) ->
-    let p', residual = push_into_pattern pname p post in
+    (* pushdown touches only the flat core; path segments have no
+       user-visible names, so the filter cannot reference them *)
+    let core', residual = push_into_pattern pname p.Gql_matcher.Rpq.core post in
     Select
       {
         s with
-        patterns = [ p' ];
+        patterns = [ { p with Gql_matcher.Rpq.core = core' } ];
         post = (if Pred.equal residual Pred.True then None else Some residual);
         input = optimize_expr input;
       }
@@ -172,7 +203,7 @@ let optimize plan =
     (function
       | Assign (v, e) -> Assign (v, optimize_expr e)
       | Output e -> Output (optimize_expr e)
-      | Write d -> Write d)
+      | (Write _ | Path _) as s -> s)
     plan
 
 (* --- execution --- *)
@@ -228,7 +259,7 @@ let execute ?(docs = []) ?strategy plan =
       | None -> error "unknown variable %s" v)
     | Select { pname; patterns; exhaustive; post; input } ->
       let entries = eval input in
-      Algebra.select ?strategy ~exhaustive ~patterns entries
+      Algebra.select_paths ?strategy ~exhaustive ~patterns entries
       |> filter_post pname post
     | Compose { template; param; input } ->
       List.map
@@ -260,7 +291,11 @@ let execute ?(docs = []) ?strategy plan =
       | Output e -> st.last <- Some (eval e)
       | Write _ ->
         (* writes need a durability sink; only Eval.run carries one *)
-        error "DML statements are not executable from a compiled plan")
+        error "DML statements are not executable from a compiled plan"
+      | Path _ ->
+        (* path queries drive the RPQ engine directly, outside the
+           algebra; only Eval.run evaluates them *)
+        error "path queries are not executable from a compiled plan")
     plan;
   {
     Eval.defs = [];

@@ -20,7 +20,9 @@ type expr =
   | Var of string
   | Select of {
       pname : string;
-      patterns : Gql_matcher.Flat_pattern.t list;
+      patterns : Gql_matcher.Rpq.pattern list;
+          (** derivations of the (possibly recursive) pattern: flat core
+              plus unbounded-repetition path segments *)
       exhaustive : bool;
       post : Pred.t option;  (** the FLWR [where] filter *)
       input : expr;
@@ -43,14 +45,19 @@ type statement =
   | Write of Ast.dml
       (** DML pass-through: printable in EXPLAIN, but only {!Eval.run}
           executes writes (it carries the durability sink) *)
+  | Path of Ast.path_query
+      (** path-query pass-through ([find path] / [get subgraph]):
+          printable in EXPLAIN, but only {!Eval.run} evaluates it *)
 
 type t = statement list
 
 exception Error of string
 
-val compile : ?max_depth:int -> Ast.program -> t
+val compile : ?max_depth:int -> ?max_derivations:int -> Ast.program -> t
 (** Named pattern definitions are resolved during compilation (they do
-    not appear in the plan). Raises {!Error} on unknown names. *)
+    not appear in the plan). Derivations are enumerated lazily up to
+    [max_derivations] (default 4096); beyond that, and on unknown
+    names, raises {!Error}. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 (** Algebraic notation: [σ], [ω], [fold-ω]. *)

@@ -164,6 +164,8 @@ let instantiate ?(env = []) (decl : Ast.graph_decl) =
         (fun (d : Ast.edge_decl) ->
           if d.Ast.e_where <> None then
             error "where clauses on template edges are not allowed";
+          if d.Ast.e_rep <> None then
+            error "repeated edges are not allowed in templates";
           let src = resolve_endpoint d.Ast.e_src in
           let dst = resolve_endpoint d.Ast.e_dst in
           add_proto_edge st d.Ast.e_name src dst (eval_tuple penv d.Ast.e_tuple))

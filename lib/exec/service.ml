@@ -2,6 +2,7 @@ module M = Gql_obs.Metrics
 module Budget = Gql_matcher.Budget
 module Engine = Gql_matcher.Engine
 module Flat_pattern = Gql_matcher.Flat_pattern
+module Rpq = Gql_matcher.Rpq
 module Feasible = Gql_matcher.Feasible
 module Search = Gql_matcher.Search
 module Eval = Gql_core.Eval
@@ -332,6 +333,18 @@ let maybe_yield t job =
 let selector t job ~exhaustive ~patterns entries =
   let metrics = job.j_metrics in
   let stopped = ref Budget.Exhausted in
+  (* one RPQ context (one lazily built reachability index) per distinct
+     graph, shared across the selection's patterns; keyed by physical
+     equality — the entries alias the service's cached doc graphs *)
+  let ctxs : (Gql_graph.Graph.t * Rpq.ctx) list ref = ref [] in
+  let ctx_of g =
+    match List.find_opt (fun (g', _) -> g' == g) !ctxs with
+    | Some (_, cx) -> cx
+    | None ->
+      let cx = Rpq.ctx g in
+      ctxs := (g, cx) :: !ctxs;
+      cx
+  in
   let pats = Array.of_list patterns in
   let np = Array.length pats in
   let ranked =
@@ -342,7 +355,8 @@ let selector t job ~exhaustive ~patterns entries =
           (fun m e -> max m (Gql_graph.Graph.n_nodes (Algebra.underlying e)))
           1 entries
       in
-      Algebra.pattern_order ~strategy:t.strategy ~n_nodes patterns
+      Algebra.pattern_order ~strategy:t.strategy ~n_nodes
+        (List.map (fun p -> p.Rpq.core) patterns)
   in
   let per_pattern = Array.make (max 1 np) [] in
   List.iter
@@ -355,8 +369,18 @@ let selector t job ~exhaustive ~patterns entries =
             if not (Budget.final !stopped) then begin
               let g = Algebra.underlying entry in
               let outcome =
+                (* flat cores go through the caching engine run; a
+                   pattern with path segments runs its core
+                   exhaustively (a core mapping failing its segments
+                   must not count against the one-per-graph limit) and
+                   filters through the RPQ engine *)
                 M.with_span metrics "match" (fun () ->
-                    cached_run t job ~exhaustive p g)
+                    if p.Rpq.segments = [] then
+                      cached_run t job ~exhaustive p.Rpq.core g
+                    else
+                      cached_run t job ~exhaustive:true p.Rpq.core g
+                      |> Rpq.filter_outcome ~budget:job.j_budget ~metrics
+                           ~exhaustive (ctx_of g) p)
               in
               if M.enabled metrics then
                 M.observe metrics M.Matches_per_graph outcome.Search.n_found;
@@ -365,7 +389,8 @@ let selector t job ~exhaustive ~patterns entries =
               | r -> stopped := Budget.worst !stopped r);
               List.iter
                 (fun phi ->
-                  rev_out := Algebra.M (Matched.make p g phi) :: !rev_out)
+                  rev_out :=
+                    Algebra.M (Matched.make p.Rpq.core g phi) :: !rev_out)
                 outcome.Search.mappings;
               job.j_slice <- job.j_slice + outcome.Search.visited + 1;
               maybe_yield t job

@@ -31,6 +31,9 @@ type counter =
   | Exec_watermark_waits
   | Storage_txn_appended
   | Index_incremental
+  | Rpq_segments_checked
+  | Rpq_fast_path
+  | Rpq_product_visited
 
 let counter_index = function
   | Retrieval_scanned -> 0
@@ -65,8 +68,11 @@ let counter_index = function
   | Exec_watermark_waits -> 29
   | Storage_txn_appended -> 30
   | Index_incremental -> 31
+  | Rpq_segments_checked -> 32
+  | Rpq_fast_path -> 33
+  | Rpq_product_visited -> 34
 
-let n_counters = 32
+let n_counters = 35
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -101,6 +107,9 @@ let counter_name = function
   | Exec_watermark_waits -> "exec.queue.watermark_waits"
   | Storage_txn_appended -> "storage.txn_appended"
   | Index_incremental -> "exec.cache.index_updates"
+  | Rpq_segments_checked -> "rpq.segments_checked"
+  | Rpq_fast_path -> "rpq.fast_path_hits"
+  | Rpq_product_visited -> "rpq.product_visited"
 
 let all_counters =
   [
@@ -136,6 +145,9 @@ let all_counters =
     Exec_watermark_waits;
     Storage_txn_appended;
     Index_incremental;
+    Rpq_segments_checked;
+    Rpq_fast_path;
+    Rpq_product_visited;
   ]
 
 type histogram = Candidate_set_size | Matches_per_graph

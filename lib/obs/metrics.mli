@@ -51,6 +51,9 @@ type counter =
   | Exec_watermark_waits  (** scheduler waits for a write watermark (read-your-writes) *)
   | Storage_txn_appended  (** transaction-log records appended to a store *)
   | Index_incremental  (** index maintenances done incrementally (vs full rebuild) *)
+  | Rpq_segments_checked  (** path-segment existence checks evaluated *)
+  | Rpq_fast_path  (** segment checks answered by the reachability index *)
+  | Rpq_product_visited  (** (node, counter) product states expanded by RPQ BFS *)
 
 val counter_name : counter -> string
 (** Stable dotted name, e.g. ["search.visited"] — the key used by the

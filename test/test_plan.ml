@@ -65,7 +65,7 @@ let test_optimize_pushdown () =
   (match optimized with
   | [ Plan.Output (Plan.Compose { input = Plan.Select { patterns = [ p ]; post; _ }; _ }) ] ->
     Alcotest.(check (option string)) "label constraint pushed into v1" (Some "A")
-      (Gql_matcher.Flat_pattern.required_label p 0);
+      (Gql_matcher.Flat_pattern.required_label p.Gql_matcher.Rpq.core 0);
     Alcotest.(check bool) "residual filter kept" true (post <> None)
   | _ -> Alcotest.fail "unexpected optimized plan shape");
   (* and both plans compute the same result *)

@@ -1,0 +1,396 @@
+(* Regular path queries: unbounded repetition evaluated as the product
+   of the data graph with the counter automaton, with the reachability
+   index as the unconstrained fast path. The properties pin the three
+   evaluation routes (index fast path, bidirectional BFS, product BFS)
+   to each other and to the Datalog transitive-closure oracle — and the
+   regression tests pin the original bug: reachability beyond 16 hops,
+   which the unrolling evaluator silently truncated. *)
+
+open Gql_graph
+open Gql_core
+module Rpq = Gql_matcher.Rpq
+module Budget = Gql_matcher.Budget
+module M = Gql_obs.Metrics
+
+let seg ?(min = 1) ?max ?(tuple = Tuple.empty) ?(pred = Pred.True) () =
+  {
+    Rpq.seg_src = 0;
+    seg_dst = 1;
+    seg_min = min;
+    seg_max = max;
+    seg_tuple = tuple;
+    seg_pred = pred;
+  }
+
+let holds ctx s ~src ~dst = fst (Rpq.segment_holds ctx s ~src ~dst)
+
+let contains ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+(* --- segment_holds, directed --------------------------------------------- *)
+
+let test_directed_chain () =
+  let g = Graph.of_edges ~directed:true ~n:5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+  let ctx = Rpq.ctx g in
+  Alcotest.(check bool) "0 reaches 4" true (holds ctx (seg ()) ~src:0 ~dst:4);
+  Alcotest.(check bool) "4 does not reach 0" false
+    (holds ctx (seg ()) ~src:4 ~dst:0);
+  Alcotest.(check bool) "min 0: empty walk" true
+    (holds ctx (seg ~min:0 ()) ~src:2 ~dst:2);
+  Alcotest.(check bool) "min 1: no closed walk in a chain" false
+    (holds ctx (seg ()) ~src:2 ~dst:2);
+  Alcotest.(check bool) "2..3 hops: 3-hop pair" true
+    (holds ctx (seg ~min:2 ~max:3 ()) ~src:0 ~dst:3);
+  Alcotest.(check bool) "2..3 hops: 4-hop pair is too far" false
+    (holds ctx (seg ~min:2 ~max:3 ()) ~src:0 ~dst:4);
+  Alcotest.(check bool) "2..3 hops: 1-hop pair is too near" false
+    (holds ctx (seg ~min:2 ~max:3 ()) ~src:0 ~dst:1);
+  Alcotest.(check bool) "exactly 4" true
+    (holds ctx (seg ~min:4 ~max:4 ()) ~src:0 ~dst:4);
+  (* a chain admits no walk longer than the unique path *)
+  Alcotest.(check bool) "min 2 unbounded: adjacent pair unreachable" false
+    (holds ctx (seg ~min:2 ()) ~src:0 ~dst:1)
+
+let test_directed_cycle () =
+  let g = Graph.of_edges ~directed:true ~n:3 [ (0, 1); (1, 2); (2, 0) ] in
+  let ctx = Rpq.ctx g in
+  Alcotest.(check bool) "closed walk exists on a cycle" true
+    (holds ctx (seg ()) ~src:0 ~dst:0);
+  (* walks may revisit: going around twice satisfies min 4 *)
+  Alcotest.(check bool) "min 4 via a second lap" true
+    (holds ctx (seg ~min:4 ()) ~src:0 ~dst:1)
+
+let test_undirected () =
+  let g = Graph.of_edges ~directed:false ~n:3 [ (0, 1); (1, 2) ] in
+  let ctx = Rpq.ctx g in
+  Alcotest.(check bool) "edges traverse both ways" true
+    (holds ctx (seg ()) ~src:2 ~dst:0);
+  Alcotest.(check bool) "closed walk: out and back" true
+    (holds ctx (seg ()) ~src:0 ~dst:0);
+  Alcotest.(check bool) "exactly 2: out and back" true
+    (holds ctx (seg ~min:2 ~max:2 ()) ~src:0 ~dst:0)
+
+let test_constrained_edges () =
+  let b = Graph.Builder.create ~directed:true () in
+  let n0 = Graph.Builder.add_node b Tuple.empty in
+  let n1 = Graph.Builder.add_node b Tuple.empty in
+  let n2 = Graph.Builder.add_node b Tuple.empty in
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Str "a") ]) n0 n1);
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Str "a") ]) n1 n2);
+  ignore (Graph.Builder.add_edge b ~tuple:(Tuple.make [ ("w", Value.Str "b") ]) n0 n2);
+  let g = Graph.Builder.build b in
+  let ctx = Rpq.ctx g in
+  let via w = Tuple.make [ ("w", Value.Str w) ] in
+  Alcotest.(check bool) "two a-steps" true
+    (holds ctx (seg ~tuple:(via "a") ()) ~src:0 ~dst:2);
+  Alcotest.(check bool) "one b-step" true
+    (holds ctx (seg ~tuple:(via "b") ()) ~src:0 ~dst:2);
+  Alcotest.(check bool) "no b-walk of length >= 2" false
+    (holds ctx (seg ~min:2 ~tuple:(via "b") ()) ~src:0 ~dst:2);
+  Alcotest.(check bool) "no c-walk at all" false
+    (holds ctx (seg ~tuple:(via "c") ()) ~src:0 ~dst:2)
+
+let test_fast_path_metric () =
+  let g = Graph.of_edges ~directed:true ~n:3 [ (0, 1); (1, 2) ] in
+  let ctx = Rpq.ctx g in
+  let metrics = M.create () in
+  ignore (Rpq.segment_holds ~metrics ctx (seg ()) ~src:0 ~dst:2);
+  Alcotest.(check int) "unconstrained check hits the index" 1
+    (M.get metrics M.Rpq_fast_path);
+  ignore
+    (Rpq.segment_holds ~metrics ctx (seg ~min:2 ~max:2 ()) ~src:0 ~dst:2);
+  Alcotest.(check int) "bounded check does not" 1
+    (M.get metrics M.Rpq_fast_path);
+  Alcotest.(check int) "both counted as segment checks" 2
+    (M.get metrics M.Rpq_segments_checked)
+
+let test_budget_stops_product () =
+  let n = 200 in
+  let edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let g = Graph.of_edges ~directed:true ~n edges in
+  let ctx = Rpq.ctx g in
+  let budget = Budget.make ~max_visited:8 () in
+  (* bounded → product BFS; a tiny step budget stops it *)
+  let ok, reason =
+    Rpq.segment_holds ~budget ctx (seg ~min:1 ~max:(n - 1) ()) ~src:0
+      ~dst:(n - 1)
+  in
+  Alcotest.(check bool) "stopped checks err on omission" false ok;
+  Alcotest.(check bool) "reports a resource stop" true
+    (reason <> Budget.Exhausted && reason <> Budget.Hit_limit)
+
+(* --- shortest walks -------------------------------------------------------- *)
+
+let test_shortest_walk () =
+  let g =
+    Graph.of_edges ~directed:true ~n:5
+      [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 3) ]
+  in
+  let ctx = Rpq.ctx g in
+  (match fst (Rpq.shortest_walk ctx (seg ()) ~src:0 ~dst:4) with
+  | Some (nodes, edges) ->
+    Alcotest.(check (list int)) "takes the shortcut" [ 0; 3; 4 ] nodes;
+    Alcotest.(check int) "one edge per hop" 2 (List.length edges)
+  | None -> Alcotest.fail "expected a walk");
+  (* a higher min forces the walk past the shortcut *)
+  (match fst (Rpq.shortest_walk ctx (seg ~min:3 ()) ~src:0 ~dst:4) with
+  | Some (nodes, _) ->
+    Alcotest.(check (list int)) "long way round" [ 0; 1; 2; 3; 4 ] nodes
+  | None -> Alcotest.fail "expected a long walk");
+  Alcotest.(check bool) "unreachable pair has no walk" true
+    (fst (Rpq.shortest_walk ctx (seg ()) ~src:4 ~dst:0) = None)
+
+(* --- oracle properties ----------------------------------------------------- *)
+
+let oracle_reach g =
+  let module D = Gql_datalog.Datalog in
+  let module T = Gql_datalog.Translate in
+  let db = D.create () in
+  T.load_graph db ~name:"G" g;
+  List.iter (D.add_rule db)
+    (T.reachability_rules ~edge_name:"edge" ~reach_name:"reach");
+  D.solve db;
+  fun u v ->
+    D.holds db "reach"
+      [ Value.Str (Printf.sprintf "G.v%d" u); Value.Str (Printf.sprintf "G.v%d" v) ]
+
+let random_graph ?(directed = true) seed =
+  let st = Random.State.make [| seed |] in
+  let n = 4 + Random.State.int st 7 in
+  let b = Graph.Builder.create ~directed () in
+  for _ = 1 to n do
+    ignore (Graph.Builder.add_node b Tuple.empty)
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Random.State.int st 100 < 18 then
+        ignore
+          (Graph.Builder.add_edge b
+             ~tuple:(Tuple.make [ ("w", Value.Str "x") ])
+             i j)
+    done
+  done;
+  Graph.Builder.build b
+
+let arb_seed =
+  QCheck.make
+    ~print:(fun (s, d) -> Printf.sprintf "seed=%d directed=%b" s d)
+    QCheck.Gen.(pair (0 -- 10_000) bool)
+
+(* every evaluation route answers single-pair reachability identically:
+   the O(1) index fast path (unconstrained), bidirectional BFS (the
+   constraint satisfied by every edge), the bounded product BFS (max =
+   n hops covers every reachable pair), and the Datalog closure *)
+let prop_routes_agree =
+  QCheck.Test.make ~name:"fast path = bidi = product = datalog oracle"
+    ~count:60 arb_seed (fun (s, directed) ->
+      let g = random_graph ~directed s in
+      let n = Graph.n_nodes g in
+      let ctx = Rpq.ctx g in
+      let reach = oracle_reach g in
+      let all_edges = Tuple.make [ ("w", Value.Str "x") ] in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let expect = reach u v in
+          let fast = holds ctx (seg ()) ~src:u ~dst:v in
+          let bidi = holds ctx (seg ~tuple:all_edges ()) ~src:u ~dst:v in
+          let product = holds ctx (seg ~max:n ()) ~src:u ~dst:v in
+          if fast <> expect || bidi <> expect || product <> expect then
+            QCheck.Test.fail_reportf
+              "pair (%d,%d): oracle=%b fast=%b bidi=%b product=%b" u v expect
+              fast bidi product
+        done
+      done;
+      true)
+
+(* whole-pattern evaluation: a two-node core joined by an unbounded
+   segment finds exactly the ordered reachable pairs with distinct
+   endpoints (core injectivity) *)
+let prop_run_matches_oracle =
+  QCheck.Test.make ~name:"Rpq.run = oracle pair count" ~count:40 arb_seed
+    (fun (s, directed) ->
+      let g = random_graph ~directed s in
+      let n = Graph.n_nodes g in
+      let patterns =
+        Gql.path_patterns_of_string "graph P { node a; node b; edge (a, b) *1..; }"
+      in
+      let p = List.hd patterns in
+      let reach = oracle_reach g in
+      let expected = ref 0 in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if u <> v && reach u v then incr expected
+        done
+      done;
+      let o = Rpq.run ~exhaustive:true p g in
+      if o.Gql_matcher.Search.n_found <> !expected then
+        QCheck.Test.fail_reportf "expected %d pairs, found %d" !expected
+          o.Gql_matcher.Search.n_found;
+      true)
+
+(* --- the depth-16 regression ----------------------------------------------- *)
+
+(* a directed chain of [hops] edges with tagged endpoints, served as a doc *)
+let chain_doc hops =
+  let b = Graph.Builder.create ~directed:true () in
+  for i = 0 to hops do
+    let t =
+      if i = 0 then Tuple.make [ ("k", Value.Str "s") ]
+      else if i = hops then Tuple.make [ ("k", Value.Str "t") ]
+      else Tuple.empty
+    in
+    ignore (Graph.Builder.add_node b t)
+  done;
+  for i = 0 to hops - 1 do
+    ignore (Graph.Builder.add_edge b i (i + 1))
+  done;
+  [ ("D", [ Graph.Builder.build b ]) ]
+
+let count_hits docs src =
+  let r = Gql.run_query ~docs src in
+  List.length (Eval.returned r)
+
+let test_regression_beyond_depth_16 () =
+  let docs = chain_doc 20 in
+  (* the old evaluator unrolled recursive motifs to depth 16 and
+     silently returned nothing for this query *)
+  Alcotest.(check int) "20-hop reachability via *1.." 1
+    (count_hits docs
+       {|for graph P { node a <k="s">; node b <k="t">; edge (a, b) *1..; }
+           exhaustive in doc("D")
+         return graph { node hit; };|});
+  (* bounded repetition states its bound honestly *)
+  Alcotest.(check int) "*1..16 cannot span 20 hops" 0
+    (count_hits docs
+       {|for graph P { node a <k="s">; node b <k="t">; edge (a, b) *1..16; }
+           exhaustive in doc("D")
+         return graph { node hit; };|});
+  Alcotest.(check int) "exactly 20 unrolls past the old cap" 1
+    (count_hits docs
+       {|for graph P { node a <k="s">; node b <k="t">; edge (a, b) *20; }
+           exhaustive in doc("D")
+         return graph { node hit; };|})
+
+(* --- FIND PATH / GET SUBGRAPH ---------------------------------------------- *)
+
+let test_find_path () =
+  let docs = chain_doc 18 in
+  let r =
+    Gql.run_query ~docs
+      {|find shortest path from a <k="s"> to b <k="t"> in doc("D");|}
+  in
+  (match Eval.returned r with
+  | [ g ] ->
+    Alcotest.(check int) "witness spans all 19 nodes" 19 (Graph.n_nodes g);
+    Alcotest.(check int) "one edge per hop" 18 (Graph.n_edges g)
+  | gs -> Alcotest.failf "expected one witness, got %d" (List.length gs));
+  (* unreachable direction: no result, no error *)
+  let r2 =
+    Gql.run_query ~docs
+      {|find path from a <k="t"> to b <k="s"> in doc("D");|}
+  in
+  Alcotest.(check int) "no witness against the arrows" 0
+    (List.length (Eval.returned r2))
+
+let test_find_path_over () =
+  let docs = chain_doc 6 in
+  let r =
+    Gql.run_query ~docs
+      {|find path from a <k="s"> to b <k="t"> over *2.. in doc("D");|}
+  in
+  Alcotest.(check int) "6 hops satisfies min 2" 1 (List.length (Eval.returned r));
+  let r2 =
+    Gql.run_query ~docs
+      {|find path from a <k="s"> to b <k="t"> over *1..3 in doc("D");|}
+  in
+  Alcotest.(check int) "6 hops exceeds max 3" 0 (List.length (Eval.returned r2))
+
+let test_get_subgraph () =
+  let b = Graph.Builder.create ~directed:false () in
+  for i = 0 to 5 do
+    let t = if i = 2 then Tuple.make [ ("k", Value.Str "c") ] else Tuple.empty in
+    ignore (Graph.Builder.add_node b t)
+  done;
+  List.iter
+    (fun (s, d) -> ignore (Graph.Builder.add_edge b s d))
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+  let docs = [ ("D", [ Graph.Builder.build b ]) ] in
+  let r =
+    Gql.run_query ~docs {|get subgraph from c <k="c"> within 2 in doc("D");|}
+  in
+  (match Eval.returned r with
+  | [ ball ] ->
+    Alcotest.(check int) "radius-2 ball around node 2" 5 (Graph.n_nodes ball)
+  | gs -> Alcotest.failf "expected one ball, got %d" (List.length gs));
+  (match
+     Gql.run_query ~docs
+       {|get subgraph from c <k="c"> within 2 over <w="x"> in doc("D");|}
+   with
+  | exception Error.E (Error.Eval msg) ->
+    Alcotest.(check bool) "over rejected on subgraph" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected an error for subgraph + over")
+
+(* --- typed failures replacing silent truncation ---------------------------- *)
+
+let recursive_path_src =
+  {|graph Path {
+      { graph Path; node v1; edge e1 (v1, Path.v1); export Path.v2 as v2; }
+      | { node v1, v2; edge e1 (v1, v2); };
+    }|}
+
+let test_derivation_cap_is_typed () =
+  let program =
+    Gql.parse_program
+      (recursive_path_src
+     ^ {|; for Path exhaustive in doc("D") return graph { node hit; };|})
+  in
+  let docs = [ ("D", [ Graph.of_edges ~n:2 [ (0, 1) ] ]) ] in
+  match Eval.run ~docs ~max_derivations:3 program with
+  | exception Eval.Error msg ->
+    Alcotest.(check bool) "names the cap" true
+      (String.length msg > 0
+      && String.index_opt msg '3' <> None
+      && contains ~affix:"derivations" msg)
+  | _ -> Alcotest.fail "expected the derivation cap to trip"
+
+let test_no_derivation_within_depth () =
+  let decl = Gql.parse_graph_decl "graph A { graph A; node v; }" in
+  let defs = Motif.defs_of_list [ ("A", decl) ] in
+  (match Motif.to_graph ~defs decl with
+  | exception Motif.Error msg ->
+    Alcotest.(check bool) "message blames the depth cap" true
+      (contains ~affix:"within depth" msg)
+  | _ -> Alcotest.fail "expected no derivation");
+  (* and the truncated flag distinguishes it from a genuinely empty
+     language *)
+  let truncated = ref false in
+  let derivs = List.of_seq (Motif.derive ~defs ~max_depth:4 ~truncated decl) in
+  Alcotest.(check int) "no derivation ever completes" 0 (List.length derivs);
+  Alcotest.(check bool) "truncation reported" true !truncated
+
+let suite =
+  [
+    Alcotest.test_case "directed chain bounds" `Quick test_directed_chain;
+    Alcotest.test_case "directed cycle walks" `Quick test_directed_cycle;
+    Alcotest.test_case "undirected traversal" `Quick test_undirected;
+    Alcotest.test_case "edge constraints filter steps" `Quick
+      test_constrained_edges;
+    Alcotest.test_case "fast-path metric" `Quick test_fast_path_metric;
+    Alcotest.test_case "budget stops the product" `Quick
+      test_budget_stops_product;
+    Alcotest.test_case "shortest walk witnesses" `Quick test_shortest_walk;
+    QCheck_alcotest.to_alcotest prop_routes_agree;
+    QCheck_alcotest.to_alcotest prop_run_matches_oracle;
+    Alcotest.test_case "reachability beyond depth 16 (regression)" `Quick
+      test_regression_beyond_depth_16;
+    Alcotest.test_case "find path end to end" `Quick test_find_path;
+    Alcotest.test_case "find path with over bounds" `Quick test_find_path_over;
+    Alcotest.test_case "get subgraph end to end" `Quick test_get_subgraph;
+    Alcotest.test_case "derivation cap is a typed error" `Quick
+      test_derivation_cap_is_typed;
+    Alcotest.test_case "no derivation within depth" `Quick
+      test_no_derivation_within_depth;
+  ]
