@@ -6,6 +6,17 @@ let mean = function
 
 let ms s = s *. 1000.0
 
+(* Latency percentile by nearest-rank over a sorted copy — the load
+   harness reports p50/p95/p99 cells from this. *)
+let percentile p = function
+  | [] -> nan
+  | xs ->
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+
 let header fmt =
   Printf.ksprintf
     (fun s ->

@@ -7,14 +7,18 @@
    gqlsh stats --graph G.gql                        graph statistics
    gqlsh store FILE.store                           inspect a disk store
    gqlsh gen ppi|er|dblp|chem [-o out.gql]          generate datasets
+   gqlsh serve --listen ADDR --doc ...              socket query server
+   gqlsh serve --listen ADDR --router --shards ...  scatter-gather router
+   gqlsh client ADDR -e QUERY | --show-queries ...  wire-protocol client
 
    A .gql graph file is a sequence of named `graph ... { ... };`
    declarations; all of them form the collection.
 
    Exit codes (stable, asserted by the CLI tests): 0 success, 1 usage,
-   2 parse error, 3 evaluation error, 4 corrupt store, 124 deadline or
-   budget stop. Every failure prints a one-line diagnostic on stderr —
-   never a raw OCaml exception. *)
+   2 parse error, 3 evaluation error, 4 corrupt store, 5 protocol
+   error, 6 unsupported distributed query, 7 shard failure, 124
+   deadline or budget stop. Every failure prints a one-line diagnostic
+   on stderr — never a raw OCaml exception. *)
 
 open Gql_core
 open Gql_graph
@@ -575,6 +579,216 @@ let gen_cmd kind seed out =
         Printf.printf "wrote %d graph(s) to %s\n" (List.length graphs) path);
       0)
 
+(* --- serve -------------------------------------------------------------- *)
+
+(* --partition i/n keeps only the graphs at collection positions ≡ i
+   (mod n) of every doc — the disjoint slice a shard owns. Deterministic
+   and order-based, so n shards loading the same files cover every
+   graph exactly once. *)
+let parse_partition spec =
+  match String.split_on_char '/' spec with
+  | [ i; n ] -> (
+    match (int_of_string_opt i, int_of_string_opt n) with
+    | Some i, Some n when n >= 1 && i >= 0 && i < n -> (i, n)
+    | _ ->
+      Error.raise_
+        (Error.Usage
+           (Printf.sprintf "bad --partition %S: want I/N with 0 <= I < N" spec)))
+  | _ ->
+    Error.raise_
+      (Error.Usage (Printf.sprintf "bad --partition %S: want I/N" spec))
+
+let partition_docs (i, n) docs =
+  List.map
+    (fun (name, gs) ->
+      (name, List.filteri (fun pos _ -> pos mod n = i) gs))
+    docs
+
+let serve_cmd listen docs jobs quantum max_inflight partition router shards
+    shard_timeout verbose =
+  guarded (fun () ->
+      let module Service = Gql_exec.Service in
+      let module Server = Gql_exec.Server in
+      let log =
+        if verbose then fun s -> Printf.eprintf "gqlsh serve: %s\n%!" s
+        else fun _ -> ()
+      in
+      if router then begin
+        let shards =
+          List.concat_map (String.split_on_char ',') shards
+          |> List.filter (fun s -> s <> "")
+        in
+        if shards = [] then
+          Error.raise_ (Error.Usage "--router requires --shards ADDR,ADDR,...");
+        let r = Gql_exec.Router.connect ?timeout:shard_timeout shards in
+        let server =
+          Server.create ~max_inflight ~log (Server.Routed r) ~addr:listen
+        in
+        Printf.printf "gqlsh serve: router on %s over %d shard(s)\n%!" listen
+          (List.length shards);
+        Server.serve_forever server;
+        0
+      end
+      else begin
+        let part = Option.map parse_partition partition in
+        let mounts, docs = mount_docs docs in
+        (match part with
+        | Some _ when List.exists (fun m -> Option.is_some m.m_store) mounts ->
+          (* a partitioned shard sees a filtered doc list, so the
+             position -> gid mapping persistence relies on would be
+             wrong; shards serve text snapshots for now *)
+          Error.raise_
+            (Error.Usage "--partition requires .gql docs (not .store)")
+        | _ -> ());
+        let docs =
+          match part with None -> docs | Some p -> partition_docs p docs
+        in
+        Fun.protect
+          ~finally:(fun () -> close_mounts mounts)
+          (fun () ->
+            let svc =
+              Service.create ?jobs ?quantum ~docs ~on_write:(persist mounts) ()
+            in
+            let server =
+              Server.create ~max_inflight ~log (Server.Local svc) ~addr:listen
+            in
+            Printf.printf "gqlsh serve: listening on %s (%d graph(s)%s)\n%!"
+              listen
+              (List.fold_left (fun acc (_, gs) -> acc + List.length gs) 0 docs)
+              (match part with
+              | Some (i, n) -> Printf.sprintf ", partition %d/%d" i n
+              | None -> "");
+            Server.serve_forever server;
+            ignore (Service.drain svc);
+            Service.shutdown svc;
+            0)
+      end)
+
+(* --- client ------------------------------------------------------------- *)
+
+let client_cmd addr query_file expr show_queries kill_qid ping shutdown
+    deadline wait_watermark timeout json_out verbose =
+  guarded (fun () ->
+      let module Client = Gql_exec.Client in
+      let module Protocol = Gql_exec.Protocol in
+      let module Json = Protocol.Json in
+      let conn = Client.connect ?timeout addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close conn)
+        (fun () ->
+          let print_json json = print_endline (Json.to_string json) in
+          (* a non-query response's exit path: the wire status decides *)
+          let finish_status json =
+            match Option.bind (Json.member "status" json) Json.str with
+            | Some "ok" -> 0
+            | Some st ->
+              let msg =
+                Option.value ~default:st
+                  (Option.bind (Json.member "error" json) Json.str)
+              in
+              let err =
+                Option.value
+                  (Error.of_wire_status st ~msg)
+                  ~default:(Error.Protocol ("unknown wire status " ^ st))
+              in
+              Format.eprintf "gqlsh: %s@." (Error.to_string err);
+              Error.exit_code err
+            | None ->
+              Error.raise_ (Error.Protocol "response carries no status")
+          in
+          match (query_file, expr, show_queries, kill_qid, ping, shutdown) with
+          | None, None, true, None, false, false ->
+            let json = Client.call conn (Protocol.Show_queries { q_id = 0 }) in
+            if json_out then print_json json
+            else
+              (match Option.bind (Json.member "queries" json) Json.list with
+              | None -> ()
+              | Some qs ->
+                Printf.printf "%d quer(ies) in flight\n" (List.length qs);
+                List.iter
+                  (fun q ->
+                    let geti f = Option.bind (Json.member f q) Json.int in
+                    let gets f = Option.bind (Json.member f q) Json.str in
+                    let getf f = Option.bind (Json.member f q) Json.float in
+                    Printf.printf "  qid %d session %d age %.0f ms%s: %s\n"
+                      (Option.value ~default:(-1) (geti "qid"))
+                      (Option.value ~default:(-1) (geti "session"))
+                      (Option.value ~default:0.0 (getf "age_ms"))
+                      (match gets "shard" with
+                      | Some s -> " shard " ^ s
+                      | None -> "")
+                      (Option.value ~default:"?" (gets "query")))
+                  qs);
+            finish_status json
+          | None, None, false, Some qid, false, false ->
+            let json =
+              Client.call conn (Protocol.Kill { q_id = 0; q_target = qid })
+            in
+            if json_out then print_json json
+            else
+              Printf.printf "kill query %d: %s\n" qid
+                (match Option.bind (Json.member "killed" json) Json.bool with
+                | Some true -> "killed"
+                | _ -> "not found");
+            finish_status json
+          | None, None, false, None, true, false ->
+            let json = Client.call conn (Protocol.Ping { q_id = 0 }) in
+            if json_out then print_json json else print_endline "pong";
+            finish_status json
+          | None, None, false, None, false, true ->
+            let json = Client.call conn (Protocol.Shutdown { q_id = 0 }) in
+            if json_out then print_json json
+            else print_endline "server stopping";
+            finish_status json
+          | query_file, expr, false, None, false, false -> (
+            let src =
+              match (query_file, expr) with
+              | Some f, None -> read_file f
+              | None, Some e -> e
+              | _ ->
+                Error.raise_
+                  (Error.Usage
+                     "exactly one of QUERY.gql, -e, --show-queries, --kill, \
+                      --ping, --shutdown")
+            in
+            let resp = Client.query conn ?deadline ~wait_watermark src in
+            if json_out then print_json (Protocol.query_response_to_json resp)
+            else begin
+              Printf.printf
+                "%d graph(s) returned (%s, %.2f ms, %d shard(s))\n"
+                (List.length resp.Protocol.qr_graphs)
+                resp.Protocol.qr_stopped resp.Protocol.qr_wall_ms
+                resp.Protocol.qr_shards_ok;
+              if resp.Protocol.qr_writes > 0 then
+                Printf.printf "-- applied %d write(s) --\n"
+                  resp.Protocol.qr_writes;
+              if verbose then
+                List.iter
+                  (fun g -> Printf.printf "%s\n\n" g)
+                  resp.Protocol.qr_graphs
+            end;
+            match resp.Protocol.qr_status with
+            | "ok" -> 0
+            | st ->
+              let msg =
+                Option.value ~default:st resp.Protocol.qr_error
+              in
+              let err =
+                Option.value
+                  (Error.of_wire_status st ~msg)
+                  ~default:(Error.Protocol ("unknown wire status " ^ st))
+              in
+              Format.eprintf "gqlsh: %s%s@." (Error.to_string err)
+                (if resp.Protocol.qr_graphs <> [] then
+                   " (partial results above)"
+                 else "");
+              Error.exit_code err)
+          | _ ->
+            Error.raise_
+              (Error.Usage
+                 "exactly one of QUERY.gql, -e, --show-queries, --kill, \
+                  --ping, --shutdown")))
+
 (* --- cmdliner wiring ------------------------------------------------------ *)
 
 open Cmdliner
@@ -762,6 +976,116 @@ let gen_term =
     (Cmd.info "gen" ~doc:"Generate a dataset (ppi, er, dblp, chem) in GraphQL syntax")
     Term.(const gen_cmd $ kind $ seed $ out)
 
+let serve_term =
+  let listen =
+    Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"ADDR"
+           ~doc:"Listen address: a unix-socket path (or unix:PATH) or \
+                 HOST:PORT.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+           ~doc:"Worker domains of the query pool.")
+  in
+  let quantum =
+    Arg.(value & opt (some int) None & info [ "quantum" ] ~docv:"NODES"
+           ~doc:"Per-slice visited-node allowance before a query yields.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 64 & info [ "max-inflight" ] ~docv:"N"
+           ~doc:"Admission bound on concurrently running queries; excess \
+                 submissions fail fast with a typed error.")
+  in
+  let partition =
+    Arg.(value & opt (some string) None & info [ "partition" ] ~docv:"I/N"
+           ~doc:"Serve only the graphs at collection positions ≡ I (mod N) \
+                 of each doc — this process's shard of an N-way partition.")
+  in
+  let router =
+    Arg.(value & flag & info [ "router" ]
+           ~doc:"Scatter-gather front end: forward each query to every \
+                 --shards server and merge selection results by union. \
+                 Composition/joins answer with a typed \
+                 unsupported-distributed error.")
+  in
+  let shards =
+    Arg.(value & opt_all string [] & info [ "shards" ] ~docv:"ADDR,ADDR"
+           ~doc:"Shard addresses for --router (comma-separated, repeatable).")
+  in
+  let shard_timeout =
+    Arg.(value & opt (some float) None & info [ "shard-timeout" ] ~docv:"SECS"
+           ~doc:"Receive timeout per shard (default 30): a shard silent \
+                 past it is degraded to a typed shard-failure, never a hang.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ]
+           ~doc:"Log connections, kills and shutdown on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve queries over a socket: length-prefixed JSON frames \
+             (CRC'd header), per-query deadlines and cancellation \
+             ($(b,show queries) / $(b,kill)), read-your-writes via \
+             --wait-watermark; or route across shard servers with \
+             --router --shards")
+    Term.(
+      const serve_cmd $ listen $ docs_arg $ jobs $ quantum $ max_inflight
+      $ partition $ router $ shards $ shard_timeout $ verbose)
+
+let client_term =
+  let addr =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ADDR"
+           ~doc:"Server address: unix-socket path or HOST:PORT.")
+  in
+  let query =
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"QUERY.gql")
+  in
+  let expr =
+    Arg.(value & opt (some string) None & info [ "e" ] ~docv:"QUERY"
+           ~doc:"Query text inline instead of a file.")
+  in
+  let show_queries =
+    Arg.(value & flag & info [ "show-queries" ]
+           ~doc:"List the queries in flight on the server.")
+  in
+  let kill =
+    Arg.(value & opt (some int) None & info [ "kill" ] ~docv:"QID"
+           ~doc:"Cancel a running query by its qid (from --show-queries).")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Health check.") in
+  let shutdown =
+    Arg.(value & flag & info [ "shutdown" ]
+           ~doc:"Ask the server to drain and exit.")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS"
+           ~doc:"Per-query deadline, applied at admission on the server — \
+                 queue wait counts. Exit 124 on expiry, partial results \
+                 included.")
+  in
+  let wait_watermark =
+    Arg.(value & flag & info [ "wait-watermark" ]
+           ~doc:"Gate the query on all writes staged before it \
+                 (read-your-writes).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS"
+           ~doc:"Client-side receive timeout; a silent server fails the \
+                 call instead of hanging.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the raw response JSON.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print returned graphs.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a gqlsh serve instance: run a query, list or kill \
+             running queries, ping, or shut the server down")
+    Term.(
+      const client_cmd $ addr $ query $ expr $ show_queries $ kill $ ping
+      $ shutdown $ deadline $ wait_watermark $ timeout $ json $ verbose)
+
 let () =
   let info =
     Cmd.info "gqlsh" ~version:"1.0.0"
@@ -777,6 +1101,8 @@ let () =
         stats_term;
         store_term;
         gen_term;
+        serve_term;
+        client_term;
       ]
   in
   (* eval_value, not eval: cmdliner's own CLI-error code is 124, which

@@ -11,7 +11,12 @@
     - [Parse] → 2 (lexical/syntax error, with source position)
     - [Eval] → 3 (pattern derivation, template, typing, evaluation)
     - [Corrupt] → 4 (store integrity: bad magic, CRC mismatch, …)
-    - [Deadline] → 124 (budget stop, mirroring [timeout(1)]) *)
+    - [Deadline] → 124 (budget stop, mirroring [timeout(1)])
+    - [Protocol] → 5 (malformed wire frame or request)
+    - [Unsupported_distributed] → 6 (query shape the sharded router
+      cannot scatter-gather yet — composition, joins, writes)
+    - [Shard_failure] → 7 (a shard died or timed out; the response may
+      still carry the surviving shards' partial results) *)
 
 type t =
   | Usage of string
@@ -19,6 +24,9 @@ type t =
   | Eval of string
   | Corrupt of string
   | Deadline of string
+  | Protocol of string
+  | Unsupported_distributed of string
+  | Shard_failure of string
 
 exception E of t
 
@@ -32,7 +40,18 @@ val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 
 val exit_code : t -> int
-(** The contract above: 1, 2, 3, 4 or 124. *)
+(** The contract above: 1, 2, 3, 4, 5, 6, 7 or 124. *)
+
+val wire_status : t -> string
+(** The stable status string a server puts in a wire response
+    (["usage"], ["parse"], …, ["shard-failure"]). The human-readable
+    message travels separately, so {!of_wire_status} inverts this. *)
+
+val of_wire_status : string -> msg:string -> t option
+(** Rebuild the taxonomy value a client should exit through from a
+    wire status plus the response's error message. [None] for unknown
+    statuses (a newer server — treat as [Protocol]). [Parse] loses its
+    position (0:0): the server already rendered it into [msg]. *)
 
 val classify : exn -> t option
 (** Map a known exception from any layer onto the taxonomy:

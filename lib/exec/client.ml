@@ -1,0 +1,122 @@
+module Error = Gql_core.Error
+
+type t = {
+  c_addr : string;
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let parse_addr s =
+  if String.length s >= 5 && String.sub s 0 5 = "unix:" then
+    Unix.ADDR_UNIX (String.sub s 5 (String.length s - 5))
+  else if String.contains s '/' then Unix.ADDR_UNIX s
+  else
+    match String.rindex_opt s ':' with
+    | None ->
+      Error.raise_
+        (Error.Usage
+           (Printf.sprintf "bad address %S (want unix:PATH or HOST:PORT)" s))
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | None ->
+        Error.raise_ (Error.Usage (Printf.sprintf "bad port in address %S" s))
+      | Some port -> (
+        let host = if host = "" then "127.0.0.1" else host in
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ ->
+          Unix.ADDR_INET (ip, port)
+        | _ ->
+          Error.raise_
+            (Error.Usage (Printf.sprintf "cannot resolve host %S" host))))
+
+(* A peer that died between our read and write would otherwise deliver
+   SIGPIPE and kill the process; ignored, the write fails with EPIPE
+   and surfaces as a typed shard/protocol error. *)
+let ignore_sigpipe =
+  lazy
+    (if Sys.os_type = "Unix" then
+       Sys.set_signal Sys.sigpipe Sys.Signal_ignore)
+
+let connect ?timeout addr_s =
+  Lazy.force ignore_sigpipe;
+  let sockaddr = parse_addr addr_s in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Unix.close fd;
+    Error.raise_
+      (Error.Usage
+         (Printf.sprintf "cannot connect to %s: %s" addr_s
+            (Unix.error_message e))));
+  Option.iter (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s) timeout;
+  { c_addr = addr_s; fd; next_id = 0; closed = false }
+
+let addr t = t.c_addr
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let call t req =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let req =
+    (* stamp the connection's own id so responses match up *)
+    match req with
+    | Protocol.Query q -> Protocol.Query { q with q_id = id }
+    | Protocol.Show_queries _ -> Protocol.Show_queries { q_id = id }
+    | Protocol.Kill k -> Protocol.Kill { k with q_id = id }
+    | Protocol.Ping _ -> Protocol.Ping { q_id = id }
+    | Protocol.Shutdown _ -> Protocol.Shutdown { q_id = id }
+  in
+  (match
+     Protocol.write_frame t.fd (Protocol.Json.to_string (Protocol.request_to_json req))
+   with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error.raise_
+      (Error.Shard_failure
+         (Printf.sprintf "%s: send failed: %s" t.c_addr (Unix.error_message e))));
+  match Protocol.read_frame t.fd with
+  | Ok payload -> (
+    match Protocol.Json.parse payload with
+    | Ok json -> json
+    | Error msg ->
+      Error.raise_
+        (Error.Protocol (Printf.sprintf "%s: bad response JSON: %s" t.c_addr msg)))
+  | Error fe ->
+    Error.raise_
+      (Error.Protocol
+         (Printf.sprintf "%s: %s" t.c_addr (Protocol.frame_error_to_string fe)))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+    ->
+    Error.raise_
+      (Error.Shard_failure (Printf.sprintf "%s: receive timed out" t.c_addr))
+  | exception Unix.Unix_error (e, _, _) ->
+    Error.raise_
+      (Error.Shard_failure
+         (Printf.sprintf "%s: receive failed: %s" t.c_addr (Unix.error_message e)))
+
+let query t ?deadline ?(wait_watermark = false) src =
+  let json =
+    call t
+      (Protocol.Query
+         {
+           q_id = 0;
+           q_src = src;
+           q_deadline = deadline;
+           q_wait_watermark = wait_watermark;
+         })
+  in
+  match Protocol.query_response_of_json json with
+  | Ok r -> r
+  | Error msg ->
+    Error.raise_
+      (Error.Protocol (Printf.sprintf "%s: bad query response: %s" t.c_addr msg))

@@ -1,0 +1,44 @@
+(** Wire-protocol client connection — shared by [gqlsh client], the
+    {!Router}'s shard links, the bench load generator and the tests.
+
+    Not thread-safe: one connection per thread (the protocol is
+    strictly request/response per connection). *)
+
+type t
+
+val parse_addr : string -> Unix.sockaddr
+(** Address syntax: ["unix:PATH"], any string containing ['/'] (a
+    socket path), or ["HOST:PORT"]. Raises [Error.E (Usage _)] on a
+    malformed address or unresolvable host. *)
+
+val connect : ?timeout:float -> string -> t
+(** Connect to an address (see {!parse_addr}). [timeout] sets
+    [SO_RCVTIMEO] — every subsequent receive on this connection fails
+    with [Unix_error (EAGAIN, _, _)] after that many seconds, which
+    {!call} surfaces as [Error.Shard_failure]. Raises
+    [Error.E (Usage _)] when the connection is refused. *)
+
+val call : t -> Protocol.request -> Protocol.Json.t
+(** Send one request, wait for the matching response (by id), parse it.
+    Failures are typed: a torn/corrupt frame or unparseable response
+    raises [Error.E (Protocol _)]; a receive timeout or dropped
+    connection raises [Error.E (Shard_failure _)]. *)
+
+val query :
+  t ->
+  ?deadline:float ->
+  ?wait_watermark:bool ->
+  string ->
+  Protocol.query_response
+(** {!call} specialised to a query request. *)
+
+val addr : t -> string
+(** The address string this connection was opened with. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val ignore_sigpipe : unit Lazy.t
+(** Forcing it installs [Signal_ignore] for SIGPIPE (once), so a dead
+    peer turns writes into EPIPE errors instead of killing the process.
+    {!connect} and [Server.create] force it. *)

@@ -1,0 +1,132 @@
+(** The gqlsh wire protocol: length-prefixed NDJSON frames.
+
+    One frame carries one request or one response — a single JSON
+    document, by convention on one line. The 16-byte header is
+    self-validating so a desynchronized or corrupted stream is detected
+    before any payload is trusted:
+
+    {v
+    offset  size  field
+    0       4     magic "GQW1"
+    4       4     payload length, big-endian u32
+    8       4     CRC32 of the payload
+    12      4     CRC32 of header bytes 0..11
+    16      len   payload (one JSON document, UTF-8)
+    v}
+
+    The length field is validated against [max_frame] {e before} any
+    payload allocation, so a hostile or garbage header cannot make the
+    server allocate gigabytes. Every decode failure is a typed
+    {!frame_error}; readers map it onto [Error.Protocol] (exit 5). *)
+
+val default_max_frame : int
+(** 16 MiB. *)
+
+val crc32 : ?crc:int -> string -> int
+(** Standard CRC-32 (IEEE 802.3), chainable via [?crc]. *)
+
+type frame_error =
+  | Torn  (** stream ended inside a header or payload *)
+  | Bad_magic
+  | Oversized of { len : int; max : int }
+  | Header_crc_mismatch
+  | Payload_crc_mismatch
+
+val frame_error_to_string : frame_error -> string
+
+val encode : string -> string
+(** Frame a payload: header + payload, ready to write. *)
+
+val decode : ?max_frame:int -> ?off:int -> string -> (string * int, frame_error) result
+(** Decode one frame starting at [off] (default 0): [Ok (payload, next)]
+    where [next] is the offset just past the frame. Pure — the
+    property-tested core of the fd reader. *)
+
+val read_frame : ?max_frame:int -> Unix.file_descr -> (string, frame_error) result
+(** Blocking read of one frame. [Error Torn] on EOF (clean EOF between
+    frames included — the caller distinguishes by position if it needs
+    to). Unix errors (e.g. a receive timeout) propagate as
+    [Unix.Unix_error]. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and write a payload, handling short writes. *)
+
+(** {1 Minimal JSON}
+
+    The protocol needs a parser (requests arrive as text) and the repo
+    bakes in no JSON dependency, so here is the smallest useful one:
+    objects, arrays, strings (with escapes), ints, floats, booleans,
+    null. Integers that fit are kept exact. *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  (** Whole-string parse (trailing garbage is an error). *)
+
+  val to_string : t -> string
+  (** Compact single-line rendering — one frame, one line. *)
+
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+
+  val str : t -> string option
+  val int : t -> int option
+  val float : t -> float option
+  val bool : t -> bool option
+  val list : t -> t list option
+end
+
+(** {1 Requests}
+
+    The client-to-server surface. [q_id] is chosen by the client and
+    echoed in the response, so a client can pipeline requests on one
+    connection and match answers. *)
+
+type request =
+  | Query of {
+      q_id : int;
+      q_src : string;  (** the program text *)
+      q_deadline : float option;  (** seconds, applied at admission *)
+      q_wait_watermark : bool;  (** gate on all previously staged writes *)
+    }
+  | Show_queries of { q_id : int }
+  | Kill of { q_id : int; q_target : int }  (** cancel a live query *)
+  | Ping of { q_id : int }
+  | Shutdown of { q_id : int }
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+val request_id : request -> int
+
+(** {1 Query responses}
+
+    The one response shape the router must interpret to merge shard
+    results; introspection responses ([show queries], [ping]) stay
+    schemaless JSON. [qr_status] is ["ok"] or an [Error.wire_status];
+    ["shard-failure"] responses still carry the surviving shards'
+    graphs — partial results, typed. *)
+
+type query_response = {
+  qr_id : int;  (** echo of the request's [q_id] *)
+  qr_qid : int;  (** server-side query id ([show queries] / [kill]) *)
+  qr_status : string;
+  qr_stopped : string;  (** [Budget.stop_reason_to_string] *)
+  qr_error : string option;
+  qr_graphs : string list;  (** rendered returned graphs *)
+  qr_vars : int;
+  qr_writes : int;
+  qr_wall_ms : float;
+  qr_shards_ok : int;  (** router only; 1 on a plain server *)
+  qr_shards_failed : string list;  (** router only: dead shard addrs *)
+}
+
+val query_response_to_json : query_response -> Json.t
+val query_response_of_json : Json.t -> (query_response, string) result

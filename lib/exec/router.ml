@@ -1,0 +1,143 @@
+module Ast = Gql_core.Ast
+module Error = Gql_core.Error
+
+(* One wire connection per shard, shared by every front-end connection
+   thread — the per-connection mutex keeps request/response frames from
+   interleaving. Scatter still overlaps across shards (the point); two
+   front-end queries serialize per shard, bounded by the receive
+   timeout. *)
+type link = { conn : Client.t; lock : Mutex.t }
+
+type t = { links : link array; timeout : float }
+
+let connect ?(timeout = 30.0) addrs =
+  if addrs = [] then Error.raise_ (Error.Usage "router needs at least one shard");
+  {
+    links =
+      Array.of_list
+        (List.map
+           (fun a -> { conn = Client.connect ~timeout a; lock = Mutex.create () })
+           addrs);
+    timeout;
+  }
+
+let shards t = Array.to_list (Array.map (fun l -> Client.addr l.conn) t.links)
+
+let close t = Array.iter (fun l -> Client.close l.conn) t.links
+
+(* Union merge is sound exactly when every statement is an independent
+   selection over the (partitioned) collection: each shard contributes
+   the matches of its slice and no statement consumes another's output.
+   Pattern declarations are pure names — broadcast freely. Everything
+   that builds cross-statement state stays single-process for now. *)
+let check program =
+  let rec go = function
+    | [] -> Ok ()
+    | Ast.Sgraph _ :: rest -> go rest
+    | Ast.Sflwr { Ast.f_body = Ast.Return (Ast.Tgraph _); _ } :: rest -> go rest
+    | Ast.Sflwr { Ast.f_body = Ast.Return (Ast.Tvar v); _ } :: _ ->
+      Error
+        (Printf.sprintf
+           "return of variable %S — composition needs cross-shard state" v)
+    | Ast.Sflwr { Ast.f_body = Ast.Let (v, _); _ } :: _ ->
+      Error (Printf.sprintf "let %s — folds accumulate across shards" v)
+    | Ast.Sassign (c, _) :: _ ->
+      Error (Printf.sprintf "assignment to %s — composition/join" c)
+    | Ast.Sdml _ :: _ -> Error "DML — writes route by key, not scatter-gather"
+    | Ast.Spath _ :: _ -> Error "path query — paths can cross partition bounds"
+  in
+  go program
+
+(* Scatter: one thread per shard (Client connections are synchronous
+   and single-owner). Gather never blocks past the receive timeout each
+   connection was opened with — a hung shard turns into a typed
+   [Shard_failure] result, not a hang. *)
+let scatter t (mk_req : int -> Protocol.request) =
+  let n = Array.length t.links in
+  let out = Array.make n (Error "not run") in
+  let worker i =
+    let link = t.links.(i) in
+    out.(i) <-
+      (Mutex.lock link.lock;
+       Fun.protect
+         ~finally:(fun () -> Mutex.unlock link.lock)
+         (fun () ->
+           match Client.call link.conn (mk_req i) with
+           | json -> Ok json
+           | exception Error.E e -> Error (Error.to_string e)
+           | exception e -> Error (Printexc.to_string e)))
+  in
+  let threads = Array.init n (fun i -> Thread.create worker i) in
+  Array.iter Thread.join threads;
+  out
+
+let broadcast t req =
+  let out = scatter t (fun _ -> req) in
+  Array.to_list
+    (Array.mapi (fun i r -> (Client.addr t.links.(i).conn, r)) out)
+
+let query t ?deadline ?(wait_watermark = false) src =
+  (* parse locally first: a malformed query is the client's error and
+     should not cost a round trip per shard *)
+  let program = Gql_core.Gql.parse_program src in
+  (match check program with
+  | Ok () -> ()
+  | Error why -> Error.raise_ (Error.Unsupported_distributed why));
+  let req _ =
+    Protocol.Query
+      { q_id = 0; q_src = src; q_deadline = deadline; q_wait_watermark = wait_watermark }
+  in
+  let answers = scatter t req in
+  let ok = ref [] and failed = ref [] in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok json -> (
+        match Protocol.query_response_of_json json with
+        | Ok qr -> ok := (i, qr) :: !ok
+        | Error msg ->
+          failed :=
+            (Client.addr t.links.(i).conn ^ ": bad response: " ^ msg) :: !failed)
+      | Error msg -> failed := (Client.addr t.links.(i).conn ^ ": " ^ msg) :: !failed)
+    answers;
+  let ok = List.rev !ok and failed = List.rev !failed in
+  if ok = [] then
+    Error.raise_
+      (Error.Shard_failure
+         (Printf.sprintf "no shard answered: %s" (String.concat "; " failed)));
+  (* a shard that ran but errored (parse/eval/deadline) poisons the
+     merge with its own status: partial algebra results for a query
+     that failed somewhere are not a correct union *)
+  let first_error =
+    List.find_opt (fun (_, qr) -> qr.Protocol.qr_status <> "ok") ok
+  in
+  let status, error =
+    match first_error with
+    | Some (_, qr) -> (qr.Protocol.qr_status, qr.Protocol.qr_error)
+    | None ->
+      if failed = [] then ("ok", None)
+      else
+        ( "shard-failure",
+          Some
+            (Printf.sprintf "%d/%d shards failed: %s" (List.length failed)
+               (Array.length t.links)
+               (String.concat "; " failed)) )
+  in
+  {
+    Protocol.qr_id = 0;
+    qr_qid = -1;
+    qr_status = status;
+    qr_stopped =
+      List.fold_left
+        (fun acc (_, qr) -> if qr.Protocol.qr_stopped <> "exhausted" then qr.Protocol.qr_stopped else acc)
+        "exhausted" ok;
+    qr_error = error;
+    qr_graphs = List.concat_map (fun (_, qr) -> qr.Protocol.qr_graphs) ok;
+    qr_vars = List.fold_left (fun acc (_, qr) -> acc + qr.Protocol.qr_vars) 0 ok;
+    qr_writes =
+      List.fold_left (fun acc (_, qr) -> acc + qr.Protocol.qr_writes) 0 ok;
+    qr_wall_ms =
+      List.fold_left (fun acc (_, qr) -> Float.max acc qr.Protocol.qr_wall_ms) 0.0 ok;
+    qr_shards_ok = List.length ok;
+    qr_shards_failed = failed;
+  }

@@ -1,0 +1,54 @@
+(** Scatter-gather over shard servers.
+
+    Each shard is a [gqlsh serve --partition i/n] process holding the
+    disjoint slice of the document collection with positions ≡ i mod n,
+    so a selection query sent to every shard touches each graph exactly
+    once and the results merge by the algebra's union — plain
+    concatenation, no coordination. That merge is only sound for
+    queries whose statements are independent selections; {!check}
+    rejects anything else with a typed [Unsupported_distributed].
+
+    Failure semantics: a shard that is dead, hung past the receive
+    timeout, or answering garbage is {e degraded}, never waited on
+    forever — the merged response carries the surviving shards'
+    graphs with status ["shard-failure"] and the dead shards' addresses
+    in [qr_shards_failed]. Only when {e every} shard fails does
+    {!query} raise. *)
+
+type t
+
+val connect : ?timeout:float -> string list -> t
+(** Open a connection to each shard address. [timeout] (default 30 s)
+    is the per-shard receive timeout — the hung-shard bound. Raises
+    [Error.E (Usage _)] if any shard is unreachable at startup (a
+    router with a dead shard at boot is a config error; death {e after}
+    boot is the degradation path). *)
+
+val check : Gql_core.Ast.program -> (unit, string) result
+(** Distributability: only pattern declarations and [return]-bodied
+    selection statements. Composition ([C := ...], [let]-folds,
+    variable-reference templates), DML and path queries need state that
+    spans shards — [Error] explains which construct. *)
+
+val query :
+  t ->
+  ?deadline:float ->
+  ?wait_watermark:bool ->
+  string ->
+  Protocol.query_response
+(** Parse (raising [Error.E (Parse _)] on bad text — no shard sees a
+    malformed query), {!check} (raising [Unsupported_distributed]),
+    then scatter to all shards concurrently and merge: graphs
+    concatenated in shard order, counters summed, [qr_wall_ms] the
+    slowest shard. A shard answering with an error status poisons the
+    merged response with that same status (first in shard order).
+    Raises [Error.E (Shard_failure _)] only when no shard answered. *)
+
+val broadcast :
+  t -> Protocol.request -> (string * (Protocol.Json.t, string) result) list
+(** Send the same request to every shard (concurrently), returning
+    per-shard address-tagged results — [show queries] aggregation and
+    [shutdown] fan-out. Never raises; failures are per-shard [Error]s. *)
+
+val shards : t -> string list
+val close : t -> unit

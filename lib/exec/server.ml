@@ -1,0 +1,382 @@
+module Budget = Gql_matcher.Budget
+module Error = Gql_core.Error
+module Eval = Gql_core.Eval
+module Algebra = Gql_core.Algebra
+module Json = Protocol.Json
+
+type mode =
+  | Local of Service.t
+  | Routed of Router.t
+
+type t = {
+  mode : mode;
+  sessions : Session.t;
+  max_frame : int;
+  log : string -> unit;
+  listen_fd : Unix.file_descr;
+  addr : string;
+  (* connection registry, so [stop] can unblock handler threads
+     parked in [read_frame] on idle connections *)
+  c_mutex : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  stopping : bool Atomic.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let render_graphs result =
+  match result.Eval.last with
+  | None -> []
+  | Some coll ->
+    List.map
+      (fun g -> Format.asprintf "%a" Gql_graph.Graph.pp g)
+      (Algebra.graphs coll)
+
+let create ?(max_inflight = 64) ?(max_frame = Protocol.default_max_frame)
+    ?(log = fun _ -> ()) mode ~addr =
+  Lazy.force Client.ignore_sigpipe;
+  let sockaddr = Client.parse_addr addr in
+  (match sockaddr with
+  | Unix.ADDR_UNIX path when Sys.file_exists path -> Unix.unlink path
+  | _ -> ());
+  let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd 64
+   with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error.raise_
+      (Error.Usage
+         (Printf.sprintf "cannot listen on %s: %s" addr (Unix.error_message e))));
+  {
+    mode;
+    sessions = Session.create ~max_inflight ();
+    max_frame;
+    log;
+    listen_fd = fd;
+    addr;
+    c_mutex = Mutex.create ();
+    conns = [];
+    threads = [];
+    stopping = Atomic.make false;
+  }
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    t.log (Printf.sprintf "stopping listener on %s" t.addr);
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+  end
+
+(* --- responses -------------------------------------------------------------- *)
+
+let send fd json = Protocol.write_frame fd (Json.to_string json)
+
+let error_response id err =
+  Json.Obj
+    [
+      ("id", Json.Int id);
+      ("status", Json.Str (Error.wire_status err));
+      ("error", Json.Str (Error.to_string err));
+    ]
+
+let ok_response id fields =
+  Json.Obj (("id", Json.Int id) :: ("status", Json.Str "ok") :: fields)
+
+(* One response = one frame. A killed or budget-stopped exhaustive query
+   can be holding an unbounded pile of partial result graphs; rendering
+   them all would produce a frame the peer must reject as oversized (and
+   then drop the connection, since the stream cannot be resynchronized).
+   Keep the prefix that fits comfortably — half the frame budget, which
+   leaves room for JSON string escaping — and record the drop in the
+   error field. *)
+let fit_frame t resp =
+  let budget = (t.max_frame / 2) - 4096 in
+  let rec take acc bytes dropped = function
+    | [] -> (List.rev acc, dropped)
+    | g :: rest ->
+      let bytes = bytes + String.length g + 16 in
+      if bytes > budget then (List.rev acc, dropped + 1 + List.length rest)
+      else take (g :: acc) bytes dropped rest
+  in
+  let kept, dropped = take [] 0 0 resp.Protocol.qr_graphs in
+  if dropped = 0 then resp
+  else begin
+    t.log
+      (Printf.sprintf "response truncated: %d graph(s) over the frame limit"
+         dropped);
+    let note =
+      Printf.sprintf
+        "%d graph(s) dropped: response would exceed the %d-byte frame limit"
+        dropped t.max_frame
+    in
+    {
+      resp with
+      Protocol.qr_graphs = kept;
+      qr_error =
+        Some
+          (match resp.Protocol.qr_error with
+          | Some e -> e ^ "; " ^ note
+          | None -> note);
+    }
+  end
+
+(* --- local dispatch --------------------------------------------------------- *)
+
+let run_local t svc ~session ~id ~src ~deadline ~wait_watermark =
+  let cancel = Budget.token () in
+  let after = if wait_watermark then Some (Service.watermark svc) else None in
+  let qid = Service.submit svc ?deadline ~cancel ?after src in
+  (match
+     Session.register t.sessions ~session ~qid ~src ~deadline ~cancel
+   with
+  | Ok () -> ()
+  | Error why ->
+    (* over max-inflight: the job is already queued, so cancel it and
+       let its (rejected) outcome flow through the normal wait — the
+       client gets the typed admission error, the pool stays clean *)
+    Budget.cancel cancel;
+    ignore (Service.wait svc qid);
+    Error.raise_ (Error.Usage why));
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Session.finish t.sessions ~qid)
+      (fun () -> Service.wait svc qid)
+  in
+  let base status stopped error graphs vars writes =
+    {
+      Protocol.qr_id = id;
+      qr_qid = qid;
+      qr_status = status;
+      qr_stopped = Budget.stop_reason_to_string stopped;
+      qr_error = error;
+      qr_graphs = graphs;
+      qr_vars = vars;
+      qr_writes = writes;
+      qr_wall_ms = outcome.Service.o_wall_ms;
+      qr_shards_ok = 1;
+      qr_shards_failed = [];
+    }
+  in
+  match outcome.Service.o_status with
+  | Service.Done result -> (
+    match Error.of_stop_reason result.Eval.stopped "query" with
+    | None ->
+      base "ok" result.Eval.stopped None (render_graphs result)
+        (List.length result.Eval.vars) result.Eval.writes
+    | Some err ->
+      (* resource stop: typed status, but the partial results still
+         travel — the client decides whether truncated is useful *)
+      base (Error.wire_status err) result.Eval.stopped
+        (Some (Error.to_string err))
+        (render_graphs result)
+        (List.length result.Eval.vars) result.Eval.writes)
+  | Service.Rejected reason ->
+    let err =
+      Option.value
+        (Error.of_stop_reason reason "query (before start)")
+        ~default:(Error.Deadline "query rejected at admission")
+    in
+    base (Error.wire_status err) reason (Some (Error.to_string err)) [] 0 0
+  | Service.Failed err ->
+    base (Error.wire_status err) Budget.Exhausted
+      (Some (Error.to_string err))
+      [] 0 0
+
+let queries_json entries =
+  let now = Unix.gettimeofday () in
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("qid", Json.Int e.Session.e_qid);
+             ("session", Json.Int e.Session.e_session);
+             ("age_ms", Json.Float ((now -. e.Session.e_submitted) *. 1000.0));
+             ( "deadline",
+               match e.Session.e_deadline with
+               | Some d -> Json.Float d
+               | None -> Json.Null );
+             ("query", Json.Str e.Session.e_src);
+           ])
+       entries)
+
+(* --- routed dispatch -------------------------------------------------------- *)
+
+(* Merge the shards' [show queries] answers, tagging each entry with
+   its shard; a dead shard contributes an error marker, not a hang. *)
+let routed_show router id =
+  let per_shard = Router.broadcast router (Protocol.Show_queries { q_id = id }) in
+  let entries =
+    List.concat_map
+      (fun (addr, r) ->
+        match r with
+        | Ok json -> (
+          match Option.bind (Json.member "queries" json) Json.list with
+          | Some qs ->
+            List.map
+              (fun q ->
+                match q with
+                | Json.Obj fields ->
+                  Json.Obj (("shard", Json.Str addr) :: fields)
+                | other -> other)
+              qs
+          | None -> [])
+        | Error msg ->
+          [ Json.Obj [ ("shard", Json.Str addr); ("error", Json.Str msg) ] ])
+      per_shard
+  in
+  ok_response id [ ("queries", Json.List entries) ]
+
+let routed_kill router id target =
+  let per_shard =
+    Router.broadcast router (Protocol.Kill { q_id = id; q_target = target })
+  in
+  let killed =
+    List.exists
+      (fun (_, r) ->
+        match r with
+        | Ok json ->
+          Option.value ~default:false
+            (Option.bind (Json.member "killed" json) Json.bool)
+        | Error _ -> false)
+      per_shard
+  in
+  ok_response id [ ("killed", Json.Bool killed) ]
+
+(* --- the per-connection loop ------------------------------------------------ *)
+
+let dispatch t ~session ~fd req =
+  let id = Protocol.request_id req in
+  match (req, t.mode) with
+  | Protocol.Ping _, Local _ -> send fd (ok_response id [ ("pong", Json.Bool true) ])
+  | Protocol.Ping _, Routed router ->
+    let alive =
+      Router.broadcast router (Protocol.Ping { q_id = id })
+      |> List.filter (fun (_, r) -> Result.is_ok r)
+      |> List.length
+    in
+    send fd
+      (ok_response id
+         [ ("pong", Json.Bool true); ("shards_alive", Json.Int alive) ])
+  | Protocol.Query { q_src; q_deadline; q_wait_watermark; _ }, Local svc -> (
+    match
+      run_local t svc ~session ~id ~src:q_src ~deadline:q_deadline
+        ~wait_watermark:q_wait_watermark
+    with
+    | resp -> send fd (Protocol.query_response_to_json (fit_frame t resp))
+    | exception Error.E err -> send fd (error_response id err))
+  | Protocol.Query { q_src; q_deadline; q_wait_watermark; _ }, Routed router -> (
+    match
+      Router.query router ?deadline:q_deadline
+        ~wait_watermark:q_wait_watermark q_src
+    with
+    | resp ->
+      send fd
+        (Protocol.query_response_to_json
+           (fit_frame t { resp with Protocol.qr_id = id }))
+    | exception Error.E err -> send fd (error_response id err))
+  | Protocol.Show_queries _, Local _ ->
+    send fd
+      (ok_response id [ ("queries", queries_json (Session.list t.sessions)) ])
+  | Protocol.Show_queries _, Routed router -> send fd (routed_show router id)
+  | Protocol.Kill { q_target; _ }, Local _ ->
+    let killed = Session.kill t.sessions ~qid:q_target in
+    t.log (Printf.sprintf "kill query %d -> %b" q_target killed);
+    send fd (ok_response id [ ("killed", Json.Bool killed) ])
+  | Protocol.Kill { q_target; _ }, Routed router ->
+    send fd (routed_kill router id q_target)
+  | Protocol.Shutdown _, mode ->
+    t.log "shutdown requested";
+    (match mode with
+    | Routed router ->
+      ignore (Router.broadcast router (Protocol.Shutdown { q_id = id }))
+    | Local _ -> ());
+    send fd (ok_response id [ ("stopping", Json.Bool true) ]);
+    stop t
+
+let handle_conn t fd =
+  let session = Session.new_session t.sessions in
+  t.log (Printf.sprintf "session %d connected" session);
+  let cleanup () =
+    Session.finish_session t.sessions ~session;
+    locked t.c_mutex (fun () ->
+        t.conns <- List.filter (fun fd' -> fd' != fd) t.conns);
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.log (Printf.sprintf "session %d closed" session)
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match Protocol.read_frame ~max_frame:t.max_frame fd with
+      | Error Protocol.Torn -> () (* client hung up *)
+      | Error fe ->
+        (* a corrupt or oversized frame desynchronizes the stream: answer
+           with the typed error, then drop the connection — there is no
+           way to find the next frame boundary *)
+        (try
+           send fd
+             (error_response 0
+                (Error.Protocol (Protocol.frame_error_to_string fe)))
+         with Unix.Unix_error _ -> ())
+      | Ok payload -> (
+        let req =
+          match Json.parse payload with
+          | Error msg -> Result.Error (Error.Protocol ("bad request JSON: " ^ msg))
+          | Ok json -> (
+            match Protocol.request_of_json json with
+            | Ok req -> Ok req
+            | Error msg -> Result.Error (Error.Protocol msg))
+        in
+        match req with
+        | Error err ->
+          (* a malformed request inside a well-framed payload is
+             recoverable: answer and keep the connection *)
+          (try send fd (error_response 0 err) with Unix.Unix_error _ -> ());
+          loop ()
+        | Ok req -> (
+          match dispatch t ~session ~fd req with
+          | () -> loop ()
+          | exception Unix.Unix_error _ -> () (* client went away mid-answer *)
+          | exception Error.E err ->
+            (try send fd (error_response (Protocol.request_id req) err)
+             with Unix.Unix_error _ -> ());
+            loop ()))
+  in
+  Fun.protect ~finally:cleanup loop
+
+let serve_forever t =
+  t.log (Printf.sprintf "listening on %s" t.addr);
+  let rec accept_loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      locked t.c_mutex (fun () ->
+          t.conns <- fd :: t.conns;
+          t.threads <- Thread.create (fun () -> handle_conn t fd) () :: t.threads);
+      accept_loop ()
+    | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+      ->
+      if Atomic.get t.stopping then () else accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ();
+  (* unblock handler threads parked in read_frame, then join them so
+     in-flight answers finish before we return *)
+  let conns = locked t.c_mutex (fun () -> t.conns) in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    conns;
+  let threads = locked t.c_mutex (fun () -> t.threads) in
+  List.iter Thread.join threads;
+  (match t.mode with
+  | Routed router -> Router.close router
+  | Local _ -> ());
+  t.log "server stopped"

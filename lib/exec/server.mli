@@ -1,0 +1,47 @@
+(** The query server: a socket listener speaking the {!Protocol} wire
+    format, one thread per client connection, all queries executed by
+    one shared {!Service} pool.
+
+    Two modes share the listener and dispatch loop:
+    - {b shard} (default): queries run on the local Service;
+    - {b router}: queries scatter-gather through a {!Router} to shard
+      servers, and [show queries] / [kill] / [shutdown] broadcast.
+
+    Threads (POSIX, not domains) carry connections: they spend their
+    lives blocked in [read_frame] or [Service.wait], so they interleave
+    with the Service's worker domains without competing for cores. A
+    [kill] or [show queries] arriving on one connection acts on queries
+    running for another — that is the point. *)
+
+type mode =
+  | Local of Service.t
+  | Routed of Router.t
+
+type t
+
+val create :
+  ?max_inflight:int ->
+  ?max_frame:int ->
+  ?log:(string -> unit) ->
+  mode ->
+  addr:string ->
+  t
+(** Bind and listen on [addr] (see {!Client.parse_addr}; an existing
+    unix-socket path is unlinked first). [max_inflight] bounds admitted
+    queries (default 64); [log] receives one line per lifecycle event
+    (connects, kills, shutdown) — default silent. Raises
+    [Error.E (Usage _)] if the address cannot be bound. *)
+
+val serve_forever : t -> unit
+(** Accept loop. Returns after a client's [shutdown] request: the
+    listener closes (no new connections), in-flight queries drain, live
+    connections are told to finish. Also returns on [stop]. *)
+
+val stop : t -> unit
+(** Ask {!serve_forever} to return (thread-safe, idempotent) — what the
+    [shutdown] request calls internally. *)
+
+val render_graphs : Gql_core.Eval.result -> string list
+(** The wire rendering of a result's last returned collection — shared
+    with the single-process path in tests asserting router/local
+    equality. *)

@@ -604,12 +604,12 @@ let create ?jobs ?search_domains ?(quantum = 4096)
   t.domains <- List.init jobs (fun _ -> Domain.spawn (worker t));
   t
 
-let submit t ?deadline ?after src =
+let submit t ?deadline ?cancel ?after src =
   let now = Unix.gettimeofday () in
   let budget =
     match deadline with
-    | None -> Budget.make ()
-    | Some d -> Budget.make ~deadline_at:(now +. d) ()
+    | None -> Budget.make ?cancel ()
+    | Some d -> Budget.make ?cancel ~deadline_at:(now +. d) ()
   in
   (* Reserve log positions for the program's DML statements at submit
      time. A parse failure reserves none — the job fails identically
@@ -658,6 +658,19 @@ let submit t ?deadline ?after src =
   M.incr job.j_metrics M.Exec_queue_submitted;
   push_task t (Fresh job);
   job.j_id
+
+let wait t id =
+  locked t.r_mutex (fun () ->
+      let rec go () =
+        match Hashtbl.find_opt t.results id with
+        | Some o ->
+          Hashtbl.remove t.results id;
+          o
+        | None ->
+          Condition.wait t.r_cond t.r_mutex;
+          go ()
+      in
+      go ())
 
 let drain t =
   let out =

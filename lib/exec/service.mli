@@ -79,9 +79,16 @@ val create :
     job pool leaves idle. Cached (warm-plan) searches use it too; the
     [`Subgraphs] fallback path stays sequential. *)
 
-val submit : t -> ?deadline:float -> ?after:int -> string -> int
+val submit :
+  t -> ?deadline:float -> ?cancel:Gql_matcher.Budget.token -> ?after:int ->
+  string -> int
 (** Enqueue a query (source text), returning its job id. [deadline] is
     in seconds from now, inclusive of queue wait. Never blocks.
+
+    [cancel] threads a cooperative cancellation token into the query's
+    budget: {!Gql_matcher.Budget.cancel} from any domain stops the
+    query at its next poll — this is what the server's
+    [kill query <id>] pulls on.
 
     [after] is a watermark gate: the query does not {e start} until at
     least that many writes have been applied — pass {!watermark}[ t]
@@ -91,6 +98,14 @@ val submit : t -> ?deadline:float -> ?after:int -> string -> int
     pure reads run ungated on the document snapshot current when they
     dequeue. Time spent gated counts [exec.queue.watermark_waits] and
     against the deadline. *)
+
+val wait : t -> int -> outcome
+(** Block until the job with this id (from {!submit}) completes and
+    return its outcome, removing it from the result set — the
+    per-query counterpart of {!drain} a server needs to answer each
+    client as its own query finishes. Waiting twice on the same id, or
+    on an id a concurrent {!drain} already consumed, blocks forever —
+    one consumer per job. *)
 
 val drain : t -> outcome list
 (** Wait for every submitted query to complete and return their

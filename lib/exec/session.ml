@@ -1,0 +1,89 @@
+module Budget = Gql_matcher.Budget
+
+type entry = {
+  e_qid : int;
+  e_session : int;
+  e_src : string;
+  e_submitted : float;
+  e_deadline : float option;
+}
+
+type slot = { s_entry : entry; s_cancel : Budget.token }
+
+type t = {
+  mutex : Mutex.t;
+  max_inflight : int;
+  live : (int, slot) Hashtbl.t;  (* qid -> slot *)
+  mutable next_session : int;
+}
+
+let create ?(max_inflight = 64) () =
+  if max_inflight <= 0 then invalid_arg "Session.create: max_inflight <= 0";
+  {
+    mutex = Mutex.create ();
+    max_inflight;
+    live = Hashtbl.create 64;
+    next_session = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let new_session t =
+  locked t (fun () ->
+      let id = t.next_session in
+      t.next_session <- t.next_session + 1;
+      id)
+
+let register t ~session ~qid ~src ~deadline ~cancel =
+  locked t (fun () ->
+      if Hashtbl.length t.live >= t.max_inflight then
+        Error
+          (Printf.sprintf "server at max in-flight queries (%d)" t.max_inflight)
+      else begin
+        Hashtbl.replace t.live qid
+          {
+            s_entry =
+              {
+                e_qid = qid;
+                e_session = session;
+                e_src = src;
+                e_submitted = Unix.gettimeofday ();
+                e_deadline = deadline;
+              };
+            s_cancel = cancel;
+          };
+        Ok ()
+      end)
+
+let finish t ~qid = locked t (fun () -> Hashtbl.remove t.live qid)
+
+let finish_session t ~session =
+  locked t (fun () ->
+      let mine =
+        Hashtbl.fold
+          (fun qid slot acc ->
+            if slot.s_entry.e_session = session then (qid, slot) :: acc else acc)
+          t.live []
+      in
+      List.iter
+        (fun (qid, slot) ->
+          Budget.cancel slot.s_cancel;
+          Hashtbl.remove t.live qid)
+        mine)
+
+let list t =
+  locked t (fun () ->
+      Hashtbl.fold (fun _ slot acc -> slot.s_entry :: acc) t.live []
+      |> List.sort (fun a b -> compare a.e_qid b.e_qid))
+
+let kill t ~qid =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.live qid with
+      | None -> false
+      | Some slot ->
+        Budget.cancel slot.s_cancel;
+        true)
+
+let inflight t = locked t (fun () -> Hashtbl.length t.live)

@@ -1,0 +1,57 @@
+(** The server's live-query registry: what [show queries] lists and
+    [kill query <id>] acts on.
+
+    One registry per server. Every admitted query is {!register}ed with
+    its cancellation token before it is submitted to the {!Service}
+    pool and {!finish}ed when its outcome arrives, so a concurrent
+    connection observes exactly the in-flight set. Thread-safe — the
+    server runs one thread per client connection. *)
+
+type entry = {
+  e_qid : int;  (** the Service job id — what [kill] takes *)
+  e_session : int;  (** owning client connection *)
+  e_src : string;
+  e_submitted : float;  (** [Unix.gettimeofday] at admission *)
+  e_deadline : float option;  (** seconds granted at admission *)
+}
+
+type t
+
+val create : ?max_inflight:int -> unit -> t
+(** [max_inflight] (default 64) bounds the whole server's concurrently
+    admitted queries — admission control before the Service queue, so a
+    client flood fails fast with a typed error instead of growing an
+    unbounded queue. *)
+
+val new_session : t -> int
+(** Allocate a session id for a freshly accepted connection. *)
+
+val register :
+  t ->
+  session:int ->
+  qid:int ->
+  src:string ->
+  deadline:float option ->
+  cancel:Gql_matcher.Budget.token ->
+  (unit, string) result
+(** Admit a query. [Error] when the server is at [max_inflight] — the
+    caller maps it onto a wire [Usage] response without submitting. *)
+
+val finish : t -> qid:int -> unit
+(** Remove a completed query (idempotent). *)
+
+val finish_session : t -> session:int -> unit
+(** Connection teardown: cancel and remove every query the session
+    still has in flight, so a client that disconnects mid-query does
+    not leave work running. *)
+
+val list : t -> entry list
+(** Live entries, oldest first. *)
+
+val kill : t -> qid:int -> bool
+(** Cancel a live query's token; [false] if the id is not in flight
+    (already finished, or never existed). The query itself surfaces as
+    a [Cancelled] budget stop through its normal completion path —
+    {!finish} still runs. *)
+
+val inflight : t -> int

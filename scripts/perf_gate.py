@@ -12,9 +12,14 @@ Design choices, deliberately conservative for shared CI runners:
   when it is regenerated), and removed ones are ignored.
 - Only leaves whose key ends in `_ms` or `_ns`, or that live under the
   `micro.bechamel_ns` experiment, count as timings. Ratios, counts and
-  speedup factors are not gated here.
-- Baseline values below a noise floor (0.5 ms / 500 ns) are skipped:
-  sub-millisecond timers on a noisy VM produce meaningless ratios.
+  speedup factors are not gated here. Latency-percentile cells
+  (`*_p50_ms` / `*_p95_ms` / `*_p99_ms`, from the serve load harness)
+  are timings too, compared path-matched like the rest.
+- Baseline values below a noise floor are skipped: sub-millisecond
+  timers on a noisy VM produce meaningless ratios. The floor is 0.5 ms
+  / 500 ns for plain timings and 1.0 ms for percentile cells — tail
+  percentiles of a multi-client run carry scheduler jitter on top of
+  timer noise.
 - The threshold is loose (3x) on purpose: this gate catches
   order-of-magnitude regressions (an accidentally quadratic loop, a
   dropped index), not 10% drift.
@@ -67,7 +72,16 @@ def is_timing(path):
     )
 
 
+PERCENTILE_RE = re.compile(r"_p\d+_ms$")
+
+
+def is_percentile(path):
+    return bool(PERCENTILE_RE.search(path[-1]))
+
+
 def noise_floor(path):
+    if is_percentile(path):
+        return 1.0
     return 500.0 if (path[-1].endswith("_ns") or path[0] == "micro.bechamel_ns") else 0.5
 
 

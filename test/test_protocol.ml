@@ -1,0 +1,317 @@
+(* The wire codec: frame round-trips (QCheck over arbitrary payloads,
+   NUL bytes included), torn/truncated prefixes, the oversized guard,
+   header/payload CRC corruption, the minimal JSON, request/response
+   round-trips — and one live unix-socket session against a real server
+   thread. Mirrors the storage-recovery suite's style: every corruption
+   is a typed error, never an exception or a wrong payload. *)
+
+module Protocol = Gql_exec.Protocol
+module Json = Protocol.Json
+module Error = Gql_core.Error
+
+let frame_error = function
+  | Protocol.Torn -> "torn"
+  | Protocol.Bad_magic -> "bad-magic"
+  | Protocol.Oversized _ -> "oversized"
+  | Protocol.Header_crc_mismatch -> "header-crc"
+  | Protocol.Payload_crc_mismatch -> "payload-crc"
+
+let decode_exn s =
+  match Protocol.decode s with
+  | Ok (payload, next) -> (payload, next)
+  | Error e -> Alcotest.failf "decode failed: %s" (frame_error e)
+
+(* --- framing -------------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"frame round-trip for arbitrary payloads" ~count:500
+    QCheck.(string_gen QCheck.Gen.(char_range '\000' '\255'))
+    (fun payload ->
+      let payload', next = decode_exn (Protocol.encode payload) in
+      payload' = payload && next = 16 + String.length payload)
+
+let prop_chained =
+  QCheck.Test.make ~name:"two frames decode in sequence" ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      let s = Protocol.encode a ^ Protocol.encode b in
+      let a', next = decode_exn s in
+      let b', next' = decode_exn (String.sub s next (String.length s - next)) in
+      a' = a && b' = b && next + next' = String.length s)
+
+let prop_torn_prefix =
+  (* every strict prefix of a frame is Torn — never Ok, never a crash *)
+  QCheck.Test.make ~name:"every strict prefix is torn" ~count:100
+    QCheck.small_string
+    (fun payload ->
+      let s = Protocol.encode payload in
+      List.for_all
+        (fun n ->
+          match Protocol.decode (String.sub s 0 n) with
+          | Error Protocol.Torn -> true
+          | _ -> false)
+        (List.init (String.length s) Fun.id))
+
+let test_oversized () =
+  let s = Protocol.encode (String.make 100 'x') in
+  match Protocol.decode ~max_frame:50 s with
+  | Error (Protocol.Oversized { len = 100; max = 50 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (frame_error e)
+  | Ok _ -> Alcotest.fail "oversized frame decoded"
+
+let test_oversized_header_rejected_before_payload () =
+  (* a hostile header claiming 2 GiB must be rejected from the 16
+     header bytes alone — no payload needs to exist, no allocation *)
+  let huge = Protocol.encode "" in
+  let h = Bytes.of_string (String.sub huge 0 16) in
+  Bytes.set h 4 '\x7f';
+  (* break the length; the header CRC now mismatches, which is the
+     right rejection — a corrupted length is indistinguishable from a
+     corrupted CRC, and both refuse before trusting the length *)
+  match Protocol.decode (Bytes.to_string h) with
+  | Error (Protocol.Header_crc_mismatch | Protocol.Oversized _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (frame_error e)
+  | Ok _ -> Alcotest.fail "corrupt header decoded"
+
+let test_bad_magic () =
+  let s = Protocol.encode "hello" in
+  let b = Bytes.of_string s in
+  Bytes.set b 0 'X';
+  match Protocol.decode (Bytes.to_string b) with
+  | Error Protocol.Bad_magic -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (frame_error e)
+  | Ok _ -> Alcotest.fail "bad magic decoded"
+
+let prop_corrupt_never_ok =
+  (* flip any single byte of a frame: decode must never return Ok with
+     a payload different from the original *)
+  QCheck.Test.make ~name:"single-byte corruption never yields a wrong payload"
+    ~count:300
+    QCheck.(pair small_string (pair small_nat char))
+    (fun (payload, (pos, c)) ->
+      let s = Protocol.encode payload in
+      let pos = pos mod String.length s in
+      QCheck.assume (s.[pos] <> c);
+      let b = Bytes.of_string s in
+      Bytes.set b pos c;
+      match Protocol.decode (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok (payload', _) -> payload' = payload)
+
+let test_header_crc () =
+  let s = Protocol.encode "payload" in
+  let b = Bytes.of_string s in
+  (* corrupt the length field: the header CRC must catch it *)
+  Bytes.set b 7 (Char.chr (Char.code (Bytes.get b 7) lxor 0x01));
+  match Protocol.decode (Bytes.to_string b) with
+  | Error Protocol.Header_crc_mismatch -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (frame_error e)
+  | Ok _ -> Alcotest.fail "corrupt header decoded"
+
+let test_payload_crc () =
+  let s = Protocol.encode "payload" in
+  let b = Bytes.of_string s in
+  Bytes.set b 18 'X';
+  match Protocol.decode (Bytes.to_string b) with
+  | Error Protocol.Payload_crc_mismatch -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (frame_error e)
+  | Ok _ -> Alcotest.fail "corrupt payload decoded"
+
+(* --- JSON ------------------------------------------------------------------ *)
+
+let rec json_eq a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> Float.abs (x -. y) < 1e-9
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_eq xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k, v) (k', v') -> k = k' && json_eq v v')
+         xs ys
+  | a, b -> a = b
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "a \"quoted\"\n\tstring with \\ and \x01 control");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 3.25);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trip" true (json_eq v v')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parsed garbage %S" s)
+    [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "123 456"; "truish"; "" ]
+
+(* --- requests and responses ------------------------------------------------ *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' -> Alcotest.(check bool) "request round-trip" true (req = req')
+      | Error msg -> Alcotest.failf "request parse failed: %s" msg)
+    [
+      Protocol.Query
+        {
+          q_id = 7;
+          q_src = "for graph P { node v1; } in doc(\"D\") return graph {}";
+          q_deadline = Some 1.5;
+          q_wait_watermark = true;
+        };
+      Protocol.Query
+        { q_id = 0; q_src = "x"; q_deadline = None; q_wait_watermark = false };
+      Protocol.Show_queries { q_id = 3 };
+      Protocol.Kill { q_id = 4; q_target = 12 };
+      Protocol.Ping { q_id = 5 };
+      Protocol.Shutdown { q_id = 6 };
+    ]
+
+let test_response_roundtrip () =
+  let r =
+    {
+      Protocol.qr_id = 3;
+      qr_qid = 17;
+      qr_status = "shard-failure";
+      qr_stopped = "exhausted";
+      qr_error = Some "1/2 shards failed: sock: receive timed out";
+      qr_graphs = [ "graph g0 {\n  node a;\n}"; "graph g1 {}" ];
+      qr_vars = 2;
+      qr_writes = 1;
+      qr_wall_ms = 12.5;
+      qr_shards_ok = 1;
+      qr_shards_failed = [ "/tmp/shard1.sock" ];
+    }
+  in
+  match Protocol.query_response_of_json (Protocol.query_response_to_json r) with
+  | Ok r' -> Alcotest.(check bool) "response round-trip" true (r = r')
+  | Error msg -> Alcotest.failf "response parse failed: %s" msg
+
+let test_wire_status_inverts () =
+  List.iter
+    (fun err ->
+      match Error.of_wire_status (Error.wire_status err) ~msg:"m" with
+      | None -> Alcotest.failf "status %s did not invert" (Error.wire_status err)
+      | Some err' ->
+        Alcotest.(check int)
+          "exit code preserved" (Error.exit_code err) (Error.exit_code err'))
+    [
+      Error.Usage "m";
+      Error.Parse { line = 1; col = 2; msg = "m" };
+      Error.Eval "m";
+      Error.Corrupt "m";
+      Error.Deadline "m";
+      Error.Protocol "m";
+      Error.Unsupported_distributed "m";
+      Error.Shard_failure "m";
+    ];
+  Alcotest.(check bool)
+    "unknown status is None" true
+    (Error.of_wire_status "no-such-status" ~msg:"m" = None)
+
+(* --- a live unix-socket session -------------------------------------------- *)
+
+let test_server_session () =
+  let dir = Filename.temp_file "gql_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "s.sock" in
+  let g =
+    Gql_core.Gql.parse_program "graph G { node a <label=\"A\">; };"
+    |> List.filter_map (function
+         | Gql_core.Ast.Sgraph d -> Some (Gql_core.Motif.to_graph d)
+         | _ -> None)
+  in
+  let svc = Gql_exec.Service.create ~jobs:1 ~docs:[ ("D", g) ] () in
+  let server =
+    Gql_exec.Server.create (Gql_exec.Server.Local svc) ~addr:sock
+  in
+  let server_thread =
+    Thread.create (fun () -> Gql_exec.Server.serve_forever server) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Gql_exec.Server.stop server;
+      Thread.join server_thread;
+      Gql_exec.Service.shutdown svc)
+    (fun () ->
+      let conn = Gql_exec.Client.connect ~timeout:10.0 sock in
+      Fun.protect
+        ~finally:(fun () -> Gql_exec.Client.close conn)
+        (fun () ->
+          let pong = Gql_exec.Client.call conn (Protocol.Ping { q_id = 0 }) in
+          Alcotest.(check (option string))
+            "pong ok" (Some "ok")
+            (Option.bind (Json.member "status" pong) Json.str);
+          let resp =
+            Gql_exec.Client.query conn
+              "for graph P { node v1 where label=\"A\"; } in doc(\"D\") \
+               return graph R { node x; }"
+          in
+          Alcotest.(check string) "query ok" "ok" resp.Protocol.qr_status;
+          Alcotest.(check int)
+            "one graph returned" 1
+            (List.length resp.Protocol.qr_graphs);
+          let k =
+            Gql_exec.Client.call conn
+              (Protocol.Kill { q_id = 0; q_target = 9999 })
+          in
+          Alcotest.(check (option bool))
+            "unknown qid not killed" (Some false)
+            (Option.bind (Json.member "killed" k) Json.bool);
+          (* a malformed request inside a well-framed payload answers a
+             typed protocol error and keeps the connection usable *)
+          (match
+             Gql_exec.Client.call conn (Protocol.Ping { q_id = 0 })
+             |> Json.member "status"
+           with
+          | Some (Json.Str "ok") -> ()
+          | _ -> Alcotest.fail "connection unusable after valid traffic");
+          (* parse errors travel typed: bad query text -> status "parse" *)
+          let bad = Gql_exec.Client.query conn "for nonsense" in
+          Alcotest.(check string) "parse status" "parse" bad.Protocol.qr_status;
+          (* shutdown drains and stops the server thread *)
+          let bye =
+            Gql_exec.Client.call conn (Protocol.Shutdown { q_id = 0 })
+          in
+          Alcotest.(check (option string))
+            "shutdown ok" (Some "ok")
+            (Option.bind (Json.member "status" bye) Json.str)));
+  Thread.join server_thread
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chained;
+    QCheck_alcotest.to_alcotest prop_torn_prefix;
+    QCheck_alcotest.to_alcotest prop_corrupt_never_ok;
+    Alcotest.test_case "oversized frame rejected" `Quick test_oversized;
+    Alcotest.test_case "corrupt length rejected from header alone" `Quick
+      test_oversized_header_rejected_before_payload;
+    Alcotest.test_case "bad magic rejected" `Quick test_bad_magic;
+    Alcotest.test_case "header CRC catches length corruption" `Quick
+      test_header_crc;
+    Alcotest.test_case "payload CRC catches body corruption" `Quick
+      test_payload_crc;
+    Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json rejects malformed input" `Quick test_json_errors;
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "query-response round-trip" `Quick
+      test_response_roundtrip;
+    Alcotest.test_case "wire statuses invert with exit codes" `Quick
+      test_wire_status_inverts;
+    Alcotest.test_case "unix-socket session end to end" `Quick
+      test_server_session;
+  ]
