@@ -5,6 +5,11 @@ type t = {
   fd : Unix.file_descr;
   mutable next_id : int;
   mutable closed : bool;
+  (* Set on any transport or framing failure. A timed-out (not dead)
+     peer may still deliver its late response; reusing the socket would
+     let the next request read that stale frame as its own answer, so a
+     connection that failed once is never read from again. *)
+  mutable broken : bool;
 }
 
 let parse_addr s =
@@ -54,7 +59,7 @@ let connect ?timeout addr_s =
          (Printf.sprintf "cannot connect to %s: %s" addr_s
             (Unix.error_message e))));
   Option.iter (fun s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s) timeout;
-  { c_addr = addr_s; fd; next_id = 0; closed = false }
+  { c_addr = addr_s; fd; next_id = 0; closed = false; broken = false }
 
 let addr t = t.c_addr
 
@@ -64,7 +69,22 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
+let is_broken t = t.broken || t.closed
+
+(* Poison the connection and close the socket so the kernel discards
+   anything still queued on it — including a late response to the
+   request that just failed. *)
+let break_ t err =
+  t.broken <- true;
+  close t;
+  Error.raise_ err
+
 let call t req =
+  if is_broken t then
+    Error.raise_
+      (Error.Shard_failure
+         (Printf.sprintf "%s: connection unusable after an earlier failure"
+            t.c_addr));
   let id = t.next_id in
   t.next_id <- t.next_id + 1;
   let req =
@@ -81,26 +101,41 @@ let call t req =
    with
   | () -> ()
   | exception Unix.Unix_error (e, _, _) ->
-    Error.raise_
+    break_ t
       (Error.Shard_failure
          (Printf.sprintf "%s: send failed: %s" t.c_addr (Unix.error_message e))));
   match Protocol.read_frame t.fd with
   | Ok payload -> (
     match Protocol.Json.parse payload with
-    | Ok json -> json
+    | Ok json -> (
+      (* the stream is strictly request/response, so the next frame
+         must answer this request; anything else means the stream got
+         out of step (e.g. a late answer to a request that timed out
+         before this connection was poisoned) *)
+      match Protocol.Json.(Option.bind (member "id" json) int) with
+      | Some rid when rid = id -> json
+      | Some rid ->
+        break_ t
+          (Error.Protocol
+             (Printf.sprintf
+                "%s: response id %d does not match request id %d (stale frame?)"
+                t.c_addr rid id))
+      | None ->
+        break_ t
+          (Error.Protocol (Printf.sprintf "%s: response has no id" t.c_addr)))
     | Error msg ->
-      Error.raise_
+      break_ t
         (Error.Protocol (Printf.sprintf "%s: bad response JSON: %s" t.c_addr msg)))
   | Error fe ->
-    Error.raise_
+    break_ t
       (Error.Protocol
          (Printf.sprintf "%s: %s" t.c_addr (Protocol.frame_error_to_string fe)))
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
     ->
-    Error.raise_
+    break_ t
       (Error.Shard_failure (Printf.sprintf "%s: receive timed out" t.c_addr))
   | exception Unix.Unix_error (e, _, _) ->
-    Error.raise_
+    break_ t
       (Error.Shard_failure
          (Printf.sprintf "%s: receive failed: %s" t.c_addr (Unix.error_message e)))
 

@@ -19,10 +19,24 @@ val connect : ?timeout:float -> string -> t
     [Error.E (Usage _)] when the connection is refused. *)
 
 val call : t -> Protocol.request -> Protocol.Json.t
-(** Send one request, wait for the matching response (by id), parse it.
-    Failures are typed: a torn/corrupt frame or unparseable response
+(** Send one request, wait for the matching response, parse it, and
+    check the response's [id] echoes the request's (a mismatch means a
+    stale frame from an earlier timed-out request — a protocol error,
+    never silently returned as this request's answer). Failures are
+    typed: a torn/corrupt frame, id mismatch or unparseable response
     raises [Error.E (Protocol _)]; a receive timeout or dropped
-    connection raises [Error.E (Shard_failure _)]. *)
+    connection raises [Error.E (Shard_failure _)]. Any such failure
+    also {e poisons} the connection — the socket is closed and every
+    later [call] fails fast with [Shard_failure] — because after a
+    timeout the peer's late response may still arrive and would
+    otherwise be read as the next request's answer. Reconnect to
+    recover (see {!is_broken}). *)
+
+val is_broken : t -> bool
+(** [true] once any {!call} on this connection has failed (or after
+    {!close}): the stream position is unknown, so the connection will
+    never be used again. Callers holding long-lived links (the router)
+    test this to reconnect lazily. *)
 
 val query :
   t ->

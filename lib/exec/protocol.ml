@@ -98,6 +98,7 @@ let really_read fd len =
       match Unix.read fd buf off (len - off) with
       | 0 -> Error Torn
       | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -119,7 +120,9 @@ let write_frame fd payload =
   let len = Bytes.length s in
   let off = ref 0 in
   while !off < len do
-    off := !off + Unix.write fd s !off (len - !off)
+    match Unix.write fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done
 
 (* --- minimal JSON ---------------------------------------------------------- *)
@@ -188,6 +191,12 @@ module Json = struct
     Buffer.contents buf
 
   exception Bad of string
+
+  (* Recursion bound for the descent parser: a frame of nothing but
+     '[' is ~16M deep and would hit Stack_overflow — an exception the
+     server must not let escape a connection thread. No legitimate
+     protocol document nests past a handful of levels. *)
+  let max_depth = 512
 
   (* recursive-descent parser over a cursor; raises [Bad], caught at
      the [parse] boundary *)
@@ -297,7 +306,8 @@ module Json = struct
         | Some f -> Float f
         | None -> fail "bad number")
     in
-    let rec parse_value () =
+    let rec parse_value depth =
+      if depth > max_depth then fail "nesting too deep";
       skip_ws ();
       match peek () with
       | None -> fail "unexpected end of input"
@@ -314,7 +324,7 @@ module Json = struct
         end
         else
           let rec items acc =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             skip_ws ();
             match peek () with
             | Some ',' ->
@@ -339,7 +349,7 @@ module Json = struct
             let k = parse_string () in
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             (k, v)
           in
           let rec fields acc =
@@ -359,7 +369,7 @@ module Json = struct
       | Some c -> fail (Printf.sprintf "unexpected %C" c)
     in
     match
-      let v = parse_value () in
+      let v = parse_value 0 in
       skip_ws ();
       if !pos <> n then fail "trailing garbage";
       v

@@ -45,8 +45,8 @@ val decode : ?max_frame:int -> ?off:int -> string -> (string * int, frame_error)
 val read_frame : ?max_frame:int -> Unix.file_descr -> (string, frame_error) result
 (** Blocking read of one frame. [Error Torn] on EOF (clean EOF between
     frames included — the caller distinguishes by position if it needs
-    to). Unix errors (e.g. a receive timeout) propagate as
-    [Unix.Unix_error]. *)
+    to). [EINTR] is retried internally; other Unix errors (e.g. a
+    receive timeout) propagate as [Unix.Unix_error]. *)
 
 val write_frame : Unix.file_descr -> string -> unit
 (** Frame and write a payload, handling short writes. *)
@@ -69,7 +69,9 @@ module Json : sig
     | Obj of (string * t) list
 
   val parse : string -> (t, string) result
-  (** Whole-string parse (trailing garbage is an error). *)
+  (** Whole-string parse (trailing garbage is an error). Nesting
+      deeper than 512 levels is rejected — a recursion bound, so a
+      hostile frame of brackets cannot raise [Stack_overflow]. *)
 
   val to_string : t -> string
   (** Compact single-line rendering — one frame, one line. *)

@@ -5,8 +5,18 @@ module Error = Gql_core.Error
    thread — the per-connection mutex keeps request/response frames from
    interleaving. Scatter still overlaps across shards (the point); two
    front-end queries serialize per shard, bounded by the receive
-   timeout. *)
-type link = { conn : Client.t; lock : Mutex.t }
+   timeout.
+
+   A call that fails poisons its connection (Client marks itself
+   broken and closes the socket — a merely-slow shard's late response
+   must never be read as the next query's answer), so the link keeps
+   the address and reconnects lazily on the next request: one failed
+   query degrades, it does not blacklist the shard forever. *)
+type link = {
+  l_addr : string;
+  mutable conn : Client.t option;
+  lock : Mutex.t;
+}
 
 type t = { links : link array; timeout : float }
 
@@ -16,14 +26,37 @@ let connect ?(timeout = 30.0) addrs =
     links =
       Array.of_list
         (List.map
-           (fun a -> { conn = Client.connect ~timeout a; lock = Mutex.create () })
+           (fun a ->
+             {
+               l_addr = a;
+               conn = Some (Client.connect ~timeout a);
+               lock = Mutex.create ();
+             })
            addrs);
     timeout;
   }
 
-let shards t = Array.to_list (Array.map (fun l -> Client.addr l.conn) t.links)
+let shards t = Array.to_list (Array.map (fun l -> l.l_addr) t.links)
 
-let close t = Array.iter (fun l -> Client.close l.conn) t.links
+let close t =
+  Array.iter
+    (fun l ->
+      Option.iter Client.close l.conn;
+      l.conn <- None)
+    t.links
+
+(* Must be called with [link.lock] held. *)
+let live_conn t link =
+  match link.conn with
+  | Some c when not (Client.is_broken c) -> Ok c
+  | stale -> (
+    Option.iter Client.close stale;
+    link.conn <- None;
+    match Client.connect ~timeout:t.timeout link.l_addr with
+    | c ->
+      link.conn <- Some c;
+      Ok c
+    | exception Error.E e -> Error (Error.to_string e))
 
 (* Union merge is sound exactly when every statement is an independent
    selection over the (partitioned) collection: each shard contributes
@@ -62,10 +95,13 @@ let scatter t (mk_req : int -> Protocol.request) =
        Fun.protect
          ~finally:(fun () -> Mutex.unlock link.lock)
          (fun () ->
-           match Client.call link.conn (mk_req i) with
-           | json -> Ok json
-           | exception Error.E e -> Error (Error.to_string e)
-           | exception e -> Error (Printexc.to_string e)))
+           match live_conn t link with
+           | Error msg -> Error msg
+           | Ok conn -> (
+             match Client.call conn (mk_req i) with
+             | json -> Ok json
+             | exception Error.E e -> Error (Error.to_string e)
+             | exception e -> Error (Printexc.to_string e))))
   in
   let threads = Array.init n (fun i -> Thread.create worker i) in
   Array.iter Thread.join threads;
@@ -74,7 +110,7 @@ let scatter t (mk_req : int -> Protocol.request) =
 let broadcast t req =
   let out = scatter t (fun _ -> req) in
   Array.to_list
-    (Array.mapi (fun i r -> (Client.addr t.links.(i).conn, r)) out)
+    (Array.mapi (fun i r -> (t.links.(i).l_addr, r)) out)
 
 let query t ?deadline ?(wait_watermark = false) src =
   (* parse locally first: a malformed query is the client's error and
@@ -97,8 +133,8 @@ let query t ?deadline ?(wait_watermark = false) src =
         | Ok qr -> ok := (i, qr) :: !ok
         | Error msg ->
           failed :=
-            (Client.addr t.links.(i).conn ^ ": bad response: " ^ msg) :: !failed)
-      | Error msg -> failed := (Client.addr t.links.(i).conn ^ ": " ^ msg) :: !failed)
+            (t.links.(i).l_addr ^ ": bad response: " ^ msg) :: !failed)
+      | Error msg -> failed := (t.links.(i).l_addr ^ ": " ^ msg) :: !failed)
     answers;
   let ok = List.rev !ok and failed = List.rev !failed in
   if ok = [] then

@@ -13,7 +13,14 @@
     forever — the merged response carries the surviving shards'
     graphs with status ["shard-failure"] and the dead shards' addresses
     in [qr_shards_failed]. Only when {e every} shard fails does
-    {!query} raise. *)
+    {!query} raise.
+
+    A failed call poisons its shard connection (the peer's late
+    response could otherwise be read as a later query's answer — see
+    {!Client.call}), so the router closes that link and reconnects
+    lazily on the shard's next request: a shard that was slow once
+    costs one degraded response, not permanent blacklisting, and a
+    restarted shard rejoins without restarting the router. *)
 
 type t
 

@@ -16,10 +16,13 @@ type t = {
   listen_fd : Unix.file_descr;
   addr : string;
   (* connection registry, so [stop] can unblock handler threads
-     parked in [read_frame] on idle connections *)
+     parked in [read_frame] on idle connections; handler threads are
+     counted, not collected — a Thread.t list would grow by one handle
+     per connection ever served *)
   c_mutex : Mutex.t;
+  c_cond : Condition.t;
   mutable conns : Unix.file_descr list;
-  mutable threads : Thread.t list;
+  mutable live_handlers : int;
   stopping : bool Atomic.t;
 }
 
@@ -35,12 +38,43 @@ let render_graphs result =
       (fun g -> Format.asprintf "%a" Gql_graph.Graph.pp g)
       (Algebra.graphs coll)
 
+(* A stale socket file from a crashed server must be unlinked before
+   bind, but only when it provably is one: a typo'd --listen pointing
+   at a data file must not silently delete it, and a path another
+   server is still accepting on must not be stolen out from under it. *)
+let claim_unix_path addr sockaddr path =
+  match Unix.stat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      Fun.protect
+        ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect probe sockaddr with
+          | () -> true
+          | exception Unix.Unix_error _ -> false)
+    in
+    if live then
+      Error.raise_
+        (Error.Usage
+           (Printf.sprintf
+              "cannot listen on %s: another server is accepting on it" addr))
+    else Unix.unlink path
+  | _ ->
+    Error.raise_
+      (Error.Usage
+         (Printf.sprintf
+            "cannot listen on %s: path exists and is not a socket (refusing \
+             to delete it)"
+            addr))
+
 let create ?(max_inflight = 64) ?(max_frame = Protocol.default_max_frame)
     ?(log = fun _ -> ()) mode ~addr =
   Lazy.force Client.ignore_sigpipe;
   let sockaddr = Client.parse_addr addr in
   (match sockaddr with
-  | Unix.ADDR_UNIX path when Sys.file_exists path -> Unix.unlink path
+  | Unix.ADDR_UNIX path -> claim_unix_path addr sockaddr path
   | _ -> ());
   let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
   (match
@@ -62,8 +96,9 @@ let create ?(max_inflight = 64) ?(max_frame = Protocol.default_max_frame)
     listen_fd = fd;
     addr;
     c_mutex = Mutex.create ();
+    c_cond = Condition.create ();
     conns = [];
-    threads = [];
+    live_handlers = 0;
     stopping = Atomic.make false;
   }
 
@@ -131,20 +166,22 @@ let fit_frame t resp =
 (* --- local dispatch --------------------------------------------------------- *)
 
 let run_local t svc ~session ~id ~src ~deadline ~wait_watermark =
+  (* admission first: an over-cap query is rejected with the typed
+     error before anything reaches the Service queue, so the cap
+     bounds queued work, not just registered work *)
+  (match Session.reserve t.sessions with
+  | Ok () -> ()
+  | Error why -> Error.raise_ (Error.Usage why));
   let cancel = Budget.token () in
   let after = if wait_watermark then Some (Service.watermark svc) else None in
-  let qid = Service.submit svc ?deadline ~cancel ?after src in
-  (match
-     Session.register t.sessions ~session ~qid ~src ~deadline ~cancel
-   with
-  | Ok () -> ()
-  | Error why ->
-    (* over max-inflight: the job is already queued, so cancel it and
-       let its (rejected) outcome flow through the normal wait — the
-       client gets the typed admission error, the pool stays clean *)
-    Budget.cancel cancel;
-    ignore (Service.wait svc qid);
-    Error.raise_ (Error.Usage why));
+  let qid =
+    match Service.submit svc ?deadline ~cancel ?after src with
+    | qid -> qid
+    | exception e ->
+      Session.release t.sessions;
+      raise e
+  in
+  Session.register t.sessions ~session ~qid ~src ~deadline ~cancel;
   let outcome =
     Fun.protect
       ~finally:(fun () -> Session.finish t.sessions ~qid)
@@ -307,16 +344,22 @@ let handle_conn t fd =
   t.log (Printf.sprintf "session %d connected" session);
   let cleanup () =
     Session.finish_session t.sessions ~session;
-    locked t.c_mutex (fun () ->
-        t.conns <- List.filter (fun fd' -> fd' != fd) t.conns);
     (try Unix.close fd with Unix.Unix_error _ -> ());
-    t.log (Printf.sprintf "session %d closed" session)
+    t.log (Printf.sprintf "session %d closed" session);
+    locked t.c_mutex (fun () ->
+        t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+        t.live_handlers <- t.live_handlers - 1;
+        Condition.broadcast t.c_cond)
   in
   let rec loop () =
     if Atomic.get t.stopping then ()
     else
       match Protocol.read_frame ~max_frame:t.max_frame fd with
       | Error Protocol.Torn -> () (* client hung up *)
+      | exception Unix.Unix_error _ ->
+        (* ECONNRESET and friends: the peer went away, same as a torn
+           frame (EINTR is retried inside read_frame, not seen here) *)
+        ()
       | Error fe ->
         (* a corrupt or oversized frame desynchronizes the stream: answer
            with the typed error, then drop the connection — there is no
@@ -359,7 +402,8 @@ let serve_forever t =
     | fd, _ ->
       locked t.c_mutex (fun () ->
           t.conns <- fd :: t.conns;
-          t.threads <- Thread.create (fun () -> handle_conn t fd) () :: t.threads);
+          t.live_handlers <- t.live_handlers + 1;
+          ignore (Thread.create (fun () -> handle_conn t fd) ()));
       accept_loop ()
     | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
       ->
@@ -367,15 +411,18 @@ let serve_forever t =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in
   accept_loop ();
-  (* unblock handler threads parked in read_frame, then join them so
-     in-flight answers finish before we return *)
+  (* unblock handler threads parked in read_frame, then wait for the
+     live-handler count to drain so in-flight answers finish before we
+     return *)
   let conns = locked t.c_mutex (fun () -> t.conns) in
   List.iter
     (fun fd ->
       try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     conns;
-  let threads = locked t.c_mutex (fun () -> t.threads) in
-  List.iter Thread.join threads;
+  locked t.c_mutex (fun () ->
+      while t.live_handlers > 0 do
+        Condition.wait t.c_cond t.c_mutex
+      done);
   (match t.mode with
   | Routed router -> Router.close router
   | Local _ -> ());

@@ -26,11 +26,16 @@ val create :
   mode ->
   addr:string ->
   t
-(** Bind and listen on [addr] (see {!Client.parse_addr}; an existing
-    unix-socket path is unlinked first). [max_inflight] bounds admitted
-    queries (default 64); [log] receives one line per lifecycle event
-    (connects, kills, shutdown) — default silent. Raises
-    [Error.E (Usage _)] if the address cannot be bound. *)
+(** Bind and listen on [addr] (see {!Client.parse_addr}). A stale
+    unix-socket file left by a crashed server is unlinked first — but
+    only when the path {e is} a socket nobody is accepting on: a path
+    holding a regular file (a typo'd [--listen] aimed at a data file)
+    or a socket another server still answers on raises
+    [Error.E (Usage _)] instead of deleting or stealing it.
+    [max_inflight] bounds admitted queries (default 64), reserved
+    before anything reaches the Service queue; [log] receives one line
+    per lifecycle event (connects, kills, shutdown) — default silent.
+    Raises [Error.E (Usage _)] if the address cannot be bound. *)
 
 val serve_forever : t -> unit
 (** Accept loop. Returns after a client's [shutdown] request: the

@@ -14,6 +14,10 @@ type t = {
   mutex : Mutex.t;
   max_inflight : int;
   live : (int, slot) Hashtbl.t;  (* qid -> slot *)
+  (* slots taken by queries between admission and [register] — counted
+     against [max_inflight] so the cap bounds what reaches the Service
+     queue, not just what has already been registered *)
+  mutable reserved : int;
   mutable next_session : int;
 }
 
@@ -23,6 +27,7 @@ let create ?(max_inflight = 64) () =
     mutex = Mutex.create ();
     max_inflight;
     live = Hashtbl.create 64;
+    reserved = 0;
     next_session = 0;
   }
 
@@ -36,26 +41,36 @@ let new_session t =
       t.next_session <- t.next_session + 1;
       id)
 
-let register t ~session ~qid ~src ~deadline ~cancel =
+let reserve t =
   locked t (fun () ->
-      if Hashtbl.length t.live >= t.max_inflight then
+      if Hashtbl.length t.live + t.reserved >= t.max_inflight then
         Error
           (Printf.sprintf "server at max in-flight queries (%d)" t.max_inflight)
       else begin
-        Hashtbl.replace t.live qid
-          {
-            s_entry =
-              {
-                e_qid = qid;
-                e_session = session;
-                e_src = src;
-                e_submitted = Unix.gettimeofday ();
-                e_deadline = deadline;
-              };
-            s_cancel = cancel;
-          };
+        t.reserved <- t.reserved + 1;
         Ok ()
       end)
+
+let release t =
+  locked t (fun () -> if t.reserved > 0 then t.reserved <- t.reserved - 1)
+
+let register t ~session ~qid ~src ~deadline ~cancel =
+  locked t (fun () ->
+      (* the caller holds a reservation (see [reserve]); convert it
+         into the live entry — no capacity check, the slot is paid for *)
+      if t.reserved > 0 then t.reserved <- t.reserved - 1;
+      Hashtbl.replace t.live qid
+        {
+          s_entry =
+            {
+              e_qid = qid;
+              e_session = session;
+              e_src = src;
+              e_submitted = Unix.gettimeofday ();
+              e_deadline = deadline;
+            };
+          s_cancel = cancel;
+        })
 
 let finish t ~qid = locked t (fun () -> Hashtbl.remove t.live qid)
 

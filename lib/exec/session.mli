@@ -1,11 +1,13 @@
 (** The server's live-query registry: what [show queries] lists and
     [kill query <id>] acts on.
 
-    One registry per server. Every admitted query is {!register}ed with
-    its cancellation token before it is submitted to the {!Service}
-    pool and {!finish}ed when its outcome arrives, so a concurrent
-    connection observes exactly the in-flight set. Thread-safe — the
-    server runs one thread per client connection. *)
+    One registry per server. Every admitted query {!reserve}s an
+    admission slot before it is submitted to the {!Service} pool, is
+    {!register}ed with its cancellation token as soon as its queue id
+    is known, and {!finish}ed when its outcome arrives — so the
+    in-flight cap bounds queued work, and a concurrent connection
+    observes the in-flight set. Thread-safe — the server runs one
+    thread per client connection. *)
 
 type entry = {
   e_qid : int;  (** the Service job id — what [kill] takes *)
@@ -26,6 +28,17 @@ val create : ?max_inflight:int -> unit -> t
 val new_session : t -> int
 (** Allocate a session id for a freshly accepted connection. *)
 
+val reserve : t -> (unit, string) result
+(** Take an admission slot {e before} submitting to the Service queue.
+    [Error] when the server is at [max_inflight] (live + reserved) —
+    the caller maps it onto a wire [Usage] response and the rejected
+    query never reaches the queue. On [Ok], the slot must be handed to
+    {!register} or given back with {!release}. *)
+
+val release : t -> unit
+(** Return an unused reservation (the submit between {!reserve} and
+    {!register} failed). *)
+
 val register :
   t ->
   session:int ->
@@ -33,9 +46,10 @@ val register :
   src:string ->
   deadline:float option ->
   cancel:Gql_matcher.Budget.token ->
-  (unit, string) result
-(** Admit a query. [Error] when the server is at [max_inflight] — the
-    caller maps it onto a wire [Usage] response without submitting. *)
+  unit
+(** Convert the caller's reservation into the live entry for [qid] —
+    never rejects; capacity was checked at {!reserve}. The slot is
+    freed by {!finish}. *)
 
 val finish : t -> qid:int -> unit
 (** Remove a completed query (idempotent). *)

@@ -155,6 +155,19 @@ let test_json_errors () =
       | Ok _ -> Alcotest.failf "parsed garbage %S" s)
     [ "{"; "[1,"; "\"unterminated"; "{\"a\" 1}"; "123 456"; "truish"; "" ]
 
+let test_json_depth_bound () =
+  (* a frame of nothing but brackets must be a typed parse error, not
+     Stack_overflow escaping a server connection thread *)
+  let deep n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match Json.parse (deep 100_000) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "pathological nesting parsed");
+  (* moderate nesting — far beyond any real protocol document — still
+     parses *)
+  match Json.parse (deep 100) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "depth-100 document rejected: %s" msg
+
 (* --- requests and responses ------------------------------------------------ *)
 
 let test_request_roundtrip () =
@@ -291,6 +304,92 @@ let test_server_session () =
             (Option.bind (Json.member "status" bye) Json.str)));
   Thread.join server_thread
 
+(* --- stale frames poison the connection ------------------------------------ *)
+
+let with_tmpdir f =
+  let dir = Filename.temp_file "gql_srv" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  f dir
+
+let test_stale_frame_poisons_connection () =
+  with_tmpdir @@ fun dir ->
+  let sock = Filename.concat dir "fake.sock" in
+  (* a "server" that answers every request with somebody else's id —
+     exactly what a link reused after a receive timeout would read *)
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX sock);
+  Unix.listen listen_fd 1;
+  let server =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept listen_fd in
+        (match Protocol.read_frame fd with
+        | Ok _ ->
+          Protocol.write_frame fd
+            (Json.to_string
+               (Json.Obj [ ("id", Json.Int 999); ("status", Json.Str "ok") ]))
+        | Error _ -> ());
+        Unix.close fd)
+      ()
+  in
+  let conn = Gql_exec.Client.connect ~timeout:10.0 sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Gql_exec.Client.close conn;
+      Thread.join server;
+      Unix.close listen_fd)
+    (fun () ->
+      (* the mismatched id is a typed protocol error, never silently
+         returned as this request's answer *)
+      (match Gql_exec.Client.call conn (Protocol.Ping { q_id = 0 }) with
+      | _ -> Alcotest.fail "stale frame accepted as answer"
+      | exception Error.E (Error.Protocol _) -> ());
+      Alcotest.(check bool)
+        "connection poisoned" true
+        (Gql_exec.Client.is_broken conn);
+      (* and the connection is never reused: the next call fails fast
+         with a typed shard failure instead of reading garbage *)
+      match Gql_exec.Client.call conn (Protocol.Ping { q_id = 0 }) with
+      | _ -> Alcotest.fail "poisoned connection answered"
+      | exception Error.E (Error.Shard_failure _) -> ())
+
+(* --- listen-path safety ----------------------------------------------------- *)
+
+let test_listen_path_not_a_socket () =
+  with_tmpdir @@ fun dir ->
+  let path = Filename.concat dir "data.gql" in
+  let oc = open_out path in
+  output_string oc "graph G { node a; };\n";
+  close_out oc;
+  let svc = Gql_exec.Service.create ~jobs:1 ~docs:[] () in
+  Fun.protect
+    ~finally:(fun () -> Gql_exec.Service.shutdown svc)
+    (fun () ->
+      (match Gql_exec.Server.create (Gql_exec.Server.Local svc) ~addr:path with
+      | _ -> Alcotest.fail "server bound over a regular file"
+      | exception Error.E (Error.Usage _) -> ());
+      Alcotest.(check bool) "file survives" true (Sys.file_exists path);
+      Alcotest.(check string)
+        "contents intact" "graph G { node a; };\n"
+        (In_channel.with_open_bin path In_channel.input_all))
+
+let test_listen_path_not_stolen () =
+  with_tmpdir @@ fun dir ->
+  let sock = Filename.concat dir "s.sock" in
+  let svc = Gql_exec.Service.create ~jobs:1 ~docs:[] () in
+  let first = Gql_exec.Server.create (Gql_exec.Server.Local svc) ~addr:sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Gql_exec.Server.stop first;
+      Gql_exec.Service.shutdown svc)
+    (fun () ->
+      (* the first server is accepting on the path (bound + listening);
+         a second create must refuse, not silently steal the socket *)
+      match Gql_exec.Server.create (Gql_exec.Server.Local svc) ~addr:sock with
+      | _ -> Alcotest.fail "second server stole a live socket"
+      | exception Error.E (Error.Usage _) -> ())
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_roundtrip;
@@ -307,6 +406,14 @@ let suite =
       test_payload_crc;
     Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
     Alcotest.test_case "json rejects malformed input" `Quick test_json_errors;
+    Alcotest.test_case "json nesting depth is bounded" `Quick
+      test_json_depth_bound;
+    Alcotest.test_case "stale response frame poisons the connection" `Quick
+      test_stale_frame_poisons_connection;
+    Alcotest.test_case "listen path that is not a socket is refused" `Quick
+      test_listen_path_not_a_socket;
+    Alcotest.test_case "live listen socket is not stolen" `Quick
+      test_listen_path_not_stolen;
     Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
     Alcotest.test_case "query-response round-trip" `Quick
       test_response_roundtrip;
