@@ -23,6 +23,7 @@
 open Gql_core
 open Gql_graph
 module Budget = Gql_matcher.Budget
+module View = Gql_exec.View
 
 let read_file path =
   let ic = open_in_bin path in
@@ -49,22 +50,33 @@ let load_doc ?(metrics = Gql_obs.Metrics.disabled) path =
     Gql_storage.Store.set_metrics store metrics;
     Fun.protect
       ~finally:(fun () -> Gql_storage.Store.close store)
-      (fun () -> Gql_storage.Store.to_list store)
+      (fun () ->
+        ( Gql_storage.Store.to_list store,
+          List.map
+            (fun (name, blob) -> View.decode ~name blob)
+            (Gql_storage.Store.views store) ))
   end
-  else load_collection path
+  else (load_collection path, [])
 
+(* Returns the doc collections and the views persisted alongside them
+   in .store-backed docs. *)
 let parse_docs ?metrics specs =
-  List.map
-    (fun spec ->
-      match String.index_opt spec '=' with
-      | Some i ->
-        let name = String.sub spec 0 i in
-        let path = String.sub spec (i + 1) (String.length spec - i - 1) in
-        (name, load_doc ?metrics path)
-      | None ->
-        Error.raise_
-          (Error.Usage (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
-    specs
+  let entries =
+    List.map
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i ->
+          let name = String.sub spec 0 i in
+          let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+          (name, load_doc ?metrics path)
+        | None ->
+          Error.raise_
+            (Error.Usage
+               (Printf.sprintf "bad --doc %S, expected NAME=FILE" spec)))
+      specs
+  in
+  ( List.map (fun (n, (gs, _)) -> (n, gs)) entries,
+    List.concat_map (fun (_, (_, vs)) -> vs) entries )
 
 (* --- writable doc mounts -------------------------------------------------- *)
 
@@ -133,11 +145,54 @@ let persist mounts w =
       Gql_storage.Store.remove_graph store (List.nth m.m_gids index);
       m.m_gids <- List.filteri (fun i _ -> i <> index) m.m_gids
     | _ -> ())
+  | Eval.W_create_view { name; materialized; def; graphs; epoch } -> (
+    (* the view record travels with the store of its source doc; a
+       maintainer refresh re-emits this event with a bumped epoch, so
+       newest-committed-wins replay restores the latest materialization *)
+    match mount def.Ast.f_source with
+    | Some { m_store = Some store; _ } ->
+      let v = View.make ~name ~materialized ~epoch def in
+      View.attach ~graphs v ~docs:[];
+      Gql_storage.Store.set_view store ~name (View.encode v)
+    | _ -> ())
+  | Eval.W_drop_view { name } ->
+    (* a drop does not say which doc the definition read — tombstone
+       wherever the record lives (drop_view is a no-op elsewhere) *)
+    List.iter
+      (fun m ->
+        Option.iter
+          (fun store -> ignore (Gql_storage.Store.drop_view store name))
+          m.m_store)
+      mounts
 
 (* Closing commits: every store close groups the staged records under
    one superblock swap. *)
 let close_mounts mounts =
   List.iter (fun m -> Option.iter Gql_storage.Store.close m.m_store) mounts
+
+let mounted_views mounts =
+  List.concat_map
+    (fun m ->
+      match m.m_store with
+      | None -> []
+      | Some store ->
+        List.map
+          (fun (name, blob) -> View.decode ~name blob)
+          (Gql_storage.Store.views store))
+    mounts
+
+(* Make persisted views readable by a standalone evaluation: each view
+   becomes a [view("v")] collection in the doc set. Materialized views
+   adopt their stored result graphs; plain views re-derive from the
+   (already loaded) source collection. *)
+let docs_with_views views docs =
+  List.fold_left
+    (fun docs v ->
+      if not (View.materialized v) then
+        View.attach v
+          ~docs:(Option.value ~default:[] (List.assoc_opt (View.source v) docs));
+      (Ast.view_source (View.name v), View.graphs v) :: docs)
+    docs views
 
 let strategy_of_string = function
   | "optimized" -> Gql_matcher.Engine.optimized
@@ -212,6 +267,7 @@ let run_cmd query_file docs domains adaptive timeout max_visited verbose =
       Fun.protect
         ~finally:(fun () -> close_mounts mounts)
         (fun () ->
+          let docs = docs_with_views (mounted_views mounts) docs in
           let strategy = strategy_opt ~adaptive domains in
           (* the deadline clock starts after the inputs are loaded: it
              governs query execution, not file parsing *)
@@ -296,6 +352,7 @@ let batch_cmd batch_file docs jobs domains quantum timeout wait_watermark json
               Service.create ?jobs ?search_domains:domains ?quantum ~docs
                 ~on_write:(persist mounts) ()
             in
+            List.iter (Service.install_view svc) (mounted_views mounts);
             List.iter
               (fun q ->
                 (* --wait-watermark: every query waits for all writes
@@ -446,7 +503,22 @@ let explain_cmd query_file analyze json docs domains adaptive timeout
            the deadline clock still starts at query execution. *)
         let module M = Gql_obs.Metrics in
         let metrics = M.create () in
-        let docs = M.with_span metrics "load" (fun () -> parse_docs ~metrics docs) in
+        let docs, views =
+          M.with_span metrics "load" (fun () -> parse_docs ~metrics docs)
+        in
+        let docs = docs_with_views views docs in
+        let program = Gql.parse_program src in
+        let view_reads =
+          List.length
+            (List.filter
+               (function
+                 | Ast.Sflwr { Ast.f_source = s; _ }
+                 | Ast.Spath { Ast.q_source = s; _ } ->
+                   Ast.view_of_source s <> None
+                 | _ -> false)
+               program)
+        in
+        M.add metrics M.Views_reads view_reads;
         let strategy = strategy_opt ~adaptive domains in
         let budget = budget_of timeout max_visited in
         let result =
@@ -455,9 +527,22 @@ let explain_cmd query_file analyze json docs domains adaptive timeout
         in
         if json then print_string (M.to_json metrics)
         else begin
-          let plan = Plan.compile (Gql.parse_program src) in
+          let plan = Plan.compile program in
           Format.printf "%a@.@." Plan.pp plan;
-          Format.printf "%a" M.pp metrics
+          Format.printf "%a" M.pp metrics;
+          if views <> [] then begin
+            Format.printf "@.views:@.";
+            List.iter
+              (fun v ->
+                Format.printf "  %s%s over %a: epoch %d, %d graph(s), %s@."
+                  (View.name v)
+                  (if View.materialized v then " (materialized)" else "")
+                  Ast.pp_source (View.source v) (View.epoch v)
+                  (List.length (View.graphs v))
+                  (if View.incremental v then "delta-maintained"
+                   else "re-evaluated on write"))
+              views
+          end
         end;
         finish_with result.Eval.stopped "query"
       end)
@@ -507,7 +592,7 @@ let store_import store_file gql_file =
     store_file;
   0
 
-let store_cmd store_file import =
+let store_cmd store_file import verify =
   guarded (fun () ->
       match import with
       | Some gql_file -> store_import store_file gql_file
@@ -523,6 +608,32 @@ let store_cmd store_file import =
             Format.printf
               "  %d transaction record(s) applied (%d durable)@." txns
               (Gql_storage.Store.durable_txn_count store);
+          (match Gql_storage.Store.views store with
+          | [] -> ()
+          | vs ->
+            List.iter
+              (fun (name, blob) ->
+                match View.decode ~name blob with
+                | v ->
+                  Format.printf
+                    "  view %s%s over %a: epoch %d, %d stored graph(s), %d \
+                     byte(s)@."
+                    name
+                    (if View.materialized v then " (materialized)" else "")
+                    Ast.pp_source (View.source v) (View.epoch v)
+                    (List.length (View.decoded_graphs blob))
+                    (String.length blob)
+                | exception _ ->
+                  (* the record's CRC held but the definition text no
+                     longer parses — report, don't fail the summary *)
+                  Format.printf "  view %s: unreadable definition (%d byte(s))@."
+                    name (String.length blob))
+              vs);
+          if verify then begin
+            let records = Gql_storage.Store.verify store in
+            Format.printf "  verified: %d committed record(s), every CRC good@."
+              records
+          end;
           (match Gql_storage.Store.recovery store with
           | None -> ()
           | Some r ->
@@ -605,7 +716,7 @@ let partition_docs (i, n) docs =
     docs
 
 let serve_cmd listen docs jobs quantum max_inflight partition router shards
-    shard_timeout verbose =
+    shard_timeout pool verbose =
   guarded (fun () ->
       let module Service = Gql_exec.Service in
       let module Server = Gql_exec.Server in
@@ -620,12 +731,13 @@ let serve_cmd listen docs jobs quantum max_inflight partition router shards
         in
         if shards = [] then
           Error.raise_ (Error.Usage "--router requires --shards ADDR,ADDR,...");
-        let r = Gql_exec.Router.connect ?timeout:shard_timeout shards in
+        let r = Gql_exec.Router.connect ?timeout:shard_timeout ~pool shards in
         let server =
           Server.create ~max_inflight ~log (Server.Routed r) ~addr:listen
         in
-        Printf.printf "gqlsh serve: router on %s over %d shard(s)\n%!" listen
-          (List.length shards);
+        Printf.printf
+          "gqlsh serve: router on %s over %d shard(s), pool %d\n%!" listen
+          (List.length shards) pool;
         Server.serve_forever server;
         0
       end
@@ -649,6 +761,7 @@ let serve_cmd listen docs jobs quantum max_inflight partition router shards
             let svc =
               Service.create ?jobs ?quantum ~docs ~on_write:(persist mounts) ()
             in
+            List.iter (Service.install_view svc) (mounted_views mounts);
             let server =
               Server.create ~max_inflight ~log (Server.Local svc) ~addr:listen
             in
@@ -962,11 +1075,17 @@ let store_term =
            ~doc:"Create (or overwrite) the store from a .gql collection \
                  instead of inspecting it.")
   in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Re-read every committed record (graphs, transactions, aux \
+                 blobs and view records) and check its CRC; exit 4 on the \
+                 first mismatch.")
+  in
   Cmd.v
     (Cmd.info "store"
        ~doc:"Inspect a disk store (recovers from a torn tail if needed), or \
              build one with --import")
-    Term.(const store_cmd $ store $ import)
+    Term.(const store_cmd $ store $ import $ verify)
 
 let gen_term =
   let kind = Arg.(required & pos 0 (some string) None & info [] ~docv:"DATASET") in
@@ -1016,6 +1135,13 @@ let serve_term =
            ~doc:"Receive timeout per shard (default 30): a shard silent \
                  past it is degraded to a typed shard-failure, never a hang.")
   in
+  let pool =
+    Arg.(value & opt int 2 & info [ "pool" ] ~docv:"N"
+           ~doc:"With --router: wire connections per shard (default 2). \
+                 Concurrent queries to the same shard run on separate \
+                 pooled connections instead of serializing; a failed call \
+                 still poisons only its own connection.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ]
            ~doc:"Log connections, kills and shutdown on stderr.")
@@ -1029,7 +1155,7 @@ let serve_term =
              --router --shards")
     Term.(
       const serve_cmd $ listen $ docs_arg $ jobs $ quantum $ max_inflight
-      $ partition $ router $ shards $ shard_timeout $ verbose)
+      $ partition $ router $ shards $ shard_timeout $ pool $ verbose)
 
 let client_term =
   let addr =

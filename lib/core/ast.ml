@@ -96,16 +96,40 @@ type path_query = {
   q_source : string;  (** document collection, as in [in doc("...")] *)
 }
 
+(* Materialized views (ROADMAP "graph-returning queries as a product
+   surface"): a named, stored FLWR result. [CREATE MATERIALIZED VIEW v
+   AS <flwr>] evaluates the query once and keeps the result graphs;
+   later statements read them with the [view("v")] source form, which
+   is encoded as an [f_source]/[q_source] of ["view:v"] so the whole
+   doc-resolution machinery applies unchanged. *)
+type view_def = {
+  v_name : string;
+  v_materialized : bool;
+  v_query : flwr;
+}
+
 type statement =
   | Sgraph of graph_decl
   | Sassign of string * template
   | Sflwr of flwr
   | Sdml of dml
   | Spath of path_query
+  | Screate_view of view_def
+  | Sdrop_view of string
 
 type program = statement list
 
-let is_dml = function Sdml _ -> true | _ -> false
+let view_source name = "view:" ^ name
+
+let view_of_source s =
+  if String.length s > 5 && String.sub s 0 5 = "view:" then
+    Some (String.sub s 5 (String.length s - 5))
+  else None
+
+let is_dml = function
+  | Sdml _ | Screate_view _ | Sdrop_view _ -> true
+  | _ -> false
+
 let count_dml program = List.length (List.filter is_dml program)
 
 (* --- pretty printing ---------------------------------------------------- *)
@@ -228,6 +252,12 @@ let pp_dml ppf = function
     Format.fprintf ppf "delete edge %a.%s;" pp_doc_ref x_ref x_edge
   | Delete_graph r -> Format.fprintf ppf "delete graph %a;" pp_doc_ref r
 
+(* [doc("D")] or, for a ["view:v"]-prefixed source, [view("v")]. *)
+let pp_source ppf s =
+  match view_of_source s with
+  | Some v -> Format.fprintf ppf "view(%S)" v
+  | None -> Format.fprintf ppf "doc(%S)" s
+
 let pp_path_query ppf q =
   let pp_over ppf q =
     match (q.q_edge, q.q_rep) with
@@ -238,35 +268,41 @@ let pp_path_query ppf q =
   in
   match q.q_kind with
   | `Path shortest ->
-    Format.fprintf ppf "find%s path from %a to %a%a in doc(%S);"
+    Format.fprintf ppf "find%s path from %a to %a%a in %a;"
       (if shortest then " shortest" else "")
       pp_node q.q_from
       (fun ppf -> function
         | Some n -> pp_node ppf n
         | None -> Format.pp_print_string ppf "?")
-      q.q_to pp_over q q.q_source
+      q.q_to pp_over q pp_source q.q_source
   | `Subgraph r ->
-    Format.fprintf ppf "get subgraph from %a within %d%a in doc(%S);" pp_node
-      q.q_from r pp_over q q.q_source
+    Format.fprintf ppf "get subgraph from %a within %d%a in %a;" pp_node
+      q.q_from r pp_over q pp_source q.q_source
+
+let pp_flwr ppf f =
+  let pp_pattern ppf = function
+    | `Named n -> Format.pp_print_string ppf n
+    | `Inline g -> pp_graph_decl ppf g
+  in
+  Format.fprintf ppf "@[<v>for %a%s in %a%a@,%a@]" pp_pattern f.f_pattern
+    (if f.f_exhaustive then " exhaustive" else "")
+    pp_source f.f_source pp_opt_where f.f_where
+    (fun ppf -> function
+      | Return t -> Format.fprintf ppf "return %a" pp_template t
+      | Let (v, t) -> Format.fprintf ppf "let %s := %a" v pp_template t)
+    f.f_body
 
 let pp_statement ppf = function
   | Sdml d -> pp_dml ppf d
   | Spath q -> pp_path_query ppf q
   | Sgraph g -> Format.fprintf ppf "%a;" pp_graph_decl g
   | Sassign (v, t) -> Format.fprintf ppf "@[<v>%s := %a;@]" v pp_template t
-  | Sflwr f ->
-    let pp_pattern ppf = function
-      | `Named n -> Format.pp_print_string ppf n
-      | `Inline g -> pp_graph_decl ppf g
-    in
-    Format.fprintf ppf "@[<v>for %a%s in doc(%S)%a@,%a;@]" pp_pattern
-      f.f_pattern
-      (if f.f_exhaustive then " exhaustive" else "")
-      f.f_source pp_opt_where f.f_where
-      (fun ppf -> function
-        | Return t -> Format.fprintf ppf "return %a" pp_template t
-        | Let (v, t) -> Format.fprintf ppf "let %s := %a" v pp_template t)
-      f.f_body
+  | Sflwr f -> Format.fprintf ppf "%a;" pp_flwr f
+  | Screate_view v ->
+    Format.fprintf ppf "@[<v>create %sview %s as@,%a;@]"
+      (if v.v_materialized then "materialized " else "")
+      v.v_name pp_flwr v.v_query
+  | Sdrop_view name -> Format.fprintf ppf "drop view %s;" name
 
 let pp_program ppf p =
   Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_statement ppf p

@@ -148,25 +148,54 @@ type path_query = {
   q_source : string;  (** the [doc("...")] collection name *)
 }
 
+(** {1 Views}
+
+    [create [materialized] view v as <flwr>;] names a graph-returning
+    query. A materialized view keeps its result graphs (incrementally
+    maintained off the transaction log by the exec service); a plain
+    view is re-evaluated on every read. Either kind is read with the
+    [view("v")] source form, encoded as a ["view:v"]-prefixed
+    [f_source]/[q_source] so doc resolution applies unchanged. *)
+
+type view_def = {
+  v_name : string;
+  v_materialized : bool;
+  v_query : flwr;
+}
+
 type statement =
   | Sgraph of graph_decl  (** named pattern / data graph definition *)
   | Sassign of string * template  (** [C := graph {...};] *)
   | Sflwr of flwr
   | Sdml of dml
   | Spath of path_query
+  | Screate_view of view_def
+  | Sdrop_view of string
 
 type program = statement list
 
+val view_source : string -> string
+(** [view_source "v"] is the ["view:v"] source-name encoding. *)
+
+val view_of_source : string -> string option
+(** The view name of a ["view:..."]-encoded source, [None] for a doc. *)
+
 val is_dml : statement -> bool
+(** DML and view DDL both consume a write slot. *)
 
 val count_dml : program -> int
-(** Number of DML statements — the write slots a program can consume,
-    used by the service to reserve log sequence numbers at submit. *)
+(** Number of write statements (DML plus view create/drop) — the write
+    slots a program can consume, used by the service to reserve log
+    sequence numbers at submit. *)
 
 (** {1 Pretty printing} *)
 
 val pp_tuple_lit : Format.formatter -> tuple_lit -> unit
 val pp_graph_decl : Format.formatter -> graph_decl -> unit
+val pp_source : Format.formatter -> string -> unit
+(** [doc("D")] or [view("v")] from the encoded source name. *)
+
+val pp_flwr : Format.formatter -> flwr -> unit
 val pp_dml : Format.formatter -> dml -> unit
 val pp_path_query : Format.formatter -> path_query -> unit
 val pp_statement : Format.formatter -> statement -> unit

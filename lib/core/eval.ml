@@ -22,6 +22,14 @@ type write =
     }
   | W_insert of { source : string; new_graph : Graph.t }
   | W_remove of { source : string; index : int; old_graph : Graph.t }
+  | W_create_view of {
+      name : string;
+      materialized : bool;
+      def : Ast.flwr;  (* pattern resolved inline: self-contained *)
+      graphs : Graph.t list;  (* the result at creation time *)
+      epoch : int;  (* refresh generation: 0 at creation *)
+    }
+  | W_drop_view of { name : string }
 
 type result = {
   defs : (string * Ast.graph_decl) list;
@@ -181,15 +189,23 @@ let run ?(docs = []) ?strategy ?max_depth ?(max_derivations = 4096) ?budget
     }
   in
   let defs name = List.assoc_opt name st.s_defs in
-  let statement = function
-    | Ast.Sgraph g ->
-      (match g.Ast.g_name with
-      | Some name -> st.s_defs <- st.s_defs @ [ (name, g) ]
-      | None -> error "top-level graph declarations must be named")
-    | Ast.Sassign (v, t) ->
-      let g = instantiate_template st [] t in
-      st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars
-    | Ast.Sflwr f ->
+  (* resolve a statement source: a doc (or mounted view) first, then a
+     variable holding a single graph *)
+  let resolve_source source =
+    match List.assoc_opt source st.s_docs with
+    | Some gs -> gs
+    | None ->
+      (match List.assoc_opt source st.s_vars with
+      | Some g -> [ g ]
+      | None ->
+        (match Ast.view_of_source source with
+        | Some v -> error "unknown view %S" v
+        | None -> error "unknown collection %S" source))
+  in
+  (* the selection half of a FLWR statement: derive the patterns, run
+     the (possibly cached) selector over the source collection, apply
+     the where filter; shared by Sflwr and view creation *)
+  let flwr_matches (f : Ast.flwr) =
       let decl, pname =
         match f.Ast.f_pattern with
         | `Named n ->
@@ -232,14 +248,7 @@ let run ?(docs = []) ?strategy ?max_depth ?(max_derivations = 4096) ?budget
              max_depth)"
             pname
         else error "pattern %s has no derivation" pname;
-      let source =
-        match List.assoc_opt f.Ast.f_source st.s_docs with
-        | Some gs -> gs
-        | None ->
-          (match List.assoc_opt f.Ast.f_source st.s_vars with
-          | Some g -> [ g ]
-          | None -> error "unknown collection %S" f.Ast.f_source)
-      in
+      let source = resolve_source f.Ast.f_source in
       let entries = List.map (fun g -> Algebra.G g) source in
       let matches, sel_stopped =
         Gql_obs.Metrics.with_span metrics "flwr" (fun () ->
@@ -261,20 +270,35 @@ let run ?(docs = []) ?strategy ?max_depth ?(max_derivations = 4096) ?budget
               | Algebra.G _ -> true)
             matches
       in
+      (pname, matches)
+  in
+  (* the composition half of a return body: one instantiated template
+     graph per match *)
+  let compose_matches pname t matches =
+    List.map
+      (fun entry ->
+        let extra =
+          match entry with
+          | Algebra.M m -> [ (pname, Template.Pmatched m) ]
+          | Algebra.G g -> [ (pname, Template.Pgraph g) ]
+        in
+        instantiate_template st extra t)
+      matches
+  in
+  let statement = function
+    | Ast.Sgraph g ->
+      (match g.Ast.g_name with
+      | Some name -> st.s_defs <- st.s_defs @ [ (name, g) ]
+      | None -> error "top-level graph declarations must be named")
+    | Ast.Sassign (v, t) ->
+      let g = instantiate_template st [] t in
+      st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars
+    | Ast.Sflwr f ->
+      let pname, matches = flwr_matches f in
       (match f.Ast.f_body with
       | Ast.Return t ->
-        let out =
-          List.map
-            (fun entry ->
-              let extra =
-                match entry with
-                | Algebra.M m -> [ (pname, Template.Pmatched m) ]
-                | Algebra.G g -> [ (pname, Template.Pgraph g) ]
-              in
-              Algebra.G (instantiate_template st extra t))
-            matches
-        in
-        st.s_last <- Some out
+        st.s_last <-
+          Some (List.map (fun g -> Algebra.G g) (compose_matches pname t matches))
       | Ast.Let (v, t) ->
         List.iter
           (fun entry ->
@@ -286,16 +310,73 @@ let run ?(docs = []) ?strategy ?max_depth ?(max_derivations = 4096) ?budget
             let g = instantiate_template st extra t in
             st.s_vars <- (v, g) :: List.remove_assoc v st.s_vars)
           matches)
+    | Ast.Screate_view v ->
+      let q = v.Ast.v_query in
+      (match q.Ast.f_body with
+      | Ast.Return _ -> ()
+      | Ast.Let (x, _) ->
+        error "view %s: the defining query must return (let %s folds cannot \
+               be maintained)" v.Ast.v_name x);
+      (match Ast.view_of_source q.Ast.f_source with
+      | Some src ->
+        error "view %s cannot be defined over view %S (views read base docs \
+               only)" v.Ast.v_name src
+      | None -> ());
+      if not (List.mem_assoc q.Ast.f_source st.s_docs) then
+        error "view %s: %a is not a document collection (views over \
+               variables cannot be maintained)" v.Ast.v_name Ast.pp_source
+          q.Ast.f_source;
+      (* resolve a named pattern now, so the stored definition is
+         self-contained and replayable without the defining program *)
+      let q =
+        match q.Ast.f_pattern with
+        | `Named n ->
+          (match defs n with
+          | Some d ->
+            { q with Ast.f_pattern = `Inline { d with Ast.g_name = Some n } }
+          | None -> error "unknown pattern %s" n)
+        | `Inline _ -> q
+      in
+      (* evaluate with the program's variables hidden: a definition
+         that references them would evaluate now but be unmaintainable
+         (the maintainer replays the definition alone), so reject it
+         here with the same error a refresh would hit *)
+      let saved_vars = st.s_vars in
+      st.s_vars <- [];
+      let graphs =
+        Fun.protect
+          ~finally:(fun () -> st.s_vars <- saved_vars)
+          (fun () ->
+            try
+              let pname, matches = flwr_matches q in
+              match q.Ast.f_body with
+              | Ast.Return t -> compose_matches pname t matches
+              | Ast.Let _ -> assert false
+            with Error m ->
+              error "view %s: the definition must be self-contained: %s"
+                v.Ast.v_name m)
+      in
+      set_doc st (Ast.view_source v.Ast.v_name) graphs;
+      st.s_writes <- st.s_writes + 1;
+      writer
+        (W_create_view
+           {
+             name = v.Ast.v_name;
+             materialized = v.Ast.v_materialized;
+             def = q;
+             graphs;
+             epoch = 0;
+           })
+    | Ast.Sdrop_view name ->
+      let source = Ast.view_source name in
+      if not (List.mem_assoc source st.s_docs) then
+        error "unknown view %S" name;
+      st.s_docs <- List.remove_assoc source st.s_docs;
+      st.s_writes <- st.s_writes + 1;
+      writer (W_drop_view { name })
     | Ast.Spath q ->
       let module Rpq = Gql_matcher.Rpq in
-      let source =
-        match List.assoc_opt q.Ast.q_source st.s_docs with
-        | Some gs -> gs
-        | None ->
-          (match List.assoc_opt q.Ast.q_source st.s_vars with
-          | Some g -> [ g ]
-          | None -> error "unknown collection %S" q.Ast.q_source)
-      in
+      let source = resolve_source q.Ast.q_source in
       let node_candidates g (d : Ast.node_decl) =
         (match d.Ast.n_copy with
         | Some p ->

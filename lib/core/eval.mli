@@ -37,6 +37,20 @@ type write =
     }
   | W_insert of { source : string; new_graph : Graph.t }
   | W_remove of { source : string; index : int; old_graph : Graph.t }
+  | W_create_view of {
+      name : string;
+      materialized : bool;
+      def : Ast.flwr;
+          (** the defining query, pattern resolved inline so the
+              definition is self-contained (persistable and replayable
+              without the defining program) *)
+      graphs : Graph.t list;  (** the view's result at creation time *)
+      epoch : int;
+          (** refresh generation: [0] at creation; the exec-layer
+              maintainer re-emits the event with a bumped epoch when a
+              committed write refreshes the materialization *)
+    }
+  | W_drop_view of { name : string }
 
 type result = {
   defs : (string * Ast.graph_decl) list;  (** named declarations, in order *)

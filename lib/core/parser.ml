@@ -310,6 +310,24 @@ let doc_name st =
   expect st Lexer.RPAREN "expected ')' after collection name";
   source
 
+(* A statement source: [doc("D")], or the contextual [view("v")] form
+   encoded as a "view:v" source name (Ast.view_source). *)
+let source_name st =
+  match peek st with
+  | Lexer.ID "view" ->
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after view";
+    let name =
+      match peek st with
+      | Lexer.STRING s ->
+        advance st;
+        s
+      | _ -> fail st "expected a view name string in view(...)"
+    in
+    expect st Lexer.RPAREN "expected ')' after view name";
+    Ast.view_source name
+  | _ -> doc_name st
+
 let doc_ref st =
   let d = doc_name st in
   expect st Lexer.DOT "expected '.' naming a graph after doc(...)";
@@ -420,7 +438,7 @@ let path_query st =
     let to_ = node_decl st in
     let edge, rep = opt_over st in
     expect st Lexer.IN "expected 'in'";
-    let source = doc_name st in
+    let source = source_name st in
     { Ast.q_kind = `Path shortest; q_from = from_; q_to = Some to_;
       q_edge = edge; q_rep = rep; q_source = source }
   end
@@ -439,7 +457,7 @@ let path_query st =
     in
     let edge, rep = opt_over st in
     expect st Lexer.IN "expected 'in'";
-    let source = doc_name st in
+    let source = source_name st in
     { Ast.q_kind = `Subgraph radius; q_from = from_; q_to = None;
       q_edge = edge; q_rep = rep; q_source = source }
   end
@@ -454,7 +472,7 @@ let flwr st =
   in
   let exhaustive = accept st Lexer.EXHAUSTIVE in
   expect st Lexer.IN "expected 'in'";
-  let source = doc_name st in
+  let source = source_name st in
   let w = opt_where st in
   let body =
     match peek st with
@@ -496,6 +514,23 @@ let statement st =
     let q = path_query st in
     ignore (accept st Lexer.SEMI);
     Ast.Spath q
+  (* create / drop / view / materialized / as are contextual too: plain
+     identifiers everywhere except at the head of a view statement *)
+  | Lexer.ID "create" ->
+    advance st;
+    let materialized = word st "materialized" in
+    expect_word st "view";
+    let name = ident st in
+    expect st Lexer.AS "expected 'as' after the view name";
+    let q = flwr st in
+    ignore (accept st Lexer.SEMI);
+    Ast.Screate_view { Ast.v_name = name; v_materialized = materialized; v_query = q }
+  | Lexer.ID "drop" ->
+    advance st;
+    expect_word st "view";
+    let name = ident st in
+    ignore (accept st Lexer.SEMI);
+    Ast.Sdrop_view name
   | _ ->
     fail st
       "expected a statement ('graph', 'for', insert/update/delete, or an \

@@ -27,6 +27,8 @@ type statement =
   | Output of expr
   | Write of Ast.dml
   | Path of Ast.path_query
+  | Create_view of { cv_name : string; cv_materialized : bool; cv_body : expr }
+  | Drop_view of string
 
 type t = statement list
 
@@ -95,7 +97,19 @@ let compile ?max_depth ?(max_derivations = 4096) (program : Ast.program) =
       | Ast.Sassign (v, t) -> Some (Assign (v, Compose { template = t; param = "_"; input = Var "_unit" }))
       | Ast.Sflwr f -> Some (compile_flwr f)
       | Ast.Sdml d -> Some (Write d)
-      | Ast.Spath q -> Some (Path q))
+      | Ast.Spath q -> Some (Path q)
+      | Ast.Screate_view v ->
+        (match compile_flwr v.Ast.v_query with
+        | Output e ->
+          Some
+            (Create_view
+               {
+                 cv_name = v.Ast.v_name;
+                 cv_materialized = v.Ast.v_materialized;
+                 cv_body = e;
+               })
+        | _ -> error "view %s: the defining query must end in a return (let folds cannot be maintained)" v.Ast.v_name)
+      | Ast.Sdrop_view name -> Some (Drop_view name))
     program
 
 (* --- printing (EXPLAIN) --- *)
@@ -107,7 +121,7 @@ let pp_template ppf = function
       (match g.Ast.g_name with Some n -> "_" ^ n | None -> "")
 
 let rec pp_expr ppf = function
-  | Source s -> Format.fprintf ppf "doc(%S)" s
+  | Source s -> Ast.pp_source ppf s
   | Var v -> Format.pp_print_string ppf v
   | Select { pname; patterns; exhaustive; post; input } ->
     let n_segments =
@@ -140,7 +154,12 @@ let pp ppf plan =
       | Assign (v, e) -> Format.fprintf ppf "%s := %a" v pp_expr e
       | Output e -> Format.fprintf ppf "return %a" pp_expr e
       | Write d -> Format.fprintf ppf "write %a" Ast.pp_dml d
-      | Path q -> Format.fprintf ppf "path %a" Ast.pp_path_query q)
+      | Path q -> Format.fprintf ppf "path %a" Ast.pp_path_query q
+      | Create_view { cv_name; cv_materialized; cv_body } ->
+        Format.fprintf ppf "%sview %s := %a"
+          (if cv_materialized then "materialized " else "")
+          cv_name pp_expr cv_body
+      | Drop_view name -> Format.fprintf ppf "drop view %s" name)
     ppf plan
 
 (* --- optimization: predicate pushdown --- *)
@@ -203,7 +222,8 @@ let optimize plan =
     (function
       | Assign (v, e) -> Assign (v, optimize_expr e)
       | Output e -> Output (optimize_expr e)
-      | (Write _ | Path _) as s -> s)
+      | Create_view c -> Create_view { c with cv_body = optimize_expr c.cv_body }
+      | (Write _ | Path _ | Drop_view _) as s -> s)
     plan
 
 (* --- execution --- *)
@@ -295,7 +315,10 @@ let execute ?(docs = []) ?strategy plan =
       | Path _ ->
         (* path queries drive the RPQ engine directly, outside the
            algebra; only Eval.run evaluates them *)
-        error "path queries are not executable from a compiled plan")
+        error "path queries are not executable from a compiled plan"
+      | Create_view _ | Drop_view _ ->
+        (* view DDL needs the writer sink and the exec-layer maintainer *)
+        error "view statements are not executable from a compiled plan")
     plan;
   {
     Eval.defs = [];

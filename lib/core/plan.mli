@@ -48,6 +48,11 @@ type statement =
   | Path of Ast.path_query
       (** path-query pass-through ([find path] / [get subgraph]):
           printable in EXPLAIN, but only {!Eval.run} evaluates it *)
+  | Create_view of { cv_name : string; cv_materialized : bool; cv_body : expr }
+      (** the view's defining query compiled to algebra, so EXPLAIN
+          shows what the maintainer keeps fresh; only {!Eval.run}
+          executes the DDL *)
+  | Drop_view of string
 
 type t = statement list
 

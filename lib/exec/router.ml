@@ -1,27 +1,37 @@
 module Ast = Gql_core.Ast
 module Error = Gql_core.Error
 
-(* One wire connection per shard, shared by every front-end connection
-   thread — the per-connection mutex keeps request/response frames from
-   interleaving. Scatter still overlaps across shards (the point); two
-   front-end queries serialize per shard, bounded by the receive
-   timeout.
+(* A lazily-grown pool of wire connections per shard, shared by every
+   front-end connection thread — each slot's mutex keeps one
+   request/response exchange from interleaving with another on the same
+   socket. Scatter overlaps across shards as before; with [pool] slots
+   per shard, up to that many front-end queries now also overlap {e on}
+   a shard instead of serializing behind a single link.
 
-   A call that fails poisons its connection (Client marks itself
+   Acquisition is try-lock first (reuse any idle slot — only the first
+   slot is connected at boot, the rest dial on first use), falling back
+   to a blocking round-robin wait when every slot is busy, so load
+   spreads instead of convoying on slot 0.
+
+   A call that fails poisons its slot's connection (Client marks itself
    broken and closes the socket — a merely-slow shard's late response
-   must never be read as the next query's answer), so the link keeps
-   the address and reconnects lazily on the next request: one failed
-   query degrades, it does not blacklist the shard forever. *)
+   must never be read as the next query's answer), so the slot keeps
+   the address and reconnects lazily on its next request: one failed
+   query degrades one slot once, it does not blacklist the shard
+   forever, and the other slots keep serving throughout. *)
+type slot = { mutable conn : Client.t option; s_lock : Mutex.t }
+
 type link = {
   l_addr : string;
-  mutable conn : Client.t option;
-  lock : Mutex.t;
+  slots : slot array;
+  rr : int Atomic.t;  (* round-robin cursor for the all-busy fallback *)
 }
 
 type t = { links : link array; timeout : float }
 
-let connect ?(timeout = 30.0) addrs =
+let connect ?(timeout = 30.0) ?(pool = 2) addrs =
   if addrs = [] then Error.raise_ (Error.Usage "router needs at least one shard");
+  if pool < 1 then Error.raise_ (Error.Usage "router pool must be >= 1");
   {
     links =
       Array.of_list
@@ -29,32 +39,70 @@ let connect ?(timeout = 30.0) addrs =
            (fun a ->
              {
                l_addr = a;
-               conn = Some (Client.connect ~timeout a);
-               lock = Mutex.create ();
+               (* slot 0 dials now — a dead shard at boot is a config
+                  error; the rest stay cold until contention needs them *)
+               slots =
+                 Array.init pool (fun i ->
+                     {
+                       conn =
+                         (if i = 0 then Some (Client.connect ~timeout a)
+                          else None);
+                       s_lock = Mutex.create ();
+                     });
+               rr = Atomic.make 0;
              })
            addrs);
     timeout;
   }
 
 let shards t = Array.to_list (Array.map (fun l -> l.l_addr) t.links)
+let pool_size t = Array.length t.links.(0).slots
 
 let close t =
   Array.iter
     (fun l ->
-      Option.iter Client.close l.conn;
-      l.conn <- None)
+      Array.iter
+        (fun s ->
+          Mutex.lock s.s_lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock s.s_lock)
+            (fun () ->
+              Option.iter Client.close s.conn;
+              s.conn <- None))
+        l.slots)
     t.links
 
-(* Must be called with [link.lock] held. *)
-let live_conn t link =
-  match link.conn with
+(* Acquire a slot of [link] and run [f] on it (lock held). *)
+let with_slot link f =
+  let n = Array.length link.slots in
+  let rec try_free i =
+    if i >= n then None
+    else
+      let s = link.slots.(i) in
+      if Mutex.try_lock s.s_lock then Some s else try_free (i + 1)
+  in
+  let s =
+    match try_free 0 with
+    | Some s -> s
+    | None ->
+      (* every slot busy: queue behind one, rotating so waiters spread *)
+      let i = Atomic.fetch_and_add link.rr 1 land max_int mod n in
+      let s = link.slots.(i) in
+      Mutex.lock s.s_lock;
+      s
+  in
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.s_lock) (fun () -> f s)
+
+(* Must be called with the slot's lock held. *)
+let live_conn t link slot =
+  match slot.conn with
   | Some c when not (Client.is_broken c) -> Ok c
   | stale -> (
     Option.iter Client.close stale;
-    link.conn <- None;
+    slot.conn <- None;
     match Client.connect ~timeout:t.timeout link.l_addr with
     | c ->
-      link.conn <- Some c;
+      slot.conn <- Some c;
       Ok c
     | exception Error.E e -> Error (Error.to_string e))
 
@@ -67,6 +115,19 @@ let check program =
   let rec go = function
     | [] -> Ok ()
     | Ast.Sgraph _ :: rest -> go rest
+    | (Ast.Sflwr { Ast.f_source = src; _ } | Ast.Spath { Ast.q_source = src; _ })
+      :: _
+      when Ast.view_of_source src <> None ->
+      Error
+        (Printf.sprintf "read of %s — views live in the serving process, not the shards"
+           (Format.asprintf "%a" Ast.pp_source src))
+    | Ast.Screate_view v :: _ ->
+      Error
+        (Printf.sprintf "create view %s — views are maintained by a single writer"
+           v.Ast.v_name)
+    | Ast.Sdrop_view n :: _ ->
+      Error
+        (Printf.sprintf "drop view %s — views are maintained by a single writer" n)
     | Ast.Sflwr { Ast.f_body = Ast.Return (Ast.Tgraph _); _ } :: rest -> go rest
     | Ast.Sflwr { Ast.f_body = Ast.Return (Ast.Tvar v); _ } :: _ ->
       Error
@@ -91,17 +152,14 @@ let scatter t (mk_req : int -> Protocol.request) =
   let worker i =
     let link = t.links.(i) in
     out.(i) <-
-      (Mutex.lock link.lock;
-       Fun.protect
-         ~finally:(fun () -> Mutex.unlock link.lock)
-         (fun () ->
-           match live_conn t link with
-           | Error msg -> Error msg
-           | Ok conn -> (
-             match Client.call conn (mk_req i) with
-             | json -> Ok json
-             | exception Error.E e -> Error (Error.to_string e)
-             | exception e -> Error (Printexc.to_string e))))
+      with_slot link (fun slot ->
+          match live_conn t link slot with
+          | Error msg -> Error msg
+          | Ok conn -> (
+            match Client.call conn (mk_req i) with
+            | json -> Ok json
+            | exception Error.E e -> Error (Error.to_string e)
+            | exception e -> Error (Printexc.to_string e)))
   in
   let threads = Array.init n (fun i -> Thread.create worker i) in
   Array.iter Thread.join threads;

@@ -15,18 +15,24 @@
     in [qr_shards_failed]. Only when {e every} shard fails does
     {!query} raise.
 
-    A failed call poisons its shard connection (the peer's late
-    response could otherwise be read as a later query's answer — see
-    {!Client.call}), so the router closes that link and reconnects
-    lazily on the shard's next request: a shard that was slow once
-    costs one degraded response, not permanent blacklisting, and a
-    restarted shard rejoins without restarting the router. *)
+    Each shard is served by a small {e pool} of wire connections
+    ([pool] slots, lazily dialed past the first), so up to [pool]
+    front-end queries overlap on a shard instead of serializing behind
+    one socket. A failed call poisons only its own slot's connection
+    (the peer's late response could otherwise be read as a later
+    query's answer — see {!Client.call}); that slot reconnects lazily
+    on its next request while the other slots keep serving: a shard
+    that was slow once costs one degraded response, not permanent
+    blacklisting, and a restarted shard rejoins without restarting the
+    router. *)
 
 type t
 
-val connect : ?timeout:float -> string list -> t
+val connect : ?timeout:float -> ?pool:int -> string list -> t
 (** Open a connection to each shard address. [timeout] (default 30 s)
-    is the per-shard receive timeout — the hung-shard bound. Raises
+    is the per-shard receive timeout — the hung-shard bound. [pool]
+    (default 2, must be >= 1) is the connections-per-shard cap; only
+    the first is dialed now, the rest on first contended use. Raises
     [Error.E (Usage _)] if any shard is unreachable at startup (a
     router with a dead shard at boot is a config error; death {e after}
     boot is the degradation path). *)
@@ -34,8 +40,10 @@ val connect : ?timeout:float -> string list -> t
 val check : Gql_core.Ast.program -> (unit, string) result
 (** Distributability: only pattern declarations and [return]-bodied
     selection statements. Composition ([C := ...], [let]-folds,
-    variable-reference templates), DML and path queries need state that
-    spans shards — [Error] explains which construct. *)
+    variable-reference templates), DML, path queries, and anything
+    touching views — [create view] / [drop view] DDL or reads from a
+    [view("...")] source, which live in a single serving process —
+    need state that spans shards; [Error] explains which construct. *)
 
 val query :
   t ->
@@ -58,4 +66,8 @@ val broadcast :
     [shutdown] fan-out. Never raises; failures are per-shard [Error]s. *)
 
 val shards : t -> string list
+
+val pool_size : t -> int
+(** The configured connections-per-shard cap. *)
+
 val close : t -> unit

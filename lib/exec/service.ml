@@ -64,6 +64,7 @@ type t = {
   mutable pending : int;
   mutable next_id : int;
   mutable docs : Eval.docs;
+  mutable views : View.t list;  (* registered views; guarded by r_mutex *)
   (* the log watermark: [staged] positions are reserved at submit (one
      per DML statement of the program), [applied] advances as writes
      land — or catches up at completion when a job applies fewer writes
@@ -422,15 +423,99 @@ let internalize e =
     | Some err -> err
     | None -> Error.Eval ("internal: " ^ Printexc.to_string e))
 
+(* --- view registry --------------------------------------------------------
+
+   All under r_mutex. A view is visible to queries as the doc entry
+   ["view:name"] holding its current materialization; the graphs are
+   registered in the cache so view reads get warm indexes and plans.
+   Cache state is reconciled per graph (gid-keyed [Cache.drop] /
+   [Cache.register]) — never [Cache.invalidate]: refreshing a view must
+   not cool unrelated documents' plans. *)
+
+let view_key v = Gql_core.Ast.view_source (View.name v)
+
+let set_view_docs t v =
+  let key = view_key v in
+  let gs = View.graphs v in
+  t.docs <-
+    (if List.mem_assoc key t.docs then
+       List.map
+         (fun (n, l) -> if String.equal n key then (n, gs) else (n, l))
+         t.docs
+     else t.docs @ [ (key, gs) ])
+
+let reconcile_view_cache t ~old_gs ~new_gs =
+  List.iter
+    (fun g -> if not (List.memq g new_gs) then Cache.drop t.cache g)
+    old_gs;
+  Cache.register t.cache new_gs
+
+let uninstall_view_locked t name =
+  match List.find_opt (fun v -> String.equal (View.name v) name) t.views with
+  | None -> ()
+  | Some old ->
+    List.iter (fun g -> Cache.drop t.cache g) (View.graphs old);
+    t.views <- List.filter (fun v -> not (v == old)) t.views;
+    t.docs <- List.remove_assoc (view_key old) t.docs
+
+let source_docs_locked t source =
+  Option.value ~default:[] (List.assoc_opt source t.docs)
+
+let install_view_locked t ~metrics v =
+  uninstall_view_locked t (View.name v);
+  t.views <- t.views @ [ v ];
+  Cache.register t.cache (View.graphs v);
+  set_view_docs t v;
+  ignore metrics
+
+(* Refresh every view reading [source] against one committed write.
+   Runs after the doc mirror (so [docs] is the post-write collection)
+   and inside r_mutex (so readers gated on this write's watermark see
+   the refreshed materialization). Returns the synthesized
+   [W_create_view] events that re-persist refreshed materialized views
+   through the durability sink. *)
+let refresh_views_locked t ~metrics ~source change =
+  List.filter_map
+    (fun v ->
+      if not (String.equal (View.source v) source) then None
+      else begin
+        let old_gs = View.graphs v in
+        ignore
+          (View.refresh ~strategy:t.strategy ~metrics
+             ~indexes:(fun g -> Cache.indexes t.cache ~metrics g)
+             v
+             ~docs:(source_docs_locked t source)
+             change);
+        reconcile_view_cache t ~old_gs ~new_gs:(View.graphs v);
+        set_view_docs t v;
+        if View.materialized v then
+          Some
+            (Eval.W_create_view
+               {
+                 name = View.name v;
+                 materialized = true;
+                 def = View.def v;
+                 graphs = View.graphs v;
+                 epoch = View.epoch v;
+               })
+        else None
+      end)
+    t.views
+
 (* The service-side write sink, called by [Eval.run] once per applied
    DML statement. Under r_mutex: mirror the evaluator's doc change into
-   the service's doc list and retire exactly the written graph's cached
-   state ([Cache.replace] — other graphs' plans stay warm). Then, off
-   the lock: hand the write to the durability sink ([on_write] — the
-   CLI appends it to the store's transaction log there), and only after
-   it returns advance the applied watermark, so a reader gated on this
-   write observes it both in memory and on disk. *)
+   the service's doc list, retire exactly the written graph's cached
+   state ([Cache.replace] — other graphs' plans stay warm), and bring
+   every view over the written collection up to date (the incremental
+   maintainer reuses the delta and the incrementally updated indexes
+   that [Cache.replace] just derived). Then, off the lock: hand the
+   write — plus one synthesized [W_create_view] per refreshed
+   materialized view — to the durability sink ([on_write] — the CLI
+   appends them to the store there), and only after it returns advance
+   the applied watermark, so a reader gated on this write observes it
+   in memory, in the views, and on disk. *)
 let writer t job w =
+  let refresh_events = ref [] in
   locked t.r_mutex (fun () ->
       let m = job.j_metrics in
       (match w with
@@ -462,12 +547,50 @@ let writer t job w =
               if String.equal name source then
                 (name, List.filteri (fun i _ -> i <> index) gs)
               else (name, gs))
-            t.docs);
+            t.docs
+      | Eval.W_create_view { name; materialized; def; graphs; epoch = _ } ->
+        (* the evaluator already computed the creation-time result;
+           adopt it — the incremental match caches build lazily on the
+           first refresh *)
+        let v = View.make ~name ~materialized def in
+        View.attach ~strategy:t.strategy ~metrics:m ~graphs v
+          ~docs:(source_docs_locked t (View.source v));
+        install_view_locked t ~metrics:m v
+      | Eval.W_drop_view { name } -> uninstall_view_locked t name);
+      (match w with
+      | Eval.W_update { source; index; new_graph; delta; _ } ->
+        refresh_events :=
+          refresh_views_locked t ~metrics:m ~source
+            (View.Update { index; new_graph; delta })
+      | Eval.W_insert { source; new_graph } ->
+        refresh_events :=
+          refresh_views_locked t ~metrics:m ~source (View.Insert { new_graph })
+      | Eval.W_remove { source; index; _ } ->
+        refresh_events :=
+          refresh_views_locked t ~metrics:m ~source (View.Remove { index })
+      | Eval.W_create_view _ | Eval.W_drop_view _ -> ());
       job.j_writes <- job.j_writes + 1;
       M.incr m M.Exec_writes);
   Option.iter (fun f -> f w) t.on_write;
+  List.iter (fun ev -> Option.iter (fun f -> f ev) t.on_write) !refresh_events;
   ignore (Atomic.fetch_and_add t.applied 1);
   locked t.q_mutex (fun () -> Condition.broadcast t.q_cond)
+
+(* Statements whose source is a mounted view: answered straight from
+   the materialization (a doc lookup) — the read side of the trade the
+   maintainer makes on the write path. *)
+let view_reads program =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Gql_core.Ast.Sflwr f
+        when Gql_core.Ast.view_of_source f.Gql_core.Ast.f_source <> None ->
+        acc + 1
+      | Gql_core.Ast.Spath q
+        when Gql_core.Ast.view_of_source q.Gql_core.Ast.q_source <> None ->
+        acc + 1
+      | _ -> acc)
+    0 program
 
 let run_job t job =
   let docs = locked t.r_mutex (fun () -> t.docs) in
@@ -476,6 +599,7 @@ let run_job t job =
   | None -> (
     match
       let program = parse_cached t job job.j_src in
+      M.add job.j_metrics M.Views_reads (view_reads program);
       Eval.run ~docs ~strategy:t.strategy ~budget:job.j_budget
         ~metrics:job.j_metrics ~selector:(selector t job)
         ~writer:(writer t job) program
@@ -591,6 +715,7 @@ let create ?jobs ?search_domains ?(quantum = 4096)
       pending = 0;
       next_id = 0;
       docs;
+      views = [];
       staged = 0;
       applied = Atomic.make 0;
       on_write;
@@ -694,6 +819,51 @@ let update_docs t docs =
   locked t.r_mutex (fun () ->
       t.docs <- docs;
       M.merge ~into:t.agg m)
+
+(* Mount a view decoded from a store (or built by the caller) into the
+   running service: materialized views adopt their persisted result
+   graphs; plain views re-derive from the current source collection. *)
+let install_view t v =
+  locked t.r_mutex (fun () ->
+      let m = M.create () in
+      (if View.materialized v then
+         View.attach ~strategy:t.strategy ~metrics:m ~graphs:(View.graphs v) v
+           ~docs:(source_docs_locked t (View.source v))
+       else
+         View.attach ~strategy:t.strategy ~metrics:m
+           ~indexes:(fun g -> Cache.indexes t.cache ~metrics:m g)
+           v
+           ~docs:(source_docs_locked t (View.source v)));
+      install_view_locked t ~metrics:m v;
+      M.merge ~into:t.agg m)
+
+type view_info = {
+  vi_name : string;
+  vi_materialized : bool;
+  vi_source : string;
+  vi_epoch : int;
+  vi_graphs : int;
+  vi_incremental : bool;  (* delta-rule eligible *)
+  vi_incr_refreshes : int;
+  vi_full_refreshes : int;
+}
+
+let views t =
+  locked t.r_mutex (fun () ->
+      List.map
+        (fun v ->
+          let incr, full = View.refreshes v in
+          {
+            vi_name = View.name v;
+            vi_materialized = View.materialized v;
+            vi_source = View.source v;
+            vi_epoch = View.epoch v;
+            vi_graphs = List.length (View.graphs v);
+            vi_incremental = View.incremental v;
+            vi_incr_refreshes = incr;
+            vi_full_refreshes = full;
+          })
+        t.views)
 
 let version t = Cache.version t.cache
 let watermark t = locked t.r_mutex (fun () -> t.staged)

@@ -140,6 +140,32 @@ val graph_epoch : t -> Gql_graph.Graph.t -> int option
     {!Cache.graph_epoch}) — a write to one graph bumps only that
     graph's epoch, leaving every other graph's warm plans valid. *)
 
+val install_view : t -> View.t -> unit
+(** Mount a view (typically decoded from a store's view records) into
+    the service: it becomes readable as [view("name")] and is kept
+    fresh by subsequent writes to its source collection. Materialized
+    views adopt their persisted result graphs as-is (no evaluation);
+    plain views are re-derived from the current source collection now.
+    Replaces an existing view of the same name. Views created by
+    [create view] statements inside queries register themselves — this
+    is only for pre-loading. *)
+
+type view_info = {
+  vi_name : string;
+  vi_materialized : bool;
+  vi_source : string;  (** the source collection the definition reads *)
+  vi_epoch : int;  (** refresh generation (0 = never refreshed) *)
+  vi_graphs : int;  (** graphs in the current materialization *)
+  vi_incremental : bool;  (** delta-rule eligible definition *)
+  vi_incr_refreshes : int;  (** refreshes served by the O(delta) path *)
+  vi_full_refreshes : int;  (** refreshes that fell back to full re-eval *)
+}
+
+val views : t -> view_info list
+(** The registered views, in registration order — the staleness /
+    maintenance report behind [explain --analyze] and the server's
+    status page. *)
+
 val metrics : t -> Gql_obs.Metrics.t
 (** The service aggregate. Only read it when no query is in flight
     (after {!drain}) — completions merge into it concurrently. *)

@@ -34,6 +34,9 @@ type counter =
   | Rpq_segments_checked
   | Rpq_fast_path
   | Rpq_product_visited
+  | Views_incremental
+  | Views_full
+  | Views_reads
 
 let counter_index = function
   | Retrieval_scanned -> 0
@@ -71,8 +74,11 @@ let counter_index = function
   | Rpq_segments_checked -> 32
   | Rpq_fast_path -> 33
   | Rpq_product_visited -> 34
+  | Views_incremental -> 35
+  | Views_full -> 36
+  | Views_reads -> 37
 
-let n_counters = 35
+let n_counters = 38
 
 let counter_name = function
   | Retrieval_scanned -> "retrieval.scanned"
@@ -110,6 +116,9 @@ let counter_name = function
   | Rpq_segments_checked -> "rpq.segments_checked"
   | Rpq_fast_path -> "rpq.fast_path_hits"
   | Rpq_product_visited -> "rpq.product_visited"
+  | Views_incremental -> "exec.views.incremental"
+  | Views_full -> "exec.views.full"
+  | Views_reads -> "exec.views.reads"
 
 let all_counters =
   [
@@ -148,6 +157,9 @@ let all_counters =
     Rpq_segments_checked;
     Rpq_fast_path;
     Rpq_product_visited;
+    Views_incremental;
+    Views_full;
+    Views_reads;
   ]
 
 type histogram = Candidate_set_size | Matches_per_graph

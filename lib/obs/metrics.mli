@@ -54,6 +54,9 @@ type counter =
   | Rpq_segments_checked  (** path-segment existence checks evaluated *)
   | Rpq_fast_path  (** segment checks answered by the reachability index *)
   | Rpq_product_visited  (** (node, counter) product states expanded by RPQ BFS *)
+  | Views_incremental  (** view refreshes served by the O(delta) incremental path *)
+  | Views_full  (** view refreshes that fell back to full re-evaluation *)
+  | Views_reads  (** queries answered from a materialized view *)
 
 val counter_name : counter -> string
 (** Stable dotted name, e.g. ["search.visited"] — the key used by the

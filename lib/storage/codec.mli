@@ -13,6 +13,11 @@ val read_uvarint : string -> int -> int * int
 (** [read_uvarint s off] returns the integer and the offset after it;
     exposed for the {!Store} transaction-record payloads. *)
 
+val write_string : Buffer.t -> string -> unit
+val read_string : string -> int -> string * int
+(** Length-prefixed strings; exposed for the {!Store} view-record
+    payloads. *)
+
 val write_value : Buffer.t -> Gql_graph.Value.t -> unit
 val read_value : string -> int -> Gql_graph.Value.t * int
 (** [read_value s off] returns the value and the offset after it. *)

@@ -19,13 +19,20 @@
    first record that fails its bounds or CRC, truncates the directory
    there and commits the repaired header.
 
-   Three record types share the log, classified by the payload's first
+   Four record types share the log, classified by the payload's first
    byte: graph records begin with {!Codec.format_version} (a small
    integer), auxiliary records — the planner's learned statistics —
    with [aux_kind] (0xFA), transaction records with [txn_kind] (0xFB),
-   both far outside any codec version. Aux and txn records ride the
-   same CRC/commit/recovery machinery; only graph records count toward
-   [n] and the id directory.
+   view-definition records with [view_kind] (0xFC), all far outside
+   any codec version. Aux, txn and view records ride the same
+   CRC/commit/recovery machinery; only graph records count toward [n]
+   and the id directory.
+
+   View records are keyed by name: ['c' name blob] creates or replaces
+   a view (newest committed record wins, like the aux stats blob) and
+   ['d' name] drops it. The blob is opaque to the store — the exec
+   layer encodes the definition text, flags, epoch and materialized
+   result graphs in it.
 
    Transaction records are the write path's log: instead of rewriting a
    mutated graph's (possibly large) base record, a write appends the
@@ -42,6 +49,7 @@ open Gql_graph
 let magic = "GQLSTOR2"
 let aux_kind = '\250'
 let txn_kind = '\251'
+let view_kind = '\252'
 
 type recovery = {
   salvaged : int;
@@ -61,6 +69,7 @@ type snapshot = {
   c_txns : int;
   c_pending : (int * Mutate.op list) list;
   c_dead : int list;
+  c_views : (string * string) list;
 }
 
 type t = {
@@ -74,6 +83,7 @@ type t = {
   mutable txns : int;  (* txn records replayed + appended (tombstones included) *)
   pending : (int, Mutate.op list) Hashtbl.t;  (* gid -> logged ops, log order *)
   dead : (int, unit) Hashtbl.t;  (* tombstoned gids *)
+  views : (string, string) Hashtbl.t;  (* view name -> newest blob *)
   materialized : (int, Graph.t) Hashtbl.t;  (* memo of base + pending overlay *)
   mutable committed : snapshot;
   mutable recovery : recovery option;
@@ -126,6 +136,7 @@ let snapshot t =
     c_txns = t.txns;
     c_pending = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.pending [];
     c_dead = Hashtbl.fold (fun k () acc -> k :: acc) t.dead [];
+    c_views = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.views [];
   }
 
 (* Data pages are committed before the superblock names them: a crash
@@ -217,6 +228,7 @@ let empty_snapshot =
     c_txns = 0;
     c_pending = [];
     c_dead = [];
+    c_views = [];
   }
 
 let create ?pool_capacity path =
@@ -237,6 +249,7 @@ let create ?pool_capacity path =
       txns = 0;
       pending = Hashtbl.create 16;
       dead = Hashtbl.create 16;
+      views = Hashtbl.create 4;
       materialized = Hashtbl.create 16;
       committed = empty_snapshot;
       recovery = None;
@@ -288,6 +301,34 @@ let replay_txn t payload =
       | _ -> false
   with Codec.Corrupt _ -> false
 
+(* Replay one CRC-valid view record: ['c' name blob] (re)defines the
+   view, ['d' name] drops it. Later records shadow earlier ones, so
+   replay in log order leaves the newest committed definition per name
+   — the same newest-wins discipline as the aux stats blob, but keyed.
+   Malformed structure is treated like a CRC failure by the caller. *)
+let replay_view t payload =
+  let len = String.length payload in
+  try
+    if len < 2 then false
+    else
+      match payload.[1] with
+      | 'c' ->
+        let name, o = Codec.read_string payload 2 in
+        if name = "" then false
+        else begin
+          Hashtbl.replace t.views name (String.sub payload o (len - o));
+          true
+        end
+      | 'd' ->
+        let name, o = Codec.read_string payload 2 in
+        if o <> len || name = "" then false
+        else begin
+          Hashtbl.remove t.views name;
+          true
+        end
+      | _ -> false
+  with Codec.Corrupt _ -> false
+
 let open_existing ?pool_capacity path =
   (* a non-page-aligned file is the signature of an append that died
      mid-page: the torn tail is invisible to the pager and the scan
@@ -319,6 +360,7 @@ let open_existing ?pool_capacity path =
       txns = 0;
       pending = Hashtbl.create 16;
       dead = Hashtbl.create 16;
+      views = Hashtbl.create 4;
       materialized = Hashtbl.create 16;
       committed = empty_snapshot;
       recovery = None;
@@ -338,6 +380,7 @@ let open_existing ?pool_capacity path =
   in
   let is_aux payload = String.length payload > 0 && payload.[0] = aux_kind in
   let is_txn payload = String.length payload > 0 && payload.[0] = txn_kind in
+  let is_view payload = String.length payload > 0 && payload.[0] = view_kind in
   (try
      while !valid < n do
        match read_record_opt t ~limit:tail !off with
@@ -347,6 +390,9 @@ let open_existing ?pool_capacity path =
           else if is_txn payload then begin
             if not (replay_txn t payload) then raise Exit
           end
+          else if is_view payload then begin
+            if not (replay_view t payload) then raise Exit
+          end
           else begin
             push_offset t (!off, String.length payload);
             t.n <- t.n + 1;
@@ -354,7 +400,7 @@ let open_existing ?pool_capacity path =
           end);
          off := next
      done;
-     (* aux/txn records appended after the last committed graph: walk
+     (* aux/txn/view records appended after the last committed graph: walk
         them up to tail; anything unreadable there is a torn tail and
         falls to the truncation below, keeping the previous state *)
      let walking = ref true in
@@ -365,6 +411,8 @@ let open_existing ?pool_capacity path =
          off := next
        | Some (payload, next) when is_txn payload ->
          if replay_txn t payload then off := next else walking := false
+       | Some (payload, next) when is_view payload ->
+         if replay_view t payload then off := next else walking := false
        | _ -> walking := false
      done
    with Exit -> ());
@@ -396,7 +444,7 @@ let close t =
     t.closed <- true
   end
 
-(* Discard everything staged since the last commit: graph/aux/txn
+(* Discard everything staged since the last commit: graph/aux/txn/view
    records (the log tail), tombstones and pending overlays. Pages
    beyond the restored tail may hold the discarded bytes, but they are
    unreachable — record validity is bounded by the superblock tail, and
@@ -411,6 +459,8 @@ let discard_staged t =
   List.iter (fun (k, v) -> Hashtbl.replace t.pending k v) s.c_pending;
   Hashtbl.reset t.dead;
   List.iter (fun k -> Hashtbl.replace t.dead k ()) s.c_dead;
+  Hashtbl.reset t.views;
+  List.iter (fun (k, v) -> Hashtbl.replace t.views k v) s.c_views;
   (* memoized graphs may reflect discarded ops *)
   Hashtbl.reset t.materialized
 
@@ -542,6 +592,58 @@ let set_stats t blob =
 let stats_blob t =
   check t;
   t.aux
+
+let set_view t ~name blob =
+  check t;
+  if name = "" then invalid_arg "Store.set_view: empty view name";
+  let buf = Buffer.create (String.length blob + 8) in
+  Buffer.add_char buf view_kind;
+  Buffer.add_char buf 'c';
+  Codec.write_string buf name;
+  Buffer.add_string buf blob;
+  t.tail <- write_record t t.tail (Buffer.contents buf);
+  Hashtbl.replace t.views name blob
+
+let drop_view t name =
+  check t;
+  if Hashtbl.mem t.views name then begin
+    let buf = Buffer.create 8 in
+    Buffer.add_char buf view_kind;
+    Buffer.add_char buf 'd';
+    Codec.write_string buf name;
+    t.tail <- write_record t t.tail (Buffer.contents buf);
+    Hashtbl.remove t.views name;
+    true
+  end
+  else false
+
+let view_blob t name =
+  check t;
+  Hashtbl.find_opt t.views name
+
+let views t =
+  check t;
+  Hashtbl.fold (fun name blob acc -> (name, blob) :: acc) t.views []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Full-file integrity pass over the committed log: re-read every
+   record (graph, aux, txn, view) and recheck its CRC against the
+   stored header. Returns the number of valid records; raises
+   {!Codec.Corrupt} at the first unreadable one. Reads go through the
+   buffer pool, so cold pages come back from disk. *)
+let verify t =
+  check t;
+  let limit = t.committed.c_tail in
+  let off = ref header_size in
+  let records = ref 0 in
+  while !off < limit do
+    match read_record_opt t ~limit !off with
+    | Some (_, next) ->
+      incr records;
+      off := next
+    | None -> corrupt "verify: unreadable record at byte %d" !off
+  done;
+  !records
 
 let pool_stats t = Buffer_pool.stats t.pool
 let recovery t = t.recovery

@@ -118,6 +118,33 @@ val set_stats : t -> string -> unit
 val stats_blob : t -> string option
 (** The newest committed-or-pending aux record's payload, if any. *)
 
+val set_view : t -> name:string -> string -> unit
+(** Append a view-definition record. View records are keyed by name —
+    the newest committed record for a name wins, like {!set_stats} but
+    per-key — and ride the same CRC/commit/recovery machinery without
+    consuming graph ids. The blob is opaque to the store (the exec
+    layer's {!Gql_exec.View} encodes definition text, flags, epoch and
+    materialized result graphs in it). Durable after the next
+    {!flush}/{!close}; a torn final view record recovers the previous
+    definition. Raises [Invalid_argument] on an empty name. *)
+
+val drop_view : t -> string -> bool
+(** Append a view-drop record; [false] (and no record) if the name is
+    unknown. After a drop, {!views} no longer reports the name even
+    across reopen. *)
+
+val view_blob : t -> string -> string option
+(** The newest committed-or-pending blob for a view name, if any. *)
+
+val views : t -> (string * string) list
+(** All live view records, sorted by name. *)
+
+val verify : t -> int
+(** Re-read every committed record — graph, aux, transaction and view —
+    and recheck its CRC against the stored header; returns the record
+    count. Raises [Codec.Corrupt] at the first unreadable record. The
+    integrity pass behind [gqlsh store --verify]. *)
+
 val pool_stats : t -> Buffer_pool.stats
 
 val pager : t -> Pager.t

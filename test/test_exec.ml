@@ -410,6 +410,27 @@ let test_epoch_isolation () =
     Alcotest.(check int) "post-write matches still correct" 2
       (returned_count o.Service.o_status)
   | outs -> Alcotest.failf "expected one outcome, got %d" (List.length outs));
+  (* view (re)materialization goes through gid-keyed replace/register,
+     never a blanket invalidation: GB's epoch and warm plans survive a
+     view create and its maintenance on a GA write *)
+  ignore
+    (Service.submit t
+       {|create materialized view hot as
+         for graph P { node a where label="A"; node b where label="B";
+                       edge e (a, b); }
+         exhaustive in doc("D")
+         return graph { node P.a, P.b; edge ee (P.a, P.b); };|});
+  ignore (Service.submit t {|insert node d <D x=2> into doc("D").GA;|});
+  ignore (Service.drain t);
+  Alcotest.(check (option int)) "GB epoch survives view maintenance" (Some 0)
+    (Service.graph_epoch t gb);
+  let s2 = Service.cache_stats t in
+  Alcotest.(check int) "views never blanket-invalidate" 0
+    s2.Gql_exec.Cache.invalidations;
+  Alcotest.(check bool) "view refresh counted" true
+    (M.get (Service.metrics t) M.Views_incremental
+     + M.get (Service.metrics t) M.Views_full
+     >= 1);
   Service.shutdown t
 
 let test_watermark_read_your_writes () =
